@@ -1,0 +1,61 @@
+//! Figure 2 — Basic costs of TLB shootdown.
+//!
+//! Reproduces the paper's measurement: the Section 5.1 consistency tester
+//! run with k = 1..=15 child threads on a 16-processor machine, ten runs
+//! per k; mean ± standard deviation per point; least-squares trend fitted
+//! to k <= 12 (the paper excludes 13–15, where "bus contention and
+//! congestion effects" bend the points off the line).
+//!
+//! Paper result: 430 µs for the first processor plus 55 µs per additional
+//! processor, with a pronounced departure above 12 processors.
+
+use machtlb_bench::fig2_sweep;
+use machtlb_xpr::{ascii_scatter, TextTable};
+
+fn main() {
+    let seeds: Vec<u64> = (0..10).map(|i| 1000 + i).collect();
+    let data = fig2_sweep(16, 15, &seeds);
+
+    println!("Figure 2: basic cost of TLB shootdown (16-processor machine, 10 runs/point)");
+    println!();
+    let mut t = TextTable::new(vec![
+        "processors",
+        "mean (us)",
+        "std (us)",
+        "min",
+        "max",
+        "fit @k (us)",
+    ]);
+    for row in &data.rows {
+        t.add_row(vec![
+            row.k.to_string(),
+            format!("{:.1}", row.summary.mean),
+            format!("{:.1}", row.summary.std),
+            format!("{:.1}", row.summary.min),
+            format!("{:.1}", row.summary.max),
+            format!("{:.1}", data.fit.at(f64::from(row.k))),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "least-squares fit (k <= 12): cost = {:.0} us + {:.0} us/processor (r2 = {:.3})",
+        data.fit.intercept, data.fit.slope, data.fit.r2
+    );
+    println!("paper's fit:                 cost = 430 us + 55 us/processor");
+    let k13 = &data.rows[12].summary;
+    let predicted = data.fit.at(13.0);
+    println!(
+        "knee check: k=13 measured {:.0} us vs trend {:.0} us ({:+.1}% departure)",
+        k13.mean,
+        predicted,
+        (k13.mean - predicted) / predicted * 100.0
+    );
+    println!();
+    println!("mean +/- std (us) vs processors, with the fitted trend (dots):");
+    let pts: Vec<(f64, f64, f64)> = data
+        .rows
+        .iter()
+        .map(|r| (f64::from(r.k), r.summary.mean, r.summary.std))
+        .collect();
+    println!("{}", ascii_scatter(&pts, Some((data.fit.intercept, data.fit.slope)), 60, 18));
+}

@@ -1,0 +1,133 @@
+//! Criterion microbenches of the reproduction's hot paths (host
+//! performance, not simulated time): TLB operations, page-table walks,
+//! processor sets, the consistency oracle, and a complete small shootdown
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use machtlb_core::{build_kernel_machine, KernelConfig, PmapOp, PmapOpProcess};
+use machtlb_pmap::{Access, CpuSet, PageRange, PageTable, Pfn, PmapId, Prot, Pte, Vpn};
+use machtlb_sim::{CostModel, CpuId, Time};
+use machtlb_tlb::{Tlb, TlbConfig};
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.bench_function("lookup_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::multimax());
+        let pmap = PmapId::new(1);
+        for v in 0..64u64 {
+            tlb.insert(pmap, Vpn::new(v), Pte::valid(Pfn::new(v), Prot::READ_WRITE), Time::ZERO);
+        }
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 64;
+            std::hint::black_box(tlb.lookup(pmap, Vpn::new(v), Access::Read, Time::ZERO))
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut tlb = Tlb::new(TlbConfig::multimax());
+        let pmap = PmapId::new(1);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            std::hint::black_box(tlb.insert(
+                pmap,
+                Vpn::new(v % 4096),
+                Pte::valid(Pfn::new(v), Prot::READ),
+                Time::ZERO,
+            ))
+        });
+    });
+    g.bench_function("invalidate_range_64", |b| {
+        let pmap = PmapId::new(1);
+        b.iter_batched(
+            || {
+                let mut tlb = Tlb::new(TlbConfig::multimax());
+                for v in 0..64u64 {
+                    tlb.insert(pmap, Vpn::new(v), Pte::valid(Pfn::new(v), Prot::READ), Time::ZERO);
+                }
+                tlb
+            },
+            |mut tlb| tlb.invalidate_range(pmap, PageRange::new(Vpn::new(0), 64)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.bench_function("set_get", |b| {
+        let mut pt = PageTable::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 4096;
+            pt.set(Vpn::new(v), Pte::valid(Pfn::new(v), Prot::READ_WRITE));
+            std::hint::black_box(pt.get(Vpn::new(v)))
+        });
+    });
+    g.bench_function("any_valid_in_sparse_64k", |b| {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(60_000), Pte::valid(Pfn::new(1), Prot::READ));
+        let range = PageRange::new(Vpn::new(0), 65_536);
+        b.iter(|| std::hint::black_box(pt.any_valid_in(range)));
+    });
+    g.finish();
+}
+
+fn bench_cpuset(c: &mut Criterion) {
+    c.bench_function("cpuset_iter_256", |b| {
+        let mut s = CpuSet::new(256);
+        for i in (0..256).step_by(3) {
+            s.insert(CpuId::new(i));
+        }
+        b.iter(|| std::hint::black_box(s.iter().count()));
+    });
+}
+
+fn bench_shootdown_sim(c: &mut Criterion) {
+    // Host cost of simulating one complete 4-processor shootdown,
+    // end to end.
+    c.bench_function("simulate_4cpu_shootdown", |b| {
+        b.iter_batched(
+            || {
+                let mut m =
+                    build_kernel_machine(4, 7, CostModel::multimax(), KernelConfig::default());
+                let (pmap, vpn) = {
+                    let s = m.shared_mut();
+                    let pmap = s.pmaps.create();
+                    let vpn = Vpn::new(0x40);
+                    let pfn = s.frames.alloc();
+                    s.seed_mapping(pmap, vpn, pfn, Prot::READ_WRITE);
+                    for c in 0..4 {
+                        s.force_active(CpuId::new(c));
+                        if c > 0 {
+                            s.pmaps.get_mut(pmap).mark_in_use(CpuId::new(c));
+                        }
+                    }
+                    (pmap, vpn)
+                };
+                let op = PmapOpProcess::new(
+                    pmap,
+                    PmapOp::Protect { range: PageRange::single(vpn), prot: Prot::READ },
+                );
+                m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(op));
+                m
+            },
+            |mut m| {
+                let r = m.run(Time::from_micros(100_000));
+                std::hint::black_box(r)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tlb,
+    bench_page_table,
+    bench_cpuset,
+    bench_shootdown_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Table 2 — Kernel pmap shootdown results: initiator.
+//!
+//! All four evaluation applications on the 16-processor machine. The paper
+//! reports, per application: event count, processors shot at, pages
+//! involved, and initiator elapsed time as mean±σ with median and
+//! 10th/90th percentiles, noting that the distributions are right-skewed
+//! ("skewed towards high frequencies at low values") and that the Agora
+//! data is bimodal — large shootdowns (11–15 processors) only during its
+//! setup phase, small ones (1–4) afterwards.
+//!
+//! Paper's headline numbers (events, mean time µs): Mach 7494 @ 1109±1272,
+//! Parthenon 4 @ 1395±1431, Agora 88 @ 1425±1911, Camelot 68 @ 1641±1994.
+//! Event counts scale with runtime; compare shapes and orderings.
+
+use machtlb_sim::{Dur, Time};
+use machtlb_workloads::{
+    run_agora, run_camelot, run_machbuild, run_parthenon, AgoraConfig, AppReport, CamelotConfig,
+    MachBuildConfig, ParthenonConfig, RunConfig,
+};
+use machtlb_xpr::{Summary, TextTable};
+
+fn config(seed: u64) -> RunConfig {
+    let mut c = RunConfig::multimax16(seed);
+    c.device_period = Some(Dur::millis(5));
+    c.limit = Time::from_micros(120_000_000);
+    c
+}
+
+fn fmt_summary(s: &Option<Summary>) -> [String; 4] {
+    match s {
+        Some(s) => [
+            s.mean_pm_std(),
+            format!("{:.0}", s.median),
+            format!("{:.0}", s.p10),
+            format!("{:.0}", s.p90),
+        ],
+        None => ["-".into(), "-".into(), "-".into(), "-".into()],
+    }
+}
+
+fn main() {
+    println!("Table 2: kernel pmap shootdown results (initiator), 16 processors");
+    println!();
+
+    let reports: Vec<AppReport> = vec![
+        run_machbuild(&config(61), &MachBuildConfig::default()),
+        run_parthenon(&config(62), &ParthenonConfig::default()),
+        run_agora(&config(63), &AgoraConfig::default()),
+        run_camelot(&config(64), &CamelotConfig::default()),
+    ];
+    for r in &reports {
+        assert!(r.consistent, "{}: consistency violations", r.name);
+    }
+
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Events",
+        "Procs mean\u{b1}sd",
+        "Pages mean",
+        "Time mean\u{b1}sd (us)",
+        "median",
+        "10th pct",
+        "90th pct",
+        "skewed",
+    ]);
+    for r in &reports {
+        let time = AppReport::elapsed_summary(&r.kernel_initiators);
+        let procs = AppReport::processors_summary(&r.kernel_initiators);
+        let pages = AppReport::pages_summary(&r.kernel_initiators);
+        let [mean, median, p10, p90] = fmt_summary(&time);
+        t.add_row(vec![
+            r.name.to_string(),
+            r.kernel_initiators.len().to_string(),
+            procs.map_or("-".into(), |s| s.mean_pm_std()),
+            pages.map_or("-".into(), |s| format!("{:.1}", s.mean)),
+            mean,
+            median,
+            p10,
+            p90,
+            time.map_or("-".into(), |s| {
+                if s.is_right_skewed() { "yes" } else { "no" }.into()
+            }),
+        ]);
+    }
+    println!("{t}");
+
+    // The Agora bimodality the paper highlights in Section 7.3.
+    let agora = &reports[2];
+    let big: Vec<f64> = agora
+        .kernel_initiators
+        .iter()
+        .filter(|r| r.processors >= 11)
+        .map(|r| r.elapsed.as_micros_f64())
+        .collect();
+    let small: Vec<f64> = agora
+        .kernel_initiators
+        .iter()
+        .filter(|r| r.processors <= 4)
+        .map(|r| r.elapsed.as_micros_f64())
+        .collect();
+    println!();
+    println!("Agora bimodality (paper: setup events at 11-15 procs, median 1367 us;");
+    println!("                  remaining events at 1-4 procs, median 779 us):");
+    if let Some(s) = Summary::of(&big) {
+        println!("  setup group (>=11 procs): {} events, median {:.0} us", s.n, s.median);
+    }
+    if let Some(s) = Summary::of(&small) {
+        println!("  steady group (<=4 procs): {} events, median {:.0} us", s.n, s.median);
+    }
+
+    // The Section 7.3 headline: "the overhead of maintaining TLB
+    // consistency in software is almost negligible on current machines" —
+    // about 1% for kernel pmap shootdowns (Mach build), and the paper
+    // calls even that "pessimistic scaling".
+    println!();
+    println!("shootdown overhead as % of total machine time (paper: ~1% kernel for Mach,");
+    println!("<0.2% user for Camelot, both called overstatements). The models compress");
+    println!("runtime, so shootdowns are denser than in production; the density-normalized");
+    println!("column scales each overhead to the paper's event rate for that application:");
+    // events per second in the paper's production runs (events / runtime).
+    let paper_density: [(f64, f64); 4] = [
+        (7494.0 / 1200.0, 0.0),        // Mach: 20 min
+        (4.0 / 1200.0, 0.0),           // Parthenon: 20 min
+        (88.0 / 450.0, 0.0),           // Agora: 7.5 min
+        (68.0 / 3600.0, 930.0 / 3600.0), // Camelot: 1 h (user events est.)
+    ];
+    for (r, (pk, pu)) in reports.iter().zip(paper_density) {
+        let runtime_s = r.runtime.as_micros_f64() / 1e6;
+        let dk = r.kernel_initiators.len() as f64 / runtime_s;
+        let du = r.user_initiators.len() as f64 / runtime_s;
+        let k_raw = r.overhead_percent(&r.kernel_initiators);
+        let u_raw = r.overhead_percent(&r.user_initiators);
+        let k_norm = if dk > 0.0 { k_raw * pk / dk } else { 0.0 };
+        let u_norm = if du > 0.0 { u_raw * pu / du } else { 0.0 };
+        println!(
+            "  {:<10} kernel {:>5.2}% (normalized {:>5.2}%)   user {:>6.3}% (normalized {:>6.3}%)",
+            r.name, k_raw, k_norm, u_raw, u_norm
+        );
+    }
+    println!();
+    println!("runtimes (simulated): {}",
+        reports
+            .iter()
+            .map(|r| format!("{} {:.0} ms", r.name, r.runtime.as_micros_f64() / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,97 @@
+//! # machtlb-bench — table and figure regeneration harnesses
+//!
+//! Shared machinery for the bench targets that regenerate every table and
+//! figure of the paper's evaluation (see `benches/`). Each bench target
+//! prints the paper's rows next to the reproduction's; EXPERIMENTS.md
+//! records the comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use machtlb_sim::Time;
+use machtlb_workloads::{run_tester, RunConfig, TesterConfig};
+use machtlb_xpr::{linear_fit, LinFit, Summary};
+
+/// One row of the Figure 2 sweep: shootdown cost at `k` responders.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Processors shot at.
+    pub k: u32,
+    /// Elapsed-time samples (µs), one per seed.
+    pub samples: Vec<f64>,
+    /// Their summary.
+    pub summary: Summary,
+}
+
+/// The Figure 2 dataset: per-k statistics plus the least-squares trend of
+/// the 1..=12 region (the paper excludes 13–15, where bus contention
+/// bends the curve).
+#[derive(Clone, Debug)]
+pub struct Fig2Data {
+    /// Rows for k = 1..=max_k.
+    pub rows: Vec<Fig2Row>,
+    /// Trend line fitted to k <= 12.
+    pub fit: LinFit,
+}
+
+/// Runs the consistency tester once per seed for every k in `1..=max_k`
+/// and fits the trend, reproducing the Figure 2 methodology ("the tester
+/// was run ten times for each case").
+///
+/// # Panics
+///
+/// Panics if `max_k` leaves no processor for the main thread, if `seeds`
+/// is empty, or if any run breaks consistency.
+pub fn fig2_sweep(n_cpus: usize, max_k: u32, seeds: &[u64]) -> Fig2Data {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    assert!((max_k as usize) < n_cpus, "k must leave the main thread a processor");
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        let mut samples = Vec::new();
+        for &seed in seeds {
+            let config = RunConfig {
+                n_cpus,
+                limit: Time::from_micros(30_000_000),
+                ..RunConfig::multimax16(seed)
+            };
+            let out = run_tester(
+                &config,
+                &TesterConfig {
+                    children: k,
+                    warmup_increments: 40,
+                },
+            );
+            assert!(!out.mismatch, "k={k} seed={seed}: tester detected inconsistency");
+            assert!(out.report.consistent, "k={k} seed={seed}: oracle violations");
+            let shot = out.shootdown.expect("the reprotect shot down");
+            assert_eq!(shot.processors, k);
+            samples.push(shot.elapsed.as_micros_f64());
+        }
+        let summary = Summary::of(&samples).expect("non-empty samples");
+        rows.push(Fig2Row { k, samples, summary });
+    }
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.k <= 12)
+        .map(|r| (f64::from(r.k), r.summary.mean))
+        .collect();
+    let fit = linear_fit(&pts).expect("enough points for a fit");
+    Fig2Data { rows, fit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_monotone_costs() {
+        let data = fig2_sweep(8, 4, &[1, 2]);
+        assert_eq!(data.rows.len(), 4);
+        assert!(
+            data.rows[3].summary.mean > data.rows[0].summary.mean,
+            "more responders must cost more: {:?}",
+            data.rows.iter().map(|r| r.summary.mean).collect::<Vec<_>>()
+        );
+        assert!(data.fit.slope > 0.0);
+    }
+}

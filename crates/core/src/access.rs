@@ -1,0 +1,191 @@
+//! The translated memory-access path: TLB lookup, hardware or software
+//! reload, referenced/modified writeback, and the consistency oracle.
+//!
+//! This is where the hardware features of Section 3 actually bite:
+//!
+//! - on a miss, a **hardware reload** walks the page tables regardless of
+//!   any lock the kernel holds, so an unsychronized pmap update races with
+//!   concurrent walks;
+//! - on an access that newly sets a referenced/modified bit, the TLB
+//!   **writes its cached copy of the whole entry back** to the page table
+//!   (non-interlocked hardware), which can clobber a concurrent update.
+//!
+//! Every translated use is validated against the committed-state oracle
+//! ([`Checker`](crate::Checker)); the shootdown strategy keeps the oracle
+//! silent, the naive strategy does not.
+
+use machtlb_pmap::{Access, PmapId, Vaddr};
+use machtlb_sim::{Ctx, Dur};
+use machtlb_tlb::{Lookup, ReloadPolicy, WritebackPolicy};
+
+use crate::state::HasKernel;
+
+/// What a memory access should do.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Read the 64-bit word at the address.
+    Read,
+    /// Write the 64-bit word at the address.
+    Write(u64),
+}
+
+impl MemOp {
+    /// The access kind this operation performs.
+    pub fn access(self) -> Access {
+        match self {
+            MemOp::Read => Access::Read,
+            MemOp::Write(_) => Access::Write,
+        }
+    }
+}
+
+/// The result of attempting a translated access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access completed. `value` is the word read (or the word just
+    /// written).
+    Ok {
+        /// The word transferred.
+        value: u64,
+        /// Time the access took.
+        cost: Dur,
+    },
+    /// No translation permits the access: a page or protection fault. The
+    /// caller should trap to the VM fault path and retry.
+    Fault {
+        /// Time spent discovering the fault.
+        cost: Dur,
+    },
+    /// Software-reload stall: the pmap is locked by another processor, so
+    /// the miss handler waits. The caller should retry.
+    Stall {
+        /// Time spent in the stalled handler.
+        cost: Dur,
+    },
+}
+
+/// Performs one translated access to `va` in `pmap_id` from the current
+/// processor. See the module docs for the hazards modelled.
+pub fn try_access<S: HasKernel>(
+    ctx: &mut Ctx<'_, S, ()>,
+    pmap_id: PmapId,
+    va: Vaddr,
+    op: MemOp,
+) -> AccessOutcome {
+    let me = ctx.cpu_id;
+    let now = ctx.now;
+    let access = op.access();
+    let vpn = va.vpn();
+    let word = va.page_offset() / 8;
+    let c_cache = ctx.costs().cache_read;
+    let c_local = ctx.costs().local_op;
+    let writeback_policy = ctx.shared.kernel_mut().config.tlb.writeback;
+
+    let lookup = ctx.shared.kernel_mut().tlbs[me.index()].lookup(pmap_id, vpn, access, now);
+    match lookup {
+        Lookup::Hit { pte, writeback } if pte.permits(access) => {
+            let mut cost = c_cache;
+            if let Some(wb) = writeback {
+                match writeback_policy {
+                    WritebackPolicy::NonInterlocked => {
+                        // The hazardous behaviour: the cached copy (stale
+                        // or not) overwrites the in-memory entry.
+                        cost += ctx.bus_write();
+                        ctx.shared.kernel_mut()
+                            .pmaps
+                            .get_mut(pmap_id)
+                            .table_mut()
+                            .set(wb.vpn, wb.pte);
+                    }
+                    WritebackPolicy::Interlocked => {
+                        // Interlocked read-modify-write that re-checks
+                        // validity (Section 9, MC88200): an invalid
+                        // in-memory entry forces a fault instead of being
+                        // clobbered.
+                        cost += ctx.bus_interlocked();
+                        let table = ctx.shared.kernel_mut().pmaps.get_mut(pmap_id).table_mut();
+                        let current = table.get(wb.vpn);
+                        if current.valid {
+                            table.set(wb.vpn, current.touched(access));
+                        } else {
+                            ctx.shared.kernel_mut().tlbs[me.index()].invalidate(pmap_id, vpn);
+                            return AccessOutcome::Fault { cost };
+                        }
+                    }
+                    WritebackPolicy::None => {
+                        unreachable!("no-refmod hardware never emits writebacks")
+                    }
+                }
+            }
+            ctx.shared.kernel_mut().checker.check_use(me, pmap_id, vpn, pte, access, now);
+            let value = match op {
+                MemOp::Read => {
+                    cost += c_cache;
+                    ctx.shared.kernel_mut().mem.read_word(pte.pfn, word)
+                }
+                MemOp::Write(v) => {
+                    cost += ctx.bus_write();
+                    ctx.shared.kernel_mut().mem.write_word(pte.pfn, word, v);
+                    v
+                }
+            };
+            AccessOutcome::Ok { value, cost }
+        }
+        Lookup::Hit { .. } => {
+            // Cached entry without the needed rights: protection fault.
+            AccessOutcome::Fault { cost: c_cache + c_local }
+        }
+        Lookup::Miss => {
+            let reload = ctx.shared.kernel_mut().config.tlb.reload;
+            let mut cost = Dur::ZERO;
+            if reload == ReloadPolicy::Software {
+                // The software miss handler checks whether the pmap is
+                // being modified and stalls only in that case (Section 9).
+                cost += c_local * 8;
+                let lock = ctx.shared.kernel_mut().pmaps.get(pmap_id).lock();
+                if lock.is_locked() && !lock.is_held_by(me) {
+                    return AccessOutcome::Stall { cost: cost + ctx.costs().spin_iter };
+                }
+            }
+            // Walk the page tables (hardware walks ignore all locks).
+            let levels = ctx.shared.kernel_mut().pmaps.get(pmap_id).table().walk_levels(vpn);
+            for _ in 0..levels {
+                cost += ctx.costs().ptw_level + ctx.bus_read();
+            }
+            let pte = ctx.shared.kernel_mut().pmaps.get(pmap_id).table().get(vpn);
+            if !pte.permits(access) {
+                return AccessOutcome::Fault { cost: cost + c_local };
+            }
+            // Record referenced/modified bits as the walk dictates.
+            let cached = match writeback_policy {
+                WritebackPolicy::None => pte,
+                WritebackPolicy::NonInterlocked => {
+                    let touched = pte.touched(access);
+                    cost += ctx.bus_write();
+                    ctx.shared.kernel_mut().pmaps.get_mut(pmap_id).table_mut().set(vpn, touched);
+                    touched
+                }
+                WritebackPolicy::Interlocked => {
+                    let touched = pte.touched(access);
+                    cost += ctx.bus_interlocked();
+                    ctx.shared.kernel_mut().pmaps.get_mut(pmap_id).table_mut().set(vpn, touched);
+                    touched
+                }
+            };
+            ctx.shared.kernel_mut().tlbs[me.index()].insert(pmap_id, vpn, cached, now);
+            ctx.shared.kernel_mut().checker.check_use(me, pmap_id, vpn, cached, access, now);
+            let value = match op {
+                MemOp::Read => {
+                    cost += ctx.bus_read();
+                    ctx.shared.kernel_mut().mem.read_word(cached.pfn, word)
+                }
+                MemOp::Write(v) => {
+                    cost += ctx.bus_write();
+                    ctx.shared.kernel_mut().mem.write_word(cached.pfn, word, v);
+                    v
+                }
+            };
+            AccessOutcome::Ok { value, cost }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The consistency checker: the reproduction's oracle.
+//!
+//! The paper's guarantee is precise: "Invoking a shootdown guarantees that
+//! any inconsistent TLB entries caused by this operation will not be used
+//! after the operation completes" (Section 4). The checker tracks, for
+//! every page of every pmap, the translation the most recently *completed*
+//! operation committed and when it completed. Every translated memory
+//! access is checked against that committed state: using a translation that
+//! grants rights (or maps a frame) the committed state does not, strictly
+//! after the commit instant, is a violation.
+//!
+//! Under the shootdown strategy no execution may record a violation; the
+//! naive strategy exists to show that the checker catches real ones.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use machtlb_pmap::{Access, PmapId, Pte, Vpn};
+use machtlb_sim::{CpuId, Time};
+
+/// A recorded consistency violation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// When the stale translation was used.
+    pub at: Time,
+    /// The processor that used it.
+    pub cpu: CpuId,
+    /// The pmap concerned.
+    pub pmap: PmapId,
+    /// The page concerned.
+    pub vpn: Vpn,
+    /// The translation actually used.
+    pub used: Pte,
+    /// The translation the last completed operation committed.
+    pub committed: Pte,
+    /// When that operation completed.
+    pub committed_at: Time,
+    /// The access kind performed.
+    pub access: Access,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} used stale {} of {} {} at {} ({:?} access; committed {} at {})",
+            self.cpu, self.used, self.pmap, self.vpn, self.at, self.access, self.committed,
+            self.committed_at
+        )
+    }
+}
+
+/// The committed-state shadow map and violation log. See the
+/// module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    committed: HashMap<(PmapId, u64), (Pte, Time)>,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    checks: u64,
+}
+
+/// Violations retained in detail; the total count keeps growing beyond
+/// this (a broken strategy can violate millions of times).
+const RETAINED_VIOLATIONS: usize = 1000;
+
+impl Checker {
+    /// Creates an empty checker.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Records that a completed operation committed `pte` as the
+    /// translation for `(pmap, vpn)` at instant `at`.
+    pub fn commit(&mut self, pmap: PmapId, vpn: Vpn, pte: Pte, at: Time) {
+        self.committed.insert((pmap, vpn.raw()), (pte, at));
+    }
+
+    /// The committed translation for a page, if any operation has touched
+    /// it ([`Pte::INVALID`] at [`Time::ZERO`] otherwise).
+    pub fn committed(&self, pmap: PmapId, vpn: Vpn) -> (Pte, Time) {
+        self.committed
+            .get(&(pmap, vpn.raw()))
+            .copied()
+            .unwrap_or((Pte::INVALID, Time::ZERO))
+    }
+
+    /// Checks a translated access performed at `now` on `cpu` using
+    /// translation `used`. Records (and returns) a violation if the
+    /// committed state, strictly before `now`, does not sanction it.
+    pub fn check_use(
+        &mut self,
+        cpu: CpuId,
+        pmap: PmapId,
+        vpn: Vpn,
+        used: Pte,
+        access: Access,
+        now: Time,
+    ) -> Option<Violation> {
+        self.checks += 1;
+        let (committed, committed_at) = self.committed(pmap, vpn);
+        if now <= committed_at {
+            // The operation completed at or after this use; during the
+            // operation, use of the old translation is permitted.
+            return None;
+        }
+        let sanctioned =
+            committed.valid && committed.prot.allows(access) && committed.pfn == used.pfn;
+        if sanctioned {
+            return None;
+        }
+        let v = Violation {
+            at: now,
+            cpu,
+            pmap,
+            vpn,
+            used,
+            committed,
+            committed_at,
+            access,
+        };
+        self.total_violations += 1;
+        if self.violations.len() < RETAINED_VIOLATIONS {
+            self.violations.push(v);
+        }
+        Some(v)
+    }
+
+    /// The violations retained in detail (the first thousand; see
+    /// [`Checker::total_violations`] for the full count).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations recorded, including those beyond the retained
+    /// window.
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Whether the run is consistent so far.
+    pub fn is_consistent(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Number of access checks performed (to confirm the oracle actually
+    /// exercised the run).
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machtlb_pmap::{Pfn, Prot};
+
+    const PM: PmapId = PmapId::new(1);
+
+    fn rw(pfn: u64) -> Pte {
+        Pte::valid(Pfn::new(pfn), Prot::READ_WRITE)
+    }
+
+    #[test]
+    fn sanctioned_use_passes() {
+        let mut c = Checker::new();
+        c.commit(PM, Vpn::new(1), rw(5), Time::from_micros(10));
+        let v = c.check_use(
+            CpuId::new(0),
+            PM,
+            Vpn::new(1),
+            rw(5),
+            Access::Write,
+            Time::from_micros(20),
+        );
+        assert!(v.is_none());
+        assert!(c.is_consistent());
+        assert_eq!(c.checks(), 1);
+    }
+
+    #[test]
+    fn stale_rights_after_commit_violate() {
+        let mut c = Checker::new();
+        c.commit(PM, Vpn::new(1), rw(5), Time::from_micros(10));
+        // Protection reduced to read-only at t=30.
+        c.commit(PM, Vpn::new(1), Pte::valid(Pfn::new(5), Prot::READ), Time::from_micros(30));
+        // A write via the stale read-write entry at t=40 is a violation...
+        let v = c.check_use(
+            CpuId::new(2),
+            PM,
+            Vpn::new(1),
+            rw(5),
+            Access::Write,
+            Time::from_micros(40),
+        );
+        assert!(v.is_some());
+        // ...but a read is fine (committed still allows reads).
+        let v = c.check_use(
+            CpuId::new(2),
+            PM,
+            Vpn::new(1),
+            rw(5),
+            Access::Read,
+            Time::from_micros(41),
+        );
+        assert!(v.is_none());
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn use_during_operation_window_is_allowed() {
+        let mut c = Checker::new();
+        c.commit(PM, Vpn::new(1), Pte::INVALID, Time::from_micros(100));
+        // At exactly the commit instant the responder may still be
+        // invalidating; uses at or before it are sanctioned.
+        let v = c.check_use(
+            CpuId::new(1),
+            PM,
+            Vpn::new(1),
+            rw(5),
+            Access::Read,
+            Time::from_micros(100),
+        );
+        assert!(v.is_none());
+        let v = c.check_use(
+            CpuId::new(1),
+            PM,
+            Vpn::new(1),
+            rw(5),
+            Access::Read,
+            Time::from_micros(101),
+        );
+        assert!(v.is_some(), "strictly after commit the use is stale");
+    }
+
+    #[test]
+    fn wrong_frame_is_a_violation_even_with_rights() {
+        let mut c = Checker::new();
+        c.commit(PM, Vpn::new(1), rw(7), Time::from_micros(10));
+        let v = c.check_use(
+            CpuId::new(0),
+            PM,
+            Vpn::new(1),
+            rw(5), // stale frame
+            Access::Read,
+            Time::from_micros(20),
+        );
+        assert!(v.is_some());
+        let v = v.expect("violation");
+        assert_eq!(v.committed.pfn, Pfn::new(7));
+        assert_eq!(v.used.pfn, Pfn::new(5));
+    }
+
+    #[test]
+    fn untouched_pages_have_no_sanction() {
+        // A page no operation ever committed: any translated use of it is
+        // suspect (TLBs do not cache invalid mappings, so a real run can
+        // only reach this with a forged entry).
+        let mut c = Checker::new();
+        let v = c.check_use(
+            CpuId::new(0),
+            PM,
+            Vpn::new(9),
+            rw(1),
+            Access::Read,
+            Time::from_micros(1),
+        );
+        assert!(v.is_some());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let mut c = Checker::new();
+        c.commit(PM, Vpn::new(1), Pte::INVALID, Time::from_micros(1));
+        let v = c
+            .check_use(CpuId::new(3), PM, Vpn::new(1), rw(5), Access::Write, Time::from_micros(2))
+            .expect("violation");
+        let s = v.to_string();
+        assert!(s.contains("cpu3"));
+        assert!(s.contains("stale"));
+    }
+}

@@ -1,0 +1,627 @@
+//! The initiator: pmap operations executed under the configured
+//! consistency strategy.
+//!
+//! [`PmapOpProcess`] is the paper's Figure 1 initiator as an explicit state
+//! machine, including the refinements the pseudo-code encodes:
+//!
+//! - the initiator disables interrupts and **removes itself from the active
+//!   set** before taking the pmap lock, breaking initiator/initiator
+//!   deadlocks across different pmaps;
+//! - the lazy-evaluation check skips the shootdown entirely when the pages
+//!   concerned were never entered in the pmap;
+//! - actions are queued for *every* processor using the pmap (including
+//!   idle ones), but interrupts are sent — and synchronization performed —
+//!   only for non-idle processors;
+//! - a processor with a shootdown interrupt already in flight is not
+//!   interrupted again (but is still synchronized with, which the paper's
+//!   prose requires even though Figure 1's single `shoot_list` conflates
+//!   the two sets);
+//! - the wait condition is "the responder became inactive **or** stopped
+//!   using the pmap".
+//!
+//! The same state machine also implements the alternative strategies of
+//! [`Strategy`](crate::Strategy), which differ in the notification and
+//! synchronization phases but share locking and application.
+
+use machtlb_pmap::{PageRange, Pfn, PmapId, Prot, Pte, Vpn};
+use machtlb_sim::{CpuId, Ctx, Dur, IntrMask, Process, Step, Time};
+use machtlb_tlb::InvalidationPlan;
+use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent};
+
+use crate::queue::Action;
+use crate::state::{HasKernel, KernelState};
+use crate::strategy::Strategy;
+use crate::SHOOTDOWN_VECTOR;
+
+/// Pages applied to the page table per simulation step while the pmap lock
+/// is held (bounds event counts for large operations while keeping hold
+/// times proportional to operation size).
+const APPLY_CHUNK: usize = 16;
+
+/// A machine-dependent physical-map operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PmapOp {
+    /// Enter (validate) a mapping. Never requires consistency actions:
+    /// adding rights can at worst cause a spurious fault elsewhere.
+    Enter {
+        /// The page to map.
+        vpn: Vpn,
+        /// The frame to map it to.
+        pfn: Pfn,
+        /// The rights to grant.
+        prot: Prot,
+    },
+    /// Invalidate every mapping in a range.
+    Remove {
+        /// The pages to unmap.
+        range: PageRange,
+    },
+    /// Set the protection of every valid mapping in a range.
+    Protect {
+        /// The pages to reprotect.
+        range: PageRange,
+        /// The new rights.
+        prot: Prot,
+    },
+    /// Invalidate every mapping in the pmap (pmap destruction).
+    Destroy,
+    /// Clear the referenced bits of every valid mapping in a range (the
+    /// pageout daemon's aging pass). Removes no rights, so no shootdown:
+    /// stale referenced bits in remote TLBs merely make pages look more
+    /// recently used than they are — the same laziness real kernels
+    /// accept.
+    ClearRefBits {
+        /// The pages to age.
+        range: PageRange,
+    },
+}
+
+impl PmapOp {
+    /// Whether this operation *could* leave dangerous stale entries in a
+    /// TLB, judged by operation type alone (the non-lazy check).
+    pub fn may_reduce_rights(self) -> bool {
+        match self {
+            PmapOp::Enter { .. } | PmapOp::ClearRefBits { .. } => false,
+            // A protect could be an upgrade, but without looking at the
+            // page table the kernel must assume it reduces rights.
+            PmapOp::Remove { .. } | PmapOp::Protect { .. } | PmapOp::Destroy => true,
+        }
+    }
+
+    /// The page range the operation names, if it names one.
+    pub fn range(self) -> Option<PageRange> {
+        match self {
+            PmapOp::Enter { vpn, .. } => Some(PageRange::single(vpn)),
+            PmapOp::Remove { range }
+            | PmapOp::Protect { range, .. }
+            | PmapOp::ClearRefBits { range } => Some(range),
+            PmapOp::Destroy => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Begin,
+    Lock,
+    Check,
+    LocalInvalidate,
+    QueueScan { next: u32 },
+    SendIpis { idx: usize },
+    Wait { idx: usize },
+    // HardwareRemoteInvalidate only: invalidate the page-table entries
+    // first (so hardware reload cannot re-cache the old mapping), then
+    // shoot the remote buffers, one processor a step.
+    PreInvalidatePt { applied: usize },
+    RemoteInvalidate { next: u32 },
+    Apply,
+    Unlock,
+}
+
+/// The outcome the operation left behind, for the caller (readable after
+/// the process completes if the caller retains the process).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Pages whose page-table entries changed.
+    pub pages_changed: u64,
+    /// Whether consistency actions were required.
+    pub shootdown: bool,
+    /// Processors sent a shootdown interrupt.
+    pub processors_shot: u32,
+}
+
+/// The initiator state machine. See the module docs.
+#[derive(Debug)]
+pub struct PmapOpProcess {
+    pmap_id: PmapId,
+    op: PmapOp,
+    phase: Phase,
+    saved_mask: Option<IntrMask>,
+    t_start: Option<Time>,
+    t_sync_done: Option<Time>,
+    /// Processors to synchronize with (non-idle users of the pmap).
+    wait_list: Vec<CpuId>,
+    /// Processors to actually interrupt (wait_list minus already-pending).
+    send_list: Vec<CpuId>,
+    needed: bool,
+    /// Planned page-table changes: (page, new entry).
+    changes: Vec<(Vpn, Pte)>,
+    /// Changes whose consistency commit is deferred to the flush epoch
+    /// (timer-delayed strategy only).
+    deferred: Vec<(Vpn, Pte)>,
+    changes_planned: bool,
+    applied: usize,
+    outcome: OpOutcome,
+}
+
+impl PmapOpProcess {
+    /// Creates an initiator for `op` on `pmap_id`.
+    pub fn new(pmap_id: PmapId, op: PmapOp) -> PmapOpProcess {
+        PmapOpProcess {
+            pmap_id,
+            op,
+            phase: Phase::Begin,
+            saved_mask: None,
+            t_start: None,
+            t_sync_done: None,
+            wait_list: Vec::new(),
+            send_list: Vec::new(),
+            needed: false,
+            changes: Vec::new(),
+            deferred: Vec::new(),
+            changes_planned: false,
+            applied: 0,
+            outcome: OpOutcome::default(),
+        }
+    }
+
+    /// The operation being executed.
+    pub fn op(&self) -> PmapOp {
+        self.op
+    }
+
+    /// The outcome (meaningful once the process has completed).
+    pub fn outcome(&self) -> OpOutcome {
+        self.outcome
+    }
+
+    /// Whether the configured strategy requires the active-set handshake.
+    fn strategy(&self, shared: &KernelState) -> Strategy {
+        shared.config.strategy
+    }
+
+    /// Decides whether consistency actions are required, mirroring the
+    /// "check for potential inconsistencies" with and without the lazy
+    /// valid-mapping check.
+    fn consistency_needed(&self, shared: &KernelState) -> bool {
+        if !self.op.may_reduce_rights() {
+            return false;
+        }
+        if !shared.config.lazy_eval {
+            return true;
+        }
+        let table = shared.pmaps.get(self.pmap_id).table();
+        match self.op {
+            PmapOp::Enter { .. } | PmapOp::ClearRefBits { .. } => false,
+            PmapOp::Remove { range } => table.any_valid_in(range),
+            PmapOp::Destroy => table.valid_count() > 0,
+            PmapOp::Protect { range, prot } => table
+                .valid_in(range)
+                .any(|(_, pte)| prot.is_downgrade_from(pte.prot)),
+        }
+    }
+
+    /// Plans the page-table changes (computed once, under the lock).
+    fn plan_changes(&mut self, shared: &KernelState) {
+        if self.changes_planned {
+            return;
+        }
+        self.changes_planned = true;
+        let table = shared.pmaps.get(self.pmap_id).table();
+        self.changes = match self.op {
+            PmapOp::Enter { vpn, pfn, prot } => vec![(vpn, Pte::valid(pfn, prot))],
+            PmapOp::Remove { range } => table
+                .valid_in(range)
+                .map(|(vpn, _)| (vpn, Pte::INVALID))
+                .collect(),
+            PmapOp::Protect { range, prot } => table
+                .valid_in(range)
+                .filter(|(_, pte)| pte.prot != prot)
+                .map(|(vpn, mut pte)| {
+                    pte.prot = prot;
+                    (vpn, pte)
+                })
+                .collect(),
+            PmapOp::Destroy => table
+                .valid_in(PageRange::new(Vpn::new(0), machtlb_pmap::VPN_SPAN))
+                .map(|(vpn, _)| (vpn, Pte::INVALID))
+                .collect(),
+            PmapOp::ClearRefBits { range } => table
+                .valid_in(range)
+                .filter(|(_, pte)| pte.referenced)
+                .map(|(vpn, mut pte)| {
+                    pte.referenced = false;
+                    (vpn, pte)
+                })
+                .collect(),
+        };
+    }
+
+    /// The range to invalidate from TLBs (the operation's range, or for
+    /// destroys the whole space).
+    fn invalidate_range(&self) -> PageRange {
+        self.op
+            .range()
+            .unwrap_or_else(|| PageRange::new(Vpn::new(0), machtlb_pmap::VPN_SPAN))
+    }
+
+    /// Invalidates this processor's own TLB for the operation's range,
+    /// returning the cost.
+    fn invalidate_local<S: HasKernel>(&self, ctx: &mut Ctx<'_, S, ()>) -> Dur {
+        let me = ctx.cpu_id;
+        let range = self.invalidate_range();
+        let costs = (
+            ctx.costs().tlb_invalidate_single,
+            ctx.costs().tlb_flush_all,
+        );
+        let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
+        match tlb.plan_invalidation(range) {
+            InvalidationPlan::Individual(n) => {
+                tlb.invalidate_range(self.pmap_id, range);
+                costs.0 * n
+            }
+            InvalidationPlan::FullFlush => {
+                tlb.flush_all();
+                costs.1
+            }
+        }
+    }
+
+    /// Records the initiator xpr event.
+    fn record_event<S: HasKernel>(&self, ctx: &mut Ctx<'_, S, ()>) -> Dur {
+        if !ctx.shared.kernel_mut().config.instrumentation {
+            return Dur::ZERO;
+        }
+        let (Some(t0), Some(t1)) = (self.t_start, self.t_sync_done) else {
+            return Dur::ZERO;
+        };
+        let record = InitiatorRecord {
+            at: t0,
+            cpu: ctx.cpu_id,
+            kind: if self.pmap_id.is_kernel() {
+                PmapKind::Kernel
+            } else {
+                PmapKind::User
+            },
+            // "Number of Mach VM pages involved in the shootdown": the
+            // operation's range (destroys report the mappings dropped).
+            pages: self
+                .op
+                .range()
+                .map(machtlb_pmap::PageRange::count)
+                .unwrap_or(self.changes.len() as u64)
+                .max(1),
+            processors: self.send_list.len() as u32,
+            elapsed: t1.duration_since(t0),
+        };
+        ctx.shared.kernel_mut().xpr.record(ShootdownEvent::Initiator(record));
+        // Gathering the arguments and calling the xpr package costs a few
+        // instructions (the Section 6.1 perturbation).
+        ctx.costs().local_op * 4
+    }
+}
+
+impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
+    fn step(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
+        let me = ctx.cpu_id;
+        match self.phase {
+            Phase::Begin => {
+                // s = disable_interrupts(); active[mycpu] = FALSE;
+                self.saved_mask = Some(ctx.set_mask(IntrMask::ALL_BLOCKED));
+                self.t_start = Some(ctx.now);
+                let strategy = self.strategy(ctx.shared.kernel());
+                let mut cost = ctx.costs().local_op;
+                if strategy.uses_interrupts() {
+                    ctx.shared.kernel_mut().active.remove(me);
+                    cost += ctx.bus_write();
+                }
+                self.phase = Phase::Lock;
+                Step::Run(cost)
+            }
+            Phase::Lock => {
+                let acquired = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id).lock_mut().try_acquire(me);
+                if acquired {
+                    self.phase = Phase::Check;
+                    let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
+                    Step::Run(cost)
+                } else {
+                    Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read)
+                }
+            }
+            Phase::Check => {
+                self.needed = self.consistency_needed(ctx.shared.kernel());
+                ctx.shared.kernel_mut().stats.pmap_ops += 1;
+                if !self.needed {
+                    if self.op.may_reduce_rights() && ctx.shared.kernel_mut().config.lazy_eval {
+                        ctx.shared.kernel_mut().stats.lazy_skips += 1;
+                    }
+                    self.phase = Phase::Apply;
+                } else if ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(me) {
+                    self.phase = Phase::LocalInvalidate;
+                } else {
+                    self.phase = self.after_local_phase(ctx.shared.kernel(), me);
+                }
+                // "approximately 2 instructions per check"
+                Step::Run(ctx.costs().local_op * 2)
+            }
+            Phase::LocalInvalidate => {
+                let cost = self.invalidate_local(ctx);
+                self.phase = self.after_local_phase(ctx.shared.kernel(), me);
+                Step::Run(cost)
+            }
+            Phase::QueueScan { next } => {
+                // Find the next other processor using this pmap.
+                let target = (next..ctx.shared.kernel_mut().n_cpus as u32)
+                    .map(CpuId::new)
+                    .find(|&c| c != me && ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(c));
+                let Some(cpu) = target else {
+                    self.phase = if self.wait_list.is_empty() {
+                        // Nothing to interrupt or wait for (all users
+                        // idle): proceed straight to the update.
+                        Phase::Apply
+                    } else {
+                        Phase::SendIpis { idx: 0 }
+                    };
+                    return Step::Run(ctx.costs().local_op);
+                };
+                // lock_action_structure(cpu)
+                if !ctx.shared.kernel_mut().queue_locks[cpu.index()].try_acquire(me) {
+                    return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                }
+                // queue_action; action_needed[cpu] = TRUE; unlock.
+                ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
+                    pmap: self.pmap_id,
+                    range: self.invalidate_range(),
+                });
+                ctx.shared.kernel_mut().action_needed[cpu.index()] = true;
+                ctx.shared.kernel_mut().queue_locks[cpu.index()].release(me);
+                self.outcome.shootdown = true;
+                // Idle processors get queued actions but no interrupt and
+                // no synchronization.
+                if !ctx.shared.kernel_mut().idle.contains(cpu) {
+                    self.wait_list.push(cpu);
+                    if !ctx.shared.kernel_mut().ipi_pending[cpu.index()] {
+                        ctx.shared.kernel_mut().ipi_pending[cpu.index()] = true;
+                        self.send_list.push(cpu);
+                    }
+                }
+                self.phase = Phase::QueueScan { next: cpu.index() as u32 + 1 };
+                let cost = ctx.costs().lock_acquire
+                    + ctx.costs().queue_action
+                    + ctx.costs().lock_release
+                    + ctx.bus_interlocked()
+                    + ctx.bus_write()
+                    + ctx.bus_write();
+                Step::Run(cost)
+            }
+            Phase::SendIpis { idx } => {
+                let strategy = self.strategy(ctx.shared.kernel());
+                if strategy == Strategy::BroadcastIpi {
+                    // One poke interrupts every other processor.
+                    ctx.broadcast_ipi(SHOOTDOWN_VECTOR);
+                    ctx.shared.kernel_mut().stats.ipis_sent += ctx.n_cpus() as u64 - 1;
+                    for c in 0..ctx.shared.kernel_mut().n_cpus {
+                        if c != me.index() {
+                            ctx.shared.kernel_mut().ipi_pending[c] = true;
+                        }
+                    }
+                    self.phase = Phase::Wait { idx: 0 };
+                    return Step::Run(ctx.costs().ipi_broadcast);
+                }
+                let Some(&target) = self.send_list.get(idx) else {
+                    self.phase = Phase::Wait { idx: 0 };
+                    return Step::Run(ctx.costs().local_op);
+                };
+                ctx.send_ipi(target, SHOOTDOWN_VECTOR);
+                ctx.shared.kernel_mut().stats.ipis_sent += 1;
+                self.phase = Phase::SendIpis { idx: idx + 1 };
+                Step::Run(ctx.costs().ipi_send)
+            }
+            Phase::Wait { idx } => {
+                let Some(&cpu) = self.wait_list.get(idx) else {
+                    self.t_sync_done = Some(ctx.now);
+                    self.phase = Phase::Apply;
+                    return Step::Run(ctx.costs().local_op);
+                };
+                let strategy = self.strategy(ctx.shared.kernel());
+                let still_using = ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(cpu);
+                let pending = if strategy.responders_stall() {
+                    // Spin while the responder is active and still using
+                    // the pmap.
+                    ctx.shared.kernel_mut().active.contains(cpu) && still_using
+                } else {
+                    // No-stall responders: wait only until the queued
+                    // actions have been consumed. A processor that left
+                    // the active set (a concurrent initiator) is skipped
+                    // exactly as in the stalling variant: it acts on its
+                    // queue before touching user memory again.
+                    ctx.shared.kernel_mut().action_needed[cpu.index()]
+                        && still_using
+                        && ctx.shared.kernel_mut().active.contains(cpu)
+                };
+                if pending {
+                    Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read)
+                } else {
+                    self.phase = Phase::Wait { idx: idx + 1 };
+                    Step::Run(ctx.costs().local_op)
+                }
+            }
+            Phase::PreInvalidatePt { applied } => {
+                // Write the page-table entries invalid before touching the
+                // remote buffers: a concurrent hardware reload then loads
+                // an invalid entry (a spurious fault the paper calls
+                // "minor overhead") instead of re-caching the old mapping.
+                self.plan_changes(ctx.shared.kernel());
+                let remaining = self.changes.len() - applied;
+                if remaining == 0 {
+                    self.phase = Phase::RemoteInvalidate { next: 0 };
+                    return Step::Run(ctx.costs().local_op);
+                }
+                let chunk = remaining.min(APPLY_CHUNK);
+                let mut cost = Dur::ZERO;
+                for i in 0..chunk {
+                    let (vpn, _) = self.changes[applied + i];
+                    cost += ctx.costs().pmap_update_per_page + ctx.bus_write();
+                    ctx.shared.kernel_mut()
+                        .pmaps
+                        .get_mut(self.pmap_id)
+                        .table_mut()
+                        .set(vpn, Pte::INVALID);
+                }
+                self.phase = Phase::PreInvalidatePt { applied: applied + chunk };
+                Step::Run(cost)
+            }
+            Phase::RemoteInvalidate { next } => {
+                // Section 9: "the initiator can shoot the entries directly
+                // out of the responders' TLBs without involving the
+                // responders." Each remote entry invalidation is a bus
+                // transaction.
+                let target = (next..ctx.shared.kernel_mut().n_cpus as u32)
+                    .map(CpuId::new)
+                    .find(|&c| c != me && ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(c));
+                let Some(cpu) = target else {
+                    self.t_sync_done = Some(ctx.now);
+                    self.outcome.shootdown = true;
+                    self.phase = Phase::Apply;
+                    return Step::Run(ctx.costs().local_op);
+                };
+                let range = self.invalidate_range();
+                let single = ctx.costs().tlb_invalidate_single;
+                let bus = ctx.bus_write();
+                let n = ctx.shared.kernel_mut().tlbs[cpu.index()].invalidate_range(self.pmap_id, range);
+                self.send_list.push(cpu); // counted as "processors shot"
+                self.phase = Phase::RemoteInvalidate { next: cpu.index() as u32 + 1 };
+                Step::Run(single * n.max(1) + bus)
+            }
+            Phase::Apply => {
+                self.plan_changes(ctx.shared.kernel());
+                if self.t_sync_done.is_none() {
+                    self.t_sync_done = Some(ctx.now);
+                }
+                let remaining = self.changes.len() - self.applied;
+                if remaining == 0 {
+                    self.phase = Phase::Unlock;
+                    return Step::Run(ctx.costs().local_op);
+                }
+                let chunk = remaining.min(APPLY_CHUNK);
+                let mut cost = Dur::ZERO;
+                let now = ctx.now;
+                for i in 0..chunk {
+                    let (vpn, pte) = self.changes[self.applied + i];
+                    cost += ctx.costs().pmap_update_per_page + ctx.bus_write();
+                    let kernel = ctx.shared.kernel_mut();
+                    let old = kernel.pmaps.get(self.pmap_id).table().get(vpn);
+                    kernel.pmaps.get_mut(self.pmap_id).table_mut().set(vpn, pte);
+                    // Rights-adding changes are legal to use the instant
+                    // they land in the page table: a concurrent hardware
+                    // walk (which honours no locks) may cache them before
+                    // this operation completes, and that is fine — only
+                    // rights *removal* needs the completion barrier.
+                    let upgrade = pte.valid
+                        && (!old.valid
+                            || (old.pfn == pte.pfn && old.prot.is_subset_of(pte.prot)));
+                    if upgrade {
+                        kernel.checker.commit(self.pmap_id, vpn, pte, now);
+                    } else if kernel.config.strategy == Strategy::TimerDelayed {
+                        self.deferred.push((vpn, pte));
+                    }
+                }
+                self.applied += chunk;
+                Step::Run(cost)
+            }
+            Phase::Unlock => {
+                let now = ctx.now;
+                if self.strategy(ctx.shared.kernel()) == Strategy::TimerDelayed {
+                    // Section 3 technique 2: the change takes effect only
+                    // once every processor's TLB has been flushed after
+                    // it. Park the rights-removing commits on the epoch.
+                    if !self.deferred.is_empty() {
+                        let pc = crate::state::PendingCommit {
+                            pmap: self.pmap_id,
+                            changes: std::mem::take(&mut self.deferred),
+                            applied_at: now,
+                        };
+                        ctx.shared.kernel_mut().pending_commits.push(pc);
+                    }
+                } else {
+                    // Commit the new translations: from this instant on,
+                    // no stale entry may be used (the Section 4
+                    // guarantee).
+                    for &(vpn, pte) in &self.changes {
+                        ctx.shared.kernel_mut().checker.commit(self.pmap_id, vpn, pte, now);
+                    }
+                }
+                self.outcome.pages_changed = self.changes.len() as u64;
+                self.outcome.processors_shot = self.send_list.len() as u32;
+                {
+                    let pmap = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id);
+                    pmap.lock_mut().release(me);
+                    match self.op {
+                        PmapOp::Enter { .. } => pmap.stats_mut().enters += 1,
+                        PmapOp::Remove { .. } => pmap.stats_mut().removes += 1,
+                        PmapOp::Protect { .. } => pmap.stats_mut().protects += 1,
+                        PmapOp::Destroy => pmap.stats_mut().destroys += 1,
+                        PmapOp::ClearRefBits { .. } => pmap.stats_mut().ref_clears += 1,
+                    }
+                }
+                let strategy = self.strategy(ctx.shared.kernel());
+                let mut cost = ctx.costs().lock_release + ctx.bus_write();
+                if strategy.uses_interrupts() {
+                    ctx.shared.kernel_mut().active.insert(me);
+                    cost += ctx.bus_write();
+                }
+                if self.outcome.shootdown {
+                    if self.pmap_id.is_kernel() {
+                        ctx.shared.kernel_mut().stats.shootdowns_kernel += 1;
+                    } else {
+                        ctx.shared.kernel_mut().stats.shootdowns_user += 1;
+                    }
+                    cost += self.record_event(ctx);
+                }
+                if let Some(mask) = self.saved_mask.take() {
+                    ctx.set_mask(mask);
+                }
+                Step::Done(cost + ctx.costs().local_op)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "pmap-op"
+    }
+}
+
+impl PmapOpProcess {
+    /// The phase that follows the consistency check / local invalidate,
+    /// by strategy.
+    fn after_local_phase(&self, shared: &KernelState, me: CpuId) -> Phase {
+        let others_using = shared.pmaps.get(self.pmap_id).in_use().any_other_than(me);
+        match shared.config.strategy {
+            Strategy::NaiveFlush | Strategy::TimerDelayed => Phase::Apply,
+            Strategy::HardwareRemoteInvalidate => {
+                if others_using {
+                    Phase::PreInvalidatePt { applied: 0 }
+                } else {
+                    Phase::Apply
+                }
+            }
+            Strategy::Shootdown | Strategy::BroadcastIpi | Strategy::NoStallSoftwareReload => {
+                if others_using {
+                    Phase::QueueScan { next: 0 }
+                } else {
+                    Phase::Apply
+                }
+            }
+        }
+    }
+}

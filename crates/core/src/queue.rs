@@ -1,0 +1,177 @@
+//! Per-processor consistency-action queues.
+//!
+//! "The update queue for each processor is a small buffer. If the initiator
+//! detects overflow, it sets a flag that causes the responder to flush its
+//! entire TLB. The queue size is set so that this only happens in cases
+//! where the responder would flush its entire TLB for efficiency reasons in
+//! the absence of update queue overflow" (Section 4, omitted detail 2).
+
+use std::fmt;
+
+use machtlb_pmap::{PageRange, PmapId};
+
+/// One queued consistency action: invalidate a range of a pmap's pages.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// The pmap whose translations are stale.
+    pub pmap: PmapId,
+    /// The page range to invalidate.
+    pub range: PageRange,
+}
+
+/// A small, fixed-capacity action buffer with an overflow-means-flush flag.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_core::{Action, ActionQueue};
+/// use machtlb_pmap::{PageRange, PmapId, Vpn};
+///
+/// let mut q = ActionQueue::new(2);
+/// let a = Action { pmap: PmapId::new(1), range: PageRange::new(Vpn::new(0), 1) };
+/// q.enqueue(a);
+/// q.enqueue(a);
+/// assert!(!q.flush_all());
+/// q.enqueue(a); // overflow
+/// assert!(q.flush_all());
+/// let (actions, flush) = q.drain();
+/// assert!(actions.is_empty() && flush);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ActionQueue {
+    slots: Vec<Action>,
+    capacity: usize,
+    flush_all: bool,
+    overflows: u64,
+    enqueued: u64,
+}
+
+impl ActionQueue {
+    /// Creates an empty queue of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ActionQueue {
+        assert!(capacity > 0, "action queue needs capacity");
+        ActionQueue {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            flush_all: false,
+            overflows: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Queues an action. On overflow the queue is collapsed into the
+    /// flush-everything flag.
+    pub fn enqueue(&mut self, action: Action) {
+        self.enqueued += 1;
+        if self.flush_all {
+            return; // already flushing everything; individual actions moot
+        }
+        if self.slots.len() == self.capacity {
+            self.flush_all = true;
+            self.overflows += 1;
+            self.slots.clear();
+            return;
+        }
+        self.slots.push(action);
+    }
+
+    /// Takes all queued work, leaving the queue empty: the actions to apply
+    /// individually and whether the whole TLB must be flushed instead.
+    pub fn drain(&mut self) -> (Vec<Action>, bool) {
+        let flush = std::mem::take(&mut self.flush_all);
+        let actions = std::mem::take(&mut self.slots);
+        (actions, flush)
+    }
+
+    /// Queued actions not yet drained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is queued and no flush is pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty() && !self.flush_all
+    }
+
+    /// Whether overflow forced a whole-buffer flush.
+    pub fn flush_all(&self) -> bool {
+        self.flush_all
+    }
+
+    /// Times the queue has overflowed.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Total actions ever enqueued.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+impl fmt::Display for ActionQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue[{}/{}{}]",
+            self.slots.len(),
+            self.capacity,
+            if self.flush_all { ", flush-all" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machtlb_pmap::Vpn;
+
+    fn action(v: u64) -> Action {
+        Action {
+            pmap: PmapId::new(1),
+            range: PageRange::new(Vpn::new(v), 1),
+        }
+    }
+
+    #[test]
+    fn drain_returns_fifo_order() {
+        let mut q = ActionQueue::new(4);
+        q.enqueue(action(1));
+        q.enqueue(action(2));
+        let (actions, flush) = q.drain();
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].range.start(), Vpn::new(1));
+        assert!(!flush);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_collapses_to_flush() {
+        let mut q = ActionQueue::new(1);
+        q.enqueue(action(1));
+        q.enqueue(action(2));
+        assert!(q.flush_all());
+        assert_eq!(q.overflows(), 1);
+        // Further enqueues are absorbed.
+        q.enqueue(action(3));
+        assert_eq!(q.overflows(), 1);
+        assert_eq!(q.enqueued(), 3);
+        let (actions, flush) = q.drain();
+        assert!(actions.is_empty());
+        assert!(flush);
+        // Drained queue is usable again.
+        q.enqueue(action(4));
+        assert_eq!(q.len(), 1);
+        assert!(!q.flush_all());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ActionQueue::new(0);
+    }
+}

@@ -1,0 +1,357 @@
+//! The responder: the shootdown interrupt service routine, and the shared
+//! queue-drain machinery the exit-idle path reuses.
+
+use machtlb_pmap::PmapId;
+use machtlb_sim::{Ctx, Dur, Process, Step, Time};
+use machtlb_tlb::InvalidationPlan;
+use machtlb_xpr::{ResponderRecord, ShootdownEvent};
+
+use crate::queue::Action;
+use crate::state::{HasKernel, KernelState};
+
+/// Result of stepping an embedded [`DrainQueue`].
+#[derive(Debug)]
+pub(crate) enum DrainStatus {
+    /// Still working; yield with this step.
+    Running(Step),
+    /// Finished; the final action cost this much.
+    Finished(Dur),
+}
+
+#[derive(Debug)]
+enum DrainPhase {
+    SpinPmaps,
+    LockQueue,
+    Drain,
+    Finish,
+}
+
+/// Waits for the pmaps this processor could be caching entries of to be
+/// unlocked (phase 2 of the algorithm), then drains the processor's action
+/// queue under its lock and clears the action-needed flag (phase 4).
+///
+/// Figure 1 writes the spin condition as
+/// `pmap_is_locked(kernel_pmap) && pmap_is_locked(user_pmap(mycpu))`; the
+/// prose ("the responders then spin until the initiator completes its
+/// changes") requires waiting while *either* pmap is being updated, so the
+/// reproduction spins on the disjunction.
+#[derive(Debug)]
+pub(crate) struct DrainQueue {
+    phase: DrainPhase,
+    actions: Vec<Action>,
+    flush_all: bool,
+    idx: usize,
+}
+
+impl DrainQueue {
+    /// `stall` selects whether to spin on the pmap locks first (false for
+    /// the Section 9 no-stall software-reload variant).
+    pub(crate) fn new(stall: bool) -> DrainQueue {
+        DrainQueue {
+            phase: if stall {
+                DrainPhase::SpinPmaps
+            } else {
+                DrainPhase::LockQueue
+            },
+            actions: Vec::new(),
+            flush_all: false,
+            idx: 0,
+        }
+    }
+
+    /// Whether any pmap this processor might hold entries for is being
+    /// updated by *another* processor.
+    fn must_spin<S: HasKernel>(ctx: &Ctx<'_, S, ()>) -> bool {
+        let me = ctx.cpu_id;
+        let kernel_locked = {
+            let lock = ctx.shared.kernel().pmaps.kernel().lock();
+            lock.is_locked() && !lock.is_held_by(me)
+        };
+        if kernel_locked {
+            return true;
+        }
+        if let Some(user) = ctx.shared.kernel().cur_user_pmap[me.index()] {
+            let lock = ctx.shared.kernel().pmaps.get(user).lock();
+            if lock.is_locked() && !lock.is_held_by(me) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies one queued action to this processor's TLB, returning the
+    /// cost.
+    fn apply_action<S: HasKernel>(ctx: &mut Ctx<'_, S, ()>, action: Action) -> Dur {
+        let me = ctx.cpu_id;
+        let single = ctx.costs().tlb_invalidate_single;
+        let flush = ctx.costs().tlb_flush_all;
+        let tagged = ctx.shared.kernel_mut().config.tlb.asid_tagged;
+        let current = ctx.shared.kernel_mut().cur_user_pmap[me.index()];
+        // Section 10 extension for ASID-tagged buffers: flush all entries
+        // of an address space that requires an invalidation but is not the
+        // one this processor is executing in, and stop counting the pmap
+        // as in use here.
+        if tagged && !action.pmap.is_kernel() && current != Some(action.pmap) {
+            let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(action.pmap);
+            ctx.shared.kernel_mut().pmaps.get_mut(action.pmap).mark_not_in_use(me);
+            return single * n.max(1);
+        }
+        let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
+        match tlb.plan_invalidation(action.range) {
+            InvalidationPlan::Individual(n) => {
+                tlb.invalidate_range(action.pmap, action.range);
+                single * n
+            }
+            InvalidationPlan::FullFlush => {
+                tlb.flush_all();
+                flush
+            }
+        }
+    }
+
+    pub(crate) fn step<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>) -> DrainStatus {
+        let me = ctx.cpu_id;
+        match self.phase {
+            DrainPhase::SpinPmaps => {
+                if Self::must_spin(ctx) {
+                    DrainStatus::Running(Step::Run(
+                        ctx.costs().spin_iter + ctx.costs().cache_read,
+                    ))
+                } else {
+                    self.phase = DrainPhase::LockQueue;
+                    DrainStatus::Running(Step::Run(ctx.costs().local_op))
+                }
+            }
+            DrainPhase::LockQueue => {
+                if !ctx.shared.kernel_mut().queue_locks[me.index()].try_acquire(me) {
+                    return DrainStatus::Running(Step::Run(
+                        ctx.costs().spin_iter + ctx.costs().cache_read,
+                    ));
+                }
+                let (actions, flush_all) = ctx.shared.kernel_mut().queues[me.index()].drain();
+                self.actions = actions;
+                self.flush_all = flush_all;
+                self.idx = 0;
+                self.phase = DrainPhase::Drain;
+                DrainStatus::Running(Step::Run(
+                    ctx.costs().lock_acquire + ctx.bus_interlocked(),
+                ))
+            }
+            DrainPhase::Drain => {
+                if self.flush_all {
+                    self.flush_all = false;
+                    self.actions.clear();
+                    ctx.shared.kernel_mut().tlbs[me.index()].flush_all();
+                    self.phase = DrainPhase::Finish;
+                    return DrainStatus::Running(Step::Run(ctx.costs().tlb_flush_all));
+                }
+                let Some(&action) = self.actions.get(self.idx) else {
+                    self.phase = DrainPhase::Finish;
+                    return DrainStatus::Running(Step::Run(ctx.costs().local_op));
+                };
+                self.idx += 1;
+                let cost = Self::apply_action(ctx, action);
+                DrainStatus::Running(Step::Run(cost))
+            }
+            DrainPhase::Finish => {
+                ctx.shared.kernel_mut().action_needed[me.index()] = false;
+                ctx.shared.kernel_mut().queue_locks[me.index()].release(me);
+                let cost = ctx.costs().lock_release + ctx.bus_write() + ctx.bus_write();
+                DrainStatus::Finished(cost)
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum RPhase {
+    Enter,
+    Deactivate,
+    Draining,
+    Reactivate,
+    Exit,
+}
+
+/// The shootdown interrupt service routine (phases 2 and 4 of Section 4).
+///
+/// A single dispatch "responds to all shootdowns in progress": the routine
+/// loops while its action-needed flag is set, so concurrent initiators on
+/// different pmaps are serviced by one interrupt. The elapsed time recorded
+/// excludes interrupt dispatch and return, as the paper's instrumentation
+/// does.
+#[derive(Debug)]
+pub struct ResponderProcess {
+    phase: RPhase,
+    t_start: Option<Time>,
+    drain: Option<DrainQueue>,
+}
+
+impl ResponderProcess {
+    /// Creates the ISR body (spawned by the interrupt dispatch).
+    pub fn new() -> ResponderProcess {
+        ResponderProcess {
+            phase: RPhase::Enter,
+            t_start: None,
+            drain: None,
+        }
+    }
+}
+
+impl Default for ResponderProcess {
+    fn default() -> ResponderProcess {
+        ResponderProcess::new()
+    }
+}
+
+impl<S: HasKernel> Process<S, ()> for ResponderProcess {
+    fn step(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
+        let me = ctx.cpu_id;
+        match self.phase {
+            RPhase::Enter => {
+                if self.t_start.is_none() {
+                    self.t_start = Some(ctx.now);
+                    ctx.shared.kernel_mut().ipi_pending[me.index()] = false;
+                }
+                if ctx.shared.kernel_mut().action_needed[me.index()] {
+                    self.phase = RPhase::Deactivate;
+                } else {
+                    self.phase = RPhase::Exit;
+                }
+                Step::Run(ctx.costs().local_op + ctx.costs().cache_read)
+            }
+            RPhase::Deactivate => {
+                ctx.shared.kernel_mut().active.remove(me);
+                let stall = ctx.shared.kernel_mut().config.strategy.responders_stall();
+                self.drain = Some(DrainQueue::new(stall));
+                self.phase = RPhase::Draining;
+                Step::Run(ctx.costs().local_op + ctx.bus_write())
+            }
+            RPhase::Draining => {
+                let drain = self.drain.as_mut().expect("drain set in Deactivate");
+                match drain.step(ctx) {
+                    DrainStatus::Running(step) => step,
+                    DrainStatus::Finished(cost) => {
+                        self.drain = None;
+                        self.phase = RPhase::Reactivate;
+                        Step::Run(cost)
+                    }
+                }
+            }
+            RPhase::Reactivate => {
+                ctx.shared.kernel_mut().active.insert(me);
+                // Loop: a concurrent shootdown may have queued more work.
+                self.phase = RPhase::Enter;
+                Step::Run(ctx.costs().local_op + ctx.bus_write())
+            }
+            RPhase::Exit => {
+                let mut cost = ctx.costs().local_op;
+                if ctx.shared.kernel_mut().config.instrumentation && ctx.shared.kernel_mut().responder_sampled(me) {
+                    let t0 = self.t_start.expect("Enter ran first");
+                    ctx.shared.kernel_mut().xpr.record(ShootdownEvent::Responder(ResponderRecord {
+                        at: t0,
+                        cpu: me,
+                        elapsed: ctx.now.duration_since(t0),
+                    }));
+                    cost += ctx.costs().local_op * 4;
+                }
+                Step::Done(cost)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "shootdown-responder"
+    }
+}
+
+/// Marks `cpu` idle. Called by a dispatcher when it runs out of work; the
+/// caller charges the (two bus writes of) cost.
+pub fn enter_idle(shared: &mut KernelState, cpu: machtlb_sim::CpuId) {
+    shared.idle.insert(cpu);
+    shared.active.remove(cpu);
+}
+
+#[derive(Debug)]
+enum ExitPhase {
+    MarkNotIdle,
+    CheckActions,
+    Draining,
+    Activate,
+}
+
+/// The exit-idle protocol: "idle processors must check for queued
+/// consistency actions and execute them before becoming active"
+/// (Section 4). Ordering matters: the processor leaves the idle set
+/// *first*, so an initiator that still saw it idle has already queued the
+/// action this path will drain, and an initiator that sees it non-idle
+/// sends an interrupt.
+#[derive(Debug)]
+pub struct ExitIdleProcess {
+    phase: ExitPhase,
+    drain: Option<DrainQueue>,
+}
+
+impl ExitIdleProcess {
+    /// Creates the exit-idle step sequence. The embedding dispatcher drives
+    /// it to completion before running any thread.
+    pub fn new() -> ExitIdleProcess {
+        ExitIdleProcess {
+            phase: ExitPhase::MarkNotIdle,
+            drain: None,
+        }
+    }
+}
+
+impl Default for ExitIdleProcess {
+    fn default() -> ExitIdleProcess {
+        ExitIdleProcess::new()
+    }
+}
+
+impl<S: HasKernel> Process<S, ()> for ExitIdleProcess {
+    fn step(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
+        let me = ctx.cpu_id;
+        match self.phase {
+            ExitPhase::MarkNotIdle => {
+                ctx.shared.kernel_mut().idle.remove(me);
+                self.phase = ExitPhase::CheckActions;
+                Step::Run(ctx.costs().local_op + ctx.bus_write())
+            }
+            ExitPhase::CheckActions => {
+                if ctx.shared.kernel_mut().action_needed[me.index()] {
+                    self.drain = Some(DrainQueue::new(true));
+                    self.phase = ExitPhase::Draining;
+                } else {
+                    self.phase = ExitPhase::Activate;
+                }
+                Step::Run(ctx.costs().cache_read)
+            }
+            ExitPhase::Draining => {
+                let drain = self.drain.as_mut().expect("drain set in CheckActions");
+                match drain.step(ctx) {
+                    DrainStatus::Running(step) => step,
+                    DrainStatus::Finished(cost) => {
+                        self.drain = None;
+                        self.phase = ExitPhase::Activate;
+                        Step::Run(cost)
+                    }
+                }
+            }
+            ExitPhase::Activate => {
+                ctx.shared.kernel_mut().active.insert(me);
+                Step::Done(ctx.costs().local_op + ctx.bus_write())
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "exit-idle"
+    }
+}
+
+/// Convenience for checking that an embedded pmap-id field matches reality
+/// in debug assertions.
+#[allow(dead_code)]
+fn debug_pmap_exists(shared: &KernelState, id: PmapId) -> bool {
+    (id.raw() as usize) < shared.pmaps.len()
+}

@@ -1,0 +1,537 @@
+//! The kernel's shared memory image: every structure the shootdown
+//! algorithm and its clients manipulate.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use machtlb_pmap::{CpuSet, Pfn, Pmap, PmapId};
+use machtlb_sim::{CpuId, SpinLock};
+use machtlb_tlb::{Tlb, TlbConfig};
+use machtlb_xpr::{ShootdownEvent, XprBuffer};
+
+use crate::checker::Checker;
+use crate::queue::ActionQueue;
+use crate::strategy::Strategy;
+
+/// A pmap change whose consistency commit is deferred until every
+/// processor's TLB has been flushed after the change was applied — the
+/// epoch mechanism of the [`Strategy::TimerDelayed`] technique.
+#[derive(Clone, Debug)]
+pub struct PendingCommit {
+    /// The pmap changed.
+    pub pmap: machtlb_pmap::PmapId,
+    /// The new translations (applied to the page table already).
+    pub changes: Vec<(machtlb_pmap::Vpn, machtlb_pmap::Pte)>,
+    /// When the change was applied.
+    pub applied_at: machtlb_sim::Time,
+}
+
+/// 64-bit words per 4 KiB page.
+pub const WORDS_PER_PAGE: u64 = 512;
+
+/// Kernel configuration: the algorithm and hardware variant under test.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_core::{KernelConfig, Strategy};
+///
+/// // The Table 1 ablation: same kernel, lazy evaluation off.
+/// let ablated = KernelConfig { lazy_eval: false, ..KernelConfig::default() };
+/// assert_eq!(ablated.strategy, Strategy::Shootdown);
+/// assert!(!ablated.lazy_eval);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// The consistency strategy.
+    pub strategy: Strategy,
+    /// Whether the lazy-evaluation check for valid mappings is enabled
+    /// (disabled for the Table 1 ablation).
+    pub lazy_eval: bool,
+    /// Whether the machine has the Section 9 high-priority software
+    /// interrupt: device handlers and kernel device-critical sections then
+    /// leave shootdown IPIs deliverable.
+    pub high_prio_ipi: bool,
+    /// The TLB hardware on every processor.
+    pub tlb: TlbConfig,
+    /// Capacity of each per-processor action queue (small by design).
+    pub action_queue_capacity: usize,
+    /// Capacity of the xpr trace buffer ("sized so that it would never
+    /// overflow during our test runs").
+    pub xpr_capacity: usize,
+    /// Whether instrumentation records events at all (the Section 6.1
+    /// perturbation experiment turns it off).
+    pub instrumentation: bool,
+    /// If set, responder events are recorded only on these processors (the
+    /// paper records on 5 of 16 "to avoid lock contention effects in the
+    /// xpr package").
+    pub responder_sample: Option<Vec<CpuId>>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            strategy: Strategy::Shootdown,
+            lazy_eval: true,
+            high_prio_ipi: false,
+            tlb: TlbConfig::multimax(),
+            action_queue_capacity: 4,
+            xpr_capacity: 1 << 16,
+            instrumentation: true,
+            responder_sample: None,
+        }
+    }
+}
+
+/// Cumulative kernel counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Pmap operations executed.
+    pub pmap_ops: u64,
+    /// Shootdowns initiated on the kernel pmap.
+    pub shootdowns_kernel: u64,
+    /// Shootdowns initiated on user pmaps.
+    pub shootdowns_user: u64,
+    /// Operations where the lazy-evaluation check skipped the shootdown.
+    pub lazy_skips: u64,
+    /// Page faults taken.
+    pub faults: u64,
+    /// Unrecoverable faults (no valid VM mapping permits the access).
+    pub unrecoverable_faults: u64,
+    /// Shootdown IPIs sent.
+    pub ipis_sent: u64,
+    /// Pages evicted by the pageout daemon.
+    pub pageouts: u64,
+    /// Dirty pages the pageout daemon wrote before evicting.
+    pub pageout_writes: u64,
+}
+
+/// Physical memory contents: 64-bit words, allocated per frame on first
+/// touch. Gives workloads (notably the Section 5.1 consistency tester)
+/// real data to read and write through translations.
+#[derive(Clone, Debug, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Vec<u64>>,
+}
+
+impl PhysMem {
+    /// Reads the `word`-th 64-bit word of frame `pfn` (0 if never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of page bounds.
+    pub fn read_word(&self, pfn: Pfn, word: u64) -> u64 {
+        assert!(word < WORDS_PER_PAGE, "word index {word} out of page");
+        self.pages
+            .get(&pfn.raw())
+            .map_or(0, |p| p[word as usize])
+    }
+
+    /// Writes the `word`-th 64-bit word of frame `pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of page bounds.
+    pub fn write_word(&mut self, pfn: Pfn, word: u64, value: u64) {
+        assert!(word < WORDS_PER_PAGE, "word index {word} out of page");
+        self.pages
+            .entry(pfn.raw())
+            .or_insert_with(|| vec![0; WORDS_PER_PAGE as usize])[word as usize] = value;
+    }
+
+    /// Copies the contents of frame `src` to frame `dst` (COW resolution).
+    pub fn copy_page(&mut self, src: Pfn, dst: Pfn) {
+        let data = self.pages.get(&src.raw()).cloned();
+        match data {
+            Some(d) => {
+                self.pages.insert(dst.raw(), d);
+            }
+            None => {
+                self.pages.remove(&dst.raw());
+            }
+        }
+    }
+}
+
+/// A bump allocator of physical frames.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    next: u64,
+    allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator starting above the (notional) kernel image.
+    pub fn new() -> FrameAllocator {
+        FrameAllocator {
+            next: 0x1000,
+            allocated: 0,
+        }
+    }
+
+    /// Allocates a fresh frame.
+    pub fn alloc(&mut self) -> Pfn {
+        let pfn = Pfn::new(self.next);
+        self.next += 1;
+        self.allocated += 1;
+        pfn
+    }
+
+    /// Frames handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+impl Default for FrameAllocator {
+    fn default() -> FrameAllocator {
+        FrameAllocator::new()
+    }
+}
+
+/// The registry of pmaps: index 0 is the kernel pmap.
+pub struct PmapRegistry {
+    pmaps: Vec<Pmap>,
+    n_cpus: usize,
+}
+
+impl PmapRegistry {
+    fn new(n_cpus: usize) -> PmapRegistry {
+        let mut kernel = Pmap::new(PmapId::KERNEL, n_cpus);
+        // The kernel is "a multi-threaded task that is potentially
+        // executing on all processors" (Section 2): its pmap is always in
+        // use everywhere.
+        for i in 0..n_cpus {
+            kernel.mark_in_use(CpuId::new(i as u32));
+        }
+        PmapRegistry {
+            pmaps: vec![kernel],
+            n_cpus,
+        }
+    }
+
+    /// Creates a new user pmap and returns its id.
+    pub fn create(&mut self) -> PmapId {
+        let id = PmapId::new(self.pmaps.len() as u32);
+        self.pmaps.push(Pmap::new(id, self.n_cpus));
+        id
+    }
+
+    /// The pmap with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created.
+    pub fn get(&self, id: PmapId) -> &Pmap {
+        &self.pmaps[id.raw() as usize]
+    }
+
+    /// Mutable access to a pmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created.
+    pub fn get_mut(&mut self, id: PmapId) -> &mut Pmap {
+        &mut self.pmaps[id.raw() as usize]
+    }
+
+    /// The kernel pmap.
+    pub fn kernel(&self) -> &Pmap {
+        &self.pmaps[0]
+    }
+
+    /// Number of pmaps (including the kernel pmap).
+    pub fn len(&self) -> usize {
+        self.pmaps.len()
+    }
+
+    /// Always false: the kernel pmap exists from boot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all pmaps.
+    pub fn iter(&self) -> impl Iterator<Item = &Pmap> {
+        self.pmaps.iter()
+    }
+}
+
+impl fmt::Debug for PmapRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmapRegistry")
+            .field("len", &self.pmaps.len())
+            .finish()
+    }
+}
+
+/// Access to the kernel image from a larger shared-state composition.
+///
+/// The kernel's processes ([`PmapOpProcess`](crate::PmapOpProcess),
+/// [`ResponderProcess`](crate::ResponderProcess), …) are generic over any
+/// shared state that exposes a [`KernelState`], so higher layers (the VM
+/// system, the workloads) can embed the kernel image in their own machine
+/// state.
+pub trait HasKernel {
+    /// The kernel image.
+    fn kernel(&self) -> &KernelState;
+    /// Mutable access to the kernel image.
+    fn kernel_mut(&mut self) -> &mut KernelState;
+}
+
+impl HasKernel for KernelState {
+    fn kernel(&self) -> &KernelState {
+        self
+    }
+    fn kernel_mut(&mut self) -> &mut KernelState {
+        self
+    }
+}
+
+/// The kernel's shared memory image — the `S` parameter of the simulated
+/// [`Machine`](machtlb_sim::Machine). Everything in here is "memory": the
+/// time cost of touching it is charged by the processes that do.
+pub struct KernelState {
+    /// Number of processors.
+    pub n_cpus: usize,
+    /// The configuration under test.
+    pub config: KernelConfig,
+    /// All pmaps.
+    pub pmaps: PmapRegistry,
+    /// Per-processor TLBs (hardware state, held centrally so the checker
+    /// and the remote-invalidation strategy can reach every buffer).
+    pub tlbs: Vec<Tlb>,
+    /// The set of processors actively performing translations.
+    pub active: CpuSet,
+    /// The set of idle processors (not sent shootdown interrupts).
+    pub idle: CpuSet,
+    /// Per-processor "a consistency action is needed" flags.
+    pub action_needed: Vec<bool>,
+    /// Per-processor action queues.
+    pub queues: Vec<ActionQueue>,
+    /// Per-processor locks protecting the action queues.
+    pub queue_locks: Vec<SpinLock>,
+    /// Per-processor "a shootdown interrupt is already in flight" flags
+    /// (omitted detail 3 of Section 4).
+    pub ipi_pending: Vec<bool>,
+    /// The user pmap each processor is currently executing in, if any.
+    pub cur_user_pmap: Vec<Option<PmapId>>,
+    /// The trace buffer.
+    pub xpr: XprBuffer<ShootdownEvent>,
+    /// The consistency oracle.
+    pub checker: Checker,
+    /// Kernel counters.
+    pub stats: KernelStats,
+    /// Physical memory words.
+    pub mem: PhysMem,
+    /// Frame allocator.
+    pub frames: FrameAllocator,
+    /// Per-processor time of the last whole-TLB timer flush (the
+    /// timer-delayed technique's epoch clock).
+    pub tlb_flush_stamp: Vec<machtlb_sim::Time>,
+    /// Changes applied but not yet consistency-committed (timer-delayed
+    /// technique only).
+    pub pending_commits: Vec<PendingCommit>,
+}
+
+impl KernelState {
+    /// Builds the boot-time kernel image for an `n_cpus` machine.
+    ///
+    /// All processors start *idle*: a processor must pass through the
+    /// exit-idle protocol (draining any queued consistency actions) before
+    /// performing translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured strategy is unsupportable on the configured
+    /// TLB hardware (see [`Strategy::check_hardware`]).
+    pub fn new(n_cpus: usize, config: KernelConfig) -> KernelState {
+        if let Err(e) = config.strategy.check_hardware(&config.tlb) {
+            panic!("invalid kernel configuration: {e}");
+        }
+        KernelState {
+            n_cpus,
+            pmaps: PmapRegistry::new(n_cpus),
+            tlbs: (0..n_cpus).map(|_| Tlb::new(config.tlb)).collect(),
+            active: CpuSet::new(n_cpus),
+            idle: CpuSet::full(n_cpus),
+            action_needed: vec![false; n_cpus],
+            queues: (0..n_cpus)
+                .map(|_| ActionQueue::new(config.action_queue_capacity))
+                .collect(),
+            queue_locks: (0..n_cpus).map(|_| SpinLock::new()).collect(),
+            ipi_pending: vec![false; n_cpus],
+            cur_user_pmap: vec![None; n_cpus],
+            xpr: XprBuffer::new(config.xpr_capacity),
+            checker: Checker::new(),
+            stats: KernelStats::default(),
+            mem: PhysMem::default(),
+            frames: FrameAllocator::new(),
+            tlb_flush_stamp: vec![machtlb_sim::Time::ZERO; n_cpus],
+            pending_commits: Vec::new(),
+            config,
+        }
+    }
+
+    /// Commits every pending change all processors have flushed past
+    /// (timer-delayed technique). Returns how many commits matured.
+    pub fn mature_pending_commits(&mut self, now: machtlb_sim::Time) -> usize {
+        let oldest_flush = self
+            .tlb_flush_stamp
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(machtlb_sim::Time::ZERO);
+        let mut matured = 0;
+        let mut i = 0;
+        while i < self.pending_commits.len() {
+            if self.pending_commits[i].applied_at < oldest_flush {
+                let pc = self.pending_commits.swap_remove(i);
+                for (vpn, pte) in pc.changes {
+                    self.checker.commit(pc.pmap, vpn, pte, now);
+                }
+                matured += 1;
+            } else {
+                i += 1;
+            }
+        }
+        matured
+    }
+
+    /// The TLB of processor `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn tlb(&self, cpu: CpuId) -> &Tlb {
+        &self.tlbs[cpu.index()]
+    }
+
+    /// Whether a responder event on `cpu` should be recorded, per the
+    /// sampling configuration.
+    pub fn responder_sampled(&self, cpu: CpuId) -> bool {
+        match &self.config.responder_sample {
+            None => true,
+            Some(sample) => sample.contains(&cpu),
+        }
+    }
+
+    /// Test and bring-up helper: marks `cpu` active without the exit-idle
+    /// protocol. Only valid when no shootdown can be in flight.
+    pub fn force_active(&mut self, cpu: CpuId) {
+        self.idle.remove(cpu);
+        self.active.insert(cpu);
+    }
+
+    /// Bring-up helper: installs a mapping directly in a pmap's page table
+    /// and commits it to the consistency oracle at boot time, as if an
+    /// operation had entered it before the measured run began.
+    pub fn seed_mapping(
+        &mut self,
+        pmap: PmapId,
+        vpn: machtlb_pmap::Vpn,
+        pfn: Pfn,
+        prot: machtlb_pmap::Prot,
+    ) {
+        let pte = machtlb_pmap::Pte::valid(pfn, prot);
+        self.pmaps.get_mut(pmap).table_mut().set(vpn, pte);
+        self.checker.commit(pmap, vpn, pte, machtlb_sim::Time::ZERO);
+    }
+
+    /// All initiator records currently in the trace buffer.
+    pub fn initiator_records(&self) -> Vec<machtlb_xpr::InitiatorRecord> {
+        self.xpr.iter().filter_map(|e| e.as_initiator().copied()).collect()
+    }
+
+    /// All responder records currently in the trace buffer.
+    pub fn responder_records(&self) -> Vec<machtlb_xpr::ResponderRecord> {
+        self.xpr.iter().filter_map(|e| e.as_responder().copied()).collect()
+    }
+}
+
+impl fmt::Debug for KernelState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelState")
+            .field("n_cpus", &self.n_cpus)
+            .field("strategy", &self.config.strategy)
+            .field("pmaps", &self.pmaps.len())
+            .field("active", &self.active)
+            .field("idle", &self.idle)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_state_is_all_idle() {
+        let s = KernelState::new(4, KernelConfig::default());
+        assert_eq!(s.idle.len(), 4);
+        assert!(s.active.is_empty());
+        assert_eq!(s.pmaps.len(), 1);
+        assert_eq!(s.pmaps.kernel().in_use().len(), 4, "kernel pmap in use everywhere");
+    }
+
+    #[test]
+    fn create_pmap_assigns_sequential_ids() {
+        let mut s = KernelState::new(2, KernelConfig::default());
+        let a = s.pmaps.create();
+        let b = s.pmaps.create();
+        assert_eq!(a, PmapId::new(1));
+        assert_eq!(b, PmapId::new(2));
+        assert!(s.pmaps.get(a).in_use().is_empty());
+    }
+
+    #[test]
+    fn phys_mem_round_trips_and_copies() {
+        let mut m = PhysMem::default();
+        let a = Pfn::new(1);
+        let b = Pfn::new(2);
+        assert_eq!(m.read_word(a, 0), 0);
+        m.write_word(a, 7, 42);
+        assert_eq!(m.read_word(a, 7), 42);
+        m.copy_page(a, b);
+        assert_eq!(m.read_word(b, 7), 42);
+        m.write_word(b, 7, 1);
+        assert_eq!(m.read_word(a, 7), 42, "copy is by value");
+    }
+
+    #[test]
+    fn frame_allocator_is_monotonic() {
+        let mut f = FrameAllocator::new();
+        let a = f.alloc();
+        let b = f.alloc();
+        assert_ne!(a, b);
+        assert_eq!(f.allocated(), 2);
+    }
+
+    #[test]
+    fn responder_sampling_filters() {
+        let cfg = KernelConfig {
+            responder_sample: Some(vec![CpuId::new(1), CpuId::new(3)]),
+            ..KernelConfig::default()
+        };
+        let s = KernelState::new(4, cfg);
+        assert!(s.responder_sampled(CpuId::new(1)));
+        assert!(!s.responder_sampled(CpuId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kernel configuration")]
+    fn invalid_strategy_hardware_combo_rejected() {
+        let cfg = KernelConfig {
+            strategy: Strategy::HardwareRemoteInvalidate,
+            ..KernelConfig::default()
+        };
+        let _ = KernelState::new(2, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn phys_mem_bounds_checked() {
+        let m = PhysMem::default();
+        let _ = m.read_word(Pfn::new(1), WORDS_PER_PAGE);
+    }
+}

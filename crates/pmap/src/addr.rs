@@ -1,0 +1,303 @@
+//! Virtual and physical addresses, page numbers, and page ranges.
+//!
+//! The simulated MMU uses a 32-bit virtual address space with 4 KiB pages:
+//! 20 bits of virtual page number split 10/10 across a two-level page table,
+//! matching the NS32382 MMU organisation the paper's pmap module targets.
+
+use std::fmt;
+
+/// Bytes per page.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Virtual page number bits (32-bit VA, 4 KiB pages).
+pub const VPN_BITS: u32 = 20;
+/// Number of virtual pages in an address space.
+pub const VPN_SPAN: u64 = 1 << VPN_BITS;
+
+/// A virtual address.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{Vaddr, Vpn};
+///
+/// let va = Vaddr::new(0x0040_1234);
+/// assert_eq!(va.vpn(), Vpn::new(0x401));
+/// assert_eq!(va.page_offset(), 0x234);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vaddr(u64);
+
+impl Vaddr {
+    /// Creates a virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address does not fit in 32 bits.
+    pub fn new(addr: u64) -> Vaddr {
+        assert!(addr < (1 << 32), "virtual address {addr:#x} exceeds 32 bits");
+        Vaddr(addr)
+    }
+
+    /// The raw address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page containing this address.
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl fmt::Display for Vaddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#010x}", self.0)
+    }
+}
+
+/// A physical address.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Paddr(u64);
+
+impl Paddr {
+    /// Creates a physical address.
+    pub const fn new(addr: u64) -> Paddr {
+        Paddr(addr)
+    }
+
+    /// The raw address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical frame containing this address.
+    pub const fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The offset within the frame.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl fmt::Display for Paddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#010x}", self.0)
+    }
+}
+
+/// A virtual page number.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(u64);
+
+impl Vpn {
+    /// Creates a virtual page number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the 20-bit VPN space.
+    pub fn new(n: u64) -> Vpn {
+        assert!(n < VPN_SPAN, "vpn {n:#x} exceeds {VPN_BITS}-bit space");
+        Vpn(n)
+    }
+
+    /// The raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first address of the page.
+    pub const fn base(self) -> Vaddr {
+        Vaddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `n` pages after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result leaves the VPN space.
+    pub fn offset(self, n: u64) -> Vpn {
+        Vpn::new(self.0 + n)
+    }
+
+    /// The root-level page-table index (upper 10 bits).
+    pub const fn root_index(self) -> usize {
+        (self.0 >> 10) as usize
+    }
+
+    /// The leaf-level page-table index (lower 10 bits).
+    pub const fn leaf_index(self) -> usize {
+        (self.0 & 0x3ff) as usize
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#07x}", self.0)
+    }
+}
+
+/// A physical frame number.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(u64);
+
+impl Pfn {
+    /// Creates a physical frame number.
+    pub const fn new(n: u64) -> Pfn {
+        Pfn(n)
+    }
+
+    /// The raw frame number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first address of the frame.
+    pub const fn base(self) -> Paddr {
+        Paddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// A contiguous, page-aligned range of virtual pages — the unit every Mach
+/// address-space operation applies to.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{PageRange, Vpn};
+///
+/// let r = PageRange::new(Vpn::new(0x10), 3);
+/// let pages: Vec<Vpn> = r.iter().collect();
+/// assert_eq!(pages, vec![Vpn::new(0x10), Vpn::new(0x11), Vpn::new(0x12)]);
+/// assert!(r.contains(Vpn::new(0x12)));
+/// assert!(!r.contains(Vpn::new(0x13)));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PageRange {
+    start: Vpn,
+    count: u64,
+}
+
+impl PageRange {
+    /// A range of `count` pages starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves the VPN space.
+    pub fn new(start: Vpn, count: u64) -> PageRange {
+        assert!(
+            start.raw() + count <= VPN_SPAN,
+            "page range {}+{count} exceeds the address space",
+            start
+        );
+        PageRange { start, count }
+    }
+
+    /// The single-page range containing `vpn`.
+    pub fn single(vpn: Vpn) -> PageRange {
+        PageRange { start: vpn, count: 1 }
+    }
+
+    /// First page of the range.
+    pub const fn start(self) -> Vpn {
+        self.start
+    }
+
+    /// One past the last page of the range.
+    pub const fn end(self) -> Vpn {
+        Vpn(self.start.0 + self.count)
+    }
+
+    /// Number of pages.
+    pub const fn count(self) -> u64 {
+        self.count
+    }
+
+    /// True if the range is empty.
+    pub const fn is_empty(self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `vpn` lies within the range.
+    pub const fn contains(self, vpn: Vpn) -> bool {
+        vpn.0 >= self.start.0 && vpn.0 < self.start.0 + self.count
+    }
+
+    /// Whether the two ranges share any page.
+    pub const fn overlaps(self, other: PageRange) -> bool {
+        self.start.0 < other.start.0 + other.count && other.start.0 < self.start.0 + self.count
+    }
+
+    /// Iterates over the pages of the range in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Vpn> {
+        (self.start.0..self.start.0 + self.count).map(Vpn)
+    }
+}
+
+impl fmt::Display for PageRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_decomposition() {
+        let va = Vaddr::new(0xdead_b000 & 0xffff_ffff);
+        assert_eq!(va.vpn().base().raw(), va.raw() & !(PAGE_SIZE - 1));
+        assert_eq!(Vaddr::new(0x1234).page_offset(), 0x234);
+    }
+
+    #[test]
+    fn vpn_index_split_matches_two_level_layout() {
+        let vpn = Vpn::new(0b1100110011_0101010101);
+        assert_eq!(vpn.root_index(), 0b1100110011);
+        assert_eq!(vpn.leaf_index(), 0b0101010101);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32 bits")]
+    fn vaddr_rejects_wide_addresses() {
+        let _ = Vaddr::new(1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the address space")]
+    fn range_rejects_overflow() {
+        let _ = PageRange::new(Vpn::new(VPN_SPAN - 1), 2);
+    }
+
+    #[test]
+    fn range_overlap_cases() {
+        let a = PageRange::new(Vpn::new(10), 5); // [10,15)
+        assert!(a.overlaps(PageRange::new(Vpn::new(14), 1)));
+        assert!(a.overlaps(PageRange::new(Vpn::new(8), 3)));
+        assert!(!a.overlaps(PageRange::new(Vpn::new(15), 4)));
+        assert!(!a.overlaps(PageRange::new(Vpn::new(2), 8)));
+        assert!(!a.overlaps(PageRange::new(Vpn::new(15), 0)));
+    }
+
+    #[test]
+    fn pfn_paddr_round_trip() {
+        let pfn = Pfn::new(0x321);
+        assert_eq!(pfn.base().pfn(), pfn);
+        assert_eq!(Paddr::new(0x321fff).pfn(), pfn);
+    }
+}

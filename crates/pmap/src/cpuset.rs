@@ -1,0 +1,213 @@
+//! Sets of processors.
+//!
+//! The shootdown algorithm manipulates several processor sets (Section 4):
+//! the *active* set, the *idle* set, and a per-pmap *in-use* set. They are
+//! bit vectors in shared memory; the time cost of reading or writing them is
+//! charged by the processes that do so.
+
+use std::fmt;
+
+use machtlb_sim::CpuId;
+
+/// A set of processors, implemented as a bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::CpuSet;
+/// use machtlb_sim::CpuId;
+///
+/// let mut set = CpuSet::new(16);
+/// set.insert(CpuId::new(3));
+/// set.insert(CpuId::new(11));
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(CpuId::new(3)));
+/// let members: Vec<CpuId> = set.iter().collect();
+/// assert_eq!(members, vec![CpuId::new(3), CpuId::new(11)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CpuSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl CpuSet {
+    /// Creates an empty set able to hold processors `0..capacity`.
+    pub fn new(capacity: usize) -> CpuSet {
+        CpuSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing all of `0..capacity`.
+    pub fn full(capacity: usize) -> CpuSet {
+        let mut s = CpuSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(CpuId::new(i as u32));
+        }
+        s
+    }
+
+    /// The number of processors the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn check(&self, cpu: CpuId) {
+        assert!(
+            cpu.index() < self.capacity,
+            "{cpu} out of range for CpuSet of capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Adds `cpu`. Returns whether it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` exceeds the capacity.
+    pub fn insert(&mut self, cpu: CpuId) -> bool {
+        self.check(cpu);
+        let (w, b) = (cpu.index() / 64, cpu.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `cpu`. Returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` exceeds the capacity.
+    pub fn remove(&mut self, cpu: CpuId) -> bool {
+        self.check(cpu);
+        let (w, b) = (cpu.index() / 64, cpu.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Whether `cpu` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` exceeds the capacity.
+    pub fn contains(&self, cpu: CpuId) -> bool {
+        self.check(cpu);
+        let (w, b) = (cpu.index() / 64, cpu.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of processors in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no processor is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all processors.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = CpuId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| CpuId::new((wi * 64 + b) as u32))
+        })
+    }
+
+    /// Whether any member other than `cpu` is present — the initiator's
+    /// "other cpus using pmap" test.
+    pub fn any_other_than(&self, cpu: CpuId) -> bool {
+        self.iter().any(|c| c != cpu)
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<CpuId> for CpuSet {
+    /// Collects ids into a set sized to the largest id seen (capacity is
+    /// `max_id + 1`; empty input yields capacity 0).
+    fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> CpuSet {
+        let ids: Vec<CpuId> = iter.into_iter().collect();
+        let cap = ids.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+        let mut s = CpuSet::new(cap);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CpuSet::new(128);
+        assert!(s.insert(CpuId::new(0)));
+        assert!(s.insert(CpuId::new(127)));
+        assert!(!s.insert(CpuId::new(0)), "double insert reports false");
+        assert!(s.contains(CpuId::new(127)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(CpuId::new(0)));
+        assert!(!s.remove(CpuId::new(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = CpuSet::full(16);
+        assert_eq!(s.len(), 16);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let s: CpuSet = [5u32, 1, 70, 64].into_iter().map(CpuId::new).collect();
+        let got: Vec<usize> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(got, vec![1, 5, 64, 70]);
+    }
+
+    #[test]
+    fn any_other_than_ignores_self() {
+        let mut s = CpuSet::new(4);
+        s.insert(CpuId::new(2));
+        assert!(!s.any_other_than(CpuId::new(2)));
+        s.insert(CpuId::new(3));
+        assert!(s.any_other_than(CpuId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = CpuSet::new(8);
+        let _ = s.contains(CpuId::new(8));
+    }
+}

@@ -1,0 +1,165 @@
+//! # machtlb-pmap — the physical map layer
+//!
+//! The machine-dependent memory-management substrate of the `machtlb`
+//! reproduction of *Translation Lookaside Buffer Consistency: A Software
+//! Approach* (Black et al., ASPLOS 1989): addresses and protections
+//! ([`Vaddr`], [`Prot`]), page-table entries with referenced/modified bits
+//! ([`Pte`]), NS32382-style two-level page tables with chunk-aware range
+//! operations ([`PageTable`]), processor sets ([`CpuSet`]), and the [`Pmap`]
+//! object itself — page table plus the exclusive lock and in-use set the
+//! shootdown algorithm synchronises on.
+//!
+//! The *time* costs of manipulating these structures are charged by the
+//! kernel state machines in `machtlb-core`; this crate holds the data and
+//! its invariants.
+//!
+//! # Examples
+//!
+//! ```
+//! use machtlb_pmap::{PageRange, Pfn, Pmap, PmapId, Prot, Pte, Vpn};
+//!
+//! let mut pmap = Pmap::new(PmapId::new(1), 16);
+//! pmap.table_mut().set(Vpn::new(0x100), Pte::valid(Pfn::new(5), Prot::READ_WRITE));
+//!
+//! // The lazy-evaluation check that avoids needless shootdowns:
+//! assert!(pmap.table().any_valid_in(PageRange::new(Vpn::new(0x100), 1)));
+//! assert!(!pmap.table().any_valid_in(PageRange::new(Vpn::new(0x200), 64)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod cpuset;
+mod pmap;
+mod prot;
+mod pte;
+mod table;
+
+pub use addr::{PageRange, Paddr, Pfn, Vaddr, Vpn, PAGE_SHIFT, PAGE_SIZE, VPN_BITS, VPN_SPAN};
+pub use cpuset::CpuSet;
+pub use pmap::{Pmap, PmapId, PmapStats};
+pub use prot::{Access, Prot};
+pub use pte::Pte;
+pub use table::{PageTable, ValidIn, LEAF_ENTRIES, ROOT_ENTRIES};
+
+#[cfg(test)]
+mod proptests {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// A trivially correct model of a page table: a hash map.
+    #[derive(Default)]
+    struct Model {
+        map: HashMap<u64, Pte>,
+    }
+
+    impl Model {
+        fn set(&mut self, vpn: u64, pte: Pte) {
+            if pte.valid {
+                self.map.insert(vpn, pte);
+            } else {
+                self.map.remove(&vpn);
+            }
+        }
+        fn get(&self, vpn: u64) -> Pte {
+            self.map.get(&vpn).copied().unwrap_or(Pte::INVALID)
+        }
+        fn remove_range(&mut self, start: u64, count: u64) -> u64 {
+            let victims: Vec<u64> = self
+                .map
+                .keys()
+                .copied()
+                .filter(|&v| v >= start && v < start + count)
+                .collect();
+            for v in &victims {
+                self.map.remove(v);
+            }
+            victims.len() as u64
+        }
+        fn protect_range(&mut self, start: u64, count: u64, prot: Prot) -> u64 {
+            let mut changed = 0;
+            for (&v, pte) in self.map.iter_mut() {
+                if v >= start && v < start + count && pte.prot != prot {
+                    pte.prot = prot;
+                    changed += 1;
+                }
+            }
+            changed
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Set(u64, u64, bool),
+        Remove(u64, u64),
+        Protect(u64, u64, bool),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Confine activity to a small VPN window spanning a chunk boundary
+        // so range operations hit missing, partial, and full chunks.
+        let vpn = 900u64..1200;
+        let count = 1u64..200;
+        prop_oneof![
+            (vpn.clone(), 0u64..64, any::<bool>()).prop_map(|(v, p, w)| Op::Set(v, p, w)),
+            (vpn.clone(), count.clone()).prop_map(|(v, c)| Op::Remove(v, c)),
+            (vpn, count, any::<bool>()).prop_map(|(v, c, w)| Op::Protect(v, c, w)),
+        ]
+    }
+
+    proptest! {
+        /// The chunked two-level table agrees with a flat map under any
+        /// sequence of set/remove/protect operations.
+        #[test]
+        fn table_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+            let mut table = PageTable::new();
+            let mut model = Model::default();
+            for op in ops {
+                match op {
+                    Op::Set(v, p, w) => {
+                        let prot = if w { Prot::READ_WRITE } else { Prot::READ };
+                        let pte = if p == 0 { Pte::INVALID } else { Pte::valid(Pfn::new(p), prot) };
+                        table.set(Vpn::new(v), pte);
+                        model.set(v, pte);
+                    }
+                    Op::Remove(v, c) => {
+                        let got = table.remove_range(PageRange::new(Vpn::new(v), c));
+                        let want = model.remove_range(v, c);
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::Protect(v, c, w) => {
+                        let prot = if w { Prot::READ_WRITE } else { Prot::READ };
+                        let got = table.protect_range(PageRange::new(Vpn::new(v), c), prot);
+                        let want = model.protect_range(v, c, prot);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(table.valid_count(), model.map.len() as u64);
+            }
+            // Point queries agree everywhere in the window.
+            for v in 900..1200 {
+                prop_assert_eq!(table.get(Vpn::new(v)), model.get(v));
+            }
+        }
+
+        /// `any_valid_in` agrees with a brute-force scan.
+        #[test]
+        fn any_valid_matches_bruteforce(
+            sets in proptest::collection::vec((0u64..4096, 1u64..32), 0..20),
+            start in 0u64..4096,
+            count in 1u64..512,
+        ) {
+            let mut table = PageTable::new();
+            for (v, p) in &sets {
+                table.set(Vpn::new(*v), Pte::valid(Pfn::new(*p), Prot::READ));
+            }
+            let range = PageRange::new(Vpn::new(start), count.min(VPN_SPAN - start));
+            let brute = range.iter().any(|v| table.get(v).valid);
+            prop_assert_eq!(table.any_valid_in(range), brute);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The physical map: the machine-dependent object the shootdown algorithm
+//! protects.
+//!
+//! A [`Pmap`] bundles the page table with the shared-memory state the
+//! algorithm in Section 4 manipulates: the exclusive pmap lock the initiator
+//! holds across its update (and responders spin on), and the per-pmap set of
+//! processors currently using the pmap, maintained by the bookkeeping calls
+//! from the machine-independent layer.
+
+use std::fmt;
+
+use machtlb_sim::{CpuId, SpinLock};
+
+use crate::cpuset::CpuSet;
+use crate::table::PageTable;
+
+/// A pmap identifier. Id 0 is the kernel pmap, which is "potentially
+/// executing on all processors of a multiprocessor" (Section 2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PmapId(u32);
+
+impl PmapId {
+    /// The kernel pmap.
+    pub const KERNEL: PmapId = PmapId(0);
+
+    /// Creates a pmap id.
+    pub const fn new(n: u32) -> PmapId {
+        PmapId(n)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the kernel pmap.
+    pub const fn is_kernel(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PmapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_kernel() {
+            write!(f, "pmap:kernel")
+        } else {
+            write!(f, "pmap:{}", self.0)
+        }
+    }
+}
+
+/// Cumulative per-pmap operation counts.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PmapStats {
+    /// Mappings entered (validate operations and fault fills).
+    pub enters: u64,
+    /// Range removals executed.
+    pub removes: u64,
+    /// Range protection changes executed.
+    pub protects: u64,
+    /// Times the pmap was destroyed and reconstructed.
+    pub destroys: u64,
+    /// Referenced-bit clearing passes executed (pageout aging).
+    pub ref_clears: u64,
+}
+
+/// A physical map: page table, exclusive lock, and in-use processor set.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{Pmap, PmapId};
+/// use machtlb_sim::CpuId;
+///
+/// let mut pmap = Pmap::new(PmapId::new(3), 16);
+/// pmap.mark_in_use(CpuId::new(2));
+/// assert!(pmap.in_use().contains(CpuId::new(2)));
+/// assert!(!pmap.in_use().any_other_than(CpuId::new(2)));
+/// ```
+pub struct Pmap {
+    id: PmapId,
+    table: PageTable,
+    lock: SpinLock,
+    in_use: CpuSet,
+    stats: PmapStats,
+}
+
+impl Pmap {
+    /// Creates an empty pmap for a machine with `n_cpus` processors.
+    pub fn new(id: PmapId, n_cpus: usize) -> Pmap {
+        Pmap {
+            id,
+            table: PageTable::new(),
+            lock: SpinLock::new(),
+            in_use: CpuSet::new(n_cpus),
+            stats: PmapStats::default(),
+        }
+    }
+
+    /// This pmap's id.
+    pub fn id(&self) -> PmapId {
+        self.id
+    }
+
+    /// The page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Mutable access to the page table. The caller is responsible for
+    /// holding the pmap lock across mutations, as the shootdown protocol
+    /// requires.
+    pub fn table_mut(&mut self) -> &mut PageTable {
+        &mut self.table
+    }
+
+    /// The exclusive pmap lock.
+    pub fn lock(&self) -> &SpinLock {
+        &self.lock
+    }
+
+    /// Mutable access to the lock (to acquire/release it).
+    pub fn lock_mut(&mut self) -> &mut SpinLock {
+        &mut self.lock
+    }
+
+    /// The set of processors currently using this pmap.
+    pub fn in_use(&self) -> &CpuSet {
+        &self.in_use
+    }
+
+    /// Bookkeeping: `cpu` started using this pmap (thread dispatch /
+    /// context switch in).
+    pub fn mark_in_use(&mut self, cpu: CpuId) {
+        self.in_use.insert(cpu);
+    }
+
+    /// Bookkeeping: `cpu` stopped using this pmap (context switch out).
+    /// With ASID-tagged TLBs this call is ignored by the consistency layer
+    /// until the entries are flushed (Section 10); the pmap set itself still
+    /// records the scheduler's view.
+    pub fn mark_not_in_use(&mut self, cpu: CpuId) {
+        self.in_use.remove(cpu);
+    }
+
+    /// Cumulative operation counts.
+    pub fn stats(&self) -> PmapStats {
+        self.stats
+    }
+
+    /// Mutable access to the statistics (updated by the pmap operations in
+    /// the consistency layer).
+    pub fn stats_mut(&mut self) -> &mut PmapStats {
+        &mut self.stats
+    }
+
+    /// Destroys the pmap's contents. Pmaps "can even be destroyed at
+    /// runtime; they will be reconstructed from scratch as page faults
+    /// occur" (Section 2).
+    pub fn destroy_contents(&mut self) {
+        self.table.clear();
+        self.stats.destroys += 1;
+    }
+}
+
+impl fmt::Debug for Pmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pmap")
+            .field("id", &self.id)
+            .field("valid_count", &self.table.valid_count())
+            .field("lock", &self.lock)
+            .field("in_use", &self.in_use)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Pfn, Vpn};
+    use crate::prot::Prot;
+    use crate::pte::Pte;
+
+    #[test]
+    fn kernel_id_is_zero() {
+        assert!(PmapId::KERNEL.is_kernel());
+        assert!(!PmapId::new(1).is_kernel());
+        assert_eq!(PmapId::KERNEL.to_string(), "pmap:kernel");
+        assert_eq!(PmapId::new(2).to_string(), "pmap:2");
+    }
+
+    #[test]
+    fn in_use_bookkeeping() {
+        let mut p = Pmap::new(PmapId::new(1), 4);
+        p.mark_in_use(CpuId::new(1));
+        p.mark_in_use(CpuId::new(3));
+        assert_eq!(p.in_use().len(), 2);
+        p.mark_not_in_use(CpuId::new(1));
+        assert!(!p.in_use().contains(CpuId::new(1)));
+    }
+
+    #[test]
+    fn destroy_clears_table_and_counts() {
+        let mut p = Pmap::new(PmapId::new(1), 4);
+        p.table_mut().set(Vpn::new(7), Pte::valid(Pfn::new(1), Prot::READ));
+        p.destroy_contents();
+        assert_eq!(p.table().valid_count(), 0);
+        assert_eq!(p.stats().destroys, 1);
+    }
+}

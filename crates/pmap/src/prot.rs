@@ -1,0 +1,125 @@
+//! Page protections and access kinds.
+//!
+//! Whether a pmap change can leave *stale rights* in a remote TLB depends on
+//! the direction of the protection change: reducing protection or removing a
+//! mapping requires consistency actions, while increasing protection can at
+//! worst cause a spurious fault (the paper's "temporary inconsistency"
+//! optimization, Section 3 technique 3).
+
+use std::fmt;
+
+/// The kind of memory access a processor performs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// An instruction fetch or data read.
+    Read,
+    /// A data write.
+    Write,
+}
+
+/// A page protection: which access kinds are permitted.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{Access, Prot};
+///
+/// assert!(Prot::READ_WRITE.allows(Access::Write));
+/// assert!(!Prot::READ.allows(Access::Write));
+/// // Downgrading rights is what forces a shootdown:
+/// assert!(Prot::READ.is_downgrade_from(Prot::READ_WRITE));
+/// assert!(!Prot::READ_WRITE.is_downgrade_from(Prot::READ));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Prot {
+    read: bool,
+    write: bool,
+}
+
+impl Prot {
+    /// No access.
+    pub const NONE: Prot = Prot { read: false, write: false };
+    /// Read-only.
+    pub const READ: Prot = Prot { read: true, write: false };
+    /// Read and write.
+    pub const READ_WRITE: Prot = Prot { read: true, write: true };
+
+    /// Whether this protection permits `access`.
+    pub const fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.read,
+            Access::Write => self.write,
+        }
+    }
+
+    /// Whether every right in `self` is also in `other`.
+    pub const fn is_subset_of(self, other: Prot) -> bool {
+        (!self.read || other.read) && (!self.write || other.write)
+    }
+
+    /// Whether switching from `old` to `self` removes at least one right —
+    /// the condition under which stale TLB entries become dangerous.
+    pub const fn is_downgrade_from(self, old: Prot) -> bool {
+        !old.is_subset_of(self)
+    }
+
+    /// The intersection of two protections.
+    pub const fn intersect(self, other: Prot) -> Prot {
+        Prot {
+            read: self.read && other.read,
+            write: self.write && other.write,
+        }
+    }
+
+    /// Whether no access is permitted.
+    pub const fn is_none(self) -> bool {
+        !self.read && !self.write
+    }
+}
+
+impl fmt::Display for Prot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.read, self.write) {
+            (false, false) => write!(f, "---"),
+            (true, false) => write!(f, "r--"),
+            (false, true) => write!(f, "-w-"),
+            (true, true) => write!(f, "rw-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_matches_rights() {
+        assert!(Prot::READ.allows(Access::Read));
+        assert!(!Prot::READ.allows(Access::Write));
+        assert!(Prot::READ_WRITE.allows(Access::Write));
+        assert!(!Prot::NONE.allows(Access::Read));
+    }
+
+    #[test]
+    fn downgrade_detection() {
+        assert!(Prot::NONE.is_downgrade_from(Prot::READ));
+        assert!(Prot::READ.is_downgrade_from(Prot::READ_WRITE));
+        assert!(!Prot::READ_WRITE.is_downgrade_from(Prot::READ));
+        assert!(!Prot::READ.is_downgrade_from(Prot::READ));
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        assert!(Prot::NONE.is_subset_of(Prot::READ));
+        assert!(Prot::READ.is_subset_of(Prot::READ_WRITE));
+        assert!(!Prot::READ_WRITE.is_subset_of(Prot::READ));
+        assert_eq!(Prot::READ_WRITE.intersect(Prot::READ), Prot::READ);
+        assert_eq!(Prot::READ.intersect(Prot::NONE), Prot::NONE);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Prot::READ_WRITE.to_string(), "rw-");
+        assert_eq!(Prot::NONE.to_string(), "---");
+    }
+}

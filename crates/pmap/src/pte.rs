@@ -1,0 +1,136 @@
+//! Page-table entries.
+
+use std::fmt;
+
+use crate::addr::Pfn;
+use crate::prot::{Access, Prot};
+
+/// A page-table entry: the memory-resident translation the MMU walks to and
+/// the TLB caches.
+///
+/// The `referenced` and `modified` bits are set by the MMU as a side effect
+/// of translation. On the paper's hardware the TLB writes these bits back to
+/// memory **asynchronously and without interlock**, which is one of the two
+/// TLB features (Section 3) that force responders to stall during pmap
+/// updates: a stale writeback can clobber a concurrent pmap change.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{Access, Pfn, Prot, Pte};
+///
+/// let pte = Pte::valid(Pfn::new(42), Prot::READ_WRITE);
+/// assert!(pte.permits(Access::Write));
+/// assert!(!Pte::INVALID.permits(Access::Read));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Pte {
+    /// Whether the entry maps a page.
+    pub valid: bool,
+    /// The mapped physical frame (meaningful only when `valid`).
+    pub pfn: Pfn,
+    /// Access rights (meaningful only when `valid`).
+    pub prot: Prot,
+    /// Set when the page has been accessed.
+    pub referenced: bool,
+    /// Set when the page has been written.
+    pub modified: bool,
+}
+
+impl Pte {
+    /// The invalid entry: no translation.
+    pub const INVALID: Pte = Pte {
+        valid: false,
+        pfn: Pfn::new(0),
+        prot: Prot::NONE,
+        referenced: false,
+        modified: false,
+    };
+
+    /// A valid entry with clear referenced/modified bits.
+    pub fn valid(pfn: Pfn, prot: Prot) -> Pte {
+        Pte {
+            valid: true,
+            pfn,
+            prot,
+            referenced: false,
+            modified: false,
+        }
+    }
+
+    /// Whether the entry is valid and permits `access`.
+    pub fn permits(self, access: Access) -> bool {
+        self.valid && self.prot.allows(access)
+    }
+
+    /// The entry with `referenced` (and for writes `modified`) set, as the
+    /// MMU records an access of the given kind.
+    pub fn touched(mut self, access: Access) -> Pte {
+        self.referenced = true;
+        if access == Access::Write {
+            self.modified = true;
+        }
+        self
+    }
+
+    /// Whether the two entries map the same frame with the same rights
+    /// (ignoring referenced/modified bookkeeping).
+    pub fn same_translation(self, other: Pte) -> bool {
+        self.valid == other.valid
+            && (!self.valid || (self.pfn == other.pfn && self.prot == other.prot))
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.valid {
+            return write!(f, "<invalid>");
+        }
+        write!(
+            f,
+            "{}:{}{}{}",
+            self.pfn,
+            self.prot,
+            if self.referenced { "R" } else { "-" },
+            if self.modified { "M" } else { "-" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_permits_nothing() {
+        assert!(!Pte::INVALID.permits(Access::Read));
+        assert!(!Pte::INVALID.permits(Access::Write));
+        const { assert!(!Pte::INVALID.valid) }
+    }
+
+    #[test]
+    fn touched_sets_bits() {
+        let pte = Pte::valid(Pfn::new(1), Prot::READ_WRITE);
+        let read = pte.touched(Access::Read);
+        assert!(read.referenced && !read.modified);
+        let written = pte.touched(Access::Write);
+        assert!(written.referenced && written.modified);
+    }
+
+    #[test]
+    fn same_translation_ignores_refmod() {
+        let a = Pte::valid(Pfn::new(3), Prot::READ);
+        let b = a.touched(Access::Read);
+        assert!(a.same_translation(b));
+        let c = Pte::valid(Pfn::new(4), Prot::READ);
+        assert!(!a.same_translation(c));
+        assert!(Pte::INVALID.same_translation(Pte::INVALID));
+        assert!(!a.same_translation(Pte::INVALID));
+    }
+
+    #[test]
+    fn display_shows_rights_and_bits() {
+        let pte = Pte::valid(Pfn::new(0x42), Prot::READ_WRITE).touched(Access::Write);
+        assert_eq!(pte.to_string(), "pfn:0x42:rw-RM");
+    }
+}

@@ -1,0 +1,321 @@
+//! Two-level page tables, NS32382-style.
+//!
+//! The Multimax pmap module organises second-level tables into page-sized
+//! chunks and exploits that structure for lazy evaluation: "if the pmap
+//! module ever finds a missing second level page table entry, it knows that
+//! an entire page of second level entries is missing and skips the
+//! corresponding address range" (Section 7.2). [`PageTable::any_valid_in`]
+//! and the range operations implement exactly that skip.
+
+use std::fmt;
+
+use crate::addr::{PageRange, Vpn};
+use crate::prot::Prot;
+use crate::pte::Pte;
+
+/// Entries per second-level (leaf) table: one page-sized chunk.
+pub const LEAF_ENTRIES: usize = 1024;
+/// Entries in the root table.
+pub const ROOT_ENTRIES: usize = 1024;
+
+#[derive(Clone)]
+struct Leaf {
+    ptes: Vec<Pte>,
+    valid_count: u32,
+}
+
+impl Leaf {
+    fn new() -> Leaf {
+        Leaf {
+            ptes: vec![Pte::INVALID; LEAF_ENTRIES],
+            valid_count: 0,
+        }
+    }
+}
+
+/// A two-level page table: the memory-resident translation structure the
+/// hardware walks on TLB misses and the pmap module edits.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{PageRange, PageTable, Pfn, Prot, Pte, Vpn};
+///
+/// let mut pt = PageTable::new();
+/// pt.set(Vpn::new(0x400), Pte::valid(Pfn::new(7), Prot::READ));
+/// assert!(pt.get(Vpn::new(0x400)).valid);
+/// // A whole missing second-level chunk is skipped without touching PTEs:
+/// assert!(!pt.any_valid_in(PageRange::new(Vpn::new(0x8_0000), 2048)));
+/// ```
+#[derive(Clone)]
+pub struct PageTable {
+    root: Vec<Option<Box<Leaf>>>,
+    valid_count: u64,
+    leaves_allocated: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table with no second-level chunks allocated.
+    pub fn new() -> PageTable {
+        PageTable {
+            root: (0..ROOT_ENTRIES).map(|_| None).collect(),
+            valid_count: 0,
+            leaves_allocated: 0,
+        }
+    }
+
+    /// The entry for `vpn` ([`Pte::INVALID`] if the chunk is missing).
+    pub fn get(&self, vpn: Vpn) -> Pte {
+        match &self.root[vpn.root_index()] {
+            Some(leaf) => leaf.ptes[vpn.leaf_index()],
+            None => Pte::INVALID,
+        }
+    }
+
+    /// Whether the second-level chunk covering `vpn` is allocated.
+    pub fn leaf_present(&self, vpn: Vpn) -> bool {
+        self.root[vpn.root_index()].is_some()
+    }
+
+    /// Number of levels a hardware walk of `vpn` traverses before
+    /// concluding: 1 if the root entry is missing, 2 otherwise.
+    pub fn walk_levels(&self, vpn: Vpn) -> u32 {
+        if self.leaf_present(vpn) {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Stores `pte` at `vpn`, returning the previous entry. Allocates the
+    /// second-level chunk on demand; storing [`Pte::INVALID`] into a missing
+    /// chunk is a no-op.
+    pub fn set(&mut self, vpn: Vpn, pte: Pte) -> Pte {
+        let slot = &mut self.root[vpn.root_index()];
+        if slot.is_none() {
+            if !pte.valid {
+                return Pte::INVALID;
+            }
+            *slot = Some(Box::new(Leaf::new()));
+            self.leaves_allocated += 1;
+        }
+        let leaf = slot.as_mut().expect("leaf allocated above");
+        let old = std::mem::replace(&mut leaf.ptes[vpn.leaf_index()], pte);
+        match (old.valid, pte.valid) {
+            (false, true) => {
+                leaf.valid_count += 1;
+                self.valid_count += 1;
+            }
+            (true, false) => {
+                leaf.valid_count -= 1;
+                self.valid_count -= 1;
+            }
+            _ => {}
+        }
+        old
+    }
+
+    /// Whether any page of `range` has a valid mapping — the lazy-evaluation
+    /// check ("TLBs do not cache invalid mappings", Section 4). Missing
+    /// chunks are skipped whole.
+    pub fn any_valid_in(&self, range: PageRange) -> bool {
+        self.valid_in(range).next().is_some()
+    }
+
+    /// Iterates the valid entries within `range` in ascending page order,
+    /// skipping missing chunks whole.
+    pub fn valid_in(&self, range: PageRange) -> ValidIn<'_> {
+        ValidIn {
+            table: self,
+            next: range.start().raw(),
+            end: range.end().raw(),
+        }
+    }
+
+    /// Invalidates every valid entry in `range`, returning how many were
+    /// removed.
+    pub fn remove_range(&mut self, range: PageRange) -> u64 {
+        let victims: Vec<Vpn> = self.valid_in(range).map(|(vpn, _)| vpn).collect();
+        for vpn in &victims {
+            self.set(*vpn, Pte::INVALID);
+        }
+        victims.len() as u64
+    }
+
+    /// Sets the protection of every valid entry in `range` to `prot`
+    /// (referenced/modified bits are preserved), returning how many entries
+    /// changed.
+    pub fn protect_range(&mut self, range: PageRange, prot: Prot) -> u64 {
+        let changes: Vec<(Vpn, Pte)> = self
+            .valid_in(range)
+            .filter(|(_, pte)| pte.prot != prot)
+            .map(|(vpn, mut pte)| {
+                pte.prot = prot;
+                (vpn, pte)
+            })
+            .collect();
+        for (vpn, pte) in &changes {
+            self.set(*vpn, *pte);
+        }
+        changes.len() as u64
+    }
+
+    /// Total valid entries.
+    pub fn valid_count(&self) -> u64 {
+        self.valid_count
+    }
+
+    /// Second-level chunks allocated over the table's lifetime (allocated
+    /// chunks are kept even when they empty out, as the Mach pmap does).
+    pub fn leaves_allocated(&self) -> u64 {
+        self.leaves_allocated
+    }
+
+    /// Drops every mapping and every chunk (pmap destruction; the pmap will
+    /// be "reconstructed from scratch as page faults occur", Section 2).
+    pub fn clear(&mut self) {
+        for slot in &mut self.root {
+            *slot = None;
+        }
+        self.valid_count = 0;
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> PageTable {
+        PageTable::new()
+    }
+}
+
+impl fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageTable")
+            .field("valid_count", &self.valid_count)
+            .field("leaves_allocated", &self.leaves_allocated)
+            .finish()
+    }
+}
+
+/// Iterator over the valid entries of a range; see [`PageTable::valid_in`].
+#[derive(Debug)]
+pub struct ValidIn<'a> {
+    table: &'a PageTable,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for ValidIn<'_> {
+    type Item = (Vpn, Pte);
+
+    fn next(&mut self) -> Option<(Vpn, Pte)> {
+        while self.next < self.end {
+            let vpn = Vpn::new(self.next);
+            match &self.table.root[vpn.root_index()] {
+                None => {
+                    // Skip the rest of the missing chunk in one stride.
+                    let chunk_end = (self.next | (LEAF_ENTRIES as u64 - 1)) + 1;
+                    self.next = chunk_end.min(self.end);
+                }
+                Some(leaf) => {
+                    self.next += 1;
+                    let pte = leaf.ptes[vpn.leaf_index()];
+                    if pte.valid {
+                        return Some((vpn, pte));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+
+    fn pte(pfn: u64) -> Pte {
+        Pte::valid(Pfn::new(pfn), Prot::READ_WRITE)
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.get(Vpn::new(5)), Pte::INVALID);
+        let old = pt.set(Vpn::new(5), pte(9));
+        assert_eq!(old, Pte::INVALID);
+        assert_eq!(pt.get(Vpn::new(5)).pfn, Pfn::new(9));
+        assert_eq!(pt.valid_count(), 1);
+    }
+
+    #[test]
+    fn invalid_store_into_missing_chunk_allocates_nothing() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(123), Pte::INVALID);
+        assert_eq!(pt.leaves_allocated(), 0);
+        assert!(!pt.leaf_present(Vpn::new(123)));
+        assert_eq!(pt.walk_levels(Vpn::new(123)), 1);
+    }
+
+    #[test]
+    fn valid_in_skips_missing_chunks() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(10), pte(1));
+        pt.set(Vpn::new(5000), pte(2));
+        let got: Vec<u64> = pt
+            .valid_in(PageRange::new(Vpn::new(0), 10_000))
+            .map(|(v, _)| v.raw())
+            .collect();
+        assert_eq!(got, vec![10, 5000]);
+    }
+
+    #[test]
+    fn any_valid_in_is_chunk_aware() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(2048), pte(1)); // chunk 2
+        assert!(!pt.any_valid_in(PageRange::new(Vpn::new(0), 2048)));
+        assert!(pt.any_valid_in(PageRange::new(Vpn::new(0), 2049)));
+        // Allocated-but-invalid neighbours are still not "valid".
+        pt.set(Vpn::new(2048), Pte::INVALID);
+        assert!(!pt.any_valid_in(PageRange::new(Vpn::new(0), 4096)));
+    }
+
+    #[test]
+    fn remove_range_counts_and_clears() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.set(Vpn::new(i), pte(i));
+        }
+        let removed = pt.remove_range(PageRange::new(Vpn::new(3), 4));
+        assert_eq!(removed, 4);
+        assert_eq!(pt.valid_count(), 6);
+        assert!(!pt.get(Vpn::new(4)).valid);
+        assert!(pt.get(Vpn::new(2)).valid);
+        assert!(pt.get(Vpn::new(7)).valid);
+    }
+
+    #[test]
+    fn protect_range_preserves_refmod_and_counts_changes() {
+        let mut pt = PageTable::new();
+        let touched = pte(1).touched(crate::Access::Write);
+        pt.set(Vpn::new(0), touched);
+        pt.set(Vpn::new(1), pte(2));
+        let changed = pt.protect_range(PageRange::new(Vpn::new(0), 2), Prot::READ);
+        assert_eq!(changed, 2);
+        let got = pt.get(Vpn::new(0));
+        assert_eq!(got.prot, Prot::READ);
+        assert!(got.referenced && got.modified);
+        // Re-protecting to the same value changes nothing.
+        assert_eq!(pt.protect_range(PageRange::new(Vpn::new(0), 2), Prot::READ), 0);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(100), pte(1));
+        pt.clear();
+        assert_eq!(pt.valid_count(), 0);
+        assert!(!pt.leaf_present(Vpn::new(100)));
+        assert_eq!(pt.get(Vpn::new(100)), Pte::INVALID);
+    }
+}

@@ -1,0 +1,154 @@
+//! The shared memory bus.
+//!
+//! The Encore Multimax is a bus-based multiprocessor with write-through
+//! caches: every write, every cache miss, and every interlocked operation is
+//! a bus transaction. The bus serializes transactions, so a processor whose
+//! transaction arrives while the bus is held queues behind the holder. This
+//! queueing is the paper's explanation for the departure from the linear
+//! trend above 12 processors in Figure 2 ("bus contention and congestion
+//! effects ... become significant on the Multimax when 12 or more processors
+//! are actively using the bus").
+//!
+//! The model is a single-server FIFO queue: each transaction holds the bus
+//! for a fixed occupancy, and a transaction issued at time `t` completes at
+//! `max(t, busy_until) + occupancy + latency`. Because the simulator always
+//! steps the processor with the smallest local clock, transactions are issued
+//! in global time order and the queue is exact.
+
+use crate::time::{Dur, Time};
+
+/// The kind of bus transaction, for accounting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BusOp {
+    /// A cache-miss read or uncached read.
+    Read,
+    /// A write (write-through caches write every store to the bus).
+    Write,
+    /// An interlocked read-modify-write (lock acquisition, interlocked
+    /// referenced/modified-bit update).
+    Interlocked,
+}
+
+/// Cumulative bus statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Total transactions issued.
+    pub transactions: u64,
+    /// Total time transactions spent queued behind other holders.
+    pub queued: Dur,
+    /// Total time the bus was held.
+    pub held: Dur,
+}
+
+/// The shared bus: a single-server FIFO queue over transactions.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{Bus, BusOp, Dur, Time};
+///
+/// let mut bus = Bus::new(Dur::nanos(500));
+/// // Two back-to-back transactions at the same instant: the second queues.
+/// let first = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+/// let second = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+/// assert_eq!(first, Dur::nanos(500));
+/// assert_eq!(second, Dur::nanos(1000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bus {
+    occupancy: Dur,
+    busy_until: Time,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Creates a bus whose transactions each hold it for `occupancy`.
+    pub fn new(occupancy: Dur) -> Bus {
+        Bus {
+            occupancy,
+            busy_until: Time::ZERO,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Issues a transaction at `now` and returns the delay until it
+    /// completes, including queueing behind earlier transactions, the bus
+    /// hold time, and `latency` (memory access time beyond the bus hold).
+    ///
+    /// Transactions must be issued in non-decreasing `now` order; the
+    /// simulator's min-clock scheduling guarantees this.
+    pub fn access(&mut self, now: Time, _op: BusOp, latency: Dur) -> Dur {
+        let start = self.busy_until.max(now);
+        let end = start + self.occupancy;
+        self.busy_until = end;
+        self.stats.transactions += 1;
+        self.stats.queued += start.saturating_duration_since(now);
+        self.stats.held += self.occupancy;
+        end.duration_since(now) + latency
+    }
+
+    /// The instant the bus becomes free.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Cumulative statistics since construction.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// The configured per-transaction hold time.
+    pub fn occupancy(&self) -> Dur {
+        self.occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_access_costs_occupancy_plus_latency() {
+        let mut bus = Bus::new(Dur::nanos(400));
+        let d = bus.access(Time::from_micros(5), BusOp::Read, Dur::nanos(900));
+        assert_eq!(d, Dur::nanos(1300));
+    }
+
+    #[test]
+    fn contended_accesses_queue_fifo() {
+        let mut bus = Bus::new(Dur::nanos(500));
+        let d1 = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+        let d2 = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+        let d3 = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+        assert_eq!(d1, Dur::nanos(500));
+        assert_eq!(d2, Dur::nanos(1000));
+        assert_eq!(d3, Dur::nanos(1500));
+        assert_eq!(bus.stats().transactions, 3);
+        assert_eq!(bus.stats().queued, Dur::nanos(1500)); // 0 + 500 + 1000
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate_queueing() {
+        let mut bus = Bus::new(Dur::nanos(500));
+        let _ = bus.access(Time::ZERO, BusOp::Read, Dur::ZERO);
+        // Issued long after the bus went idle: no queueing.
+        let d = bus.access(Time::from_micros(100), BusOp::Read, Dur::ZERO);
+        assert_eq!(d, Dur::nanos(500));
+        assert_eq!(bus.stats().queued, Dur::ZERO);
+    }
+
+    #[test]
+    fn queueing_grows_with_offered_load() {
+        // Thirteen processors dumping their register state at once queue far
+        // longer per access than two do — the Figure 2 knee mechanism.
+        let delay_for = |cpus: u64| {
+            let mut bus = Bus::new(Dur::nanos(450));
+            let mut last = Dur::ZERO;
+            for _ in 0..cpus * 16 {
+                last = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+            }
+            last
+        };
+        assert!(delay_for(13) > delay_for(2) * 6);
+    }
+}

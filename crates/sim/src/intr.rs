@@ -1,0 +1,142 @@
+//! Interrupt structure: vectors, classes, and per-processor masks.
+//!
+//! The paper distinguishes two classes of interrupt that matter to the
+//! shootdown algorithm:
+//!
+//! - **device interrupts**, which the kernel masks in many places to protect
+//!   locks shared with interrupt routines, and
+//! - the **shootdown inter-processor interrupt** (IPI), which on stock
+//!   hardware shares the device-interrupt mask — so every kernel
+//!   interrupt-disabled section delays shootdown responses, producing the
+//!   skew in kernel-pmap shootdown times (Section 8).
+//!
+//! Section 9's first proposed hardware feature is a *high-priority software
+//! interrupt* maskable independently of device interrupts. Modelling masks as
+//! a pair of class bits lets the reproduction flip that single design switch.
+
+use std::fmt;
+
+/// An interrupt vector number.
+///
+/// Lower numbers are dispatched first when several vectors are pending.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vector(u8);
+
+impl Vector {
+    /// Creates a vector with the given number.
+    pub const fn new(n: u8) -> Vector {
+        Vector(n)
+    }
+
+    /// The vector number.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The class an interrupt vector belongs to, which determines which mask
+/// bit blocks it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum IntrClass {
+    /// A device interrupt (disk, network, clock).
+    Device,
+    /// An inter-processor interrupt (the shootdown interrupt).
+    Ipi,
+}
+
+/// A per-processor interrupt mask: which classes are currently blocked.
+///
+/// `true` means *blocked*. On stock Multimax-like hardware the kernel's
+/// `disable_interrupts()` sets both bits ([`IntrMask::ALL_BLOCKED`]); with
+/// Section 9's high-priority software interrupt the kernel's device-critical
+/// sections set only [`IntrMask::DEVICE_BLOCKED`].
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{IntrClass, IntrMask};
+///
+/// let m = IntrMask::DEVICE_BLOCKED;
+/// assert!(m.blocks(IntrClass::Device));
+/// assert!(!m.blocks(IntrClass::Ipi));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct IntrMask {
+    /// Device interrupts blocked.
+    pub device: bool,
+    /// Inter-processor interrupts blocked.
+    pub ipi: bool,
+}
+
+impl IntrMask {
+    /// Nothing blocked: all interrupts deliverable.
+    pub const OPEN: IntrMask = IntrMask {
+        device: false,
+        ipi: false,
+    };
+
+    /// Everything blocked: the classic `disable_interrupts()`.
+    pub const ALL_BLOCKED: IntrMask = IntrMask {
+        device: true,
+        ipi: true,
+    };
+
+    /// Device interrupts blocked, IPIs deliverable: the Section 9
+    /// high-priority software-interrupt configuration.
+    pub const DEVICE_BLOCKED: IntrMask = IntrMask {
+        device: true,
+        ipi: false,
+    };
+
+    /// Whether this mask blocks interrupts of `class`.
+    pub const fn blocks(self, class: IntrClass) -> bool {
+        match class {
+            IntrClass::Device => self.device,
+            IntrClass::Ipi => self.ipi,
+        }
+    }
+}
+
+impl fmt::Display for IntrMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.device, self.ipi) {
+            (false, false) => write!(f, "open"),
+            (true, true) => write!(f, "all-blocked"),
+            (true, false) => write!(f, "device-blocked"),
+            (false, true) => write!(f, "ipi-blocked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_constants_block_expected_classes() {
+        assert!(!IntrMask::OPEN.blocks(IntrClass::Device));
+        assert!(!IntrMask::OPEN.blocks(IntrClass::Ipi));
+        assert!(IntrMask::ALL_BLOCKED.blocks(IntrClass::Device));
+        assert!(IntrMask::ALL_BLOCKED.blocks(IntrClass::Ipi));
+        assert!(IntrMask::DEVICE_BLOCKED.blocks(IntrClass::Device));
+        assert!(!IntrMask::DEVICE_BLOCKED.blocks(IntrClass::Ipi));
+    }
+
+    #[test]
+    fn default_mask_is_open() {
+        assert_eq!(IntrMask::default(), IntrMask::OPEN);
+    }
+
+    #[test]
+    fn vectors_order_by_number() {
+        assert!(Vector::new(1) < Vector::new(7));
+        assert_eq!(Vector::new(3).number(), 3);
+        assert_eq!(Vector::new(3).to_string(), "v3");
+    }
+}

@@ -1,0 +1,151 @@
+//! A simple lock as a shared-memory datum.
+//!
+//! The Mach kernel's simple locks are interlocked test-and-set words that
+//! processors spin on. In the simulator a [`SpinLock`] is plain data inside
+//! the shared memory image; the *time* costs of acquiring it (the interlocked
+//! bus transaction, the spin iterations while contended) are charged by the
+//! process manipulating it via
+//! [`Ctx::bus_interlocked`](crate::Ctx::bus_interlocked) and
+//! [`CostModel::spin_iter`](crate::CostModel::spin_iter).
+
+use std::fmt;
+
+use crate::cpu::CpuId;
+
+/// A test-and-set spin lock held by at most one processor.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{CpuId, SpinLock};
+///
+/// let mut lock = SpinLock::new();
+/// assert!(lock.try_acquire(CpuId::new(0)));
+/// assert!(!lock.try_acquire(CpuId::new(1))); // contended
+/// lock.release(CpuId::new(0));
+/// assert!(lock.try_acquire(CpuId::new(1)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpinLock {
+    holder: Option<CpuId>,
+    acquisitions: u64,
+    contentions: u64,
+}
+
+impl SpinLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> SpinLock {
+        SpinLock::default()
+    }
+
+    /// Attempts to acquire the lock for `cpu`. Returns whether it succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` already holds the lock (simple locks do not nest).
+    pub fn try_acquire(&mut self, cpu: CpuId) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(cpu);
+                self.acquisitions += 1;
+                true
+            }
+            Some(h) => {
+                assert_ne!(h, cpu, "{cpu} attempted to re-acquire a simple lock it holds");
+                self.contentions += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` does not hold the lock.
+    pub fn release(&mut self, cpu: CpuId) {
+        assert_eq!(
+            self.holder,
+            Some(cpu),
+            "{cpu} released a lock it does not hold (holder: {:?})",
+            self.holder
+        );
+        self.holder = None;
+    }
+
+    /// Whether the lock is held.
+    pub fn is_locked(&self) -> bool {
+        self.holder.is_some()
+    }
+
+    /// The holder, if any.
+    pub fn holder(&self) -> Option<CpuId> {
+        self.holder
+    }
+
+    /// Whether `cpu` holds the lock.
+    pub fn is_held_by(&self, cpu: CpuId) -> bool {
+        self.holder == Some(cpu)
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed acquisition attempts so far.
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+}
+
+impl fmt::Display for SpinLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.holder {
+            Some(h) => write!(f, "locked by {h}"),
+            None => write!(f, "unlocked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut l = SpinLock::new();
+        assert!(!l.is_locked());
+        assert!(l.try_acquire(CpuId::new(2)));
+        assert!(l.is_held_by(CpuId::new(2)));
+        assert_eq!(l.holder(), Some(CpuId::new(2)));
+        l.release(CpuId::new(2));
+        assert!(!l.is_locked());
+        assert_eq!(l.acquisitions(), 1);
+    }
+
+    #[test]
+    fn contention_is_counted() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(CpuId::new(0)));
+        assert!(!l.try_acquire(CpuId::new(1)));
+        assert!(!l.try_acquire(CpuId::new(3)));
+        assert_eq!(l.contentions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "released a lock it does not hold")]
+    fn release_by_non_holder_panics() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(CpuId::new(0)));
+        l.release(CpuId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquire")]
+    fn reacquire_panics() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(CpuId::new(0)));
+        let _ = l.try_acquire(CpuId::new(0));
+    }
+}

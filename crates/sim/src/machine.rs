@@ -1,0 +1,575 @@
+//! The machine: processors, shared memory image, bus, interrupt controller,
+//! and the deterministic scheduler.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::bus::{Bus, BusOp, BusStats};
+use crate::cost::CostModel;
+use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
+use crate::intr::{IntrClass, IntrMask, Vector};
+use crate::process::{Command, Ctx, Process};
+use crate::time::{Dur, Time};
+
+/// Static configuration of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processors. The paper's evaluation machine has 16; the
+    /// Section 8 extrapolation runs hundreds.
+    pub n_cpus: usize,
+    /// Seed for the machine's deterministic random number generator. Equal
+    /// seeds and equal programs produce identical executions.
+    pub seed: u64,
+    /// The cost model charged for primitive actions.
+    pub costs: CostModel,
+}
+
+impl MachineConfig {
+    /// A 16-processor Multimax-like machine, the paper's platform.
+    pub fn multimax16(seed: u64) -> MachineConfig {
+        MachineConfig {
+            n_cpus: 16,
+            seed,
+            costs: CostModel::multimax(),
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::multimax16(0)
+    }
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// No processor is runnable and no event is scheduled: the machine has
+    /// nothing left to do (every processor is idle or parked indefinitely).
+    Quiescent,
+    /// The next event lies beyond the time limit.
+    TimeLimit,
+    /// The step budget was exhausted (a guard against runaway spins).
+    StepLimit,
+}
+
+/// Summary of a [`Machine::run`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub status: RunStatus,
+    /// Process steps plus interrupt dispatches executed during this call.
+    pub steps: u64,
+    /// The latest event time processed.
+    pub frontier: Time,
+}
+
+enum QueuedKind<S, P> {
+    Interrupt(Vector),
+    Spawn(Box<dyn Process<S, P>>),
+}
+
+struct QueuedDelivery<S, P> {
+    at: Time,
+    seq: u64,
+    target: CpuId,
+    kind: QueuedKind<S, P>,
+}
+
+impl<S, P> PartialEq for QueuedDelivery<S, P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S, P> Eq for QueuedDelivery<S, P> {}
+impl<S, P> PartialOrd for QueuedDelivery<S, P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S, P> Ord for QueuedDelivery<S, P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type HandlerFactory<S, P> = Box<dyn Fn(&mut S, CpuId) -> Box<dyn Process<S, P>>>;
+
+struct HandlerEntry<S, P> {
+    class: IntrClass,
+    handler_mask: IntrMask,
+    factory: HandlerFactory<S, P>,
+}
+
+/// A simulated shared-memory multiprocessor.
+///
+/// `S` is the shared memory image (the kernel's data structures); `P` is the
+/// per-processor hardware payload (e.g. the TLB). The scheduler always steps
+/// the processor with the smallest local clock, so every shared-state access
+/// happens at a single, globally ordered instant and runs are deterministic
+/// for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{Ctx, Dur, Machine, MachineConfig, Process, Step, Time};
+///
+/// #[derive(Debug)]
+/// struct Incr(u32);
+/// impl Process<u32, ()> for Incr {
+///     fn step(&mut self, ctx: &mut Ctx<'_, u32, ()>) -> Step {
+///         *ctx.shared += self.0;
+///         Step::Done(Dur::micros(1))
+///     }
+/// }
+///
+/// let mut m = Machine::new(MachineConfig::multimax16(42), 0u32, |_| ());
+/// m.spawn_at(machtlb_sim::CpuId::new(3), Time::ZERO, Box::new(Incr(5)));
+/// let report = m.run(Time::from_micros(1_000));
+/// assert_eq!(*m.shared(), 5);
+/// assert_eq!(report.status, machtlb_sim::RunStatus::Quiescent);
+/// ```
+pub struct Machine<S, P> {
+    cpus: Vec<CpuCore<S, P>>,
+    shared: S,
+    bus: Bus,
+    costs: CostModel,
+    rng: SmallRng,
+    handlers: BTreeMap<Vector, HandlerEntry<S, P>>,
+    deliveries: BinaryHeap<Reverse<QueuedDelivery<S, P>>>,
+    seq: u64,
+    total_steps: u64,
+    frontier: Time,
+}
+
+impl<S, P> Machine<S, P> {
+    /// Builds a machine with `config.n_cpus` processors, the given shared
+    /// memory image, and a per-processor payload produced by `payload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_cpus` is zero.
+    pub fn new(config: MachineConfig, shared: S, mut payload: impl FnMut(CpuId) -> P) -> Machine<S, P> {
+        assert!(config.n_cpus > 0, "a machine needs at least one processor");
+        let cpus = (0..config.n_cpus)
+            .map(|i| {
+                let id = CpuId::new(i as u32);
+                CpuCore::new(id, payload(id))
+            })
+            .collect();
+        Machine {
+            cpus,
+            shared,
+            bus: Bus::new(config.costs.bus_occupancy),
+            costs: config.costs,
+            rng: SmallRng::seed_from_u64(config.seed),
+            handlers: BTreeMap::new(),
+            deliveries: BinaryHeap::new(),
+            seq: 0,
+            total_steps: 0,
+            frontier: Time::ZERO,
+        }
+    }
+
+    /// Registers the handler process spawned when `vector` is dispatched.
+    /// Dispatch blocks all interrupts for the handler's duration and
+    /// restores the previous mask when it completes, as most hardware does
+    /// by default (Section 4). Use [`Machine::register_handler_with_mask`]
+    /// to model hardware that leaves some classes deliverable during the
+    /// handler (the Section 9 high-priority software interrupt).
+    pub fn register_handler(
+        &mut self,
+        vector: Vector,
+        class: IntrClass,
+        factory: impl Fn(&mut S, CpuId) -> Box<dyn Process<S, P>> + 'static,
+    ) {
+        self.register_handler_with_mask(vector, class, IntrMask::ALL_BLOCKED, factory);
+    }
+
+    /// Like [`Machine::register_handler`], but dispatch applies
+    /// `handler_mask` instead of blocking everything, so e.g. a device
+    /// handler can stay preemptible by shootdown IPIs.
+    pub fn register_handler_with_mask(
+        &mut self,
+        vector: Vector,
+        class: IntrClass,
+        handler_mask: IntrMask,
+        factory: impl Fn(&mut S, CpuId) -> Box<dyn Process<S, P>> + 'static,
+    ) {
+        self.handlers.insert(
+            vector,
+            HandlerEntry {
+                class,
+                handler_mask,
+                factory: Box::new(factory),
+            },
+        );
+    }
+
+    /// The interrupt class `vector` was registered with, if any.
+    pub fn class_of(&self, vector: Vector) -> Option<IntrClass> {
+        self.handlers.get(&vector).map(|h| h.class)
+    }
+
+    /// Schedules `proc` to start on `target` at `at`. Spawned processes are
+    /// pushed on top of the target's frame stack when delivered; use this to
+    /// install base processes (dispatchers, idle loops) on otherwise idle
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn spawn_at(&mut self, target: CpuId, at: Time, proc: Box<dyn Process<S, P>>) {
+        assert!(target.index() < self.cpus.len(), "spawn_at: bad target {target}");
+        self.push_delivery(at, target, QueuedKind::Spawn(proc));
+    }
+
+    /// Latches `vector` pending on `target` at `at` (an externally generated
+    /// interrupt, e.g. a device or timer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn schedule_interrupt(&mut self, target: CpuId, vector: Vector, at: Time) {
+        assert!(
+            target.index() < self.cpus.len(),
+            "schedule_interrupt: bad target {target}"
+        );
+        self.push_delivery(at, target, QueuedKind::Interrupt(vector));
+    }
+
+    fn push_delivery(&mut self, at: Time, target: CpuId, kind: QueuedKind<S, P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.deliveries.push(Reverse(QueuedDelivery {
+            at,
+            seq,
+            target,
+            kind,
+        }));
+    }
+
+    /// Runs until quiescence or until the next event would lie past `limit`.
+    pub fn run(&mut self, limit: Time) -> RunReport {
+        self.run_bounded(limit, u64::MAX)
+    }
+
+    /// Runs like [`Machine::run`] but also stops after `max_steps` scheduler
+    /// steps, guarding tests against runaway spin loops.
+    pub fn run_bounded(&mut self, limit: Time, max_steps: u64) -> RunReport {
+        let mut steps = 0u64;
+        let status = loop {
+            if steps >= max_steps {
+                break RunStatus::StepLimit;
+            }
+            let Some(t) = self.next_event_time() else {
+                break RunStatus::Quiescent;
+            };
+            if t > limit {
+                break RunStatus::TimeLimit;
+            }
+            self.frontier = self.frontier.max(t);
+            self.apply_due_deliveries(t);
+            self.wake_expired_parks(t);
+            let Some(i) = self.min_clock_runnable() else {
+                // Deliveries were all in the future relative to a parked
+                // processor that did not wake; recompute.
+                continue;
+            };
+            self.step_cpu(i);
+            steps += 1;
+            self.total_steps += 1;
+        };
+        RunReport {
+            status,
+            steps,
+            frontier: self.frontier,
+        }
+    }
+
+    /// The earliest instant at which anything can happen: a runnable
+    /// processor's clock, a park deadline, or a queued delivery.
+    fn next_event_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        let mut consider = |t: Time| next = Some(next.map_or(t, |n: Time| n.min(t)));
+        for cpu in &self.cpus {
+            match cpu.park {
+                ParkState::Running => consider(cpu.clock),
+                ParkState::Parked { until: Some(d) } => consider(d.max(cpu.clock)),
+                ParkState::Parked { until: None } => {}
+            }
+        }
+        if let Some(Reverse(d)) = self.deliveries.peek() {
+            consider(d.at);
+        }
+        next
+    }
+
+    fn apply_due_deliveries(&mut self, t: Time) {
+        while let Some(Reverse(head)) = self.deliveries.peek() {
+            if head.at > t {
+                break;
+            }
+            let Reverse(d) = self.deliveries.pop().expect("peeked delivery vanished");
+            let cpu = &mut self.cpus[d.target.index()];
+            match d.kind {
+                QueuedKind::Interrupt(v) => {
+                    cpu.pending.insert(v);
+                }
+                QueuedKind::Spawn(proc) => {
+                    cpu.stack.push(Frame {
+                        proc,
+                        restore_mask: None,
+                    });
+                }
+            }
+            // Any arrival wakes a parked processor (wakeups may be spurious).
+            if let ParkState::Parked { .. } = cpu.park {
+                cpu.park = ParkState::Running;
+                cpu.clock = cpu.clock.max(d.at);
+            }
+        }
+    }
+
+    fn wake_expired_parks(&mut self, t: Time) {
+        for cpu in &mut self.cpus {
+            if let ParkState::Parked { until: Some(d) } = cpu.park {
+                if d.max(cpu.clock) <= t {
+                    cpu.park = ParkState::Running;
+                    cpu.clock = cpu.clock.max(d);
+                }
+            }
+        }
+    }
+
+    fn min_clock_runnable(&self) -> Option<usize> {
+        self.cpus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.park == ParkState::Running)
+            .min_by_key(|(i, c)| (c.clock, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Executes one scheduler step on processor `i`: either dispatches a
+    /// deliverable pending interrupt or steps the top process frame.
+    fn step_cpu(&mut self, i: usize) {
+        let Machine {
+            cpus,
+            shared,
+            bus,
+            costs,
+            rng,
+            handlers,
+            ..
+        } = self;
+        let n_cpus = cpus.len();
+        let cpu = &mut cpus[i];
+        let cpu_id = cpu.id();
+
+        // Interrupt dispatch takes priority over the current frame.
+        if let Some(v) = cpu.deliverable(|v| handlers.get(&v).map(|h| h.class)) {
+            cpu.pending.remove(&v);
+            let prev_mask = cpu.mask;
+            cpu.mask = handlers
+                .get(&v)
+                .map(|h| h.handler_mask)
+                .unwrap_or(IntrMask::ALL_BLOCKED);
+            // Vectoring plus saving register state through the write-through
+            // cache: each saved word is a bus write. With many processors
+            // interrupted at once these writes queue — the Figure 2 knee.
+            let mut cost = costs.intr_entry;
+            for _ in 0..costs.state_save_words {
+                cost += bus.access(cpu.clock, BusOp::Write, costs.bus_write_latency);
+            }
+            let handler = handlers.get(&v).expect("deliverable vector lost its handler");
+            let proc = (handler.factory)(shared, cpu_id);
+            cpu.stack.push(Frame {
+                proc,
+                restore_mask: Some(prev_mask),
+            });
+            cpu.clock += cost;
+            cpu.stats.interrupts += 1;
+            cpu.stats.busy += cost;
+            return;
+        }
+
+        let Some(mut frame) = cpu.stack.pop() else {
+            // Nothing to run: idle until something arrives.
+            cpu.park = ParkState::Parked { until: None };
+            return;
+        };
+
+        let mut commands: Vec<Command<S, P>> = Vec::new();
+        let step = {
+            let mut ctx = Ctx {
+                now: cpu.clock,
+                cpu_id,
+                shared,
+                payload: &mut cpu.payload,
+                mask: &mut cpu.mask,
+                pending: &cpu.pending,
+                bus,
+                costs,
+                rng,
+                commands: &mut commands,
+                n_cpus,
+            };
+            frame.proc.step(&mut ctx)
+        };
+
+        cpu.stats.steps += 1;
+        match step {
+            crate::Step::Run(d) => {
+                cpu.clock += d;
+                cpu.stats.busy += d;
+                cpu.stack.push(frame);
+            }
+            crate::Step::Done(d) => {
+                let mut cost = d;
+                if let Some(m) = frame.restore_mask {
+                    cpu.mask = m;
+                    cost += costs.intr_exit;
+                }
+                cpu.clock += cost;
+                cpu.stats.busy += cost;
+            }
+            crate::Step::Park(until) => {
+                cpu.stack.push(frame);
+                cpu.park = ParkState::Parked { until };
+            }
+        }
+
+        // Apply staged commands. Traps push onto this processor's stack so
+        // they run before the trapping process resumes.
+        for cmd in commands {
+            match cmd {
+                Command::SendIpi { target, vector, at } => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.deliveries.push(Reverse(QueuedDelivery {
+                        at,
+                        seq,
+                        target,
+                        kind: QueuedKind::Interrupt(vector),
+                    }));
+                }
+                Command::BroadcastIpi { vector, at } => {
+                    for t in 0..n_cpus {
+                        if t == i {
+                            continue;
+                        }
+                        let seq = self.seq;
+                        self.seq += 1;
+                        self.deliveries.push(Reverse(QueuedDelivery {
+                            at,
+                            seq,
+                            target: CpuId::new(t as u32),
+                            kind: QueuedKind::Interrupt(vector),
+                        }));
+                    }
+                }
+                Command::Spawn { target, at, proc } => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.deliveries.push(Reverse(QueuedDelivery {
+                        at,
+                        seq,
+                        target,
+                        kind: QueuedKind::Spawn(proc),
+                    }));
+                }
+                Command::Trap { proc } => {
+                    self.cpus[i].stack.push(Frame {
+                        proc,
+                        restore_mask: None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The shared memory image.
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
+    /// Mutable access to the shared memory image (between runs).
+    pub fn shared_mut(&mut self) -> &mut S {
+        &mut self.shared
+    }
+
+    /// Consumes the machine, returning the shared memory image.
+    pub fn into_shared(self) -> S {
+        self.shared
+    }
+
+    /// The processor with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cpu(&self, id: CpuId) -> &CpuCore<S, P> {
+        &self.cpus[id.index()]
+    }
+
+    /// Mutable access to a processor (between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cpu_mut(&mut self, id: CpuId) -> &mut CpuCore<S, P> {
+        &mut self.cpus[id.index()]
+    }
+
+    /// Iterates over all processors.
+    pub fn cpus(&self) -> impl Iterator<Item = &CpuCore<S, P>> {
+        self.cpus.iter()
+    }
+
+    /// Number of processors.
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Cumulative bus statistics.
+    pub fn bus_stats(&self) -> BusStats {
+        self.bus.stats()
+    }
+
+    /// The machine's deterministic random number generator (for seeding
+    /// randomized schedules outside process steps).
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// The latest event time processed so far.
+    pub fn frontier(&self) -> Time {
+        self.frontier
+    }
+
+    /// Total scheduler steps executed over the machine's lifetime.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Sum of busy time across processors (for overhead accounting).
+    pub fn total_busy(&self) -> Dur {
+        self.cpus.iter().map(|c| c.stats().busy).sum()
+    }
+}
+
+impl<S: fmt::Debug, P: fmt::Debug> fmt::Debug for Machine<S, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("n_cpus", &self.cpus.len())
+            .field("frontier", &self.frontier)
+            .field("total_steps", &self.total_steps)
+            .field("pending_deliveries", &self.deliveries.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,285 @@
+//! Simulated time.
+//!
+//! The simulator keeps time in integer nanoseconds since machine boot. The
+//! paper reports all measurements in microseconds (the Encore Multimax system
+//! control card exposes a free-running 32-bit microsecond counter); the
+//! nanosecond base gives headroom for sub-microsecond cost-model constants
+//! without rounding drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of simulated time, in nanoseconds since boot.
+///
+/// `Time` is an absolute instant; [`Dur`] is a span. The two interact the way
+/// `std::time::Instant` and `std::time::Duration` do.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{Dur, Time};
+///
+/// let t = Time::ZERO + Dur::micros(430);
+/// assert_eq!(t.as_micros_f64(), 430.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Machine boot: the origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as an "infinite" deadline).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after boot.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Creates an instant `us` microseconds after boot.
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Nanoseconds since boot.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since boot, as a float (the paper's reporting unit).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Milliseconds since boot, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Time) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(earlier.0)
+            .expect("duration_since: `earlier` is later than `self`"))
+    }
+
+    /// Saturating version of [`Time::duration_since`]: returns [`Dur::ZERO`]
+    /// instead of panicking when `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+///
+/// Costs in the [`CostModel`](crate::CostModel) and all elapsed-time
+/// measurements are expressed as `Dur` values.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::Dur;
+///
+/// let per_cpu = Dur::micros(55);
+/// assert_eq!((per_cpu * 4).as_micros_f64(), 220.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Dur {
+    /// The empty span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Creates a span of `ns` nanoseconds.
+    pub const fn nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Creates a span of `us` microseconds.
+    pub const fn micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a span of `ms` milliseconds.
+    pub const fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// The span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in microseconds, as a float (the paper's reporting unit).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the span by a float factor, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> Dur {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "Dur::mul_f64: factor must be finite and non-negative, got {factor}"
+        );
+        Dur((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("Dur subtraction underflow"))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_micros(10) + Dur::nanos(500);
+        assert_eq!(t.as_nanos(), 10_500);
+        assert_eq!(t.duration_since(Time::from_micros(10)), Dur::nanos(500));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let early = Time::from_micros(1);
+        let late = Time::from_micros(2);
+        assert_eq!(early.saturating_duration_since(late), Dur::ZERO);
+        assert_eq!(late.saturating_duration_since(early), Dur::micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_reversed_order() {
+        let _ = Time::ZERO.duration_since(Time::from_micros(1));
+    }
+
+    #[test]
+    fn dur_scaling() {
+        assert_eq!(Dur::micros(55) * 3, Dur::micros(165));
+        assert_eq!(Dur::micros(100) / 4, Dur::micros(25));
+        assert_eq!(Dur::micros(10).mul_f64(1.5), Dur::micros(15));
+    }
+
+    #[test]
+    fn dur_sum() {
+        let total: Dur = [Dur::micros(1), Dur::micros(2), Dur::micros(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Dur::micros(6));
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        assert_eq!(Dur::nanos(1_500).to_string(), "1.500us");
+        assert_eq!(Time::from_micros(430).to_string(), "430.000us");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be finite")]
+    fn mul_f64_rejects_negative() {
+        let _ = Dur::micros(1).mul_f64(-1.0);
+    }
+
+    #[test]
+    fn time_add_saturates_at_max() {
+        assert_eq!(Time::MAX + Dur::micros(1), Time::MAX);
+    }
+}

@@ -1,0 +1,125 @@
+//! TLB hardware configuration: the design space of Sections 3, 9, and 10.
+
+use std::fmt;
+
+/// How the TLB is refilled on a miss.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ReloadPolicy {
+    /// The MMU walks the page tables autonomously. This is TLB feature 1 of
+    /// Section 3: "hardware reload mechanisms can reload inconsistent
+    /// entries after they are flushed", which is why flushing before the
+    /// pmap change is insufficient and responders must stall.
+    #[default]
+    Hardware,
+    /// A software miss handler refills the TLB (MIPS-style, Section 9).
+    /// The handler can check whether the pmap is being modified and only
+    /// stall in that case, so responders may return immediately.
+    Software,
+}
+
+/// How referenced/modified bits reach the memory-resident page table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WritebackPolicy {
+    /// The TLB writes its cached copy of the whole entry back to memory,
+    /// without interlock, whenever it sets a referenced or modified bit.
+    /// This is TLB feature 2 of Section 3: a stale writeback "can corrupt
+    /// physical map changes if flushing is postponed until after the
+    /// physical map is changed".
+    #[default]
+    NonInterlocked,
+    /// Referenced/modified updates are interlocked read-modify-write
+    /// accesses that re-check mapping validity (the MC88200 technique,
+    /// Section 9): a stale entry can no longer corrupt the page table, so
+    /// shootdown interrupts may be postponed until after the pmap change.
+    Interlocked,
+    /// The hardware maintains no referenced/modified bits at all (the RP3
+    /// technique, Section 9); page faults detect modifications instead.
+    None,
+}
+
+/// Configuration of a simulated TLB.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
+///
+/// let multimax = TlbConfig::multimax();
+/// assert_eq!(multimax.reload, ReloadPolicy::Hardware);
+/// assert_eq!(multimax.writeback, WritebackPolicy::NonInterlocked);
+/// assert!(!multimax.asid_tagged);
+///
+/// let mips = TlbConfig { reload: ReloadPolicy::Software, asid_tagged: true, ..multimax };
+/// assert!(mips.asid_tagged);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub capacity: usize,
+    /// When a consistency action must invalidate more than this many pages,
+    /// flushing the whole buffer is cheaper than individual invalidates
+    /// (omitted detail 1 of Section 4). The responder consults
+    /// [`Tlb::plan_invalidation`](crate::Tlb::plan_invalidation).
+    pub flush_threshold: u64,
+    /// Miss handling.
+    pub reload: ReloadPolicy,
+    /// Referenced/modified-bit maintenance.
+    pub writeback: WritebackPolicy,
+    /// Whether entries are tagged with an address-space identifier so that
+    /// "entries from different address spaces \[can\] coexist in the same
+    /// buffer" and context switches need not flush (MIPS-style, Section 10).
+    pub asid_tagged: bool,
+}
+
+impl TlbConfig {
+    /// The stock Multimax-like configuration the paper's measurements use:
+    /// hardware reload, non-interlocked writeback, untagged.
+    pub fn multimax() -> TlbConfig {
+        TlbConfig {
+            capacity: 64,
+            flush_threshold: 8,
+            reload: ReloadPolicy::Hardware,
+            writeback: WritebackPolicy::NonInterlocked,
+            asid_tagged: false,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> TlbConfig {
+        TlbConfig::multimax()
+    }
+}
+
+impl fmt::Display for TlbConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries, {:?} reload, {:?} writeback, {}",
+            self.capacity,
+            self.reload,
+            self.writeback,
+            if self.asid_tagged { "asid-tagged" } else { "untagged" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_hardware() {
+        let c = TlbConfig::default();
+        assert_eq!(c, TlbConfig::multimax());
+        assert_eq!(c.capacity, 64);
+        assert!(c.flush_threshold < c.capacity as u64);
+    }
+
+    #[test]
+    fn display_mentions_key_choices() {
+        let s = TlbConfig::multimax().to_string();
+        assert!(s.contains("Hardware"));
+        assert!(s.contains("untagged"));
+    }
+}

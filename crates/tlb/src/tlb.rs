@@ -1,0 +1,498 @@
+//! The translation lookaside buffer.
+
+use std::fmt;
+
+use machtlb_pmap::{Access, PageRange, PmapId, Pte, Vpn};
+use machtlb_sim::Time;
+
+use crate::config::{TlbConfig, WritebackPolicy};
+
+/// One cached translation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// The address space the translation belongs to.
+    pub pmap: PmapId,
+    /// The virtual page.
+    pub vpn: Vpn,
+    /// The TLB's cached copy of the page-table entry, including the
+    /// referenced/modified bits *as the TLB believes them*. Under
+    /// non-interlocked writeback this whole value is what gets written back
+    /// to memory — stale or not.
+    pub pte: Pte,
+    /// When the entry was loaded (diagnostics).
+    pub loaded_at: Time,
+}
+
+/// A referenced/modified-bit writeback the TLB wants to perform against the
+/// memory-resident page table. How it is applied depends on
+/// [`WritebackPolicy`]; the memory-access path in `machtlb-core` applies it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Writeback {
+    /// The address space of the entry being written back.
+    pub pmap: PmapId,
+    /// The page whose entry is written back.
+    pub vpn: Vpn,
+    /// The full cached entry value (with the new bits) — what a
+    /// non-interlocked writeback stores over the in-memory PTE.
+    pub pte: Pte,
+    /// The access that triggered the writeback (determines which bits an
+    /// interlocked merge sets).
+    pub access: Access,
+}
+
+/// Result of a TLB lookup.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The translation was cached. `writeback` is present when the access
+    /// newly set a referenced or modified bit and the hardware maintains
+    /// those bits in memory.
+    Hit {
+        /// The cached entry (rights as the TLB believes them).
+        pte: Pte,
+        /// A pending referenced/modified writeback, if any.
+        writeback: Option<Writeback>,
+    },
+    /// No cached translation; the reload path runs.
+    Miss,
+}
+
+/// How a responder should invalidate a range: individually or by flushing
+/// the whole buffer (omitted detail 1 of Section 4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InvalidationPlan {
+    /// Invalidate each page separately.
+    Individual(u64),
+    /// Cheaper to flush everything.
+    FullFlush,
+}
+
+/// Cumulative TLB statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries dropped by invalidate operations.
+    pub invalidated: u64,
+    /// Whole-buffer flushes.
+    pub flushes: u64,
+    /// Referenced/modified writebacks issued.
+    pub writebacks: u64,
+}
+
+/// A translation lookaside buffer: a small, fully associative, LRU-replaced
+/// cache of page-table entries.
+///
+/// The buffer holds plain data; the *time* costs of invalidates, flushes,
+/// and reload walks are charged by the processes performing them via the
+/// [`CostModel`](machtlb_sim::CostModel).
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{Access, Pfn, PmapId, Prot, Pte, Vpn};
+/// use machtlb_sim::Time;
+/// use machtlb_tlb::{Lookup, Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::multimax());
+/// let pmap = PmapId::new(1);
+/// let vpn = Vpn::new(0x10);
+/// assert_eq!(tlb.lookup(pmap, vpn, Access::Read, Time::ZERO), Lookup::Miss);
+/// tlb.insert(pmap, vpn, Pte::valid(Pfn::new(3), Prot::READ), Time::ZERO);
+/// assert!(matches!(tlb.lookup(pmap, vpn, Access::Read, Time::ZERO), Lookup::Hit { .. }));
+/// ```
+#[derive(Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    slots: Vec<Option<TlbEntry>>,
+    last_used: Vec<u64>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(config: TlbConfig) -> Tlb {
+        assert!(config.capacity > 0, "a TLB needs at least one entry");
+        Tlb {
+            slots: vec![None; config.capacity],
+            last_used: vec![0; config.capacity],
+            tick: 0,
+            config,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn find(&self, pmap: PmapId, vpn: Vpn) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.is_some_and(|e| e.pmap == pmap && e.vpn == vpn))
+    }
+
+    /// Looks up a translation for an access of the given kind. On a
+    /// permitting hit, referenced (and for writes modified) bits are set in
+    /// the cached entry; if that newly sets a bit and the hardware maintains
+    /// the bits in memory, the returned [`Writeback`] must be applied to the
+    /// page table by the caller according to the writeback policy.
+    pub fn lookup(&mut self, pmap: PmapId, vpn: Vpn, access: Access, _now: Time) -> Lookup {
+        let Some(i) = self.find(pmap, vpn) else {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        self.tick += 1;
+        self.last_used[i] = self.tick;
+        self.stats.hits += 1;
+        let entry = self.slots[i].as_mut().expect("found slot is full");
+        if !entry.pte.permits(access) {
+            // Protection fault: no bits set, no writeback.
+            return Lookup::Hit {
+                pte: entry.pte,
+                writeback: None,
+            };
+        }
+        let touched = entry.pte.touched(access);
+        let changed = touched != entry.pte;
+        let mut writeback = None;
+        if changed {
+            if self.config.writeback == WritebackPolicy::None {
+                // Hardware without referenced/modified bits never records
+                // them — neither in the buffer nor in memory.
+            } else {
+                entry.pte = touched;
+                writeback = Some(Writeback {
+                    pmap,
+                    vpn,
+                    pte: touched,
+                    access,
+                });
+                self.stats.writebacks += 1;
+            }
+        }
+        Lookup::Hit {
+            pte: entry.pte,
+            writeback,
+        }
+    }
+
+    /// Caches a translation, evicting the least recently used entry if the
+    /// buffer is full. Returns the evicted entry, if any.
+    ///
+    /// If an entry for `(pmap, vpn)` already exists it is overwritten in
+    /// place (hardware reload refreshes the cached copy).
+    pub fn insert(&mut self, pmap: PmapId, vpn: Vpn, pte: Pte, now: Time) -> Option<TlbEntry> {
+        self.tick += 1;
+        self.stats.insertions += 1;
+        let entry = TlbEntry {
+            pmap,
+            vpn,
+            pte,
+            loaded_at: now,
+        };
+        if let Some(i) = self.find(pmap, vpn) {
+            self.last_used[i] = self.tick;
+            self.slots[i] = Some(entry);
+            return None;
+        }
+        if let Some(i) = self.slots.iter().position(Option::is_none) {
+            self.last_used[i] = self.tick;
+            self.slots[i] = Some(entry);
+            return None;
+        }
+        let victim = (0..self.slots.len())
+            .min_by_key(|&i| self.last_used[i])
+            .expect("capacity > 0");
+        self.stats.evictions += 1;
+        self.last_used[victim] = self.tick;
+        self.slots[victim].replace(entry)
+    }
+
+    /// Drops the entry for `(pmap, vpn)` if cached. Returns whether one was
+    /// present.
+    pub fn invalidate(&mut self, pmap: PmapId, vpn: Vpn) -> bool {
+        if let Some(i) = self.find(pmap, vpn) {
+            self.slots[i] = None;
+            self.stats.invalidated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every cached entry of `pmap` within `range`. Returns how many
+    /// were dropped.
+    pub fn invalidate_range(&mut self, pmap: PmapId, range: PageRange) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.pmap == pmap && range.contains(e.vpn)) {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.stats.invalidated += n;
+        n
+    }
+
+    /// Drops everything. Returns how many entries were cached.
+    pub fn flush_all(&mut self) -> u64 {
+        let n = self.slots.iter().filter(|s| s.is_some()).count() as u64;
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.stats.flushes += 1;
+        n
+    }
+
+    /// Drops every entry of `pmap` (an ASID flush). Returns how many were
+    /// dropped.
+    pub fn flush_pmap(&mut self, pmap: PmapId) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.pmap == pmap) {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.stats.invalidated += n;
+        n
+    }
+
+    /// Whether invalidating `range` should use individual invalidates or a
+    /// whole-buffer flush, per the configured threshold.
+    pub fn plan_invalidation(&self, range: PageRange) -> InvalidationPlan {
+        if range.count() > self.config.flush_threshold {
+            InvalidationPlan::FullFlush
+        } else {
+            InvalidationPlan::Individual(range.count())
+        }
+    }
+
+    /// The cached entry for `(pmap, vpn)`, if any, without touching LRU
+    /// state or statistics (for inspection and consistency checking).
+    pub fn peek(&self, pmap: PmapId, vpn: Vpn) -> Option<TlbEntry> {
+        self.find(pmap, vpn).and_then(|i| self.slots[i])
+    }
+
+    /// Iterates over the cached entries in slot order (for inspection and
+    /// consistency checking).
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// What a context switch away from `old` does to the buffer: untagged
+    /// hardware flushes everything; ASID-tagged hardware keeps entries
+    /// (Section 10). Returns how many entries were dropped.
+    pub fn on_context_switch(&mut self, _old: PmapId) -> u64 {
+        if self.config.asid_tagged {
+            0
+        } else {
+            self.flush_all()
+        }
+    }
+}
+
+impl fmt::Debug for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tlb")
+            .field("config", &self.config)
+            .field("len", &self.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machtlb_pmap::{Pfn, Prot};
+
+    fn tlb() -> Tlb {
+        Tlb::new(TlbConfig::multimax())
+    }
+
+    fn pte(pfn: u64, prot: Prot) -> Pte {
+        Pte::valid(Pfn::new(pfn), prot)
+    }
+
+    const P1: PmapId = PmapId::new(1);
+    const P2: PmapId = PmapId::new(2);
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tlb();
+        assert_eq!(t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO), Lookup::Miss);
+        t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
+        match t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO) {
+            Lookup::Hit { pte: got, .. } => assert_eq!(got.pfn, Pfn::new(9)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn entries_are_pmap_scoped() {
+        let mut t = tlb();
+        t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
+        assert_eq!(t.lookup(P2, Vpn::new(1), Access::Read, Time::ZERO), Lookup::Miss);
+    }
+
+    #[test]
+    fn first_read_emits_referenced_writeback_once() {
+        let mut t = tlb();
+        t.insert(P1, Vpn::new(1), pte(9, Prot::READ_WRITE), Time::ZERO);
+        let Lookup::Hit { writeback, .. } = t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO)
+        else {
+            panic!("expected hit")
+        };
+        let wb = writeback.expect("first read sets the referenced bit");
+        assert!(wb.pte.referenced && !wb.pte.modified);
+        // Second read: bit already set, no writeback.
+        let Lookup::Hit { writeback, .. } = t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO)
+        else {
+            panic!("expected hit")
+        };
+        assert!(writeback.is_none());
+        // First write still sets modified.
+        let Lookup::Hit { writeback, .. } = t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
+        else {
+            panic!("expected hit")
+        };
+        assert!(writeback.expect("write sets modified").pte.modified);
+        assert_eq!(t.stats().writebacks, 2);
+    }
+
+    #[test]
+    fn no_refmod_hardware_never_writes_back() {
+        let mut t = Tlb::new(TlbConfig {
+            writeback: WritebackPolicy::None,
+            ..TlbConfig::multimax()
+        });
+        t.insert(P1, Vpn::new(1), pte(9, Prot::READ_WRITE), Time::ZERO);
+        let Lookup::Hit { writeback, pte: got } =
+            t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
+        else {
+            panic!("expected hit")
+        };
+        assert!(writeback.is_none());
+        assert!(!got.referenced && !got.modified);
+    }
+
+    #[test]
+    fn protection_fault_hit_sets_no_bits() {
+        let mut t = tlb();
+        t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
+        let Lookup::Hit { writeback, pte: got } =
+            t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
+        else {
+            panic!("expected hit")
+        };
+        assert!(writeback.is_none());
+        assert!(!got.prot.allows(Access::Write));
+        assert!(!got.modified);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut t = Tlb::new(TlbConfig {
+            capacity: 2,
+            ..TlbConfig::multimax()
+        });
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        t.insert(P1, Vpn::new(2), pte(2, Prot::READ), Time::ZERO);
+        // Touch vpn 1 so vpn 2 becomes LRU.
+        let _ = t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO);
+        let evicted = t.insert(P1, Vpn::new(3), pte(3, Prot::READ), Time::ZERO);
+        assert_eq!(evicted.expect("buffer was full").vpn, Vpn::new(2));
+        assert!(t.peek(P1, Vpn::new(1)).is_some());
+        assert!(t.peek(P1, Vpn::new(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_overwrites_in_place() {
+        let mut t = tlb();
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        let evicted = t.insert(P1, Vpn::new(1), pte(2, Prot::READ_WRITE), Time::ZERO);
+        assert!(evicted.is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.peek(P1, Vpn::new(1)).expect("present").pte.pfn, Pfn::new(2));
+    }
+
+    #[test]
+    fn invalidate_range_and_flush_pmap() {
+        let mut t = tlb();
+        for v in 0..10 {
+            t.insert(P1, Vpn::new(v), pte(v, Prot::READ), Time::ZERO);
+        }
+        t.insert(P2, Vpn::new(3), pte(99, Prot::READ), Time::ZERO);
+        assert_eq!(t.invalidate_range(P1, PageRange::new(Vpn::new(2), 4)), 4);
+        assert!(t.peek(P1, Vpn::new(3)).is_none());
+        assert!(t.peek(P2, Vpn::new(3)).is_some(), "other pmap untouched");
+        assert_eq!(t.flush_pmap(P1), 6);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn plan_uses_threshold() {
+        let t = tlb(); // threshold 8
+        assert_eq!(
+            t.plan_invalidation(PageRange::new(Vpn::new(0), 8)),
+            InvalidationPlan::Individual(8)
+        );
+        assert_eq!(
+            t.plan_invalidation(PageRange::new(Vpn::new(0), 9)),
+            InvalidationPlan::FullFlush
+        );
+    }
+
+    #[test]
+    fn context_switch_flushes_untagged_only() {
+        let mut untagged = tlb();
+        untagged.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        assert_eq!(untagged.on_context_switch(P1), 1);
+        assert!(untagged.is_empty());
+
+        let mut tagged = Tlb::new(TlbConfig {
+            asid_tagged: true,
+            ..TlbConfig::multimax()
+        });
+        tagged.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        assert_eq!(tagged.on_context_switch(P1), 0);
+        assert_eq!(tagged.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(TlbConfig {
+            capacity: 0,
+            ..TlbConfig::multimax()
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! User-level memory access with fault handling, as an embeddable
+//! sub-state machine.
+
+use machtlb_core::{drive, try_access, AccessOutcome, Driven, MemOp};
+use machtlb_pmap::Vaddr;
+use machtlb_sim::{Ctx, Dur, Step};
+
+use crate::fault::{FaultProcess, FaultResult};
+use crate::state::HasVm;
+use crate::task::TaskId;
+
+/// How a user access ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UserAccessResult {
+    /// The access completed with this value.
+    Ok(u64),
+    /// The access is impossible: an unrecoverable fault (the thread should
+    /// terminate, as the consistency tester's children do).
+    Killed,
+}
+
+#[derive(Debug)]
+enum APhase {
+    Try,
+    Faulting,
+}
+
+/// One user-level access, retrying through the fault path as needed.
+/// Embed it in a thread and drive with [`UserAccess::step`] until it
+/// returns a result.
+///
+/// # Examples
+///
+/// See the crate-level example; threads in `machtlb-workloads` use this
+/// for every load and store.
+#[derive(Debug)]
+pub struct UserAccess {
+    task: TaskId,
+    va: Vaddr,
+    op: MemOp,
+    phase: APhase,
+    fault: Option<FaultProcess>,
+    retries: u32,
+}
+
+/// A step of an in-progress [`UserAccess`].
+#[derive(Debug)]
+pub enum UserAccessStep {
+    /// Not finished; yield this step.
+    Yield(Step),
+    /// Finished with this result; the final action cost is included.
+    Finished(UserAccessResult, Dur),
+}
+
+impl UserAccess {
+    /// Creates an access of `va` in `task`'s space.
+    pub fn new(task: TaskId, va: Vaddr, op: MemOp) -> UserAccess {
+        UserAccess {
+            task,
+            va,
+            op,
+            phase: APhase::Try,
+            fault: None,
+            retries: 0,
+        }
+    }
+
+    /// Advances the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access livelocks through more than 100 resolved
+    /// faults (a kernel bug, not a workload condition).
+    pub fn step<S: HasVm>(&mut self, ctx: &mut Ctx<'_, S, ()>) -> UserAccessStep {
+        match self.phase {
+            APhase::Try => {
+                let pmap = ctx.shared.vm_mut().pmap_of(self.task);
+                match try_access(ctx, pmap, self.va, self.op) {
+                    AccessOutcome::Ok { value, cost } => {
+                        UserAccessStep::Finished(UserAccessResult::Ok(value), cost)
+                    }
+                    AccessOutcome::Stall { cost } => UserAccessStep::Yield(Step::Run(cost)),
+                    AccessOutcome::Fault { cost } => {
+                        self.retries += 1;
+                        assert!(
+                            self.retries <= 100,
+                            "access to {} in {} livelocked through {} faults",
+                            self.va,
+                            self.task,
+                            self.retries
+                        );
+                        self.fault = Some(FaultProcess::new(
+                            self.task,
+                            self.va.vpn(),
+                            self.op.access(),
+                        ));
+                        self.phase = APhase::Faulting;
+                        UserAccessStep::Yield(Step::Run(cost))
+                    }
+                }
+            }
+            APhase::Faulting => {
+                let fault = self.fault.as_mut().expect("set on entry to Faulting");
+                match drive(fault, ctx) {
+                    Driven::Yield(s) => UserAccessStep::Yield(s),
+                    Driven::Finished(d) => {
+                        let result = fault.result().expect("fault completed");
+                        self.fault = None;
+                        match result {
+                            FaultResult::Resolved => {
+                                self.phase = APhase::Try;
+                                UserAccessStep::Yield(Step::Run(d))
+                            }
+                            FaultResult::Unrecoverable => {
+                                UserAccessStep::Finished(UserAccessResult::Killed, d)
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

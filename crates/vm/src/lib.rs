@@ -1,0 +1,356 @@
+//! # machtlb-vm — the machine-independent VM system
+//!
+//! The Mach VM layer of the `machtlb` reproduction of *Translation
+//! Lookaside Buffer Consistency: A Software Approach* (Black et al.,
+//! ASPLOS 1989): tasks and address maps with entry clipping ([`Task`],
+//! [`VmMap`]), VM objects with shadow chains for copy-on-write
+//! ([`ObjectTable`]), the fault path that lazily fills pmaps
+//! ([`FaultProcess`]), and the address-space operations whose pmap
+//! consequences drive TLB shootdowns ([`VmOpProcess`]).
+//!
+//! This is the layer that makes the paper's measurements meaningful: lazy
+//! pmap fill is why the lazy-evaluation check eliminates shootdowns
+//! (Table 1), and aggressive copy-on-write sharing is why Camelot is the
+//! only application causing user-pmap shootdowns (Table 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use machtlb_core::KernelConfig;
+//! use machtlb_sim::CostModel;
+//! use machtlb_vm::{build_system_machine, TaskId};
+//!
+//! let mut m = build_system_machine(4, 1, CostModel::multimax(), KernelConfig::default());
+//! let s = m.shared_mut();
+//! let machtlb_vm::SystemState { kernel, vm } = s;
+//! let task = vm.create_task(kernel);
+//! assert_ne!(task, TaskId::KERNEL);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod fault;
+mod map;
+mod object;
+mod ops;
+mod remote;
+mod state;
+mod task;
+
+pub use access::{UserAccess, UserAccessResult, UserAccessStep};
+pub use fault::{FaultProcess, FaultResult};
+pub use map::{Inheritance, MapError, VmEntry, VmMap};
+pub use object::{ObjectTable, VmObject, VmObjectId};
+pub use ops::{VmOp, VmOpOutcome, VmOpProcess};
+pub use remote::{RemoteCopyProcess, RemoteCopyResult};
+pub use state::{build_system_machine, HasVm, SystemMachine, SystemState, VmState, VmStats};
+pub use task::{
+    Task, TaskId, KERNEL_SPAN_PAGES, KERNEL_SPAN_START, USER_SPAN_PAGES, USER_SPAN_START,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machtlb_core::{drive, Driven, ExitIdleProcess, KernelConfig, MemOp, SwitchUserPmapProcess};
+    use machtlb_pmap::{PageRange, Prot, Vaddr, Vpn};
+    use machtlb_sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
+
+    /// A scripted thread: exits idle, then performs actions in order.
+    #[derive(Debug)]
+    enum Act {
+        Switch(TaskId),
+        Op(VmOp),
+        Write(TaskId, u64, u64),
+        /// Read and assert the value.
+        ReadExpect(TaskId, u64, u64),
+        /// Increment the word until killed by an unrecoverable fault.
+        WriteLoop(TaskId, u64),
+    }
+
+    #[derive(Debug)]
+    struct Script {
+        acts: Vec<Act>,
+        idx: usize,
+        exit_idle: Option<ExitIdleProcess>,
+        switch: Option<SwitchUserPmapProcess>,
+        op: Option<VmOpProcess>,
+        access: Option<UserAccess>,
+        loop_count: u64,
+    }
+
+    impl Script {
+        fn new(acts: Vec<Act>) -> Script {
+            Script {
+                acts,
+                idx: 0,
+                exit_idle: Some(ExitIdleProcess::new()),
+                switch: None,
+                op: None,
+                access: None,
+                loop_count: 0,
+            }
+        }
+    }
+
+    impl Process<SystemState, ()> for Script {
+        fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+            if let Some(exit) = self.exit_idle.as_mut() {
+                return match drive(exit, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.exit_idle = None;
+                        Step::Run(d)
+                    }
+                };
+            }
+            if let Some(sw) = self.switch.as_mut() {
+                return match drive(sw, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.switch = None;
+                        self.idx += 1;
+                        Step::Run(d)
+                    }
+                };
+            }
+            if let Some(op) = self.op.as_mut() {
+                return match drive(op, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        assert!(!op.failed(), "vm op failed: {op:?}");
+                        self.op = None;
+                        self.idx += 1;
+                        Step::Run(d)
+                    }
+                };
+            }
+            if let Some(acc) = self.access.as_mut() {
+                return match acc.step(ctx) {
+                    UserAccessStep::Yield(s) => s,
+                    UserAccessStep::Finished(result, d) => {
+                        self.access = None;
+                        match (&self.acts[self.idx], result) {
+                            (Act::ReadExpect(_, _, want), UserAccessResult::Ok(got)) => {
+                                assert_eq!(got, *want, "read mismatch at act {}", self.idx);
+                                self.idx += 1;
+                            }
+                            (Act::WriteLoop(..), UserAccessResult::Ok(_)) => {
+                                self.loop_count += 1;
+                                // Stay on the same act: issue another write.
+                            }
+                            (Act::WriteLoop(..), UserAccessResult::Killed) => {
+                                self.idx += 1;
+                            }
+                            (_, UserAccessResult::Ok(_)) => {
+                                self.idx += 1;
+                            }
+                            (act, UserAccessResult::Killed) => {
+                                panic!("unexpected kill during {act:?}");
+                            }
+                        }
+                        Step::Run(d)
+                    }
+                };
+            }
+            let Some(act) = self.acts.get(self.idx) else {
+                return Step::Done(Dur::micros(1));
+            };
+            match act {
+                Act::Switch(task) => {
+                    let pmap = ctx.shared.vm.pmap_of(*task);
+                    self.switch = Some(SwitchUserPmapProcess::new(Some(pmap)));
+                }
+                Act::Op(op) => {
+                    self.op = Some(VmOpProcess::new(*op));
+                }
+                Act::Write(task, va, value) => {
+                    self.access =
+                        Some(UserAccess::new(*task, Vaddr::new(*va), MemOp::Write(*value)));
+                }
+                Act::ReadExpect(task, va, _) => {
+                    self.access = Some(UserAccess::new(*task, Vaddr::new(*va), MemOp::Read));
+                }
+                Act::WriteLoop(task, va) => {
+                    self.access = Some(UserAccess::new(
+                        *task,
+                        Vaddr::new(*va),
+                        MemOp::Write(self.loop_count + 1),
+                    ));
+                }
+            }
+            Step::Run(Dur::micros(1))
+        }
+
+        fn label(&self) -> &'static str {
+            "script"
+        }
+    }
+
+    fn system(n_cpus: usize) -> (SystemMachine, TaskId) {
+        let mut m = build_system_machine(n_cpus, 21, CostModel::multimax(), KernelConfig::default());
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        let task = vm.create_task(kernel);
+        (m, task)
+    }
+
+    const PAGE: u64 = 4096;
+
+    #[test]
+    fn allocate_fault_and_access_round_trip() {
+        let (mut m, task) = system(1);
+        let base = (USER_SPAN_START + 0x10) * PAGE;
+        let script = Script::new(vec![
+            Act::Switch(task),
+            Act::Op(VmOp::Allocate { task, pages: 4, at: Some(Vpn::new(USER_SPAN_START + 0x10)) }),
+            Act::Write(task, base + 8, 0xDEAD),
+            Act::ReadExpect(task, base + 8, 0xDEAD),
+            Act::ReadExpect(task, base + 3 * PAGE, 0),
+        ]);
+        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(script));
+        let r = m.run_bounded(Time::from_micros(1_000_000), 2_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = m.shared();
+        assert!(s.kernel.checker.is_consistent());
+        assert!(s.vm.stats.zero_fills >= 2);
+        assert!(s.kernel.stats.faults >= 2);
+        assert_eq!(s.vm.stats.unrecoverable, 0);
+    }
+
+    #[test]
+    fn deallocate_shoots_down_concurrent_writer() {
+        let (mut m, task) = system(2);
+        let vpn = Vpn::new(USER_SPAN_START + 0x20);
+        let va = vpn.raw() * PAGE;
+        // cpu1: joins the task and hammers the page until killed.
+        let writer = Script::new(vec![
+            Act::Switch(task),
+            Act::Op(VmOp::Allocate { task, pages: 1, at: Some(vpn) }),
+            Act::WriteLoop(task, va),
+        ]);
+        // cpu0: joins the task, lets the writer establish its mapping,
+        // then deallocates the page out from under it.
+        let mut deallocator = vec![Act::Switch(task)];
+        deallocator.push(Act::Op(VmOp::Allocate {
+            task,
+            pages: 1,
+            at: Some(Vpn::new(USER_SPAN_START + 0x30)),
+        }));
+        for i in 0..50 {
+            deallocator.push(Act::Write(task, (USER_SPAN_START + 0x30) * PAGE, i));
+        }
+        deallocator.push(Act::Op(VmOp::Deallocate { task, range: PageRange::single(vpn) }));
+        let deallocator = Script::new(deallocator);
+        m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(writer));
+        m.spawn_at(CpuId::new(0), Time::from_micros(100), Box::new(deallocator));
+        let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent, "writer must be killed");
+        let s = m.shared();
+        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
+        assert!(s.kernel.stats.shootdowns_user >= 1, "deallocate shot the writer");
+        assert!(s.vm.stats.unrecoverable >= 1, "writer died on an unrecoverable fault");
+    }
+
+    #[test]
+    fn copy_on_write_isolates_both_sides() {
+        let (mut m, task_a) = system(1);
+        let task_b = {
+            let s = m.shared_mut();
+            let SystemState { kernel, vm } = s;
+            vm.create_task(kernel)
+        };
+        let vpn_a = Vpn::new(USER_SPAN_START + 0x40);
+        let va_a = vpn_a.raw() * PAGE;
+        // Destination placement is the first free range in B's empty map:
+        // the span start.
+        let va_b = USER_SPAN_START * PAGE;
+        let script = Script::new(vec![
+            Act::Switch(task_a),
+            Act::Op(VmOp::Allocate { task: task_a, pages: 1, at: Some(vpn_a) }),
+            Act::Write(task_a, va_a, 111),
+            Act::Op(VmOp::ShareCow {
+                src: task_a,
+                src_range: PageRange::single(vpn_a),
+                dst: task_b,
+            }),
+            // B sees the snapshot.
+            Act::Switch(task_b),
+            Act::ReadExpect(task_b, va_b, 111),
+            // B's write goes to a private copy.
+            Act::Write(task_b, va_b, 222),
+            Act::ReadExpect(task_b, va_b, 222),
+            // A still sees its data, then writes privately too.
+            Act::Switch(task_a),
+            Act::ReadExpect(task_a, va_a, 111),
+            Act::Write(task_a, va_a, 333),
+            Act::ReadExpect(task_a, va_a, 333),
+            // B is unaffected by A's write.
+            Act::Switch(task_b),
+            Act::ReadExpect(task_b, va_b, 222),
+        ]);
+        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(script));
+        let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = m.shared();
+        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
+        assert!(s.vm.stats.cow_copies >= 2, "both sides copied privately");
+        assert_eq!(s.vm.stats.unrecoverable, 0);
+    }
+
+    #[test]
+    fn terminate_destroys_the_pmap() {
+        let (mut m, task) = system(1);
+        let vpn = Vpn::new(USER_SPAN_START + 0x50);
+        let script = Script::new(vec![
+            Act::Switch(task),
+            Act::Op(VmOp::Allocate { task, pages: 2, at: Some(vpn) }),
+            Act::Write(task, vpn.raw() * PAGE, 5),
+            Act::Op(VmOp::Terminate { task }),
+        ]);
+        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(script));
+        let r = m.run_bounded(Time::from_micros(1_000_000), 2_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = m.shared();
+        let pmap = s.vm.pmap_of(task);
+        assert!(s.vm.task(task).is_terminated());
+        assert_eq!(s.kernel.pmaps.get(pmap).table().valid_count(), 0);
+        assert!(s.kernel.checker.is_consistent());
+    }
+
+    #[test]
+    fn protect_downgrade_kills_writer_on_other_cpu() {
+        let (mut m, task) = system(2);
+        let vpn = Vpn::new(USER_SPAN_START + 0x60);
+        let va = vpn.raw() * PAGE;
+        let writer = Script::new(vec![
+            Act::Switch(task),
+            Act::Op(VmOp::Allocate { task, pages: 1, at: Some(vpn) }),
+            Act::WriteLoop(task, va),
+        ]);
+        let mut protector = vec![Act::Switch(task)];
+        protector.push(Act::Op(VmOp::Allocate {
+            task,
+            pages: 1,
+            at: Some(Vpn::new(USER_SPAN_START + 0x61)),
+        }));
+        for i in 0..50 {
+            protector.push(Act::Write(task, (USER_SPAN_START + 0x61) * PAGE, i));
+        }
+        protector.push(Act::Op(VmOp::Protect {
+            task,
+            range: PageRange::single(vpn),
+            prot: Prot::READ,
+        }));
+        let protector = Script::new(protector);
+        m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(writer));
+        m.spawn_at(CpuId::new(0), Time::from_micros(100), Box::new(protector));
+        let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = m.shared();
+        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
+        assert!(s.kernel.stats.shootdowns_user >= 1);
+        assert!(s.vm.stats.unrecoverable >= 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Address maps: the machine-independent description of an address space.
+//!
+//! "The Mach VM system maintains all memory management information in
+//! machine-independent data structures, and does not need to consult the
+//! pmap module for address validity or mapping information" (Section 2).
+//! A [`VmMap`] is that structure: ordered entries mapping page ranges to
+//! VM objects, with the clipping machinery Mach uses so operations can be
+//! "invoked on arbitrary page-aligned regions of address spaces".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use machtlb_pmap::{PageRange, Prot, Vpn};
+
+use crate::object::{ObjectTable, VmObjectId};
+
+/// What a child task receives for an entry at task-creation time —
+/// Mach's "specification of inheritance of virtual memory" (Section 2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Inheritance {
+    /// The child gets a virtual copy (copy-on-write) — the Unix `fork`
+    /// semantics and the default.
+    #[default]
+    Copy,
+    /// The child maps the same object read-write ("read-write sharing of
+    /// portions of address spaces ... via an inheritance mechanism at task
+    /// creation").
+    Share,
+    /// The child gets nothing for this range.
+    None,
+}
+
+/// One address-map entry: a range of pages backed by an object.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct VmEntry {
+    /// The pages the entry covers.
+    pub range: PageRange,
+    /// The task-visible protection.
+    pub prot: Prot,
+    /// The backing object.
+    pub object: VmObjectId,
+    /// Page offset into the object of `range.start()`.
+    pub offset: u64,
+    /// Whether writes require a private copy in the entry's own (shadow)
+    /// object first.
+    pub cow: bool,
+    /// What a forked child receives for this range.
+    pub inheritance: Inheritance,
+}
+
+impl VmEntry {
+    /// The object page offset backing `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is outside the entry.
+    pub fn offset_of(&self, vpn: Vpn) -> u64 {
+        assert!(self.range.contains(vpn), "{vpn} outside {}", self.range);
+        self.offset + (vpn.raw() - self.range.start().raw())
+    }
+
+    fn split_at(self, at: Vpn) -> (VmEntry, VmEntry) {
+        debug_assert!(self.range.contains(at) && at != self.range.start());
+        let left_count = at.raw() - self.range.start().raw();
+        let left = VmEntry {
+            range: PageRange::new(self.range.start(), left_count),
+            ..self
+        };
+        let right = VmEntry {
+            range: PageRange::new(at, self.range.count() - left_count),
+            offset: self.offset + left_count,
+            ..self
+        };
+        (left, right)
+    }
+}
+
+/// Errors from address-map manipulation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The new entry overlaps an existing one.
+    Overlap,
+    /// The range lies outside the map's span.
+    OutOfSpan,
+    /// No free range of the requested size exists.
+    NoSpace,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap => write!(f, "entry overlaps an existing mapping"),
+            MapError::OutOfSpan => write!(f, "range outside the address map span"),
+            MapError::NoSpace => write!(f, "no free range of the requested size"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// An ordered address map with entry clipping and next-fit allocation.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::{PageRange, Prot, Vpn};
+/// use machtlb_vm::{ObjectTable, VmEntry, VmMap};
+///
+/// let mut objects = ObjectTable::new();
+/// let mut map = VmMap::new(PageRange::new(Vpn::new(0x100), 0x1000));
+/// let obj = objects.create();
+/// map.insert(VmEntry {
+///     range: PageRange::new(Vpn::new(0x100), 8),
+///     prot: Prot::READ_WRITE,
+///     object: obj,
+///     offset: 0,
+///     cow: false,
+///     inheritance: machtlb_vm::Inheritance::Copy,
+/// })?;
+/// assert!(map.lookup(Vpn::new(0x105)).is_some());
+/// assert!(map.lookup(Vpn::new(0x108)).is_none());
+/// # Ok::<(), machtlb_vm::MapError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct VmMap {
+    entries: BTreeMap<u64, VmEntry>,
+    span: PageRange,
+    cursor: u64,
+}
+
+impl VmMap {
+    /// Creates an empty map whose allocations live within `span`.
+    pub fn new(span: PageRange) -> VmMap {
+        VmMap {
+            entries: BTreeMap::new(),
+            span,
+            cursor: span.start().raw(),
+        }
+    }
+
+    /// The allocatable window.
+    pub fn span(&self) -> PageRange {
+        self.span
+    }
+
+    /// The entry covering `vpn`, if any.
+    pub fn lookup(&self, vpn: Vpn) -> Option<&VmEntry> {
+        self.entries
+            .range(..=vpn.raw())
+            .next_back()
+            .map(|(_, e)| e)
+            .filter(|e| e.range.contains(vpn))
+    }
+
+    /// Inserts an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Overlap`] if it overlaps an existing entry;
+    /// [`MapError::OutOfSpan`] if it lies outside the span.
+    pub fn insert(&mut self, entry: VmEntry) -> Result<(), MapError> {
+        if entry.range.start() < self.span.start() || entry.range.end() > self.span.end() {
+            return Err(MapError::OutOfSpan);
+        }
+        let overlaps = self
+            .entries_in(PageRange::new(entry.range.start(), entry.range.count()))
+            .next()
+            .is_some();
+        if overlaps {
+            return Err(MapError::Overlap);
+        }
+        self.entries.insert(entry.range.start().raw(), entry);
+        Ok(())
+    }
+
+    /// Splits entries so that no entry straddles a boundary of `range`.
+    /// Splitting duplicates an object reference.
+    pub fn clip(&mut self, range: PageRange, objects: &mut ObjectTable) {
+        for at in [range.start(), range.end()] {
+            let candidate = self
+                .entries
+                .range(..at.raw())
+                .next_back()
+                .map(|(_, e)| *e)
+                .filter(|e| e.range.contains(at) && e.range.start() != at);
+            if let Some(entry) = candidate {
+                let (left, right) = entry.split_at(at);
+                objects.reference(entry.object);
+                self.entries.insert(left.range.start().raw(), left);
+                self.entries.insert(right.range.start().raw(), right);
+            }
+        }
+    }
+
+    /// Removes every entry within `range` (after clipping), dropping their
+    /// object references, and returns them.
+    pub fn remove_range(&mut self, range: PageRange, objects: &mut ObjectTable) -> Vec<VmEntry> {
+        self.clip(range, objects);
+        let keys: Vec<u64> = self
+            .entries
+            .range(range.start().raw()..range.end().raw())
+            .map(|(&k, _)| k)
+            .collect();
+        let mut removed = Vec::with_capacity(keys.len());
+        for k in keys {
+            let e = self.entries.remove(&k).expect("key just listed");
+            objects.deref(e.object);
+            removed.push(e);
+        }
+        removed
+    }
+
+    /// Sets the protection of every entry within `range` (after clipping).
+    /// Returns how many entries changed.
+    pub fn protect_range(
+        &mut self,
+        range: PageRange,
+        prot: Prot,
+        objects: &mut ObjectTable,
+    ) -> usize {
+        self.clip(range, objects);
+        let mut changed = 0;
+        for (_, e) in self
+            .entries
+            .range_mut(range.start().raw()..range.end().raw())
+        {
+            if e.prot != prot {
+                e.prot = prot;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Iterates the entries fully or partially inside `range`.
+    pub fn entries_in(&self, range: PageRange) -> impl Iterator<Item = &VmEntry> {
+        let first = self
+            .entries
+            .range(..range.start().raw())
+            .next_back()
+            .map(|(_, e)| e)
+            .filter(|e| e.range.overlaps(range));
+        let rest = self
+            .entries
+            .range(range.start().raw()..range.end().raw())
+            .map(|(_, e)| e);
+        first.into_iter().chain(rest)
+    }
+
+    /// Mutable iteration over the entries inside `range` (clip first so
+    /// boundaries align).
+    pub fn entries_in_mut(&mut self, range: PageRange) -> impl Iterator<Item = &mut VmEntry> {
+        self.entries
+            .range_mut(range.start().raw()..range.end().raw())
+            .map(|(_, e)| e)
+    }
+
+    /// Finds a free range of `pages` pages, next-fit from the internal
+    /// cursor (wrapping once), and advances the cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NoSpace`] when no gap is large enough.
+    pub fn find_free(&mut self, pages: u64) -> Result<Vpn, MapError> {
+        assert!(pages > 0, "cannot allocate zero pages");
+        let scan = |map: &VmMap, from: u64, to: u64| -> Option<u64> {
+            let mut pos = from;
+            for (_, e) in map.entries.range(from..) {
+                let estart = e.range.start().raw();
+                if estart >= to {
+                    break;
+                }
+                if estart >= pos && estart - pos >= pages {
+                    return Some(pos);
+                }
+                pos = pos.max(e.range.end().raw());
+            }
+            if to >= pos && to - pos >= pages {
+                Some(pos)
+            } else {
+                None
+            }
+        };
+        // Conservative next-fit: scan from the cursor, but account for an
+        // entry straddling the cursor by starting at its end.
+        let start = match self.lookup(Vpn::new(self.cursor.min(self.span.end().raw() - 1))) {
+            Some(e) => e.range.end().raw(),
+            None => self.cursor,
+        };
+        let found = scan(self, start, self.span.end().raw())
+            .or_else(|| scan(self, self.span.start().raw(), self.span.end().raw()));
+        match found {
+            Some(vpn) => {
+                self.cursor = vpn + pages;
+                Ok(Vpn::new(vpn))
+            }
+            None => Err(MapError::NoSpace),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates all entries in address order.
+    pub fn entries(&self) -> impl Iterator<Item = &VmEntry> {
+        self.entries.values()
+    }
+
+    /// Total pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.entries.values().map(|e| e.range.count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (VmMap, ObjectTable, VmObjectId) {
+        let mut objects = ObjectTable::new();
+        let obj = objects.create();
+        let map = VmMap::new(PageRange::new(Vpn::new(0x100), 0x1000));
+        (map, objects, obj)
+    }
+
+    fn entry(obj: VmObjectId, start: u64, count: u64) -> VmEntry {
+        VmEntry {
+            range: PageRange::new(Vpn::new(start), count),
+            prot: Prot::READ_WRITE,
+            object: obj,
+            offset: 0,
+            cow: false,
+            inheritance: Inheritance::Copy,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (mut map, _objects, obj) = setup();
+        map.insert(entry(obj, 0x100, 8)).expect("fits");
+        assert!(map.lookup(Vpn::new(0x100)).is_some());
+        assert!(map.lookup(Vpn::new(0x107)).is_some());
+        assert!(map.lookup(Vpn::new(0x108)).is_none());
+        assert_eq!(map.insert(entry(obj, 0x104, 2)), Err(MapError::Overlap));
+        assert_eq!(map.insert(entry(obj, 0x50, 2)), Err(MapError::OutOfSpan));
+    }
+
+    #[test]
+    fn clip_splits_and_preserves_offsets() {
+        let (mut map, mut objects, obj) = setup();
+        map.insert(VmEntry { offset: 100, ..entry(obj, 0x100, 10) }).expect("fits");
+        map.clip(PageRange::new(Vpn::new(0x103), 4), &mut objects);
+        assert_eq!(map.len(), 3);
+        let mid = map.lookup(Vpn::new(0x103)).expect("middle entry");
+        assert_eq!(mid.range, PageRange::new(Vpn::new(0x103), 4));
+        assert_eq!(mid.offset, 103);
+        let right = map.lookup(Vpn::new(0x107)).expect("right entry");
+        assert_eq!(right.offset, 107);
+        assert_eq!(objects.get(obj).refs(), 3, "two splits added two refs");
+    }
+
+    #[test]
+    fn remove_range_middle() {
+        let (mut map, mut objects, obj) = setup();
+        map.insert(entry(obj, 0x100, 10)).expect("fits");
+        let removed = map.remove_range(PageRange::new(Vpn::new(0x102), 3), &mut objects);
+        assert_eq!(removed.len(), 1);
+        assert!(map.lookup(Vpn::new(0x101)).is_some());
+        assert!(map.lookup(Vpn::new(0x103)).is_none());
+        assert!(map.lookup(Vpn::new(0x105)).is_some());
+        assert_eq!(map.mapped_pages(), 7);
+    }
+
+    #[test]
+    fn protect_range_changes_only_inside() {
+        let (mut map, mut objects, obj) = setup();
+        map.insert(entry(obj, 0x100, 6)).expect("fits");
+        let changed = map.protect_range(PageRange::new(Vpn::new(0x102), 2), Prot::READ, &mut objects);
+        assert_eq!(changed, 1);
+        assert_eq!(map.lookup(Vpn::new(0x101)).expect("left").prot, Prot::READ_WRITE);
+        assert_eq!(map.lookup(Vpn::new(0x102)).expect("mid").prot, Prot::READ);
+        assert_eq!(map.lookup(Vpn::new(0x104)).expect("right").prot, Prot::READ_WRITE);
+    }
+
+    #[test]
+    fn find_free_next_fit_and_wrap() {
+        let (mut map, _objects, obj) = setup();
+        let a = map.find_free(16).expect("space");
+        map.insert(entry(obj, a.raw(), 16)).expect("fits");
+        let b = map.find_free(16).expect("space");
+        assert!(b.raw() >= a.raw() + 16, "next fit moves forward");
+        map.insert(entry(obj, b.raw(), 16)).expect("fits");
+        // Fill almost everything, then ask for something that only fits
+        // back at the start.
+        let big = map.find_free(0x1000 - 48).expect("big gap");
+        map.insert(entry(obj, big.raw(), 0x1000 - 48)).expect("fits");
+        let c = map.find_free(10).expect("wraps to find the leftover hole");
+        map.insert(entry(obj, c.raw(), 10)).expect("fits");
+        assert!(map.find_free(20).is_err(), "only 6 pages remain");
+    }
+
+    #[test]
+    fn entries_in_includes_straddlers() {
+        let (mut map, _objects, obj) = setup();
+        map.insert(entry(obj, 0x100, 4)).expect("fits");
+        map.insert(entry(obj, 0x104, 4)).expect("fits");
+        let hits: Vec<u64> = map
+            .entries_in(PageRange::new(Vpn::new(0x102), 4))
+            .map(|e| e.range.start().raw())
+            .collect();
+        assert_eq!(hits, vec![0x100, 0x104]);
+    }
+}

@@ -1,0 +1,351 @@
+//! VM objects: backing store with shadow chains for copy-on-write.
+//!
+//! Mach memory objects back ranges of address spaces. Copy-on-write is
+//! implemented with *shadow objects*: a task's view of copied memory is a
+//! chain whose top object holds the pages it has privately written and
+//! whose deeper objects hold the shared snapshot. A write fault copies the
+//! page into the top object; reads resolve down the chain.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use machtlb_pmap::Pfn;
+
+/// A VM object identifier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmObjectId(u32);
+
+impl VmObjectId {
+    /// The raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VmObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// One memory object: resident pages plus an optional shadowed parent.
+#[derive(Clone, Debug)]
+pub struct VmObject {
+    id: VmObjectId,
+    pages: HashMap<u64, Pfn>,
+    parent: Option<VmObjectId>,
+    refs: u32,
+}
+
+impl VmObject {
+    /// This object's id.
+    pub fn id(&self) -> VmObjectId {
+        self.id
+    }
+
+    /// The shadowed parent, if any.
+    pub fn parent(&self) -> Option<VmObjectId> {
+        self.parent
+    }
+
+    /// Resident pages in this object alone (not the chain).
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reference count (map entries pointing here or shadowing us).
+    pub fn refs(&self) -> u32 {
+        self.refs
+    }
+}
+
+/// The table of all VM objects in the system.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_pmap::Pfn;
+/// use machtlb_vm::ObjectTable;
+///
+/// let mut objects = ObjectTable::new();
+/// let base = objects.create();
+/// objects.insert_page(base, 3, Pfn::new(42));
+/// let shadow = objects.create_shadow(base);
+/// // The shadow sees the parent's page until it writes its own.
+/// assert_eq!(objects.lookup_page(shadow, 3), Some(Pfn::new(42)));
+/// assert!(!objects.has_own_page(shadow, 3));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ObjectTable {
+    objects: Vec<VmObject>,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> ObjectTable {
+        ObjectTable::default()
+    }
+
+    /// Creates a fresh zero-fill object with one reference.
+    pub fn create(&mut self) -> VmObjectId {
+        let id = VmObjectId(self.objects.len() as u32);
+        self.objects.push(VmObject {
+            id,
+            pages: HashMap::new(),
+            parent: None,
+            refs: 1,
+        });
+        id
+    }
+
+    /// Creates a shadow of `parent` (adding a reference to it) with one
+    /// reference of its own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist.
+    pub fn create_shadow(&mut self, parent: VmObjectId) -> VmObjectId {
+        self.get_mut(parent).refs += 1;
+        let id = VmObjectId(self.objects.len() as u32);
+        self.objects.push(VmObject {
+            id,
+            pages: HashMap::new(),
+            parent: Some(parent),
+            refs: 1,
+        });
+        id
+    }
+
+    /// The object with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn get(&self, id: VmObjectId) -> &VmObject {
+        &self.objects[id.0 as usize]
+    }
+
+    fn get_mut(&mut self, id: VmObjectId) -> &mut VmObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// Adds a reference to `id`.
+    pub fn reference(&mut self, id: VmObjectId) {
+        self.get_mut(id).refs += 1;
+    }
+
+    /// Drops a reference to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is already zero.
+    pub fn deref(&mut self, id: VmObjectId) {
+        let obj = self.get_mut(id);
+        assert!(obj.refs > 0, "deref of unreferenced {id}");
+        obj.refs -= 1;
+    }
+
+    /// Installs a resident page in `id` itself.
+    pub fn insert_page(&mut self, id: VmObjectId, offset: u64, pfn: Pfn) {
+        self.get_mut(id).pages.insert(offset, pfn);
+    }
+
+    /// Whether `id` holds the page itself (not via the chain): a private
+    /// copy already exists.
+    pub fn has_own_page(&self, id: VmObjectId, offset: u64) -> bool {
+        self.get(id).pages.contains_key(&offset)
+    }
+
+    /// Resolves a page down the shadow chain. Returns the frame and leaves
+    /// zero-fill (no page anywhere) as `None`.
+    pub fn lookup_page(&self, id: VmObjectId, offset: u64) -> Option<Pfn> {
+        let mut cur = Some(id);
+        while let Some(o) = cur {
+            let obj = self.get(o);
+            if let Some(&pfn) = obj.pages.get(&offset) {
+                return Some(pfn);
+            }
+            cur = obj.parent;
+        }
+        None
+    }
+
+    /// Depth of the chain walk needed to resolve `offset` (for cost
+    /// accounting): number of objects inspected.
+    pub fn lookup_depth(&self, id: VmObjectId, offset: u64) -> u32 {
+        let mut depth = 0;
+        let mut cur = Some(id);
+        while let Some(o) = cur {
+            depth += 1;
+            let obj = self.get(o);
+            if obj.pages.contains_key(&offset) {
+                return depth;
+            }
+            cur = obj.parent;
+        }
+        depth
+    }
+
+    /// Collapses `id`'s shadow chain where possible: if `id`'s parent is
+    /// referenced only by `id` (no other entry or shadow can see it), the
+    /// parent's pages that `id` has not overridden migrate into `id` and
+    /// the parent drops out of the chain — Mach's shadow-object collapse,
+    /// which keeps long-lived copy-on-write chains (fork trees,
+    /// transaction snapshots) from growing without bound.
+    ///
+    /// Returns how many chain links were removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not exist.
+    pub fn collapse(&mut self, id: VmObjectId) -> usize {
+        let mut removed = 0;
+        loop {
+            let Some(parent) = self.get(id).parent else {
+                return removed;
+            };
+            if self.get(parent).refs != 1 {
+                return removed;
+            }
+            // Migrate the parent's pages that `id` does not override, then
+            // splice the parent out.
+            let parent_pages: Vec<(u64, Pfn)> = self
+                .get(parent)
+                .pages
+                .iter()
+                .map(|(&o, &p)| (o, p))
+                .collect();
+            let grandparent = self.get(parent).parent;
+            {
+                let obj = self.get_mut(id);
+                for (offset, pfn) in parent_pages {
+                    obj.pages.entry(offset).or_insert(pfn);
+                }
+                obj.parent = grandparent;
+            }
+            // The parent's single reference (held by `id`) dies with it;
+            // its own reference to the grandparent transfers to `id`, so
+            // the counts stay balanced.
+            self.get_mut(parent).refs = 0;
+            self.get_mut(parent).pages.clear();
+            removed += 1;
+        }
+    }
+
+    /// Number of objects ever created.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_chain_resolution() {
+        let mut t = ObjectTable::new();
+        let base = t.create();
+        t.insert_page(base, 0, Pfn::new(10));
+        t.insert_page(base, 1, Pfn::new(11));
+        let mid = t.create_shadow(base);
+        t.insert_page(mid, 1, Pfn::new(21));
+        let top = t.create_shadow(mid);
+        t.insert_page(top, 2, Pfn::new(32));
+
+        assert_eq!(t.lookup_page(top, 0), Some(Pfn::new(10)), "from base");
+        assert_eq!(t.lookup_page(top, 1), Some(Pfn::new(21)), "mid wins over base");
+        assert_eq!(t.lookup_page(top, 2), Some(Pfn::new(32)), "own page");
+        assert_eq!(t.lookup_page(top, 9), None, "zero fill");
+        assert_eq!(t.lookup_depth(top, 0), 3);
+        assert_eq!(t.lookup_depth(top, 2), 1);
+    }
+
+    #[test]
+    fn has_own_page_is_chain_blind() {
+        let mut t = ObjectTable::new();
+        let base = t.create();
+        t.insert_page(base, 0, Pfn::new(1));
+        let top = t.create_shadow(base);
+        assert!(!t.has_own_page(top, 0));
+        t.insert_page(top, 0, Pfn::new(2));
+        assert!(t.has_own_page(top, 0));
+        assert_eq!(t.lookup_page(top, 0), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn reference_counting() {
+        let mut t = ObjectTable::new();
+        let base = t.create();
+        assert_eq!(t.get(base).refs(), 1);
+        let _shadow = t.create_shadow(base);
+        assert_eq!(t.get(base).refs(), 2);
+        t.deref(base);
+        t.deref(base);
+        assert_eq!(t.get(base).refs(), 0);
+    }
+
+    #[test]
+    fn collapse_merges_privately_owned_parents() {
+        let mut t = ObjectTable::new();
+        let base = t.create();
+        t.insert_page(base, 0, Pfn::new(10));
+        t.insert_page(base, 1, Pfn::new(11));
+        let top = t.create_shadow(base);
+        t.insert_page(top, 1, Pfn::new(21));
+        // base is still referenced by its creator entry: no collapse.
+        assert_eq!(t.collapse(top), 0);
+        // The creator entry goes away (deallocate): base now has one ref,
+        // held by `top` — collapse migrates page 0 and keeps top's page 1.
+        t.deref(base);
+        assert_eq!(t.collapse(top), 1);
+        assert_eq!(t.get(top).parent(), None);
+        assert_eq!(t.lookup_page(top, 0), Some(Pfn::new(10)));
+        assert_eq!(t.lookup_page(top, 1), Some(Pfn::new(21)));
+        assert_eq!(t.lookup_depth(top, 0), 1, "chain is gone");
+    }
+
+    #[test]
+    fn collapse_walks_whole_private_chains() {
+        let mut t = ObjectTable::new();
+        let a = t.create();
+        t.insert_page(a, 0, Pfn::new(1));
+        let b = t.create_shadow(a);
+        t.insert_page(b, 1, Pfn::new(2));
+        let c = t.create_shadow(b);
+        // a and b each hold exactly the ref from their shadow once the
+        // original entries die.
+        t.deref(a);
+        t.deref(b);
+        assert_eq!(t.collapse(c), 2);
+        assert_eq!(t.get(c).parent(), None);
+        assert_eq!(t.lookup_page(c, 0), Some(Pfn::new(1)));
+        assert_eq!(t.lookup_page(c, 1), Some(Pfn::new(2)));
+    }
+
+    #[test]
+    fn collapse_stops_at_shared_parents() {
+        let mut t = ObjectTable::new();
+        let base = t.create(); // refs: 1 (creator)
+        let left = t.create_shadow(base); // base refs: 2
+        let right = t.create_shadow(base); // base refs: 3
+        t.deref(base); // creator entry gone; refs: 2 (left, right)
+        assert_eq!(t.collapse(left), 0, "right still reads through base");
+        assert_eq!(t.get(left).parent(), Some(base));
+        let _ = right;
+    }
+
+    #[test]
+    #[should_panic(expected = "deref of unreferenced")]
+    fn over_deref_panics() {
+        let mut t = ObjectTable::new();
+        let base = t.create();
+        t.deref(base);
+        t.deref(base);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tasks: address-space containers.
+//!
+//! A Mach task owns an address space (a [`VmMap`] plus a pmap) and contains
+//! one or more threads; "all memory within a task's address space is
+//! completely shared among its threads; the threads may execute in parallel
+//! on multiprocessors" (Section 2). Thread scheduling lives in the
+//! workload layer; the task here is the address-space object.
+
+use std::fmt;
+
+use machtlb_pmap::{PageRange, PmapId, Vpn};
+use machtlb_sim::SpinLock;
+
+use crate::map::VmMap;
+
+/// A task identifier. Task 0 is the kernel task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// The kernel task.
+    pub const KERNEL: TaskId = TaskId(0);
+
+    /// Creates a task id.
+    pub const fn new(n: u32) -> TaskId {
+        TaskId(n)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the kernel task.
+    pub const fn is_kernel(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_kernel() {
+            write!(f, "task:kernel")
+        } else {
+            write!(f, "task:{}", self.0)
+        }
+    }
+}
+
+/// First page of the user address-space window.
+pub const USER_SPAN_START: u64 = 0x0_0100;
+/// Pages in the user window.
+pub const USER_SPAN_PAGES: u64 = 0x7_0000;
+/// First page of the kernel window (upper half of the 20-bit VPN space).
+pub const KERNEL_SPAN_START: u64 = 0x8_0000;
+/// Pages in the kernel window.
+pub const KERNEL_SPAN_PAGES: u64 = 0x7_0000;
+
+/// A task: pmap + address map + the map lock serialising VM operations and
+/// faults on the address space.
+pub struct Task {
+    id: TaskId,
+    pmap: PmapId,
+    map: VmMap,
+    map_lock: SpinLock,
+    terminated: bool,
+}
+
+impl Task {
+    pub(crate) fn new(id: TaskId, pmap: PmapId) -> Task {
+        let span = if id.is_kernel() {
+            PageRange::new(Vpn::new(KERNEL_SPAN_START), KERNEL_SPAN_PAGES)
+        } else {
+            PageRange::new(Vpn::new(USER_SPAN_START), USER_SPAN_PAGES)
+        };
+        Task {
+            id,
+            pmap,
+            map: VmMap::new(span),
+            map_lock: SpinLock::new(),
+            terminated: false,
+        }
+    }
+
+    /// This task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// This task's pmap.
+    pub fn pmap(&self) -> PmapId {
+        self.pmap
+    }
+
+    /// The address map.
+    pub fn map(&self) -> &VmMap {
+        &self.map
+    }
+
+    /// Mutable access to the address map (hold the map lock).
+    pub fn map_mut(&mut self) -> &mut VmMap {
+        &mut self.map
+    }
+
+    /// The map lock.
+    pub fn map_lock(&self) -> &SpinLock {
+        &self.map_lock
+    }
+
+    /// Mutable access to the map lock.
+    pub fn map_lock_mut(&mut self) -> &mut SpinLock {
+        &mut self.map_lock
+    }
+
+    /// Whether the task has been terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    pub(crate) fn mark_terminated(&mut self) {
+        self.terminated = true;
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("pmap", &self.pmap)
+            .field("entries", &self.map.len())
+            .field("terminated", &self.terminated)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_task_gets_kernel_window() {
+        let t = Task::new(TaskId::KERNEL, PmapId::KERNEL);
+        assert!(t.id().is_kernel());
+        assert_eq!(t.map().span().start(), Vpn::new(KERNEL_SPAN_START));
+    }
+
+    #[test]
+    fn user_task_gets_user_window() {
+        let t = Task::new(TaskId::new(3), PmapId::new(3));
+        assert!(!t.id().is_kernel());
+        assert_eq!(t.map().span().start(), Vpn::new(USER_SPAN_START));
+        assert!(!t.is_terminated());
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        const { assert!(USER_SPAN_START + USER_SPAN_PAGES <= KERNEL_SPAN_START) }
+    }
+}

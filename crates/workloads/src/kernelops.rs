@@ -1,0 +1,139 @@
+//! Kernel-memory activity: the source of kernel-pmap shootdowns.
+//!
+//! The kernel pmap is "in use" on every processor, so removing or
+//! downgrading a mapped kernel page must shoot down every non-idle
+//! processor in the machine. The applications' kernel activity (file
+//! buffers, message buffers, internal copy-on-write) is modelled as
+//! allocate–touch–deallocate cycles on the kernel task's address space; an
+//! untouched buffer never enters the pmap, so with lazy evaluation its
+//! deallocation requires no shootdown at all (the Table 1 effect).
+
+use machtlb_core::{drive, Driven, MemOp};
+use machtlb_pmap::{PageRange, Vaddr, Vpn};
+use machtlb_sim::{Ctx, Process, Step};
+use machtlb_vm::{TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess};
+
+use crate::state::WlState;
+
+#[derive(Debug)]
+enum KPhase {
+    Allocate,
+    Touch { next: u64 },
+    Deallocate,
+}
+
+/// One kernel buffer cycle: allocate `pages` in a kernel address space,
+/// write the first `touch` of them, deallocate. Embed and drive to
+/// completion.
+#[derive(Debug)]
+pub struct KernelBufferOp {
+    task: TaskId,
+    pages: u64,
+    touch: u64,
+    phase: KPhase,
+    base: Option<Vpn>,
+    op: Option<VmOpProcess>,
+    access: Option<UserAccess>,
+}
+
+impl KernelBufferOp {
+    /// Creates a cycle over `pages` pages touching the first `touch`,
+    /// in the machine-wide kernel address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `touch > pages` or `pages` is zero.
+    pub fn new(pages: u64, touch: u64) -> KernelBufferOp {
+        KernelBufferOp::in_task(TaskId::KERNEL, pages, touch)
+    }
+
+    /// Like [`KernelBufferOp::new`] but against a specific backing task —
+    /// a *pool* kernel region in the Section 8 restructuring, whose pmap
+    /// is in use only on the pool's processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `touch > pages` or `pages` is zero.
+    pub fn in_task(task: TaskId, pages: u64, touch: u64) -> KernelBufferOp {
+        assert!(pages > 0, "a kernel buffer needs pages");
+        assert!(touch <= pages, "cannot touch more pages than allocated");
+        KernelBufferOp {
+            task,
+            pages,
+            touch,
+            phase: KPhase::Allocate,
+            base: None,
+            op: None,
+            access: None,
+        }
+    }
+}
+
+impl Process<WlState, ()> for KernelBufferOp {
+    fn step(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Step {
+        match self.phase {
+            KPhase::Allocate => {
+                let pages = self.pages;
+                let task = self.task;
+                let op = self.op.get_or_insert_with(|| {
+                    VmOpProcess::new(VmOp::Allocate { task, pages, at: None })
+                });
+                match drive(op, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        assert!(!op.failed(), "kernel address space exhausted");
+                        self.base = op.outcome().allocated;
+                        self.op = None;
+                        self.phase = KPhase::Touch { next: 0 };
+                        Step::Run(d)
+                    }
+                }
+            }
+            KPhase::Touch { next } => {
+                if next >= self.touch {
+                    self.phase = KPhase::Deallocate;
+                    return Step::Run(ctx.costs().local_op);
+                }
+                let base = self.base.expect("allocated");
+                let va = Vaddr::new((base.raw() + next) * machtlb_pmap::PAGE_SIZE);
+                let task = self.task;
+                let acc = self
+                    .access
+                    .get_or_insert_with(|| UserAccess::new(task, va, MemOp::Write(1)));
+                match acc.step(ctx) {
+                    UserAccessStep::Yield(s) => s,
+                    UserAccessStep::Finished(UserAccessResult::Ok(_), d) => {
+                        self.access = None;
+                        self.phase = KPhase::Touch { next: next + 1 };
+                        Step::Run(d)
+                    }
+                    UserAccessStep::Finished(UserAccessResult::Killed, _) => {
+                        unreachable!("the kernel buffer is read-write while it exists")
+                    }
+                }
+            }
+            KPhase::Deallocate => {
+                let base = self.base.expect("allocated");
+                let pages = self.pages;
+                let task = self.task;
+                let op = self.op.get_or_insert_with(|| {
+                    VmOpProcess::new(VmOp::Deallocate {
+                        task,
+                        range: PageRange::new(base, pages),
+                    })
+                });
+                match drive(op, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.op = None;
+                        Step::Done(d)
+                    }
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "kernel-buffer-op"
+    }
+}

@@ -1,0 +1,231 @@
+//! The pageout daemon.
+//!
+//! "Pageout does cause shootdowns, but the overhead of actually performing
+//! the pageout is much greater than the overhead of the associated
+//! shootdown" (Section 5). The daemon models the classic clock algorithm
+//! over user pmaps: a scan pass ages mappings by clearing their referenced
+//! bits (a rights-preserving pmap operation needing no shootdown), and a
+//! later pass evicts mappings whose referenced bit stayed clear — a
+//! `pmap_remove` that *does* shoot down every processor using the pmap.
+//! Dirty victims are written out first (the dominant cost the paper notes).
+//!
+//! Evicted pages stay resident in their VM object, so a later touch simply
+//! refaults them back in: clean pageout, which is all the shootdown
+//! behaviour needs.
+
+use machtlb_core::{drive, Driven, HasKernel, PmapOp, PmapOpProcess};
+use machtlb_pmap::{PageRange, PmapId, Vpn};
+use machtlb_sim::{Ctx, Dur, Process, Step};
+
+use crate::state::WlState;
+
+/// Pageout daemon parameters.
+#[derive(Clone, Debug)]
+pub struct PageoutConfig {
+    /// Sleep between scan activations.
+    pub period: Dur,
+    /// Page-table entries examined per activation.
+    pub batch: usize,
+}
+
+impl Default for PageoutConfig {
+    fn default() -> PageoutConfig {
+        PageoutConfig {
+            period: Dur::millis(3),
+            batch: 32,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum PPhase {
+    Sleep,
+    Scan,
+    Write { pages: u64 },
+    Op(PmapOpProcess),
+}
+
+/// The daemon thread: enqueue it on a processor via
+/// [`enqueue_thread`](crate::enqueue_thread) (it never exits; runs are
+/// bounded by the workload's completion).
+#[derive(Debug)]
+pub struct PageoutDaemon {
+    cfg: PageoutConfig,
+    phase: PPhase,
+    /// Round-robin position: (pmap id, vpn cursor).
+    pmap_cursor: u32,
+    vpn_cursor: u64,
+    /// Work discovered by the current scan.
+    aging: Vec<Vpn>,
+    victims: Vec<(Vpn, bool)>,
+    current_pmap: Option<PmapId>,
+    /// Pages the in-flight remove operation evicts.
+    evicting: u64,
+}
+
+impl PageoutDaemon {
+    /// Creates the daemon.
+    pub fn new(cfg: PageoutConfig) -> PageoutDaemon {
+        PageoutDaemon {
+            cfg,
+            phase: PPhase::Sleep,
+            pmap_cursor: 1,
+            vpn_cursor: 0,
+            aging: Vec::new(),
+            victims: Vec::new(),
+            current_pmap: None,
+            evicting: 0,
+        }
+    }
+
+    /// Examines the next batch of one user pmap's valid entries, dividing
+    /// them into aging work (referenced) and eviction victims (not
+    /// referenced; dirty flag carried along).
+    fn scan(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Dur {
+        let kernel = ctx.shared.kernel();
+        let n_pmaps = kernel.pmaps.len() as u32;
+        if n_pmaps <= 1 {
+            return ctx.costs().local_op;
+        }
+        if self.pmap_cursor >= n_pmaps {
+            self.pmap_cursor = 1;
+        }
+        let pmap_id = PmapId::new(self.pmap_cursor);
+        let table = kernel.pmaps.get(pmap_id).table();
+        self.aging.clear();
+        self.victims.clear();
+        let window = PageRange::new(
+            Vpn::new(self.vpn_cursor),
+            machtlb_pmap::VPN_SPAN - self.vpn_cursor,
+        );
+        let mut examined = 0;
+        let mut last = None;
+        for (vpn, pte) in table.valid_in(window) {
+            if examined == self.cfg.batch {
+                break;
+            }
+            examined += 1;
+            last = Some(vpn);
+            if pte.referenced {
+                self.aging.push(vpn);
+            } else {
+                self.victims.push((vpn, pte.modified));
+            }
+        }
+        match last {
+            Some(vpn) if examined == self.cfg.batch => {
+                self.vpn_cursor = vpn.raw() + 1;
+            }
+            _ => {
+                // Wrapped this pmap: move to the next one.
+                self.vpn_cursor = 0;
+                self.pmap_cursor += 1;
+            }
+        }
+        self.current_pmap = Some(pmap_id);
+        // Reading each entry costs a cached read (the walk structures stay
+        // warm in the daemon).
+        ctx.costs().local_op * 4 + ctx.costs().cache_read * examined.max(1) as u64
+    }
+}
+
+impl Process<WlState, ()> for PageoutDaemon {
+    fn step(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Step {
+        match &mut self.phase {
+            PPhase::Sleep => {
+                self.phase = PPhase::Scan;
+                Step::Park(Some(ctx.now + self.cfg.period))
+            }
+            PPhase::Scan => {
+                let cost = self.scan(ctx);
+                let pmap = self.current_pmap;
+                // Aging first, one rights-preserving pass per page run; the
+                // whole batch's aging is cheap enough to queue as single
+                // ops back to back.
+                if let (Some(pmap), Some(&vpn)) = (pmap, self.aging.first()) {
+                    // Consecutive pages age in one range operation; a
+                    // fragmented batch ages its first page and lets the
+                    // next scan continue.
+                    let contiguous = self
+                        .aging
+                        .windows(2)
+                        .all(|w| w[1].raw() == w[0].raw() + 1);
+                    let count = if contiguous { self.aging.len() as u64 } else { 1 };
+                    let range = PageRange::new(vpn, count);
+                    self.aging.clear();
+                    self.phase = PPhase::Op(PmapOpProcess::new(
+                        pmap,
+                        PmapOp::ClearRefBits { range },
+                    ));
+                    return Step::Run(cost);
+                }
+                if let Some((_, dirty)) = self.victims.first().copied() {
+                    let pages = self.victims.len() as u64;
+                    self.phase = if dirty {
+                        PPhase::Write { pages }
+                    } else {
+                        self.begin_evict(pages)
+                    };
+                    return Step::Run(cost);
+                }
+                self.phase = PPhase::Sleep;
+                Step::Run(cost)
+            }
+            PPhase::Write { pages } => {
+                // Write the dirty victims "to disk" before dropping their
+                // mappings — the cost that dwarfs the shootdown.
+                let pages = *pages;
+                ctx.shared.kernel_mut().stats.pageout_writes += pages;
+                let cost = ctx.costs().page_copy * pages;
+                self.phase = self.begin_evict(pages);
+                Step::Run(cost)
+            }
+            PPhase::Op(op) => match drive(op, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    if self.evicting > 0 {
+                        ctx.shared.kernel_mut().stats.pageouts += self.evicting;
+                        self.evicting = 0;
+                    }
+                    self.phase = PPhase::Sleep;
+                    Step::Run(d)
+                }
+            },
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "pageout-daemon"
+    }
+}
+
+impl PageoutDaemon {
+    /// Plans the eviction of the scan's victims: contiguous victims
+    /// coalesce into one remove; a fragmented batch evicts its first page
+    /// and lets the next scan continue.
+    fn begin_evict(&mut self, _pages: u64) -> PPhase {
+        let pmap = self.current_pmap.expect("victims imply a scanned pmap");
+        let vpns: Vec<Vpn> = self.victims.drain(..).map(|(v, _)| v).collect();
+        let contiguous = vpns.windows(2).all(|w| w[1].raw() == w[0].raw() + 1);
+        let range = if contiguous {
+            PageRange::new(vpns[0], vpns.len() as u64)
+        } else {
+            PageRange::single(vpns[0])
+        };
+        self.evicting = range.count();
+        PPhase::Op(PmapOpProcess::new(pmap, PmapOp::Remove { range }))
+    }
+}
+
+/// Installs the daemon on `cpu` of a freshly built machine (before `run`).
+pub fn install_pageout(m: &mut crate::harness::WlMachine, cpu: machtlb_sim::CpuId, cfg: PageoutConfig) {
+    let daemon = crate::thread::ThreadShell::new(machtlb_vm::TaskId::KERNEL, PageoutDaemon::new(cfg))
+        .with_label("pageout-daemon");
+    m.shared_mut().push_thread(cpu, Box::new(daemon));
+}
+
+/// Counts evictions by diffing the kernel counter before/after; helper for
+/// reports.
+pub fn evictions(m: &crate::harness::WlMachine) -> u64 {
+    m.shared().kernel().stats.pageouts
+}

@@ -1,0 +1,207 @@
+//! The per-processor dispatcher and the thread shell.
+//!
+//! Each processor runs one [`Dispatcher`] as its base process. The
+//! dispatcher pulls ready threads from its run queue, runs each to
+//! completion with context-switch costs between them, and follows the
+//! kernel's idle protocol: it detaches the user pmap and enters the idle
+//! set when the queue drains (so the shootdown algorithm stops
+//! interrupting this processor), and drains queued consistency actions on
+//! the way back out.
+
+use std::fmt;
+
+use machtlb_core::{drive, enter_idle, Driven, ExitIdleProcess, HasKernel, SwitchUserPmapProcess, RESCHED_VECTOR};
+use machtlb_sim::{CpuId, Ctx, Dur, Process, Step};
+use machtlb_vm::TaskId;
+
+use crate::state::{ThreadBox, WlState};
+
+/// Pushes `thread` onto `target`'s run queue and pokes the dispatcher
+/// awake. Charges nothing itself: the caller includes the returned cost in
+/// its step.
+pub fn enqueue_thread(
+    ctx: &mut Ctx<'_, WlState, ()>,
+    target: CpuId,
+    thread: ThreadBox,
+) -> Dur {
+    ctx.shared.push_thread(target, thread);
+    if target != ctx.cpu_id {
+        ctx.send_ipi(target, RESCHED_VECTOR);
+        ctx.costs().ipi_send + ctx.costs().local_op * 4
+    } else {
+        ctx.costs().local_op * 4
+    }
+}
+
+enum DState {
+    Idle,
+    ExitingIdle(ExitIdleProcess),
+    PopNext,
+    Running(ThreadBox),
+    Detaching(SwitchUserPmapProcess),
+    EnteringIdle,
+}
+
+impl fmt::Debug for DState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DState::Idle => "Idle",
+            DState::ExitingIdle(_) => "ExitingIdle",
+            DState::PopNext => "PopNext",
+            DState::Running(t) => return write!(f, "Running({})", t.label()),
+            DState::Detaching(_) => "Detaching",
+            DState::EnteringIdle => "EnteringIdle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The per-processor scheduler. Spawn one on each processor at boot
+/// ([`build_workload_machine`](crate::harness::build_workload_machine)
+/// does this automatically); feed it work with
+/// [`WlState::push_thread`](crate::WlState::push_thread) or
+/// [`enqueue_thread`].
+#[derive(Debug)]
+pub struct Dispatcher {
+    state: DState,
+    threads_run: u64,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher (initially idle, matching the boot state).
+    pub fn new() -> Dispatcher {
+        Dispatcher {
+            state: DState::Idle,
+            threads_run: 0,
+        }
+    }
+}
+
+impl Default for Dispatcher {
+    fn default() -> Dispatcher {
+        Dispatcher::new()
+    }
+}
+
+impl Process<WlState, ()> for Dispatcher {
+    fn step(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Step {
+        let me = ctx.cpu_id;
+        match &mut self.state {
+            DState::Idle => {
+                if ctx.shared.queue_len(me) > 0 {
+                    self.state = DState::ExitingIdle(ExitIdleProcess::new());
+                    Step::Run(ctx.costs().cache_read)
+                } else {
+                    // Sleep until anything arrives (wakeups may be
+                    // spurious; the queue is re-checked).
+                    Step::Park(None)
+                }
+            }
+            DState::ExitingIdle(exit) => match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.state = DState::PopNext;
+                    Step::Run(d)
+                }
+            },
+            DState::PopNext => match ctx.shared.pop_thread(me) {
+                Some(t) => {
+                    self.threads_run += 1;
+                    self.state = DState::Running(t);
+                    Step::Run(ctx.costs().context_switch)
+                }
+                None => {
+                    self.state = DState::Detaching(SwitchUserPmapProcess::new(None));
+                    Step::Run(ctx.costs().local_op)
+                }
+            },
+            DState::Running(t) => match drive(t.as_mut(), ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.state = DState::PopNext;
+                    Step::Run(d)
+                }
+            },
+            DState::Detaching(sw) => match drive(sw, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.state = DState::EnteringIdle;
+                    Step::Run(d)
+                }
+            },
+            DState::EnteringIdle => {
+                enter_idle(ctx.shared.kernel_mut(), me);
+                self.state = DState::Idle;
+                Step::Run(ctx.costs().local_op + ctx.bus_write() + ctx.bus_write())
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "dispatcher"
+    }
+}
+
+/// Wraps a thread body with its address-space attach: on first dispatch
+/// the shell switches the processor to the thread's task pmap, then runs
+/// the body to completion.
+pub struct ThreadShell<B> {
+    task: TaskId,
+    switch: Option<SwitchUserPmapProcess>,
+    attached: bool,
+    body: B,
+    label: &'static str,
+}
+
+impl<B: Process<WlState, ()>> ThreadShell<B> {
+    /// Wraps `body` to run in `task`'s address space.
+    pub fn new(task: TaskId, body: B) -> ThreadShell<B> {
+        ThreadShell {
+            task,
+            switch: None,
+            attached: false,
+            body,
+            label: "thread",
+        }
+    }
+
+    /// Wraps `body` with a custom label (for traces).
+    pub fn with_label(mut self, label: &'static str) -> ThreadShell<B> {
+        self.label = label;
+        self
+    }
+}
+
+impl<B: Process<WlState, ()>> fmt::Debug for ThreadShell<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadShell")
+            .field("label", &self.label)
+            .field("task", &self.task)
+            .field("attached", &self.attached)
+            .finish()
+    }
+}
+
+impl<B: Process<WlState, ()>> Process<WlState, ()> for ThreadShell<B> {
+    fn step(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Step {
+        if !self.attached {
+            let sw = self.switch.get_or_insert_with({
+                let pmap = machtlb_vm::HasVm::vm(ctx.shared).pmap_of(self.task);
+                move || SwitchUserPmapProcess::new(Some(pmap))
+            });
+            return match drive(sw, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.switch = None;
+                    self.attached = true;
+                    Step::Run(d)
+                }
+            };
+        }
+        self.body.step(ctx)
+    }
+
+    fn label(&self) -> &'static str {
+        self.label
+    }
+}

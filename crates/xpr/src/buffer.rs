@@ -1,0 +1,201 @@
+//! The xpr circular event buffer.
+//!
+//! "The xpr package forms the basis of our instrumentation; it provides a
+//! circular buffer of events including data arguments, event identifiers,
+//! processor numbers and timestamps" (Section 6). The buffer can be turned
+//! on and off at runtime, as the paper's utility programs do, and counts
+//! events dropped while disabled or after wrap-around so a run can verify —
+//! as the paper did — that "the event buffer ... was sized so that it would
+//! never overflow during our test runs".
+
+use std::fmt;
+
+/// A fixed-capacity circular buffer of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::XprBuffer;
+///
+/// let mut buf: XprBuffer<u32> = XprBuffer::new(2);
+/// buf.record(1);
+/// buf.record(2);
+/// buf.record(3); // overwrites 1
+/// assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(buf.overwritten(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct XprBuffer<T> {
+    slots: Vec<T>,
+    head: usize,
+    len: usize,
+    enabled: bool,
+    recorded: u64,
+    overwritten: u64,
+    suppressed: u64,
+}
+
+impl<T> XprBuffer<T> {
+    /// Creates an enabled buffer holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> XprBuffer<T> {
+        assert!(capacity > 0, "xpr buffer needs capacity");
+        XprBuffer {
+            slots: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            enabled: true,
+            recorded: 0,
+            overwritten: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Records an event (dropped silently if tracing is off).
+    pub fn record(&mut self, event: T) {
+        if !self.enabled {
+            self.suppressed += 1;
+            return;
+        }
+        self.recorded += 1;
+        let cap = self.slots.capacity();
+        if self.slots.len() < cap {
+            self.slots.push(event);
+            self.len += 1;
+        } else {
+            self.slots[self.head] = event;
+            self.head = (self.head + 1) % cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Turns tracing on or off (the paper's `on`/`off` utilities). Returns
+    /// the previous state.
+    pub fn set_enabled(&mut self, enabled: bool) -> bool {
+        std::mem::replace(&mut self.enabled, enabled)
+    }
+
+    /// Whether tracing is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Clears the buffer and counters (the paper's `reset` utility).
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+        self.len = 0;
+        self.recorded = 0;
+        self.overwritten = 0;
+        self.suppressed = 0;
+    }
+
+    /// Iterates over retained records from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.slots.len();
+        (0..cap).map(move |i| &self.slots[(self.head + i) % cap])
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Records accepted while enabled (including any later overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records lost to wrap-around. The evaluation methodology requires
+    /// this to be zero for a valid run.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Records dropped because tracing was off.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl<T> fmt::Display for XprBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xpr[{}/{} retained, {} recorded, {} overwritten, {}]",
+            self.len,
+            self.slots.capacity(),
+            self.recorded,
+            self.overwritten,
+            if self.enabled { "on" } else { "off" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut b = XprBuffer::new(4);
+        for i in 0..3 {
+            b.record(i);
+        }
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.overwritten(), 0);
+    }
+
+    #[test]
+    fn wraps_and_counts_overwrites() {
+        let mut b = XprBuffer::new(3);
+        for i in 0..5 {
+            b.record(i);
+        }
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(b.overwritten(), 2);
+        assert_eq!(b.recorded(), 5);
+    }
+
+    #[test]
+    fn disabled_buffer_suppresses() {
+        let mut b = XprBuffer::new(3);
+        b.record(1);
+        assert!(b.set_enabled(false));
+        b.record(2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.suppressed(), 1);
+        b.set_enabled(true);
+        b.record(3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = XprBuffer::new(2);
+        b.record(1);
+        b.record(2);
+        b.record(3);
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.recorded(), 0);
+        assert_eq!(b.overwritten(), 0);
+        b.record(9);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _: XprBuffer<u8> = XprBuffer::new(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal ASCII scatter plots for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// Renders an ASCII scatter of `(x, y, y_err)` points with an optional
+/// trend line, the way Figure 2 presents mean ± standard deviation per
+/// processor count.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::ascii_scatter;
+///
+/// let pts = vec![(1.0, 485.0, 2.0), (2.0, 540.0, 3.0), (3.0, 595.0, 2.0)];
+/// let plot = ascii_scatter(&pts, Some((430.0, 55.0)), 40, 12);
+/// assert!(plot.contains('*'));
+/// assert!(plot.lines().count() > 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `points` is empty or the plot area is degenerate.
+#[allow(clippy::needless_range_loop)] // the trend loop reads best indexed
+pub fn ascii_scatter(
+    points: &[(f64, f64, f64)],
+    trend: Option<(f64, f64)>,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(!points.is_empty(), "nothing to plot");
+    assert!(width >= 10 && height >= 4, "plot area too small");
+    let xmin = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = points
+        .iter()
+        .map(|p| p.1 - p.2)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0f64.max(points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min) * 0.8));
+    let ymax = points
+        .iter()
+        .map(|p| p.1 + p.2)
+        .fold(f64::NEG_INFINITY, f64::max)
+        * 1.05;
+    let xspan = (xmax - xmin).max(1e-9);
+    let yspan = (ymax - ymin).max(1e-9);
+
+    let col = |x: f64| (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+    let row = |y: f64| {
+        let r = ((y - ymin) / yspan) * (height - 1) as f64;
+        (height - 1).saturating_sub(r.round() as usize)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    if let Some((intercept, slope)) = trend {
+        for c in 0..width {
+            let x = xmin + xspan * c as f64 / (width - 1) as f64;
+            let y = intercept + slope * x;
+            if y >= ymin && y <= ymax {
+                grid[row(y)][c] = '.';
+            }
+        }
+    }
+    for &(x, y, err) in points {
+        let c = col(x);
+        let top = row((y + err).min(ymax));
+        let bottom = row((y - err).max(ymin));
+        for line in grid.iter_mut().take(bottom + 1).skip(top) {
+            if line[c] == ' ' || line[c] == '.' {
+                line[c] = '|';
+            }
+        }
+        grid[row(y)][c] = '*';
+    }
+
+    let mut out = String::new();
+    for (i, line) in grid.into_iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{ymax:>8.0} ")
+        } else if i == height - 1 {
+            format!("{ymin:>8.0} ")
+        } else {
+            "         ".to_string()
+        };
+        let _ = writeln!(out, "{y_label}|{}", line.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "         +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "          {xmin:<.0}{pad}{xmax:>.0}",
+        pad = " ".repeat(width.saturating_sub(4))
+    );
+    out
+}
+
+/// Renders an ASCII histogram of `samples` over `bins` equal-width bins —
+/// the quickest way to *see* the right skew the paper describes in its
+/// time distributions.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::ascii_histogram;
+///
+/// let h = ascii_histogram(&[1.0, 1.1, 1.2, 2.0, 9.0], 4, 30);
+/// assert!(h.contains('#'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `bins` is zero.
+pub fn ascii_histogram(samples: &[f64], bins: usize, width: usize) -> String {
+    assert!(!samples.is_empty(), "nothing to plot");
+    assert!(bins > 0 && width > 0, "degenerate histogram");
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &s in samples {
+        let b = (((s - min) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as f64 / bins as f64;
+        let hi = min + span * (i + 1) as f64 / bins as f64;
+        let bar = "#".repeat(c * width / peak);
+        let _ = writeln!(out, "{lo:>8.0}-{hi:<8.0} |{bar} {c}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_points_and_trend() {
+        let pts: Vec<(f64, f64, f64)> =
+            (1..=10).map(|k| (k as f64, 430.0 + 55.0 * k as f64, 10.0)).collect();
+        let plot = ascii_scatter(&pts, Some((430.0, 55.0)), 50, 14);
+        assert_eq!(plot.matches('*').count(), 10);
+        assert!(plot.contains('.'), "trend line rendered");
+        assert!(plot.contains('|'), "error bars rendered");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_points_rejected() {
+        let _ = ascii_scatter(&[], None, 40, 10);
+    }
+
+    #[test]
+    fn histogram_bins_cover_all_samples() {
+        let samples: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = ascii_histogram(&samples, 5, 20);
+        assert_eq!(h.lines().count(), 5);
+        let total: usize = h
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn histogram_shows_skew() {
+        // A right-skewed sample: the first bin dominates.
+        let mut samples = vec![10.0; 50];
+        samples.extend([500.0, 900.0]);
+        let h = ascii_histogram(&samples, 4, 30);
+        let first_bar = h.lines().next().unwrap().matches('#').count();
+        let last_bar = h.lines().last().unwrap().matches('#').count();
+        assert!(first_bar > last_bar * 5);
+    }
+}

@@ -1,0 +1,116 @@
+//! The shootdown measurement records of Section 6.
+
+use std::fmt;
+
+use machtlb_sim::{CpuId, Dur, Time};
+
+/// Which pmap a shootdown operated on — the first datum of the paper's
+/// initiator record ("a flag indicating whether this shootdown is on the
+/// kernel pmap or some user pmap").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PmapKind {
+    /// The kernel pmap (in use on potentially every processor).
+    Kernel,
+    /// A task's pmap.
+    User,
+}
+
+impl fmt::Display for PmapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmapKind::Kernel => write!(f, "kernel"),
+            PmapKind::User => write!(f, "user"),
+        }
+    }
+}
+
+/// One initiator event: everything the paper's instrumentation saves "in
+/// one event record" (Section 6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct InitiatorRecord {
+    /// When the shootdown was invoked.
+    pub at: Time,
+    /// The initiating processor.
+    pub cpu: CpuId,
+    /// Kernel or user pmap.
+    pub kind: PmapKind,
+    /// "Number of Mach VM pages involved in the shootdown."
+    pub pages: u64,
+    /// "Number of processors being shot at."
+    pub processors: u32,
+    /// "Elapsed time from invoking the shootdown algorithm until the
+    /// initiator can begin making its changes to the pmap."
+    pub elapsed: Dur,
+}
+
+/// One responder event: "the elapsed time in the interrupt service routine"
+/// (a slight underestimate, as the paper notes, because interrupt dispatch
+/// and return are excluded).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ResponderRecord {
+    /// When the service routine began.
+    pub at: Time,
+    /// The responding processor.
+    pub cpu: CpuId,
+    /// Time spent in the service routine.
+    pub elapsed: Dur,
+}
+
+/// Any shootdown trace record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShootdownEvent {
+    /// An initiator completed its synchronization phase.
+    Initiator(InitiatorRecord),
+    /// A responder completed its service routine.
+    Responder(ResponderRecord),
+}
+
+impl ShootdownEvent {
+    /// The initiator record, if this is one.
+    pub fn as_initiator(&self) -> Option<&InitiatorRecord> {
+        match self {
+            ShootdownEvent::Initiator(r) => Some(r),
+            ShootdownEvent::Responder(_) => None,
+        }
+    }
+
+    /// The responder record, if this is one.
+    pub fn as_responder(&self) -> Option<&ResponderRecord> {
+        match self {
+            ShootdownEvent::Responder(r) => Some(r),
+            ShootdownEvent::Initiator(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_select_variant() {
+        let init = ShootdownEvent::Initiator(InitiatorRecord {
+            at: Time::ZERO,
+            cpu: CpuId::new(1),
+            kind: PmapKind::Kernel,
+            pages: 1,
+            processors: 3,
+            elapsed: Dur::micros(500),
+        });
+        assert!(init.as_initiator().is_some());
+        assert!(init.as_responder().is_none());
+        let resp = ShootdownEvent::Responder(ResponderRecord {
+            at: Time::ZERO,
+            cpu: CpuId::new(2),
+            elapsed: Dur::micros(100),
+        });
+        assert!(resp.as_responder().is_some());
+        assert!(resp.as_initiator().is_none());
+    }
+
+    #[test]
+    fn pmap_kind_display() {
+        assert_eq!(PmapKind::Kernel.to_string(), "kernel");
+        assert_eq!(PmapKind::User.to_string(), "user");
+    }
+}

@@ -1,0 +1,227 @@
+//! The statistics the paper's evaluation reports.
+//!
+//! Tables 2–4 report results as mean ± standard deviation plus median and
+//! 10th/90th percentiles — the medians because "most of the time
+//! distributions are not normal in the statistical sense" (Section 7.3) —
+//! and Figure 2's trend line is a least-squares fit.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarises a sample. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p10: percentile_sorted(&sorted, 10.0),
+            p90: percentile_sorted(&sorted, 90.0),
+        })
+    }
+
+    /// The paper's "mean±std" cell format, rounded to integers.
+    pub fn mean_pm_std(&self) -> String {
+        format!("{:.0}\u{b1}{:.0}", self.mean, self.std)
+    }
+
+    /// Whether the distribution is skewed toward low values the way the
+    /// paper describes: "the greater difference between the 90th percentile
+    /// and the median than between the 10th percentile and the median".
+    pub fn is_right_skewed(&self) -> bool {
+        (self.p90 - self.median) > (self.median - self.p10)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} std={:.1} median={:.1} p10={:.1} p90={:.1}",
+            self.n, self.mean, self.std, self.median, self.p10, self.p90
+        )
+    }
+}
+
+/// The `p`-th percentile of `sorted` (ascending) using linear interpolation
+/// between closest ranks.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A least-squares line fit.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LinFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl LinFit {
+    /// The fitted value at `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+impl fmt::Display for LinFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.1} + {:.1}x (r2 = {:.3})",
+            self.intercept, self.slope, self.r2
+        )
+    }
+}
+
+/// Least-squares fit of `points`. Returns `None` with fewer than two
+/// points or a degenerate x spread.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let my = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = points.iter().map(|(_, y)| (y - my).powi(2)).sum();
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).expect("non-empty");
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std - 2.138).abs() < 1e-3);
+        assert!((s.median - 4.5).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[3.0]).expect("non-empty");
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 3.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile_sorted(&sorted, 0.0) - 10.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 100.0) - 40.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-9);
+        assert!((percentile_sorted(&sorted, 25.0) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_detection() {
+        let skewed = Summary::of(&[1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 10.0, 30.0]).expect("non-empty");
+        assert!(skewed.is_right_skewed());
+        let symmetric = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).expect("non-empty");
+        assert!(!symmetric.is_right_skewed());
+    }
+
+    #[test]
+    fn exact_line_fits_perfectly() {
+        // The paper's Figure 2 line: 430 + 55x.
+        let pts: Vec<(f64, f64)> = (1..=12).map(|k| (k as f64, 430.0 + 55.0 * k as f64)).collect();
+        let fit = linear_fit(&pts).expect("fit exists");
+        assert!((fit.slope - 55.0).abs() < 1e-9);
+        assert!((fit.intercept - 430.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+        assert!((fit.at(100.0) - 5930.0).abs() < 1e-9, "Section 11's ~6ms at 100 cpus");
+    }
+
+    #[test]
+    fn degenerate_fits_are_none() {
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 3.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let fit = linear_fit(&pts).expect("fit exists");
+        assert!((fit.slope - 3.0).abs() < 0.1);
+        assert!(fit.r2 > 0.99);
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text table rendering for the reproduction's reports.
+
+use std::fmt;
+
+/// A simple aligned text table, used by the bench harnesses to print the
+/// paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Application", "Events", "Mean Time"]);
+/// t.add_row(vec!["Mach".into(), "7494".into(), "1109\u{b1}1272".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Mach"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut TextTable {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.add_row(vec!["xxxxxx".into(), "y".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a     "), "{out}");
+        assert!(lines[2].starts_with("xxxxxx"), "{out}");
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.add_row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,64 @@
+//! The Section 5.1 consistency tester as a command-line tool, doubling as
+//! the Figure 2 measurement instrument.
+//!
+//! ```sh
+//! cargo run --release --example consistency_tester -- [children] [cpus] [runs]
+//! ```
+//!
+//! Defaults: 7 children, 16 processors, 5 runs.
+
+use machtlb::sim::Time;
+use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
+use machtlb::xpr::Summary;
+
+fn arg(n: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(n)
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad argument: {s}")))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let children = arg(1, 7) as u32;
+    let n_cpus = arg(2, 16) as usize;
+    let runs = arg(3, 5);
+    assert!((children as usize) < n_cpus, "need children + 1 processors");
+
+    println!(
+        "consistency tester: {children} children on {n_cpus} processors, {runs} runs"
+    );
+    let mut samples = Vec::new();
+    for seed in 0..runs {
+        let config = RunConfig {
+            n_cpus,
+            limit: Time::from_micros(30_000_000),
+            ..RunConfig::multimax16(seed)
+        };
+        let out = run_tester(
+            &config,
+            &TesterConfig { children, warmup_increments: 40 },
+        );
+        let shot = out.shootdown.expect("the reprotect causes one shootdown");
+        println!(
+            "  seed {seed}: shootdown of {} processors took {:.1} us; counters \
+             frozen: {}; children killed: {}",
+            shot.processors,
+            shot.elapsed.as_micros_f64(),
+            !out.mismatch,
+            out.children_dead
+        );
+        assert!(!out.mismatch, "TLB inconsistency detected!");
+        assert!(out.report.consistent, "oracle violations recorded!");
+        samples.push(shot.elapsed.as_micros_f64());
+    }
+    let s = Summary::of(&samples).expect("runs");
+    println!();
+    println!(
+        "basic shootdown cost at {} processors: {:.1} \u{b1} {:.1} us",
+        children, s.mean, s.std
+    );
+    println!(
+        "paper's Figure 2 line predicts:        {:.1} us",
+        430.0 + 55.0 * f64::from(children)
+    );
+}

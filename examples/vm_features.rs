@@ -1,0 +1,182 @@
+//! The Mach VM features that make TLB consistency matter (Section 2):
+//! fork with per-range inheritance, copy-on-write resolution, and the
+//! pageout daemon — each ending in the pmap operations the shootdown
+//! algorithm protects.
+//!
+//! ```sh
+//! cargo run --release --example vm_features
+//! ```
+
+use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp,
+    SwitchUserPmapProcess};
+use machtlb::pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
+use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, Step, Time};
+use machtlb::vm::{
+    build_system_machine, HasVm, Inheritance, SystemState, TaskId, UserAccess, UserAccessResult,
+    UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
+
+const DATA_VPN: u64 = USER_SPAN_START + 0x10;
+const SHARED_VPN: u64 = USER_SPAN_START + 0x20;
+
+fn va(vpn: u64) -> Vaddr {
+    Vaddr::new(vpn * PAGE_SIZE)
+}
+
+/// A linear script driving the demo on one processor.
+#[derive(Debug)]
+struct Demo {
+    parent: TaskId,
+    child: Option<TaskId>,
+    stage: u32,
+    exit_idle: Option<ExitIdleProcess>,
+    switch: Option<SwitchUserPmapProcess>,
+    op: Option<VmOpProcess>,
+    access: Option<UserAccess>,
+}
+
+impl Demo {
+    fn op(&mut self, ctx: &mut Ctx<'_, SystemState, ()>, op: VmOp) -> Step {
+        let p = self.op.get_or_insert_with(|| VmOpProcess::new(op));
+        match drive(p, ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => {
+                if let Some(c) = p.outcome().child {
+                    self.child = Some(c);
+                }
+                self.op = None;
+                self.stage += 1;
+                Step::Run(d)
+            }
+        }
+    }
+
+    fn rw(
+        &mut self,
+        ctx: &mut Ctx<'_, SystemState, ()>,
+        task: TaskId,
+        a: Vaddr,
+        op: MemOp,
+        report: &'static str,
+    ) -> Step {
+        let acc = self.access.get_or_insert_with(|| UserAccess::new(task, a, op));
+        match acc.step(ctx) {
+            UserAccessStep::Yield(s) => s,
+            UserAccessStep::Finished(r, d) => {
+                if let UserAccessResult::Ok(v) = r {
+                    if !report.is_empty() {
+                        println!("  {report}: {v}");
+                    }
+                }
+                self.access = None;
+                self.stage += 1;
+                Step::Run(d)
+            }
+        }
+    }
+
+    fn attach(&mut self, ctx: &mut Ctx<'_, SystemState, ()>, task: TaskId) -> Step {
+        let pmap = ctx.shared.vm.pmap_of(task);
+        let sw = self
+            .switch
+            .get_or_insert_with(|| SwitchUserPmapProcess::new(Some(pmap)));
+        match drive(sw, ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => {
+                self.switch = None;
+                self.stage += 1;
+                Step::Run(d)
+            }
+        }
+    }
+}
+
+impl Process<SystemState, ()> for Demo {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(e) = self.exit_idle.as_mut() {
+            return match drive(e, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        let parent = self.parent;
+        let child = self.child;
+        match self.stage {
+            0 => self.attach(ctx, parent),
+            1 => self.op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(DATA_VPN)) }),
+            2 => self.op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(SHARED_VPN)) }),
+            3 => self.op(ctx, VmOp::SetInheritance {
+                task: parent,
+                range: PageRange::single(Vpn::new(SHARED_VPN)),
+                inheritance: Inheritance::Share,
+            }),
+            4 => self.rw(ctx, parent, va(DATA_VPN), MemOp::Write(1989), ""),
+            5 => self.rw(ctx, parent, va(SHARED_VPN), MemOp::Write(42), ""),
+            6 => {
+                if self.op.is_none() {
+                    println!("forking (copy-inherited data page, share-inherited page)...");
+                }
+                self.op(ctx, VmOp::Fork { parent })
+            }
+            7 => self.attach(ctx, child.expect("forked")),
+            8 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Read,
+                "child reads the virtual copy"),
+            9 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Write(2026),
+                ""),
+            10 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Read,
+                "child after its own write   "),
+            11 => self.rw(ctx, child.expect("forked"), va(SHARED_VPN), MemOp::Write(7), ""),
+            12 => self.attach(ctx, parent),
+            13 => self.rw(ctx, parent, va(DATA_VPN), MemOp::Read,
+                "parent still sees its data  "),
+            14 => self.rw(ctx, parent, va(SHARED_VPN), MemOp::Read,
+                "parent sees the shared write"),
+            _ => Step::Done(Dur::micros(1)),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "vm-demo"
+    }
+}
+
+fn main() {
+    let mut m = build_system_machine(2, 9, CostModel::multimax(), KernelConfig::default());
+    let parent = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        vm.create_task(kernel)
+    };
+    println!("fork + inheritance + copy-on-write, through real faults and pmap operations:\n");
+    m.spawn_at(
+        CpuId::new(0),
+        Time::ZERO,
+        Box::new(Demo {
+            parent,
+            child: None,
+            stage: 0,
+            exit_idle: Some(ExitIdleProcess::new()),
+            switch: None,
+            op: None,
+            access: None,
+        }),
+    );
+    m.run_bounded(Time::from_micros(30_000_000), 50_000_000);
+    let s = m.shared();
+    println!();
+    println!(
+        "copy-on-write page copies: {}   zero fills: {}   faults: {}",
+        s.vm().stats.cow_copies,
+        s.vm().stats.zero_fills,
+        s.kernel().stats.faults
+    );
+    println!(
+        "oracle: {} ({} checks)",
+        if s.kernel().checker.is_consistent() { "consistent" } else { "VIOLATED" },
+        s.kernel().checker.checks()
+    );
+    assert!(s.kernel().checker.is_consistent());
+}

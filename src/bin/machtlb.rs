@@ -1,0 +1,295 @@
+//! The `machtlb` command-line runner: drive the reproduction's
+//! experiments without writing a harness.
+//!
+//! ```sh
+//! machtlb tester --children 7 --cpus 16 --seed 3 --strategy shootdown
+//! machtlb app camelot --seed 9 --lazy off
+//! machtlb fig2 --max-k 12 --runs 5
+//! machtlb scaling
+//! ```
+
+use std::process::ExitCode;
+
+use machtlb::core::{KernelConfig, Strategy};
+use machtlb::sim::{CostModel, Dur, Time};
+use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
+use machtlb::workloads::{
+    run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
+    CamelotConfig, MachBuildConfig, ParthenonConfig, RunConfig, TesterConfig,
+};
+use machtlb::xpr::{linear_fit, Summary, TextTable};
+
+const USAGE: &str = "\
+machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
+
+USAGE:
+    machtlb tester  [--children N] [--cpus N] [--seed N] [--strategy S]
+    machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N] [--lazy on|off]
+    machtlb fig2    [--cpus N] [--max-k N] [--runs N]
+    machtlb scaling [--upto N]
+
+STRATEGIES:
+    shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
+
+Every run prints its consistency verdict: the oracle checks the paper's
+guarantee on every translated access.";
+
+/// A minimal flag parser: `--name value` pairs after the positionals.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v}")),
+        }
+    }
+}
+
+fn strategy_config(name: &str) -> Result<KernelConfig, String> {
+    let stock = KernelConfig::default();
+    Ok(match name {
+        "shootdown" => stock,
+        "broadcast" => KernelConfig { strategy: Strategy::BroadcastIpi, ..stock },
+        "naive" => KernelConfig { strategy: Strategy::NaiveFlush, ..stock },
+        "no-stall" => KernelConfig {
+            strategy: Strategy::NoStallSoftwareReload,
+            tlb: TlbConfig {
+                reload: ReloadPolicy::Software,
+                writeback: WritebackPolicy::None,
+                ..TlbConfig::multimax()
+            },
+            ..stock
+        },
+        "hw-remote" => KernelConfig {
+            strategy: Strategy::HardwareRemoteInvalidate,
+            tlb: TlbConfig { writeback: WritebackPolicy::Interlocked, ..TlbConfig::multimax() },
+            ..stock
+        },
+        "timer-delayed" => KernelConfig {
+            strategy: Strategy::TimerDelayed,
+            tlb: TlbConfig { writeback: WritebackPolicy::Interlocked, ..TlbConfig::multimax() },
+            ..stock
+        },
+        other => return Err(format!("unknown strategy: {other}")),
+    })
+}
+
+fn base_config(cpus: usize, seed: u64, kconfig: KernelConfig) -> RunConfig {
+    RunConfig {
+        n_cpus: cpus,
+        seed,
+        costs: CostModel::multimax(),
+        kconfig,
+        device_period: Some(Dur::millis(20)),
+        timer_flush_period: Dur::millis(5),
+        limit: Time::from_micros(120_000_000),
+    }
+}
+
+fn cmd_tester(args: &Args) -> Result<(), String> {
+    let children = args.num("children", 7)? as u32;
+    let cpus = args.num("cpus", 16)? as usize;
+    let seed = args.num("seed", 1)?;
+    let strategy = args.get("strategy").unwrap_or("shootdown");
+    if children as usize >= cpus {
+        return Err("tester needs children + 1 processors".into());
+    }
+    if strategy == "naive" {
+        return Err("the naive strategy never kills the children; see `cargo run \
+                    --example quickstart` for its bounded demonstration"
+            .into());
+    }
+    let config = base_config(cpus, seed, strategy_config(strategy)?);
+    let out = run_tester(&config, &TesterConfig { children, warmup_increments: 40 });
+    println!("consistency tester: {children} children, {cpus} processors, strategy {strategy}");
+    match out.shootdown {
+        Some(shot) => println!(
+            "  consistency action: {} processors, {:.1} us ({} pages)",
+            shot.processors,
+            shot.elapsed.as_micros_f64(),
+            shot.pages
+        ),
+        None => println!("  consistency maintained without a recorded shootdown event"),
+    }
+    println!("  counters frozen after reprotect: {}", !out.mismatch);
+    println!("  children killed by their faults: {}", out.children_dead);
+    println!("  oracle: {}", verdict(&out.report));
+    Ok(())
+}
+
+fn verdict(report: &AppReport) -> String {
+    if report.consistent {
+        "consistent".to_string()
+    } else {
+        format!("VIOLATED ({} stale uses)", report.violations)
+    }
+}
+
+fn cmd_app(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or("app: which one? mach|parthenon|agora|camelot")?
+        .as_str();
+    let cpus = args.num("cpus", 16)? as usize;
+    let seed = args.num("seed", 1)?;
+    let lazy = match args.get("lazy").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--lazy: on or off, not {other}")),
+    };
+    let mut config = base_config(cpus, seed, KernelConfig { lazy_eval: lazy, ..Default::default() });
+    config.device_period = Some(Dur::millis(5));
+    let report = match name {
+        "mach" => run_machbuild(&config, &MachBuildConfig::default()),
+        "parthenon" => run_parthenon(&config, &ParthenonConfig::default()),
+        "agora" => run_agora(&config, &AgoraConfig::default()),
+        "camelot" => run_camelot(&config, &CamelotConfig::default()),
+        other => return Err(format!("unknown app: {other}")),
+    };
+    println!(
+        "{}: {:.0} ms simulated, lazy evaluation {}",
+        report.name,
+        report.runtime.as_micros_f64() / 1000.0,
+        if lazy { "on" } else { "off" }
+    );
+    let mut t = TextTable::new(vec!["pmap", "events", "time mean\u{b1}sd (us)", "median", "overhead %"]);
+    for (kind, records) in [("kernel", &report.kernel_initiators), ("user", &report.user_initiators)]
+    {
+        let s = AppReport::elapsed_summary(records);
+        t.add_row(vec![
+            kind.into(),
+            records.len().to_string(),
+            s.as_ref().map_or("-".into(), |s| s.mean_pm_std()),
+            s.map_or("-".into(), |s| format!("{:.0}", s.median)),
+            format!("{:.2}", report.overhead_percent(records)),
+        ]);
+    }
+    println!("{t}");
+    if let Some(s) = report.responder_summary() {
+        println!("responders: {} events, mean {:.0} us", report.responders.len(), s.mean);
+    }
+    println!("oracle: {}", verdict(&report));
+    Ok(())
+}
+
+fn cmd_fig2(args: &Args) -> Result<(), String> {
+    let cpus = args.num("cpus", 16)? as usize;
+    let max_k = args.num("max-k", (cpus - 1).min(15) as u64)? as u32;
+    let runs = args.num("runs", 5)?;
+    println!("basic shootdown cost, k = 1..={max_k} on {cpus} processors, {runs} runs each");
+    let mut pts = Vec::new();
+    for k in 1..=max_k {
+        let mut samples = Vec::new();
+        for seed in 0..runs {
+            let config = base_config(cpus, 3000 + seed, KernelConfig::default());
+            let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 40 });
+            if out.mismatch || !out.report.consistent {
+                return Err(format!("k={k} seed={seed}: inconsistency!"));
+            }
+            samples.push(out.shootdown.expect("shootdown").elapsed.as_micros_f64());
+        }
+        let s = Summary::of(&samples).expect("non-empty");
+        println!("  k={k:<3} {:>7.1} \u{b1} {:>5.1} us", s.mean, s.std);
+        if k <= 12 {
+            pts.push((f64::from(k), s.mean));
+        }
+    }
+    if let Some(fit) = linear_fit(&pts) {
+        println!(
+            "fit (k<=12): {:.0} us + {:.0} us/processor (paper: 430 + 55)",
+            fit.intercept, fit.slope
+        );
+    }
+    Ok(())
+}
+
+fn cmd_scaling(args: &Args) -> Result<(), String> {
+    let upto = args.num("upto", 128)? as usize;
+    let mut n = 16usize;
+    println!("machine-wide shootdown cost vs machine size (scalable interconnect):");
+    while n <= upto {
+        let mut costs = CostModel::multimax();
+        if n > 16 {
+            costs.bus_occupancy = costs.bus_occupancy.mul_f64(16.0 / n as f64);
+        }
+        let config = RunConfig {
+            n_cpus: n,
+            seed: 7,
+            costs,
+            kconfig: KernelConfig::default(),
+            device_period: None,
+            timer_flush_period: Dur::millis(5),
+            limit: Time::from_micros(120_000_000),
+        };
+        let k = (n - 1) as u32;
+        let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 20 });
+        if out.mismatch || !out.report.consistent {
+            return Err(format!("n={n}: inconsistency!"));
+        }
+        println!(
+            "  {n:>4} processors: {:>8.0} us  (paper line: {:>6.0})",
+            out.shootdown.expect("shootdown").elapsed.as_micros_f64(),
+            430.0 + 55.0 * f64::from(k)
+        );
+        n *= 2;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("tester") => cmd_tester(&args),
+        Some("app") => cmd_app(&args),
+        Some("fig2") => cmd_fig2(&args),
+        Some("scaling") => cmd_scaling(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

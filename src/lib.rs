@@ -1,0 +1,50 @@
+//! # machtlb — Translation Lookaside Buffer Consistency: A Software Approach
+//!
+//! A full reproduction of Black, Rashid, Golub, Hill, and Baron's ASPLOS
+//! 1989 paper: the **Mach TLB shootdown algorithm**, the kernel and VM
+//! substrates it lives in, the evaluation workloads it was measured with,
+//! and harnesses regenerating every table and figure — all over a
+//! deterministic discrete-event multiprocessor simulator.
+//!
+//! This crate is the facade: it re-exports the workspace's layers under
+//! one roof. The layers, bottom to top:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `machtlb-sim` | deterministic multiprocessor: clocks, bus, interrupts, cost model |
+//! | [`pmap`] | `machtlb-pmap` | addresses, protections, two-level page tables, processor sets |
+//! | [`tlb`] | `machtlb-tlb` | the TLB model with the Section 3 hazard features and Section 9 variants |
+//! | [`xpr`] | `machtlb-xpr` | the xpr trace buffer and the evaluation's statistics |
+//! | [`core`] | `machtlb-core` | **the shootdown algorithm**: initiator, responder, idle protocol, strategies, consistency oracle |
+//! | [`vm`] | `machtlb-vm` | tasks, address maps, copy-on-write objects, the fault path |
+//! | [`workloads`] | `machtlb-workloads` | the consistency tester and the four evaluation applications |
+//!
+//! # Examples
+//!
+//! The paper in one breath — a reprotect on one processor invalidates the
+//! stale rights of every other processor, provably:
+//!
+//! ```
+//! use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
+//!
+//! let config = RunConfig { n_cpus: 8, ..RunConfig::multimax16(7) };
+//! let out = run_tester(&config, &TesterConfig { children: 5, warmup_increments: 30 });
+//! assert!(!out.mismatch, "no counter advanced after the reprotect");
+//! assert!(out.report.consistent, "the oracle saw no stale use");
+//! assert_eq!(out.shootdown.expect("one shootdown").processors, 5);
+//! ```
+//!
+//! Runnable binaries live in `examples/` (`quickstart`,
+//! `consistency_tester`, `scaling_study`, `hardware_options`), and the
+//! table/figure harnesses in `crates/bench/benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use machtlb_core as core;
+pub use machtlb_pmap as pmap;
+pub use machtlb_sim as sim;
+pub use machtlb_tlb as tlb;
+pub use machtlb_vm as vm;
+pub use machtlb_workloads as workloads;
+pub use machtlb_xpr as xpr;

@@ -1,0 +1,87 @@
+//! The simulator's core promise: same seed, same execution. Every
+//! measurement in EXPERIMENTS.md is reproducible bit for bit.
+
+use machtlb::sim::Time;
+use machtlb::workloads::{
+    run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
+    CamelotConfig, MachBuildConfig, ParthenonConfig, RunConfig, TesterConfig,
+};
+
+fn config(seed: u64) -> RunConfig {
+    RunConfig {
+        n_cpus: 8,
+        seed,
+        device_period: None,
+        limit: Time::from_micros(60_000_000),
+        ..RunConfig::multimax16(seed)
+    }
+}
+
+fn fingerprint(r: &AppReport) -> (u64, usize, usize, usize, Vec<u64>) {
+    (
+        r.runtime.as_nanos(),
+        r.kernel_initiators.len(),
+        r.user_initiators.len(),
+        r.responders.len(),
+        r.kernel_initiators.iter().map(|i| i.elapsed.as_nanos()).collect(),
+    )
+}
+
+#[test]
+fn tester_runs_are_bit_identical() {
+    let a = run_tester(&config(5), &TesterConfig::default());
+    let b = run_tester(&config(5), &TesterConfig::default());
+    assert_eq!(fingerprint(&a.report), fingerprint(&b.report));
+    assert_eq!(a.mismatch, b.mismatch);
+}
+
+#[test]
+fn machbuild_runs_are_bit_identical() {
+    let cfg = MachBuildConfig { jobs: 6, ..MachBuildConfig::default() };
+    let a = run_machbuild(&config(6), &cfg);
+    let b = run_machbuild(&config(6), &cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn parthenon_runs_are_bit_identical() {
+    let cfg = ParthenonConfig { workers: 5, runs: 2, ..ParthenonConfig::default() };
+    let a = run_parthenon(&config(7), &cfg);
+    let b = run_parthenon(&config(7), &cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn agora_runs_are_bit_identical() {
+    let cfg = AgoraConfig { workers: 5, runs: 2, setup_ops: 6, ..AgoraConfig::default() };
+    let a = run_agora(&config(8), &cfg);
+    let b = run_agora(&config(8), &cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn camelot_runs_are_bit_identical() {
+    let cfg = CamelotConfig {
+        clients: 3,
+        server_threads: 2,
+        transactions_per_client: 3,
+        db_pages: 48,
+        ..CamelotConfig::default()
+    };
+    let a = run_camelot(&config(9), &cfg);
+    let b = run_camelot(&config(9), &cfg);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Guards against a stuck RNG: seeds must actually matter somewhere.
+    let cfg = ParthenonConfig { workers: 5, runs: 2, ..ParthenonConfig::default() };
+    let a = run_parthenon(&config(100), &cfg);
+    let b = run_parthenon(&config(101), &cfg);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "two seeds produced identical searches — suspicious"
+    );
+}

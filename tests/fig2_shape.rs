@@ -1,0 +1,63 @@
+//! Regression guard on the Figure 2 calibration: the basic shootdown cost
+//! must stay near the paper's 430 µs + 55 µs/processor line. A cost-model
+//! or algorithm change that bends the curve fails here before it corrupts
+//! EXPERIMENTS.md.
+
+use machtlb::sim::Time;
+use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
+use machtlb::xpr::linear_fit;
+
+fn basic_cost(k: u32, seed: u64) -> f64 {
+    let config = RunConfig {
+        limit: Time::from_micros(30_000_000),
+        ..RunConfig::multimax16(seed)
+    };
+    let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 40 });
+    assert!(!out.mismatch && out.report.consistent, "k={k}");
+    out.shootdown.expect("shootdown").elapsed.as_micros_f64()
+}
+
+#[test]
+fn basic_cost_stays_on_the_papers_line() {
+    let ks = [1u32, 4, 8, 12];
+    let mut pts = Vec::new();
+    for &k in &ks {
+        let mean = (basic_cost(k, 2000) + basic_cost(k, 2001)) / 2.0;
+        pts.push((f64::from(k), mean));
+    }
+    // Monotone growth.
+    for w in pts.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "cost must grow with responders: {pts:?}"
+        );
+    }
+    let fit = linear_fit(&pts).expect("fit");
+    assert!(
+        (35.0..=75.0).contains(&fit.slope),
+        "slope {:.1} us/processor drifted from the paper's 55 (points {pts:?})",
+        fit.slope
+    );
+    assert!(
+        (350.0..=520.0).contains(&fit.intercept),
+        "intercept {:.0} us drifted from the paper's 430 (points {pts:?})",
+        fit.intercept
+    );
+}
+
+#[test]
+fn contention_departs_above_twelve_processors() {
+    // The knee: k=15 must sit above the linear prediction from the small-k
+    // region.
+    let small: Vec<(f64, f64)> = [2u32, 5, 8, 11]
+        .iter()
+        .map(|&k| (f64::from(k), basic_cost(k, 2100)))
+        .collect();
+    let fit = linear_fit(&small).expect("fit");
+    let at15 = basic_cost(15, 2100);
+    assert!(
+        at15 > fit.at(15.0),
+        "k=15 ({at15:.0} us) must depart above the trend ({:.0} us)",
+        fit.at(15.0)
+    );
+}

@@ -1,0 +1,404 @@
+//! Task creation with inheritance (Section 2): copy-inherited ranges
+//! become virtual copies (the Unix `fork` path, with the shootdown that
+//! implies for a multi-threaded parent), share-inherited ranges are
+//! read-write shared, and none-inherited ranges vanish from the child.
+
+use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp,
+    SwitchUserPmapProcess};
+use machtlb::pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
+use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
+use machtlb::vm::{
+    build_system_machine, HasVm, Inheritance, SystemState, TaskId, UserAccess, UserAccessResult,
+    UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
+
+const COPY_VPN: u64 = USER_SPAN_START + 0x10;
+const SHARE_VPN: u64 = USER_SPAN_START + 0x20;
+const NONE_VPN: u64 = USER_SPAN_START + 0x30;
+
+fn va(vpn: u64) -> Vaddr {
+    Vaddr::new(vpn * PAGE_SIZE + 8)
+}
+
+/// The single-processor fork semantics walk, as one scripted process.
+#[derive(Debug)]
+struct ForkScript {
+    parent: TaskId,
+    child: Option<TaskId>,
+    step_no: u32,
+    exit_idle: Option<ExitIdleProcess>,
+    switch: Option<SwitchUserPmapProcess>,
+    op: Option<VmOpProcess>,
+    access: Option<UserAccess>,
+    done: bool,
+}
+
+impl ForkScript {
+    fn new(parent: TaskId) -> ForkScript {
+        ForkScript {
+            parent,
+            child: None,
+            step_no: 0,
+            exit_idle: Some(ExitIdleProcess::new()),
+            switch: None,
+            op: None,
+            access: None,
+            done: false,
+        }
+    }
+
+    fn run_op(&mut self, ctx: &mut Ctx<'_, SystemState, ()>, op: VmOp) -> Option<Step> {
+        let p = self.op.get_or_insert_with(|| VmOpProcess::new(op));
+        match drive(p, ctx) {
+            Driven::Yield(s) => Some(s),
+            Driven::Finished(d) => {
+                assert!(!p.failed(), "op failed at step {}", self.step_no);
+                if let Some(child) = p.outcome().child {
+                    self.child = Some(child);
+                }
+                self.op = None;
+                self.step_no += 1;
+                Some(Step::Run(d))
+            }
+        }
+    }
+
+    fn run_access(
+        &mut self,
+        ctx: &mut Ctx<'_, SystemState, ()>,
+        task: TaskId,
+        a: Vaddr,
+        op: MemOp,
+        expect: Result<Option<u64>, ()>,
+    ) -> Option<Step> {
+        let acc = self.access.get_or_insert_with(|| UserAccess::new(task, a, op));
+        match acc.step(ctx) {
+            UserAccessStep::Yield(s) => Some(s),
+            UserAccessStep::Finished(result, d) => {
+                self.access = None;
+                match (result, expect) {
+                    (UserAccessResult::Ok(v), Ok(Some(want))) => {
+                        assert_eq!(v, want, "step {}", self.step_no)
+                    }
+                    (UserAccessResult::Ok(_), Ok(None)) => {}
+                    (UserAccessResult::Killed, Err(())) => {}
+                    (got, want) => {
+                        panic!("step {}: got {got:?}, wanted {want:?}", self.step_no)
+                    }
+                }
+                self.step_no += 1;
+                Some(Step::Run(d))
+            }
+        }
+    }
+
+    fn run_switch(&mut self, ctx: &mut Ctx<'_, SystemState, ()>, task: TaskId) -> Option<Step> {
+        let pmap = ctx.shared.vm.pmap_of(task);
+        let sw = self
+            .switch
+            .get_or_insert_with(|| SwitchUserPmapProcess::new(Some(pmap)));
+        match drive(sw, ctx) {
+            Driven::Yield(s) => Some(s),
+            Driven::Finished(d) => {
+                self.switch = None;
+                self.step_no += 1;
+                Some(Step::Run(d))
+            }
+        }
+    }
+}
+
+impl Process<SystemState, ()> for ForkScript {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(exit) = self.exit_idle.as_mut() {
+            return match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        let parent = self.parent;
+        let child = self.child;
+        let step = match self.step_no {
+            0 => self.run_switch(ctx, parent),
+            // Set up the three regions.
+            1 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(COPY_VPN)) }),
+            2 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(SHARE_VPN)) }),
+            3 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(NONE_VPN)) }),
+            4 => self.run_op(ctx, VmOp::SetInheritance {
+                task: parent,
+                range: PageRange::single(Vpn::new(SHARE_VPN)),
+                inheritance: Inheritance::Share,
+            }),
+            5 => self.run_op(ctx, VmOp::SetInheritance {
+                task: parent,
+                range: PageRange::single(Vpn::new(NONE_VPN)),
+                inheritance: Inheritance::None,
+            }),
+            // Fill them.
+            6 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Write(111), Ok(None)),
+            7 => self.run_access(ctx, parent, va(SHARE_VPN), MemOp::Write(222), Ok(None)),
+            8 => self.run_access(ctx, parent, va(NONE_VPN), MemOp::Write(333), Ok(None)),
+            // Fork.
+            9 => self.run_op(ctx, VmOp::Fork { parent }),
+            // The child sees the virtual copy and the shared page, not the
+            // none-inherited page.
+            10 => self.run_switch(ctx, child.expect("forked")),
+            11 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Read, Ok(Some(111))),
+            12 => self.run_access(ctx, child.expect("forked"), va(SHARE_VPN), MemOp::Read, Ok(Some(222))),
+            13 => self.run_access(ctx, child.expect("forked"), va(NONE_VPN), MemOp::Read, Err(())),
+            // Child writes diverge on the copy range, propagate on the
+            // shared range.
+            14 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Write(444), Ok(None)),
+            15 => self.run_access(ctx, child.expect("forked"), va(SHARE_VPN), MemOp::Write(555), Ok(None)),
+            // Parent still sees its own copy data, and the child's shared
+            // write.
+            16 => self.run_switch(ctx, parent),
+            17 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Read, Ok(Some(111))),
+            18 => self.run_access(ctx, parent, va(SHARE_VPN), MemOp::Read, Ok(Some(555))),
+            // Parent's write to the copy range lands in its own shadow.
+            19 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Write(666), Ok(None)),
+            20 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Read, Ok(Some(666))),
+            21 => self.run_switch(ctx, child.expect("forked")),
+            22 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Read, Ok(Some(444))),
+            _ => {
+                self.done = true;
+                return Step::Done(Dur::micros(1));
+            }
+        };
+        step.expect("sub-machine always yields or finishes")
+    }
+
+    fn label(&self) -> &'static str {
+        "fork-script"
+    }
+}
+
+#[test]
+fn fork_inheritance_semantics() {
+    let mut m = build_system_machine(2, 3, CostModel::multimax(), KernelConfig::default());
+    let parent = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        vm.create_task(kernel)
+    };
+    m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(ForkScript::new(parent)));
+    let r = m.run_bounded(Time::from_micros(30_000_000), 50_000_000);
+    assert_eq!(r.status, RunStatus::Quiescent);
+    let s = m.shared();
+    assert!(s.kernel().checker.is_consistent(), "violations: {:?}",
+        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>());
+    assert!(s.vm().stats.cow_copies >= 2, "both sides copied privately");
+    assert_eq!(s.vm().stats.unrecoverable, 1, "exactly the none-inherited read");
+}
+
+/// A multi-threaded parent: forking from one processor shoots down the
+/// parent's other processors (the fork-implies-shootdown case the paper's
+/// introduction motivates with "the implementation of the Unix fork
+/// operation").
+#[derive(Debug)]
+struct ParentWriter {
+    task: TaskId,
+    exit_idle: Option<ExitIdleProcess>,
+    switch: Option<SwitchUserPmapProcess>,
+    access: Option<UserAccess>,
+    writes: u64,
+    stop_at: u64,
+}
+
+impl Process<SystemState, ()> for ParentWriter {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(exit) = self.exit_idle.as_mut() {
+            return match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    let pmap = ctx.shared.vm.pmap_of(self.task);
+                    self.switch = Some(SwitchUserPmapProcess::new(Some(pmap)));
+                    Step::Run(d)
+                }
+            };
+        }
+        if let Some(sw) = self.switch.as_mut() {
+            return match drive(sw, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.switch = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if self.writes >= self.stop_at {
+            return Step::Done(Dur::micros(1));
+        }
+        let acc = self.access.get_or_insert_with(|| {
+            UserAccess::new(self.task, va(COPY_VPN), MemOp::Write(self.writes))
+        });
+        match acc.step(ctx) {
+            UserAccessStep::Yield(s) => s,
+            UserAccessStep::Finished(UserAccessResult::Ok(_), d) => {
+                self.access = None;
+                self.writes += 1;
+                Step::Run(d + Dur::micros(3))
+            }
+            UserAccessStep::Finished(UserAccessResult::Killed, _) => {
+                unreachable!("the copy range stays read-write at the VM level")
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "parent-writer"
+    }
+}
+
+#[derive(Debug)]
+struct Forker {
+    parent: TaskId,
+    exit_idle: Option<ExitIdleProcess>,
+    op: Option<VmOpProcess>,
+    waited: bool,
+}
+
+impl Process<SystemState, ()> for Forker {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(exit) = self.exit_idle.as_mut() {
+            return match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if !self.waited {
+            self.waited = true;
+            // Let the writer establish its read-write mapping.
+            return Step::Run(Dur::millis(2));
+        }
+        let parent = self.parent;
+        let op = self.op.get_or_insert_with(|| VmOpProcess::new(VmOp::Fork { parent }));
+        match drive(op, ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => Step::Done(d),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "forker"
+    }
+}
+
+#[test]
+fn fork_shoots_down_the_running_parent() {
+    let mut m = build_system_machine(2, 5, CostModel::multimax(), KernelConfig::default());
+    let parent = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        vm.create_task(kernel)
+    };
+    // Pre-create the copy region via a tiny setup script on cpu1, which
+    // then writes until the fork downgrades it and beyond.
+    #[derive(Debug)]
+    struct Setup {
+        task: TaskId,
+        op: Option<VmOpProcess>,
+        then: Option<ParentWriter>,
+    }
+    impl Process<SystemState, ()> for Setup {
+        fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+            if let Some(w) = self.then.as_mut() {
+                return w.step(ctx);
+            }
+            let task = self.task;
+            let op = self.op.get_or_insert_with(|| {
+                VmOpProcess::new(VmOp::Allocate { task, pages: 1, at: Some(Vpn::new(COPY_VPN)) })
+            });
+            match drive(op, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.op = None;
+                    self.then = Some(ParentWriter {
+                        task,
+                        exit_idle: None,
+                        switch: None,
+                        access: None,
+                        writes: 0,
+                        stop_at: 3000,
+                    });
+                    Step::Run(d)
+                }
+            }
+        }
+        fn label(&self) -> &'static str {
+            "setup-writer"
+        }
+    }
+    // cpu1: exit idle + attach + allocate + write loop.
+    #[derive(Debug)]
+    struct Cpu1 {
+        inner: Setup,
+        exit_idle: Option<ExitIdleProcess>,
+        switch: Option<SwitchUserPmapProcess>,
+        task: TaskId,
+    }
+    impl Process<SystemState, ()> for Cpu1 {
+        fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+            if let Some(exit) = self.exit_idle.as_mut() {
+                return match drive(exit, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.exit_idle = None;
+                        let pmap = ctx.shared.vm.pmap_of(self.task);
+                        self.switch = Some(SwitchUserPmapProcess::new(Some(pmap)));
+                        Step::Run(d)
+                    }
+                };
+            }
+            if let Some(sw) = self.switch.as_mut() {
+                return match drive(sw, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.switch = None;
+                        Step::Run(d)
+                    }
+                };
+            }
+            self.inner.step(ctx)
+        }
+        fn label(&self) -> &'static str {
+            "cpu1-writer"
+        }
+    }
+    m.spawn_at(
+        CpuId::new(1),
+        Time::ZERO,
+        Box::new(Cpu1 {
+            inner: Setup { task: parent, op: None, then: None },
+            exit_idle: Some(ExitIdleProcess::new()),
+            switch: None,
+            task: parent,
+        }),
+    );
+    m.spawn_at(
+        CpuId::new(0),
+        Time::from_micros(100),
+        Box::new(Forker { parent, exit_idle: Some(ExitIdleProcess::new()), op: None, waited: false }),
+    );
+    let r = m.run_bounded(Time::from_micros(60_000_000), 100_000_000);
+    assert_eq!(r.status, RunStatus::Quiescent);
+    let s = m.shared();
+    assert!(s.kernel().checker.is_consistent(), "violations: {:?}",
+        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>());
+    assert!(
+        s.kernel().stats.shootdowns_user >= 1,
+        "forking a running multi-threaded parent must shoot it down"
+    );
+    assert!(
+        s.vm().stats.cow_copies >= 1,
+        "the parent's post-fork writes copy on write"
+    );
+    assert_eq!(s.vm().stats.unrecoverable, 0, "nobody dies: COW resolves the faults");
+}

@@ -1,0 +1,348 @@
+//! Reading and writing another task's address space (Section 2): the
+//! copying processor joins the remote pmaps' in-use sets, so shootdowns
+//! on those pmaps reach it — "invoking an operation on the address space
+//! of another task that is executing on a different processor" is exactly
+//! one of the two situations the paper says requires consistency actions.
+
+use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp};
+use machtlb::pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
+use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
+use machtlb::vm::{
+    build_system_machine, HasVm, RemoteCopyProcess, RemoteCopyResult, SystemState, TaskId,
+    UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
+
+const SRC_VPN: u64 = USER_SPAN_START + 0x10;
+const DST_VPN: u64 = USER_SPAN_START + 0x50;
+
+/// Sets up both regions, fills the source, copies, and verifies.
+#[derive(Debug)]
+struct CopyScript {
+    a: TaskId,
+    b: TaskId,
+    stage: u32,
+    i: u64,
+    exit_idle: Option<ExitIdleProcess>,
+    op: Option<VmOpProcess>,
+    access: Option<UserAccess>,
+    copy: Option<RemoteCopyProcess>,
+}
+
+const WORDS: u64 = 24;
+
+impl Process<SystemState, ()> for CopyScript {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(e) = self.exit_idle.as_mut() {
+            return match drive(e, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        match self.stage {
+            0 | 1 => {
+                let (task, vpn) = if self.stage == 0 {
+                    (self.a, SRC_VPN)
+                } else {
+                    (self.b, DST_VPN)
+                };
+                let op = self.op.get_or_insert_with(|| {
+                    VmOpProcess::new(VmOp::Allocate { task, pages: 1, at: Some(Vpn::new(vpn)) })
+                });
+                match drive(op, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.op = None;
+                        self.stage += 1;
+                        Step::Run(d)
+                    }
+                }
+            }
+            // Fill the source with i*3 (through task A's translations,
+            // without ever attaching A: this is already a remote write).
+            2 => {
+                let va = Vaddr::new(SRC_VPN * PAGE_SIZE + self.i * 8);
+                let task = self.a;
+                let value = self.i * 3;
+                let acc = self
+                    .access
+                    .get_or_insert_with(|| UserAccess::new(task, va, MemOp::Write(value)));
+                match acc.step(ctx) {
+                    UserAccessStep::Yield(s) => s,
+                    UserAccessStep::Finished(UserAccessResult::Ok(_), d) => {
+                        self.access = None;
+                        self.i += 1;
+                        if self.i == WORDS {
+                            self.i = 0;
+                            self.stage = 3;
+                        }
+                        Step::Run(d)
+                    }
+                    UserAccessStep::Finished(UserAccessResult::Killed, _) => {
+                        panic!("source region is mapped read-write")
+                    }
+                }
+            }
+            // The copy itself.
+            3 => {
+                let copy = self.copy.get_or_insert_with(|| {
+                    RemoteCopyProcess::new(
+                        self.a,
+                        Vaddr::new(SRC_VPN * PAGE_SIZE),
+                        self.b,
+                        Vaddr::new(DST_VPN * PAGE_SIZE),
+                        WORDS,
+                    )
+                });
+                match drive(copy, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        assert_eq!(copy.result(), Some(RemoteCopyResult::Copied));
+                        assert_eq!(copy.copied(), WORDS);
+                        self.copy = None;
+                        self.stage = 4;
+                        Step::Run(d)
+                    }
+                }
+            }
+            // Verify the destination word by word.
+            4 => {
+                let va = Vaddr::new(DST_VPN * PAGE_SIZE + self.i * 8);
+                let task = self.b;
+                let acc = self
+                    .access
+                    .get_or_insert_with(|| UserAccess::new(task, va, MemOp::Read));
+                match acc.step(ctx) {
+                    UserAccessStep::Yield(s) => s,
+                    UserAccessStep::Finished(UserAccessResult::Ok(v), d) => {
+                        assert_eq!(v, self.i * 3, "word {}", self.i);
+                        self.access = None;
+                        self.i += 1;
+                        if self.i == WORDS {
+                            self.stage = 5;
+                        }
+                        Step::Run(d)
+                    }
+                    UserAccessStep::Finished(UserAccessResult::Killed, _) => {
+                        panic!("destination region is mapped read-write")
+                    }
+                }
+            }
+            _ => Step::Done(Dur::micros(1)),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "copy-script"
+    }
+}
+
+#[test]
+fn remote_copy_moves_data_between_address_spaces() {
+    let mut m = build_system_machine(2, 11, CostModel::multimax(), KernelConfig::default());
+    let (a, b) = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        (vm.create_task(kernel), vm.create_task(kernel))
+    };
+    m.spawn_at(
+        CpuId::new(0),
+        Time::ZERO,
+        Box::new(CopyScript {
+            a,
+            b,
+            stage: 0,
+            i: 0,
+            exit_idle: Some(ExitIdleProcess::new()),
+            op: None,
+            access: None,
+            copy: None,
+        }),
+    );
+    let r = m.run_bounded(Time::from_micros(30_000_000), 50_000_000);
+    assert_eq!(r.status, RunStatus::Quiescent);
+    let s = m.shared();
+    assert!(s.kernel().checker.is_consistent());
+    // The copier left both in-use sets again.
+    let pa = s.vm().pmap_of(a);
+    let pb = s.vm().pmap_of(b);
+    assert!(s.kernel().pmaps.get(pa).in_use().is_empty());
+    assert!(s.kernel().pmaps.get(pb).in_use().is_empty());
+}
+
+/// A deallocation racing the copy: the copier is in the source pmap's
+/// in-use set, so the deallocating processor's shootdown reaches it, and
+/// the copy observes a clean fault instead of stale data.
+#[derive(Debug)]
+struct RacingCopier {
+    a: TaskId,
+    b: TaskId,
+    exit_idle: Option<ExitIdleProcess>,
+    copy: Option<RemoteCopyProcess>,
+    rounds: u32,
+    faulted: bool,
+}
+
+impl Process<SystemState, ()> for RacingCopier {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(e) = self.exit_idle.as_mut() {
+            return match drive(e, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if self.rounds == 0 {
+            return Step::Done(Dur::micros(1));
+        }
+        let copy = self.copy.get_or_insert_with(|| {
+            // A long, paced copy: each round spans several milliseconds,
+            // so the racing deallocation lands while the copier holds the
+            // in-use sets.
+            RemoteCopyProcess::new(
+                self.a,
+                Vaddr::new(SRC_VPN * PAGE_SIZE),
+                self.b,
+                Vaddr::new(DST_VPN * PAGE_SIZE),
+                448,
+            )
+            .with_pace(Dur::micros(15))
+        });
+        match drive(copy, ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => {
+                if copy.result() == Some(RemoteCopyResult::Faulted) {
+                    self.faulted = true;
+                    self.rounds = 0;
+                } else {
+                    self.rounds -= 1;
+                }
+                self.copy = None;
+                Step::Run(d)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "racing-copier"
+    }
+}
+
+#[derive(Debug)]
+struct Deallocator {
+    a: TaskId,
+    exit_idle: Option<ExitIdleProcess>,
+    op: Option<VmOpProcess>,
+    waited: bool,
+}
+
+impl Process<SystemState, ()> for Deallocator {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(e) = self.exit_idle.as_mut() {
+            return match drive(e, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if !self.waited {
+            self.waited = true;
+            return Step::Run(Dur::millis(3));
+        }
+        let a = self.a;
+        let op = self.op.get_or_insert_with(|| {
+            VmOpProcess::new(VmOp::Deallocate {
+                task: a,
+                range: PageRange::new(Vpn::new(SRC_VPN), 1),
+            })
+        });
+        match drive(op, ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => Step::Done(d),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "deallocator"
+    }
+}
+
+#[test]
+fn racing_deallocation_shoots_the_copier() {
+    let mut m = build_system_machine(2, 13, CostModel::multimax(), KernelConfig::default());
+    let (a, b) = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        (vm.create_task(kernel), vm.create_task(kernel))
+    };
+    // Seed both regions directly so the race starts immediately.
+    {
+        let s = m.shared_mut();
+        let (pa, pb) = (s.vm.pmap_of(a), s.vm.pmap_of(b));
+        let _ = pb;
+        let obj_a = s.vm.objects.create();
+        let obj_b = s.vm.objects.create();
+        s.vm
+            .task_mut(a)
+            .map_mut()
+            .insert(machtlb::vm::VmEntry {
+                range: PageRange::new(Vpn::new(SRC_VPN), 1),
+                prot: machtlb::pmap::Prot::READ_WRITE,
+                object: obj_a,
+                offset: 0,
+                cow: false,
+                inheritance: machtlb::vm::Inheritance::Copy,
+            })
+            .expect("fits");
+        s.vm
+            .task_mut(b)
+            .map_mut()
+            .insert(machtlb::vm::VmEntry {
+                range: PageRange::new(Vpn::new(DST_VPN), 1),
+                prot: machtlb::pmap::Prot::READ_WRITE,
+                object: obj_b,
+                offset: 0,
+                cow: false,
+                inheritance: machtlb::vm::Inheritance::Copy,
+            })
+            .expect("fits");
+        let _ = pa;
+    }
+    m.spawn_at(
+        CpuId::new(0),
+        Time::ZERO,
+        Box::new(RacingCopier {
+            a,
+            b,
+            exit_idle: Some(ExitIdleProcess::new()),
+            copy: None,
+            rounds: 10_000,
+            faulted: false,
+        }),
+    );
+    m.spawn_at(
+        CpuId::new(1),
+        Time::from_micros(100),
+        Box::new(Deallocator { a, exit_idle: Some(ExitIdleProcess::new()), op: None, waited: false }),
+    );
+    let r = m.run_bounded(Time::from_micros(60_000_000), 100_000_000);
+    assert_eq!(r.status, RunStatus::Quiescent);
+    let s = m.shared();
+    assert!(
+        s.kernel().checker.is_consistent(),
+        "violations: {:?}",
+        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>()
+    );
+    assert!(
+        s.kernel().stats.shootdowns_user >= 1,
+        "the deallocation must shoot the in-use copier"
+    );
+    // The copier observed the revocation as a clean fault.
+    assert!(s.vm().stats.unrecoverable >= 1);
+}
