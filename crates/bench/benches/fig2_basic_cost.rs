@@ -57,5 +57,8 @@ fn main() {
         .iter()
         .map(|r| (f64::from(r.k), r.summary.mean, r.summary.std))
         .collect();
-    println!("{}", ascii_scatter(&pts, Some((data.fit.intercept, data.fit.slope)), 60, 18));
+    println!(
+        "{}",
+        ascii_scatter(&pts, Some((data.fit.intercept, data.fit.slope)), 60, 18)
+    );
 }

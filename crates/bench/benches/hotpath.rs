@@ -1,0 +1,173 @@
+//! Indexed vs linear TLB hot paths, and the coalescing action queue.
+//!
+//! The indexed [`Tlb`] must beat the seed's linear scan
+//! ([`LinearTlb`], kept as the specification oracle) on the operations the
+//! simulator performs millions of times per run: lookup, ranged
+//! invalidation, per-pmap flush, and whole-TLB flush — all at the paper's
+//! 64-entry Multimax capacity. Both implementations run the identical
+//! deterministic workload so the medians are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use machtlb_pmap::{Access, PageRange, Pfn, PmapId, Prot, Pte, Vpn};
+use machtlb_sim::Time;
+use machtlb_tlb::reference::LinearTlb;
+use machtlb_tlb::{Tlb, TlbConfig};
+
+const PMAPS: u32 = 4;
+const VPNS: u64 = 64;
+
+/// Every lookup/invalidate/flush pattern the kernel simulation exercises,
+/// expressed once and stamped out for both TLB implementations.
+macro_rules! tlb_hotpath_benches {
+    ($g:expr, $name:literal, $new:expr) => {
+        $g.bench_function(concat!($name, "/lookup_mixed"), |b| {
+            let mut tlb = $new;
+            for p in 0..PMAPS {
+                for v in 0..VPNS {
+                    tlb.insert(
+                        PmapId::new(p),
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ_WRITE),
+                        Time::ZERO,
+                    );
+                }
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e37_79b9);
+                let pmap = PmapId::new((i % u64::from(PMAPS)) as u32);
+                let vpn = Vpn::new((i >> 8) % (2 * VPNS)); // ~50% misses
+                std::hint::black_box(tlb.lookup(pmap, vpn, Access::Read, Time::ZERO))
+            });
+        });
+        $g.bench_function(concat!($name, "/lookup_invalidate_range"), |b| {
+            // The shootdown inner loop: a burst of translated accesses,
+            // then a ranged invalidation, then the pages fault back in.
+            // Steady-state so neither implementation's allocator traffic
+            // from construction or drop is timed.
+            let mut tlb = $new;
+            for p in 0..PMAPS {
+                for v in 0..VPNS {
+                    tlb.insert(
+                        PmapId::new(p),
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
+                }
+            }
+            b.iter(|| {
+                let mut hits = 0u32;
+                for p in 0..PMAPS {
+                    let pmap = PmapId::new(p);
+                    for v in 0..VPNS {
+                        if matches!(
+                            tlb.lookup(pmap, Vpn::new(v), Access::Read, Time::ZERO),
+                            machtlb_tlb::Lookup::Hit { .. }
+                        ) {
+                            hits += 1;
+                        }
+                    }
+                }
+                let pmap = PmapId::new(1);
+                tlb.invalidate_range(pmap, PageRange::new(Vpn::new(16), 16));
+                for v in 16..32u64 {
+                    tlb.insert(
+                        pmap,
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
+                }
+                std::hint::black_box(hits)
+            });
+        });
+        $g.bench_function(concat!($name, "/flush_pmap_refill"), |b| {
+            let mut tlb = $new;
+            let per_pmap = VPNS / u64::from(PMAPS);
+            for p in 0..PMAPS {
+                for v in 0..per_pmap {
+                    tlb.insert(
+                        PmapId::new(p),
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
+                }
+            }
+            b.iter(|| {
+                let pmap = PmapId::new(2);
+                tlb.flush_pmap(pmap);
+                for v in 0..per_pmap {
+                    tlb.insert(
+                        pmap,
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
+                }
+                std::hint::black_box(tlb.len())
+            });
+        });
+        $g.bench_function(concat!($name, "/flush_all_refill"), |b| {
+            let mut tlb = $new;
+            let mut v = 0u64;
+            b.iter(|| {
+                for _ in 0..8 {
+                    v += 1;
+                    tlb.insert(
+                        PmapId::new((v % u64::from(PMAPS)) as u32),
+                        Vpn::new(v % VPNS),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
+                }
+                tlb.flush_all();
+                std::hint::black_box(tlb.len())
+            });
+        });
+    };
+}
+
+fn bench_tlb_hotpaths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    tlb_hotpath_benches!(g, "indexed", Tlb::new(TlbConfig::multimax()));
+    tlb_hotpath_benches!(g, "linear", LinearTlb::new(TlbConfig::multimax()));
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    use machtlb_core::{Action, ActionQueue};
+    let mut g = c.benchmark_group("queue");
+    // The shootdown-heavy pattern coalescing targets: bursts of adjacent
+    // single-page actions against the same pmap (a pmap_remove sweep).
+    g.bench_function("enqueue_drain_adjacent_burst", |b| {
+        let mut q = ActionQueue::new(8);
+        b.iter(|| {
+            for v in 0..32u64 {
+                q.enqueue(Action {
+                    pmap: PmapId::new(1),
+                    range: PageRange::new(Vpn::new(0x100 + v), 1),
+                });
+            }
+            std::hint::black_box(q.drain())
+        });
+    });
+    g.bench_function("enqueue_drain_scattered", |b| {
+        let mut q = ActionQueue::new(8);
+        b.iter(|| {
+            for v in 0..6u64 {
+                q.enqueue(Action {
+                    pmap: PmapId::new((v % 3) as u32),
+                    range: PageRange::new(Vpn::new(v * 64), 1),
+                });
+            }
+            std::hint::black_box(q.drain())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tlb_hotpaths, bench_queue);
+criterion_main!(benches);

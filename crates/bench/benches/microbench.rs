@@ -16,7 +16,12 @@ fn bench_tlb(c: &mut Criterion) {
         let mut tlb = Tlb::new(TlbConfig::multimax());
         let pmap = PmapId::new(1);
         for v in 0..64u64 {
-            tlb.insert(pmap, Vpn::new(v), Pte::valid(Pfn::new(v), Prot::READ_WRITE), Time::ZERO);
+            tlb.insert(
+                pmap,
+                Vpn::new(v),
+                Pte::valid(Pfn::new(v), Prot::READ_WRITE),
+                Time::ZERO,
+            );
         }
         let mut v = 0u64;
         b.iter(|| {
@@ -44,7 +49,12 @@ fn bench_tlb(c: &mut Criterion) {
             || {
                 let mut tlb = Tlb::new(TlbConfig::multimax());
                 for v in 0..64u64 {
-                    tlb.insert(pmap, Vpn::new(v), Pte::valid(Pfn::new(v), Prot::READ), Time::ZERO);
+                    tlb.insert(
+                        pmap,
+                        Vpn::new(v),
+                        Pte::valid(Pfn::new(v), Prot::READ),
+                        Time::ZERO,
+                    );
                 }
                 tlb
             },
@@ -109,7 +119,10 @@ fn bench_shootdown_sim(c: &mut Criterion) {
                 };
                 let op = PmapOpProcess::new(
                     pmap,
-                    PmapOp::Protect { range: PageRange::single(vpn), prot: Prot::READ },
+                    PmapOp::Protect {
+                        range: PageRange::single(vpn),
+                        prot: Prot::READ,
+                    },
                 );
                 m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(op));
                 m

@@ -18,8 +18,9 @@ use machtlb_core::{HasKernel, KernelConfig, MemOp};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, Step, Time};
 use machtlb_tlb::TlbConfig;
-use machtlb_vm::{HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb_vm::{
+    HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use machtlb_workloads::{
     build_workload_machine, run_camelot, run_until_done, AppReport, AppShared, CamelotConfig,
     RunConfig, ThreadShell, WlState,
@@ -48,7 +49,11 @@ impl Process<WlState, ()> for Burst {
             let task = self.task;
             let pages = self.ws_pages;
             let op = self.op.get_or_insert_with(|| {
-                VmOpProcess::new(VmOp::Allocate { task, pages, at: Some(Vpn::new(WS_BASE)) })
+                VmOpProcess::new(VmOp::Allocate {
+                    task,
+                    pages,
+                    at: Some(Vpn::new(WS_BASE)),
+                })
             });
             return match machtlb_core::drive(op, ctx) {
                 machtlb_core::Driven::Yield(s) => s,
@@ -118,7 +123,10 @@ fn switch_bench(tagged: bool, seed: u64) -> (u64, u64) {
     let config = RunConfig {
         n_cpus: 4,
         kconfig: KernelConfig {
-            tlb: TlbConfig { asid_tagged: tagged, ..TlbConfig::multimax() },
+            tlb: TlbConfig {
+                asid_tagged: tagged,
+                ..TlbConfig::multimax()
+            },
             ..KernelConfig::default()
         },
         device_period: None,
@@ -166,7 +174,10 @@ fn switch_bench(tagged: bool, seed: u64) -> (u64, u64) {
 fn run(tagged: bool, seed: u64) -> AppReport {
     let config = RunConfig {
         kconfig: KernelConfig {
-            tlb: TlbConfig { asid_tagged: tagged, ..TlbConfig::multimax() },
+            tlb: TlbConfig {
+                asid_tagged: tagged,
+                ..TlbConfig::multimax()
+            },
             ..KernelConfig::default()
         },
         device_period: Some(Dur::millis(5)),
@@ -192,7 +203,10 @@ fn main() {
         "user shootdowns",
         "procs/shootdown",
     ]);
-    for (name, r) in [("untagged (flush on switch)", &untagged), ("ASID-tagged", &tagged)] {
+    for (name, r) in [
+        ("untagged (flush on switch)", &untagged),
+        ("ASID-tagged", &tagged),
+    ] {
         let procs = AppReport::processors_summary(&r.user_initiators)
             .map_or("-".into(), |s| format!("{:.1}", s.mean));
         t.add_row(vec![

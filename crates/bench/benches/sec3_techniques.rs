@@ -36,7 +36,10 @@ fn run(name: &str, strategy: Strategy, flush_ms: u64, t: &mut TextTable) {
             },
             ..KernelConfig::default()
         },
-        _ => KernelConfig { strategy, ..KernelConfig::default() },
+        _ => KernelConfig {
+            strategy,
+            ..KernelConfig::default()
+        },
     };
     let config = RunConfig {
         kconfig,

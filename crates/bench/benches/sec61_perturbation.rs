@@ -53,12 +53,8 @@ fn main() {
     // Cross-seed spread: Parthenon's non-deterministic control structure.
     let noise = off.std / off.mean * 100.0;
     println!();
-    println!(
-        "mean perturbation: {perturbation:+.2}% (paper: ~1.5%, not significant)"
-    );
-    println!(
-        "cross-seed runtime spread: {noise:.1}% of mean (paper: 8-10% from other effects)"
-    );
+    println!("mean perturbation: {perturbation:+.2}% (paper: ~1.5%, not significant)");
+    println!("cross-seed runtime spread: {noise:.1}% of mean (paper: 8-10% from other effects)");
     if perturbation.abs() < noise.max(2.0) {
         println!("=> perturbation is below the noise floor, as in the paper");
     } else {

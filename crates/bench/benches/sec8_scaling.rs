@@ -92,7 +92,6 @@ fn pooled_kernel_activity(pool: bool, seed: u64) -> (f64, f64) {
         device_period: None,
         timer_flush_period: Dur::millis(5),
         limit: Time::from_micros(60_000_000),
-        ..RunConfig::multimax16(seed)
     };
     let mut m = build_workload_machine(&config, AppShared::None);
     // The pool kernel region: a task whose pmap is marked in use on the
@@ -113,12 +112,22 @@ fn pooled_kernel_activity(pool: bool, seed: u64) -> (f64, f64) {
         }
     };
     for c in 1..n_cpus {
-        m.shared_mut().push_thread(CpuId::new(c as u32), Box::new(BusyWorker));
+        m.shared_mut()
+            .push_thread(CpuId::new(c as u32), Box::new(BusyWorker));
     }
     m.shared_mut().push_thread(
         CpuId::new(0),
-        Box::new(ThreadShell::new(task, KernelActivity { task, left: 20, op: None })
-            .with_label("kernel-activity")),
+        Box::new(
+            ThreadShell::new(
+                task,
+                KernelActivity {
+                    task,
+                    left: 20,
+                    op: None,
+                },
+            )
+            .with_label("kernel-activity"),
+        ),
     );
     let status = run_until_done(&mut m, config.limit, |s| s.done_flag);
     let s = m.shared();
@@ -141,10 +150,20 @@ fn pooled_kernel_activity(pool: bool, seed: u64) -> (f64, f64) {
             .collect::<Vec<_>>()
     };
     assert!(!records.is_empty(), "the deallocations must shoot");
-    let elapsed = Summary::of(&records.iter().map(|r| r.elapsed.as_micros_f64()).collect::<Vec<_>>())
-        .expect("records");
-    let procs = Summary::of(&records.iter().map(|r| f64::from(r.processors)).collect::<Vec<_>>())
-        .expect("records");
+    let elapsed = Summary::of(
+        &records
+            .iter()
+            .map(|r| r.elapsed.as_micros_f64())
+            .collect::<Vec<_>>(),
+    )
+    .expect("records");
+    let procs = Summary::of(
+        &records
+            .iter()
+            .map(|r| f64::from(r.processors))
+            .collect::<Vec<_>>(),
+    )
+    .expect("records");
     (elapsed.mean, procs.mean)
 }
 
@@ -159,7 +178,7 @@ fn scaled_config(n_cpus: usize, seed: u64) -> RunConfig {
         costs,
         kconfig: Default::default(),
         timer_flush_period: machtlb_sim::Dur::millis(5),
-            device_period: None, // isolate the algorithmic scaling
+        device_period: None, // isolate the algorithmic scaling
         limit: Time::from_micros(120_000_000),
     }
 }
@@ -167,7 +186,10 @@ fn scaled_config(n_cpus: usize, seed: u64) -> RunConfig {
 fn basic_cost_us(n_cpus: usize, k: u32, seed: u64) -> f64 {
     let out = run_tester(
         &scaled_config(n_cpus, seed),
-        &TesterConfig { children: k, warmup_increments: 20 },
+        &TesterConfig {
+            children: k,
+            warmup_increments: 20,
+        },
     );
     assert!(!out.mismatch && out.report.consistent, "n={n_cpus} k={k}");
     let shot = out.shootdown.expect("shootdown happened");

@@ -31,14 +31,23 @@ struct Option9 {
 fn options() -> Vec<Option9> {
     let stock = KernelConfig::default();
     vec![
-        Option9 { name: "software shootdown (baseline)", kconfig: stock.clone() },
+        Option9 {
+            name: "software shootdown (baseline)",
+            kconfig: stock.clone(),
+        },
         Option9 {
             name: "high-priority software interrupt",
-            kconfig: KernelConfig { high_prio_ipi: true, ..stock.clone() },
+            kconfig: KernelConfig {
+                high_prio_ipi: true,
+                ..stock.clone()
+            },
         },
         Option9 {
             name: "broadcast interrupt",
-            kconfig: KernelConfig { strategy: Strategy::BroadcastIpi, ..stock.clone() },
+            kconfig: KernelConfig {
+                strategy: Strategy::BroadcastIpi,
+                ..stock.clone()
+            },
         },
         Option9 {
             name: "software reload, no responder stall",
@@ -93,15 +102,25 @@ fn main() {
                 limit: Time::from_micros(60_000_000),
                 ..RunConfig::multimax16(seed)
             };
-            let out = run_tester(&config, &TesterConfig { children: 12, warmup_increments: 30 });
+            let out = run_tester(
+                &config,
+                &TesterConfig {
+                    children: 12,
+                    warmup_increments: 30,
+                },
+            );
             assert!(!out.mismatch, "{}: tester detected inconsistency", opt.name);
             assert!(out.report.consistent, "{}: oracle violations", opt.name);
             let shot = out.shootdown.expect("one consistency action");
             elapsed.push(shot.elapsed.as_micros_f64());
             ipis += out.report.stats.ipis_sent;
             responder_events += out.report.responders.len();
-            resp_elapsed
-                .extend(out.report.responders.iter().map(|r| r.elapsed.as_micros_f64()));
+            resp_elapsed.extend(
+                out.report
+                    .responders
+                    .iter()
+                    .map(|r| r.elapsed.as_micros_f64()),
+            );
         }
         let s = Summary::of(&elapsed).expect("runs");
         t.add_row(vec![

@@ -56,7 +56,13 @@ fn main() {
         assert!(r.consistent, "{}: consistency violations", r.name);
     }
 
-    let mut t = TextTable::new(vec!["", "Mach No", "Mach Yes", "Parthenon No", "Parthenon Yes"]);
+    let mut t = TextTable::new(vec![
+        "",
+        "Mach No",
+        "Mach Yes",
+        "Parthenon No",
+        "Parthenon Yes",
+    ]);
     let (ke_mo, kt_mo) = cell(&mach_off.kernel_initiators);
     let (ke_my, kt_my) = cell(&mach_on.kernel_initiators);
     let (ke_po, kt_po) = cell(&parth_off.kernel_initiators);

@@ -102,10 +102,16 @@ fn main() {
     println!("Agora bimodality (paper: setup events at 11-15 procs, median 1367 us;");
     println!("                  remaining events at 1-4 procs, median 779 us):");
     if let Some(s) = Summary::of(&big) {
-        println!("  setup group (>=11 procs): {} events, median {:.0} us", s.n, s.median);
+        println!(
+            "  setup group (>=11 procs): {} events, median {:.0} us",
+            s.n, s.median
+        );
     }
     if let Some(s) = Summary::of(&small) {
-        println!("  steady group (<=4 procs): {} events, median {:.0} us", s.n, s.median);
+        println!(
+            "  steady group (<=4 procs): {} events, median {:.0} us",
+            s.n, s.median
+        );
     }
 
     // The Section 7.3 headline: "the overhead of maintaining TLB
@@ -119,9 +125,9 @@ fn main() {
     println!("column scales each overhead to the paper's event rate for that application:");
     // events per second in the paper's production runs (events / runtime).
     let paper_density: [(f64, f64); 4] = [
-        (7494.0 / 1200.0, 0.0),        // Mach: 20 min
-        (4.0 / 1200.0, 0.0),           // Parthenon: 20 min
-        (88.0 / 450.0, 0.0),           // Agora: 7.5 min
+        (7494.0 / 1200.0, 0.0),          // Mach: 20 min
+        (4.0 / 1200.0, 0.0),             // Parthenon: 20 min
+        (88.0 / 450.0, 0.0),             // Agora: 7.5 min
         (68.0 / 3600.0, 930.0 / 3600.0), // Camelot: 1 h (user events est.)
     ];
     for (r, (pk, pu)) in reports.iter().zip(paper_density) {
@@ -138,7 +144,8 @@ fn main() {
         );
     }
     println!();
-    println!("runtimes (simulated): {}",
+    println!(
+        "runtimes (simulated): {}",
         reports
             .iter()
             .map(|r| format!("{} {:.0} ms", r.name, r.runtime.as_micros_f64() / 1000.0))

@@ -62,7 +62,8 @@ fn main() {
             r.name.to_string(),
             r.responders.len().to_string(),
             s.as_ref().map_or("-".into(), |s| s.mean_pm_std()),
-            s.as_ref().map_or("-".into(), |s| format!("{:.0}", s.median)),
+            s.as_ref()
+                .map_or("-".into(), |s| format!("{:.0}", s.median)),
             s.as_ref().map_or("-".into(), |s| format!("{:.0}", s.p10)),
             s.map_or("-".into(), |s| format!("{:.0}", s.p90)),
         ]);
@@ -72,7 +73,11 @@ fn main() {
     // The distribution shapes the paper discusses: right-skewed for most
     // applications, near-symmetric for Camelot.
     for r in [&reports[0], &reports[3]] {
-        let xs: Vec<f64> = r.responders.iter().map(|x| x.elapsed.as_micros_f64()).collect();
+        let xs: Vec<f64> = r
+            .responders
+            .iter()
+            .map(|x| x.elapsed.as_micros_f64())
+            .collect();
         if xs.len() >= 10 {
             println!();
             println!("{} responder time distribution (us):", r.name);
@@ -94,7 +99,11 @@ fn main() {
                 r.name,
                 i.mean,
                 resp.mean,
-                if i.mean > resp.mean { "initiator higher, as in the paper" } else { "responder higher" }
+                if i.mean > resp.mean {
+                    "initiator higher, as in the paper"
+                } else {
+                    "responder higher"
+                }
             );
         }
     }

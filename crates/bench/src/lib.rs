@@ -44,7 +44,10 @@ pub struct Fig2Data {
 /// is empty, or if any run breaks consistency.
 pub fn fig2_sweep(n_cpus: usize, max_k: u32, seeds: &[u64]) -> Fig2Data {
     assert!(!seeds.is_empty(), "need at least one seed");
-    assert!((max_k as usize) < n_cpus, "k must leave the main thread a processor");
+    assert!(
+        (max_k as usize) < n_cpus,
+        "k must leave the main thread a processor"
+    );
     let mut rows = Vec::new();
     for k in 1..=max_k {
         let mut samples = Vec::new();
@@ -61,14 +64,24 @@ pub fn fig2_sweep(n_cpus: usize, max_k: u32, seeds: &[u64]) -> Fig2Data {
                     warmup_increments: 40,
                 },
             );
-            assert!(!out.mismatch, "k={k} seed={seed}: tester detected inconsistency");
-            assert!(out.report.consistent, "k={k} seed={seed}: oracle violations");
+            assert!(
+                !out.mismatch,
+                "k={k} seed={seed}: tester detected inconsistency"
+            );
+            assert!(
+                out.report.consistent,
+                "k={k} seed={seed}: oracle violations"
+            );
             let shot = out.shootdown.expect("the reprotect shot down");
             assert_eq!(shot.processors, k);
             samples.push(shot.elapsed.as_micros_f64());
         }
         let summary = Summary::of(&samples).expect("non-empty samples");
-        rows.push(Fig2Row { k, samples, summary });
+        rows.push(Fig2Row {
+            k,
+            samples,
+            summary,
+        });
     }
     let pts: Vec<(f64, f64)> = rows
         .iter()

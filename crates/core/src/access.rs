@@ -91,7 +91,8 @@ pub fn try_access<S: HasKernel>(
                         // The hazardous behaviour: the cached copy (stale
                         // or not) overwrites the in-memory entry.
                         cost += ctx.bus_write();
-                        ctx.shared.kernel_mut()
+                        ctx.shared
+                            .kernel_mut()
                             .pmaps
                             .get_mut(pmap_id)
                             .table_mut()
@@ -117,7 +118,10 @@ pub fn try_access<S: HasKernel>(
                     }
                 }
             }
-            ctx.shared.kernel_mut().checker.check_use(me, pmap_id, vpn, pte, access, now);
+            ctx.shared
+                .kernel_mut()
+                .checker
+                .check_use(me, pmap_id, vpn, pte, access, now);
             let value = match op {
                 MemOp::Read => {
                     cost += c_cache;
@@ -133,7 +137,9 @@ pub fn try_access<S: HasKernel>(
         }
         Lookup::Hit { .. } => {
             // Cached entry without the needed rights: protection fault.
-            AccessOutcome::Fault { cost: c_cache + c_local }
+            AccessOutcome::Fault {
+                cost: c_cache + c_local,
+            }
         }
         Lookup::Miss => {
             let reload = ctx.shared.kernel_mut().config.tlb.reload;
@@ -144,17 +150,27 @@ pub fn try_access<S: HasKernel>(
                 cost += c_local * 8;
                 let lock = ctx.shared.kernel_mut().pmaps.get(pmap_id).lock();
                 if lock.is_locked() && !lock.is_held_by(me) {
-                    return AccessOutcome::Stall { cost: cost + ctx.costs().spin_iter };
+                    return AccessOutcome::Stall {
+                        cost: cost + ctx.costs().spin_iter,
+                    };
                 }
             }
             // Walk the page tables (hardware walks ignore all locks).
-            let levels = ctx.shared.kernel_mut().pmaps.get(pmap_id).table().walk_levels(vpn);
+            let levels = ctx
+                .shared
+                .kernel_mut()
+                .pmaps
+                .get(pmap_id)
+                .table()
+                .walk_levels(vpn);
             for _ in 0..levels {
                 cost += ctx.costs().ptw_level + ctx.bus_read();
             }
             let pte = ctx.shared.kernel_mut().pmaps.get(pmap_id).table().get(vpn);
             if !pte.permits(access) {
-                return AccessOutcome::Fault { cost: cost + c_local };
+                return AccessOutcome::Fault {
+                    cost: cost + c_local,
+                };
             }
             // Record referenced/modified bits as the walk dictates.
             let cached = match writeback_policy {
@@ -162,18 +178,31 @@ pub fn try_access<S: HasKernel>(
                 WritebackPolicy::NonInterlocked => {
                     let touched = pte.touched(access);
                     cost += ctx.bus_write();
-                    ctx.shared.kernel_mut().pmaps.get_mut(pmap_id).table_mut().set(vpn, touched);
+                    ctx.shared
+                        .kernel_mut()
+                        .pmaps
+                        .get_mut(pmap_id)
+                        .table_mut()
+                        .set(vpn, touched);
                     touched
                 }
                 WritebackPolicy::Interlocked => {
                     let touched = pte.touched(access);
                     cost += ctx.bus_interlocked();
-                    ctx.shared.kernel_mut().pmaps.get_mut(pmap_id).table_mut().set(vpn, touched);
+                    ctx.shared
+                        .kernel_mut()
+                        .pmaps
+                        .get_mut(pmap_id)
+                        .table_mut()
+                        .set(vpn, touched);
                     touched
                 }
             };
             ctx.shared.kernel_mut().tlbs[me.index()].insert(pmap_id, vpn, cached, now);
-            ctx.shared.kernel_mut().checker.check_use(me, pmap_id, vpn, cached, access, now);
+            ctx.shared
+                .kernel_mut()
+                .checker
+                .check_use(me, pmap_id, vpn, cached, access, now);
             let value = match op {
                 MemOp::Read => {
                     cost += ctx.bus_read();

@@ -44,7 +44,13 @@ impl fmt::Display for Violation {
         write!(
             f,
             "{} used stale {} of {} {} at {} ({:?} access; committed {} at {})",
-            self.cpu, self.used, self.pmap, self.vpn, self.at, self.access, self.committed,
+            self.cpu,
+            self.used,
+            self.pmap,
+            self.vpn,
+            self.at,
+            self.access,
+            self.committed,
             self.committed_at
         )
     }
@@ -183,7 +189,12 @@ mod tests {
         let mut c = Checker::new();
         c.commit(PM, Vpn::new(1), rw(5), Time::from_micros(10));
         // Protection reduced to read-only at t=30.
-        c.commit(PM, Vpn::new(1), Pte::valid(Pfn::new(5), Prot::READ), Time::from_micros(30));
+        c.commit(
+            PM,
+            Vpn::new(1),
+            Pte::valid(Pfn::new(5), Prot::READ),
+            Time::from_micros(30),
+        );
         // A write via the stale read-write entry at t=40 is a violation...
         let v = c.check_use(
             CpuId::new(2),
@@ -273,7 +284,14 @@ mod tests {
         let mut c = Checker::new();
         c.commit(PM, Vpn::new(1), Pte::INVALID, Time::from_micros(1));
         let v = c
-            .check_use(CpuId::new(3), PM, Vpn::new(1), rw(5), Access::Write, Time::from_micros(2))
+            .check_use(
+                CpuId::new(3),
+                PM,
+                Vpn::new(1),
+                rw(5),
+                Access::Write,
+                Time::from_micros(2),
+            )
             .expect("violation");
         let s = v.to_string();
         assert!(s.contains("cpu3"));

@@ -38,7 +38,11 @@ pub fn build_kernel_machine(
 ) -> KernelMachine {
     let high_prio = kconfig.high_prio_ipi;
     let state = KernelState::new(n_cpus, kconfig);
-    let mconfig = MachineConfig { n_cpus, seed, costs };
+    let mconfig = MachineConfig {
+        n_cpus,
+        seed,
+        costs,
+    };
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, high_prio);
     m
@@ -181,7 +185,10 @@ impl<S: HasKernel> Process<S, ()> for NopHandler {
 /// `(0, 2*period)`): device arrivals are bursty, not clocked, so they do
 /// not synchronize with the measured workloads.
 pub fn schedule_device_interrupts<S, P>(m: &mut Machine<S, P>, period: Dur, until: Time) {
-    assert!(!period.is_zero(), "device interrupt period must be positive");
+    assert!(
+        !period.is_zero(),
+        "device interrupt period must be positive"
+    );
     let n = m.n_cpus();
     for c in 0..n {
         let mut t = Time::ZERO + period.mul_f64(m.rng_mut().gen_range(0.0..2.0));
@@ -241,7 +248,11 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
                         cost += ctx.costs().tlb_flush_all;
                     }
                     if !ctx.shared.kernel_mut().config.tlb.asid_tagged {
-                        ctx.shared.kernel_mut().pmaps.get_mut(old).mark_not_in_use(me);
+                        ctx.shared
+                            .kernel_mut()
+                            .pmaps
+                            .get_mut(old)
+                            .mark_not_in_use(me);
                         cost += ctx.bus_write();
                     }
                 }
@@ -275,7 +286,6 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,7 +302,11 @@ mod tests {
             s.force_active(CpuId::new(0));
             pmap
         };
-        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(SwitchUserPmapProcess::new(Some(pmap))));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(SwitchUserPmapProcess::new(Some(pmap))),
+        );
         m.run(Time::from_micros(10_000));
         let flushes_after_first = m.shared().tlbs[0].stats().flushes;
         // Load an entry, switch to the same pmap again: it must survive.
@@ -300,16 +314,30 @@ mod tests {
             let s = m.shared_mut();
             let pfn = Pfn::new(9);
             s.seed_mapping(pmap, Vpn::new(1), pfn, Prot::READ);
-            s.tlbs[0].insert(pmap, Vpn::new(1), machtlb_pmap::Pte::valid(pfn, Prot::READ),
-                Time::ZERO);
+            s.tlbs[0].insert(
+                pmap,
+                Vpn::new(1),
+                machtlb_pmap::Pte::valid(pfn, Prot::READ),
+                Time::ZERO,
+            );
         }
-        m.spawn_at(CpuId::new(0), Time::from_micros(20_000),
-            Box::new(SwitchUserPmapProcess::new(Some(pmap))));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::from_micros(20_000),
+            Box::new(SwitchUserPmapProcess::new(Some(pmap))),
+        );
         let r = m.run(Time::from_micros(50_000));
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = m.shared();
-        assert_eq!(s.tlbs[0].stats().flushes, flushes_after_first, "no flush on same-pmap switch");
-        assert!(s.tlbs[0].peek(pmap, Vpn::new(1)).is_some(), "entry survived");
+        assert_eq!(
+            s.tlbs[0].stats().flushes,
+            flushes_after_first,
+            "no flush on same-pmap switch"
+        );
+        assert!(
+            s.tlbs[0].peek(pmap, Vpn::new(1)).is_some(),
+            "entry survived"
+        );
         assert_eq!(s.cur_user_pmap[0], Some(pmap));
     }
 
@@ -328,14 +356,21 @@ mod tests {
             let s = m.shared_mut();
             let pmap = s.pmaps.create();
             let pfn = s.frames.alloc();
-            s.tlbs[1].insert(pmap, Vpn::new(4), machtlb_pmap::Pte::valid(pfn, Prot::READ),
-                Time::ZERO);
+            s.tlbs[1].insert(
+                pmap,
+                Vpn::new(4),
+                machtlb_pmap::Pte::valid(pfn, Prot::READ),
+                Time::ZERO,
+            );
         }
         m.schedule_interrupt(CpuId::new(1), TIMER_FLUSH_VECTOR, Time::from_micros(100));
         m.run(Time::from_micros(10_000));
         let s = m.shared();
         assert!(s.tlbs[1].is_empty(), "the handler flushed the buffer");
-        assert!(s.tlb_flush_stamp[1] >= Time::from_micros(100), "and stamped the epoch clock");
+        assert!(
+            s.tlb_flush_stamp[1] >= Time::from_micros(100),
+            "and stamped the epoch clock"
+        );
         assert_eq!(s.tlb_flush_stamp[0], Time::ZERO, "cpu0 untouched");
     }
 

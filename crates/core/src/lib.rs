@@ -77,7 +77,7 @@ pub use kernel::{
     TimerFlushHandler, DEVICE_VECTOR, RESCHED_VECTOR, SHOOTDOWN_VECTOR, TIMER_FLUSH_VECTOR,
 };
 pub use op::{OpOutcome, PmapOp, PmapOpProcess};
-pub use queue::{Action, ActionQueue};
+pub use queue::{Action, ActionQueue, EnqueueOutcome};
 pub use responder::{enter_idle, ExitIdleProcess, ResponderProcess};
 pub use state::{
     FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats, PendingCommit, PhysMem,
@@ -253,7 +253,11 @@ mod tests {
         };
         let va = vpn.base();
         for c in 1..n_cpus {
-            m.spawn_at(CpuId::new(c as u32), Time::ZERO, Box::new(Toucher::new(pmap, va)));
+            m.spawn_at(
+                CpuId::new(c as u32),
+                Time::ZERO,
+                Box::new(Toucher::new(pmap, va)),
+            );
         }
         m.spawn_at(
             CpuId::new(0),
@@ -272,8 +276,15 @@ mod tests {
         let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent, "all threads fault and stop");
         let s = sc.m.shared();
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
-        assert!(s.checker.checks() > 0, "the oracle must have been exercised");
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert!(
+            s.checker.checks() > 0,
+            "the oracle must have been exercised"
+        );
         assert_eq!(s.stats.shootdowns_user, 1);
         assert_eq!(s.stats.ipis_sent, 3, "three touchers were shot at");
         let inits = s.initiator_records();
@@ -317,7 +328,11 @@ mod tests {
         let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = sc.m.shared();
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
         assert!(!s.pmaps.get(sc.pmap).table().get(sc.vpn).valid);
         assert_eq!(s.stats.shootdowns_user, 1);
     }
@@ -402,14 +417,21 @@ mod tests {
         {
             let s = m.shared();
             assert_eq!(s.stats.ipis_sent, 0, "idle processors are not interrupted");
-            assert_eq!(s.stats.shootdowns_kernel, 1, "but the shootdown still happened");
+            assert_eq!(
+                s.stats.shootdowns_kernel, 1,
+                "but the shootdown still happened"
+            );
             for c in 1..4 {
                 assert!(s.action_needed[c], "action queued for idle cpu{c}");
                 assert_eq!(s.queues[c].len(), 1);
             }
         }
         // An idle processor drains its queue on the way out of idle.
-        m.spawn_at(CpuId::new(2), Time::from_micros(50_000), Box::new(ExitIdleProcess::new()));
+        m.spawn_at(
+            CpuId::new(2),
+            Time::from_micros(50_000),
+            Box::new(ExitIdleProcess::new()),
+        );
         m.run(Time::from_micros(200_000));
         let s = m.shared();
         assert!(!s.action_needed[2]);
@@ -429,7 +451,10 @@ mod tests {
             let pmap = s.pmaps.create();
             for i in 0..4 {
                 let pfn = s.frames.alloc();
-                s.seed_mapping(pmap, Vpn::new(0x40 + i), pfn, Prot::READ_WRITE);
+                // Stride 2 keeps the pages non-adjacent so the queue
+                // cannot coalesce them away — the overflow path is the
+                // thing under test.
+                s.seed_mapping(pmap, Vpn::new(0x40 + 2 * i), pfn, Prot::READ_WRITE);
             }
             s.pmaps.get_mut(pmap).mark_in_use(CpuId::new(1));
             // cpu1 stays idle; cpu0 initiates.
@@ -438,9 +463,9 @@ mod tests {
         };
         // Actions pile up only on *idle* processors (the initiator
         // synchronizes with everyone else): leave cpu1 idle with the pmap
-        // still marked in use, so four back-to-back single-page removes
-        // from cpu0 overflow its capacity-2 queue into the
-        // flush-everything flag.
+        // still marked in use, so four back-to-back non-adjacent
+        // single-page removes from cpu0 overflow its capacity-2 queue into
+        // the flush-everything flag.
         #[derive(Debug)]
         struct ManyOps {
             pmap: PmapId,
@@ -456,7 +481,7 @@ mod tests {
                     self.running = Some(PmapOpProcess::new(
                         self.pmap,
                         PmapOp::Remove {
-                            range: PageRange::new(Vpn::new(0x40 + self.next), 1),
+                            range: PageRange::new(Vpn::new(0x40 + 2 * self.next), 1),
                         },
                     ));
                     self.next += 1;
@@ -473,20 +498,41 @@ mod tests {
         m.spawn_at(
             CpuId::new(0),
             Time::from_micros(10),
-            Box::new(ManyOps { pmap, next: 0, running: None }),
+            Box::new(ManyOps {
+                pmap,
+                next: 0,
+                running: None,
+            }),
         );
         let r = m.run_bounded(Time::from_micros(2_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
-        assert!(m.shared().queues[1].overflows() >= 1, "queue must have overflowed");
-        assert!(m.shared().queues[1].flush_all(), "overflow pends a full flush");
+        assert!(
+            m.shared().queues[1].overflows() >= 1,
+            "queue must have overflowed"
+        );
+        assert!(
+            m.shared().queues[1].flush_all(),
+            "overflow pends a full flush"
+        );
         // The idle processor performs the flush on its way out of idle.
-        m.spawn_at(CpuId::new(1), Time::from_micros(10_000), Box::new(ExitIdleProcess::new()));
+        m.spawn_at(
+            CpuId::new(1),
+            Time::from_micros(10_000),
+            Box::new(ExitIdleProcess::new()),
+        );
         let r = m.run_bounded(Time::from_micros(3_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = m.shared();
-        assert!(s.tlbs[1].stats().flushes >= 1, "overflow forced a full flush");
+        assert!(
+            s.tlbs[1].stats().flushes >= 1,
+            "overflow forced a full flush"
+        );
         assert!(!s.action_needed[1]);
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
     }
 
     #[test]
@@ -512,12 +558,22 @@ mod tests {
         m.spawn_at(
             CpuId::new(0),
             Time::ZERO,
-            Box::new(PmapOpProcess::new(pa, PmapOp::Remove { range: PageRange::new(Vpn::new(1), 1) })),
+            Box::new(PmapOpProcess::new(
+                pa,
+                PmapOp::Remove {
+                    range: PageRange::new(Vpn::new(1), 1),
+                },
+            )),
         );
         m.spawn_at(
             CpuId::new(1),
             Time::ZERO,
-            Box::new(PmapOpProcess::new(pb, PmapOp::Remove { range: PageRange::new(Vpn::new(2), 1) })),
+            Box::new(PmapOpProcess::new(
+                pb,
+                PmapOp::Remove {
+                    range: PageRange::new(Vpn::new(2), 1),
+                },
+            )),
         );
         let r = m.run_bounded(Time::from_micros(1_000_000), 2_000_000);
         assert_eq!(r.status, RunStatus::Quiescent, "no deadlock");
@@ -541,8 +597,15 @@ mod tests {
         let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = sc.m.shared();
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
-        assert_eq!(s.stats.ipis_sent, 3, "broadcast reaches every other processor");
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert_eq!(
+            s.stats.ipis_sent, 3,
+            "broadcast reaches every other processor"
+        );
         assert_eq!(s.stats.shootdowns_user, 1);
     }
 
@@ -563,7 +626,11 @@ mod tests {
         let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = sc.m.shared();
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
         assert_eq!(s.stats.ipis_sent, 0, "no interrupts at all");
         assert_eq!(s.responder_records().len(), 0, "no responder involvement");
     }
@@ -586,7 +653,11 @@ mod tests {
         let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = sc.m.shared();
-        assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
         assert_eq!(s.stats.shootdowns_user, 1);
     }
 
@@ -617,10 +688,12 @@ mod tests {
         let s = m.shared();
         assert_eq!(s.stats.ipis_sent, 0);
         assert_eq!(s.stats.shootdowns_user, 0);
-        assert_eq!(s.pmaps.get(pmap).table().get(Vpn::new(5)).prot, Prot::READ_WRITE);
+        assert_eq!(
+            s.pmaps.get(pmap).table().get(Vpn::new(5)).prot,
+            Prot::READ_WRITE
+        );
     }
 }
-
 
 #[cfg(test)]
 mod proptests {

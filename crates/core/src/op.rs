@@ -260,10 +260,7 @@ impl PmapOpProcess {
     fn invalidate_local<S: HasKernel>(&self, ctx: &mut Ctx<'_, S, ()>) -> Dur {
         let me = ctx.cpu_id;
         let range = self.invalidate_range();
-        let costs = (
-            ctx.costs().tlb_invalidate_single,
-            ctx.costs().tlb_flush_all,
-        );
+        let costs = (ctx.costs().tlb_invalidate_single, ctx.costs().tlb_flush_all);
         let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
         match tlb.plan_invalidation(range) {
             InvalidationPlan::Individual(n) => {
@@ -304,7 +301,10 @@ impl PmapOpProcess {
             processors: self.send_list.len() as u32,
             elapsed: t1.duration_since(t0),
         };
-        ctx.shared.kernel_mut().xpr.record(ShootdownEvent::Initiator(record));
+        ctx.shared
+            .kernel_mut()
+            .xpr
+            .record(ShootdownEvent::Initiator(record));
         // Gathering the arguments and calling the xpr package costs a few
         // instructions (the Section 6.1 perturbation).
         ctx.costs().local_op * 4
@@ -329,7 +329,13 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(cost)
             }
             Phase::Lock => {
-                let acquired = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id).lock_mut().try_acquire(me);
+                let acquired = ctx
+                    .shared
+                    .kernel_mut()
+                    .pmaps
+                    .get_mut(self.pmap_id)
+                    .lock_mut()
+                    .try_acquire(me);
                 if acquired {
                     self.phase = Phase::Check;
                     let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
@@ -346,7 +352,14 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         ctx.shared.kernel_mut().stats.lazy_skips += 1;
                     }
                     self.phase = Phase::Apply;
-                } else if ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(me) {
+                } else if ctx
+                    .shared
+                    .kernel_mut()
+                    .pmaps
+                    .get(self.pmap_id)
+                    .in_use()
+                    .contains(me)
+                {
                     self.phase = Phase::LocalInvalidate;
                 } else {
                     self.phase = self.after_local_phase(ctx.shared.kernel(), me);
@@ -363,7 +376,16 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // Find the next other processor using this pmap.
                 let target = (next..ctx.shared.kernel_mut().n_cpus as u32)
                     .map(CpuId::new)
-                    .find(|&c| c != me && ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(c));
+                    .find(|&c| {
+                        c != me
+                            && ctx
+                                .shared
+                                .kernel_mut()
+                                .pmaps
+                                .get(self.pmap_id)
+                                .in_use()
+                                .contains(c)
+                    });
                 let Some(cpu) = target else {
                     self.phase = if self.wait_list.is_empty() {
                         // Nothing to interrupt or wait for (all users
@@ -379,10 +401,17 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
                 }
                 // queue_action; action_needed[cpu] = TRUE; unlock.
-                ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
+                let outcome = ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
                     pmap: self.pmap_id,
                     range: self.invalidate_range(),
                 });
+                if let crate::queue::EnqueueOutcome::Coalesced { avoided_overflow } = outcome {
+                    let stats = &mut ctx.shared.kernel_mut().stats;
+                    stats.actions_coalesced += 1;
+                    if avoided_overflow {
+                        stats.queue_overflows_avoided += 1;
+                    }
+                }
                 ctx.shared.kernel_mut().action_needed[cpu.index()] = true;
                 ctx.shared.kernel_mut().queue_locks[cpu.index()].release(me);
                 self.outcome.shootdown = true;
@@ -395,7 +424,9 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         self.send_list.push(cpu);
                     }
                 }
-                self.phase = Phase::QueueScan { next: cpu.index() as u32 + 1 };
+                self.phase = Phase::QueueScan {
+                    next: cpu.index() as u32 + 1,
+                };
                 let cost = ctx.costs().lock_acquire
                     + ctx.costs().queue_action
                     + ctx.costs().lock_release
@@ -434,7 +465,13 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     return Step::Run(ctx.costs().local_op);
                 };
                 let strategy = self.strategy(ctx.shared.kernel());
-                let still_using = ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(cpu);
+                let still_using = ctx
+                    .shared
+                    .kernel_mut()
+                    .pmaps
+                    .get(self.pmap_id)
+                    .in_use()
+                    .contains(cpu);
                 let pending = if strategy.responders_stall() {
                     // Spin while the responder is active and still using
                     // the pmap.
@@ -472,13 +509,16 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 for i in 0..chunk {
                     let (vpn, _) = self.changes[applied + i];
                     cost += ctx.costs().pmap_update_per_page + ctx.bus_write();
-                    ctx.shared.kernel_mut()
+                    ctx.shared
+                        .kernel_mut()
                         .pmaps
                         .get_mut(self.pmap_id)
                         .table_mut()
                         .set(vpn, Pte::INVALID);
                 }
-                self.phase = Phase::PreInvalidatePt { applied: applied + chunk };
+                self.phase = Phase::PreInvalidatePt {
+                    applied: applied + chunk,
+                };
                 Step::Run(cost)
             }
             Phase::RemoteInvalidate { next } => {
@@ -488,7 +528,16 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // transaction.
                 let target = (next..ctx.shared.kernel_mut().n_cpus as u32)
                     .map(CpuId::new)
-                    .find(|&c| c != me && ctx.shared.kernel_mut().pmaps.get(self.pmap_id).in_use().contains(c));
+                    .find(|&c| {
+                        c != me
+                            && ctx
+                                .shared
+                                .kernel_mut()
+                                .pmaps
+                                .get(self.pmap_id)
+                                .in_use()
+                                .contains(c)
+                    });
                 let Some(cpu) = target else {
                     self.t_sync_done = Some(ctx.now);
                     self.outcome.shootdown = true;
@@ -498,9 +547,12 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 let range = self.invalidate_range();
                 let single = ctx.costs().tlb_invalidate_single;
                 let bus = ctx.bus_write();
-                let n = ctx.shared.kernel_mut().tlbs[cpu.index()].invalidate_range(self.pmap_id, range);
+                let n =
+                    ctx.shared.kernel_mut().tlbs[cpu.index()].invalidate_range(self.pmap_id, range);
                 self.send_list.push(cpu); // counted as "processors shot"
-                self.phase = Phase::RemoteInvalidate { next: cpu.index() as u32 + 1 };
+                self.phase = Phase::RemoteInvalidate {
+                    next: cpu.index() as u32 + 1,
+                };
                 Step::Run(single * n.max(1) + bus)
             }
             Phase::Apply => {
@@ -528,8 +580,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     // this operation completes, and that is fine — only
                     // rights *removal* needs the completion barrier.
                     let upgrade = pte.valid
-                        && (!old.valid
-                            || (old.pfn == pte.pfn && old.prot.is_subset_of(pte.prot)));
+                        && (!old.valid || (old.pfn == pte.pfn && old.prot.is_subset_of(pte.prot)));
                     if upgrade {
                         kernel.checker.commit(self.pmap_id, vpn, pte, now);
                     } else if kernel.config.strategy == Strategy::TimerDelayed {
@@ -558,7 +609,10 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     // no stale entry may be used (the Section 4
                     // guarantee).
                     for &(vpn, pte) in &self.changes {
-                        ctx.shared.kernel_mut().checker.commit(self.pmap_id, vpn, pte, now);
+                        ctx.shared
+                            .kernel_mut()
+                            .checker
+                            .commit(self.pmap_id, vpn, pte, now);
                     }
                 }
                 self.outcome.pages_changed = self.changes.len() as u64;

@@ -5,6 +5,15 @@
 //! entire TLB. The queue size is set so that this only happens in cases
 //! where the responder would flush its entire TLB for efficiency reasons in
 //! the absence of update queue overflow" (Section 4, omitted detail 2).
+//!
+//! On top of the paper's buffer, this queue *coalesces*: an enqueued action
+//! whose range overlaps or is adjacent to an already-queued action for the
+//! same pmap is merged into it instead of taking a slot. The union of
+//! touching ranges covers exactly the same pages, so the set of
+//! translations invalidated on drain is unchanged; the queue just
+//! overflows into a whole-TLB flush less often and responders issue fewer
+//! `invalidate_range` calls. The equivalence proptest in
+//! `crates/core/src/lib.rs` checks this against an uncoalesced model.
 
 use std::fmt;
 
@@ -19,20 +28,61 @@ pub struct Action {
     pub range: PageRange,
 }
 
-/// A small, fixed-capacity action buffer with an overflow-means-flush flag.
+/// Whether two ranges can be represented by one (they overlap or touch).
+fn touches(a: PageRange, b: PageRange) -> bool {
+    a.start().raw() <= b.end().raw() && b.start().raw() <= a.end().raw()
+}
+
+/// The exact union of two touching ranges.
+fn union(a: PageRange, b: PageRange) -> PageRange {
+    debug_assert!(touches(a, b));
+    let start = a.start().raw().min(b.start().raw());
+    let end = a.end().raw().max(b.end().raw());
+    PageRange::new(machtlb_pmap::Vpn::new(start), end - start)
+}
+
+/// What [`ActionQueue::enqueue`] did with an action, so callers can account
+/// for coalescing in kernel-level statistics.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The action took a free slot.
+    Queued,
+    /// The action merged into an already-queued action for the same pmap.
+    Coalesced {
+        /// The queue was full at the time, so without coalescing this
+        /// enqueue would have overflowed into a whole-TLB flush.
+        avoided_overflow: bool,
+    },
+    /// The queue overflowed and collapsed into the flush-everything flag.
+    Overflowed,
+    /// A pending whole-TLB flush already covers the action.
+    Absorbed,
+}
+
+/// A small, fixed-capacity action buffer with an overflow-means-flush flag
+/// and adjacent/overlapping-range coalescing (see the module docs).
 ///
 /// # Examples
 ///
 /// ```
-/// use machtlb_core::{Action, ActionQueue};
+/// use machtlb_core::{Action, ActionQueue, EnqueueOutcome};
 /// use machtlb_pmap::{PageRange, PmapId, Vpn};
 ///
+/// let act = |v, n| Action { pmap: PmapId::new(1), range: PageRange::new(Vpn::new(v), n) };
+///
 /// let mut q = ActionQueue::new(2);
-/// let a = Action { pmap: PmapId::new(1), range: PageRange::new(Vpn::new(0), 1) };
-/// q.enqueue(a);
-/// q.enqueue(a);
-/// assert!(!q.flush_all());
-/// q.enqueue(a); // overflow
+/// // Adjacent ranges merge into one slot instead of overflowing...
+/// q.enqueue(act(0x40, 1));
+/// assert_eq!(q.enqueue(act(0x41, 1)), EnqueueOutcome::Coalesced { avoided_overflow: false });
+/// assert_eq!(q.len(), 1);
+/// let (actions, flush) = q.drain();
+/// assert_eq!(actions, vec![act(0x40, 2)]);
+/// assert!(!flush);
+///
+/// // ...while disjoint ranges still fill slots and overflow.
+/// q.enqueue(act(0x10, 1));
+/// q.enqueue(act(0x20, 1));
+/// assert_eq!(q.enqueue(act(0x30, 1)), EnqueueOutcome::Overflowed);
 /// assert!(q.flush_all());
 /// let (actions, flush) = q.drain();
 /// assert!(actions.is_empty() && flush);
@@ -44,6 +94,8 @@ pub struct ActionQueue {
     flush_all: bool,
     overflows: u64,
     enqueued: u64,
+    coalesced: u64,
+    overflows_avoided: u64,
 }
 
 impl ActionQueue {
@@ -60,30 +112,80 @@ impl ActionQueue {
             flush_all: false,
             overflows: 0,
             enqueued: 0,
+            coalesced: 0,
+            overflows_avoided: 0,
         }
     }
 
-    /// Queues an action. On overflow the queue is collapsed into the
-    /// flush-everything flag.
-    pub fn enqueue(&mut self, action: Action) {
+    /// Queues an action. An action touching an already-queued range of the
+    /// same pmap merges into it (and chain-merges any other ranges the
+    /// widened range now touches); otherwise it takes a slot, and on
+    /// overflow the queue collapses into the flush-everything flag.
+    pub fn enqueue(&mut self, action: Action) -> EnqueueOutcome {
         self.enqueued += 1;
         if self.flush_all {
-            return; // already flushing everything; individual actions moot
+            return EnqueueOutcome::Absorbed; // flushing everything; individual actions moot
+        }
+        let merge_target = self
+            .slots
+            .iter()
+            .position(|a| a.pmap == action.pmap && touches(a.range, action.range));
+        if let Some(i) = merge_target {
+            let avoided_overflow = self.slots.len() == self.capacity;
+            self.slots[i].range = union(self.slots[i].range, action.range);
+            // The widened range may now touch other queued ranges of the
+            // pmap; absorb them so the queue never holds two mergeable
+            // actions.
+            loop {
+                let next = self.slots.iter().enumerate().position(|(j, a)| {
+                    j != i && a.pmap == action.pmap && touches(a.range, self.slots[i].range)
+                });
+                let Some(j) = next else { break };
+                self.slots[i].range = union(self.slots[i].range, self.slots[j].range);
+                self.slots.remove(j);
+            }
+            self.coalesced += 1;
+            if avoided_overflow {
+                self.overflows_avoided += 1;
+            }
+            return EnqueueOutcome::Coalesced { avoided_overflow };
         }
         if self.slots.len() == self.capacity {
             self.flush_all = true;
             self.overflows += 1;
             self.slots.clear();
-            return;
+            return EnqueueOutcome::Overflowed;
         }
         self.slots.push(action);
+        EnqueueOutcome::Queued
     }
 
     /// Takes all queued work, leaving the queue empty: the actions to apply
     /// individually and whether the whole TLB must be flushed instead.
+    ///
+    /// The returned actions are fully merged: no two of them are touching
+    /// ranges of the same pmap. `enqueue` maintains that invariant, so the
+    /// final merge pass here normally finds nothing to do.
     pub fn drain(&mut self) -> (Vec<Action>, bool) {
         let flush = std::mem::take(&mut self.flush_all);
-        let actions = std::mem::take(&mut self.slots);
+        let mut actions = std::mem::take(&mut self.slots);
+        // Fixed-point merge; the vector is at most `capacity` long.
+        let mut merged_any = true;
+        while merged_any {
+            merged_any = false;
+            'scan: for i in 0..actions.len() {
+                for j in (i + 1)..actions.len() {
+                    if actions[i].pmap == actions[j].pmap
+                        && touches(actions[i].range, actions[j].range)
+                    {
+                        actions[i].range = union(actions[i].range, actions[j].range);
+                        actions.remove(j);
+                        merged_any = true;
+                        break 'scan;
+                    }
+                }
+            }
+        }
         (actions, flush)
     }
 
@@ -111,6 +213,18 @@ impl ActionQueue {
     pub fn enqueued(&self) -> u64 {
         self.enqueued
     }
+
+    /// Enqueued actions that merged into a queued one instead of taking a
+    /// slot.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Coalesces that happened with the queue full — enqueues that would
+    /// have overflowed into a whole-TLB flush without merging.
+    pub fn overflows_avoided(&self) -> u64 {
+        self.overflows_avoided
+    }
 }
 
 impl fmt::Display for ActionQueue {
@@ -137,11 +251,18 @@ mod tests {
         }
     }
 
+    fn ranged(p: u32, v: u64, n: u64) -> Action {
+        Action {
+            pmap: PmapId::new(p),
+            range: PageRange::new(Vpn::new(v), n),
+        }
+    }
+
     #[test]
     fn drain_returns_fifo_order() {
         let mut q = ActionQueue::new(4);
         q.enqueue(action(1));
-        q.enqueue(action(2));
+        q.enqueue(action(4));
         let (actions, flush) = q.drain();
         assert_eq!(actions.len(), 2);
         assert_eq!(actions[0].range.start(), Vpn::new(1));
@@ -153,20 +274,96 @@ mod tests {
     fn overflow_collapses_to_flush() {
         let mut q = ActionQueue::new(1);
         q.enqueue(action(1));
-        q.enqueue(action(2));
+        q.enqueue(action(4));
         assert!(q.flush_all());
         assert_eq!(q.overflows(), 1);
         // Further enqueues are absorbed.
-        q.enqueue(action(3));
+        assert_eq!(q.enqueue(action(7)), EnqueueOutcome::Absorbed);
         assert_eq!(q.overflows(), 1);
         assert_eq!(q.enqueued(), 3);
         let (actions, flush) = q.drain();
         assert!(actions.is_empty());
         assert!(flush);
         // Drained queue is usable again.
-        q.enqueue(action(4));
+        q.enqueue(action(9));
         assert_eq!(q.len(), 1);
         assert!(!q.flush_all());
+    }
+
+    #[test]
+    fn adjacent_and_overlapping_ranges_coalesce() {
+        let mut q = ActionQueue::new(2);
+        assert_eq!(q.enqueue(ranged(1, 10, 2)), EnqueueOutcome::Queued);
+        // Adjacent on the right.
+        assert_eq!(
+            q.enqueue(ranged(1, 12, 3)),
+            EnqueueOutcome::Coalesced {
+                avoided_overflow: false
+            }
+        );
+        // Overlapping on the left.
+        assert_eq!(
+            q.enqueue(ranged(1, 8, 3)),
+            EnqueueOutcome::Coalesced {
+                avoided_overflow: false
+            }
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.coalesced(), 2);
+        let (actions, flush) = q.drain();
+        assert!(!flush);
+        assert_eq!(actions, vec![ranged(1, 8, 7)]);
+    }
+
+    #[test]
+    fn same_pages_different_pmaps_do_not_coalesce() {
+        let mut q = ActionQueue::new(4);
+        q.enqueue(ranged(1, 10, 2));
+        assert_eq!(q.enqueue(ranged(2, 10, 2)), EnqueueOutcome::Queued);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_coalesce() {
+        let mut q = ActionQueue::new(4);
+        q.enqueue(ranged(1, 10, 2)); // [10,12)
+        assert_eq!(q.enqueue(ranged(1, 13, 1)), EnqueueOutcome::Queued); // gap at 12
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bridge_range_chain_merges_neighbours() {
+        let mut q = ActionQueue::new(4);
+        q.enqueue(ranged(1, 10, 2)); // [10,12)
+        q.enqueue(ranged(1, 14, 2)); // [14,16)
+        assert_eq!(q.len(), 2);
+        // [12,14) bridges the two into [10,16).
+        assert_eq!(
+            q.enqueue(ranged(1, 12, 2)),
+            EnqueueOutcome::Coalesced {
+                avoided_overflow: false
+            }
+        );
+        assert_eq!(q.len(), 1);
+        let (actions, _) = q.drain();
+        assert_eq!(actions, vec![ranged(1, 10, 6)]);
+    }
+
+    #[test]
+    fn coalescing_on_a_full_queue_counts_an_avoided_overflow() {
+        let mut q = ActionQueue::new(2);
+        q.enqueue(ranged(1, 10, 2));
+        q.enqueue(ranged(1, 20, 2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.enqueue(ranged(1, 12, 1)),
+            EnqueueOutcome::Coalesced {
+                avoided_overflow: true
+            }
+        );
+        assert!(!q.flush_all(), "merge absorbed what would have overflowed");
+        assert_eq!(q.overflows_avoided(), 1);
+        assert_eq!(q.overflows(), 0);
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl DrainQueue {
         // as in use here.
         if tagged && !action.pmap.is_kernel() && current != Some(action.pmap) {
             let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(action.pmap);
-            ctx.shared.kernel_mut().pmaps.get_mut(action.pmap).mark_not_in_use(me);
+            ctx.shared
+                .kernel_mut()
+                .pmaps
+                .get_mut(action.pmap)
+                .mark_not_in_use(me);
             return single * n.max(1);
         }
         let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
@@ -114,9 +118,7 @@ impl DrainQueue {
         match self.phase {
             DrainPhase::SpinPmaps => {
                 if Self::must_spin(ctx) {
-                    DrainStatus::Running(Step::Run(
-                        ctx.costs().spin_iter + ctx.costs().cache_read,
-                    ))
+                    DrainStatus::Running(Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read))
                 } else {
                     self.phase = DrainPhase::LockQueue;
                     DrainStatus::Running(Step::Run(ctx.costs().local_op))
@@ -133,9 +135,7 @@ impl DrainQueue {
                 self.flush_all = flush_all;
                 self.idx = 0;
                 self.phase = DrainPhase::Drain;
-                DrainStatus::Running(Step::Run(
-                    ctx.costs().lock_acquire + ctx.bus_interlocked(),
-                ))
+                DrainStatus::Running(Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked()))
             }
             DrainPhase::Drain => {
                 if self.flush_all {
@@ -245,13 +245,18 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
             }
             RPhase::Exit => {
                 let mut cost = ctx.costs().local_op;
-                if ctx.shared.kernel_mut().config.instrumentation && ctx.shared.kernel_mut().responder_sampled(me) {
+                if ctx.shared.kernel_mut().config.instrumentation
+                    && ctx.shared.kernel_mut().responder_sampled(me)
+                {
                     let t0 = self.t_start.expect("Enter ran first");
-                    ctx.shared.kernel_mut().xpr.record(ShootdownEvent::Responder(ResponderRecord {
-                        at: t0,
-                        cpu: me,
-                        elapsed: ctx.now.duration_since(t0),
-                    }));
+                    ctx.shared
+                        .kernel_mut()
+                        .xpr
+                        .record(ShootdownEvent::Responder(ResponderRecord {
+                            at: t0,
+                            cpu: me,
+                            elapsed: ctx.now.duration_since(t0),
+                        }));
                     cost += ctx.costs().local_op * 4;
                 }
                 Step::Done(cost)

@@ -104,6 +104,12 @@ pub struct KernelStats {
     pub pageouts: u64,
     /// Dirty pages the pageout daemon wrote before evicting.
     pub pageout_writes: u64,
+    /// Consistency actions that merged into an already-queued action for
+    /// the same pmap instead of taking a queue slot.
+    pub actions_coalesced: u64,
+    /// Coalesces that happened with the target queue full — enqueues that
+    /// would have overflowed into a whole-TLB flush without merging.
+    pub queue_overflows_avoided: u64,
 }
 
 /// Physical memory contents: 64-bit words, allocated per frame on first
@@ -122,9 +128,7 @@ impl PhysMem {
     /// Panics if `word` is out of page bounds.
     pub fn read_word(&self, pfn: Pfn, word: u64) -> u64 {
         assert!(word < WORDS_PER_PAGE, "word index {word} out of page");
-        self.pages
-            .get(&pfn.raw())
-            .map_or(0, |p| p[word as usize])
+        self.pages.get(&pfn.raw()).map_or(0, |p| p[word as usize])
     }
 
     /// Writes the `word`-th 64-bit word of frame `pfn`.
@@ -439,12 +443,18 @@ impl KernelState {
 
     /// All initiator records currently in the trace buffer.
     pub fn initiator_records(&self) -> Vec<machtlb_xpr::InitiatorRecord> {
-        self.xpr.iter().filter_map(|e| e.as_initiator().copied()).collect()
+        self.xpr
+            .iter()
+            .filter_map(|e| e.as_initiator().copied())
+            .collect()
     }
 
     /// All responder records currently in the trace buffer.
     pub fn responder_records(&self) -> Vec<machtlb_xpr::ResponderRecord> {
-        self.xpr.iter().filter_map(|e| e.as_responder().copied()).collect()
+        self.xpr
+            .iter()
+            .filter_map(|e| e.as_responder().copied())
+            .collect()
     }
 }
 
@@ -471,7 +481,11 @@ mod tests {
         assert_eq!(s.idle.len(), 4);
         assert!(s.active.is_empty());
         assert_eq!(s.pmaps.len(), 1);
-        assert_eq!(s.pmaps.kernel().in_use().len(), 4, "kernel pmap in use everywhere");
+        assert_eq!(
+            s.pmaps.kernel().in_use().len(),
+            4,
+            "kernel pmap in use everywhere"
+        );
     }
 
     #[test]

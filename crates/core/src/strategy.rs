@@ -65,9 +65,7 @@ impl Strategy {
     pub fn uses_interrupts(self) -> bool {
         !matches!(
             self,
-            Strategy::NaiveFlush
-                | Strategy::HardwareRemoteInvalidate
-                | Strategy::TimerDelayed
+            Strategy::NaiveFlush | Strategy::HardwareRemoteInvalidate | Strategy::TimerDelayed
         )
     }
 
@@ -170,19 +168,25 @@ mod tests {
     #[test]
     fn remote_invalidate_needs_safe_writeback() {
         let stock = TlbConfig::multimax();
-        assert!(Strategy::HardwareRemoteInvalidate.check_hardware(&stock).is_err());
+        assert!(Strategy::HardwareRemoteInvalidate
+            .check_hardware(&stock)
+            .is_err());
         let ok = TlbConfig {
             writeback: WritebackPolicy::Interlocked,
             ..stock
         };
-        assert!(Strategy::HardwareRemoteInvalidate.check_hardware(&ok).is_ok());
+        assert!(Strategy::HardwareRemoteInvalidate
+            .check_hardware(&ok)
+            .is_ok());
         assert!(!Strategy::HardwareRemoteInvalidate.uses_interrupts());
     }
 
     #[test]
     fn no_stall_needs_software_reload() {
         let stock = TlbConfig::multimax();
-        assert!(Strategy::NoStallSoftwareReload.check_hardware(&stock).is_err());
+        assert!(Strategy::NoStallSoftwareReload
+            .check_hardware(&stock)
+            .is_err());
         let ok = TlbConfig {
             reload: ReloadPolicy::Software,
             writeback: WritebackPolicy::None,

@@ -1,0 +1,145 @@
+//! The coalescing [`ActionQueue`] must be semantically equivalent to the
+//! seed's uncoalesced buffer: draining invalidates exactly the same pages.
+//!
+//! Precisely, for any interleaving of enqueues and drains, between any two
+//! drains:
+//!
+//! 1. if neither queue overflowed, the drained actions of both cover
+//!    exactly the same `(pmap, page)` set — the union of touching ranges
+//!    is exact, never a superset;
+//! 2. the coalescing queue overflows (pends a whole-TLB flush) only if the
+//!    uncoalesced one does — merging can only relieve slot pressure, so
+//!    shootdown semantics are preserved: a responder flushing *more* than
+//!    needed is the already-allowed conservative direction (Section 4's
+//!    overflow rule), and coalescing moves strictly away from it;
+//! 3. when the coalescing queue does not overflow, its drained actions
+//!    cover exactly the pages enqueued since the last drain, with no two
+//!    touching ranges of the same pmap left unmerged.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use machtlb_core::{Action, ActionQueue};
+use machtlb_pmap::{PageRange, PmapId, Vpn};
+
+/// The seed queue: push until full, overflow collapses into the flush
+/// flag, absorbed thereafter. This is the specification the coalescing
+/// queue is checked against.
+struct UncoalescedQueue {
+    slots: Vec<Action>,
+    capacity: usize,
+    flush_all: bool,
+}
+
+impl UncoalescedQueue {
+    fn new(capacity: usize) -> UncoalescedQueue {
+        UncoalescedQueue {
+            slots: Vec::new(),
+            capacity,
+            flush_all: false,
+        }
+    }
+
+    fn enqueue(&mut self, action: Action) {
+        if self.flush_all {
+            return;
+        }
+        if self.slots.len() == self.capacity {
+            self.flush_all = true;
+            self.slots.clear();
+            return;
+        }
+        self.slots.push(action);
+    }
+
+    fn drain(&mut self) -> (Vec<Action>, bool) {
+        let flush = std::mem::take(&mut self.flush_all);
+        (std::mem::take(&mut self.slots), flush)
+    }
+}
+
+fn pages(actions: &[Action]) -> BTreeSet<(u32, u64)> {
+    actions
+        .iter()
+        .flat_map(|a| a.range.iter().map(|v| (a.pmap.raw(), v.raw())))
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Enqueue(u32, u64, u64),
+    Drain,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u32..3, 0u64..64, 1u64..12).prop_map(|(p, v, c)| Step::Enqueue(p, v, c)),
+        (0u32..3, 0u64..64, 1u64..12).prop_map(|(p, v, c)| Step::Enqueue(p, v, c)),
+        (0u32..3, 0u64..64, 1u64..12).prop_map(|(p, v, c)| Step::Enqueue(p, v, c)),
+        Just(Step::Drain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn coalescing_preserves_drain_semantics(
+        capacity in 1usize..6,
+        steps in proptest::collection::vec(step_strategy(), 1..80),
+    ) {
+        let mut coalescing = ActionQueue::new(capacity);
+        let mut oracle = UncoalescedQueue::new(capacity);
+        let mut enqueued_since_drain: BTreeSet<(u32, u64)> = BTreeSet::new();
+        for step in steps {
+            match step {
+                Step::Enqueue(p, v, c) => {
+                    let a = Action {
+                        pmap: PmapId::new(p),
+                        range: PageRange::new(Vpn::new(v), c),
+                    };
+                    coalescing.enqueue(a);
+                    oracle.enqueue(a);
+                    enqueued_since_drain
+                        .extend(a.range.iter().map(|vpn| (p, vpn.raw())));
+                }
+                Step::Drain => {
+                    let (ours, our_flush) = coalescing.drain();
+                    let (theirs, their_flush) = oracle.drain();
+                    // (2) Overflow monotonicity: merging never *introduces*
+                    // a whole-TLB flush.
+                    prop_assert!(
+                        !our_flush || their_flush,
+                        "coalescing queue flushed where the uncoalesced one did not"
+                    );
+                    if !their_flush {
+                        // (1) No overflow anywhere: exact page-set equality.
+                        prop_assert!(!our_flush);
+                        prop_assert_eq!(pages(&ours), pages(&theirs));
+                    }
+                    if !our_flush {
+                        // (3) Exact coverage of everything enqueued since
+                        // the last drain.
+                        prop_assert_eq!(pages(&ours), enqueued_since_drain.clone());
+                        // And the drain contract: nothing left mergeable.
+                        for (i, a) in ours.iter().enumerate() {
+                            for b in &ours[i + 1..] {
+                                let touching = a.pmap == b.pmap
+                                    && a.range.start().raw() <= b.range.end().raw()
+                                    && b.range.start().raw() <= a.range.end().raw();
+                                prop_assert!(
+                                    !touching,
+                                    "drained touching ranges {:?} and {:?}",
+                                    a,
+                                    b
+                                );
+                            }
+                        }
+                    }
+                    enqueued_since_drain.clear();
+                }
+            }
+        }
+    }
+}

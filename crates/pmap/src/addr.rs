@@ -36,7 +36,10 @@ impl Vaddr {
     ///
     /// Panics if the address does not fit in 32 bits.
     pub fn new(addr: u64) -> Vaddr {
-        assert!(addr < (1 << 32), "virtual address {addr:#x} exceeds 32 bits");
+        assert!(
+            addr < (1 << 32),
+            "virtual address {addr:#x} exceeds 32 bits"
+        );
         Vaddr(addr)
     }
 
@@ -209,7 +212,10 @@ impl PageRange {
 
     /// The single-page range containing `vpn`.
     pub fn single(vpn: Vpn) -> PageRange {
-        PageRange { start: vpn, count: 1 }
+        PageRange {
+            start: vpn,
+            count: 1,
+        }
     }
 
     /// First page of the range.

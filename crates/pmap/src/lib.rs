@@ -36,7 +36,7 @@ mod prot;
 mod pte;
 mod table;
 
-pub use addr::{PageRange, Paddr, Pfn, Vaddr, Vpn, PAGE_SHIFT, PAGE_SIZE, VPN_BITS, VPN_SPAN};
+pub use addr::{Paddr, PageRange, Pfn, Vaddr, Vpn, PAGE_SHIFT, PAGE_SIZE, VPN_BITS, VPN_SPAN};
 pub use cpuset::CpuSet;
 pub use pmap::{Pmap, PmapId, PmapStats};
 pub use prot::{Access, Prot};

@@ -203,7 +203,8 @@ mod tests {
     #[test]
     fn destroy_clears_table_and_counts() {
         let mut p = Pmap::new(PmapId::new(1), 4);
-        p.table_mut().set(Vpn::new(7), Pte::valid(Pfn::new(1), Prot::READ));
+        p.table_mut()
+            .set(Vpn::new(7), Pte::valid(Pfn::new(1), Prot::READ));
         p.destroy_contents();
         assert_eq!(p.table().valid_count(), 0);
         assert_eq!(p.stats().destroys, 1);

@@ -38,11 +38,20 @@ pub struct Prot {
 
 impl Prot {
     /// No access.
-    pub const NONE: Prot = Prot { read: false, write: false };
+    pub const NONE: Prot = Prot {
+        read: false,
+        write: false,
+    };
     /// Read-only.
-    pub const READ: Prot = Prot { read: true, write: false };
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
     /// Read and write.
-    pub const READ_WRITE: Prot = Prot { read: true, write: true };
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
 
     /// Whether this protection permits `access`.
     pub const fn allows(self, access: Access) -> bool {

@@ -134,30 +134,66 @@ impl PageTable {
 
     /// Invalidates every valid entry in `range`, returning how many were
     /// removed.
+    ///
+    /// Walks the range chunk by chunk and edits PTEs in place: missing
+    /// chunks and allocated-but-empty leaves are skipped whole, and no
+    /// intermediate victim list is built.
     pub fn remove_range(&mut self, range: PageRange) -> u64 {
-        let victims: Vec<Vpn> = self.valid_in(range).map(|(vpn, _)| vpn).collect();
-        for vpn in &victims {
-            self.set(*vpn, Pte::INVALID);
+        let mut removed: u64 = 0;
+        let end = range.end().raw();
+        let mut next = range.start().raw();
+        while next < end {
+            let chunk_end = ((next | (LEAF_ENTRIES as u64 - 1)) + 1).min(end);
+            let vpn = Vpn::new(next);
+            if let Some(leaf) = self.root[vpn.root_index()].as_deref_mut() {
+                if leaf.valid_count > 0 {
+                    let lo = vpn.leaf_index();
+                    let hi = lo + (chunk_end - next) as usize;
+                    let mut cleared: u32 = 0;
+                    for pte in &mut leaf.ptes[lo..hi] {
+                        if pte.valid {
+                            *pte = Pte::INVALID;
+                            cleared += 1;
+                        }
+                    }
+                    leaf.valid_count -= cleared;
+                    self.valid_count -= u64::from(cleared);
+                    removed += u64::from(cleared);
+                }
+            }
+            next = chunk_end;
         }
-        victims.len() as u64
+        removed
     }
 
     /// Sets the protection of every valid entry in `range` to `prot`
     /// (referenced/modified bits are preserved), returning how many entries
     /// changed.
+    ///
+    /// Same in-place chunk walk as [`PageTable::remove_range`]; only the
+    /// protection field is edited, so valid counts are untouched.
     pub fn protect_range(&mut self, range: PageRange, prot: Prot) -> u64 {
-        let changes: Vec<(Vpn, Pte)> = self
-            .valid_in(range)
-            .filter(|(_, pte)| pte.prot != prot)
-            .map(|(vpn, mut pte)| {
-                pte.prot = prot;
-                (vpn, pte)
-            })
-            .collect();
-        for (vpn, pte) in &changes {
-            self.set(*vpn, *pte);
+        let mut changed: u64 = 0;
+        let end = range.end().raw();
+        let mut next = range.start().raw();
+        while next < end {
+            let chunk_end = ((next | (LEAF_ENTRIES as u64 - 1)) + 1).min(end);
+            let vpn = Vpn::new(next);
+            if let Some(leaf) = self.root[vpn.root_index()].as_deref_mut() {
+                if leaf.valid_count > 0 {
+                    let lo = vpn.leaf_index();
+                    let hi = lo + (chunk_end - next) as usize;
+                    for pte in &mut leaf.ptes[lo..hi] {
+                        if pte.valid && pte.prot != prot {
+                            pte.prot = prot;
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+            next = chunk_end;
         }
-        changes.len() as u64
+        changed
     }
 
     /// Total valid entries.
@@ -295,6 +331,38 @@ mod tests {
     }
 
     #[test]
+    fn remove_range_spans_chunks_and_skips_empty_leaves() {
+        let mut pt = PageTable::new();
+        // Chunk 0 is allocated but emptied out; chunks 1 and 2 hold victims;
+        // chunk 3 is missing entirely.
+        pt.set(Vpn::new(3), pte(1));
+        pt.set(Vpn::new(3), Pte::INVALID);
+        pt.set(Vpn::new(1023), pte(2)); // outside the range below
+        pt.set(Vpn::new(1024), pte(3));
+        pt.set(Vpn::new(2100), pte(4));
+        let removed = pt.remove_range(PageRange::new(Vpn::new(1024), 3 * 1024));
+        assert_eq!(removed, 2);
+        assert_eq!(pt.valid_count(), 1);
+        assert!(pt.get(Vpn::new(1023)).valid);
+        assert!(!pt.get(Vpn::new(1024)).valid);
+        assert!(!pt.get(Vpn::new(2100)).valid);
+        // Emptied leaves stay allocated, as before.
+        assert!(pt.leaf_present(Vpn::new(2100)));
+    }
+
+    #[test]
+    fn protect_range_spans_chunks() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(1000), pte(1));
+        pt.set(Vpn::new(1050), pte(2));
+        let changed = pt.protect_range(PageRange::new(Vpn::new(900), 200), Prot::READ);
+        assert_eq!(changed, 2);
+        assert_eq!(pt.get(Vpn::new(1000)).prot, Prot::READ);
+        assert_eq!(pt.get(Vpn::new(1050)).prot, Prot::READ);
+        assert_eq!(pt.valid_count(), 2);
+    }
+
+    #[test]
     fn protect_range_preserves_refmod_and_counts_changes() {
         let mut pt = PageTable::new();
         let touched = pte(1).touched(crate::Access::Write);
@@ -306,7 +374,10 @@ mod tests {
         assert_eq!(got.prot, Prot::READ);
         assert!(got.referenced && got.modified);
         // Re-protecting to the same value changes nothing.
-        assert_eq!(pt.protect_range(PageRange::new(Vpn::new(0), 2), Prot::READ), 0);
+        assert_eq!(
+            pt.protect_range(PageRange::new(Vpn::new(0), 2), Prot::READ),
+            0
+        );
     }
 
     #[test]

@@ -105,8 +105,22 @@ mod tests {
     #[test]
     fn min_clock_scheduling_interleaves_in_time_order() {
         let mut m = Machine::new(test_config(2), Trace::new(), |_| ());
-        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(Tracer { n: 3, cost: Dur::micros(10) }));
-        m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(Tracer { n: 3, cost: Dur::micros(10) }));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(Tracer {
+                n: 3,
+                cost: Dur::micros(10),
+            }),
+        );
+        m.spawn_at(
+            CpuId::new(1),
+            Time::ZERO,
+            Box::new(Tracer {
+                n: 3,
+                cost: Dur::micros(10),
+            }),
+        );
         let r = m.run(Time::from_micros(1_000));
         assert_eq!(r.status, RunStatus::Quiescent);
         let times: Vec<u64> = m.shared().iter().map(|(_, t)| t.as_nanos()).collect();
@@ -124,7 +138,10 @@ mod tests {
                 m.spawn_at(
                     CpuId::new(i),
                     Time::from_micros(u64::from(i)),
-                    Box::new(Tracer { n: 5, cost: Dur::micros(3 + u64::from(i)) }),
+                    Box::new(Tracer {
+                        n: 5,
+                        cost: Dur::micros(3 + u64::from(i)),
+                    }),
                 );
             }
             m.run(Time::from_micros(10_000));
@@ -136,7 +153,14 @@ mod tests {
     #[test]
     fn time_limit_stops_before_future_events() {
         let mut m = Machine::new(test_config(1), Trace::new(), |_| ());
-        m.spawn_at(CpuId::new(0), Time::from_micros(500), Box::new(Tracer { n: 1, cost: Dur::micros(1) }));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::from_micros(500),
+            Box::new(Tracer {
+                n: 1,
+                cost: Dur::micros(1),
+            }),
+        );
         let r = m.run(Time::from_micros(100));
         assert_eq!(r.status, RunStatus::TimeLimit);
         assert!(m.shared().is_empty());
@@ -213,7 +237,11 @@ mod tests {
         m.spawn_at(
             CpuId::new(0),
             Time::ZERO,
-            Box::new(SendThenIdle { target: CpuId::new(1), vector: v, sent: false }),
+            Box::new(SendThenIdle {
+                target: CpuId::new(1),
+                vector: v,
+                sent: false,
+            }),
         );
         let r = m.run(Time::from_micros(1_000));
         assert_eq!(r.status, RunStatus::Quiescent);
@@ -255,11 +283,19 @@ mod tests {
 
         let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
         m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(NoteMask));
-        m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(MaskedSection { phase: 0 }));
+        m.spawn_at(
+            CpuId::new(1),
+            Time::ZERO,
+            Box::new(MaskedSection { phase: 0 }),
+        );
         m.spawn_at(
             CpuId::new(0),
             Time::from_micros(10),
-            Box::new(SendThenIdle { target: CpuId::new(1), vector: v, sent: false }),
+            Box::new(SendThenIdle {
+                target: CpuId::new(1),
+                vector: v,
+                sent: false,
+            }),
         );
         m.run(Time::from_micros(10_000));
         let log = m.shared();
@@ -307,12 +343,19 @@ mod tests {
         m.spawn_at(
             CpuId::new(1),
             Time::ZERO,
-            Box::new(DeviceCritical { chunks_left: 20, masked: false }),
+            Box::new(DeviceCritical {
+                chunks_left: 20,
+                masked: false,
+            }),
         );
         m.spawn_at(
             CpuId::new(0),
             Time::from_micros(10),
-            Box::new(SendThenIdle { target: CpuId::new(1), vector: v, sent: false }),
+            Box::new(SendThenIdle {
+                target: CpuId::new(1),
+                vector: v,
+                sent: false,
+            }),
         );
         m.run(Time::from_micros(10_000));
         let log = m.shared();
@@ -464,7 +507,11 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_cpus_rejected() {
         let _ = Machine::new(
-            MachineConfig { n_cpus: 0, seed: 0, costs: CostModel::uniform_test() },
+            MachineConfig {
+                n_cpus: 0,
+                seed: 0,
+                costs: CostModel::uniform_test(),
+            },
             Trace::new(),
             |_| (),
         );
@@ -473,13 +520,19 @@ mod tests {
     #[test]
     fn busy_time_accumulates() {
         let mut m = Machine::new(test_config(1), Trace::new(), |_| ());
-        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(Tracer { n: 4, cost: Dur::micros(25) }));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(Tracer {
+                n: 4,
+                cost: Dur::micros(25),
+            }),
+        );
         m.run(Time::from_micros(1_000));
         assert_eq!(m.cpu(CpuId::new(0)).stats().busy, Dur::micros(100));
         assert_eq!(m.total_busy(), Dur::micros(100));
     }
 }
-
 
 #[cfg(test)]
 mod proptests {
@@ -506,7 +559,8 @@ mod proptests {
 
     impl Process<Trace, ()> for Scripted {
         fn step(&mut self, ctx: &mut Ctx<'_, Trace, ()>) -> Step {
-            ctx.shared.push((ctx.cpu_id.index() as u32, ctx.now.as_nanos()));
+            ctx.shared
+                .push((ctx.cpu_id.index() as u32, ctx.now.as_nanos()));
             let Some(act) = self.acts.get(self.idx).cloned() else {
                 return Step::Done(Dur::micros(1));
             };
@@ -536,7 +590,8 @@ mod proptests {
     struct Handler;
     impl Process<Trace, ()> for Handler {
         fn step(&mut self, ctx: &mut Ctx<'_, Trace, ()>) -> Step {
-            ctx.shared.push((ctx.cpu_id.index() as u32, ctx.now.as_nanos()));
+            ctx.shared
+                .push((ctx.cpu_id.index() as u32, ctx.now.as_nanos()));
             Step::Done(Dur::micros(3))
         }
     }

@@ -51,7 +51,10 @@ impl SpinLock {
                 true
             }
             Some(h) => {
-                assert_ne!(h, cpu, "{cpu} attempted to re-acquire a simple lock it holds");
+                assert_ne!(
+                    h, cpu,
+                    "{cpu} attempted to re-acquire a simple lock it holds"
+                );
                 self.contentions += 1;
                 false
             }

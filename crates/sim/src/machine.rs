@@ -2,7 +2,7 @@
 //! and the deterministic scheduler.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use rand::rngs::SmallRng;
@@ -153,7 +153,11 @@ impl<S, P> Machine<S, P> {
     /// # Panics
     ///
     /// Panics if `config.n_cpus` is zero.
-    pub fn new(config: MachineConfig, shared: S, mut payload: impl FnMut(CpuId) -> P) -> Machine<S, P> {
+    pub fn new(
+        config: MachineConfig,
+        shared: S,
+        mut payload: impl FnMut(CpuId) -> P,
+    ) -> Machine<S, P> {
         assert!(config.n_cpus > 0, "a machine needs at least one processor");
         let cpus = (0..config.n_cpus)
             .map(|i| {
@@ -224,7 +228,10 @@ impl<S, P> Machine<S, P> {
     ///
     /// Panics if `target` is out of range.
     pub fn spawn_at(&mut self, target: CpuId, at: Time, proc: Box<dyn Process<S, P>>) {
-        assert!(target.index() < self.cpus.len(), "spawn_at: bad target {target}");
+        assert!(
+            target.index() < self.cpus.len(),
+            "spawn_at: bad target {target}"
+        );
         self.push_delivery(at, target, QueuedKind::Spawn(proc));
     }
 
@@ -386,7 +393,9 @@ impl<S, P> Machine<S, P> {
             for _ in 0..costs.state_save_words {
                 cost += bus.access(cpu.clock, BusOp::Write, costs.bus_write_latency);
             }
-            let handler = handlers.get(&v).expect("deliverable vector lost its handler");
+            let handler = handlers
+                .get(&v)
+                .expect("deliverable vector lost its handler");
             let proc = (handler.factory)(shared, cpu_id);
             cpu.stack.push(Frame {
                 proc,

@@ -101,10 +101,7 @@ impl<S, P> fmt::Debug for Command<S, P> {
                 .field("at", at)
                 .field("proc", &proc.label())
                 .finish(),
-            Command::Trap { proc } => f
-                .debug_struct("Trap")
-                .field("proc", &proc.label())
-                .finish(),
+            Command::Trap { proc } => f.debug_struct("Trap").field("proc", &proc.label()).finish(),
         }
     }
 }

@@ -99,7 +99,11 @@ impl fmt::Display for TlbConfig {
             self.capacity,
             self.reload,
             self.writeback,
-            if self.asid_tagged { "asid-tagged" } else { "untagged" }
+            if self.asid_tagged {
+                "asid-tagged"
+            } else {
+                "untagged"
+            }
         )
     }
 }

@@ -51,6 +51,8 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod fxhash;
+pub mod reference;
 mod tlb;
 
 pub use config::{ReloadPolicy, TlbConfig, WritebackPolicy};
@@ -82,7 +84,8 @@ mod proptests {
             (pmap.clone(), vpn.clone(), 1u64..100).prop_map(|(p, v, f)| Op::Insert(p, v, f)),
             (pmap.clone(), vpn.clone(), any::<bool>()).prop_map(|(p, v, w)| Op::Lookup(p, v, w)),
             (pmap.clone(), vpn.clone()).prop_map(|(p, v)| Op::Invalidate(p, v)),
-            (pmap.clone(), vpn.clone(), 1u64..16).prop_map(|(p, v, c)| Op::InvalidateRange(p, v, c)),
+            (pmap.clone(), vpn.clone(), 1u64..16)
+                .prop_map(|(p, v, c)| Op::InvalidateRange(p, v, c)),
             pmap.prop_map(Op::FlushPmap),
             Just(Op::FlushAll),
         ]

@@ -1,0 +1,220 @@
+//! The original linear-scan TLB, kept as a reference implementation.
+//!
+//! [`LinearTlb`] is the seed implementation of [`Tlb`](crate::Tlb): every
+//! operation scans the slot array, and eviction is a full `min_by_key`
+//! over the LRU ticks. The indexed [`Tlb`](crate::Tlb) is required to be
+//! *observably identical* to this one — same hits, misses, eviction
+//! victims, slot assignment, and statistics for any operation sequence —
+//! and the equivalence proptests in `tests/equivalence.rs` enforce that
+//! against this oracle. The hotpath microbench also uses it as the
+//! before/after baseline.
+//!
+//! Keep this module boring: it is the specification, not a hot path.
+
+use machtlb_pmap::{Access, PageRange, PmapId, Pte, Vpn};
+use machtlb_sim::Time;
+
+use crate::config::{TlbConfig, WritebackPolicy};
+use crate::tlb::{InvalidationPlan, Lookup, TlbEntry, TlbStats, Writeback};
+
+/// The seed linear-scan TLB (see the module docs).
+#[derive(Clone, Debug)]
+pub struct LinearTlb {
+    config: TlbConfig,
+    slots: Vec<Option<TlbEntry>>,
+    last_used: Vec<u64>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl LinearTlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(config: TlbConfig) -> LinearTlb {
+        assert!(config.capacity > 0, "a TLB needs at least one entry");
+        LinearTlb {
+            slots: vec![None; config.capacity],
+            last_used: vec![0; config.capacity],
+            tick: 0,
+            config,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn find(&self, pmap: PmapId, vpn: Vpn) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.is_some_and(|e| e.pmap == pmap && e.vpn == vpn))
+    }
+
+    /// Looks up a translation; see [`Tlb::lookup`](crate::Tlb::lookup).
+    pub fn lookup(&mut self, pmap: PmapId, vpn: Vpn, access: Access, _now: Time) -> Lookup {
+        let Some(i) = self.find(pmap, vpn) else {
+            self.stats.misses += 1;
+            return Lookup::Miss;
+        };
+        self.tick += 1;
+        self.last_used[i] = self.tick;
+        self.stats.hits += 1;
+        let entry = self.slots[i].as_mut().expect("found slot is full");
+        if !entry.pte.permits(access) {
+            // Protection fault: no bits set, no writeback.
+            return Lookup::Hit {
+                pte: entry.pte,
+                writeback: None,
+            };
+        }
+        let touched = entry.pte.touched(access);
+        let changed = touched != entry.pte;
+        let mut writeback = None;
+        if changed {
+            if self.config.writeback == WritebackPolicy::None {
+                // Hardware without referenced/modified bits never records
+                // them — neither in the buffer nor in memory.
+            } else {
+                entry.pte = touched;
+                writeback = Some(Writeback {
+                    pmap,
+                    vpn,
+                    pte: touched,
+                    access,
+                });
+                self.stats.writebacks += 1;
+            }
+        }
+        Lookup::Hit {
+            pte: entry.pte,
+            writeback,
+        }
+    }
+
+    /// Caches a translation; see [`Tlb::insert`](crate::Tlb::insert).
+    pub fn insert(&mut self, pmap: PmapId, vpn: Vpn, pte: Pte, now: Time) -> Option<TlbEntry> {
+        self.tick += 1;
+        self.stats.insertions += 1;
+        let entry = TlbEntry {
+            pmap,
+            vpn,
+            pte,
+            loaded_at: now,
+        };
+        if let Some(i) = self.find(pmap, vpn) {
+            self.last_used[i] = self.tick;
+            self.slots[i] = Some(entry);
+            return None;
+        }
+        if let Some(i) = self.slots.iter().position(Option::is_none) {
+            self.last_used[i] = self.tick;
+            self.slots[i] = Some(entry);
+            return None;
+        }
+        let victim = (0..self.slots.len())
+            .min_by_key(|&i| self.last_used[i])
+            .expect("capacity > 0");
+        self.stats.evictions += 1;
+        self.last_used[victim] = self.tick;
+        self.slots[victim].replace(entry)
+    }
+
+    /// Drops the entry for `(pmap, vpn)` if cached. Returns whether one was
+    /// present.
+    pub fn invalidate(&mut self, pmap: PmapId, vpn: Vpn) -> bool {
+        if let Some(i) = self.find(pmap, vpn) {
+            self.slots[i] = None;
+            self.stats.invalidated += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every cached entry of `pmap` within `range`. Returns how many
+    /// were dropped.
+    pub fn invalidate_range(&mut self, pmap: PmapId, range: PageRange) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.pmap == pmap && range.contains(e.vpn)) {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.stats.invalidated += n;
+        n
+    }
+
+    /// Drops everything. Returns how many entries were cached.
+    pub fn flush_all(&mut self) -> u64 {
+        let n = self.slots.iter().filter(|s| s.is_some()).count() as u64;
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.stats.flushes += 1;
+        n
+    }
+
+    /// Drops every entry of `pmap` (an ASID flush). Returns how many were
+    /// dropped.
+    pub fn flush_pmap(&mut self, pmap: PmapId) -> u64 {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.pmap == pmap) {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.stats.invalidated += n;
+        n
+    }
+
+    /// Whether invalidating `range` should use individual invalidates or a
+    /// whole-buffer flush, per the configured threshold.
+    pub fn plan_invalidation(&self, range: PageRange) -> InvalidationPlan {
+        if range.count() > self.config.flush_threshold {
+            InvalidationPlan::FullFlush
+        } else {
+            InvalidationPlan::Individual(range.count())
+        }
+    }
+
+    /// The cached entry for `(pmap, vpn)`, if any, without touching LRU
+    /// state or statistics.
+    pub fn peek(&self, pmap: PmapId, vpn: Vpn) -> Option<TlbEntry> {
+        self.find(pmap, vpn).and_then(|i| self.slots[i])
+    }
+
+    /// Iterates over the cached entries in slot order.
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Context-switch behaviour; see
+    /// [`Tlb::on_context_switch`](crate::Tlb::on_context_switch).
+    pub fn on_context_switch(&mut self, _old: PmapId) -> u64 {
+        if self.config.asid_tagged {
+            0
+        } else {
+            self.flush_all()
+        }
+    }
+}

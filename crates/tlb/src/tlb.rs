@@ -1,11 +1,14 @@
 //! The translation lookaside buffer.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use machtlb_pmap::{Access, PageRange, PmapId, Pte, Vpn};
 use machtlb_sim::Time;
 
 use crate::config::{TlbConfig, WritebackPolicy};
+use crate::fxhash::FxHashMap;
 
 /// One cached translation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -83,10 +86,42 @@ pub struct TlbStats {
     pub flushes: u64,
     /// Referenced/modified writebacks issued.
     pub writebacks: u64,
+    /// Whole-buffer flushes served by an epoch bump instead of clearing
+    /// every slot (all of them, on the indexed [`Tlb`]; always zero on the
+    /// [`LinearTlb`](crate::reference::LinearTlb) oracle).
+    pub epoch_flushes: u64,
+}
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One slot of the indexed TLB. `entry` may outlive its logical lifetime:
+/// after an epoch flush the slot keeps its stale entry (and its index
+/// mapping) until the slot is reallocated, which is what makes `flush_all`
+/// O(1). A slot is *live* iff `epoch` matches the buffer's current epoch
+/// and `entry` is `Some`.
+#[derive(Clone)]
+struct Slot {
+    entry: Option<TlbEntry>,
+    epoch: u64,
+    /// More recently used neighbour (towards the MRU head), or [`NIL`].
+    prev: usize,
+    /// Less recently used neighbour (towards the LRU tail), or [`NIL`].
+    next: usize,
 }
 
 /// A translation lookaside buffer: a small, fully associative, LRU-replaced
 /// cache of page-table entries.
+///
+/// Internally the buffer is indexed so the hot paths avoid linear scans:
+/// a per-pmap hash index makes `lookup`/`insert`/`invalidate` O(1) and lets
+/// `flush_pmap`/`invalidate_range` touch only the affected pmap's entries;
+/// an intrusive doubly-linked list makes LRU eviction O(1); and `flush_all`
+/// bumps an epoch counter instead of clearing slots. All of this is
+/// observably identical — same hits, misses, eviction victims, slot
+/// assignment, and statistics — to the seed linear-scan implementation,
+/// which survives as [`reference::LinearTlb`](crate::reference::LinearTlb)
+/// and as the oracle in the equivalence proptests.
 ///
 /// The buffer holds plain data; the *time* costs of invalidates, flushes,
 /// and reload walks are charged by the processes performing them via the
@@ -109,9 +144,24 @@ pub struct TlbStats {
 #[derive(Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    slots: Vec<Option<TlbEntry>>,
-    last_used: Vec<u64>,
-    tick: u64,
+    slots: Vec<Slot>,
+    /// `(pmap, vpn) → slot` for every slot whose `entry` is `Some` — live
+    /// or stale. The outer map doubles as the per-pmap secondary index.
+    by_pmap: FxHashMap<PmapId, FxHashMap<Vpn, usize>>,
+    /// Live-entry count.
+    len: usize,
+    /// Current generation; bumped by [`flush_all`](Tlb::flush_all).
+    epoch: u64,
+    /// Most recently used live slot, or [`NIL`].
+    lru_head: usize,
+    /// Least recently used live slot (the eviction victim), or [`NIL`].
+    lru_tail: usize,
+    /// Slots freed by invalidation this epoch, as a min-heap so allocation
+    /// reproduces the linear scan's "first free slot by lowest index".
+    /// Invariant: every index here is below `cursor`.
+    free: BinaryHeap<Reverse<usize>>,
+    /// Slots at or above this index have not been allocated this epoch.
+    cursor: usize,
     stats: TlbStats,
 }
 
@@ -124,9 +174,22 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.capacity > 0, "a TLB needs at least one entry");
         Tlb {
-            slots: vec![None; config.capacity],
-            last_used: vec![0; config.capacity],
-            tick: 0,
+            slots: vec![
+                Slot {
+                    entry: None,
+                    epoch: 0,
+                    prev: NIL,
+                    next: NIL,
+                };
+                config.capacity
+            ],
+            by_pmap: FxHashMap::default(),
+            len: 0,
+            epoch: 0,
+            lru_head: NIL,
+            lru_tail: NIL,
+            free: BinaryHeap::new(),
+            cursor: 0,
             config,
             stats: TlbStats::default(),
         }
@@ -142,10 +205,108 @@ impl Tlb {
         self.stats
     }
 
+    /// The slot of the *live* entry for `(pmap, vpn)`, if any.
     fn find(&self, pmap: PmapId, vpn: Vpn) -> Option<usize> {
-        self.slots
-            .iter()
-            .position(|s| s.is_some_and(|e| e.pmap == pmap && e.vpn == vpn))
+        let &i = self.by_pmap.get(&pmap)?.get(&vpn)?;
+        (self.slots[i].epoch == self.epoch).then_some(i)
+    }
+
+    /// Unlinks slot `i` from the LRU list.
+    fn lru_unlink(&mut self, i: usize) {
+        let Slot { prev, next, .. } = self.slots[i];
+        match prev {
+            NIL => self.lru_head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.lru_tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links slot `i` in as the most recently used.
+    fn lru_push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.lru_head;
+        match self.lru_head {
+            NIL => self.lru_tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.lru_head = i;
+    }
+
+    /// Marks slot `i` as just used (equivalent to the linear scan's tick
+    /// bump: ticks are unique, so "max tick" and "LRU-list head" order
+    /// entries identically).
+    fn lru_touch(&mut self, i: usize) {
+        if self.lru_head != i {
+            self.lru_unlink(i);
+            self.lru_push_front(i);
+        }
+    }
+
+    /// Removes the index mapping for whatever entry slot `i` holds — but
+    /// only if the mapping still points at `i`: a live insert of the same
+    /// `(pmap, vpn)` may have redirected the key to another slot while this
+    /// one sat stale after an epoch flush.
+    fn unindex(&mut self, i: usize) {
+        let e = self.slots[i].entry.as_ref().expect("unindex of empty slot");
+        if let Some(map) = self.by_pmap.get_mut(&e.pmap) {
+            if map.get(&e.vpn) == Some(&i) {
+                map.remove(&e.vpn);
+                if map.is_empty() {
+                    self.by_pmap.remove(&e.pmap);
+                }
+            }
+        }
+    }
+
+    /// Empties live slot `i`: drops the entry, its index mapping and LRU
+    /// link, and returns the slot to the free heap.
+    fn clear_slot(&mut self, i: usize) {
+        self.unindex(i);
+        self.slots[i].entry = None;
+        self.lru_unlink(i);
+        self.free.push(Reverse(i));
+        self.len -= 1;
+    }
+
+    /// Allocates the lowest free slot (the linear scan picks the first
+    /// `None` by index; freed slots all sit below `cursor`, never-used ones
+    /// at and above it, so the minimum is the heap top or the cursor).
+    /// Callers guarantee `len < capacity`.
+    fn alloc_slot(&mut self) -> usize {
+        let i = match self.free.pop() {
+            Some(Reverse(i)) => i,
+            None => {
+                let i = self.cursor;
+                debug_assert!(i < self.slots.len(), "alloc on a full buffer");
+                self.cursor += 1;
+                i
+            }
+        };
+        // Reclaiming a slot whose stale entry survived an epoch flush:
+        // retire its index mapping now. This keeps the index no larger
+        // than the slot array without any eager clearing in `flush_all`.
+        if self.slots[i].entry.is_some() {
+            debug_assert!(self.slots[i].epoch < self.epoch);
+            self.unindex(i);
+            self.slots[i].entry = None;
+        }
+        i
+    }
+
+    /// Writes `entry` into slot `i` and indexes it as the most recently
+    /// used.
+    fn fill_slot(&mut self, i: usize, entry: TlbEntry) {
+        self.by_pmap
+            .entry(entry.pmap)
+            .or_default()
+            .insert(entry.vpn, i);
+        self.slots[i].entry = Some(entry);
+        self.slots[i].epoch = self.epoch;
+        self.lru_push_front(i);
+        self.len += 1;
     }
 
     /// Looks up a translation for an access of the given kind. On a
@@ -158,10 +319,9 @@ impl Tlb {
             self.stats.misses += 1;
             return Lookup::Miss;
         };
-        self.tick += 1;
-        self.last_used[i] = self.tick;
+        self.lru_touch(i);
         self.stats.hits += 1;
-        let entry = self.slots[i].as_mut().expect("found slot is full");
+        let entry = self.slots[i].entry.as_mut().expect("found slot is live");
         if !entry.pte.permits(access) {
             // Protection fault: no bits set, no writeback.
             return Lookup::Hit {
@@ -199,7 +359,6 @@ impl Tlb {
     /// If an entry for `(pmap, vpn)` already exists it is overwritten in
     /// place (hardware reload refreshes the cached copy).
     pub fn insert(&mut self, pmap: PmapId, vpn: Vpn, pte: Pte, now: Time) -> Option<TlbEntry> {
-        self.tick += 1;
         self.stats.insertions += 1;
         let entry = TlbEntry {
             pmap,
@@ -208,28 +367,31 @@ impl Tlb {
             loaded_at: now,
         };
         if let Some(i) = self.find(pmap, vpn) {
-            self.last_used[i] = self.tick;
-            self.slots[i] = Some(entry);
+            self.lru_touch(i);
+            self.slots[i].entry = Some(entry);
             return None;
         }
-        if let Some(i) = self.slots.iter().position(Option::is_none) {
-            self.last_used[i] = self.tick;
-            self.slots[i] = Some(entry);
+        if self.len < self.slots.len() {
+            let i = self.alloc_slot();
+            self.fill_slot(i, entry);
             return None;
         }
-        let victim = (0..self.slots.len())
-            .min_by_key(|&i| self.last_used[i])
-            .expect("capacity > 0");
+        // Full: evict the LRU tail (the linear scan's min-tick victim).
+        let victim = self.lru_tail;
+        debug_assert_ne!(victim, NIL, "full buffer has an LRU tail");
         self.stats.evictions += 1;
-        self.last_used[victim] = self.tick;
-        self.slots[victim].replace(entry)
+        self.unindex(victim);
+        let old = self.slots[victim].entry.replace(entry);
+        self.by_pmap.entry(pmap).or_default().insert(vpn, victim);
+        self.lru_touch(victim);
+        old
     }
 
     /// Drops the entry for `(pmap, vpn)` if cached. Returns whether one was
     /// present.
     pub fn invalidate(&mut self, pmap: PmapId, vpn: Vpn) -> bool {
         if let Some(i) = self.find(pmap, vpn) {
-            self.slots[i] = None;
+            self.clear_slot(i);
             self.stats.invalidated += 1;
             true
         } else {
@@ -239,11 +401,32 @@ impl Tlb {
 
     /// Drops every cached entry of `pmap` within `range`. Returns how many
     /// were dropped.
+    ///
+    /// Only the pmap's own index is consulted: the cost is the smaller of
+    /// the range length and the pmap's entry count, never the buffer
+    /// capacity.
     pub fn invalidate_range(&mut self, pmap: PmapId, range: PageRange) -> u64 {
+        let Some(map) = self.by_pmap.get(&pmap) else {
+            return 0;
+        };
         let mut n = 0;
-        for slot in &mut self.slots {
-            if slot.is_some_and(|e| e.pmap == pmap && range.contains(e.vpn)) {
-                *slot = None;
+        if range.count() <= map.len() as u64 {
+            // Probe each page of the (short) range.
+            for vpn in range.iter() {
+                if let Some(i) = self.find(pmap, vpn) {
+                    self.clear_slot(i);
+                    n += 1;
+                }
+            }
+        } else {
+            // Walk the pmap's (short) index.
+            let hits: Vec<usize> = map
+                .iter()
+                .filter(|&(vpn, &i)| range.contains(*vpn) && self.slots[i].epoch == self.epoch)
+                .map(|(_, &i)| i)
+                .collect();
+            for i in hits {
+                self.clear_slot(i);
                 n += 1;
             }
         }
@@ -251,23 +434,36 @@ impl Tlb {
         n
     }
 
-    /// Drops everything. Returns how many entries were cached.
+    /// Drops everything by bumping the generation counter — O(1) regardless
+    /// of occupancy; stale slots are reclaimed lazily as they are
+    /// reallocated. Returns how many entries were cached.
     pub fn flush_all(&mut self) -> u64 {
-        let n = self.slots.iter().filter(|s| s.is_some()).count() as u64;
-        self.slots.iter_mut().for_each(|s| *s = None);
+        let n = self.len as u64;
+        self.epoch += 1;
+        self.len = 0;
+        self.lru_head = NIL;
+        self.lru_tail = NIL;
+        self.free.clear();
+        self.cursor = 0;
         self.stats.flushes += 1;
+        self.stats.epoch_flushes += 1;
         n
     }
 
     /// Drops every entry of `pmap` (an ASID flush). Returns how many were
-    /// dropped.
+    /// dropped. Touches only the pmap's own index entries.
     pub fn flush_pmap(&mut self, pmap: PmapId) -> u64 {
-        let mut n = 0;
-        for slot in &mut self.slots {
-            if slot.is_some_and(|e| e.pmap == pmap) {
-                *slot = None;
-                n += 1;
-            }
+        let Some(map) = self.by_pmap.get(&pmap) else {
+            return 0;
+        };
+        let live: Vec<usize> = map
+            .values()
+            .copied()
+            .filter(|&i| self.slots[i].epoch == self.epoch)
+            .collect();
+        let n = live.len() as u64;
+        for i in live {
+            self.clear_slot(i);
         }
         self.stats.invalidated += n;
         n
@@ -286,23 +482,26 @@ impl Tlb {
     /// The cached entry for `(pmap, vpn)`, if any, without touching LRU
     /// state or statistics (for inspection and consistency checking).
     pub fn peek(&self, pmap: PmapId, vpn: Vpn) -> Option<TlbEntry> {
-        self.find(pmap, vpn).and_then(|i| self.slots[i])
+        self.find(pmap, vpn).and_then(|i| self.slots[i].entry)
     }
 
     /// Iterates over the cached entries in slot order (for inspection and
     /// consistency checking).
     pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> {
-        self.slots.iter().filter_map(Option::as_ref)
+        self.slots
+            .iter()
+            .filter(|s| s.epoch == self.epoch)
+            .filter_map(|s| s.entry.as_ref())
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.len
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.len == 0
     }
 
     /// What a context switch away from `old` does to the buffer: untagged
@@ -346,7 +545,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut t = tlb();
-        assert_eq!(t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO), Lookup::Miss);
+        assert_eq!(
+            t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO),
+            Lookup::Miss
+        );
         t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
         match t.lookup(P1, Vpn::new(1), Access::Read, Time::ZERO) {
             Lookup::Hit { pte: got, .. } => assert_eq!(got.pfn, Pfn::new(9)),
@@ -360,7 +562,10 @@ mod tests {
     fn entries_are_pmap_scoped() {
         let mut t = tlb();
         t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
-        assert_eq!(t.lookup(P2, Vpn::new(1), Access::Read, Time::ZERO), Lookup::Miss);
+        assert_eq!(
+            t.lookup(P2, Vpn::new(1), Access::Read, Time::ZERO),
+            Lookup::Miss
+        );
     }
 
     #[test]
@@ -395,8 +600,10 @@ mod tests {
             ..TlbConfig::multimax()
         });
         t.insert(P1, Vpn::new(1), pte(9, Prot::READ_WRITE), Time::ZERO);
-        let Lookup::Hit { writeback, pte: got } =
-            t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
+        let Lookup::Hit {
+            writeback,
+            pte: got,
+        } = t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
         else {
             panic!("expected hit")
         };
@@ -408,8 +615,10 @@ mod tests {
     fn protection_fault_hit_sets_no_bits() {
         let mut t = tlb();
         t.insert(P1, Vpn::new(1), pte(9, Prot::READ), Time::ZERO);
-        let Lookup::Hit { writeback, pte: got } =
-            t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
+        let Lookup::Hit {
+            writeback,
+            pte: got,
+        } = t.lookup(P1, Vpn::new(1), Access::Write, Time::ZERO)
         else {
             panic!("expected hit")
         };
@@ -441,7 +650,10 @@ mod tests {
         let evicted = t.insert(P1, Vpn::new(1), pte(2, Prot::READ_WRITE), Time::ZERO);
         assert!(evicted.is_none());
         assert_eq!(t.len(), 1);
-        assert_eq!(t.peek(P1, Vpn::new(1)).expect("present").pte.pfn, Pfn::new(2));
+        assert_eq!(
+            t.peek(P1, Vpn::new(1)).expect("present").pte.pfn,
+            Pfn::new(2)
+        );
     }
 
     #[test]
@@ -494,5 +706,81 @@ mod tests {
             capacity: 0,
             ..TlbConfig::multimax()
         });
+    }
+
+    #[test]
+    fn epoch_flush_hides_stale_entries_everywhere() {
+        let mut t = Tlb::new(TlbConfig {
+            capacity: 4,
+            ..TlbConfig::multimax()
+        });
+        for v in 0..4 {
+            t.insert(P1, Vpn::new(v), pte(v, Prot::READ), Time::ZERO);
+        }
+        assert_eq!(t.flush_all(), 4);
+        assert_eq!(t.stats().epoch_flushes, 1);
+        // Nothing survives through any read path.
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.entries().count(), 0);
+        for v in 0..4 {
+            assert!(t.peek(P1, Vpn::new(v)).is_none());
+            assert_eq!(
+                t.lookup(P1, Vpn::new(v), Access::Read, Time::ZERO),
+                Lookup::Miss
+            );
+        }
+        // Pmap-scoped operations see no stale residue either.
+        assert_eq!(t.flush_pmap(P1), 0);
+        assert_eq!(t.invalidate_range(P1, PageRange::new(Vpn::new(0), 8)), 0);
+        // Refill reclaims slots from the lowest index, as the linear scan
+        // would.
+        t.insert(P2, Vpn::new(9), pte(9, Prot::READ), Time::ZERO);
+        assert_eq!(t.len(), 1);
+        assert!(t.peek(P1, Vpn::new(0)).is_none(), "stale slot stays hidden");
+        assert!(t.peek(P2, Vpn::new(9)).is_some());
+    }
+
+    #[test]
+    fn refill_after_epoch_flush_reaches_full_capacity() {
+        let mut t = Tlb::new(TlbConfig {
+            capacity: 3,
+            ..TlbConfig::multimax()
+        });
+        for round in 0u64..3 {
+            for v in 0..3 {
+                t.insert(
+                    P1,
+                    Vpn::new(100 * round + v),
+                    pte(v, Prot::READ),
+                    Time::ZERO,
+                );
+            }
+            assert_eq!(t.len(), 3);
+            assert_eq!(t.flush_all(), 3);
+        }
+        assert_eq!(t.stats().evictions, 0, "flushes never count as evictions");
+        assert_eq!(t.stats().flushes, 3);
+        assert_eq!(t.stats().epoch_flushes, 3);
+    }
+
+    #[test]
+    fn invalidate_then_insert_reuses_lowest_slot_first() {
+        // Mirrors the linear scan's "first None by index" allocation: after
+        // invalidating entries, reinsertion fills the lowest freed slot, so
+        // entries() slot order matches the oracle's.
+        let mut t = Tlb::new(TlbConfig {
+            capacity: 4,
+            ..TlbConfig::multimax()
+        });
+        for v in 0..4 {
+            t.insert(P1, Vpn::new(v), pte(v, Prot::READ), Time::ZERO);
+        }
+        t.invalidate(P1, Vpn::new(2));
+        t.invalidate(P1, Vpn::new(0));
+        t.insert(P1, Vpn::new(10), pte(10, Prot::READ), Time::ZERO);
+        t.insert(P1, Vpn::new(11), pte(11, Prot::READ), Time::ZERO);
+        let order: Vec<u64> = t.entries().map(|e| e.vpn.raw()).collect();
+        assert_eq!(order, vec![10, 1, 11, 3]);
     }
 }

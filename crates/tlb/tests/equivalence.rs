@@ -1,0 +1,149 @@
+//! The indexed [`Tlb`] must be observably identical to the seed
+//! linear-scan implementation ([`LinearTlb`]), which is kept as the
+//! oracle: same lookup results (including writebacks), same eviction
+//! victims and slot assignment, same counts from every invalidate/flush
+//! operation, and same statistics, for arbitrary operation interleavings.
+
+use proptest::prelude::*;
+
+use machtlb_pmap::{Access, PageRange, Pfn, PmapId, Prot, Pte, Vpn};
+use machtlb_sim::Time;
+use machtlb_tlb::reference::LinearTlb;
+use machtlb_tlb::{Tlb, TlbConfig, TlbStats};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64, u64, bool),
+    Lookup(u32, u64, bool),
+    Invalidate(u32, u64),
+    InvalidateRange(u32, u64, u64),
+    FlushPmap(u32),
+    FlushAll,
+    ContextSwitch(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let pmap = 0u32..4;
+    let vpn = 0u64..48;
+    prop_oneof![
+        (pmap.clone(), vpn.clone(), 1u64..100, any::<bool>())
+            .prop_map(|(p, v, f, w)| Op::Insert(p, v, f, w)),
+        (pmap.clone(), vpn.clone(), any::<bool>()).prop_map(|(p, v, w)| Op::Lookup(p, v, w)),
+        (pmap.clone(), vpn.clone()).prop_map(|(p, v)| Op::Invalidate(p, v)),
+        (pmap.clone(), vpn.clone(), 1u64..20).prop_map(|(p, v, c)| Op::InvalidateRange(p, v, c)),
+        pmap.clone().prop_map(Op::FlushPmap),
+        Just(Op::FlushAll),
+        pmap.prop_map(Op::ContextSwitch),
+    ]
+}
+
+/// Everything except `epoch_flushes`, which intentionally differs: the
+/// oracle clears slots, the indexed TLB bumps an epoch.
+fn comparable(stats: TlbStats) -> TlbStats {
+    TlbStats {
+        epoch_flushes: 0,
+        ..stats
+    }
+}
+
+fn check_equivalent(
+    ops: Vec<Op>,
+    config: TlbConfig,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut indexed = Tlb::new(config);
+    let mut oracle = LinearTlb::new(config);
+    for (step, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Insert(p, v, f, rw) => {
+                let prot = if rw { Prot::READ_WRITE } else { Prot::READ };
+                let pte = Pte::valid(Pfn::new(f), prot);
+                let a = indexed.insert(PmapId::new(p), Vpn::new(v), pte, Time::ZERO);
+                let b = oracle.insert(PmapId::new(p), Vpn::new(v), pte, Time::ZERO);
+                prop_assert_eq!(a, b, "insert at step {}", step);
+            }
+            Op::Lookup(p, v, w) => {
+                let access = if w { Access::Write } else { Access::Read };
+                let a = indexed.lookup(PmapId::new(p), Vpn::new(v), access, Time::ZERO);
+                let b = oracle.lookup(PmapId::new(p), Vpn::new(v), access, Time::ZERO);
+                prop_assert_eq!(a, b, "lookup at step {}", step);
+            }
+            Op::Invalidate(p, v) => {
+                let a = indexed.invalidate(PmapId::new(p), Vpn::new(v));
+                let b = oracle.invalidate(PmapId::new(p), Vpn::new(v));
+                prop_assert_eq!(a, b, "invalidate at step {}", step);
+            }
+            Op::InvalidateRange(p, v, c) => {
+                let r = PageRange::new(Vpn::new(v), c);
+                let a = indexed.invalidate_range(PmapId::new(p), r);
+                let b = oracle.invalidate_range(PmapId::new(p), r);
+                prop_assert_eq!(a, b, "invalidate_range at step {}", step);
+            }
+            Op::FlushPmap(p) => {
+                let a = indexed.flush_pmap(PmapId::new(p));
+                let b = oracle.flush_pmap(PmapId::new(p));
+                prop_assert_eq!(a, b, "flush_pmap at step {}", step);
+            }
+            Op::FlushAll => {
+                prop_assert_eq!(
+                    indexed.flush_all(),
+                    oracle.flush_all(),
+                    "flush_all at step {}",
+                    step
+                );
+            }
+            Op::ContextSwitch(p) => {
+                let a = indexed.on_context_switch(PmapId::new(p));
+                let b = oracle.on_context_switch(PmapId::new(p));
+                prop_assert_eq!(a, b, "context switch at step {}", step);
+            }
+        }
+        // Full observable state must agree after every step: slot order,
+        // entry contents, size, and statistics.
+        let a: Vec<_> = indexed.entries().copied().collect();
+        let b: Vec<_> = oracle.entries().copied().collect();
+        prop_assert_eq!(a, b, "entries diverged at step {}", step);
+        prop_assert_eq!(indexed.len(), oracle.len(), "len diverged at step {}", step);
+        prop_assert_eq!(indexed.is_empty(), oracle.is_empty());
+        prop_assert_eq!(
+            comparable(indexed.stats()),
+            comparable(oracle.stats()),
+            "stats diverged at step {}",
+            step
+        );
+        for p in 0u32..4 {
+            for v in 0u64..48 {
+                prop_assert_eq!(
+                    indexed.peek(PmapId::new(p), Vpn::new(v)),
+                    oracle.peek(PmapId::new(p), Vpn::new(v)),
+                    "peek({}, {}) diverged at step {}",
+                    p,
+                    v,
+                    step
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Small capacity: eviction and slot reuse dominate.
+    #[test]
+    fn indexed_matches_linear_under_pressure(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_equivalent(ops, TlbConfig { capacity: 8, ..TlbConfig::multimax() })?;
+    }
+
+    /// Paper capacity (64): the configuration the workloads run with.
+    #[test]
+    fn indexed_matches_linear_at_paper_capacity(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_equivalent(ops, TlbConfig::multimax())?;
+    }
+
+    /// ASID-tagged hardware: context switches keep entries.
+    #[test]
+    fn indexed_matches_linear_with_asids(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        check_equivalent(ops, TlbConfig { capacity: 8, asid_tagged: true, ..TlbConfig::multimax() })?;
+    }
+}

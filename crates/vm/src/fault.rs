@@ -70,21 +70,40 @@ impl FaultProcess {
     /// fault.
     fn resolve<S: HasVm>(&self, ctx: &mut Ctx<'_, S, ()>) -> (Dur, Option<(Pfn, Prot)>) {
         let mut cost = ctx.costs().local_op * 6; // map lookup
-        let Some(entry) = ctx.shared.vm_mut().task(self.task).map().lookup(self.vpn).copied() else {
+        let Some(entry) = ctx
+            .shared
+            .vm_mut()
+            .task(self.task)
+            .map()
+            .lookup(self.vpn)
+            .copied()
+        else {
             return (cost, None);
         };
         if !entry.prot.allows(self.access) {
             return (cost, None);
         }
         let offset = entry.offset_of(self.vpn);
-        let depth = ctx.shared.vm_mut().objects.lookup_depth(entry.object, offset);
+        let depth = ctx
+            .shared
+            .vm_mut()
+            .objects
+            .lookup_depth(entry.object, offset);
         cost += ctx.costs().cache_read * u64::from(depth);
 
         let needs_copy = self.access == Access::Write
             && entry.cow
-            && !ctx.shared.vm_mut().objects.has_own_page(entry.object, offset);
+            && !ctx
+                .shared
+                .vm_mut()
+                .objects
+                .has_own_page(entry.object, offset);
         if needs_copy {
-            let src = ctx.shared.vm_mut().objects.lookup_page(entry.object, offset);
+            let src = ctx
+                .shared
+                .vm_mut()
+                .objects
+                .lookup_page(entry.object, offset);
             let pfn = ctx.shared.kernel_mut().frames.alloc();
             match src {
                 Some(s) => {
@@ -97,7 +116,10 @@ impl FaultProcess {
                     cost += ctx.costs().page_copy / 2;
                 }
             }
-            ctx.shared.vm_mut().objects.insert_page(entry.object, offset, pfn);
+            ctx.shared
+                .vm_mut()
+                .objects
+                .insert_page(entry.object, offset, pfn);
             // Opportunistic shadow collapse: if the snapshot below is now
             // privately owned, merge it up so chains stay short.
             let collapsed = ctx.shared.vm_mut().objects.collapse(entry.object);
@@ -105,12 +127,20 @@ impl FaultProcess {
             return (cost, Some((pfn, entry.prot)));
         }
 
-        let (pfn, fresh) = match ctx.shared.vm_mut().objects.lookup_page(entry.object, offset) {
+        let (pfn, fresh) = match ctx
+            .shared
+            .vm_mut()
+            .objects
+            .lookup_page(entry.object, offset)
+        {
             Some(pfn) => (pfn, false),
             None => {
                 // Zero fill into the entry's own object.
                 let pfn = ctx.shared.kernel_mut().frames.alloc();
-                ctx.shared.vm_mut().objects.insert_page(entry.object, offset, pfn);
+                ctx.shared
+                    .vm_mut()
+                    .objects
+                    .insert_page(entry.object, offset, pfn);
                 ctx.shared.vm_mut().stats.zero_fills += 1;
                 cost += ctx.costs().page_copy / 2;
                 (pfn, true)
@@ -118,7 +148,12 @@ impl FaultProcess {
         };
         // A COW page resolved from the shared snapshot is mapped without
         // write permission so the first write faults for its private copy.
-        let own = fresh || ctx.shared.vm_mut().objects.has_own_page(entry.object, offset);
+        let own = fresh
+            || ctx
+                .shared
+                .vm_mut()
+                .objects
+                .has_own_page(entry.object, offset);
         let prot = if entry.cow && !own {
             entry.prot.intersect(Prot::READ)
         } else {
@@ -133,7 +168,13 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
         let me = ctx.cpu_id;
         match self.phase {
             FPhase::LockMap => {
-                if !ctx.shared.vm_mut().task_mut(self.task).map_lock_mut().try_acquire(me) {
+                if !ctx
+                    .shared
+                    .vm_mut()
+                    .task_mut(self.task)
+                    .map_lock_mut()
+                    .try_acquire(me)
+                {
                     return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
                 }
                 self.phase = FPhase::Resolve;
@@ -157,7 +198,11 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
                         ctx.shared.kernel_mut().tlbs[me.index()].invalidate(pmap, self.vpn);
                         self.enter = Some(PmapOpProcess::new(
                             pmap,
-                            PmapOp::Enter { vpn: self.vpn, pfn, prot },
+                            PmapOp::Enter {
+                                vpn: self.vpn,
+                                pfn,
+                                prot,
+                            },
                         ));
                         self.phase = FPhase::Enter;
                     }
@@ -178,7 +223,11 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
                 }
             }
             FPhase::Unlock => {
-                ctx.shared.vm_mut().task_mut(self.task).map_lock_mut().release(me);
+                ctx.shared
+                    .vm_mut()
+                    .task_mut(self.task)
+                    .map_lock_mut()
+                    .release(me);
                 Step::Done(ctx.costs().lock_release + ctx.bus_write())
             }
         }

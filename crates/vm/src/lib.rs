@@ -53,7 +53,9 @@ pub use task::{
 #[cfg(test)]
 mod tests {
     use super::*;
-    use machtlb_core::{drive, Driven, ExitIdleProcess, KernelConfig, MemOp, SwitchUserPmapProcess};
+    use machtlb_core::{
+        drive, Driven, ExitIdleProcess, KernelConfig, MemOp, SwitchUserPmapProcess,
+    };
     use machtlb_pmap::{PageRange, Prot, Vaddr, Vpn};
     use machtlb_sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
 
@@ -166,8 +168,11 @@ mod tests {
                     self.op = Some(VmOpProcess::new(*op));
                 }
                 Act::Write(task, va, value) => {
-                    self.access =
-                        Some(UserAccess::new(*task, Vaddr::new(*va), MemOp::Write(*value)));
+                    self.access = Some(UserAccess::new(
+                        *task,
+                        Vaddr::new(*va),
+                        MemOp::Write(*value),
+                    ));
                 }
                 Act::ReadExpect(task, va, _) => {
                     self.access = Some(UserAccess::new(*task, Vaddr::new(*va), MemOp::Read));
@@ -189,7 +194,8 @@ mod tests {
     }
 
     fn system(n_cpus: usize) -> (SystemMachine, TaskId) {
-        let mut m = build_system_machine(n_cpus, 21, CostModel::multimax(), KernelConfig::default());
+        let mut m =
+            build_system_machine(n_cpus, 21, CostModel::multimax(), KernelConfig::default());
         let s = m.shared_mut();
         let SystemState { kernel, vm } = s;
         let task = vm.create_task(kernel);
@@ -204,7 +210,11 @@ mod tests {
         let base = (USER_SPAN_START + 0x10) * PAGE;
         let script = Script::new(vec![
             Act::Switch(task),
-            Act::Op(VmOp::Allocate { task, pages: 4, at: Some(Vpn::new(USER_SPAN_START + 0x10)) }),
+            Act::Op(VmOp::Allocate {
+                task,
+                pages: 4,
+                at: Some(Vpn::new(USER_SPAN_START + 0x10)),
+            }),
             Act::Write(task, base + 8, 0xDEAD),
             Act::ReadExpect(task, base + 8, 0xDEAD),
             Act::ReadExpect(task, base + 3 * PAGE, 0),
@@ -227,7 +237,11 @@ mod tests {
         // cpu1: joins the task and hammers the page until killed.
         let writer = Script::new(vec![
             Act::Switch(task),
-            Act::Op(VmOp::Allocate { task, pages: 1, at: Some(vpn) }),
+            Act::Op(VmOp::Allocate {
+                task,
+                pages: 1,
+                at: Some(vpn),
+            }),
             Act::WriteLoop(task, va),
         ]);
         // cpu0: joins the task, lets the writer establish its mapping,
@@ -241,16 +255,29 @@ mod tests {
         for i in 0..50 {
             deallocator.push(Act::Write(task, (USER_SPAN_START + 0x30) * PAGE, i));
         }
-        deallocator.push(Act::Op(VmOp::Deallocate { task, range: PageRange::single(vpn) }));
+        deallocator.push(Act::Op(VmOp::Deallocate {
+            task,
+            range: PageRange::single(vpn),
+        }));
         let deallocator = Script::new(deallocator);
         m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(writer));
         m.spawn_at(CpuId::new(0), Time::from_micros(100), Box::new(deallocator));
         let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
         assert_eq!(r.status, RunStatus::Quiescent, "writer must be killed");
         let s = m.shared();
-        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
-        assert!(s.kernel.stats.shootdowns_user >= 1, "deallocate shot the writer");
-        assert!(s.vm.stats.unrecoverable >= 1, "writer died on an unrecoverable fault");
+        assert!(
+            s.kernel.checker.is_consistent(),
+            "violations: {:?}",
+            s.kernel.checker.violations()
+        );
+        assert!(
+            s.kernel.stats.shootdowns_user >= 1,
+            "deallocate shot the writer"
+        );
+        assert!(
+            s.vm.stats.unrecoverable >= 1,
+            "writer died on an unrecoverable fault"
+        );
     }
 
     #[test]
@@ -268,7 +295,11 @@ mod tests {
         let va_b = USER_SPAN_START * PAGE;
         let script = Script::new(vec![
             Act::Switch(task_a),
-            Act::Op(VmOp::Allocate { task: task_a, pages: 1, at: Some(vpn_a) }),
+            Act::Op(VmOp::Allocate {
+                task: task_a,
+                pages: 1,
+                at: Some(vpn_a),
+            }),
             Act::Write(task_a, va_a, 111),
             Act::Op(VmOp::ShareCow {
                 src: task_a,
@@ -294,7 +325,11 @@ mod tests {
         let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = m.shared();
-        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
+        assert!(
+            s.kernel.checker.is_consistent(),
+            "violations: {:?}",
+            s.kernel.checker.violations()
+        );
         assert!(s.vm.stats.cow_copies >= 2, "both sides copied privately");
         assert_eq!(s.vm.stats.unrecoverable, 0);
     }
@@ -305,7 +340,11 @@ mod tests {
         let vpn = Vpn::new(USER_SPAN_START + 0x50);
         let script = Script::new(vec![
             Act::Switch(task),
-            Act::Op(VmOp::Allocate { task, pages: 2, at: Some(vpn) }),
+            Act::Op(VmOp::Allocate {
+                task,
+                pages: 2,
+                at: Some(vpn),
+            }),
             Act::Write(task, vpn.raw() * PAGE, 5),
             Act::Op(VmOp::Terminate { task }),
         ]);
@@ -326,7 +365,11 @@ mod tests {
         let va = vpn.raw() * PAGE;
         let writer = Script::new(vec![
             Act::Switch(task),
-            Act::Op(VmOp::Allocate { task, pages: 1, at: Some(vpn) }),
+            Act::Op(VmOp::Allocate {
+                task,
+                pages: 1,
+                at: Some(vpn),
+            }),
             Act::WriteLoop(task, va),
         ]);
         let mut protector = vec![Act::Switch(task)];
@@ -349,7 +392,11 @@ mod tests {
         let r = m.run_bounded(Time::from_micros(10_000_000), 20_000_000);
         assert_eq!(r.status, RunStatus::Quiescent);
         let s = m.shared();
-        assert!(s.kernel.checker.is_consistent(), "violations: {:?}", s.kernel.checker.violations());
+        assert!(
+            s.kernel.checker.is_consistent(),
+            "violations: {:?}",
+            s.kernel.checker.violations()
+        );
         assert!(s.kernel.stats.shootdowns_user >= 1);
         assert!(s.vm.stats.unrecoverable >= 1);
     }

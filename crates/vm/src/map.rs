@@ -355,7 +355,11 @@ mod tests {
     #[test]
     fn clip_splits_and_preserves_offsets() {
         let (mut map, mut objects, obj) = setup();
-        map.insert(VmEntry { offset: 100, ..entry(obj, 0x100, 10) }).expect("fits");
+        map.insert(VmEntry {
+            offset: 100,
+            ..entry(obj, 0x100, 10)
+        })
+        .expect("fits");
         map.clip(PageRange::new(Vpn::new(0x103), 4), &mut objects);
         assert_eq!(map.len(), 3);
         let mid = map.lookup(Vpn::new(0x103)).expect("middle entry");
@@ -382,11 +386,18 @@ mod tests {
     fn protect_range_changes_only_inside() {
         let (mut map, mut objects, obj) = setup();
         map.insert(entry(obj, 0x100, 6)).expect("fits");
-        let changed = map.protect_range(PageRange::new(Vpn::new(0x102), 2), Prot::READ, &mut objects);
+        let changed =
+            map.protect_range(PageRange::new(Vpn::new(0x102), 2), Prot::READ, &mut objects);
         assert_eq!(changed, 1);
-        assert_eq!(map.lookup(Vpn::new(0x101)).expect("left").prot, Prot::READ_WRITE);
+        assert_eq!(
+            map.lookup(Vpn::new(0x101)).expect("left").prot,
+            Prot::READ_WRITE
+        );
         assert_eq!(map.lookup(Vpn::new(0x102)).expect("mid").prot, Prot::READ);
-        assert_eq!(map.lookup(Vpn::new(0x104)).expect("right").prot, Prot::READ_WRITE);
+        assert_eq!(
+            map.lookup(Vpn::new(0x104)).expect("right").prot,
+            Prot::READ_WRITE
+        );
     }
 
     #[test]
@@ -400,7 +411,8 @@ mod tests {
         // Fill almost everything, then ask for something that only fits
         // back at the start.
         let big = map.find_free(0x1000 - 48).expect("big gap");
-        map.insert(entry(obj, big.raw(), 0x1000 - 48)).expect("fits");
+        map.insert(entry(obj, big.raw(), 0x1000 - 48))
+            .expect("fits");
         let c = map.find_free(10).expect("wraps to find the leftover hole");
         map.insert(entry(obj, c.raw(), 10)).expect("fits");
         assert!(map.find_free(20).is_err(), "only 6 pages remain");

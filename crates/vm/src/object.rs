@@ -259,7 +259,11 @@ mod tests {
         t.insert_page(top, 2, Pfn::new(32));
 
         assert_eq!(t.lookup_page(top, 0), Some(Pfn::new(10)), "from base");
-        assert_eq!(t.lookup_page(top, 1), Some(Pfn::new(21)), "mid wins over base");
+        assert_eq!(
+            t.lookup_page(top, 1),
+            Some(Pfn::new(21)),
+            "mid wins over base"
+        );
         assert_eq!(t.lookup_page(top, 2), Some(Pfn::new(32)), "own page");
         assert_eq!(t.lookup_page(top, 9), None, "zero fill");
         assert_eq!(t.lookup_depth(top, 0), 3);

@@ -190,7 +190,13 @@ impl VmOpProcess {
             VmOp::Allocate { task, pages, at } => {
                 let start = match at {
                     Some(v) => v,
-                    None => match ctx.shared.vm_mut().task_mut(task).map_mut().find_free(pages) {
+                    None => match ctx
+                        .shared
+                        .vm_mut()
+                        .task_mut(task)
+                        .map_mut()
+                        .find_free(pages)
+                    {
                         Ok(v) => v,
                         Err(_) => {
                             self.failed = true;
@@ -207,7 +213,14 @@ impl VmOpProcess {
                     cow: false,
                     inheritance: Inheritance::Copy,
                 };
-                if ctx.shared.vm_mut().task_mut(task).map_mut().insert(entry).is_err() {
+                if ctx
+                    .shared
+                    .vm_mut()
+                    .task_mut(task)
+                    .map_mut()
+                    .insert(entry)
+                    .is_err()
+                {
                     self.failed = true;
                     return cost;
                 }
@@ -224,7 +237,8 @@ impl VmOpProcess {
                 self.outcome.entries_touched = removed.len();
                 cost += ctx.costs().local_op * 2 * removed.len() as u64;
                 let pmap = ctx.shared.vm_mut().pmap_of(task);
-                self.pmap_ops.push_back(PmapOpProcess::new(pmap, PmapOp::Remove { range }));
+                self.pmap_ops
+                    .push_back(PmapOpProcess::new(pmap, PmapOp::Remove { range }));
             }
             VmOp::Protect { task, range, prot } => {
                 let changed = {
@@ -234,9 +248,14 @@ impl VmOpProcess {
                 };
                 self.outcome.entries_touched = changed;
                 let pmap = ctx.shared.vm_mut().pmap_of(task);
-                self.pmap_ops.push_back(PmapOpProcess::new(pmap, PmapOp::Protect { range, prot }));
+                self.pmap_ops
+                    .push_back(PmapOpProcess::new(pmap, PmapOp::Protect { range, prot }));
             }
-            VmOp::ShareCow { src, src_range, dst } => {
+            VmOp::ShareCow {
+                src,
+                src_range,
+                dst,
+            } => {
                 let src_entries: Vec<VmEntry> = {
                     let vm = ctx.shared.vm_mut();
                     let (task, objects) = vm.task_and_objects(src);
@@ -258,7 +277,7 @@ impl VmOpProcess {
                         e.object = collected[i].object;
                         e.cow = true;
                         objects.deref(old); // the entry's ref moved into the shadow
-                        // restore `collected` to carry the *snapshot* object
+                                            // restore `collected` to carry the *snapshot* object
                         collected[i].object = old;
                     }
                     collected
@@ -302,7 +321,10 @@ impl VmOpProcess {
                 let pmap = ctx.shared.vm_mut().pmap_of(src);
                 self.pmap_ops.push_back(PmapOpProcess::new(
                     pmap,
-                    PmapOp::Protect { range: src_range, prot: Prot::READ },
+                    PmapOp::Protect {
+                        range: src_range,
+                        prot: Prot::READ,
+                    },
                 ));
             }
             VmOp::Fork { parent } => {
@@ -311,8 +333,14 @@ impl VmOpProcess {
                     vm.create_task(kernel)
                 };
                 self.outcome.child = Some(child);
-                let parent_entries: Vec<VmEntry> =
-                    ctx.shared.vm().task(parent).map().entries().copied().collect();
+                let parent_entries: Vec<VmEntry> = ctx
+                    .shared
+                    .vm()
+                    .task(parent)
+                    .map()
+                    .entries()
+                    .copied()
+                    .collect();
                 cost += ctx.costs().local_op * 4 * parent_entries.len().max(1) as u64;
                 let mut cow_ranges: Vec<PageRange> = Vec::new();
                 for entry in parent_entries {
@@ -365,11 +393,18 @@ impl VmOpProcess {
                 for range in cow_ranges {
                     self.pmap_ops.push_back(PmapOpProcess::new(
                         pmap,
-                        PmapOp::Protect { range, prot: Prot::READ },
+                        PmapOp::Protect {
+                            range,
+                            prot: Prot::READ,
+                        },
                     ));
                 }
             }
-            VmOp::SetInheritance { task, range, inheritance } => {
+            VmOp::SetInheritance {
+                task,
+                range,
+                inheritance,
+            } => {
                 let vm = ctx.shared.vm_mut();
                 let (t, objects) = vm.task_and_objects(task);
                 t.map_mut().clip(range, objects);
@@ -392,7 +427,8 @@ impl VmOpProcess {
                 self.outcome.entries_touched = removed.len();
                 cost += ctx.costs().local_op * 2 * removed.len() as u64;
                 let pmap = ctx.shared.vm_mut().pmap_of(task);
-                self.pmap_ops.push_back(PmapOpProcess::new(pmap, PmapOp::Destroy));
+                self.pmap_ops
+                    .push_back(PmapOpProcess::new(pmap, PmapOp::Destroy));
             }
         }
         cost
@@ -408,7 +444,13 @@ impl<S: HasVm> Process<S, ()> for VmOpProcess {
                     self.phase = VPhase::MapUpdate;
                     return Step::Run(ctx.costs().local_op);
                 };
-                if !ctx.shared.vm_mut().task_mut(task).map_lock_mut().try_acquire(me) {
+                if !ctx
+                    .shared
+                    .vm_mut()
+                    .task_mut(task)
+                    .map_lock_mut()
+                    .try_acquire(me)
+                {
                     return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
                 }
                 self.phase = VPhase::LockMaps { idx: idx + 1 };
@@ -449,7 +491,11 @@ impl<S: HasVm> Process<S, ()> for VmOpProcess {
                     return Step::Done(ctx.costs().local_op);
                 }
                 let task = self.locks[n - 1 - idx];
-                ctx.shared.vm_mut().task_mut(task).map_lock_mut().release(me);
+                ctx.shared
+                    .vm_mut()
+                    .task_mut(task)
+                    .map_lock_mut()
+                    .release(me);
                 self.phase = VPhase::UnlockMaps { idx: idx + 1 };
                 Step::Run(ctx.costs().lock_release + ctx.bus_write())
             }
@@ -460,4 +506,3 @@ impl<S: HasVm> Process<S, ()> for VmOpProcess {
         "vm-op"
     }
 }
-

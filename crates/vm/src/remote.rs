@@ -201,7 +201,10 @@ impl<S: HasVm> Process<S, ()> for RemoteCopyProcess {
                 let me = ctx.cpu_id;
                 let mut cost = ctx.costs().local_op;
                 let current = ctx.shared.kernel().cur_user_pmap[me.index()];
-                for pmap in [self.src_pmap.take(), self.dst_pmap.take()].into_iter().flatten() {
+                for pmap in [self.src_pmap.take(), self.dst_pmap.take()]
+                    .into_iter()
+                    .flatten()
+                {
                     if pmap.is_kernel() || current == Some(pmap) {
                         // The kernel pmap never leaves the in-use set, and
                         // our own address space is the context-switch

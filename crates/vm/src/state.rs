@@ -165,7 +165,11 @@ pub fn build_system_machine(
 ) -> SystemMachine {
     let high_prio = kconfig.high_prio_ipi;
     let state = SystemState::new(n_cpus, kconfig);
-    let mconfig = MachineConfig { n_cpus, seed, costs };
+    let mconfig = MachineConfig {
+        n_cpus,
+        seed,
+        costs,
+    };
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, high_prio);
     m

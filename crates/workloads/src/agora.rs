@@ -12,8 +12,9 @@
 use machtlb_core::{drive, Driven, MemOp};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
-use machtlb_vm::{HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb_vm::{
+    HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use rand::Rng;
 
 use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
@@ -97,7 +98,10 @@ impl Process<WlState, ()> for Worker {
         match &mut self.phase {
             WPhase::SpinSetup => {
                 if ctx.shared.agora().setup_done {
-                    self.phase = WPhase::Step { left: self.cfg.wave_steps, computing: 0 };
+                    self.phase = WPhase::Step {
+                        left: self.cfg.wave_steps,
+                        computing: 0,
+                    };
                 }
                 // Busy-polling: this worker stays active and is exactly
                 // what the setup-phase shootdowns hit.
@@ -115,7 +119,10 @@ impl Process<WlState, ()> for Worker {
                 let left_now = *left - 1;
                 let cell = self.cells_written % (self.cfg.region_pages * 8);
                 self.cells_written += 1;
-                self.phase = WPhase::WriteCell { left: left_now, cell };
+                self.phase = WPhase::WriteCell {
+                    left: left_now,
+                    cell,
+                };
                 Step::Run(ctx.costs().local_op)
             }
             WPhase::WriteCell { left, cell } => {
@@ -131,7 +138,10 @@ impl Process<WlState, ()> for Worker {
                         self.access = None;
                         let (lo, hi) = self.cfg.compute_chunks;
                         let chunks = ctx.rng().gen_range(lo..=hi);
-                        self.phase = WPhase::Step { left, computing: chunks };
+                        self.phase = WPhase::Step {
+                            left,
+                            computing: chunks,
+                        };
                         Step::Run(d)
                     }
                     UserAccessStep::Finished(UserAccessResult::Killed, _) => {
@@ -149,14 +159,28 @@ impl Process<WlState, ()> for Worker {
 
 #[derive(Debug)]
 enum CPhase {
-    CreateTasks { next: u32 },
-    AllocRegions { next: u32 },
-    SpawnSpinners { next: u32 },
-    Setup { op: u32, current: Option<KernelBufferOp> },
+    CreateTasks {
+        next: u32,
+    },
+    AllocRegions {
+        next: u32,
+    },
+    SpawnSpinners {
+        next: u32,
+    },
+    Setup {
+        op: u32,
+        current: Option<KernelBufferOp>,
+    },
     FinishSetup,
     WaitRun,
-    InterRun { op: u32, current: Option<KernelBufferOp> },
-    Respawn { next: u32 },
+    InterRun {
+        op: u32,
+        current: Option<KernelBufferOp>,
+    },
+    Respawn {
+        next: u32,
+    },
 }
 
 /// The search master: allocates everything (causing the setup-phase
@@ -212,7 +236,10 @@ impl Process<WlState, ()> for Master {
             CPhase::SpawnSpinners { next } => {
                 if *next == self.cfg.workers {
                     ctx.shared.agora_mut().workers_alive = self.cfg.workers;
-                    self.phase = CPhase::Setup { op: 0, current: None };
+                    self.phase = CPhase::Setup {
+                        op: 0,
+                        current: None,
+                    };
                     return Step::Run(ctx.costs().local_op);
                 }
                 let idx = *next as usize;
@@ -267,7 +294,10 @@ impl Process<WlState, ()> for Master {
                         ctx.shared.agora_mut().completed_at = Some(now);
                         return Step::Done(ctx.costs().local_op);
                     }
-                    self.phase = CPhase::InterRun { op: 0, current: None };
+                    self.phase = CPhase::InterRun {
+                        op: 0,
+                        current: None,
+                    };
                     Step::Run(ctx.costs().local_op)
                 } else {
                     Step::Run(Dur::micros(300))
@@ -309,7 +339,10 @@ impl Process<WlState, ()> for Master {
                 let body = Worker {
                     cfg: self.cfg.clone(),
                     task,
-                    phase: WPhase::Step { left: self.cfg.wave_steps, computing: 0 },
+                    phase: WPhase::Step {
+                        left: self.cfg.wave_steps,
+                        computing: 0,
+                    },
                     access: None,
                     cells_written: 0,
                 };
@@ -335,7 +368,11 @@ pub fn install_agora(m: &mut WlMachine, cfg: &AgoraConfig) {
     s.app = AppShared::Agora(AgoraShared::default());
     let master = ThreadShell::new(
         TaskId::KERNEL,
-        Master { cfg: cfg.clone(), phase: CPhase::CreateTasks { next: 0 }, op: None },
+        Master {
+            cfg: cfg.clone(),
+            phase: CPhase::CreateTasks { next: 0 },
+            op: None,
+        },
     )
     .with_label("agora-master");
     s.push_thread(CpuId::new(0), Box::new(master));

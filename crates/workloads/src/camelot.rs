@@ -13,8 +13,9 @@
 use machtlb_core::{drive, Driven, MemOp};
 use machtlb_pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
-use machtlb_vm::{HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb_vm::{
+    HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use rand::Rng;
 
 use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
@@ -206,7 +207,10 @@ impl Process<WlState, ()> for ClientThread {
                         self.op = None;
                         let (wlo, whi) = self.cfg.tx_writes;
                         let writes = ctx.rng().gen_range(wlo..=whi).min(self.tx_range_pages);
-                        self.phase = TxPhase::Touch { left: writes, offset: 0 };
+                        self.phase = TxPhase::Touch {
+                            left: writes,
+                            offset: 0,
+                        };
                         Step::Run(d)
                     }
                 }
@@ -456,7 +460,11 @@ pub fn install_camelot(m: &mut WlMachine, cfg: &CamelotConfig) {
     s.app = AppShared::Camelot(CamelotShared::default());
     let coord = ThreadShell::new(
         TaskId::KERNEL,
-        Coordinator { cfg: cfg.clone(), phase: CPhase::CreateServer, op: None },
+        Coordinator {
+            cfg: cfg.clone(),
+            phase: CPhase::CreateServer,
+            op: None,
+        },
     )
     .with_label("camelot-coordinator");
     s.push_thread(CpuId::new(0), Box::new(coord));
@@ -470,8 +478,9 @@ pub fn install_camelot(m: &mut WlMachine, cfg: &CamelotConfig) {
 pub fn run_camelot(config: &RunConfig, cfg: &CamelotConfig) -> AppReport {
     let mut m = build_workload_machine(config, AppShared::None);
     install_camelot(&mut m, cfg);
-    let status =
-        crate::harness::run_until_done(&mut m, config.limit, |s| s.camelot().completed_at.is_some());
+    let status = crate::harness::run_until_done(&mut m, config.limit, |s| {
+        s.camelot().completed_at.is_some()
+    });
     assert_ne!(status, RunStatus::StepLimit, "camelot hit the step guard");
     let done = m.shared().camelot().tx_done;
     assert_eq!(

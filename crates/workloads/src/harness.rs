@@ -62,7 +62,11 @@ pub fn build_workload_machine(config: &RunConfig, app: AppShared) -> WlMachine {
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, config.kconfig.high_prio_ipi);
     for c in 0..config.n_cpus {
-        m.spawn_at(CpuId::new(c as u32), Time::ZERO, Box::new(Dispatcher::new()));
+        m.spawn_at(
+            CpuId::new(c as u32),
+            Time::ZERO,
+            Box::new(Dispatcher::new()),
+        );
     }
     if let Some(period) = config.device_period {
         machtlb_core::schedule_device_interrupts(&mut m, period, config.limit);
@@ -135,6 +139,9 @@ pub struct AppReport {
     pub n_cpus: usize,
     /// Whole-TLB flushes summed over all processors.
     pub tlb_flushes: u64,
+    /// Whole-TLB flushes that were epoch bumps (O(1), no slot scrubbing)
+    /// summed over all processors; a subset of [`AppReport::tlb_flushes`].
+    pub tlb_epoch_flushes: u64,
     /// TLB misses summed over all processors (reload pressure).
     pub tlb_misses: u64,
     /// Processors responder events were recorded on (for scaling the
@@ -177,6 +184,7 @@ impl AppReport {
             violations: k.checker.total_violations() as usize,
             n_cpus: k.n_cpus,
             tlb_flushes: k.tlbs.iter().map(|t| t.stats().flushes).sum(),
+            tlb_epoch_flushes: k.tlbs.iter().map(|t| t.stats().epoch_flushes).sum(),
             tlb_misses: k.tlbs.iter().map(|t| t.stats().misses).sum(),
             responder_sample_size: k
                 .config

@@ -76,7 +76,11 @@ impl Process<WlState, ()> for KernelBufferOp {
                 let pages = self.pages;
                 let task = self.task;
                 let op = self.op.get_or_insert_with(|| {
-                    VmOpProcess::new(VmOp::Allocate { task, pages, at: None })
+                    VmOpProcess::new(VmOp::Allocate {
+                        task,
+                        pages,
+                        at: None,
+                    })
                 });
                 match drive(op, ctx) {
                     Driven::Yield(s) => s,

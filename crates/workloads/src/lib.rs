@@ -64,10 +64,13 @@ mod tests {
     #[test]
     fn tester_shoots_exactly_k_processors_and_stays_consistent() {
         for k in [1u32, 3, 7] {
-            let out = run_tester(&quick_config(16, 100 + u64::from(k)), &TesterConfig {
-                children: k,
-                warmup_increments: 30,
-            });
+            let out = run_tester(
+                &quick_config(16, 100 + u64::from(k)),
+                &TesterConfig {
+                    children: k,
+                    warmup_increments: 30,
+                },
+            );
             assert!(!out.mismatch, "k={k}: counters advanced after reprotect");
             assert!(out.report.consistent, "k={k}: oracle violations");
             assert_eq!(out.children_dead, k, "k={k}: all children die");
@@ -85,7 +88,13 @@ mod tests {
         // Under the naive strategy children never fault: they keep writing
         // through stale entries. Give the run a time bound and inspect.
         let mut m = build_workload_machine(&config, AppShared::None);
-        install_tester(&mut m, &TesterConfig { children: 4, warmup_increments: 30 });
+        install_tester(
+            &mut m,
+            &TesterConfig {
+                children: 4,
+                warmup_increments: 30,
+            },
+        );
         let _ = m.run_bounded(Time::from_micros(5_000_000), 200_000_000);
         let s = m.shared();
         let t = s.tester();
@@ -181,10 +190,17 @@ mod tests {
         };
         let report = run_agora(&quick_config(8, 9), &cfg);
         assert!(report.consistent, "violations: {}", report.violations);
-        let procs: Vec<u32> = report.kernel_initiators.iter().map(|r| r.processors).collect();
+        let procs: Vec<u32> = report
+            .kernel_initiators
+            .iter()
+            .map(|r| r.processors)
+            .collect();
         let big = procs.iter().filter(|&&p| p >= cfg.workers - 1).count();
         let small = procs.iter().filter(|&&p| p <= 2).count();
-        assert!(big >= cfg.setup_ops as usize / 2, "setup shootdowns hit the spinning workers: {procs:?}");
+        assert!(
+            big >= cfg.setup_ops as usize / 2,
+            "setup shootdowns hit the spinning workers: {procs:?}"
+        );
         assert!(small >= 1, "inter-run shootdowns are small: {procs:?}");
     }
 
@@ -242,7 +258,8 @@ mod tests {
         let config = quick_config(2, 1);
         let mut m = build_workload_machine(&config, AppShared::None);
         for _ in 0..3 {
-            m.shared_mut().push_thread(machtlb_sim::CpuId::new(1), Box::new(Tick(4)));
+            m.shared_mut()
+                .push_thread(machtlb_sim::CpuId::new(1), Box::new(Tick(4)));
         }
         let r = m.run_bounded(Time::from_micros(100_000), 1_000_000);
         assert_eq!(r.status, machtlb_sim::RunStatus::Quiescent);
@@ -283,17 +300,27 @@ mod tests {
         let config = quick_config(2, 2);
         let mut m = build_workload_machine(&config, AppShared::None);
         // The target dispatcher parks long before the poke arrives.
-        m.shared_mut().push_thread(machtlb_sim::CpuId::new(0), Box::new(Poker { sent: false }));
+        m.shared_mut()
+            .push_thread(machtlb_sim::CpuId::new(0), Box::new(Poker { sent: false }));
         let r = m.run_bounded(Time::from_micros(100_000), 1_000_000);
         assert_eq!(r.status, machtlb_sim::RunStatus::Quiescent);
-        assert!(m.shared().done_flag, "the resched poke must wake cpu1's dispatcher");
+        assert!(
+            m.shared().done_flag,
+            "the resched poke must wake cpu1's dispatcher"
+        );
     }
 
     #[test]
     fn device_interrupts_do_not_break_consistency() {
         let mut config = quick_config(8, 3);
         config.device_period = Some(Dur::millis(2));
-        let out = run_tester(&config, &TesterConfig { children: 5, warmup_increments: 30 });
+        let out = run_tester(
+            &config,
+            &TesterConfig {
+                children: 5,
+                warmup_increments: 30,
+            },
+        );
         assert!(!out.mismatch);
         assert!(out.report.consistent);
     }

@@ -11,8 +11,9 @@
 use machtlb_core::{drive, Driven, MemOp};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
-use machtlb_vm::{HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb_vm::{
+    HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use rand::Rng;
 
 use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
@@ -144,7 +145,8 @@ impl Process<WlState, ()> for CompileJob {
                         let pages = ctx.rng().gen_range(plo..=phi);
                         let touched = ctx.rng().gen_range(0..100) < self.cfg.touched_percent;
                         let touch = if touched { pages } else { 0 };
-                        self.phase = JobPhase::KernelOp(Box::new(KernelBufferOp::new(pages, touch)));
+                        self.phase =
+                            JobPhase::KernelOp(Box::new(KernelBufferOp::new(pages, touch)));
                         Step::Run(d)
                     }
                     UserAccessStep::Finished(UserAccessResult::Killed, _) => {
@@ -267,7 +269,11 @@ pub fn install_machbuild(m: &mut WlMachine, cfg: &MachBuildConfig) {
     });
     let coord = ThreadShell::new(
         TaskId::KERNEL,
-        BuildCoordinator { cfg: cfg.clone(), phase: CoordPhase::Dispatch, next_cpu: 0 },
+        BuildCoordinator {
+            cfg: cfg.clone(),
+            phase: CoordPhase::Dispatch,
+            next_cpu: 0,
+        },
     )
     .with_label("build-coordinator");
     s.push_thread(CpuId::new(0), Box::new(coord));
@@ -281,8 +287,9 @@ pub fn install_machbuild(m: &mut WlMachine, cfg: &MachBuildConfig) {
 pub fn run_machbuild(config: &RunConfig, cfg: &MachBuildConfig) -> AppReport {
     let mut m = build_workload_machine(config, AppShared::None);
     install_machbuild(&mut m, cfg);
-    let status =
-        crate::harness::run_until_done(&mut m, config.limit, |s| s.machbuild().completed_at.is_some());
+    let status = crate::harness::run_until_done(&mut m, config.limit, |s| {
+        s.machbuild().completed_at.is_some()
+    });
     assert_ne!(status, RunStatus::StepLimit, "build hit the step guard");
     assert_eq!(
         m.shared().machbuild().jobs_done,

@@ -146,17 +146,16 @@ impl Process<WlState, ()> for PageoutDaemon {
                     // Consecutive pages age in one range operation; a
                     // fragmented batch ages its first page and lets the
                     // next scan continue.
-                    let contiguous = self
-                        .aging
-                        .windows(2)
-                        .all(|w| w[1].raw() == w[0].raw() + 1);
-                    let count = if contiguous { self.aging.len() as u64 } else { 1 };
+                    let contiguous = self.aging.windows(2).all(|w| w[1].raw() == w[0].raw() + 1);
+                    let count = if contiguous {
+                        self.aging.len() as u64
+                    } else {
+                        1
+                    };
                     let range = PageRange::new(vpn, count);
                     self.aging.clear();
-                    self.phase = PPhase::Op(PmapOpProcess::new(
-                        pmap,
-                        PmapOp::ClearRefBits { range },
-                    ));
+                    self.phase =
+                        PPhase::Op(PmapOpProcess::new(pmap, PmapOp::ClearRefBits { range }));
                     return Step::Run(cost);
                 }
                 if let Some((_, dirty)) = self.victims.first().copied() {
@@ -218,9 +217,14 @@ impl PageoutDaemon {
 }
 
 /// Installs the daemon on `cpu` of a freshly built machine (before `run`).
-pub fn install_pageout(m: &mut crate::harness::WlMachine, cpu: machtlb_sim::CpuId, cfg: PageoutConfig) {
-    let daemon = crate::thread::ThreadShell::new(machtlb_vm::TaskId::KERNEL, PageoutDaemon::new(cfg))
-        .with_label("pageout-daemon");
+pub fn install_pageout(
+    m: &mut crate::harness::WlMachine,
+    cpu: machtlb_sim::CpuId,
+    cfg: PageoutConfig,
+) {
+    let daemon =
+        crate::thread::ThreadShell::new(machtlb_vm::TaskId::KERNEL, PageoutDaemon::new(cfg))
+            .with_label("pageout-daemon");
     m.shared_mut().push_thread(cpu, Box::new(daemon));
 }
 

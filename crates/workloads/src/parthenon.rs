@@ -182,9 +182,7 @@ impl Process<WlState, ()> for Worker {
                 }
                 // Occasional allocations and kernel activity.
                 if self.items.is_multiple_of(self.cfg.alloc_every) {
-                    let at = RESULT_BASE
-                        + u64::from(self.id) * 0x400
-                        + self.alloc_cursor * 2;
+                    let at = RESULT_BASE + u64::from(self.id) * 0x400 + self.alloc_cursor * 2;
                     self.alloc_cursor += 1;
                     self.phase = WPhase::Alloc(Box::new(VmOpProcess::new(VmOp::Allocate {
                         task: self.task,
@@ -192,8 +190,7 @@ impl Process<WlState, ()> for Worker {
                         at: Some(Vpn::new(at)),
                     })));
                 } else if self.items.is_multiple_of(self.cfg.kernel_op_every) {
-                    let touched =
-                        ctx.rng().gen_range(0..100) < self.cfg.kernel_touched_percent;
+                    let touched = ctx.rng().gen_range(0..100) < self.cfg.kernel_touched_percent;
                     self.phase =
                         WPhase::KernelOp(Box::new(KernelBufferOp::new(1, u64::from(touched))));
                 } else {
@@ -259,7 +256,10 @@ impl Process<WlState, ()> for ProverMain {
                 p.outstanding = 0;
                 p.run_over = false;
                 p.workers_alive = self.cfg.workers;
-                self.phase = CPhase::SetupWorker { worker: 0, stage: 0 };
+                self.phase = CPhase::SetupWorker {
+                    worker: 0,
+                    stage: 0,
+                };
                 Step::Run(ctx.costs().local_op * 16)
             }
             CPhase::SetupWorker { worker, stage } => {
@@ -276,7 +276,11 @@ impl Process<WlState, ()> for ProverMain {
                     0 => {
                         let pages = self.cfg.stack_pages;
                         let op = self.op.get_or_insert_with(|| {
-                            VmOpProcess::new(VmOp::Allocate { task, pages, at: Some(stack_base) })
+                            VmOpProcess::new(VmOp::Allocate {
+                                task,
+                                pages,
+                                at: Some(stack_base),
+                            })
                         });
                         match drive(op, ctx) {
                             Driven::Yield(s) => s,
@@ -335,7 +339,10 @@ impl Process<WlState, ()> for ProverMain {
                             self.gap_left -= 1;
                             return Step::Run(Dur::micros(50));
                         }
-                        self.phase = CPhase::SetupWorker { worker: worker + 1, stage: 0 };
+                        self.phase = CPhase::SetupWorker {
+                            worker: worker + 1,
+                            stage: 0,
+                        };
                         Step::Run(ctx.costs().local_op)
                     }
                 }
@@ -408,8 +415,9 @@ pub fn install_parthenon(m: &mut WlMachine, cfg: &ParthenonConfig) {
 pub fn run_parthenon(config: &RunConfig, cfg: &ParthenonConfig) -> AppReport {
     let mut m = build_workload_machine(config, AppShared::None);
     install_parthenon(&mut m, cfg);
-    let status =
-        crate::harness::run_until_done(&mut m, config.limit, |s| s.parthenon().completed_at.is_some());
+    let status = crate::harness::run_until_done(&mut m, config.limit, |s| {
+        s.parthenon().completed_at.is_some()
+    });
     assert_ne!(status, RunStatus::StepLimit, "parthenon hit the step guard");
     assert_eq!(
         m.shared().parthenon().runs_done,

@@ -15,8 +15,9 @@
 use machtlb_core::{drive, Driven, MemOp};
 use machtlb_pmap::{PageRange, Prot, Vaddr, Vpn};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
-use machtlb_vm::{TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb_vm::{
+    TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use machtlb_xpr::InitiatorRecord;
 
 use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
@@ -143,7 +144,12 @@ impl Process<WlState, ()> for TesterMain {
                 let target = CpuId::new(next + 1);
                 let child = ThreadShell::new(
                     self.task,
-                    TesterChild { task: self.task, word: next, count: 0, access: None },
+                    TesterChild {
+                        task: self.task,
+                        word: next,
+                        count: 0,
+                        access: None,
+                    },
                 )
                 .with_label("tester-child");
                 let cost = enqueue_thread(ctx, target, Box::new(child));
@@ -328,13 +334,20 @@ pub fn run_tester(config: &RunConfig, tcfg: &TesterConfig) -> TesterOutcome {
         let t = s.tester();
         t.mismatch.is_some() && t.children_dead == children
     });
-    assert_ne!(status, RunStatus::StepLimit, "tester run hit the step guard");
+    assert_ne!(
+        status,
+        RunStatus::StepLimit,
+        "tester run hit the step guard"
+    );
     let report = AppReport::extract("tester", &m);
     let s = m.shared();
     let t = s.tester();
-    let mismatch = t
-        .mismatch
-        .unwrap_or_else(|| panic!("tester did not conclude before {} (status {:?})", config.limit, status));
+    let mismatch = t.mismatch.unwrap_or_else(|| {
+        panic!(
+            "tester did not conclude before {} (status {:?})",
+            config.limit, status
+        )
+    });
     TesterOutcome {
         shootdown: report.user_initiators.first().copied(),
         mismatch,

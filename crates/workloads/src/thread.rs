@@ -10,7 +10,9 @@
 
 use std::fmt;
 
-use machtlb_core::{drive, enter_idle, Driven, ExitIdleProcess, HasKernel, SwitchUserPmapProcess, RESCHED_VECTOR};
+use machtlb_core::{
+    drive, enter_idle, Driven, ExitIdleProcess, HasKernel, SwitchUserPmapProcess, RESCHED_VECTOR,
+};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, Step};
 use machtlb_vm::TaskId;
 
@@ -19,11 +21,7 @@ use crate::state::{ThreadBox, WlState};
 /// Pushes `thread` onto `target`'s run queue and pokes the dispatcher
 /// awake. Charges nothing itself: the caller includes the returned cost in
 /// its step.
-pub fn enqueue_thread(
-    ctx: &mut Ctx<'_, WlState, ()>,
-    target: CpuId,
-    thread: ThreadBox,
-) -> Dur {
+pub fn enqueue_thread(ctx: &mut Ctx<'_, WlState, ()>, target: CpuId, thread: ThreadBox) -> Dur {
     ctx.shared.push_thread(target, thread);
     if target != ctx.cpu_id {
         ctx.send_ipi(target, RESCHED_VECTOR);

@@ -35,7 +35,7 @@ pub use buffer::XprBuffer;
 pub use plot::{ascii_histogram, ascii_scatter};
 pub use record::{InitiatorRecord, PmapKind, ResponderRecord, ShootdownEvent};
 pub use stats::{linear_fit, percentile_sorted, LinFit, Summary};
-pub use table::TextTable;
+pub use table::{counters_table, TextTable};
 
 #[cfg(test)]
 mod proptests {

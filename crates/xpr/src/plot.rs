@@ -136,8 +136,9 @@ mod tests {
 
     #[test]
     fn plot_contains_points_and_trend() {
-        let pts: Vec<(f64, f64, f64)> =
-            (1..=10).map(|k| (k as f64, 430.0 + 55.0 * k as f64, 10.0)).collect();
+        let pts: Vec<(f64, f64, f64)> = (1..=10)
+            .map(|k| (k as f64, 430.0 + 55.0 * k as f64, 10.0))
+            .collect();
         let plot = ascii_scatter(&pts, Some((430.0, 55.0)), 50, 14);
         assert_eq!(plot.matches('*').count(), 10);
         assert!(plot.contains('.'), "trend line rendered");

@@ -142,7 +142,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let syy: f64 = points.iter().map(|(_, y)| (y - my).powi(2)).sum();
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LinFit {
         slope,
         intercept,
@@ -198,12 +202,17 @@ mod tests {
     #[test]
     fn exact_line_fits_perfectly() {
         // The paper's Figure 2 line: 430 + 55x.
-        let pts: Vec<(f64, f64)> = (1..=12).map(|k| (k as f64, 430.0 + 55.0 * k as f64)).collect();
+        let pts: Vec<(f64, f64)> = (1..=12)
+            .map(|k| (k as f64, 430.0 + 55.0 * k as f64))
+            .collect();
         let fit = linear_fit(&pts).expect("fit exists");
         assert!((fit.slope - 55.0).abs() < 1e-9);
         assert!((fit.intercept - 430.0).abs() < 1e-9);
         assert!((fit.r2 - 1.0).abs() < 1e-9);
-        assert!((fit.at(100.0) - 5930.0).abs() < 1e-9, "Section 11's ~6ms at 100 cpus");
+        assert!(
+            (fit.at(100.0) - 5930.0).abs() < 1e-9,
+            "Section 11's ~6ms at 100 cpus"
+        );
     }
 
     #[test]

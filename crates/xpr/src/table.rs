@@ -92,6 +92,26 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Builds the standard two-column counter table used for run-level
+/// kernel counters (shootdowns taken, actions coalesced, epoch flushes).
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::counters_table;
+///
+/// let t = counters_table(&[("actions coalesced", 12), ("epoch flushes", 3)]);
+/// assert_eq!(t.n_rows(), 2);
+/// assert!(t.to_string().contains("epoch flushes"));
+/// ```
+pub fn counters_table(counters: &[(&str, u64)]) -> TextTable {
+    let mut t = TextTable::new(vec!["counter", "value"]);
+    for (name, value) in counters {
+        t.add_row(vec![(*name).to_string(), value.to_string()]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,9 +24,7 @@ fn main() {
     let runs = arg(3, 5);
     assert!((children as usize) < n_cpus, "need children + 1 processors");
 
-    println!(
-        "consistency tester: {children} children on {n_cpus} processors, {runs} runs"
-    );
+    println!("consistency tester: {children} children on {n_cpus} processors, {runs} runs");
     let mut samples = Vec::new();
     for seed in 0..runs {
         let config = RunConfig {
@@ -36,7 +34,10 @@ fn main() {
         };
         let out = run_tester(
             &config,
-            &TesterConfig { children, warmup_increments: 40 },
+            &TesterConfig {
+                children,
+                warmup_increments: 40,
+            },
         );
         let shot = out.shootdown.expect("the reprotect causes one shootdown");
         println!(

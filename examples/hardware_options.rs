@@ -17,8 +17,17 @@ fn measure(name: &str, kconfig: KernelConfig) {
         limit: Time::from_micros(30_000_000),
         ..RunConfig::multimax16(5)
     };
-    let out = run_tester(&config, &TesterConfig { children: 10, warmup_increments: 30 });
-    assert!(!out.mismatch && out.report.consistent, "{name}: inconsistency!");
+    let out = run_tester(
+        &config,
+        &TesterConfig {
+            children: 10,
+            warmup_increments: 30,
+        },
+    );
+    assert!(
+        !out.mismatch && out.report.consistent,
+        "{name}: inconsistency!"
+    );
     let shot = out.shootdown.expect("consistency action");
     println!(
         "  {:<38} {:>7.0} us   {:>3} IPIs   {:>3} responder events",
@@ -36,11 +45,17 @@ fn main() {
     measure("software shootdown (baseline)", stock.clone());
     measure(
         "high-priority software interrupt",
-        KernelConfig { high_prio_ipi: true, ..stock.clone() },
+        KernelConfig {
+            high_prio_ipi: true,
+            ..stock.clone()
+        },
     );
     measure(
         "broadcast interrupt",
-        KernelConfig { strategy: Strategy::BroadcastIpi, ..stock.clone() },
+        KernelConfig {
+            strategy: Strategy::BroadcastIpi,
+            ..stock.clone()
+        },
     );
     measure(
         "software reload (no responder stall)",

@@ -6,14 +6,25 @@
 //! ```
 
 use machtlb::core::Strategy;
-use machtlb::workloads::{build_workload_machine, install_tester, AppShared, RunConfig, TesterConfig};
 use machtlb::sim::Time;
+use machtlb::workloads::{
+    build_workload_machine, install_tester, AppShared, RunConfig, TesterConfig,
+};
 
 fn run(strategy: Strategy) -> (bool, bool, u64, usize) {
-    let mut config = RunConfig { n_cpus: 8, ..RunConfig::multimax16(42) };
+    let mut config = RunConfig {
+        n_cpus: 8,
+        ..RunConfig::multimax16(42)
+    };
     config.kconfig.strategy = strategy;
     let mut m = build_workload_machine(&config, AppShared::None);
-    install_tester(&mut m, &TesterConfig { children: 5, warmup_increments: 40 });
+    install_tester(
+        &mut m,
+        &TesterConfig {
+            children: 5,
+            warmup_increments: 40,
+        },
+    );
     m.run_bounded(Time::from_micros(10_000_000), 500_000_000);
     let s = m.shared();
     let kernel = machtlb::core::HasKernel::kernel(s);

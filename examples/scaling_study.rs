@@ -25,12 +25,15 @@ fn cost_at(n_cpus: usize, responders: u32, seed: u64) -> f64 {
         costs,
         kconfig: Default::default(),
         timer_flush_period: machtlb_sim::Dur::millis(5),
-            device_period: None,
+        device_period: None,
         limit: Time::from_micros(120_000_000),
     };
     let out = run_tester(
         &config,
-        &TesterConfig { children: responders, warmup_increments: 20 },
+        &TesterConfig {
+            children: responders,
+            warmup_increments: 20,
+        },
     );
     assert!(!out.mismatch && out.report.consistent);
     out.shootdown.expect("shootdown").elapsed.as_micros_f64()
@@ -38,7 +41,10 @@ fn cost_at(n_cpus: usize, responders: u32, seed: u64) -> f64 {
 
 fn main() {
     println!("machine-wide shootdown cost as the machine grows:");
-    println!("  {:<12} {:<14} {:<12}", "processors", "measured (us)", "paper line");
+    println!(
+        "  {:<12} {:<14} {:<12}",
+        "processors", "measured (us)", "paper line"
+    );
     for &n in &[16usize, 32, 64, 128] {
         let k = (n - 1) as u32;
         let us = cost_at(n, k, 30 + n as u64);
@@ -52,12 +58,18 @@ fn main() {
     println!();
     println!("\"the algorithm as presented here will scale badly to larger machines");
     println!(" (e.g. 6ms basic shootdown time for 100 processors)\" — Section 11");
-    println!("  measured at 100 responders: {:.0} us", cost_at(101, 100, 77));
+    println!(
+        "  measured at 100 responders: {:.0} us",
+        cost_at(101, 100, 77)
+    );
     println!();
     println!("the remedy — restructure kernel memory into per-pool regions so most");
     println!("kernel shootdowns stay inside a pool (Section 8):");
     let wide = cost_at(128, 127, 81);
     let pooled = cost_at(128, 15, 82);
     println!("  128-processor machine, machine-wide: {wide:.0} us");
-    println!("  128-processor machine, 16-cpu pool:  {pooled:.0} us  ({:.1}x cheaper)", wide / pooled);
+    println!(
+        "  128-processor machine, 16-cpu pool:  {pooled:.0} us  ({:.1}x cheaper)",
+        wide / pooled
+    );
 }

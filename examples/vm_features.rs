@@ -7,8 +7,9 @@
 //! cargo run --release --example vm_features
 //! ```
 
-use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp,
-    SwitchUserPmapProcess};
+use machtlb::core::{
+    drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp, SwitchUserPmapProcess,
+};
 use machtlb::pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
 use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, Step, Time};
 use machtlb::vm::{
@@ -59,7 +60,9 @@ impl Demo {
         op: MemOp,
         report: &'static str,
     ) -> Step {
-        let acc = self.access.get_or_insert_with(|| UserAccess::new(task, a, op));
+        let acc = self
+            .access
+            .get_or_insert_with(|| UserAccess::new(task, a, op));
         match acc.step(ctx) {
             UserAccessStep::Yield(s) => s,
             UserAccessStep::Finished(r, d) => {
@@ -106,13 +109,30 @@ impl Process<SystemState, ()> for Demo {
         let child = self.child;
         match self.stage {
             0 => self.attach(ctx, parent),
-            1 => self.op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(DATA_VPN)) }),
-            2 => self.op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(SHARED_VPN)) }),
-            3 => self.op(ctx, VmOp::SetInheritance {
-                task: parent,
-                range: PageRange::single(Vpn::new(SHARED_VPN)),
-                inheritance: Inheritance::Share,
-            }),
+            1 => self.op(
+                ctx,
+                VmOp::Allocate {
+                    task: parent,
+                    pages: 1,
+                    at: Some(Vpn::new(DATA_VPN)),
+                },
+            ),
+            2 => self.op(
+                ctx,
+                VmOp::Allocate {
+                    task: parent,
+                    pages: 1,
+                    at: Some(Vpn::new(SHARED_VPN)),
+                },
+            ),
+            3 => self.op(
+                ctx,
+                VmOp::SetInheritance {
+                    task: parent,
+                    range: PageRange::single(Vpn::new(SHARED_VPN)),
+                    inheritance: Inheritance::Share,
+                },
+            ),
             4 => self.rw(ctx, parent, va(DATA_VPN), MemOp::Write(1989), ""),
             5 => self.rw(ctx, parent, va(SHARED_VPN), MemOp::Write(42), ""),
             6 => {
@@ -122,18 +142,49 @@ impl Process<SystemState, ()> for Demo {
                 self.op(ctx, VmOp::Fork { parent })
             }
             7 => self.attach(ctx, child.expect("forked")),
-            8 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Read,
-                "child reads the virtual copy"),
-            9 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Write(2026),
-                ""),
-            10 => self.rw(ctx, child.expect("forked"), va(DATA_VPN), MemOp::Read,
-                "child after its own write   "),
-            11 => self.rw(ctx, child.expect("forked"), va(SHARED_VPN), MemOp::Write(7), ""),
+            8 => self.rw(
+                ctx,
+                child.expect("forked"),
+                va(DATA_VPN),
+                MemOp::Read,
+                "child reads the virtual copy",
+            ),
+            9 => self.rw(
+                ctx,
+                child.expect("forked"),
+                va(DATA_VPN),
+                MemOp::Write(2026),
+                "",
+            ),
+            10 => self.rw(
+                ctx,
+                child.expect("forked"),
+                va(DATA_VPN),
+                MemOp::Read,
+                "child after its own write   ",
+            ),
+            11 => self.rw(
+                ctx,
+                child.expect("forked"),
+                va(SHARED_VPN),
+                MemOp::Write(7),
+                "",
+            ),
             12 => self.attach(ctx, parent),
-            13 => self.rw(ctx, parent, va(DATA_VPN), MemOp::Read,
-                "parent still sees its data  "),
-            14 => self.rw(ctx, parent, va(SHARED_VPN), MemOp::Read,
-                "parent sees the shared write"),
+            13 => self.rw(
+                ctx,
+                parent,
+                va(DATA_VPN),
+                MemOp::Read,
+                "parent still sees its data  ",
+            ),
+            14 => self.rw(
+                ctx,
+                parent,
+                va(SHARED_VPN),
+                MemOp::Read,
+                "parent sees the shared write",
+            ),
             _ => Step::Done(Dur::micros(1)),
         }
     }
@@ -175,7 +226,11 @@ fn main() {
     );
     println!(
         "oracle: {} ({} checks)",
-        if s.kernel().checker.is_consistent() { "consistent" } else { "VIOLATED" },
+        if s.kernel().checker.is_consistent() {
+            "consistent"
+        } else {
+            "VIOLATED"
+        },
         s.kernel().checker.checks()
     );
     assert!(s.kernel().checker.is_consistent());

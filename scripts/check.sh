@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The repository's pre-merge gate, runnable fully offline:
+#   1. formatting       (cargo fmt --check)
+#   2. lints            (clippy, warnings are errors, all targets)
+#   3. tier-1 tests     (release build + the root package's test suite)
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release --quiet
+cargo test --quiet
+
+echo "==> all checks passed"

@@ -17,7 +17,7 @@ use machtlb::workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
     CamelotConfig, MachBuildConfig, ParthenonConfig, RunConfig, TesterConfig,
 };
-use machtlb::xpr::{linear_fit, Summary, TextTable};
+use machtlb::xpr::{counters_table, linear_fit, Summary, TextTable};
 
 const USAGE: &str = "\
 machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
@@ -47,9 +47,7 @@ impl Args {
         let mut it = raw.peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.push((name.to_string(), value));
             } else {
                 positional.push(a);
@@ -78,8 +76,14 @@ fn strategy_config(name: &str) -> Result<KernelConfig, String> {
     let stock = KernelConfig::default();
     Ok(match name {
         "shootdown" => stock,
-        "broadcast" => KernelConfig { strategy: Strategy::BroadcastIpi, ..stock },
-        "naive" => KernelConfig { strategy: Strategy::NaiveFlush, ..stock },
+        "broadcast" => KernelConfig {
+            strategy: Strategy::BroadcastIpi,
+            ..stock
+        },
+        "naive" => KernelConfig {
+            strategy: Strategy::NaiveFlush,
+            ..stock
+        },
         "no-stall" => KernelConfig {
             strategy: Strategy::NoStallSoftwareReload,
             tlb: TlbConfig {
@@ -91,12 +95,18 @@ fn strategy_config(name: &str) -> Result<KernelConfig, String> {
         },
         "hw-remote" => KernelConfig {
             strategy: Strategy::HardwareRemoteInvalidate,
-            tlb: TlbConfig { writeback: WritebackPolicy::Interlocked, ..TlbConfig::multimax() },
+            tlb: TlbConfig {
+                writeback: WritebackPolicy::Interlocked,
+                ..TlbConfig::multimax()
+            },
             ..stock
         },
         "timer-delayed" => KernelConfig {
             strategy: Strategy::TimerDelayed,
-            tlb: TlbConfig { writeback: WritebackPolicy::Interlocked, ..TlbConfig::multimax() },
+            tlb: TlbConfig {
+                writeback: WritebackPolicy::Interlocked,
+                ..TlbConfig::multimax()
+            },
             ..stock
         },
         other => return Err(format!("unknown strategy: {other}")),
@@ -124,12 +134,20 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
         return Err("tester needs children + 1 processors".into());
     }
     if strategy == "naive" {
-        return Err("the naive strategy never kills the children; see `cargo run \
+        return Err(
+            "the naive strategy never kills the children; see `cargo run \
                     --example quickstart` for its bounded demonstration"
-            .into());
+                .into(),
+        );
     }
     let config = base_config(cpus, seed, strategy_config(strategy)?);
-    let out = run_tester(&config, &TesterConfig { children, warmup_increments: 40 });
+    let out = run_tester(
+        &config,
+        &TesterConfig {
+            children,
+            warmup_increments: 40,
+        },
+    );
     println!("consistency tester: {children} children, {cpus} processors, strategy {strategy}");
     match out.shootdown {
         Some(shot) => println!(
@@ -142,6 +160,7 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
     }
     println!("  counters frozen after reprotect: {}", !out.mismatch);
     println!("  children killed by their faults: {}", out.children_dead);
+    println!("  {}", hot_paths(&out.report));
     println!("  oracle: {}", verdict(&out.report));
     Ok(())
 }
@@ -152,6 +171,19 @@ fn verdict(report: &AppReport) -> String {
     } else {
         format!("VIOLATED ({} stale uses)", report.violations)
     }
+}
+
+/// One line on the simulator's fast paths: how much work the coalescing
+/// action queues and epoch-based flushes absorbed during the run.
+fn hot_paths(report: &AppReport) -> String {
+    format!(
+        "hot paths: {} actions coalesced ({} queue overflows avoided), \
+         {}/{} TLB flushes were epoch bumps",
+        report.stats.actions_coalesced,
+        report.stats.queue_overflows_avoided,
+        report.tlb_epoch_flushes,
+        report.tlb_flushes,
+    )
 }
 
 fn cmd_app(args: &Args) -> Result<(), String> {
@@ -167,7 +199,14 @@ fn cmd_app(args: &Args) -> Result<(), String> {
         "off" => false,
         other => return Err(format!("--lazy: on or off, not {other}")),
     };
-    let mut config = base_config(cpus, seed, KernelConfig { lazy_eval: lazy, ..Default::default() });
+    let mut config = base_config(
+        cpus,
+        seed,
+        KernelConfig {
+            lazy_eval: lazy,
+            ..Default::default()
+        },
+    );
     config.device_period = Some(Dur::millis(5));
     let report = match name {
         "mach" => run_machbuild(&config, &MachBuildConfig::default()),
@@ -182,9 +221,17 @@ fn cmd_app(args: &Args) -> Result<(), String> {
         report.runtime.as_micros_f64() / 1000.0,
         if lazy { "on" } else { "off" }
     );
-    let mut t = TextTable::new(vec!["pmap", "events", "time mean\u{b1}sd (us)", "median", "overhead %"]);
-    for (kind, records) in [("kernel", &report.kernel_initiators), ("user", &report.user_initiators)]
-    {
+    let mut t = TextTable::new(vec![
+        "pmap",
+        "events",
+        "time mean\u{b1}sd (us)",
+        "median",
+        "overhead %",
+    ]);
+    for (kind, records) in [
+        ("kernel", &report.kernel_initiators),
+        ("user", &report.user_initiators),
+    ] {
         let s = AppReport::elapsed_summary(records);
         t.add_row(vec![
             kind.into(),
@@ -196,8 +243,25 @@ fn cmd_app(args: &Args) -> Result<(), String> {
     }
     println!("{t}");
     if let Some(s) = report.responder_summary() {
-        println!("responders: {} events, mean {:.0} us", report.responders.len(), s.mean);
+        println!(
+            "responders: {} events, mean {:.0} us",
+            report.responders.len(),
+            s.mean
+        );
     }
+    println!(
+        "{}",
+        counters_table(&[
+            ("actions coalesced", report.stats.actions_coalesced),
+            (
+                "queue overflows avoided",
+                report.stats.queue_overflows_avoided
+            ),
+            ("TLB flushes (total)", report.tlb_flushes),
+            ("TLB flushes as epoch bumps", report.tlb_epoch_flushes),
+            ("TLB misses", report.tlb_misses),
+        ])
+    );
     println!("oracle: {}", verdict(&report));
     Ok(())
 }
@@ -212,7 +276,13 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
         let mut samples = Vec::new();
         for seed in 0..runs {
             let config = base_config(cpus, 3000 + seed, KernelConfig::default());
-            let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 40 });
+            let out = run_tester(
+                &config,
+                &TesterConfig {
+                    children: k,
+                    warmup_increments: 40,
+                },
+            );
             if out.mismatch || !out.report.consistent {
                 return Err(format!("k={k} seed={seed}: inconsistency!"));
             }
@@ -252,7 +322,13 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
             limit: Time::from_micros(120_000_000),
         };
         let k = (n - 1) as u32;
-        let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 20 });
+        let out = run_tester(
+            &config,
+            &TesterConfig {
+                children: k,
+                warmup_increments: 20,
+            },
+        );
         if out.mismatch || !out.report.consistent {
             return Err(format!("n={n}: inconsistency!"));
         }
@@ -261,6 +337,7 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
             out.shootdown.expect("shootdown").elapsed.as_micros_f64(),
             430.0 + 55.0 * f64::from(k)
         );
+        println!("       {}", hot_paths(&out.report));
         n *= 2;
     }
     Ok(())

@@ -9,16 +9,17 @@
 use machtlb::core::KernelConfig;
 use machtlb::sim::Time;
 use machtlb::tlb::TlbConfig;
-use machtlb::workloads::{
-    run_camelot, run_tester, CamelotConfig, RunConfig, TesterConfig,
-};
+use machtlb::workloads::{run_camelot, run_tester, CamelotConfig, RunConfig, TesterConfig};
 
 fn tagged_config(seed: u64) -> RunConfig {
     RunConfig {
         n_cpus: 8,
         seed,
         kconfig: KernelConfig {
-            tlb: TlbConfig { asid_tagged: true, ..TlbConfig::multimax() },
+            tlb: TlbConfig {
+                asid_tagged: true,
+                ..TlbConfig::multimax()
+            },
             ..KernelConfig::default()
         },
         device_period: None,
@@ -31,10 +32,17 @@ fn tagged_config(seed: u64) -> RunConfig {
 fn tester_is_consistent_with_tagged_tlbs() {
     let out = run_tester(
         &tagged_config(41),
-        &TesterConfig { children: 5, warmup_increments: 30 },
+        &TesterConfig {
+            children: 5,
+            warmup_increments: 30,
+        },
     );
     assert!(!out.mismatch);
-    assert!(out.report.consistent, "violations: {}", out.report.violations);
+    assert!(
+        out.report.consistent,
+        "violations: {}",
+        out.report.violations
+    );
     assert_eq!(out.children_dead, 5);
 }
 

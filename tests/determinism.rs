@@ -23,7 +23,10 @@ fn fingerprint(r: &AppReport) -> (u64, usize, usize, usize, Vec<u64>) {
         r.kernel_initiators.len(),
         r.user_initiators.len(),
         r.responders.len(),
-        r.kernel_initiators.iter().map(|i| i.elapsed.as_nanos()).collect(),
+        r.kernel_initiators
+            .iter()
+            .map(|i| i.elapsed.as_nanos())
+            .collect(),
     )
 }
 
@@ -37,7 +40,10 @@ fn tester_runs_are_bit_identical() {
 
 #[test]
 fn machbuild_runs_are_bit_identical() {
-    let cfg = MachBuildConfig { jobs: 6, ..MachBuildConfig::default() };
+    let cfg = MachBuildConfig {
+        jobs: 6,
+        ..MachBuildConfig::default()
+    };
     let a = run_machbuild(&config(6), &cfg);
     let b = run_machbuild(&config(6), &cfg);
     assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -45,7 +51,11 @@ fn machbuild_runs_are_bit_identical() {
 
 #[test]
 fn parthenon_runs_are_bit_identical() {
-    let cfg = ParthenonConfig { workers: 5, runs: 2, ..ParthenonConfig::default() };
+    let cfg = ParthenonConfig {
+        workers: 5,
+        runs: 2,
+        ..ParthenonConfig::default()
+    };
     let a = run_parthenon(&config(7), &cfg);
     let b = run_parthenon(&config(7), &cfg);
     assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -53,7 +63,12 @@ fn parthenon_runs_are_bit_identical() {
 
 #[test]
 fn agora_runs_are_bit_identical() {
-    let cfg = AgoraConfig { workers: 5, runs: 2, setup_ops: 6, ..AgoraConfig::default() };
+    let cfg = AgoraConfig {
+        workers: 5,
+        runs: 2,
+        setup_ops: 6,
+        ..AgoraConfig::default()
+    };
     let a = run_agora(&config(8), &cfg);
     let b = run_agora(&config(8), &cfg);
     assert_eq!(fingerprint(&a), fingerprint(&b));
@@ -76,7 +91,11 @@ fn camelot_runs_are_bit_identical() {
 #[test]
 fn different_seeds_differ() {
     // Guards against a stuck RNG: seeds must actually matter somewhere.
-    let cfg = ParthenonConfig { workers: 5, runs: 2, ..ParthenonConfig::default() };
+    let cfg = ParthenonConfig {
+        workers: 5,
+        runs: 2,
+        ..ParthenonConfig::default()
+    };
     let a = run_parthenon(&config(100), &cfg);
     let b = run_parthenon(&config(101), &cfg);
     assert_ne!(

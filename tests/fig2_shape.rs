@@ -12,7 +12,13 @@ fn basic_cost(k: u32, seed: u64) -> f64 {
         limit: Time::from_micros(30_000_000),
         ..RunConfig::multimax16(seed)
     };
-    let out = run_tester(&config, &TesterConfig { children: k, warmup_increments: 40 });
+    let out = run_tester(
+        &config,
+        &TesterConfig {
+            children: k,
+            warmup_increments: 40,
+        },
+    );
     assert!(!out.mismatch && out.report.consistent, "k={k}");
     out.shootdown.expect("shootdown").elapsed.as_micros_f64()
 }
@@ -27,10 +33,7 @@ fn basic_cost_stays_on_the_papers_line() {
     }
     // Monotone growth.
     for w in pts.windows(2) {
-        assert!(
-            w[1].1 > w[0].1,
-            "cost must grow with responders: {pts:?}"
-        );
+        assert!(w[1].1 > w[0].1, "cost must grow with responders: {pts:?}");
     }
     let fit = linear_fit(&pts).expect("fit");
     assert!(

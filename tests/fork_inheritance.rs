@@ -3,8 +3,9 @@
 //! implies for a multi-threaded parent), share-inherited ranges are
 //! read-write shared, and none-inherited ranges vanish from the child.
 
-use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp,
-    SwitchUserPmapProcess};
+use machtlb::core::{
+    drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, MemOp, SwitchUserPmapProcess,
+};
 use machtlb::pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
 use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
 use machtlb::vm::{
@@ -71,7 +72,9 @@ impl ForkScript {
         op: MemOp,
         expect: Result<Option<u64>, ()>,
     ) -> Option<Step> {
-        let acc = self.access.get_or_insert_with(|| UserAccess::new(task, a, op));
+        let acc = self
+            .access
+            .get_or_insert_with(|| UserAccess::new(task, a, op));
         match acc.step(ctx) {
             UserAccessStep::Yield(s) => Some(s),
             UserAccessStep::Finished(result, d) => {
@@ -124,19 +127,46 @@ impl Process<SystemState, ()> for ForkScript {
         let step = match self.step_no {
             0 => self.run_switch(ctx, parent),
             // Set up the three regions.
-            1 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(COPY_VPN)) }),
-            2 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(SHARE_VPN)) }),
-            3 => self.run_op(ctx, VmOp::Allocate { task: parent, pages: 1, at: Some(Vpn::new(NONE_VPN)) }),
-            4 => self.run_op(ctx, VmOp::SetInheritance {
-                task: parent,
-                range: PageRange::single(Vpn::new(SHARE_VPN)),
-                inheritance: Inheritance::Share,
-            }),
-            5 => self.run_op(ctx, VmOp::SetInheritance {
-                task: parent,
-                range: PageRange::single(Vpn::new(NONE_VPN)),
-                inheritance: Inheritance::None,
-            }),
+            1 => self.run_op(
+                ctx,
+                VmOp::Allocate {
+                    task: parent,
+                    pages: 1,
+                    at: Some(Vpn::new(COPY_VPN)),
+                },
+            ),
+            2 => self.run_op(
+                ctx,
+                VmOp::Allocate {
+                    task: parent,
+                    pages: 1,
+                    at: Some(Vpn::new(SHARE_VPN)),
+                },
+            ),
+            3 => self.run_op(
+                ctx,
+                VmOp::Allocate {
+                    task: parent,
+                    pages: 1,
+                    at: Some(Vpn::new(NONE_VPN)),
+                },
+            ),
+            4 => self.run_op(
+                ctx,
+                VmOp::SetInheritance {
+                    task: parent,
+                    range: PageRange::single(Vpn::new(SHARE_VPN)),
+                    inheritance: Inheritance::Share,
+                },
+            ),
+            5 => self.run_op(
+                ctx,
+                VmOp::SetInheritance {
+                    task: parent,
+                    range: PageRange::single(Vpn::new(NONE_VPN)),
+                    inheritance: Inheritance::None,
+                },
+            ),
             // Fill them.
             6 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Write(111), Ok(None)),
             7 => self.run_access(ctx, parent, va(SHARE_VPN), MemOp::Write(222), Ok(None)),
@@ -146,13 +176,43 @@ impl Process<SystemState, ()> for ForkScript {
             // The child sees the virtual copy and the shared page, not the
             // none-inherited page.
             10 => self.run_switch(ctx, child.expect("forked")),
-            11 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Read, Ok(Some(111))),
-            12 => self.run_access(ctx, child.expect("forked"), va(SHARE_VPN), MemOp::Read, Ok(Some(222))),
-            13 => self.run_access(ctx, child.expect("forked"), va(NONE_VPN), MemOp::Read, Err(())),
+            11 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(COPY_VPN),
+                MemOp::Read,
+                Ok(Some(111)),
+            ),
+            12 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(SHARE_VPN),
+                MemOp::Read,
+                Ok(Some(222)),
+            ),
+            13 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(NONE_VPN),
+                MemOp::Read,
+                Err(()),
+            ),
             // Child writes diverge on the copy range, propagate on the
             // shared range.
-            14 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Write(444), Ok(None)),
-            15 => self.run_access(ctx, child.expect("forked"), va(SHARE_VPN), MemOp::Write(555), Ok(None)),
+            14 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(COPY_VPN),
+                MemOp::Write(444),
+                Ok(None),
+            ),
+            15 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(SHARE_VPN),
+                MemOp::Write(555),
+                Ok(None),
+            ),
             // Parent still sees its own copy data, and the child's shared
             // write.
             16 => self.run_switch(ctx, parent),
@@ -162,7 +222,13 @@ impl Process<SystemState, ()> for ForkScript {
             19 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Write(666), Ok(None)),
             20 => self.run_access(ctx, parent, va(COPY_VPN), MemOp::Read, Ok(Some(666))),
             21 => self.run_switch(ctx, child.expect("forked")),
-            22 => self.run_access(ctx, child.expect("forked"), va(COPY_VPN), MemOp::Read, Ok(Some(444))),
+            22 => self.run_access(
+                ctx,
+                child.expect("forked"),
+                va(COPY_VPN),
+                MemOp::Read,
+                Ok(Some(444)),
+            ),
             _ => {
                 self.done = true;
                 return Step::Done(Dur::micros(1));
@@ -188,10 +254,22 @@ fn fork_inheritance_semantics() {
     let r = m.run_bounded(Time::from_micros(30_000_000), 50_000_000);
     assert_eq!(r.status, RunStatus::Quiescent);
     let s = m.shared();
-    assert!(s.kernel().checker.is_consistent(), "violations: {:?}",
-        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>());
+    assert!(
+        s.kernel().checker.is_consistent(),
+        "violations: {:?}",
+        s.kernel()
+            .checker
+            .violations()
+            .iter()
+            .take(3)
+            .collect::<Vec<_>>()
+    );
     assert!(s.vm().stats.cow_copies >= 2, "both sides copied privately");
-    assert_eq!(s.vm().stats.unrecoverable, 1, "exactly the none-inherited read");
+    assert_eq!(
+        s.vm().stats.unrecoverable,
+        1,
+        "exactly the none-inherited read"
+    );
 }
 
 /// A multi-threaded parent: forking from one processor shoots down the
@@ -279,7 +357,9 @@ impl Process<SystemState, ()> for Forker {
             return Step::Run(Dur::millis(2));
         }
         let parent = self.parent;
-        let op = self.op.get_or_insert_with(|| VmOpProcess::new(VmOp::Fork { parent }));
+        let op = self
+            .op
+            .get_or_insert_with(|| VmOpProcess::new(VmOp::Fork { parent }));
         match drive(op, ctx) {
             Driven::Yield(s) => s,
             Driven::Finished(d) => Step::Done(d),
@@ -314,7 +394,11 @@ fn fork_shoots_down_the_running_parent() {
             }
             let task = self.task;
             let op = self.op.get_or_insert_with(|| {
-                VmOpProcess::new(VmOp::Allocate { task, pages: 1, at: Some(Vpn::new(COPY_VPN)) })
+                VmOpProcess::new(VmOp::Allocate {
+                    task,
+                    pages: 1,
+                    at: Some(Vpn::new(COPY_VPN)),
+                })
             });
             match drive(op, ctx) {
                 Driven::Yield(s) => s,
@@ -376,7 +460,11 @@ fn fork_shoots_down_the_running_parent() {
         CpuId::new(1),
         Time::ZERO,
         Box::new(Cpu1 {
-            inner: Setup { task: parent, op: None, then: None },
+            inner: Setup {
+                task: parent,
+                op: None,
+                then: None,
+            },
             exit_idle: Some(ExitIdleProcess::new()),
             switch: None,
             task: parent,
@@ -385,13 +473,26 @@ fn fork_shoots_down_the_running_parent() {
     m.spawn_at(
         CpuId::new(0),
         Time::from_micros(100),
-        Box::new(Forker { parent, exit_idle: Some(ExitIdleProcess::new()), op: None, waited: false }),
+        Box::new(Forker {
+            parent,
+            exit_idle: Some(ExitIdleProcess::new()),
+            op: None,
+            waited: false,
+        }),
     );
     let r = m.run_bounded(Time::from_micros(60_000_000), 100_000_000);
     assert_eq!(r.status, RunStatus::Quiescent);
     let s = m.shared();
-    assert!(s.kernel().checker.is_consistent(), "violations: {:?}",
-        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>());
+    assert!(
+        s.kernel().checker.is_consistent(),
+        "violations: {:?}",
+        s.kernel()
+            .checker
+            .violations()
+            .iter()
+            .take(3)
+            .collect::<Vec<_>>()
+    );
     assert!(
         s.kernel().stats.shootdowns_user >= 1,
         "forking a running multi-threaded parent must shoot it down"
@@ -400,5 +501,9 @@ fn fork_shoots_down_the_running_parent() {
         s.vm().stats.cow_copies >= 1,
         "the parent's post-fork writes copy on write"
     );
-    assert_eq!(s.vm().stats.unrecoverable, 0, "nobody dies: COW resolves the faults");
+    assert_eq!(
+        s.vm().stats.unrecoverable,
+        0,
+        "nobody dies: COW resolves the faults"
+    );
 }

@@ -2,8 +2,8 @@
 //! the big runs exercise only incidentally.
 
 use machtlb::core::{
-    build_kernel_machine, drive, try_access, AccessOutcome, Driven, ExitIdleProcess,
-    KernelConfig, MemOp, PmapOp, PmapOpProcess,
+    build_kernel_machine, drive, try_access, AccessOutcome, Driven, ExitIdleProcess, KernelConfig,
+    MemOp, PmapOp, PmapOpProcess,
 };
 use machtlb::pmap::{PageRange, PmapId, Prot, Pte, Vaddr, Vpn};
 use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time};
@@ -56,9 +56,7 @@ fn interlocked_writeback_faults_on_invalidated_mapping() {
                         AccessOutcome::Stall { .. } => "stall",
                     });
                     // The stale entry must be gone from the buffer too.
-                    assert!(ctx
-                        .shared
-                        .tlbs[ctx.cpu_id.index()]
+                    assert!(ctx.shared.tlbs[ctx.cpu_id.index()]
                         .peek(self.pmap, self.va.vpn())
                         .is_none());
                     Step::Done(Dur::micros(1))
@@ -91,7 +89,12 @@ fn interlocked_writeback_faults_on_invalidated_mapping() {
     m.spawn_at(
         CpuId::new(0),
         Time::ZERO,
-        Box::new(Probe { pmap, va, stage: 0, outcome: None }),
+        Box::new(Probe {
+            pmap,
+            va,
+            stage: 0,
+            outcome: None,
+        }),
     );
     let r = m.run(Time::from_micros(10_000));
     assert_eq!(r.status, RunStatus::Quiescent);
@@ -128,7 +131,11 @@ fn software_reload_stalls_while_pmap_locked() {
                 self.hold_chunks -= 1;
                 return Step::Run(Dur::micros(25));
             }
-            ctx.shared.pmaps.get_mut(self.pmap).lock_mut().release(ctx.cpu_id);
+            ctx.shared
+                .pmaps
+                .get_mut(self.pmap)
+                .lock_mut()
+                .release(ctx.cpu_id);
             Step::Done(Dur::micros(1))
         }
         fn label(&self) -> &'static str {
@@ -187,9 +194,18 @@ fn software_reload_stalls_while_pmap_locked() {
     m.spawn_at(
         CpuId::new(1),
         Time::ZERO,
-        Box::new(Locker { pmap, hold_chunks: 20, locked: false }),
+        Box::new(Locker {
+            pmap,
+            hold_chunks: 20,
+            locked: false,
+        }),
     );
-    let misser = Misser { pmap, va, stalls: 0, done_at: None };
+    let misser = Misser {
+        pmap,
+        va,
+        stalls: 0,
+        done_at: None,
+    };
     m.spawn_at(CpuId::new(0), Time::from_micros(100), Box::new(misser));
     let r = m.run(Time::from_micros(100_000));
     assert_eq!(r.status, RunStatus::Quiescent);
@@ -277,7 +293,9 @@ fn one_responder_instance_services_concurrent_shootdowns() {
                 self.idx += 1;
                 self.running = Some(PmapOpProcess::new(
                     self.pmap,
-                    PmapOp::Remove { range: PageRange::new(Vpn::new(v), 1) },
+                    PmapOp::Remove {
+                        range: PageRange::new(Vpn::new(v), 1),
+                    },
                 ));
             }
             match drive(self.running.as_mut().expect("set"), ctx) {
@@ -347,7 +365,11 @@ fn one_responder_instance_services_concurrent_shootdowns() {
     // never removed), so stop on time.
     let _ = m.run_bounded(Time::from_micros(100_000), 10_000_000);
     let s = m.shared();
-    assert!(s.checker.is_consistent(), "violations: {:?}", s.checker.violations());
+    assert!(
+        s.checker.is_consistent(),
+        "violations: {:?}",
+        s.checker.violations()
+    );
     assert_eq!(s.stats.shootdowns_user, 8, "all eight removes shot down");
     let interrupts = m.cpu(CpuId::new(2)).stats().interrupts;
     assert!(

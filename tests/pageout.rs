@@ -6,8 +6,9 @@
 use machtlb::core::{drive, Driven, HasKernel, MemOp};
 use machtlb::pmap::{Vaddr, Vpn, PAGE_SIZE};
 use machtlb::sim::{CpuId, Ctx, Dur, Process, Step, Time};
-use machtlb::vm::{HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess,
-    USER_SPAN_START};
+use machtlb::vm::{
+    HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+};
 use machtlb::workloads::{
     build_workload_machine, install_pageout, run_until_done, AppShared, PageoutConfig, RunConfig,
     ThreadShell, WlState,
@@ -138,7 +139,14 @@ fn pageout_evicts_cold_pages_and_refaults_resolve() {
         let (k, vm) = s.kernel_and_vm();
         vm.create_task(k)
     };
-    install_pageout(&mut m, CpuId::new(0), PageoutConfig { period: Dur::millis(1), batch: 8 });
+    install_pageout(
+        &mut m,
+        CpuId::new(0),
+        PageoutConfig {
+            period: Dur::millis(1),
+            batch: 8,
+        },
+    );
     let worker = ThreadShell::new(
         task,
         Worker {
@@ -160,7 +168,12 @@ fn pageout_evicts_cold_pages_and_refaults_resolve() {
     assert!(
         kernel.checker.is_consistent(),
         "violations: {:?}",
-        kernel.checker.violations().iter().take(3).collect::<Vec<_>>()
+        kernel
+            .checker
+            .violations()
+            .iter()
+            .take(3)
+            .collect::<Vec<_>>()
     );
     assert!(kernel.stats.pageouts > 0, "cold pages must be evicted");
     assert!(

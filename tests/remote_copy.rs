@@ -49,7 +49,11 @@ impl Process<SystemState, ()> for CopyScript {
                     (self.b, DST_VPN)
                 };
                 let op = self.op.get_or_insert_with(|| {
-                    VmOpProcess::new(VmOp::Allocate { task, pages: 1, at: Some(Vpn::new(vpn)) })
+                    VmOpProcess::new(VmOp::Allocate {
+                        task,
+                        pages: 1,
+                        at: Some(Vpn::new(vpn)),
+                    })
                 });
                 match drive(op, ctx) {
                     Driven::Yield(s) => s,
@@ -288,8 +292,7 @@ fn racing_deallocation_shoots_the_copier() {
         let _ = pb;
         let obj_a = s.vm.objects.create();
         let obj_b = s.vm.objects.create();
-        s.vm
-            .task_mut(a)
+        s.vm.task_mut(a)
             .map_mut()
             .insert(machtlb::vm::VmEntry {
                 range: PageRange::new(Vpn::new(SRC_VPN), 1),
@@ -300,8 +303,7 @@ fn racing_deallocation_shoots_the_copier() {
                 inheritance: machtlb::vm::Inheritance::Copy,
             })
             .expect("fits");
-        s.vm
-            .task_mut(b)
+        s.vm.task_mut(b)
             .map_mut()
             .insert(machtlb::vm::VmEntry {
                 range: PageRange::new(Vpn::new(DST_VPN), 1),
@@ -329,7 +331,12 @@ fn racing_deallocation_shoots_the_copier() {
     m.spawn_at(
         CpuId::new(1),
         Time::from_micros(100),
-        Box::new(Deallocator { a, exit_idle: Some(ExitIdleProcess::new()), op: None, waited: false }),
+        Box::new(Deallocator {
+            a,
+            exit_idle: Some(ExitIdleProcess::new()),
+            op: None,
+            waited: false,
+        }),
     );
     let r = m.run_bounded(Time::from_micros(60_000_000), 100_000_000);
     assert_eq!(r.status, RunStatus::Quiescent);
@@ -337,7 +344,12 @@ fn racing_deallocation_shoots_the_copier() {
     assert!(
         s.kernel().checker.is_consistent(),
         "violations: {:?}",
-        s.kernel().checker.violations().iter().take(3).collect::<Vec<_>>()
+        s.kernel()
+            .checker
+            .violations()
+            .iter()
+            .take(3)
+            .collect::<Vec<_>>()
     );
     assert!(
         s.kernel().stats.shootdowns_user >= 1,

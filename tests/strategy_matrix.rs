@@ -6,8 +6,7 @@ use machtlb::core::{KernelConfig, Strategy};
 use machtlb::sim::Time;
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
 use machtlb::workloads::{
-    run_camelot, run_machbuild, run_tester, CamelotConfig, MachBuildConfig, RunConfig,
-    TesterConfig,
+    run_camelot, run_machbuild, run_tester, CamelotConfig, MachBuildConfig, RunConfig, TesterConfig,
 };
 
 fn kconfig_for(strategy: Strategy) -> KernelConfig {
@@ -53,9 +52,15 @@ fn tester_is_consistent_under_every_correct_strategy() {
     for strategy in CORRECT_STRATEGIES {
         let out = run_tester(
             &config(strategy, 31),
-            &TesterConfig { children: 5, warmup_increments: 30 },
+            &TesterConfig {
+                children: 5,
+                warmup_increments: 30,
+            },
         );
-        assert!(!out.mismatch, "{strategy}: counters advanced after reprotect");
+        assert!(
+            !out.mismatch,
+            "{strategy}: counters advanced after reprotect"
+        );
         assert!(out.report.consistent, "{strategy}: oracle violations");
         assert_eq!(out.children_dead, 5, "{strategy}: children must die");
     }
@@ -110,10 +115,22 @@ fn naive_strategy_is_refuted_by_the_oracle() {
     // The strawman of Section 3 must fail, or the oracle is vacuous.
     use machtlb::workloads::{build_workload_machine, install_tester, AppShared};
     let mut c = config(Strategy::NaiveFlush, 37);
-    c.kconfig = KernelConfig { strategy: Strategy::NaiveFlush, ..KernelConfig::default() };
+    c.kconfig = KernelConfig {
+        strategy: Strategy::NaiveFlush,
+        ..KernelConfig::default()
+    };
     let mut m = build_workload_machine(&c, AppShared::None);
-    install_tester(&mut m, &TesterConfig { children: 4, warmup_increments: 30 });
+    install_tester(
+        &mut m,
+        &TesterConfig {
+            children: 4,
+            warmup_increments: 30,
+        },
+    );
     let _ = m.run_bounded(Time::from_micros(3_000_000), 200_000_000);
     let kernel = machtlb::core::HasKernel::kernel(m.shared());
-    assert!(!kernel.checker.is_consistent(), "the oracle must catch the naive strategy");
+    assert!(
+        !kernel.checker.is_consistent(),
+        "the oracle must catch the naive strategy"
+    );
 }

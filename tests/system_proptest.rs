@@ -6,8 +6,8 @@ use machtlb::core::{drive, Driven, ExitIdleProcess, HasKernel, KernelConfig, Mem
 use machtlb::pmap::{PageRange, Prot, Vaddr, Vpn};
 use machtlb::sim::{CostModel, CpuId, Ctx, Dur, MachineConfig, Process, Step, Time};
 use machtlb::vm::{
-    build_system_machine, SystemState, TaskId, UserAccess, UserAccessResult,
-    UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
+    build_system_machine, SystemState, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp,
+    VmOpProcess, USER_SPAN_START,
 };
 use proptest::prelude::*;
 
@@ -32,8 +32,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (page.clone(), 0u64..1000).prop_map(|(p, v)| Op::Write { page: p, value: v }),
         page.clone().prop_map(|p| Op::Read { page: p }),
-        (page.clone(), len.clone(), any::<bool>())
-            .prop_map(|(p, l, w)| Op::Protect { page: p, len: l, writable: w }),
+        (page.clone(), len.clone(), any::<bool>()).prop_map(|(p, l, w)| Op::Protect {
+            page: p,
+            len: l,
+            writable: w
+        }),
         (page.clone(), len.clone()).prop_map(|(p, l)| Op::Deallocate { page: p, len: l }),
         (page, len).prop_map(|(p, l)| Op::Allocate { page: p, len: l }),
         (10u64..500).prop_map(|m| Op::Compute { micros: m }),
@@ -77,8 +80,7 @@ impl Process<SystemState, ()> for ScriptThread {
                 Driven::Finished(d) => {
                     self.exit_idle = None;
                     let pmap = ctx.shared.vm.pmap_of(self.task);
-                    self.switch =
-                        Some(machtlb::core::SwitchUserPmapProcess::new(Some(pmap)));
+                    self.switch = Some(machtlb::core::SwitchUserPmapProcess::new(Some(pmap)));
                     Step::Run(d)
                 }
             };
@@ -128,9 +130,17 @@ impl Process<SystemState, ()> for ScriptThread {
                 let va = Vaddr::new((BASE + page) * 4096 + 16);
                 self.access = Some(UserAccess::new(self.task, va, MemOp::Read));
             }
-            Op::Protect { page, len, writable } => {
+            Op::Protect {
+                page,
+                len,
+                writable,
+            } => {
                 let len = len.min(WINDOW - page);
-                let prot = if writable { Prot::READ_WRITE } else { Prot::READ };
+                let prot = if writable {
+                    Prot::READ_WRITE
+                } else {
+                    Prot::READ
+                };
                 self.op = Some(VmOpProcess::new(VmOp::Protect {
                     task: self.task,
                     range: PageRange::new(Vpn::new(BASE + page), len),
@@ -151,7 +161,13 @@ impl Process<SystemState, ()> for ScriptThread {
                 let len = len.min(WINDOW - page);
                 let occupied = {
                     let range = PageRange::new(Vpn::new(BASE + page), len);
-                    ctx.shared.vm.task(self.task).map().entries_in(range).next().is_some()
+                    ctx.shared
+                        .vm
+                        .task(self.task)
+                        .map()
+                        .entries_in(range)
+                        .next()
+                        .is_some()
                 };
                 if occupied {
                     self.idx += 1;

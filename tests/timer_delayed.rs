@@ -36,7 +36,13 @@ fn timer_config(seed: u64, period_ms: u64) -> RunConfig {
 fn delayed_flush_is_consistent_under_its_own_model() {
     let config = timer_config(61, 2);
     let mut m = build_workload_machine(&config, AppShared::None);
-    install_tester(&mut m, &TesterConfig { children: 4, warmup_increments: 30 });
+    install_tester(
+        &mut m,
+        &TesterConfig {
+            children: 4,
+            warmup_increments: 30,
+        },
+    );
     let _ = m.run_bounded(Time::from_micros(20_000_000), 500_000_000);
     let s = m.shared();
     let t = s.tester();
@@ -53,10 +59,18 @@ fn delayed_flush_is_consistent_under_its_own_model() {
     assert!(
         kernel.checker.is_consistent(),
         "violations under the deferred model: {:?}",
-        kernel.checker.violations().iter().take(3).collect::<Vec<_>>()
+        kernel
+            .checker
+            .violations()
+            .iter()
+            .take(3)
+            .collect::<Vec<_>>()
     );
     // Every child eventually faults on a post-flush access and dies.
-    assert_eq!(t.children_dead, 4, "children must die once their processor flushes");
+    assert_eq!(
+        t.children_dead, 4,
+        "children must die once their processor flushes"
+    );
     // All deferred commits matured.
     assert!(
         kernel.pending_commits.is_empty(),
@@ -109,7 +123,13 @@ fn shorter_flush_period_shrinks_the_staleness_window() {
     let run_until_dead = |period_ms: u64| {
         let config = timer_config(91, period_ms);
         let mut m = build_workload_machine(&config, AppShared::None);
-        install_tester(&mut m, &TesterConfig { children: 4, warmup_increments: 30 });
+        install_tester(
+            &mut m,
+            &TesterConfig {
+                children: 4,
+                warmup_increments: 30,
+            },
+        );
         // Run until all children have died.
         let mut frontier = Time::ZERO;
         for _ in 0..10_000 {
@@ -119,7 +139,11 @@ fn shorter_flush_period_shrinks_the_staleness_window() {
                 break;
             }
         }
-        assert_eq!(m.shared().tester().children_dead, 4, "period {period_ms} ms");
+        assert_eq!(
+            m.shared().tester().children_dead,
+            4,
+            "period {period_ms} ms"
+        );
         frontier
     };
     let fast = run_until_dead(1);

@@ -1,0 +1,236 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment this repository targets has no crates.io access,
+//! so the workspace patches `criterion` to this vendored implementation
+//! (see `[patch.crates-io]` in the root `Cargo.toml`). It keeps the macro
+//! and builder surface the benches use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`iter_batched`](Bencher::iter_batched) — and measures
+//! with plain wall-clock sampling: no statistics, plots, or baselines.
+//! Each benchmark prints its median per-iteration time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; only the variants the benches
+/// name exist, and all behave identically here (one setup per measured
+/// call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input of unknown size.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn measure_samples(&mut self, mut one_sample: impl FnMut(u64) -> Duration) {
+        // Warm up, then calibrate the per-sample iteration count so one
+        // sample takes roughly a few hundred microseconds.
+        let mut iters = 1u64;
+        loop {
+            let t = one_sample(iters);
+            if t > Duration::from_micros(200) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+        const SAMPLES: usize = 31;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            self.samples.push(one_sample(iters));
+        }
+    }
+
+    /// Times `routine`, called in a tight loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.measure_samples(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.measure_samples(|iters| {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+
+    fn median_per_iter(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2] / (self.iters_per_sample.min(u64::from(u32::MAX)) as u32)
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    let per_iter = b.median_per_iter();
+    println!("{id:<40} time: [{}]", format_duration(per_iter));
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // ignore criterion CLI flags we don't implement.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        if self.matches(id) {
+            run_one(id, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut BenchmarkGroup<'c> {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(&full, &mut f);
+        }
+        self
+    }
+
+    /// Consumes the group (kept for API compatibility; reporting is
+    /// immediate).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_measure() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("iter", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            });
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+    }
+}

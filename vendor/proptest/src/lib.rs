@@ -1,0 +1,653 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment this repository targets has no crates.io access, so
+//! the workspace patches `proptest` to this vendored implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). It provides the surface
+//! the repository's property tests use — the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`prop_oneof!`],
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range and tuple
+//! strategies, [`Just`](strategy::Just), [`any`](arbitrary::any), and
+//! [`collection::vec`] — with random generation and failure reporting but
+//! no shrinking: a failing case panics with the generated inputs so it can
+//! be minimised by hand or replayed.
+//!
+//! Generation is deterministic per test function and case index, so
+//! failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The deterministic generator threaded through strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// The next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index below `bound` (which must be nonzero).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Widening multiply; the slight bias is irrelevant for test
+            // generation.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike real proptest there is no shrinking tree: a strategy simply
+    /// produces a value from the test RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Filters generated values (regenerates until `f` accepts, up to a
+        /// bounded number of attempts).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Object-safe strategy used by [`BoxedStrategy`] and
+    /// [`Union`](crate::strategy::Union).
+    pub trait DynStrategy {
+        /// The type of generated values.
+        type Value: Debug;
+        /// Generates one value.
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+        }
+    }
+
+    /// A strategy that always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A uniform choice between boxed strategies (built by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn DynStrategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union of the given arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn DynStrategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].dyn_generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($ty:ty) => {
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    (*self.start() as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        };
+    }
+
+    int_strategy!(u8);
+    int_strategy!(u16);
+    int_strategy!(u32);
+    int_strategy!(u64);
+    int_strategy!(usize);
+    int_strategy!(i8);
+    int_strategy!(i16);
+    int_strategy!(i32);
+    int_strategy!(i64);
+    int_strategy!(isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for types with a canonical strategy.
+
+    use super::strategy::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($ty:ty) => {
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        };
+    }
+
+    arb_int!(u8);
+    arb_int!(u16);
+    arb_int!(u32);
+    arb_int!(u64);
+    arb_int!(usize);
+    arb_int!(i8);
+    arb_int!(i16);
+    arb_int!(i32);
+    arb_int!(i64);
+    arb_int!(isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The driver behind the [`proptest!`](crate::proptest) macro.
+
+    use super::strategy::TestRng;
+
+    /// Why a test case failed.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert!` failure.
+        Fail(String),
+        /// The case asked to be discarded (`prop_assume!`; unused here).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Runner configuration (field-compatible subset of proptest's).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+        /// Unused; kept for struct-update compatibility.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Runs `body` for `config.cases` deterministic cases. `body` receives
+    /// the case RNG and returns the formatted inputs on failure via
+    /// `Err((inputs, error))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case.
+    pub fn run(
+        config: &Config,
+        source: &str,
+        body: impl Fn(&mut TestRng) -> Result<(), (String, String)>,
+    ) {
+        for case in 0..config.cases {
+            // Deterministic per test site and case so failures replay.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in source.bytes() {
+                seed = (seed ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            seed ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::new(seed);
+            if let Err((inputs, error)) = body(&mut rng) {
+                panic!(
+                    "proptest case {case}/{total} failed at {source}\n\
+                     inputs:\n{inputs}\nerror: {error}",
+                    total = config.cases,
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// A uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<
+                dyn $crate::strategy::DynStrategy<Value = _>,
+            >),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __source = concat!(file!(), "::", stringify!($name));
+            $crate::test_runner::run(&__config, __source, |__rng| {
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&$strategy, __rng);
+                    __inputs.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($pat),
+                        __value
+                    ));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ::std::result::Result::Ok(())
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::result::Result::Err((__inputs, format!("{e:?}")))
+                    }
+                    ::std::result::Result::Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<::std::string::String>().cloned())
+                            .unwrap_or_else(|| "non-string panic".to_string());
+                        ::std::result::Result::Err((__inputs, format!("panic: {msg}")))
+                    }
+                }
+            });
+        }
+    )* };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_generate_in_bounds() {
+        use crate::strategy::{Strategy, TestRng};
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![
+            (0u64..10).prop_map(|v| v),
+            Just(99u64),
+            (20u64..=29).prop_map(|v| v),
+        ];
+        for _ in 0..200 {
+            let v: u64 = s.generate(&mut rng);
+            assert!(v < 10 || v == 99 || (20..=29).contains(&v), "{v}");
+        }
+        let vecs = crate::collection::vec(0u8..5, 2..6);
+        for _ in 0..100 {
+            let v = vecs.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 1u64..100, flip in any::<bool>()) {
+            prop_assert!((1..100).contains(&x));
+            let y = if flip { x } else { x + 1 };
+            prop_assert_ne!(y, 0);
+            prop_assert_eq!(x.min(y), x.min(y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

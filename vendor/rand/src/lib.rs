@@ -1,0 +1,378 @@
+//! Offline, API-compatible subset of the `rand` 0.8 crate.
+//!
+//! The build environment this repository targets has no crates.io access, so
+//! the workspace patches `rand` to this vendored implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). Only the surface the
+//! simulator uses is provided: [`SmallRng`](rngs::SmallRng) seeded via
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] / [`Rng::gen_bool`]
+//! over integer and float ranges.
+//!
+//! The algorithms mirror rand 0.8.5 bit for bit — xoshiro256++ for
+//! `SmallRng` (with the SplitMix64 `seed_from_u64` expansion), widening
+//! multiply-and-reject for uniform integers, and the `[1, 2)` mantissa trick
+//! for uniform floats — so simulations produce the same deterministic
+//! sequences the seed corpus was generated with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed accepted by [`from_seed`](SeedableRng::from_seed).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 as
+    /// rand 0.8's xoshiro generators do.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that have a uniform sampler over `low..high` domains.
+///
+/// Mirroring rand's structure — a single blanket [`SampleRange`] impl per
+/// range type, dispatching through this trait — matters for type
+/// inference: `rng.gen_range(0..100) < some_u32` must unify the literal
+/// with `u32`, which per-range-type impls would not allow.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// A uniform sample from `low..high` (half-open; callers guarantee
+    /// `low < high`).
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// A uniform sample from `low..=high` (callers guarantee
+    /// `low <= high`).
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges that can be sampled uniformly (the subset of rand's
+/// `SampleRange` the simulator uses).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// User-facing convenience methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        Rr: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        // rand 0.8's Bernoulli: compare 64 random bits against p * 2^64.
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The rejection zone for a widening-multiply uniform sample, as rand
+/// 0.8.5 computes it: small (8/16-bit) domains pay an exact modulo, larger
+/// ones use the cheaper shift approximation.
+macro_rules! uniform_zone {
+    (small, $range:ident, $u_large:ty) => {{
+        let unsigned_max: $u_large = <$u_large>::MAX;
+        let ints_to_reject = (unsigned_max - $range + 1) % $range;
+        unsigned_max - ints_to_reject
+    }};
+    (large, $range:ident, $u_large:ty) => {
+        ($range << $range.leading_zeros()).wrapping_sub(1)
+    };
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident, $zone_kind:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                // rand 0.8.5 UniformInt::sample_single: widening multiply
+                // with a rejection zone over range = high - low.
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let zone = uniform_zone!($zone_kind, range, $u_large);
+                loop {
+                    let v: $u_large = $gen(rng);
+                    let (hi, lo) = wmul_sp(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The range spans the whole domain.
+                    return $gen(rng) as $ty;
+                }
+                let zone = uniform_zone!($zone_kind, range, $u_large);
+                loop {
+                    let v: $u_large = $gen(rng);
+                    let (hi, lo) = wmul_sp(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+    rng.next_u32()
+}
+
+fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+/// Widening multiply returning `(high, low)` words, generic over the two
+/// word sizes used by the integer samplers.
+trait WideMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let wide = u64::from(self) * u64::from(other);
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let wide = u128::from(self) * u128::from(other);
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+fn wmul_sp<T: WideMul>(a: T, b: T) -> (T, T) {
+    a.wmul(b)
+}
+
+uniform_int!(u8, u8, u32, gen_u32, small);
+uniform_int!(u16, u16, u32, gen_u32, small);
+uniform_int!(u32, u32, u32, gen_u32, large);
+uniform_int!(u64, u64, u64, gen_u64, large);
+uniform_int!(usize, usize, u64, gen_u64, large);
+uniform_int!(i8, u8, u32, gen_u32, small);
+uniform_int!(i16, u16, u32, gen_u32, small);
+uniform_int!(i32, u32, u32, gen_u32, large);
+uniform_int!(i64, u64, u64, gen_u64, large);
+uniform_int!(isize, usize, u64, gen_u64, large);
+
+macro_rules! uniform_float {
+    ($ty:ty, $bits_to_discard:expr, $exp_bias_bits:expr, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): random mantissa, exponent 0.
+                    let bits = $gen(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exp_bias_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                let scale = high - low;
+                let bits = $gen(rng) >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits(bits | $exp_bias_bits);
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res > high {
+                    high
+                } else {
+                    res
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(f32, 32 - 23, 127u32 << 23, gen_u32);
+uniform_float!(f64, 64 - 52, 1023u64 << 52, gen_u64);
+
+pub mod rngs {
+    //! The generator types the simulator uses.
+
+    use super::{RngCore, SeedableRng};
+
+    /// rand 0.8's small fast generator: xoshiro256++.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // The lowest bits have linear dependencies; use the upper ones,
+            // as rand 0.8's vendored xoshiro256++ does.
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            if seed.iter().all(|&b| b == 0) {
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        // Reference sequence for the raw xoshiro256++ core with state
+        // [1, 2, 3, 4] (from the algorithm's public reference
+        // implementation).
+        let mut rng = SmallRng::from_seed({
+            let mut seed = [0u8; 32];
+            seed[0] = 1;
+            seed[8] = 2;
+            seed[16] = 3;
+            seed[24] = 4;
+            seed
+        });
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expected {
+            assert_eq!(super::RngCore::next_u64(&mut rng), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xa: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let xc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = rng.gen_range(5u64..25);
+            assert!((5..25).contains(&v));
+            let w = rng.gen_range(1u32..=6);
+            assert!((1..=6).contains(&w));
+            let f = rng.gen_range(0.05f64..1.95);
+            assert!((0.05..1.95).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.03)).count();
+        assert!(hits > 150 && hits < 500, "p=0.03 over 10k draws: {hits}");
+    }
+}
