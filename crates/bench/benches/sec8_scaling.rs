@@ -198,6 +198,10 @@ fn basic_cost_us(n_cpus: usize, k: u32, seed: u64) -> f64 {
 }
 
 fn main() {
+    // MACHTLB_SMOKE: a seconds-scale subset for CI — the small machine
+    // sizes only, skipping the 100-processor point and the pool studies.
+    let smoke = std::env::var_os("MACHTLB_SMOKE").is_some();
+
     println!("Section 8/11: basic shootdown cost on larger machines");
     println!("(scalable-interconnect assumption above 16 processors; see module docs)");
     println!();
@@ -209,7 +213,12 @@ fn main() {
         "measured (us)",
         "paper line (us)",
     ]);
-    for &n in &[16usize, 32, 64, 128, 256] {
+    let sizes: &[usize] = if smoke {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+    for &n in sizes {
         let k = (n - 1) as u32;
         let measured = basic_cost_us(n, k, 900 + n as u64);
         t.add_row(vec![
@@ -220,6 +229,10 @@ fn main() {
         ]);
     }
     println!("{t}");
+    if smoke {
+        println!("(smoke mode: 100-processor point and pool studies skipped)");
+        return;
+    }
     println!("paper's extrapolation at 100 processors: ~6 ms (6000 us)");
     let at_100 = basic_cost_us(101, 100, 999);
     println!("measured at 100 responders:              {at_100:.0} us");

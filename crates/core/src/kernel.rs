@@ -3,13 +3,13 @@
 
 use machtlb_pmap::PmapId;
 use machtlb_sim::{
-    CostModel, CpuId, Ctx, Dur, IntrClass, IntrMask, Machine, MachineConfig, Process, Step, Time,
-    Vector,
+    BlockOn, CostModel, CpuId, Ctx, Dur, IntrClass, IntrMask, Machine, MachineConfig, Process,
+    Step, Time, Vector,
 };
 use rand::Rng;
 
 use crate::responder::ResponderProcess;
-use crate::state::{HasKernel, KernelConfig, KernelState};
+use crate::state::{HasKernel, KernelConfig, KernelState, SpinMode, SYNC_CHANNEL};
 
 /// The device-interrupt vector (disk/network/clock background activity).
 pub const DEVICE_VECTOR: Vector = Vector::new(0);
@@ -253,6 +253,9 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
                             .pmaps
                             .get_mut(old)
                             .mark_not_in_use(me);
+                        // Dropping out of the user set can satisfy an
+                        // initiator's wait or change its queue scan.
+                        ctx.notify(SYNC_CHANNEL);
                         cost += ctx.bus_write();
                     }
                 }
@@ -263,7 +266,14 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
                 if let Some(new) = self.new {
                     let lock = ctx.shared.kernel_mut().pmaps.get(new).lock();
                     if lock.is_locked() && !lock.is_held_by(me) {
-                        return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                        let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                        let chan = ctx.shared.kernel().pmaps.get(new).lock().channel();
+                        if let (SpinMode::Event, Some(chan)) =
+                            (ctx.shared.kernel().config.spin_mode, chan)
+                        {
+                            return Step::Block(BlockOn::one(chan, spin));
+                        }
+                        return Step::Run(spin);
                     }
                 }
                 self.phase = SwitchPhase::AttachNew;
@@ -274,6 +284,9 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
                 if let Some(new) = self.new {
                     ctx.shared.kernel_mut().pmaps.get_mut(new).mark_in_use(me);
                     ctx.shared.kernel_mut().cur_user_pmap[me.index()] = Some(new);
+                    // Joining the user set can redirect a blocked
+                    // initiator's queue scan to this processor.
+                    ctx.notify(SYNC_CHANNEL);
                     cost += ctx.bus_write();
                 }
                 Step::Done(cost)

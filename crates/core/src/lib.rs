@@ -80,8 +80,8 @@ pub use op::{OpOutcome, PmapOp, PmapOpProcess};
 pub use queue::{Action, ActionQueue, EnqueueOutcome};
 pub use responder::{enter_idle, ExitIdleProcess, ResponderProcess};
 pub use state::{
-    FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats, PendingCommit, PhysMem,
-    PmapRegistry, WORDS_PER_PAGE,
+    queue_lock_channel, FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats,
+    PendingCommit, PhysMem, PmapRegistry, SpinMode, SYNC_CHANNEL, WORDS_PER_PAGE,
 };
 pub use strategy::{Strategy, StrategyHardwareError};
 

@@ -24,12 +24,12 @@
 //! synchronization phases but share locking and application.
 
 use machtlb_pmap::{PageRange, Pfn, PmapId, Prot, Pte, Vpn};
-use machtlb_sim::{CpuId, Ctx, Dur, IntrMask, Process, Step, Time};
+use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, IntrMask, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent};
 
 use crate::queue::Action;
-use crate::state::{HasKernel, KernelState};
+use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
 use crate::strategy::Strategy;
 use crate::SHOOTDOWN_VECTOR;
 
@@ -152,6 +152,10 @@ pub struct PmapOpProcess {
     changes_planned: bool,
     applied: usize,
     outcome: OpOutcome,
+    /// The queue lock this process event-blocked on, so the wakeup's
+    /// backfilled spin iterations are charged to the right lock even if
+    /// the pmap's user set changed while it slept.
+    spun_on_queue: Option<CpuId>,
 }
 
 impl PmapOpProcess {
@@ -172,6 +176,7 @@ impl PmapOpProcess {
             changes_planned: false,
             applied: 0,
             outcome: OpOutcome::default(),
+            spun_on_queue: None,
         }
     }
 
@@ -323,25 +328,32 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 let mut cost = ctx.costs().local_op;
                 if strategy.uses_interrupts() {
                     ctx.shared.kernel_mut().active.remove(me);
+                    ctx.notify(SYNC_CHANNEL);
                     cost += ctx.bus_write();
                 }
                 self.phase = Phase::Lock;
                 Step::Run(cost)
             }
             Phase::Lock => {
-                let acquired = ctx
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let woken = ctx.woken_spins();
+                let event = ctx.shared.kernel().config.spin_mode == SpinMode::Event;
+                let lock = ctx
                     .shared
                     .kernel_mut()
                     .pmaps
                     .get_mut(self.pmap_id)
-                    .lock_mut()
-                    .try_acquire(me);
-                if acquired {
+                    .lock_mut();
+                lock.charge_spins(woken);
+                let chan = lock.channel();
+                if lock.try_acquire(me) {
                     self.phase = Phase::Check;
                     let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
                     Step::Run(cost)
+                } else if let (true, Some(chan)) = (event, chan) {
+                    Step::Block(BlockOn::one(chan, spin))
                 } else {
-                    Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read)
+                    Step::Run(spin)
                 }
             }
             Phase::Check => {
@@ -373,6 +385,14 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(cost)
             }
             Phase::QueueScan { next } => {
+                // A wakeup's backfilled iterations all spun on the lock the
+                // process blocked on (the wake instant is the first check at
+                // which anything it read could have changed), which is not
+                // necessarily the lock the rescan below finds.
+                if let Some(spun) = self.spun_on_queue.take() {
+                    let woken = ctx.woken_spins();
+                    ctx.shared.kernel_mut().queue_locks[spun.index()].charge_spins(woken);
+                }
                 // Find the next other processor using this pmap.
                 let target = (next..ctx.shared.kernel_mut().n_cpus as u32)
                     .map(CpuId::new)
@@ -398,7 +418,19 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 };
                 // lock_action_structure(cpu)
                 if !ctx.shared.kernel_mut().queue_locks[cpu.index()].try_acquire(me) {
-                    return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        // The retried check re-reads the pmap's user set as
+                        // well as the lock, so listen for membership changes
+                        // (the sync channel) alongside the lock's releases.
+                        self.spun_on_queue = Some(cpu);
+                        return Step::Block(BlockOn::two(
+                            queue_lock_channel(cpu),
+                            SYNC_CHANNEL,
+                            spin,
+                        ));
+                    }
+                    return Step::Run(spin);
                 }
                 // queue_action; action_needed[cpu] = TRUE; unlock.
                 let outcome = ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
@@ -414,6 +446,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 }
                 ctx.shared.kernel_mut().action_needed[cpu.index()] = true;
                 ctx.shared.kernel_mut().queue_locks[cpu.index()].release(me);
+                ctx.notify(queue_lock_channel(cpu));
                 self.outcome.shootdown = true;
                 // Idle processors get queued actions but no interrupt and
                 // no synchronization.
@@ -487,7 +520,16 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         && ctx.shared.kernel_mut().active.contains(cpu)
                 };
                 if pending {
-                    Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read)
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        // Every write that can clear the condition (leaving
+                        // the active set, clearing an action-needed flag,
+                        // dropping a pmap from a user set) notifies the sync
+                        // channel.
+                        Step::Block(BlockOn::one(SYNC_CHANNEL, spin))
+                    } else {
+                        Step::Run(spin)
+                    }
                 } else {
                     self.phase = Phase::Wait { idx: idx + 1 };
                     Step::Run(ctx.costs().local_op)
@@ -617,7 +659,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 }
                 self.outcome.pages_changed = self.changes.len() as u64;
                 self.outcome.processors_shot = self.send_list.len() as u32;
-                {
+                let lock_chan = {
                     let pmap = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id);
                     pmap.lock_mut().release(me);
                     match self.op {
@@ -627,6 +669,10 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         PmapOp::Destroy => pmap.stats_mut().destroys += 1,
                         PmapOp::ClearRefBits { .. } => pmap.stats_mut().ref_clears += 1,
                     }
+                    pmap.lock().channel()
+                };
+                if let Some(chan) = lock_chan {
+                    ctx.notify(chan);
                 }
                 let strategy = self.strategy(ctx.shared.kernel());
                 let mut cost = ctx.costs().lock_release + ctx.bus_write();

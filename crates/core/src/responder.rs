@@ -2,12 +2,12 @@
 //! queue-drain machinery the exit-idle path reuses.
 
 use machtlb_pmap::PmapId;
-use machtlb_sim::{Ctx, Dur, Process, Step, Time};
+use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{ResponderRecord, ShootdownEvent};
 
 use crate::queue::Action;
-use crate::state::{HasKernel, KernelState};
+use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
 
 /// Result of stepping an embedded [`DrainQueue`].
 #[derive(Debug)]
@@ -98,6 +98,8 @@ impl DrainQueue {
                 .pmaps
                 .get_mut(action.pmap)
                 .mark_not_in_use(me);
+            // Dropping out of the user set can satisfy an initiator's wait.
+            ctx.notify(SYNC_CHANNEL);
             return single * n.max(1);
         }
         let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
@@ -118,17 +120,42 @@ impl DrainQueue {
         match self.phase {
             DrainPhase::SpinPmaps => {
                 if Self::must_spin(ctx) {
-                    DrainStatus::Running(Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read))
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    let kernel = ctx.shared.kernel();
+                    if kernel.config.spin_mode == SpinMode::Event {
+                        // Listen on both pmaps the condition reads: either
+                        // lock's release can clear it, and a pmap unlocked
+                        // at this check may be locked by the time the other
+                        // is released.
+                        let kchan = kernel.pmaps.kernel().lock().channel();
+                        let uchan = kernel.cur_user_pmap[me.index()]
+                            .and_then(|u| kernel.pmaps.get(u).lock().channel());
+                        if let Some(k) = kchan {
+                            return DrainStatus::Running(Step::Block(match uchan {
+                                Some(u) => BlockOn::two(k, u, spin),
+                                None => BlockOn::one(k, spin),
+                            }));
+                        }
+                    }
+                    DrainStatus::Running(Step::Run(spin))
                 } else {
                     self.phase = DrainPhase::LockQueue;
                     DrainStatus::Running(Step::Run(ctx.costs().local_op))
                 }
             }
             DrainPhase::LockQueue => {
-                if !ctx.shared.kernel_mut().queue_locks[me.index()].try_acquire(me) {
-                    return DrainStatus::Running(Step::Run(
-                        ctx.costs().spin_iter + ctx.costs().cache_read,
-                    ));
+                let woken = ctx.woken_spins();
+                let lock = &mut ctx.shared.kernel_mut().queue_locks[me.index()];
+                lock.charge_spins(woken);
+                if !lock.try_acquire(me) {
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        return DrainStatus::Running(Step::Block(BlockOn::one(
+                            queue_lock_channel(me),
+                            spin,
+                        )));
+                    }
+                    return DrainStatus::Running(Step::Run(spin));
                 }
                 let (actions, flush_all) = ctx.shared.kernel_mut().queues[me.index()].drain();
                 self.actions = actions;
@@ -156,6 +183,10 @@ impl DrainQueue {
             DrainPhase::Finish => {
                 ctx.shared.kernel_mut().action_needed[me.index()] = false;
                 ctx.shared.kernel_mut().queue_locks[me.index()].release(me);
+                // The cleared flag satisfies no-stall initiators; the
+                // released lock satisfies queue-scanning ones.
+                ctx.notify(SYNC_CHANNEL);
+                ctx.notify(queue_lock_channel(me));
                 let cost = ctx.costs().lock_release + ctx.bus_write() + ctx.bus_write();
                 DrainStatus::Finished(cost)
             }
@@ -221,6 +252,7 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
             }
             RPhase::Deactivate => {
                 ctx.shared.kernel_mut().active.remove(me);
+                ctx.notify(SYNC_CHANNEL);
                 let stall = ctx.shared.kernel_mut().config.strategy.responders_stall();
                 self.drain = Some(DrainQueue::new(stall));
                 self.phase = RPhase::Draining;
@@ -270,7 +302,9 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
 }
 
 /// Marks `cpu` idle. Called by a dispatcher when it runs out of work; the
-/// caller charges the (two bus writes of) cost.
+/// caller charges the (two bus writes of) cost and — because leaving the
+/// active set can satisfy an initiator's wait — notifies
+/// [`SYNC_CHANNEL`](crate::SYNC_CHANNEL) in the same step.
 pub fn enter_idle(shared: &mut KernelState, cpu: machtlb_sim::CpuId) {
     shared.idle.insert(cpu);
     shared.active.remove(cpu);

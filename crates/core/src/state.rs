@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use machtlb_pmap::{CpuSet, Pfn, Pmap, PmapId};
-use machtlb_sim::{CpuId, SpinLock};
+use machtlb_sim::{CpuId, SpinLock, WaitChannel};
 use machtlb_tlb::{Tlb, TlbConfig};
 use machtlb_xpr::{ShootdownEvent, XprBuffer};
 
@@ -28,6 +28,35 @@ pub struct PendingCommit {
 
 /// 64-bit words per 4 KiB page.
 pub const WORDS_PER_PAGE: u64 = 512;
+
+/// How kernel spin sites wait for a condition another processor changes.
+///
+/// Both modes produce bit-identical simulated behavior — every clock, bus
+/// transaction, statistic, and trace record agrees; see the equivalence
+/// argument in `machtlb_sim::event`. [`SpinMode::Stepped`] executes one
+/// scheduler step per spin iteration and serves as the oracle;
+/// [`SpinMode::Event`] parks the waiter and charges the skipped iterations
+/// analytically, making long waits O(1) in host work.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum SpinMode {
+    /// Step the spin loop iteration by iteration (the oracle).
+    Stepped,
+    /// Park waiters on wait channels; writers notify (the default).
+    #[default]
+    Event,
+}
+
+/// The wait channel guarding processor `cpu`'s action-queue lock (`0x2`
+/// key space; see `machtlb_sim::event`'s channel registry).
+pub fn queue_lock_channel(cpu: CpuId) -> WaitChannel {
+    WaitChannel::new(0x2_0000_0000 | cpu.index() as u64)
+}
+
+/// The global synchronization channel (`0x3` key space): notified whenever
+/// a processor leaves the active set, clears an action-needed flag, or
+/// drops a pmap from its in-use set — the writes the initiator-side
+/// `Phase::Wait` and responder-side drain loops re-check on.
+pub const SYNC_CHANNEL: WaitChannel = WaitChannel::new(0x3_0000_0000);
 
 /// Kernel configuration: the algorithm and hardware variant under test.
 ///
@@ -66,6 +95,9 @@ pub struct KernelConfig {
     /// paper records on 5 of 16 "to avoid lock contention effects in the
     /// xpr package").
     pub responder_sample: Option<Vec<CpuId>>,
+    /// How spin sites wait: stepped iteration (the oracle) or event-driven
+    /// parking (the default; bit-identical, far faster to simulate).
+    pub spin_mode: SpinMode,
 }
 
 impl Default for KernelConfig {
@@ -79,6 +111,7 @@ impl Default for KernelConfig {
             xpr_capacity: 1 << 16,
             instrumentation: true,
             responder_sample: None,
+            spin_mode: SpinMode::default(),
         }
     }
 }
@@ -362,7 +395,9 @@ impl KernelState {
             queues: (0..n_cpus)
                 .map(|_| ActionQueue::new(config.action_queue_capacity))
                 .collect(),
-            queue_locks: (0..n_cpus).map(|_| SpinLock::new()).collect(),
+            queue_locks: (0..n_cpus)
+                .map(|i| SpinLock::new().on_channel(queue_lock_channel(CpuId::new(i as u32))))
+                .collect(),
             ipi_pending: vec![false; n_cpus],
             cur_user_pmap: vec![None; n_cpus],
             xpr: XprBuffer::new(config.xpr_capacity),

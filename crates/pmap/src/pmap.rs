@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use machtlb_sim::{CpuId, SpinLock};
+use machtlb_sim::{CpuId, SpinLock, WaitChannel};
 
 use crate::cpuset::CpuSet;
 use crate::table::PageTable;
@@ -91,10 +91,16 @@ impl Pmap {
         Pmap {
             id,
             table: PageTable::new(),
-            lock: SpinLock::new(),
+            lock: SpinLock::new().on_channel(Pmap::lock_channel(id)),
             in_use: CpuSet::new(n_cpus),
             stats: PmapStats::default(),
         }
+    }
+
+    /// The wait channel a pmap's lock releases notify (`0x1` key space;
+    /// see `machtlb_sim::event`'s channel registry).
+    pub fn lock_channel(id: PmapId) -> WaitChannel {
+        WaitChannel::new(0x1_0000_0000 | u64::from(id.raw()))
     }
 
     /// This pmap's id.

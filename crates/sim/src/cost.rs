@@ -93,7 +93,7 @@ impl CostModel {
             cache_read: Dur::nanos(350),
             bus_read_latency: Dur::nanos(900),
             bus_write_latency: Dur::nanos(700),
-            bus_occupancy: Dur::nanos(310),
+            bus_occupancy: Dur::nanos(600),
             intr_entry: Dur::micros(352),
             intr_exit: Dur::micros(25),
             state_save_words: 16,

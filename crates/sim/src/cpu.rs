@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::event::BlockOn;
 use crate::intr::{IntrMask, Vector};
 use crate::process::Process;
 use crate::time::{Dur, Time};
@@ -52,6 +53,20 @@ pub(crate) enum ParkState {
     Running,
     /// Sleeping until an event arrives, or until the deadline if present.
     Parked { until: Option<Time> },
+    /// Event-blocked in place of a stepped spin loop: the top frame's last
+    /// live check failed at `anchor` and would re-check every `on.interval`.
+    Blocked {
+        /// Instant of the last live failed check (the step that blocked).
+        anchor: Time,
+        /// What the process waits on, and the per-iteration cost.
+        on: BlockOn,
+        /// The earliest check-lattice instant a notify or delivery so far
+        /// can be observed at; `None` while nothing has arrived.
+        wake_at: Option<Time>,
+        /// Stack index of the blocked frame (spawn deliveries may push
+        /// frames above it while it sleeps).
+        frame: usize,
+    },
 }
 
 /// Cumulative per-processor statistics.
@@ -70,6 +85,10 @@ pub struct CpuStats {
 pub(crate) struct Frame<S, P> {
     pub(crate) proc: Box<dyn Process<S, P>>,
     pub(crate) restore_mask: Option<IntrMask>,
+    /// Spin iterations skipped while this frame was event-blocked, handed
+    /// to the process (as [`Ctx::woken_spins`](crate::Ctx::woken_spins))
+    /// on its first step after the wakeup.
+    pub(crate) wake_skipped: u64,
 }
 
 impl<S, P> fmt::Debug for Frame<S, P> {

@@ -50,6 +50,7 @@
 mod bus;
 mod cost;
 mod cpu;
+mod event;
 mod intr;
 mod lock;
 mod machine;
@@ -59,6 +60,7 @@ mod time;
 pub use bus::{Bus, BusOp, BusStats};
 pub use cost::CostModel;
 pub use cpu::{CpuCore, CpuId, CpuStats};
+pub use event::{BlockOn, WaitChannel};
 pub use intr::{IntrClass, IntrMask, Vector};
 pub use lock::SpinLock;
 pub use machine::{Machine, MachineConfig, RunReport, RunStatus};
@@ -531,6 +533,330 @@ mod tests {
         m.run(Time::from_micros(1_000));
         assert_eq!(m.cpu(CpuId::new(0)).stats().busy, Dur::micros(100));
         assert_eq!(m.total_busy(), Dur::micros(100));
+    }
+
+    // ---- Event-driven waiting: equivalence with stepped spinning ----
+
+    /// Shared state for the spin-vs-block tests: a flag guarded by a wait
+    /// channel, plus a trace of (cpu, time) observation records.
+    #[derive(Debug, Default)]
+    struct FlagWorld {
+        flag: bool,
+        trace: Trace,
+    }
+
+    const FLAG_CHAN: WaitChannel = WaitChannel::new(0xF1A6);
+    const SPIN_COST: Dur = Dur::nanos(2_350);
+
+    /// Waits for the flag either by stepped spinning or by event-blocking,
+    /// then records the instant it observed the flag set.
+    #[derive(Debug)]
+    struct FlagWaiter {
+        event: bool,
+    }
+    impl Process<FlagWorld, ()> for FlagWaiter {
+        fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+            if ctx.shared.flag {
+                ctx.shared.trace.push((ctx.cpu_id, ctx.now));
+                Step::Done(Dur::micros(1))
+            } else if self.event {
+                Step::Block(BlockOn::one(FLAG_CHAN, SPIN_COST))
+            } else {
+                Step::Run(SPIN_COST)
+            }
+        }
+        fn label(&self) -> &'static str {
+            "flag-waiter"
+        }
+    }
+
+    /// Idles until `at`, then sets the flag and notifies in the same step.
+    #[derive(Debug)]
+    struct FlagSetter {
+        at: Time,
+        done: bool,
+    }
+    impl Process<FlagWorld, ()> for FlagSetter {
+        fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+            if !self.done {
+                self.done = true;
+                Step::Park(Some(self.at))
+            } else {
+                ctx.shared.flag = true;
+                ctx.notify(FLAG_CHAN);
+                Step::Done(Dur::micros(1))
+            }
+        }
+        fn label(&self) -> &'static str {
+            "flag-setter"
+        }
+    }
+
+    /// Runs a waiter on cpu `waiter` and a setter on cpu `setter` firing at
+    /// `set_at`, returning (observation trace, waiter stats, total steps).
+    fn flag_run(event: bool, waiter: u32, setter: u32, set_at: Time) -> (Trace, CpuStats, u64) {
+        let mut m = Machine::new(test_config(4), FlagWorld::default(), |_| ());
+        m.spawn_at(
+            CpuId::new(waiter),
+            Time::ZERO,
+            Box::new(FlagWaiter { event }),
+        );
+        m.spawn_at(
+            CpuId::new(setter),
+            Time::ZERO,
+            Box::new(FlagSetter {
+                at: set_at,
+                done: false,
+            }),
+        );
+        let r = m.run_bounded(Time::from_micros(100_000), 100_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let stats = m.cpu(CpuId::new(waiter)).stats();
+        (m.into_shared().trace, stats, r.steps)
+    }
+
+    #[test]
+    fn blocking_wakes_at_the_same_instant_as_spinning() {
+        // Sweep writer instants across lattice phases and both tie-break
+        // directions (writer cpu below and above the waiter's).
+        for &(waiter, setter) in &[(0u32, 3u32), (3, 0)] {
+            for off in [0u64, 1, 2_349, 2_350, 2_351, 7_777, 23_500] {
+                let at = Time::from_micros(50) + Dur::nanos(off);
+                let spun = flag_run(false, waiter, setter, at);
+                let blocked = flag_run(true, waiter, setter, at);
+                assert_eq!(
+                    spun, blocked,
+                    "waiter {waiter}, setter {setter}, set at {at}: stepped and \
+                     event runs must agree on trace, stats, and step counts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn notify_in_the_parking_instant_is_not_lost() {
+        // The hazard case: the writer's step executes at the very instant
+        // the waiter blocks, but on a higher-indexed cpu — its write is
+        // invisible to the waiter's parking check, and the notify arrives
+        // while the park is being applied. The waiter must still wake.
+        let spun = flag_run(false, 0, 3, Time::ZERO);
+        let blocked = flag_run(true, 0, 3, Time::ZERO);
+        assert_eq!(spun, blocked);
+        assert_eq!(blocked.0.len(), 1, "the waiter must observe the flag");
+    }
+
+    #[test]
+    fn spurious_notify_reblocks_without_double_charging() {
+        /// Notifies the channel *without* satisfying the condition, then
+        /// sets the flag later.
+        #[derive(Debug)]
+        struct Teaser {
+            phase: u8,
+        }
+        impl Process<FlagWorld, ()> for Teaser {
+            fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::Park(Some(Time::from_micros(30)))
+                    }
+                    1 => {
+                        self.phase = 2;
+                        ctx.notify(FLAG_CHAN); // spurious: flag still false
+                        Step::Park(Some(Time::from_micros(90)))
+                    }
+                    _ => {
+                        ctx.shared.flag = true;
+                        ctx.notify(FLAG_CHAN);
+                        Step::Done(Dur::micros(1))
+                    }
+                }
+            }
+            fn label(&self) -> &'static str {
+                "teaser"
+            }
+        }
+
+        let run = |event: bool| {
+            let mut m = Machine::new(test_config(2), FlagWorld::default(), |_| ());
+            m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(FlagWaiter { event }));
+            m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(Teaser { phase: 0 }));
+            let r = m.run_bounded(Time::from_micros(100_000), 100_000_000);
+            assert_eq!(r.status, RunStatus::Quiescent);
+            let stats = m.cpu(CpuId::new(0)).stats();
+            (m.into_shared().trace, stats, r.steps)
+        };
+        let spun = run(false);
+        let blocked = run(true);
+        assert_eq!(
+            spun, blocked,
+            "a spurious wake must re-block on a fresh anchor with the \
+             skipped iterations charged exactly once"
+        );
+    }
+
+    #[test]
+    fn delivery_wakes_a_blocked_processor_at_a_lattice_point() {
+        let v = Vector::new(1);
+
+        #[derive(Debug)]
+        struct HandlerSetsFlag;
+        impl Process<FlagWorld, ()> for HandlerSetsFlag {
+            fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+                ctx.shared.flag = true;
+                ctx.notify(FLAG_CHAN);
+                Step::Done(Dur::micros(5))
+            }
+            fn label(&self) -> &'static str {
+                "handler-sets-flag"
+            }
+        }
+
+        #[derive(Debug)]
+        struct IpiAt {
+            at: Time,
+            target: CpuId,
+            phase: u8,
+        }
+        impl Process<FlagWorld, ()> for IpiAt {
+            fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::Park(Some(self.at))
+                    }
+                    _ => {
+                        ctx.send_ipi(self.target, Vector::new(1));
+                        Step::Done(ctx.costs().ipi_send)
+                    }
+                }
+            }
+            fn label(&self) -> &'static str {
+                "ipi-at"
+            }
+        }
+
+        let run = |event: bool| {
+            let mut m = Machine::new(test_config(2), FlagWorld::default(), |_| ());
+            m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(HandlerSetsFlag));
+            m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(FlagWaiter { event }));
+            m.spawn_at(
+                CpuId::new(1),
+                Time::ZERO,
+                Box::new(IpiAt {
+                    at: Time::from_micros(40) + Dur::nanos(123),
+                    target: CpuId::new(0),
+                    phase: 0,
+                }),
+            );
+            let r = m.run_bounded(Time::from_micros(100_000), 100_000_000);
+            assert_eq!(r.status, RunStatus::Quiescent);
+            let stats = m.cpu(CpuId::new(0)).stats();
+            (m.into_shared().trace, stats, r.steps)
+        };
+        let spun = run(false);
+        let blocked = run(true);
+        assert_eq!(
+            spun, blocked,
+            "an interrupt must preempt a blocked spinner exactly when it \
+             would preempt the stepped loop"
+        );
+        assert_eq!(blocked.1.interrupts, 1);
+    }
+
+    #[test]
+    fn forever_blocked_machine_reports_time_limit() {
+        // A spinner whose condition is never satisfied spins to the time
+        // limit in stepped mode; a blocked one must report the same status
+        // rather than claiming quiescence.
+        let mut m = Machine::new(test_config(1), FlagWorld::default(), |_| ());
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(FlagWaiter { event: true }),
+        );
+        let r = m.run(Time::from_micros(1_000));
+        assert_eq!(r.status, RunStatus::TimeLimit);
+        assert!(m.shared().trace.is_empty());
+        let diag = m.frames_diagnostic();
+        assert!(
+            diag.contains("cpu0") && diag.contains("flag-waiter") && diag.contains("blocked"),
+            "diagnostic must name the blocked cpu and frame: {diag}"
+        );
+    }
+
+    #[test]
+    fn woken_spins_reaches_only_the_blocked_frame() {
+        /// Blocks until woken, then records how many spins were skipped.
+        #[derive(Debug)]
+        struct CountingWaiter;
+        impl Process<SpinCount, ()> for CountingWaiter {
+            fn step(&mut self, ctx: &mut Ctx<'_, SpinCount, ()>) -> Step {
+                if ctx.shared.flag {
+                    ctx.shared.woken.push(ctx.woken_spins());
+                    Step::Done(Dur::micros(1))
+                } else {
+                    Step::Block(BlockOn::one(FLAG_CHAN, SPIN_COST))
+                }
+            }
+            fn label(&self) -> &'static str {
+                "counting-waiter"
+            }
+        }
+        #[derive(Debug)]
+        struct HandlerCounts;
+        impl Process<SpinCount, ()> for HandlerCounts {
+            fn step(&mut self, ctx: &mut Ctx<'_, SpinCount, ()>) -> Step {
+                // An interrupt handler dispatched over the blocked frame
+                // must not inherit its backfill.
+                ctx.shared.handler_saw.push(ctx.woken_spins());
+                ctx.shared.flag = true;
+                ctx.notify(FLAG_CHAN);
+                Step::Done(Dur::micros(5))
+            }
+            fn label(&self) -> &'static str {
+                "handler-counts"
+            }
+        }
+        #[derive(Debug, Default)]
+        struct SpinCount {
+            flag: bool,
+            woken: Vec<u64>,
+            handler_saw: Vec<u64>,
+        }
+        #[derive(Debug)]
+        struct LateIpi {
+            phase: u8,
+        }
+        impl Process<SpinCount, ()> for LateIpi {
+            fn step(&mut self, ctx: &mut Ctx<'_, SpinCount, ()>) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::Park(Some(Time::from_micros(100)))
+                    }
+                    _ => {
+                        ctx.send_ipi(CpuId::new(0), Vector::new(1));
+                        Step::Done(ctx.costs().ipi_send)
+                    }
+                }
+            }
+        }
+        let mut m = Machine::new(test_config(2), SpinCount::default(), |_| ());
+        m.register_handler(Vector::new(1), IntrClass::Ipi, |_, _| {
+            Box::new(HandlerCounts)
+        });
+        m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(CountingWaiter));
+        m.spawn_at(CpuId::new(1), Time::ZERO, Box::new(LateIpi { phase: 0 }));
+        let r = m.run(Time::from_micros(100_000));
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = m.shared();
+        assert_eq!(s.handler_saw, vec![0], "handler frames carry no backfill");
+        assert_eq!(s.woken.len(), 1);
+        assert!(
+            s.woken[0] > 0,
+            "the woken frame must see the skipped iterations exactly once"
+        );
     }
 }
 

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use crate::cpu::CpuId;
+use crate::event::WaitChannel;
 
 /// A test-and-set spin lock held by at most one processor.
 ///
@@ -30,12 +31,48 @@ pub struct SpinLock {
     holder: Option<CpuId>,
     acquisitions: u64,
     contentions: u64,
+    channel: Option<WaitChannel>,
 }
 
 impl SpinLock {
     /// Creates an unlocked lock.
     pub fn new() -> SpinLock {
         SpinLock::default()
+    }
+
+    /// Attaches the wait channel releases of this lock notify, enabling
+    /// waiters to event-block on it instead of stepping a spin loop. The
+    /// lock itself is plain shared data with no access to the machine, so
+    /// the *releasing process* performs the notification:
+    ///
+    /// ```
+    /// use machtlb_sim::{CpuId, SpinLock, WaitChannel};
+    ///
+    /// let mut lock = SpinLock::new().on_channel(WaitChannel::new(42));
+    /// assert!(lock.try_acquire(CpuId::new(0)));
+    /// let chan = lock.channel();
+    /// lock.release(CpuId::new(0));
+    /// assert_eq!(chan, Some(WaitChannel::new(42)));
+    /// // ...inside a step: if let Some(c) = chan { ctx.notify(c) }
+    /// ```
+    pub fn on_channel(mut self, chan: WaitChannel) -> SpinLock {
+        self.channel = Some(chan);
+        self
+    }
+
+    /// The wait channel releases notify, if one is attached. Waiters block
+    /// on it; a lock without a channel is waited for by stepped spinning.
+    pub fn channel(&self) -> Option<WaitChannel> {
+        self.channel
+    }
+
+    /// Accrues `n` failed acquisition attempts at once: the spin-cost
+    /// backfill an event-blocked waiter performs at wakeup
+    /// ([`Ctx::woken_spins`](crate::Ctx::woken_spins)), keeping the
+    /// contention counter bit-identical to the stepped loop that would
+    /// have called [`SpinLock::try_acquire`] once per iteration.
+    pub fn charge_spins(&mut self, n: u64) {
+        self.contentions += n;
     }
 
     /// Attempts to acquire the lock for `cpu`. Returns whether it succeeded.

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use crate::bus::{Bus, BusOp, BusStats};
 use crate::cost::CostModel;
 use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
+use crate::event::{skipped_iterations, wake_for_delivery, wake_for_notify, WaitChannel};
 use crate::intr::{IntrClass, IntrMask, Vector};
 use crate::process::{Command, Ctx, Process};
 use crate::time::{Dur, Time};
@@ -46,12 +47,17 @@ impl Default for MachineConfig {
 }
 
 /// Why [`Machine::run`] returned.
+///
+/// A `StepLimit` return usually means a runaway spin; call
+/// [`Machine::frames_diagnostic`] for the still-running frames behind it.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RunStatus {
     /// No processor is runnable and no event is scheduled: the machine has
     /// nothing left to do (every processor is idle or parked indefinitely).
     Quiescent,
-    /// The next event lies beyond the time limit.
+    /// The next event lies beyond the time limit. Also reported when the
+    /// only processors left are event-blocked with no wake in sight: the
+    /// equivalent stepped spinners would burn simulated time to the limit.
     TimeLimit,
     /// The step budget was exhausted (a guard against runaway spins).
     StepLimit,
@@ -274,6 +280,16 @@ impl<S, P> Machine<S, P> {
                 break RunStatus::StepLimit;
             }
             let Some(t) = self.next_event_time() else {
+                // An event-blocked processor with nothing left to wake it
+                // is the stepped mode's eternal spinner: time, not work,
+                // is what ran out.
+                if self
+                    .cpus
+                    .iter()
+                    .any(|c| matches!(c.park, ParkState::Blocked { .. }))
+                {
+                    break RunStatus::TimeLimit;
+                }
                 break RunStatus::Quiescent;
             };
             if t > limit {
@@ -281,12 +297,23 @@ impl<S, P> Machine<S, P> {
             }
             self.frontier = self.frontier.max(t);
             self.apply_due_deliveries(t);
-            self.wake_expired_parks(t);
+            steps += self.wake_expired_parks(t);
             let Some(i) = self.min_clock_runnable() else {
                 // Deliveries were all in the future relative to a parked
                 // processor that did not wake; recompute.
                 continue;
             };
+            // A delivery latched at `t` can set a blocked processor's wake
+            // instant between `t` and the earliest runnable clock. Stepping
+            // the runnable processor first would run the machine out of
+            // global time order — its bus traffic would land ahead of the
+            // woken processor's — so recompute and handle the wake first.
+            if self
+                .next_event_time()
+                .is_some_and(|t2| t2 < self.cpus[i].clock)
+            {
+                continue;
+            }
             self.step_cpu(i);
             steps += 1;
             self.total_steps += 1;
@@ -308,6 +335,11 @@ impl<S, P> Machine<S, P> {
                 ParkState::Running => consider(cpu.clock),
                 ParkState::Parked { until: Some(d) } => consider(d.max(cpu.clock)),
                 ParkState::Parked { until: None } => {}
+                // A computed wake instant is always >= the blocked clock.
+                ParkState::Blocked {
+                    wake_at: Some(w), ..
+                } => consider(w),
+                ParkState::Blocked { wake_at: None, .. } => {}
             }
         }
         if let Some(Reverse(d)) = self.deliveries.peek() {
@@ -331,25 +363,88 @@ impl<S, P> Machine<S, P> {
                     cpu.stack.push(Frame {
                         proc,
                         restore_mask: None,
+                        wake_skipped: 0,
                     });
                 }
             }
             // Any arrival wakes a parked processor (wakeups may be spurious).
-            if let ParkState::Parked { .. } = cpu.park {
-                cpu.park = ParkState::Running;
-                cpu.clock = cpu.clock.max(d.at);
+            match &mut cpu.park {
+                ParkState::Parked { .. } => {
+                    cpu.park = ParkState::Running;
+                    cpu.clock = cpu.clock.max(d.at);
+                }
+                // A blocked spinner is preempted at its first check at or
+                // after the latch — exactly where the stepped loop's next
+                // scheduler step would dispatch the interrupt or run the
+                // spawned frame instead of the failed check.
+                ParkState::Blocked {
+                    anchor,
+                    on,
+                    wake_at,
+                    ..
+                } => {
+                    let cand = wake_for_delivery(*anchor, on.interval, d.at);
+                    *wake_at = Some(wake_at.map_or(cand, |w| w.min(cand)));
+                }
+                ParkState::Running => {}
             }
         }
     }
 
-    fn wake_expired_parks(&mut self, t: Time) {
+    /// Returns the number of analytically backfilled spin iterations, which
+    /// count as scheduler steps for both the lifetime total and the running
+    /// [`RunReport::steps`] / step-budget accounting.
+    fn wake_expired_parks(&mut self, t: Time) -> u64 {
+        let mut backfilled = 0u64;
         for cpu in &mut self.cpus {
-            if let ParkState::Parked { until: Some(d) } = cpu.park {
-                if d.max(cpu.clock) <= t {
+            match cpu.park {
+                ParkState::Parked { until: Some(d) } if d.max(cpu.clock) <= t => {
                     cpu.park = ParkState::Running;
                     cpu.clock = cpu.clock.max(d);
                 }
+                ParkState::Blocked {
+                    anchor,
+                    on,
+                    wake_at: Some(w),
+                    frame,
+                } if w <= t => {
+                    // Charge the spin iterations the stepped loop would
+                    // have executed between the parking check and the wake
+                    // instant, then resume for the live re-check (or the
+                    // interrupt dispatch that preempts it).
+                    let skipped = skipped_iterations(anchor, on.interval, w);
+                    cpu.stats.steps += skipped;
+                    cpu.stats.busy += on.interval * skipped;
+                    cpu.stack[frame].wake_skipped = skipped;
+                    backfilled += skipped;
+                    cpu.clock = w;
+                    cpu.park = ParkState::Running;
+                }
+                _ => {}
             }
+        }
+        self.total_steps += backfilled;
+        backfilled
+    }
+
+    /// Schedules wakeups for processors blocked on `chan` after a write at
+    /// instant `now` by processor `writer`.
+    fn apply_notify(&mut self, chan: WaitChannel, now: Time, writer: usize) {
+        for (idx, cpu) in self.cpus.iter_mut().enumerate() {
+            let ParkState::Blocked {
+                anchor,
+                on,
+                wake_at,
+                ..
+            } = &mut cpu.park
+            else {
+                continue;
+            };
+            if !on.listens_to(chan) {
+                continue;
+            }
+            let cand = wake_for_notify(*anchor, on.interval, now, writer < idx);
+            *wake_at = Some(wake_at.map_or(cand, |w| w.min(cand)));
         }
     }
 
@@ -400,6 +495,7 @@ impl<S, P> Machine<S, P> {
             cpu.stack.push(Frame {
                 proc,
                 restore_mask: Some(prev_mask),
+                wake_skipped: 0,
             });
             cpu.clock += cost;
             cpu.stats.interrupts += 1;
@@ -414,9 +510,10 @@ impl<S, P> Machine<S, P> {
         };
 
         let mut commands: Vec<Command<S, P>> = Vec::new();
+        let now = cpu.clock;
         let step = {
             let mut ctx = Ctx {
-                now: cpu.clock,
+                now,
                 cpu_id,
                 shared,
                 payload: &mut cpu.payload,
@@ -427,6 +524,7 @@ impl<S, P> Machine<S, P> {
                 rng,
                 commands: &mut commands,
                 n_cpus,
+                woken_spins: std::mem::take(&mut frame.wake_skipped),
             };
             frame.proc.step(&mut ctx)
         };
@@ -450,6 +548,24 @@ impl<S, P> Machine<S, P> {
             crate::Step::Park(until) => {
                 cpu.stack.push(frame);
                 cpu.park = ParkState::Parked { until };
+            }
+            crate::Step::Block(on) => {
+                // The blocking step is the spin loop's live failed check:
+                // charged exactly like `Run(on.interval)`, then parked on
+                // the channels with the check instant as lattice anchor.
+                assert!(
+                    on.interval > Dur::ZERO,
+                    "a blocking process must name its per-iteration cost"
+                );
+                cpu.clock += on.interval;
+                cpu.stats.busy += on.interval;
+                cpu.stack.push(frame);
+                cpu.park = ParkState::Blocked {
+                    anchor: now,
+                    on,
+                    wake_at: None,
+                    frame: cpu.stack.len() - 1,
+                };
             }
         }
 
@@ -496,7 +612,11 @@ impl<S, P> Machine<S, P> {
                     self.cpus[i].stack.push(Frame {
                         proc,
                         restore_mask: None,
+                        wake_skipped: 0,
                     });
+                }
+                Command::Notify { chan } => {
+                    self.apply_notify(chan, now, i);
                 }
             }
         }
@@ -569,6 +689,45 @@ impl<S, P> Machine<S, P> {
     /// Sum of busy time across processors (for overhead accounting).
     pub fn total_busy(&self) -> Dur {
         self.cpus.iter().map(|c| c.stats().busy).sum()
+    }
+
+    /// The processors that still have process frames, with the frame
+    /// labels innermost-last — the raw material of
+    /// [`Machine::frames_diagnostic`].
+    pub fn running_frames(&self) -> Vec<(CpuId, Vec<&'static str>)> {
+        self.cpus
+            .iter()
+            .filter(|c| c.depth() > 0)
+            .map(|c| (c.id(), c.stack_labels()))
+            .collect()
+    }
+
+    /// A one-line-per-processor description of every still-running frame
+    /// stack, with each processor's clock and park state. Use it when a
+    /// run returns [`RunStatus::StepLimit`] to see at a glance which
+    /// processes were spinning the budget away.
+    pub fn frames_diagnostic(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cpu in &self.cpus {
+            if cpu.depth() == 0 {
+                continue;
+            }
+            let state = match cpu.park {
+                ParkState::Running => "running",
+                ParkState::Parked { .. } => "parked",
+                ParkState::Blocked { .. } => "blocked",
+            };
+            let _ = write!(out, "  {} at {} ({state}):", cpu.id(), cpu.clock());
+            for label in cpu.stack_labels() {
+                let _ = write!(out, " {label}");
+            }
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("  (no process frames)\n");
+        }
+        out
     }
 }
 

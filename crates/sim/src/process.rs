@@ -20,6 +20,7 @@ use rand::rngs::SmallRng;
 use crate::bus::{Bus, BusOp};
 use crate::cost::CostModel;
 use crate::cpu::CpuId;
+use crate::event::{BlockOn, WaitChannel};
 use crate::intr::{IntrMask, Vector};
 use crate::time::{Dur, Time};
 
@@ -43,6 +44,16 @@ pub enum Step {
     /// given. Wakeups may be spurious: the process must re-check its
     /// condition and may park again.
     Park(Option<Time>),
+    /// The process's condition check failed and it waits for the named
+    /// channels to be notified, as the event-driven equivalent of a
+    /// stepped spin loop. The step that returns `Block` *is* the failed
+    /// check: it is charged [`BlockOn::interval`] like any `Run` step.
+    /// The machine wakes the process at the exact instant the stepped
+    /// loop would have observed the change (or a delivery), charging the
+    /// skipped iterations analytically; see
+    /// [`event`](crate::event). Wakeups may be spurious: the process
+    /// must re-check its condition and may block again.
+    Block(BlockOn),
 }
 
 /// A unit of simulated execution: see the module docs.
@@ -79,6 +90,9 @@ pub(crate) enum Command<S, P> {
     Trap {
         proc: Box<dyn Process<S, P>>,
     },
+    Notify {
+        chan: WaitChannel,
+    },
 }
 
 impl<S, P> fmt::Debug for Command<S, P> {
@@ -102,6 +116,7 @@ impl<S, P> fmt::Debug for Command<S, P> {
                 .field("proc", &proc.label())
                 .finish(),
             Command::Trap { proc } => f.debug_struct("Trap").field("proc", &proc.label()).finish(),
+            Command::Notify { chan } => f.debug_struct("Notify").field("chan", chan).finish(),
         }
     }
 }
@@ -125,6 +140,7 @@ pub struct Ctx<'a, S, P> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<S, P>>,
     pub(crate) n_cpus: usize,
+    pub(crate) woken_spins: u64,
 }
 
 impl<'a, S, P> Ctx<'a, S, P> {
@@ -239,6 +255,30 @@ impl<'a, S, P> Ctx<'a, S, P> {
     /// The interrupt mask is left unchanged.
     pub fn trap(&mut self, proc: Box<dyn Process<S, P>>) {
         self.commands.push(Command::Trap { proc });
+    }
+
+    /// Notifies `chan`: every processor blocked on it is scheduled to wake
+    /// at the first check-lattice instant at which this step's writes are
+    /// visible to it (see [`event`](crate::event)). A no-op when nothing
+    /// is blocked on the channel, so writers notify unconditionally.
+    ///
+    /// Call this *in the same step* as the shared-state write that can
+    /// satisfy a waiter's condition; the wake computation uses this step's
+    /// order instant.
+    pub fn notify(&mut self, chan: WaitChannel) {
+        self.commands.push(Command::Notify { chan });
+    }
+
+    /// Spin iterations the stepped loop would have executed while this
+    /// process was event-blocked — non-zero only during the first step
+    /// after an event wakeup. The processor's clock and step statistics
+    /// were already charged by the machine; spin sites whose iterations
+    /// have *side effects* (a failed [`SpinLock::try_acquire`]
+    /// (crate::SpinLock::try_acquire) counts a contention per iteration)
+    /// use this to replicate them exactly, via
+    /// [`SpinLock::charge_spins`](crate::SpinLock::charge_spins).
+    pub fn woken_spins(&self) -> u64 {
+        self.woken_spins
     }
 }
 

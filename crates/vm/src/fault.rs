@@ -9,9 +9,9 @@
 //! the page, and enters the translation through the pmap layer.
 
 use machtlb_pmap::{Access, Pfn, Prot, Vpn};
-use machtlb_sim::{Ctx, Dur, Process, Step};
+use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step};
 
-use machtlb_core::{drive, Driven, PmapOp, PmapOpProcess};
+use machtlb_core::{drive, Driven, PmapOp, PmapOpProcess, SpinMode};
 
 use crate::state::HasVm;
 use crate::task::TaskId;
@@ -168,14 +168,18 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
         let me = ctx.cpu_id;
         match self.phase {
             FPhase::LockMap => {
-                if !ctx
-                    .shared
-                    .vm_mut()
-                    .task_mut(self.task)
-                    .map_lock_mut()
-                    .try_acquire(me)
-                {
-                    return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let woken = ctx.woken_spins();
+                let lock = ctx.shared.vm_mut().task_mut(self.task).map_lock_mut();
+                lock.charge_spins(woken);
+                if !lock.try_acquire(me) {
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        return Step::Block(BlockOn::one(
+                            crate::task::Task::map_lock_channel(self.task),
+                            spin,
+                        ));
+                    }
+                    return Step::Run(spin);
                 }
                 self.phase = FPhase::Resolve;
                 ctx.shared.kernel_mut().stats.faults += 1;
@@ -228,6 +232,7 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
                     .task_mut(self.task)
                     .map_lock_mut()
                     .release(me);
+                ctx.notify(crate::task::Task::map_lock_channel(self.task));
                 Step::Done(ctx.costs().lock_release + ctx.bus_write())
             }
         }

@@ -10,13 +10,13 @@
 //! | terminate | pmap destruction |
 
 use machtlb_pmap::{PageRange, Prot, Vpn};
-use machtlb_sim::{Ctx, Dur, Process, Step};
+use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step};
 
-use machtlb_core::{drive, Driven, PmapOp, PmapOpProcess};
+use machtlb_core::{drive, Driven, PmapOp, PmapOpProcess, SpinMode};
 
 use crate::map::{Inheritance, VmEntry};
 use crate::state::HasVm;
-use crate::task::TaskId;
+use crate::task::{Task, TaskId};
 
 /// An address-space operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -444,14 +444,15 @@ impl<S: HasVm> Process<S, ()> for VmOpProcess {
                     self.phase = VPhase::MapUpdate;
                     return Step::Run(ctx.costs().local_op);
                 };
-                if !ctx
-                    .shared
-                    .vm_mut()
-                    .task_mut(task)
-                    .map_lock_mut()
-                    .try_acquire(me)
-                {
-                    return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let woken = ctx.woken_spins();
+                let lock = ctx.shared.vm_mut().task_mut(task).map_lock_mut();
+                lock.charge_spins(woken);
+                if !lock.try_acquire(me) {
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        return Step::Block(BlockOn::one(Task::map_lock_channel(task), spin));
+                    }
+                    return Step::Run(spin);
                 }
                 self.phase = VPhase::LockMaps { idx: idx + 1 };
                 Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked())
@@ -496,6 +497,7 @@ impl<S: HasVm> Process<S, ()> for VmOpProcess {
                     .task_mut(task)
                     .map_lock_mut()
                     .release(me);
+                ctx.notify(Task::map_lock_channel(task));
                 self.phase = VPhase::UnlockMaps { idx: idx + 1 };
                 Step::Run(ctx.costs().lock_release + ctx.bus_write())
             }

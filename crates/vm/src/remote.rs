@@ -8,9 +8,9 @@
 //! flight, and must drop its cached entries before leaving the set — the
 //! same discipline as the context-switch path.
 
-use machtlb_core::MemOp;
+use machtlb_core::{MemOp, SpinMode, SYNC_CHANNEL};
 use machtlb_pmap::{PmapId, Vaddr};
-use machtlb_sim::{Ctx, Dur, Process, Step};
+use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step};
 
 use crate::access::{UserAccess, UserAccessResult, UserAccessStep};
 use crate::state::HasVm;
@@ -112,13 +112,22 @@ impl RemoteCopyProcess {
         {
             let lock = ctx.shared.kernel().pmaps.get(pmap).lock();
             if lock.is_locked() && !lock.is_held_by(ctx.cpu_id) {
-                return Some(Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read));
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let chan = ctx.shared.kernel().pmaps.get(pmap).lock().channel();
+                if let (SpinMode::Event, Some(chan)) = (ctx.shared.kernel().config.spin_mode, chan)
+                {
+                    return Some(Step::Block(BlockOn::one(chan, spin)));
+                }
+                return Some(Step::Run(spin));
             }
         }
         let me = ctx.cpu_id;
         if !pmap.is_kernel() {
             // The kernel pmap is permanently in use on every processor.
             ctx.shared.kernel_mut().pmaps.get_mut(pmap).mark_in_use(me);
+            // Joining the user set can redirect a blocked initiator's
+            // queue scan to this processor.
+            ctx.notify(SYNC_CHANNEL);
         }
         *slot = Some(pmap);
         None
@@ -214,6 +223,8 @@ impl<S: HasVm> Process<S, ()> for RemoteCopyProcess {
                     let kernel = ctx.shared.kernel_mut();
                     let n = kernel.tlbs[me.index()].flush_pmap(pmap);
                     kernel.pmaps.get_mut(pmap).mark_not_in_use(me);
+                    // Leaving the user set can satisfy an initiator's wait.
+                    ctx.notify(SYNC_CHANNEL);
                     cost += ctx.costs().tlb_invalidate_single * n.max(1) + ctx.bus_write();
                 }
                 Step::Done(cost)

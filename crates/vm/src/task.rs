@@ -9,7 +9,7 @@
 use std::fmt;
 
 use machtlb_pmap::{PageRange, PmapId, Vpn};
-use machtlb_sim::SpinLock;
+use machtlb_sim::{SpinLock, WaitChannel};
 
 use crate::map::VmMap;
 
@@ -77,9 +77,15 @@ impl Task {
             id,
             pmap,
             map: VmMap::new(span),
-            map_lock: SpinLock::new(),
+            map_lock: SpinLock::new().on_channel(Task::map_lock_channel(id)),
             terminated: false,
         }
+    }
+
+    /// The wait channel a task's map-lock releases notify (`0x4` key
+    /// space; see `machtlb_sim::event`'s channel registry).
+    pub fn map_lock_channel(id: TaskId) -> WaitChannel {
+        WaitChannel::new(0x4_0000_0000 | u64::from(id.raw()))
     }
 
     /// This task's id.

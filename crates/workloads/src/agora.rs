@@ -9,9 +9,9 @@
 //! processors) between search runs once "it has allocated the memory
 //! internally".
 
-use machtlb_core::{drive, Driven, MemOp};
+use machtlb_core::{drive, Driven, HasKernel, MemOp, SpinMode};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
-use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
+use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, Process, RunStatus, Step, WaitChannel};
 use machtlb_vm::{
     HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
 };
@@ -75,6 +75,12 @@ pub struct AgoraShared {
 
 const REGION_BASE: u64 = USER_SPAN_START + 0x40;
 
+/// Notified when the master sets [`AgoraShared::setup_done`] (workload
+/// `0x5` key space; see `machtlb_sim::event`'s channel registry).
+const SETUP_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0000);
+/// Notified when the last worker of a run exits.
+const RUN_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0001);
+
 #[derive(Debug)]
 enum WPhase {
     SpinSetup,
@@ -97,15 +103,18 @@ impl Process<WlState, ()> for Worker {
     fn step(&mut self, ctx: &mut Ctx<'_, WlState, ()>) -> Step {
         match &mut self.phase {
             WPhase::SpinSetup => {
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
                 if ctx.shared.agora().setup_done {
                     self.phase = WPhase::Step {
                         left: self.cfg.wave_steps,
                         computing: 0,
                     };
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    return Step::Block(BlockOn::one(SETUP_CHANNEL, spin));
                 }
                 // Busy-polling: this worker stays active and is exactly
                 // what the setup-phase shootdowns hit.
-                Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read)
+                Step::Run(spin)
             }
             WPhase::Step { left, computing } => {
                 if *computing > 0 {
@@ -114,6 +123,9 @@ impl Process<WlState, ()> for Worker {
                 }
                 if *left == 0 {
                     ctx.shared.agora_mut().workers_alive -= 1;
+                    if ctx.shared.agora().workers_alive == 0 {
+                        ctx.notify(RUN_CHANNEL);
+                    }
                     return Step::Done(ctx.costs().local_op);
                 }
                 let left_now = *left - 1;
@@ -283,6 +295,7 @@ impl Process<WlState, ()> for Master {
             }
             CPhase::FinishSetup => {
                 ctx.shared.agora_mut().setup_done = true;
+                ctx.notify(SETUP_CHANNEL);
                 self.phase = CPhase::WaitRun;
                 Step::Run(ctx.costs().local_op + ctx.bus_write())
             }
@@ -299,6 +312,8 @@ impl Process<WlState, ()> for Master {
                         current: None,
                     };
                     Step::Run(ctx.costs().local_op)
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    Step::Block(BlockOn::one(RUN_CHANNEL, Dur::micros(300)))
                 } else {
                     Step::Run(Dur::micros(300))
                 }

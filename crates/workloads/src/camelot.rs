@@ -10,9 +10,9 @@
 //! mappings — a user shootdown against the processors running server
 //! threads.
 
-use machtlb_core::{drive, Driven, MemOp};
+use machtlb_core::{drive, Driven, HasKernel, MemOp, SpinMode};
 use machtlb_pmap::{PageRange, Vaddr, Vpn, PAGE_SIZE};
-use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
+use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, Process, RunStatus, Step, WaitChannel};
 use machtlb_vm::{
     HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
 };
@@ -22,6 +22,12 @@ use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
 use crate::kernelops::KernelBufferOp;
 use crate::state::{AppShared, WlState};
 use crate::thread::{enqueue_thread, ThreadShell};
+
+/// Notified when the last client finishes (workload `0x5` key space; see
+/// `machtlb_sim::event`'s channel registry).
+const CLIENTS_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0004);
+/// Notified when the last server thread stops.
+const SERVERS_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0005);
 
 /// Transaction-system parameters.
 #[derive(Clone, Debug)]
@@ -107,6 +113,9 @@ impl Process<WlState, ()> for ServerThread {
         }
         if self.access.is_none() && ctx.shared.camelot().server_stop {
             ctx.shared.camelot_mut().servers_alive -= 1;
+            if ctx.shared.camelot().servers_alive == 0 {
+                ctx.notify(SERVERS_CHANNEL);
+            }
             return Step::Done(ctx.costs().local_op);
         }
         if self.access.is_none() {
@@ -172,6 +181,9 @@ impl Process<WlState, ()> for ClientThread {
             TxPhase::Begin => {
                 if self.tx_left == 0 {
                     ctx.shared.camelot_mut().clients_alive -= 1;
+                    if ctx.shared.camelot().clients_alive == 0 {
+                        ctx.notify(CLIENTS_CHANNEL);
+                    }
                     return Step::Done(ctx.costs().local_op);
                 }
                 self.tx_left -= 1;
@@ -187,18 +199,21 @@ impl Process<WlState, ()> for ClientThread {
             TxPhase::Share => {
                 let server = ctx.shared.camelot().server_task.expect("server installed");
                 let pages = self.tx_range_pages;
-                let db_off = {
-                    let max = self.cfg.db_pages - pages;
-                    ctx.rng().gen_range(0..=max)
-                };
                 let task = self.task;
-                let op = self.op.get_or_insert_with(|| {
-                    VmOpProcess::new(VmOp::ShareCow {
+                // Draw the range only when creating the op: this arm re-runs
+                // for every step the driven op yields, and a draw per step
+                // would tie the machine's rng stream to the spin iteration
+                // count (breaking stepped/event equivalence).
+                if self.op.is_none() {
+                    let max = self.cfg.db_pages - pages;
+                    let db_off = ctx.rng().gen_range(0..=max);
+                    self.op = Some(VmOpProcess::new(VmOp::ShareCow {
                         src: server,
                         src_range: PageRange::new(Vpn::new(DB_BASE + db_off), pages),
                         dst: task,
-                    })
-                });
+                    }));
+                }
+                let op = self.op.as_mut().expect("created above");
                 match drive(op, ctx) {
                     Driven::Yield(s) => s,
                     Driven::Finished(d) => {
@@ -418,6 +433,8 @@ impl Process<WlState, ()> for Coordinator {
                 if ctx.shared.camelot().clients_alive == 0 {
                     self.phase = CPhase::StopServers;
                     Step::Run(ctx.costs().local_op)
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    Step::Block(BlockOn::one(CLIENTS_CHANNEL, Dur::micros(400)))
                 } else {
                     Step::Run(Dur::micros(400))
                 }
@@ -432,6 +449,8 @@ impl Process<WlState, ()> for Coordinator {
                     let now = ctx.now;
                     ctx.shared.camelot_mut().completed_at = Some(now);
                     Step::Done(ctx.costs().local_op)
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    Step::Block(BlockOn::one(SERVERS_CHANNEL, Dur::micros(200)))
                 } else {
                     Step::Run(Dur::micros(200))
                 }

@@ -109,7 +109,16 @@ pub fn run_until_done(
                 }
                 horizon = (horizon + chunk).min(limit);
             }
-            RunStatus::StepLimit => return r.status,
+            RunStatus::StepLimit => {
+                // The guard tripped: say who was still running so the
+                // runaway loop is identifiable without a debugger.
+                eprintln!(
+                    "step guard tripped at {:?}:\n{}",
+                    m.frontier(),
+                    m.frames_diagnostic()
+                );
+                return r.status;
+            }
         }
     }
 }

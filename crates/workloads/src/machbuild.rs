@@ -8,9 +8,9 @@
 //! Roughly half the kernel cycles are metadata probes that never touch
 //! their buffer, which is what lazy evaluation eliminates in Table 1.
 
-use machtlb_core::{drive, Driven, MemOp};
+use machtlb_core::{drive, Driven, HasKernel, MemOp, SpinMode};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
-use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
+use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, Process, RunStatus, Step, WaitChannel};
 use machtlb_vm::{
     HasVm, TaskId, UserAccess, UserAccessResult, UserAccessStep, VmOp, VmOpProcess, USER_SPAN_START,
 };
@@ -20,6 +20,10 @@ use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
 use crate::kernelops::KernelBufferOp;
 use crate::state::{AppShared, WlState};
 use crate::thread::{enqueue_thread, ThreadShell};
+
+/// Notified when a compile job retires (workload `0x5` key space; see
+/// `machtlb_sim::event`'s channel registry).
+const JOB_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0003);
 
 /// Build parameters.
 #[derive(Clone, Debug)]
@@ -173,6 +177,7 @@ impl Process<WlState, ()> for CompileJob {
                         let b = ctx.shared.machbuild_mut();
                         b.jobs_running -= 1;
                         b.jobs_done += 1;
+                        ctx.notify(JOB_CHANNEL);
                         Step::Done(d)
                     }
                 }
@@ -210,7 +215,10 @@ impl Process<WlState, ()> for BuildCoordinator {
                     return Step::Run(ctx.costs().local_op);
                 }
                 if b.jobs_running >= n_cpus - 1 {
-                    // All worker processors busy: poll.
+                    // All worker processors busy: poll until one retires.
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        return Step::Block(BlockOn::one(JOB_CHANNEL, Dur::micros(200)));
+                    }
                     return Step::Run(Dur::micros(200));
                 }
                 {
@@ -248,6 +256,8 @@ impl Process<WlState, ()> for BuildCoordinator {
                 if b.jobs_done == self.cfg.jobs {
                     b.completed_at = Some(now);
                     Step::Done(ctx.costs().local_op)
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    Step::Block(BlockOn::one(JOB_CHANNEL, Dur::micros(500)))
                 } else {
                     Step::Run(Dur::micros(500))
                 }

@@ -12,9 +12,9 @@
 //! threads"), plus a trickle of mostly-untouched kernel buffers.
 
 use machtlb_core::drive;
-use machtlb_core::Driven;
+use machtlb_core::{Driven, HasKernel, SpinMode};
 use machtlb_pmap::{PageRange, Prot, Vpn};
-use machtlb_sim::{CpuId, Ctx, Dur, Process, RunStatus, Step};
+use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, Process, RunStatus, Step, WaitChannel};
 use machtlb_vm::{HasVm, TaskId, VmOp, VmOpProcess, USER_SPAN_START};
 use rand::Rng;
 
@@ -22,6 +22,10 @@ use crate::harness::{build_workload_machine, AppReport, RunConfig, WlMachine};
 use crate::kernelops::KernelBufferOp;
 use crate::state::{AppShared, WlState};
 use crate::thread::{enqueue_thread, ThreadShell};
+
+/// Notified when the last worker of a run exits (workload `0x5` key space;
+/// see `machtlb_sim::event`'s channel registry).
+const RUN_CHANNEL: WaitChannel = WaitChannel::new(0x5_0000_0002);
 
 /// Prover parameters.
 #[derive(Clone, Debug)]
@@ -128,6 +132,9 @@ impl Process<WlState, ()> for Worker {
                 let p = ctx.shared.parthenon_mut();
                 if p.run_over {
                     p.workers_alive -= 1;
+                    if p.workers_alive == 0 {
+                        ctx.notify(RUN_CHANNEL);
+                    }
                     return Step::Done(ctx.costs().local_op);
                 }
                 match p.workpile.pop() {
@@ -351,6 +358,8 @@ impl Process<WlState, ()> for ProverMain {
                 if ctx.shared.parthenon().workers_alive == 0 {
                     self.phase = CPhase::TerminateTask;
                     Step::Run(ctx.costs().local_op)
+                } else if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    Step::Block(BlockOn::one(RUN_CHANNEL, Dur::micros(300)))
                 } else {
                     Step::Run(Dur::micros(300))
                 }

@@ -12,6 +12,7 @@ use std::fmt;
 
 use machtlb_core::{
     drive, enter_idle, Driven, ExitIdleProcess, HasKernel, SwitchUserPmapProcess, RESCHED_VECTOR,
+    SYNC_CHANNEL,
 };
 use machtlb_sim::{CpuId, Ctx, Dur, Process, Step};
 use machtlb_vm::TaskId;
@@ -129,6 +130,9 @@ impl Process<WlState, ()> for Dispatcher {
             },
             DState::EnteringIdle => {
                 enter_idle(ctx.shared.kernel_mut(), me);
+                // Entering the idle set removes us from `active`, which can
+                // satisfy a blocked initiator's queue scan.
+                ctx.notify(SYNC_CHANNEL);
                 self.state = DState::Idle;
                 Step::Run(ctx.costs().local_op + ctx.bus_write() + ctx.bus_write())
             }

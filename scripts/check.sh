@@ -3,6 +3,9 @@
 #   1. formatting       (cargo fmt --check)
 #   2. lints            (clippy, warnings are errors, all targets)
 #   3. tier-1 tests     (release build + the root package's test suite)
+#   4. doc-tests        (workspace-wide)
+#   5. smoke benches    (the spin-vs-event and Section 8 harnesses in
+#                        MACHTLB_SMOKE mode — seconds, not minutes)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -18,5 +21,12 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --quiet
 cargo test --quiet
+
+echo "==> doc-tests"
+cargo test --doc --workspace --quiet
+
+echo "==> smoke benches"
+MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench spin_vs_event
+MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench sec8_scaling
 
 echo "==> all checks passed"

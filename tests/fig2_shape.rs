@@ -1,7 +1,8 @@
 //! Regression guard on the Figure 2 calibration: the basic shootdown cost
-//! must stay near the paper's 430 µs + 55 µs/processor line. A cost-model
-//! or algorithm change that bends the curve fails here before it corrupts
-//! EXPERIMENTS.md.
+//! must stay near the paper's 430 µs + 55 µs/processor line, and must
+//! depart above that line at high processor counts (the bus-contention
+//! knee of Section 7.1). A cost-model or algorithm change that bends the
+//! curve fails here before it corrupts EXPERIMENTS.md.
 
 use machtlb::sim::Time;
 use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
@@ -23,13 +24,26 @@ fn basic_cost(k: u32, seed: u64) -> f64 {
     out.shootdown.expect("shootdown").elapsed.as_micros_f64()
 }
 
+/// The measured shootdown occasionally catches a 20 ms-period device
+/// interrupt mid-flight, inflating one sample by ~370 µs (interrupt entry
+/// plus exit). The median over three seeds discards such hits without
+/// averaging them into the calibration.
+fn median_cost(k: u32, base_seed: u64) -> f64 {
+    let mut v = [
+        basic_cost(k, base_seed),
+        basic_cost(k, base_seed + 1),
+        basic_cost(k, base_seed + 2),
+    ];
+    v.sort_by(f64::total_cmp);
+    v[1]
+}
+
 #[test]
 fn basic_cost_stays_on_the_papers_line() {
     let ks = [1u32, 4, 8, 12];
     let mut pts = Vec::new();
     for &k in &ks {
-        let mean = (basic_cost(k, 2000) + basic_cost(k, 2001)) / 2.0;
-        pts.push((f64::from(k), mean));
+        pts.push((f64::from(k), median_cost(k, 2000)));
     }
     // Monotone growth.
     for w in pts.windows(2) {
@@ -51,13 +65,15 @@ fn basic_cost_stays_on_the_papers_line() {
 #[test]
 fn contention_departs_above_twelve_processors() {
     // The knee: k=15 must sit above the linear prediction from the small-k
-    // region.
+    // region ("bus contention and congestion effects ... become
+    // significant on the Multimax when 12 or more processors are actively
+    // using the bus", Section 7.1).
     let small: Vec<(f64, f64)> = [2u32, 5, 8, 11]
         .iter()
-        .map(|&k| (f64::from(k), basic_cost(k, 2100)))
+        .map(|&k| (f64::from(k), median_cost(k, 2100)))
         .collect();
     let fit = linear_fit(&small).expect("fit");
-    let at15 = basic_cost(15, 2100);
+    let at15 = median_cost(15, 2100);
     assert!(
         at15 > fit.at(15.0),
         "k=15 ({at15:.0} us) must depart above the trend ({:.0} us)",
