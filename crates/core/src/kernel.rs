@@ -6,6 +6,7 @@ use machtlb_sim::{
     BlockOn, CostModel, CpuId, Ctx, Dur, IntrClass, IntrMask, Machine, MachineConfig, Process,
     Step, Time, Vector,
 };
+use machtlb_xpr::{TraceEdge, TracePhase};
 use rand::Rng;
 
 use crate::responder::ResponderProcess;
@@ -55,7 +56,17 @@ pub fn install_kernel_handlers<S: HasKernel + 'static>(
     m: &mut Machine<S, ()>,
     high_prio_ipi: bool,
 ) {
-    m.register_handler(SHOOTDOWN_VECTOR, IntrClass::Ipi, |_, _| {
+    m.register_handler(SHOOTDOWN_VECTOR, IntrClass::Ipi, |s, cpu, at| {
+        // The delivery instant belongs to the trace, not the handler body:
+        // by the time the responder first steps, the interrupt-entry and
+        // state-save costs have already elapsed.
+        let k = s.kernel_mut();
+        if k.trace.is_enabled() {
+            if let Some(span) = k.trace.pending(cpu) {
+                k.trace
+                    .record(cpu, span, TracePhase::IpiDelivery, TraceEdge::Mark, at);
+            }
+        }
         Box::new(ResponderProcess::new())
     });
     let device_mask = if high_prio_ipi {
@@ -63,11 +74,13 @@ pub fn install_kernel_handlers<S: HasKernel + 'static>(
     } else {
         IntrMask::ALL_BLOCKED
     };
-    m.register_handler_with_mask(DEVICE_VECTOR, IntrClass::Device, device_mask, |_, _| {
+    m.register_handler_with_mask(DEVICE_VECTOR, IntrClass::Device, device_mask, |_, _, _| {
         Box::new(DeviceHandler::new())
     });
-    m.register_handler(RESCHED_VECTOR, IntrClass::Ipi, |_, _| Box::new(NopHandler));
-    m.register_handler(TIMER_FLUSH_VECTOR, IntrClass::Device, |_, _| {
+    m.register_handler(RESCHED_VECTOR, IntrClass::Ipi, |_, _, _| {
+        Box::new(NopHandler)
+    });
+    m.register_handler(TIMER_FLUSH_VECTOR, IntrClass::Device, |_, _, _| {
         Box::new(TimerFlushHandler)
     });
 }

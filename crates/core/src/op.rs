@@ -26,7 +26,7 @@
 use machtlb_pmap::{PageRange, Pfn, PmapId, Prot, Pte, Vpn};
 use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, IntrMask, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
-use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent};
+use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
 use crate::queue::Action;
 use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
@@ -156,6 +156,11 @@ pub struct PmapOpProcess {
     /// backfilled spin iterations are charged to the right lock even if
     /// the pmap's user set changed while it slept.
     spun_on_queue: Option<CpuId>,
+    /// This operation's flight-recorder span (allocated lazily, once the
+    /// operation turns out to need consistency actions).
+    span: Option<SpanId>,
+    /// The trace phase currently open on the initiator's track.
+    open: Option<TracePhase>,
 }
 
 impl PmapOpProcess {
@@ -177,6 +182,8 @@ impl PmapOpProcess {
             applied: 0,
             outcome: OpOutcome::default(),
             spun_on_queue: None,
+            span: None,
+            open: None,
         }
     }
 
@@ -314,6 +321,48 @@ impl PmapOpProcess {
         // instructions (the Section 6.1 perturbation).
         ctx.costs().local_op * 4
     }
+
+    /// Allocates this operation's flight-recorder span on first use and
+    /// opens `first` as the current phase. The Initiate slice is recorded
+    /// retroactively over `[t_start, now]`: safe, because the initiator
+    /// has had interrupts blocked since [`Phase::Begin`], so nothing else
+    /// recorded on this processor's track in between.
+    fn trace_begin_span<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>, first: TracePhase) {
+        if self.span.is_some() || !ctx.shared.kernel().trace.is_enabled() {
+            return;
+        }
+        let me = ctx.cpu_id;
+        let now = ctx.now;
+        let t0 = self.t_start.unwrap_or(now);
+        let k = ctx.shared.kernel_mut();
+        let span = k.trace.begin_span();
+        k.trace
+            .record(me, span, TracePhase::Initiate, TraceEdge::Begin, t0);
+        k.trace
+            .record(me, span, TracePhase::Initiate, TraceEdge::End, now);
+        k.trace.record(me, span, first, TraceEdge::Begin, now);
+        self.span = Some(span);
+        self.open = Some(first);
+    }
+
+    /// Moves the initiator's track to `phase`: closes the open slice and
+    /// begins the new one at the current instant. A no-op without a span
+    /// (tracing off, or no consistency actions needed) or when `phase`
+    /// is already open.
+    fn trace_enter<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>, phase: TracePhase) {
+        let Some(span) = self.span else { return };
+        if self.open == Some(phase) {
+            return;
+        }
+        let me = ctx.cpu_id;
+        let now = ctx.now;
+        let k = ctx.shared.kernel_mut();
+        if let Some(open) = self.open.take() {
+            k.trace.record(me, span, open, TraceEdge::End, now);
+        }
+        k.trace.record(me, span, phase, TraceEdge::Begin, now);
+        self.open = Some(phase);
+    }
 }
 
 impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
@@ -385,6 +434,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(cost)
             }
             Phase::QueueScan { next } => {
+                self.trace_begin_span(ctx, TracePhase::QueueActions);
                 // A wakeup's backfilled iterations all spun on the lock the
                 // process blocked on (the wake instant is the first check at
                 // which anything it read could have changed), which is not
@@ -447,6 +497,11 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 ctx.shared.kernel_mut().action_needed[cpu.index()] = true;
                 ctx.shared.kernel_mut().queue_locks[cpu.index()].release(me);
                 ctx.notify(queue_lock_channel(cpu));
+                if let Some(span) = self.span {
+                    // Link the responder's eventual drain back to this
+                    // shootdown.
+                    ctx.shared.kernel_mut().trace.set_pending(cpu, span);
+                }
                 self.outcome.shootdown = true;
                 // Idle processors get queued actions but no interrupt and
                 // no synchronization.
@@ -469,14 +524,26 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(cost)
             }
             Phase::SendIpis { idx } => {
+                self.trace_enter(ctx, TracePhase::IpiSend);
                 let strategy = self.strategy(ctx.shared.kernel());
                 if strategy == Strategy::BroadcastIpi {
                     // One poke interrupts every other processor.
                     ctx.broadcast_ipi(SHOOTDOWN_VECTOR);
                     ctx.shared.kernel_mut().stats.ipis_sent += ctx.n_cpus() as u64 - 1;
+                    let now = ctx.now;
                     for c in 0..ctx.shared.kernel_mut().n_cpus {
                         if c != me.index() {
                             ctx.shared.kernel_mut().ipi_pending[c] = true;
+                            if let Some(span) = self.span {
+                                ctx.shared.kernel_mut().trace.record_arg(
+                                    me,
+                                    span,
+                                    TracePhase::IpiSend,
+                                    TraceEdge::Mark,
+                                    now,
+                                    c as u32,
+                                );
+                            }
                         }
                     }
                     self.phase = Phase::Wait { idx: 0 };
@@ -488,10 +555,22 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 };
                 ctx.send_ipi(target, SHOOTDOWN_VECTOR);
                 ctx.shared.kernel_mut().stats.ipis_sent += 1;
+                if let Some(span) = self.span {
+                    let now = ctx.now;
+                    ctx.shared.kernel_mut().trace.record_arg(
+                        me,
+                        span,
+                        TracePhase::IpiSend,
+                        TraceEdge::Mark,
+                        now,
+                        target.index() as u32,
+                    );
+                }
                 self.phase = Phase::SendIpis { idx: idx + 1 };
                 Step::Run(ctx.costs().ipi_send)
             }
             Phase::Wait { idx } => {
+                self.trace_enter(ctx, TracePhase::SyncWait);
                 let Some(&cpu) = self.wait_list.get(idx) else {
                     self.t_sync_done = Some(ctx.now);
                     self.phase = Phase::Apply;
@@ -536,6 +615,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 }
             }
             Phase::PreInvalidatePt { applied } => {
+                self.trace_begin_span(ctx, TracePhase::PmapUpdate);
                 // Write the page-table entries invalid before touching the
                 // remote buffers: a concurrent hardware reload then loads
                 // an invalid entry (a spurious fault the paper calls
@@ -564,6 +644,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(cost)
             }
             Phase::RemoteInvalidate { next } => {
+                self.trace_enter(ctx, TracePhase::RemoteInvalidate);
                 // Section 9: "the initiator can shoot the entries directly
                 // out of the responders' TLBs without involving the
                 // responders." Each remote entry invalidation is a bus
@@ -598,6 +679,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 Step::Run(single * n.max(1) + bus)
             }
             Phase::Apply => {
+                self.trace_enter(ctx, TracePhase::PmapUpdate);
                 self.plan_changes(ctx.shared.kernel());
                 if self.t_sync_done.is_none() {
                     self.t_sync_done = Some(ctx.now);
@@ -691,7 +773,23 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 if let Some(mask) = self.saved_mask.take() {
                     ctx.set_mask(mask);
                 }
-                Step::Done(cost + ctx.costs().local_op)
+                let total = cost + ctx.costs().local_op;
+                if let Some(span) = self.span {
+                    // The lock was released above, at this step's instant;
+                    // the unlock slice covers the remaining cleanup, whose
+                    // cost is now known. Nothing later lands on this track
+                    // before `now + total` — the step charge advances this
+                    // processor's clock past it.
+                    let k = ctx.shared.kernel_mut();
+                    if let Some(open) = self.open.take() {
+                        k.trace.record(me, span, open, TraceEdge::End, now);
+                    }
+                    k.trace
+                        .record(me, span, TracePhase::Unlock, TraceEdge::Begin, now);
+                    k.trace
+                        .record(me, span, TracePhase::Unlock, TraceEdge::End, now + total);
+                }
+                Step::Done(total)
             }
         }
     }

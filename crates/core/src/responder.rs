@@ -4,7 +4,7 @@
 use machtlb_pmap::PmapId;
 use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
-use machtlb_xpr::{ResponderRecord, ShootdownEvent};
+use machtlb_xpr::{ResponderRecord, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
 use crate::queue::Action;
 use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
@@ -41,6 +41,12 @@ pub(crate) struct DrainQueue {
     actions: Vec<Action>,
     flush_all: bool,
     idx: usize,
+    /// The shootdown span that queued this processor's work, looked up
+    /// from the recorder's pending table on the first step.
+    span: Option<SpanId>,
+    looked: bool,
+    /// The trace phase currently open on this responder's track.
+    open: Option<TracePhase>,
 }
 
 impl DrainQueue {
@@ -56,6 +62,41 @@ impl DrainQueue {
             actions: Vec::new(),
             flush_all: false,
             idx: 0,
+            span: None,
+            looked: false,
+            open: None,
+        }
+    }
+
+    /// The span this drain was linked to (meaningful after the first
+    /// step; kept so the embedding process can record the rejoin mark
+    /// after the drain is dropped).
+    pub(crate) fn span(&self) -> Option<SpanId> {
+        self.span
+    }
+
+    /// First-step trace setup: link to the pending span and, if this
+    /// drain stalls on the pmap locks, open the quiesce slice.
+    fn trace_link<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>) {
+        if self.looked {
+            return;
+        }
+        self.looked = true;
+        if !ctx.shared.kernel().trace.is_enabled() {
+            return;
+        }
+        let me = ctx.cpu_id;
+        self.span = ctx.shared.kernel().trace.pending(me);
+        if let (Some(span), DrainPhase::SpinPmaps) = (self.span, &self.phase) {
+            let now = ctx.now;
+            ctx.shared.kernel_mut().trace.record(
+                me,
+                span,
+                TracePhase::Quiesce,
+                TraceEdge::Begin,
+                now,
+            );
+            self.open = Some(TracePhase::Quiesce);
         }
     }
 
@@ -116,6 +157,7 @@ impl DrainQueue {
     }
 
     pub(crate) fn step<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>) -> DrainStatus {
+        self.trace_link(ctx);
         let me = ctx.cpu_id;
         match self.phase {
             DrainPhase::SpinPmaps => {
@@ -139,6 +181,13 @@ impl DrainQueue {
                     }
                     DrainStatus::Running(Step::Run(spin))
                 } else {
+                    if let (Some(span), Some(open)) = (self.span, self.open.take()) {
+                        let now = ctx.now;
+                        ctx.shared
+                            .kernel_mut()
+                            .trace
+                            .record(me, span, open, TraceEdge::End, now);
+                    }
                     self.phase = DrainPhase::LockQueue;
                     DrainStatus::Running(Step::Run(ctx.costs().local_op))
                 }
@@ -161,6 +210,21 @@ impl DrainQueue {
                 self.actions = actions;
                 self.flush_all = flush_all;
                 self.idx = 0;
+                if let Some(span) = self.span {
+                    // Only now is it known whether the queue overflowed
+                    // into a whole-TLB flush.
+                    let phase = if flush_all {
+                        TracePhase::FullFlush
+                    } else {
+                        TracePhase::Drain
+                    };
+                    let now = ctx.now;
+                    ctx.shared
+                        .kernel_mut()
+                        .trace
+                        .record(me, span, phase, TraceEdge::Begin, now);
+                    self.open = Some(phase);
+                }
                 self.phase = DrainPhase::Drain;
                 DrainStatus::Running(Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked()))
             }
@@ -181,6 +245,14 @@ impl DrainQueue {
                 DrainStatus::Running(Step::Run(cost))
             }
             DrainPhase::Finish => {
+                if let Some(span) = self.span {
+                    let now = ctx.now;
+                    let k = ctx.shared.kernel_mut();
+                    if let Some(open) = self.open.take() {
+                        k.trace.record(me, span, open, TraceEdge::End, now);
+                    }
+                    k.trace.clear_pending(me);
+                }
                 ctx.shared.kernel_mut().action_needed[me.index()] = false;
                 ctx.shared.kernel_mut().queue_locks[me.index()].release(me);
                 // The cleared flag satisfies no-stall initiators; the
@@ -215,6 +287,9 @@ pub struct ResponderProcess {
     phase: RPhase,
     t_start: Option<Time>,
     drain: Option<DrainQueue>,
+    /// The span of the drain just completed, carried to the reactivation
+    /// step so the rejoin mark lands on the right shootdown.
+    span: Option<SpanId>,
 }
 
 impl ResponderProcess {
@@ -224,6 +299,7 @@ impl ResponderProcess {
             phase: RPhase::Enter,
             t_start: None,
             drain: None,
+            span: None,
         }
     }
 }
@@ -263,6 +339,7 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 match drain.step(ctx) {
                     DrainStatus::Running(step) => step,
                     DrainStatus::Finished(cost) => {
+                        self.span = drain.span();
                         self.drain = None;
                         self.phase = RPhase::Reactivate;
                         Step::Run(cost)
@@ -271,6 +348,16 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
             }
             RPhase::Reactivate => {
                 ctx.shared.kernel_mut().active.insert(me);
+                if let Some(span) = self.span.take() {
+                    let now = ctx.now;
+                    ctx.shared.kernel_mut().trace.record(
+                        me,
+                        span,
+                        TracePhase::Rejoin,
+                        TraceEdge::Mark,
+                        now,
+                    );
+                }
                 // Loop: a concurrent shootdown may have queued more work.
                 self.phase = RPhase::Enter;
                 Step::Run(ctx.costs().local_op + ctx.bus_write())
@@ -328,6 +415,8 @@ enum ExitPhase {
 pub struct ExitIdleProcess {
     phase: ExitPhase,
     drain: Option<DrainQueue>,
+    /// As in [`ResponderProcess`]: the drained span, for the rejoin mark.
+    span: Option<SpanId>,
 }
 
 impl ExitIdleProcess {
@@ -337,6 +426,7 @@ impl ExitIdleProcess {
         ExitIdleProcess {
             phase: ExitPhase::MarkNotIdle,
             drain: None,
+            span: None,
         }
     }
 }
@@ -370,6 +460,7 @@ impl<S: HasKernel> Process<S, ()> for ExitIdleProcess {
                 match drain.step(ctx) {
                     DrainStatus::Running(step) => step,
                     DrainStatus::Finished(cost) => {
+                        self.span = drain.span();
                         self.drain = None;
                         self.phase = ExitPhase::Activate;
                         Step::Run(cost)
@@ -378,6 +469,16 @@ impl<S: HasKernel> Process<S, ()> for ExitIdleProcess {
             }
             ExitPhase::Activate => {
                 ctx.shared.kernel_mut().active.insert(me);
+                if let Some(span) = self.span.take() {
+                    let now = ctx.now;
+                    ctx.shared.kernel_mut().trace.record(
+                        me,
+                        span,
+                        TracePhase::Rejoin,
+                        TraceEdge::Mark,
+                        now,
+                    );
+                }
                 Step::Done(ctx.costs().local_op + ctx.bus_write())
             }
         }

@@ -7,7 +7,7 @@ use std::fmt;
 use machtlb_pmap::{CpuSet, Pfn, Pmap, PmapId};
 use machtlb_sim::{CpuId, SpinLock, WaitChannel};
 use machtlb_tlb::{Tlb, TlbConfig};
-use machtlb_xpr::{ShootdownEvent, XprBuffer};
+use machtlb_xpr::{FlightRecorder, ShootdownEvent, XprBuffer};
 
 use crate::checker::Checker;
 use crate::queue::ActionQueue;
@@ -95,6 +95,12 @@ pub struct KernelConfig {
     /// paper records on 5 of 16 "to avoid lock contention effects in the
     /// xpr package").
     pub responder_sample: Option<Vec<CpuId>>,
+    /// Whether the shootdown flight recorder traces per-phase spans. Off by
+    /// default: when off, every trace site reduces to one branch on this
+    /// flag and no trace buffers are allocated.
+    pub trace_shootdowns: bool,
+    /// Per-processor flight-recorder buffer capacity, in events.
+    pub trace_capacity: usize,
     /// How spin sites wait: stepped iteration (the oracle) or event-driven
     /// parking (the default; bit-identical, far faster to simulate).
     pub spin_mode: SpinMode,
@@ -111,6 +117,8 @@ impl Default for KernelConfig {
             xpr_capacity: 1 << 16,
             instrumentation: true,
             responder_sample: None,
+            trace_shootdowns: false,
+            trace_capacity: 1 << 16,
             spin_mode: SpinMode::default(),
         }
     }
@@ -354,6 +362,9 @@ pub struct KernelState {
     pub cur_user_pmap: Vec<Option<PmapId>>,
     /// The trace buffer.
     pub xpr: XprBuffer<ShootdownEvent>,
+    /// The shootdown flight recorder (disabled unless
+    /// [`KernelConfig::trace_shootdowns`]).
+    pub trace: FlightRecorder,
     /// The consistency oracle.
     pub checker: Checker,
     /// Kernel counters.
@@ -401,6 +412,11 @@ impl KernelState {
             ipi_pending: vec![false; n_cpus],
             cur_user_pmap: vec![None; n_cpus],
             xpr: XprBuffer::new(config.xpr_capacity),
+            trace: if config.trace_shootdowns {
+                FlightRecorder::new(n_cpus, config.trace_capacity)
+            } else {
+                FlightRecorder::disabled(n_cpus)
+            },
             checker: Checker::new(),
             stats: KernelStats::default(),
             mem: PhysMem::default(),

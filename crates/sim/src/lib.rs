@@ -235,7 +235,7 @@ mod tests {
     fn ipi_dispatches_handler_with_interrupts_blocked() {
         let v = Vector::new(1);
         let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
-        m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(NoteMask));
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
         m.spawn_at(
             CpuId::new(0),
             Time::ZERO,
@@ -284,7 +284,7 @@ mod tests {
         }
 
         let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
-        m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(NoteMask));
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
         m.spawn_at(
             CpuId::new(1),
             Time::ZERO,
@@ -341,7 +341,7 @@ mod tests {
         }
 
         let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
-        m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(NoteMask));
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
         m.spawn_at(
             CpuId::new(1),
             Time::ZERO,
@@ -489,7 +489,7 @@ mod tests {
             }
         }
         let mut m = Machine::new(test_config(4), IntrLog::default(), |_| ());
-        m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(NoteMask));
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
         m.spawn_at(CpuId::new(2), Time::ZERO, Box::new(Caster { sent: false }));
         m.run(Time::from_micros(10_000));
         let mut who: Vec<CpuId> = m.shared().dispatched.iter().map(|(c, _)| *c).collect();
@@ -738,7 +738,7 @@ mod tests {
 
         let run = |event: bool| {
             let mut m = Machine::new(test_config(2), FlagWorld::default(), |_| ());
-            m.register_handler(v, IntrClass::Ipi, |_, _| Box::new(HandlerSetsFlag));
+            m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(HandlerSetsFlag));
             m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(FlagWaiter { event }));
             m.spawn_at(
                 CpuId::new(1),
@@ -843,7 +843,7 @@ mod tests {
             }
         }
         let mut m = Machine::new(test_config(2), SpinCount::default(), |_| ());
-        m.register_handler(Vector::new(1), IntrClass::Ipi, |_, _| {
+        m.register_handler(Vector::new(1), IntrClass::Ipi, |_, _, _| {
             Box::new(HandlerCounts)
         });
         m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(CountingWaiter));
@@ -949,7 +949,7 @@ mod proptests {
                     Trace::new(),
                     |_| (),
                 );
-                m.register_handler(Vector::new(1), IntrClass::Ipi, |_, _| Box::new(Handler));
+                m.register_handler(Vector::new(1), IntrClass::Ipi, |_, _, _| Box::new(Handler));
                 for (i, acts) in scripts.iter().enumerate() {
                     m.spawn_at(
                         CpuId::new(i as u32),

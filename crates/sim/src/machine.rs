@@ -103,7 +103,7 @@ impl<S, P> Ord for QueuedDelivery<S, P> {
     }
 }
 
-type HandlerFactory<S, P> = Box<dyn Fn(&mut S, CpuId) -> Box<dyn Process<S, P>>>;
+type HandlerFactory<S, P> = Box<dyn Fn(&mut S, CpuId, Time) -> Box<dyn Process<S, P>>>;
 
 struct HandlerEntry<S, P> {
     class: IntrClass,
@@ -191,11 +191,16 @@ impl<S, P> Machine<S, P> {
     /// by default (Section 4). Use [`Machine::register_handler_with_mask`]
     /// to model hardware that leaves some classes deliverable during the
     /// handler (the Section 9 high-priority software interrupt).
+    ///
+    /// The factory receives the dispatching processor's clock at the
+    /// vectoring instant, so handlers can timestamp the delivery itself
+    /// (instrumentation needs the moment the interrupt landed, not the
+    /// moment the handler body first runs after the entry cost).
     pub fn register_handler(
         &mut self,
         vector: Vector,
         class: IntrClass,
-        factory: impl Fn(&mut S, CpuId) -> Box<dyn Process<S, P>> + 'static,
+        factory: impl Fn(&mut S, CpuId, Time) -> Box<dyn Process<S, P>> + 'static,
     ) {
         self.register_handler_with_mask(vector, class, IntrMask::ALL_BLOCKED, factory);
     }
@@ -208,7 +213,7 @@ impl<S, P> Machine<S, P> {
         vector: Vector,
         class: IntrClass,
         handler_mask: IntrMask,
-        factory: impl Fn(&mut S, CpuId) -> Box<dyn Process<S, P>> + 'static,
+        factory: impl Fn(&mut S, CpuId, Time) -> Box<dyn Process<S, P>> + 'static,
     ) {
         self.handlers.insert(
             vector,
@@ -491,7 +496,7 @@ impl<S, P> Machine<S, P> {
             let handler = handlers
                 .get(&v)
                 .expect("deliverable vector lost its handler");
-            let proc = (handler.factory)(shared, cpu_id);
+            let proc = (handler.factory)(shared, cpu_id, cpu.clock);
             cpu.stack.push(Frame {
                 proc,
                 restore_mask: Some(prev_mask),

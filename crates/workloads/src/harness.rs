@@ -4,7 +4,7 @@
 use machtlb_core::{install_kernel_handlers, KernelConfig, KernelStats};
 use machtlb_sim::{CostModel, CpuId, Dur, Machine, MachineConfig, Time};
 use machtlb_vm::{SystemState, VmStats};
-use machtlb_xpr::{InitiatorRecord, PmapKind, ResponderRecord, Summary};
+use machtlb_xpr::{InitiatorRecord, PmapKind, ResponderRecord, Summary, TraceEvent};
 
 use crate::state::{AppShared, WlState};
 use crate::thread::Dispatcher;
@@ -156,6 +156,10 @@ pub struct AppReport {
     /// Processors responder events were recorded on (for scaling the
     /// sampled responder totals machine-wide, as Section 7.3 does).
     pub responder_sample_size: usize,
+    /// Flight-recorder events (time-sorted; empty unless
+    /// [`KernelConfig::trace_shootdowns`](machtlb_core::KernelConfig) was
+    /// set).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl AppReport {
@@ -167,6 +171,11 @@ impl AppReport {
             k.xpr.overwritten(),
             0,
             "xpr buffer overflowed; enlarge KernelConfig::xpr_capacity"
+        );
+        assert_eq!(
+            k.trace.overwritten(),
+            0,
+            "flight recorder overflowed; enlarge KernelConfig::trace_capacity"
         );
         let mut kernel_initiators = Vec::new();
         let mut user_initiators = Vec::new();
@@ -200,6 +209,7 @@ impl AppReport {
                 .responder_sample
                 .as_ref()
                 .map_or(k.n_cpus, Vec::len),
+            trace: k.trace.events(),
         }
     }
 

@@ -42,7 +42,7 @@ enum PPhase {
     Sleep,
     Scan,
     Write { pages: u64 },
-    Op(PmapOpProcess),
+    Op(Box<PmapOpProcess>),
 }
 
 /// The daemon thread: enqueue it on a processor via
@@ -154,8 +154,10 @@ impl Process<WlState, ()> for PageoutDaemon {
                     };
                     let range = PageRange::new(vpn, count);
                     self.aging.clear();
-                    self.phase =
-                        PPhase::Op(PmapOpProcess::new(pmap, PmapOp::ClearRefBits { range }));
+                    self.phase = PPhase::Op(Box::new(PmapOpProcess::new(
+                        pmap,
+                        PmapOp::ClearRefBits { range },
+                    )));
                     return Step::Run(cost);
                 }
                 if let Some((_, dirty)) = self.victims.first().copied() {
@@ -179,7 +181,7 @@ impl Process<WlState, ()> for PageoutDaemon {
                 self.phase = self.begin_evict(pages);
                 Step::Run(cost)
             }
-            PPhase::Op(op) => match drive(op, ctx) {
+            PPhase::Op(op) => match drive(op.as_mut(), ctx) {
                 Driven::Yield(s) => s,
                 Driven::Finished(d) => {
                     if self.evicting > 0 {
@@ -212,7 +214,7 @@ impl PageoutDaemon {
             PageRange::single(vpns[0])
         };
         self.evicting = range.count();
-        PPhase::Op(PmapOpProcess::new(pmap, PmapOp::Remove { range }))
+        PPhase::Op(Box::new(PmapOpProcess::new(pmap, PmapOp::Remove { range })))
     }
 }
 

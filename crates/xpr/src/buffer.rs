@@ -27,6 +27,10 @@ use std::fmt;
 #[derive(Clone, Debug)]
 pub struct XprBuffer<T> {
     slots: Vec<T>,
+    /// Ring size, stored explicitly: `Vec::with_capacity` may over-allocate,
+    /// and a derived `Clone` shrinks the vector's capacity to its length —
+    /// either would silently change how many records the ring retains.
+    capacity: usize,
     head: usize,
     len: usize,
     enabled: bool,
@@ -45,6 +49,7 @@ impl<T> XprBuffer<T> {
         assert!(capacity > 0, "xpr buffer needs capacity");
         XprBuffer {
             slots: Vec::with_capacity(capacity),
+            capacity,
             head: 0,
             len: 0,
             enabled: true,
@@ -61,7 +66,7 @@ impl<T> XprBuffer<T> {
             return;
         }
         self.recorded += 1;
-        let cap = self.slots.capacity();
+        let cap = self.capacity;
         if self.slots.len() < cap {
             self.slots.push(event);
             self.len += 1;
@@ -93,10 +98,17 @@ impl<T> XprBuffer<T> {
         self.suppressed = 0;
     }
 
-    /// Iterates over retained records from oldest to newest.
+    /// The ring size this buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over retained records in record order (oldest to newest),
+    /// not slot order: after a wrap the oldest retained record sits at
+    /// `head`, where the next overwrite will land.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        let cap = self.slots.len();
-        (0..cap).map(move |i| &self.slots[(self.head + i) % cap])
+        let n = self.slots.len();
+        (0..n).map(move |i| &self.slots[(self.head + i) % n])
     }
 
     /// Number of retained records.
@@ -132,7 +144,7 @@ impl<T> fmt::Display for XprBuffer<T> {
             f,
             "xpr[{}/{} retained, {} recorded, {} overwritten, {}]",
             self.len,
-            self.slots.capacity(),
+            self.capacity,
             self.recorded,
             self.overwritten,
             if self.enabled { "on" } else { "off" }
@@ -197,5 +209,59 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _: XprBuffer<u8> = XprBuffer::new(0);
+    }
+
+    #[test]
+    fn iter_stays_in_record_order_across_many_wraps() {
+        // Regression: the ring size must not depend on Vec::capacity(),
+        // which is free to exceed the requested 5. After any number of
+        // wraps, iteration yields exactly the newest 5 records, oldest
+        // first (record order, not slot order).
+        let mut b = XprBuffer::new(5);
+        for i in 0..23 {
+            b.record(i);
+            let got: Vec<i32> = b.iter().copied().collect();
+            let lo = (i + 1 - (i + 1).min(5)).max(0);
+            assert_eq!(got, (lo..=i).collect::<Vec<_>>(), "after record {i}");
+        }
+        assert_eq!(b.overwritten(), 23 - 5);
+    }
+
+    #[test]
+    fn clone_preserves_ring_capacity() {
+        // Regression: a derived Clone clones the slot vector with capacity
+        // possibly shrunk to its length; the explicit capacity field keeps
+        // the clone behaving like the original.
+        let mut b = XprBuffer::new(4);
+        b.record(0);
+        b.record(1);
+        let mut c = b.clone();
+        assert_eq!(c.capacity(), 4);
+        for i in 2..6 {
+            c.record(i);
+        }
+        assert_eq!(c.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert_eq!(c.overwritten(), 2, "clone wraps at the same size");
+    }
+
+    #[test]
+    fn reset_clears_overwritten_and_suppressed_counters() {
+        let mut b = XprBuffer::new(2);
+        b.record(1);
+        b.record(2);
+        b.record(3); // overwrites
+        b.set_enabled(false);
+        b.record(4); // suppressed
+        b.set_enabled(true);
+        assert_eq!((b.overwritten(), b.suppressed()), (1, 1));
+        b.reset();
+        assert_eq!((b.overwritten(), b.suppressed()), (0, 0));
+        assert_eq!(b.recorded(), 0);
+        assert!(b.is_enabled(), "reset keeps the on/off switch");
+        // The ring still wraps at its original size after a reset.
+        for i in 0..3 {
+            b.record(i);
+        }
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
     }
 }

@@ -1,0 +1,193 @@
+//! Log-bucketed latency histograms.
+//!
+//! The paper reports its time distributions as mean ± std plus
+//! median/10th/90th percentiles because they are "not normal in the
+//! statistical sense" (Section 7.3) — heavily right-skewed, with a long
+//! tail of interrupted shootdowns. A histogram with power-of-two buckets
+//! captures that shape compactly at any scale: nanosecond lock handoffs
+//! and millisecond full-machine shootdowns land in the same structure
+//! without choosing bin widths up front.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use machtlb_sim::Dur;
+
+/// A histogram of durations with logarithmic (power-of-two nanosecond)
+/// buckets: bucket 0 counts `[0, 1)` ns, bucket `i >= 1` counts
+/// `[2^(i-1), 2^i)` ns.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_xpr::Histogram;
+/// use machtlb_sim::Dur;
+///
+/// let mut h = Histogram::new();
+/// h.record(Dur::micros(480));
+/// h.record(Dur::micros(520));
+/// h.record(Dur::micros(870)); // the long tail
+/// assert_eq!(h.count(), 3);
+/// assert!(h.render(30).contains('#'));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: Dur,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index a duration falls into.
+    fn bucket_of(d: Dur) -> usize {
+        let ns = d.as_nanos();
+        match ns {
+            0 => 0,
+            _ => 64 - ns.leading_zeros() as usize,
+        }
+    }
+
+    /// The half-open nanosecond range `[lo, hi)` of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1 << (i - 1), 1 << i)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Dur) {
+        let b = Self::bucket_of(d);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total += d;
+    }
+
+    /// Builds a histogram from a slice of durations.
+    pub fn of(samples: &[Dur]) -> Histogram {
+        let mut h = Histogram::new();
+        for &d in samples {
+            h.record(d);
+        }
+        h
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations.
+    pub fn total(&self) -> Dur {
+        self.total
+    }
+
+    /// Counts per bucket, lowest first (trailing empty buckets trimmed).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+
+    /// Renders the occupied bucket range as ASCII bars, one line per
+    /// bucket, labelled in microseconds. Empty histograms render to an
+    /// empty string.
+    pub fn render(&self, width: usize) -> String {
+        let Some(first) = self.buckets.iter().position(|&c| c > 0) else {
+            return String::new();
+        };
+        let last = self.buckets.iter().rposition(|&c| c > 0).expect("first");
+        let peak = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for i in first..=last {
+            let (lo, hi) = Self::bucket_bounds(i);
+            let c = self.buckets[i];
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            let _ = writeln!(
+                out,
+                "{:>10.1}-{:<10.1} us |{bar} {c}",
+                lo as f64 / 1000.0,
+                hi as f64 / 1000.0,
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram[{} samples over {} buckets]",
+            self.count,
+            self.buckets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 2));
+        assert_eq!(Histogram::bucket_bounds(11), (1024, 2048));
+        let mut h = Histogram::new();
+        h.record(Dur::nanos(0));
+        h.record(Dur::nanos(1));
+        h.record(Dur::nanos(1023));
+        h.record(Dur::nanos(1024));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[10], 1, "1023 ns is in [512, 1024)");
+        assert_eq!(h.buckets()[11], 1, "1024 ns is in [1024, 2048)");
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bounds() {
+        for ns in [0u64, 1, 2, 3, 7, 8, 100, 999, 1_000_000, u32::MAX as u64] {
+            let b = Histogram::bucket_of(Dur::nanos(ns));
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert!(lo <= ns && ns < hi, "{ns} ns not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::of(&[Dur::micros(1), Dur::micros(2)]);
+        let mut b = Histogram::of(&[Dur::micros(500)]);
+        b.merge(&a);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.total(), Dur::micros(503));
+    }
+
+    #[test]
+    fn render_covers_occupied_range_only() {
+        let h = Histogram::of(&[Dur::micros(480), Dur::micros(490), Dur::micros(870)]);
+        let r = h.render(20);
+        assert_eq!(r.lines().count(), 2, "two occupied buckets, adjacent");
+        assert!(r.contains('#'));
+        assert!(Histogram::new().render(20).is_empty());
+    }
+}

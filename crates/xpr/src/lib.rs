@@ -26,16 +26,25 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod chrome;
+mod histogram;
 mod plot;
 mod record;
 mod stats;
 mod table;
+mod trace;
 
 pub use buffer::XprBuffer;
+pub use chrome::{chrome_trace_json, validate_json_shape};
+pub use histogram::Histogram;
 pub use plot::{ascii_histogram, ascii_scatter};
 pub use record::{InitiatorRecord, PmapKind, ResponderRecord, ShootdownEvent};
-pub use stats::{linear_fit, percentile_sorted, LinFit, Summary};
+pub use stats::{linear_fit, percentile_nearest_rank, percentile_sorted, LinFit, Summary};
 pub use table::{counters_table, TextTable};
+pub use trace::{
+    assemble_spans, check_monotone_per_cpu, phase_latencies, FlightRecorder, PhaseSlice, Span,
+    SpanId, SpanMark, TraceEdge, TraceEvent, TracePhase,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -70,6 +79,34 @@ mod proptests {
             prop_assert!(s.p90 <= s.max + 1e-9);
             prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
             prop_assert!(s.std >= 0.0);
+        }
+
+        /// Summary's tail percentiles match a reference nearest-rank
+        /// implementation written independently of `percentile_nearest_rank`
+        /// (count-based rather than index-based): the p-th percentile is the
+        /// smallest sample v such that at least p% of the sample is <= v.
+        #[test]
+        fn summary_tails_match_reference_nearest_rank(
+            samples in proptest::collection::vec(0.0f64..1e6, 1..60),
+        ) {
+            fn reference(samples: &[f64], p: f64) -> f64 {
+                let mut sorted = samples.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+                let need = p / 100.0 * sorted.len() as f64;
+                *sorted
+                    .iter()
+                    .find(|&&v| {
+                        let at_or_below = sorted.iter().filter(|&&w| w <= v).count();
+                        at_or_below as f64 >= need
+                    })
+                    .expect("some sample covers 100%")
+            }
+            let s = Summary::of(&samples).expect("non-empty");
+            prop_assert_eq!(s.p10, reference(&samples, 10.0));
+            prop_assert_eq!(s.p90, reference(&samples, 90.0));
+            // And in particular both are actual samples, never interpolants.
+            prop_assert!(samples.contains(&s.p10));
+            prop_assert!(samples.contains(&s.p90));
         }
 
         /// A least-squares fit of exact points on a line recovers the line.

@@ -50,8 +50,14 @@ impl Summary {
             min: sorted[0],
             max: sorted[n - 1],
             median: percentile_sorted(&sorted, 50.0),
-            p10: percentile_sorted(&sorted, 10.0),
-            p90: percentile_sorted(&sorted, 90.0),
+            // Tail percentiles use nearest rank, not interpolation: at
+            // small n the interpolated p10/p90 manufacture values between
+            // the extremes and their neighbours that no run produced (for
+            // n = 2, "p90" would be 0.1*min + 0.9*max), and collapse
+            // toward min/max at rates that depend on n. Nearest rank
+            // always reports an actual sample.
+            p10: percentile_nearest_rank(&sorted, 10.0),
+            p90: percentile_nearest_rank(&sorted, 90.0),
         })
     }
 
@@ -95,6 +101,21 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// The `p`-th percentile of `sorted` (ascending) by the nearest-rank
+/// definition: the smallest sample at or above which at least `p`% of the
+/// sample lies, i.e. `sorted[ceil(p/100 * n) - 1]` (with `p = 0` mapping
+/// to the minimum). Always returns an element of the sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
 }
 
 /// A least-squares line fit.
@@ -189,6 +210,29 @@ mod tests {
         assert!((percentile_sorted(&sorted, 100.0) - 40.0).abs() < 1e-9);
         assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-9);
         assert!((percentile_sorted(&sorted, 25.0) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_rank_returns_actual_samples() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_nearest_rank(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 25.0), 10.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 50.0), 20.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 90.0), 40.0);
+        assert_eq!(percentile_nearest_rank(&sorted, 100.0), 40.0);
+    }
+
+    #[test]
+    fn small_n_tail_percentiles_hit_the_extremes() {
+        // n = 1, 2, 3: p10 must be the minimum and p90 the maximum —
+        // the interpolated definition used to land strictly between them.
+        let one = Summary::of(&[7.0]).expect("non-empty");
+        assert_eq!((one.p10, one.p90), (7.0, 7.0));
+        let two = Summary::of(&[3.0, 9.0]).expect("non-empty");
+        assert_eq!((two.p10, two.p90), (3.0, 9.0));
+        let three = Summary::of(&[1.0, 5.0, 8.0]).expect("non-empty");
+        assert_eq!((three.p10, three.p90), (1.0, 8.0));
+        assert_eq!(three.median, 5.0);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The shootdown flight recorder: per-phase span tracing.
+//!
+//! The paper's xpr instrumentation records one event per shootdown *end*
+//! (Section 6) — enough for the tables, but not for seeing where inside a
+//! shootdown the time goes. The flight recorder keeps the same circular
+//! buffers but records an event at every phase boundary of the algorithm:
+//!
+//! initiate → queue actions → IPI send → IPI delivery → responder
+//! quiesce/spin → pmap update → unlock → responder drain (or full flush)
+//! → rejoin active set.
+//!
+//! Every shootdown becomes a **span**, identified by a [`SpanId`] the
+//! initiator allocates. Initiator-side phases are recorded on the
+//! initiator's track; responder-side phases on each responder's track,
+//! linked to the span that queued their consistency action. Events land
+//! in per-CPU [`XprBuffer`]s at simulated timestamps, so recording order
+//! per processor is timestamp order by construction.
+//!
+//! The recorder is a run-time no-op unless enabled: every instrumentation
+//! site guards on [`FlightRecorder::is_enabled`] (one branch on a bool),
+//! and the disabled recorder allocates no meaningful buffer space.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use machtlb_sim::{CpuId, Time};
+
+use crate::buffer::XprBuffer;
+
+/// Identifies one traced shootdown span (allocated by the initiator).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw span number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span{}", self.0)
+    }
+}
+
+/// A phase of the shootdown algorithm, as a traced span segment.
+///
+/// The first six are initiator-side; the rest are responder-side.
+/// [`TracePhase::RemoteInvalidate`] appears only under the Section 9
+/// hardware-remote-invalidation strategy, where the initiator shoots
+/// remote TLB entries directly instead of interrupting their owners.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TracePhase {
+    /// Initiator: disable interrupts, leave the active set, take the pmap
+    /// lock, run the consistency check, invalidate the local TLB.
+    Initiate,
+    /// Initiator: scan the pmap's users, queue actions, set
+    /// action-needed flags.
+    QueueActions,
+    /// Initiator: send shootdown IPIs to the non-idle users.
+    IpiSend,
+    /// Initiator: spin until every notified processor has left the active
+    /// set or stopped using the pmap.
+    SyncWait,
+    /// Initiator: apply the planned page-table changes.
+    PmapUpdate,
+    /// Initiator: release the pmap lock and rejoin the active set.
+    Unlock,
+    /// Initiator (hardware-remote strategy only): invalidate entries
+    /// directly out of remote TLBs over the bus.
+    RemoteInvalidate,
+    /// Responder: the shootdown interrupt was dispatched (a mark, not a
+    /// slice — the delivery instant on the responder's track).
+    IpiDelivery,
+    /// Responder: spin until no pmap this processor may cache entries of
+    /// is locked.
+    Quiesce,
+    /// Responder: drain the queued actions, invalidating TLB ranges.
+    Drain,
+    /// Responder: the action queue overflowed; flush the whole TLB
+    /// instead of draining ranges.
+    FullFlush,
+    /// Responder: rejoin the active set (a mark).
+    Rejoin,
+}
+
+impl TracePhase {
+    /// Every phase, in algorithm order.
+    pub const ALL: [TracePhase; 12] = [
+        TracePhase::Initiate,
+        TracePhase::QueueActions,
+        TracePhase::IpiSend,
+        TracePhase::SyncWait,
+        TracePhase::PmapUpdate,
+        TracePhase::Unlock,
+        TracePhase::RemoteInvalidate,
+        TracePhase::IpiDelivery,
+        TracePhase::Quiesce,
+        TracePhase::Drain,
+        TracePhase::FullFlush,
+        TracePhase::Rejoin,
+    ];
+
+    /// A short stable name (used in trace exports and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Initiate => "initiate",
+            TracePhase::QueueActions => "queue-actions",
+            TracePhase::IpiSend => "ipi-send",
+            TracePhase::SyncWait => "sync-wait",
+            TracePhase::PmapUpdate => "pmap-update",
+            TracePhase::Unlock => "unlock",
+            TracePhase::RemoteInvalidate => "remote-invalidate",
+            TracePhase::IpiDelivery => "ipi-delivery",
+            TracePhase::Quiesce => "quiesce",
+            TracePhase::Drain => "drain",
+            TracePhase::FullFlush => "full-flush",
+            TracePhase::Rejoin => "rejoin",
+        }
+    }
+
+    /// Whether the phase runs on the initiating processor.
+    pub fn is_initiator_side(self) -> bool {
+        matches!(
+            self,
+            TracePhase::Initiate
+                | TracePhase::QueueActions
+                | TracePhase::IpiSend
+                | TracePhase::SyncWait
+                | TracePhase::PmapUpdate
+                | TracePhase::Unlock
+                | TracePhase::RemoteInvalidate
+        )
+    }
+}
+
+impl fmt::Display for TracePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether a [`TraceEvent`] opens a phase, closes it, or marks an
+/// instant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEdge {
+    /// The phase starts at this instant.
+    Begin,
+    /// The phase ends at this instant.
+    End,
+    /// A point event (IPI delivery, rejoin, per-target send).
+    Mark,
+}
+
+/// One flight-recorder event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant of the phase boundary.
+    pub at: Time,
+    /// The processor whose track the event belongs to.
+    pub cpu: CpuId,
+    /// The shootdown span the event is part of.
+    pub span: SpanId,
+    /// Which phase.
+    pub phase: TracePhase,
+    /// Begin, end, or point.
+    pub edge: TraceEdge,
+    /// Small payload: the target processor index for per-target
+    /// [`TracePhase::IpiSend`] marks, zero otherwise.
+    pub arg: u32,
+}
+
+/// Per-CPU circular buffers of [`TraceEvent`]s plus the span-id allocator
+/// and the per-processor pending-span table that links responder events
+/// to the shootdown that queued their work.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    enabled: bool,
+    bufs: Vec<XprBuffer<TraceEvent>>,
+    /// The span that most recently queued a consistency action for each
+    /// processor (cleared when the processor's drain completes). This is
+    /// recorder bookkeeping, not kernel state: the algorithm itself never
+    /// reads it.
+    pending: Vec<Option<SpanId>>,
+    next_span: u64,
+}
+
+impl FlightRecorder {
+    /// Creates an enabled recorder with one `capacity`-event buffer per
+    /// processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(n_cpus: usize, capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            enabled: true,
+            bufs: (0..n_cpus).map(|_| XprBuffer::new(capacity)).collect(),
+            pending: vec![None; n_cpus],
+            next_span: 0,
+        }
+    }
+
+    /// Creates a disabled recorder (the default): no per-CPU buffers are
+    /// allocated and every instrumentation site reduces to one branch.
+    pub fn disabled(n_cpus: usize) -> FlightRecorder {
+        FlightRecorder {
+            enabled: false,
+            bufs: Vec::new(),
+            pending: vec![None; n_cpus],
+            next_span: 0,
+        }
+    }
+
+    /// Whether the recorder is tracing. Every instrumentation site checks
+    /// this first; when false nothing else is touched.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Allocates a fresh span id (initiators call this when their
+    /// operation turns out to require consistency actions).
+    pub fn begin_span(&mut self) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        id
+    }
+
+    /// Spans allocated so far.
+    pub fn spans_begun(&self) -> u64 {
+        self.next_span
+    }
+
+    /// Records a phase edge on `cpu`'s track.
+    pub fn record(
+        &mut self,
+        cpu: CpuId,
+        span: SpanId,
+        phase: TracePhase,
+        edge: TraceEdge,
+        at: Time,
+    ) {
+        self.record_arg(cpu, span, phase, edge, at, 0);
+    }
+
+    /// Records a phase edge carrying a small payload (per-target IPI-send
+    /// marks put the target processor index here).
+    pub fn record_arg(
+        &mut self,
+        cpu: CpuId,
+        span: SpanId,
+        phase: TracePhase,
+        edge: TraceEdge,
+        at: Time,
+        arg: u32,
+    ) {
+        debug_assert!(self.enabled, "record on a disabled recorder");
+        self.bufs[cpu.index()].record(TraceEvent {
+            at,
+            cpu,
+            span,
+            phase,
+            edge,
+            arg,
+        });
+    }
+
+    /// Remembers that `span` queued a consistency action for `cpu`.
+    pub fn set_pending(&mut self, cpu: CpuId, span: SpanId) {
+        self.pending[cpu.index()] = Some(span);
+    }
+
+    /// The span whose action `cpu` has yet to drain, if any.
+    pub fn pending(&self, cpu: CpuId) -> Option<SpanId> {
+        self.pending[cpu.index()]
+    }
+
+    /// Forgets `cpu`'s pending span (its drain completed).
+    pub fn clear_pending(&mut self, cpu: CpuId) {
+        self.pending[cpu.index()] = None;
+    }
+
+    /// The per-CPU buffers (empty when the recorder is disabled).
+    pub fn buffers(&self) -> &[XprBuffer<TraceEvent>] {
+        &self.bufs
+    }
+
+    /// Every retained event, merged across processors and stably sorted
+    /// by timestamp — each processor's events keep their record order, so
+    /// grouping the result by `cpu` yields monotone per-track sequences.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self.bufs.iter().flat_map(|b| b.iter().copied()).collect();
+        all.sort_by_key(|e| e.at);
+        all
+    }
+
+    /// Events recorded across all processors.
+    pub fn recorded(&self) -> u64 {
+        self.bufs.iter().map(XprBuffer::recorded).sum()
+    }
+
+    /// Events lost to wrap-around across all processors. A valid traced
+    /// run requires zero, exactly as the paper's methodology required of
+    /// the original xpr buffer.
+    pub fn overwritten(&self) -> u64 {
+        self.bufs.iter().map(XprBuffer::overwritten).sum()
+    }
+
+    /// Clears every buffer and the pending table (keeps the span counter
+    /// monotone so ids never repeat within a run).
+    pub fn reset(&mut self) {
+        for b in &mut self.bufs {
+            b.reset();
+        }
+        self.pending.fill(None);
+    }
+}
+
+/// One completed phase slice of a span: `phase` ran on `cpu` over
+/// `[begin, end]`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSlice {
+    /// The phase.
+    pub phase: TracePhase,
+    /// The processor it ran on.
+    pub cpu: CpuId,
+    /// When it began.
+    pub begin: Time,
+    /// When it ended.
+    pub end: Time,
+}
+
+/// A point event of a span.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanMark {
+    /// The phase marked.
+    pub phase: TracePhase,
+    /// The processor it happened on.
+    pub cpu: CpuId,
+    /// When.
+    pub at: Time,
+    /// The event's payload (IPI-send marks: target processor index).
+    pub arg: u32,
+}
+
+/// One shootdown span assembled from its events.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// The span id.
+    pub id: SpanId,
+    /// The initiating processor (the track of the
+    /// [`TracePhase::Initiate`] slice).
+    pub initiator: CpuId,
+    /// Completed begin/end slices, in begin order.
+    pub slices: Vec<PhaseSlice>,
+    /// Point events, in time order.
+    pub marks: Vec<SpanMark>,
+}
+
+impl Span {
+    /// The first slice of the given phase, if any completed.
+    pub fn slice(&self, phase: TracePhase) -> Option<&PhaseSlice> {
+        self.slices.iter().find(|s| s.phase == phase)
+    }
+
+    /// All slices of the given phase.
+    pub fn slices_of(&self, phase: TracePhase) -> impl Iterator<Item = &PhaseSlice> {
+        self.slices.iter().filter(move |s| s.phase == phase)
+    }
+
+    /// All marks of the given phase.
+    pub fn marks_of(&self, phase: TracePhase) -> impl Iterator<Item = &SpanMark> {
+        self.marks.iter().filter(move |m| m.phase == phase)
+    }
+}
+
+/// Assembles spans from an event list (as produced by
+/// [`FlightRecorder::events`]): begin/end edges pair up per
+/// (span, processor, phase), marks attach directly. Unpaired begins
+/// (a run cut off mid-span) are dropped. Spans are returned in id order.
+pub fn assemble_spans(events: &[TraceEvent]) -> Vec<Span> {
+    let mut spans: HashMap<SpanId, Span> = HashMap::new();
+    let mut open: HashMap<(SpanId, u32, TracePhase), Time> = HashMap::new();
+    for e in events {
+        let span = spans.entry(e.span).or_insert_with(|| Span {
+            id: e.span,
+            initiator: e.cpu,
+            slices: Vec::new(),
+            marks: Vec::new(),
+        });
+        match e.edge {
+            TraceEdge::Begin => {
+                if e.phase == TracePhase::Initiate {
+                    span.initiator = e.cpu;
+                }
+                open.insert((e.span, e.cpu.index() as u32, e.phase), e.at);
+            }
+            TraceEdge::End => {
+                if let Some(begin) = open.remove(&(e.span, e.cpu.index() as u32, e.phase)) {
+                    span.slices.push(PhaseSlice {
+                        phase: e.phase,
+                        cpu: e.cpu,
+                        begin,
+                        end: e.at,
+                    });
+                }
+            }
+            TraceEdge::Mark => span.marks.push(SpanMark {
+                phase: e.phase,
+                cpu: e.cpu,
+                at: e.at,
+                arg: e.arg,
+            }),
+        }
+    }
+    let mut out: Vec<Span> = spans.into_values().collect();
+    for s in &mut out {
+        s.slices.sort_by_key(|s| (s.begin, s.cpu.index()));
+        s.marks.sort_by_key(|m| (m.at, m.cpu.index()));
+    }
+    out.sort_by_key(|s| s.id);
+    out
+}
+
+/// Per-phase slice durations (µs) across every span in `events`, in
+/// [`TracePhase::ALL`] order; phases with no completed slices are
+/// omitted. These samples are what the phase-latency table summarizes
+/// with [`Summary::of`](crate::Summary::of) and what the histogram
+/// module buckets.
+pub fn phase_latencies(events: &[TraceEvent]) -> Vec<(TracePhase, Vec<f64>)> {
+    let spans = assemble_spans(events);
+    let mut by_phase: HashMap<TracePhase, Vec<f64>> = HashMap::new();
+    for span in &spans {
+        for s in &span.slices {
+            by_phase
+                .entry(s.phase)
+                .or_default()
+                .push(s.end.duration_since(s.begin).as_micros_f64());
+        }
+    }
+    TracePhase::ALL
+        .iter()
+        .filter_map(|p| by_phase.remove(p).map(|v| (*p, v)))
+        .collect()
+}
+
+/// Checks that, per processor, event timestamps never go backwards in
+/// record order (grouping a [`FlightRecorder::events`] list by `cpu`
+/// preserves record order). Returns the offending pair on failure.
+pub fn check_monotone_per_cpu(events: &[TraceEvent]) -> Result<(), String> {
+    let mut last: HashMap<u32, Time> = HashMap::new();
+    for e in events {
+        let cpu = e.cpu.index() as u32;
+        if let Some(&prev) = last.get(&cpu) {
+            if e.at < prev {
+                return Err(format!(
+                    "cpu{cpu} track goes backwards: {} after {}",
+                    e.at, prev
+                ));
+            }
+        }
+        last.insert(cpu, e.at);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, cpu: u32, span: u64, phase: TracePhase, edge: TraceEdge) -> TraceEvent {
+        TraceEvent {
+            at: Time::from_nanos(at_ns),
+            cpu: CpuId::new(cpu),
+            span: SpanId(span),
+            phase,
+            edge,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn recorder_round_trip_and_ordering() {
+        let mut r = FlightRecorder::new(2, 16);
+        let s = r.begin_span();
+        r.record(
+            CpuId::new(0),
+            s,
+            TracePhase::Initiate,
+            TraceEdge::Begin,
+            Time::from_nanos(10),
+        );
+        r.record(
+            CpuId::new(1),
+            s,
+            TracePhase::Quiesce,
+            TraceEdge::Begin,
+            Time::from_nanos(5),
+        );
+        r.record(
+            CpuId::new(0),
+            s,
+            TracePhase::Initiate,
+            TraceEdge::End,
+            Time::from_nanos(20),
+        );
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(check_monotone_per_cpu(&events).is_ok());
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_holds_nothing() {
+        let r = FlightRecorder::disabled(4);
+        assert!(!r.is_enabled());
+        assert!(r.events().is_empty());
+        assert_eq!(r.recorded(), 0);
+        assert!(r.buffers().is_empty());
+    }
+
+    #[test]
+    fn pending_links_responders_to_spans() {
+        let mut r = FlightRecorder::new(2, 4);
+        let s = r.begin_span();
+        r.set_pending(CpuId::new(1), s);
+        assert_eq!(r.pending(CpuId::new(1)), Some(s));
+        assert_eq!(r.pending(CpuId::new(0)), None);
+        r.clear_pending(CpuId::new(1));
+        assert_eq!(r.pending(CpuId::new(1)), None);
+    }
+
+    #[test]
+    fn spans_assemble_slices_and_marks() {
+        let events = vec![
+            ev(100, 0, 0, TracePhase::Initiate, TraceEdge::Begin),
+            ev(200, 0, 0, TracePhase::Initiate, TraceEdge::End),
+            ev(200, 0, 0, TracePhase::QueueActions, TraceEdge::Begin),
+            ev(250, 1, 0, TracePhase::IpiDelivery, TraceEdge::Mark),
+            ev(300, 0, 0, TracePhase::QueueActions, TraceEdge::End),
+            // A second span, interleaved, with an unpaired begin.
+            ev(310, 1, 1, TracePhase::Initiate, TraceEdge::Begin),
+        ];
+        let spans = assemble_spans(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].initiator, CpuId::new(0));
+        assert_eq!(spans[0].slices.len(), 2);
+        assert_eq!(spans[0].marks.len(), 1);
+        let init = spans[0].slice(TracePhase::Initiate).expect("slice");
+        assert_eq!(init.end.duration_since(init.begin).as_nanos(), 100);
+        assert!(spans[1].slices.is_empty(), "unpaired begin dropped");
+    }
+
+    #[test]
+    fn phase_latencies_group_by_phase_in_order() {
+        let events = vec![
+            ev(0, 0, 0, TracePhase::Initiate, TraceEdge::Begin),
+            ev(1_000, 0, 0, TracePhase::Initiate, TraceEdge::End),
+            ev(0, 1, 1, TracePhase::Initiate, TraceEdge::Begin),
+            ev(3_000, 1, 1, TracePhase::Initiate, TraceEdge::End),
+            ev(5_000, 1, 1, TracePhase::Drain, TraceEdge::Begin),
+            ev(9_000, 1, 1, TracePhase::Drain, TraceEdge::End),
+        ];
+        let lat = phase_latencies(&events);
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat[0].0, TracePhase::Initiate);
+        assert_eq!(lat[0].1.len(), 2);
+        assert_eq!(lat[1].0, TracePhase::Drain);
+        assert!((lat[1].1[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotonicity_violations_are_reported() {
+        let events = vec![
+            ev(500, 0, 0, TracePhase::Initiate, TraceEdge::Begin),
+            ev(400, 0, 0, TracePhase::Initiate, TraceEdge::End),
+        ];
+        assert!(check_monotone_per_cpu(&events).is_err());
+    }
+}

@@ -4,8 +4,12 @@
 #   2. lints            (clippy, warnings are errors, all targets)
 #   3. tier-1 tests     (release build + the root package's test suite)
 #   4. doc-tests        (workspace-wide)
-#   5. smoke benches    (the spin-vs-event and Section 8 harnesses in
-#                        MACHTLB_SMOKE mode — seconds, not minutes)
+#   5. smoke benches    (the spin-vs-event, trace-overhead, and Section 8
+#                        harnesses in MACHTLB_SMOKE mode — seconds, not
+#                        minutes)
+#   6. trace smoke      (machtlb trace end-to-end; the validated Chrome
+#                        trace lands in target/machtlb-trace.json and CI
+#                        uploads it as an artifact)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -27,6 +31,11 @@ cargo test --doc --workspace --quiet
 
 echo "==> smoke benches"
 MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench spin_vs_event
+MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench trace_overhead
 MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench sec8_scaling
+
+echo "==> trace smoke"
+cargo run --release --quiet --bin machtlb -- trace \
+    --workload tester --cpus 8 --out target/machtlb-trace.json
 
 echo "==> all checks passed"

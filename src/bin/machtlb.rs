@@ -17,7 +17,10 @@ use machtlb::workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
     CamelotConfig, MachBuildConfig, ParthenonConfig, RunConfig, TesterConfig,
 };
-use machtlb::xpr::{counters_table, linear_fit, Summary, TextTable};
+use machtlb::xpr::{
+    assemble_spans, check_monotone_per_cpu, chrome_trace_json, counters_table, linear_fit,
+    phase_latencies, validate_json_shape, Histogram, Summary, TextTable,
+};
 
 const USAGE: &str = "\
 machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
@@ -27,6 +30,8 @@ USAGE:
     machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N] [--lazy on|off]
     machtlb fig2    [--cpus N] [--max-k N] [--runs N]
     machtlb scaling [--upto N]
+    machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
+                    [--strategy S] [--cpus N] [--seed N] [--out FILE]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
@@ -343,6 +348,80 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a workload with the flight recorder on, writes the Chrome
+/// trace-event JSON, and prints the per-phase latency table.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let workload = args.get("workload").unwrap_or("machbuild");
+    let strategy = args.get("strategy").unwrap_or("shootdown");
+    let cpus = args.num("cpus", 16)? as usize;
+    let seed = args.num("seed", 1)?;
+    let out_path = args.get("out").unwrap_or("machtlb-trace.json").to_string();
+    let kconfig = KernelConfig {
+        trace_shootdowns: true,
+        ..strategy_config(strategy)?
+    };
+    let mut config = base_config(cpus, seed, kconfig);
+    config.device_period = Some(Dur::millis(5));
+    let report = match workload {
+        "mach" | "machbuild" => run_machbuild(&config, &MachBuildConfig::default()),
+        "parthenon" => run_parthenon(&config, &ParthenonConfig::default()),
+        "agora" => run_agora(&config, &AgoraConfig::default()),
+        "camelot" => run_camelot(&config, &CamelotConfig::default()),
+        "tester" => {
+            let children = (cpus - 1).min(7) as u32;
+            run_tester(
+                &config,
+                &TesterConfig {
+                    children,
+                    warmup_increments: 40,
+                },
+            )
+            .report
+        }
+        other => return Err(format!("unknown workload: {other}")),
+    };
+    let events = &report.trace;
+    check_monotone_per_cpu(events).map_err(|e| format!("trace not monotone: {e}"))?;
+    let json = chrome_trace_json(events, report.n_cpus);
+    validate_json_shape(&json).map_err(|e| format!("exporter produced bad JSON: {e}"))?;
+    std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
+    let spans = assemble_spans(events);
+    println!(
+        "{workload} under {strategy}: {} trace events across {} shootdown spans",
+        events.len(),
+        spans.len()
+    );
+    println!("wrote {out_path} — open it at https://ui.perfetto.dev or chrome://tracing");
+    let mut t = TextTable::new(vec!["phase", "slices", "p10 (us)", "median", "p90", "mean"]);
+    for (phase, samples) in phase_latencies(events) {
+        let s = Summary::of(&samples).expect("phase_latencies omits empty phases");
+        t.add_row(vec![
+            phase.name().into(),
+            samples.len().to_string(),
+            format!("{:.1}", s.p10),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.p90),
+            format!("{:.1}", s.mean),
+        ]);
+    }
+    println!("{t}");
+    let totals: Vec<machtlb::sim::Dur> = spans
+        .iter()
+        .filter_map(|sp| {
+            let begin = sp.slices.iter().map(|s| s.begin).min()?;
+            let end = sp.slices.iter().map(|s| s.end).max()?;
+            Some(end.duration_since(begin))
+        })
+        .collect();
+    let h = Histogram::of(&totals);
+    if h.count() > 0 {
+        println!("whole-span latency distribution ({} spans):", h.count());
+        print!("{}", h.render(40));
+    }
+    println!("oracle: {}", verdict(&report));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -356,6 +435,7 @@ fn main() -> ExitCode {
         Some("app") => cmd_app(&args),
         Some("fig2") => cmd_fig2(&args),
         Some("scaling") => cmd_scaling(&args),
+        Some("trace") => cmd_trace(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -3,6 +3,20 @@
 //! depart above that line at high processor counts (the bus-contention
 //! knee of Section 7.1). A cost-model or algorithm change that bends the
 //! curve fails here before it corrupts EXPERIMENTS.md.
+//!
+//! The calibration runs with device interrupts off. An earlier version
+//! kept the 20 ms-period device activity on and took the median over
+//! three seeds to discard outliers; the root cause of those outliers is
+//! that `schedule_device_interrupts` pre-schedules jittered ISRs (3% of
+//! them with 80–250 µs bodies) that run with shootdown IPIs blocked, so
+//! whether one lands inside the single measured shootdown window is a
+//! seed lottery — a responder that takes the IPI behind a long ISR
+//! inflates the sample by the ISR's remaining body, several hundred µs.
+//! Figure 2 measures the *algorithm's* cost line, not device-noise skew
+//! (that skew is Section 8's subject, covered by other tests), so the
+//! calibration excludes the collision by construction, exactly as the
+//! scaling and spin-equivalence harnesses already do. One seed then
+//! suffices, deterministically.
 
 use machtlb::sim::Time;
 use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
@@ -11,6 +25,7 @@ use machtlb::xpr::linear_fit;
 fn basic_cost(k: u32, seed: u64) -> f64 {
     let config = RunConfig {
         limit: Time::from_micros(30_000_000),
+        device_period: None,
         ..RunConfig::multimax16(seed)
     };
     let out = run_tester(
@@ -24,26 +39,12 @@ fn basic_cost(k: u32, seed: u64) -> f64 {
     out.shootdown.expect("shootdown").elapsed.as_micros_f64()
 }
 
-/// The measured shootdown occasionally catches a 20 ms-period device
-/// interrupt mid-flight, inflating one sample by ~370 µs (interrupt entry
-/// plus exit). The median over three seeds discards such hits without
-/// averaging them into the calibration.
-fn median_cost(k: u32, base_seed: u64) -> f64 {
-    let mut v = [
-        basic_cost(k, base_seed),
-        basic_cost(k, base_seed + 1),
-        basic_cost(k, base_seed + 2),
-    ];
-    v.sort_by(f64::total_cmp);
-    v[1]
-}
-
 #[test]
 fn basic_cost_stays_on_the_papers_line() {
     let ks = [1u32, 4, 8, 12];
     let mut pts = Vec::new();
     for &k in &ks {
-        pts.push((f64::from(k), median_cost(k, 2000)));
+        pts.push((f64::from(k), basic_cost(k, 2000)));
     }
     // Monotone growth.
     for w in pts.windows(2) {
@@ -70,10 +71,10 @@ fn contention_departs_above_twelve_processors() {
     // using the bus", Section 7.1).
     let small: Vec<(f64, f64)> = [2u32, 5, 8, 11]
         .iter()
-        .map(|&k| (f64::from(k), median_cost(k, 2100)))
+        .map(|&k| (f64::from(k), basic_cost(k, 2100)))
         .collect();
     let fit = linear_fit(&small).expect("fit");
-    let at15 = median_cost(15, 2100);
+    let at15 = basic_cost(15, 2100);
     assert!(
         at15 > fit.at(15.0),
         "k=15 ({at15:.0} us) must depart above the trend ({:.0} us)",

@@ -1,0 +1,177 @@
+//! Flight-recorder completeness: every shootdown in a traced run must
+//! produce a well-formed span — the initiator-side phases present and in
+//! algorithm order, per-processor timestamps monotone, and responder
+//! activity bracketed by the initiator's lock/unlock window (a stalling
+//! responder's quiesce cannot end before the initiator releases the pmap
+//! lock, because that release is exactly what it spins for).
+
+use machtlb::core::KernelConfig;
+use machtlb::sim::Time;
+use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
+use machtlb::xpr::{assemble_spans, check_monotone_per_cpu, Span, TraceEvent, TracePhase};
+use proptest::prelude::*;
+
+fn traced_tester_run(children: u32, seed: u64) -> (Vec<TraceEvent>, bool) {
+    let config = RunConfig {
+        limit: Time::from_micros(30_000_000),
+        device_period: None,
+        kconfig: KernelConfig {
+            trace_shootdowns: true,
+            ..KernelConfig::default()
+        },
+        ..RunConfig::multimax16(seed)
+    };
+    let out = run_tester(
+        &config,
+        &TesterConfig {
+            children,
+            warmup_increments: 10,
+        },
+    );
+    assert!(!out.mismatch && out.report.consistent);
+    (out.report.trace, out.shootdown.is_some())
+}
+
+/// The initiator-side phase slices of `span`, in begin order.
+fn initiator_slices(span: &Span) -> Vec<(TracePhase, Time, Time)> {
+    let mut v: Vec<(TracePhase, Time, Time)> = span
+        .slices
+        .iter()
+        .filter(|s| s.phase.is_initiator_side())
+        .map(|s| (s.phase, s.begin, s.end))
+        .collect();
+    v.sort_by_key(|&(_, b, _)| b);
+    v
+}
+
+fn assert_span_well_formed(span: &Span) {
+    let id = span.id;
+    // Every slice is a real interval, recorded on one processor's track.
+    for s in &span.slices {
+        assert!(s.end >= s.begin, "{id}: {} ends before it begins", s.phase);
+    }
+    // The initiator-side phases: exactly one initiate and one unlock,
+    // bracketing everything the initiator did, with no overlaps and the
+    // phases in algorithm order.
+    let init = initiator_slices(span);
+    assert_eq!(
+        init.iter()
+            .filter(|(p, _, _)| *p == TracePhase::Initiate)
+            .count(),
+        1,
+        "{id}: exactly one initiate slice"
+    );
+    assert_eq!(
+        init.iter()
+            .filter(|(p, _, _)| *p == TracePhase::Unlock)
+            .count(),
+        1,
+        "{id}: exactly one unlock slice"
+    );
+    assert_eq!(init.first().map(|&(p, _, _)| p), Some(TracePhase::Initiate));
+    assert_eq!(init.last().map(|&(p, _, _)| p), Some(TracePhase::Unlock));
+    for w in init.windows(2) {
+        assert!(
+            w[1].1 >= w[0].2,
+            "{id}: initiator phases overlap: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+        let order = |p: TracePhase| TracePhase::ALL.iter().position(|&q| q == p);
+        assert!(
+            order(w[1].0) > order(w[0].0),
+            "{id}: initiator phases out of algorithm order: {:?} then {:?}",
+            w[0].0,
+            w[1].0
+        );
+    }
+    assert!(
+        span.slices
+            .iter()
+            .any(|s| s.phase == TracePhase::PmapUpdate),
+        "{id}: no pmap-update slice"
+    );
+    // IPI marks: sends happen inside the ipi-send slice and name a
+    // processor other than the initiator; each delivery follows a send.
+    let send_slice = span.slice(TracePhase::IpiSend);
+    let sends: Vec<_> = span.marks_of(TracePhase::IpiSend).collect();
+    if !sends.is_empty() {
+        let s = send_slice.expect("send marks imply an ipi-send slice");
+        assert!(
+            span.slice(TracePhase::SyncWait).is_some(),
+            "{id}: sends imply a sync-wait slice"
+        );
+        for m in &sends {
+            assert!(m.at >= s.begin && m.at <= s.end, "{id}: send outside slice");
+            assert_ne!(m.arg as usize, span.initiator.index());
+        }
+        for d in span.marks_of(TracePhase::IpiDelivery) {
+            assert!(
+                sends
+                    .iter()
+                    .any(|m| m.arg as usize == d.cpu.index() && m.at <= d.at),
+                "{id}: delivery on cpu{} without a preceding send",
+                d.cpu.index()
+            );
+        }
+    }
+    // Responder bracketing. A quiesce slice spins until no pmap its
+    // processor may cache entries of is locked — in the tester every
+    // responder's current pmap is the one being shot, so a quiesce that
+    // started while the initiator held the lock cannot end before the
+    // unlock instant (= the unlock slice's begin).
+    let unlock_begin = init.last().expect("unlock verified above").1;
+    for q in span.slices_of(TracePhase::Quiesce) {
+        assert_ne!(q.cpu, span.initiator, "{id}: initiator cannot quiesce");
+        assert!(
+            q.end >= unlock_begin || q.begin >= unlock_begin,
+            "{id}: quiesce on cpu{} ended at {} before the unlock at {}",
+            q.cpu.index(),
+            q.end,
+            unlock_begin
+        );
+        // Drains follow the quiesce on the same processor.
+        for d in span.slices.iter().filter(|s| {
+            s.cpu == q.cpu && matches!(s.phase, TracePhase::Drain | TracePhase::FullFlush)
+        }) {
+            assert!(d.begin >= q.end, "{id}: drain before quiesce ended");
+        }
+    }
+    // Rejoin marks come after that processor's drain completes.
+    for r in span.marks_of(TracePhase::Rejoin) {
+        for d in span.slices.iter().filter(|s| {
+            s.cpu == r.cpu && matches!(s.phase, TracePhase::Drain | TracePhase::FullFlush)
+        }) {
+            assert!(r.at >= d.end, "{id}: rejoin before drain end");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Across seeds and responder counts, every traced shootdown is a
+    /// well-formed span.
+    #[test]
+    fn every_shootdown_yields_a_well_formed_span(
+        children in 1u32..12,
+        seed in 0u64..1000,
+    ) {
+        let (events, measured) = traced_tester_run(children, seed);
+        check_monotone_per_cpu(&events).expect("per-cpu timestamps monotone");
+        let spans = assemble_spans(&events);
+        if measured {
+            prop_assert!(!spans.is_empty(), "a recorded shootdown must leave a span");
+        }
+        for span in &spans {
+            assert_span_well_formed(span);
+        }
+        // At least one span synchronized with real responders.
+        if measured {
+            prop_assert!(
+                spans.iter().any(|s| s.marks_of(TracePhase::IpiSend).next().is_some()),
+                "the measured shootdown interrupted someone"
+            );
+        }
+    }
+}
