@@ -1,0 +1,752 @@
+//! The chaos harness: deterministic fault campaigns against the shootdown.
+//!
+//! A [`ChaosPlan`] pairs a machine-layer [`FaultPlan`] with kernel-side
+//! sabotage (a tiny action queue, a poisoned queue, the watchdog turned
+//! off) and a declared *envelope*: whether the hardened kernel is expected
+//! to ride the faults out. [`run_chaos`] drives a fixed
+//! writer/initiator workload under the plan and classifies the outcome:
+//!
+//! - [`Survival::Tolerated`] — finished with no violations and no
+//!   hardening machinery engaged;
+//! - [`Survival::Degraded`] — finished consistently, but only because the
+//!   hardening fired (IPI retries, a full-TLB-flush degradation, a
+//!   poisoned or overflowed queue);
+//! - [`Survival::DetectedFatal`] — the fault escaped the envelope and was
+//!   *caught*: a checker violation, a watchdog give-up, or a run that
+//!   visibly never completed (and carries a [`stall_report`]).
+//!
+//! The suite is two-sided. Plans inside the envelope must never be
+//! `DetectedFatal`; plans beyond it (`tolerable == false`) must be
+//! `DetectedFatal` — a beyond-envelope plan that *passes* is itself a
+//! failure, because it means a real fault of that shape would corrupt
+//! translations silently. [`check_envelope`] encodes both directions.
+//!
+//! Everything is seed-deterministic: the fault rules are
+//! counter-deterministic (no random draws), so the same
+//! [`ChaosConfig`] always yields a bit-identical [`ChaosOutcome`] —
+//! clocks, statistics, and verdict. A `None` plan and an installed
+//! [`FaultPlan::none`] are likewise bit-identical, proving the injection
+//! hooks cost nothing when quiet.
+
+use machtlb_pmap::{PageRange, Pfn, PmapId, Prot, Vaddr, Vpn};
+use machtlb_sim::{
+    BusStats, CostModel, CpuId, Ctx, Dur, FaultPlan, FaultRecord, FaultStats, IpiDelay, IpiDrop,
+    IpiDuplicate, IpiReorder, IsrStretch, Process, ResponderStall, RunStatus, Step, Time,
+};
+use machtlb_xpr::{ShootdownEvent, TraceEdge, TracePhase};
+
+use crate::access::{try_access, AccessOutcome, MemOp};
+use crate::diagnose::stall_report;
+use crate::kernel::{
+    build_kernel_machine, schedule_device_interrupts, KernelMachine, SwitchUserPmapProcess,
+    SHOOTDOWN_VECTOR,
+};
+use crate::op::{PmapOp, PmapOpProcess};
+use crate::responder::ExitIdleProcess;
+use crate::state::{KernelConfig, KernelState, KernelStats, WatchdogConfig};
+use crate::{drive, Driven};
+
+/// How a chaos run ended, from best to worst.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Survival {
+    /// Finished consistently with no hardening machinery engaged.
+    Tolerated,
+    /// Finished consistently, but only because the hardening fired
+    /// (IPI retries, a degraded full flush, an overflowed or poisoned
+    /// queue).
+    Degraded,
+    /// The fault was caught rather than survived: a checker violation, a
+    /// watchdog give-up, or a run that never completed.
+    DetectedFatal,
+}
+
+impl Survival {
+    /// A short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Survival::Tolerated => "tolerated",
+            Survival::Degraded => "degraded",
+            Survival::DetectedFatal => "detected-fatal",
+        }
+    }
+}
+
+/// One chaos campaign: machine-layer faults plus kernel-side sabotage,
+/// with its declared envelope.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Short name for tables and test output.
+    pub name: &'static str,
+    /// The machine-layer fault plan (IPI and dispatch perturbations).
+    pub fault: FaultPlan,
+    /// Override the per-processor action-queue capacity (the overflow
+    /// storm). When set, the workload also leaves the last processor idle
+    /// with the pmap in use, so actions pile up in its queue.
+    pub queue_capacity: Option<usize>,
+    /// Poison this processor's action queue before the run starts
+    /// (models queue corruption found by the check gate).
+    pub poison_cpu: Option<CpuId>,
+    /// Whether the initiator watchdog is armed. Turned off only by
+    /// beyond-envelope plans, to prove a lost IPI without the watchdog is
+    /// caught rather than silently survived.
+    pub watchdog_enabled: bool,
+    /// Whether the hardened kernel is expected to finish consistently
+    /// under this plan (possibly degraded). Beyond-envelope plans must be
+    /// [`Survival::DetectedFatal`].
+    pub tolerable: bool,
+}
+
+fn base_plan(name: &'static str, fault: FaultPlan) -> ChaosPlan {
+    ChaosPlan {
+        name,
+        fault,
+        queue_capacity: None,
+        poison_cpu: None,
+        watchdog_enabled: true,
+        tolerable: true,
+    }
+}
+
+/// The standard campaign catalog for an `n_cpus`-processor machine: six
+/// fault shapes inside the tolerable envelope, two queue-sabotage plans
+/// that must degrade gracefully, and one beyond-envelope plan that must
+/// be caught.
+///
+/// # Panics
+///
+/// Panics if `n_cpus < 3` (the workload needs an initiator, a responder,
+/// and a distinct fault target).
+pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
+    assert!(n_cpus >= 3, "chaos workload needs at least 3 processors");
+    let v = SHOOTDOWN_VECTOR;
+    let last = CpuId::new(n_cpus as u32 - 1);
+    vec![
+        base_plan("none", FaultPlan::none(v)),
+        base_plan(
+            "ipi-delay",
+            FaultPlan {
+                delay: Some(IpiDelay {
+                    every_nth: 2,
+                    extra: Dur::micros(500),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        base_plan(
+            "ipi-dup",
+            FaultPlan {
+                duplicate: Some(IpiDuplicate {
+                    every_nth: 2,
+                    extra: Dur::micros(200),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        base_plan(
+            "ipi-reorder",
+            FaultPlan {
+                reorder: Some(IpiReorder {
+                    every_nth: 2,
+                    hold: Dur::micros(300),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        base_plan(
+            "isr-stretch",
+            FaultPlan {
+                isr_stretch: Some(IsrStretch {
+                    extra: Dur::micros(800),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        base_plan(
+            "stall",
+            FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: last,
+                    extra: Dur::millis(8),
+                    times: 2,
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        ChaosPlan {
+            queue_capacity: Some(1),
+            ..base_plan("storm", FaultPlan::none(v))
+        },
+        ChaosPlan {
+            poison_cpu: Some(last),
+            ..base_plan("poison", FaultPlan::none(v))
+        },
+        base_plan(
+            "ipi-drop",
+            FaultPlan {
+                drop: Some(IpiDrop {
+                    every_nth: 1,
+                    max_drops: 2,
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        ChaosPlan {
+            watchdog_enabled: false,
+            tolerable: false,
+            ..base_plan(
+                "ipi-drop-all",
+                FaultPlan {
+                    drop: Some(IpiDrop {
+                        every_nth: 1,
+                        max_drops: u64::MAX,
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+    ]
+}
+
+/// The kernel configuration chaos runs use: the default kernel with the
+/// watchdog timeout tightened to 5 ms so retry chains and give-ups fit in
+/// a short simulated run. Healthy synchronization waits are microseconds
+/// (worst ~1 ms under stretched interrupt-masked windows), so the tight
+/// timeout still never fires on a fault-free run.
+pub fn chaos_kconfig() -> KernelConfig {
+    KernelConfig {
+        watchdog: WatchdogConfig {
+            timeout: Dur::millis(5),
+            ..WatchdogConfig::default()
+        },
+        ..KernelConfig::default()
+    }
+}
+
+/// One chaos run's inputs. The same config always produces a
+/// bit-identical [`ChaosOutcome`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Processors in the machine (>= 3).
+    pub n_cpus: usize,
+    /// Machine seed (device-interrupt jitter).
+    pub seed: u64,
+    /// Kernel configuration (see [`chaos_kconfig`]).
+    pub kconfig: KernelConfig,
+    /// The campaign, or `None` for a fault-free run with no injector
+    /// installed at all (the zero-cost baseline).
+    pub plan: Option<ChaosPlan>,
+    /// Reprotect/restore rounds the initiator performs.
+    pub rounds: u64,
+    /// Simulated-time bound.
+    pub limit: Time,
+    /// Scheduler-step bound.
+    pub max_steps: u64,
+}
+
+impl ChaosConfig {
+    /// A standard config: 3 rounds, 200 ms / 5 M-step bounds.
+    pub fn new(n_cpus: usize, seed: u64, plan: Option<ChaosPlan>) -> ChaosConfig {
+        ChaosConfig {
+            n_cpus,
+            seed,
+            kconfig: chaos_kconfig(),
+            plan,
+            rounds: 3,
+            limit: Time::from_micros(200_000),
+            max_steps: 5_000_000,
+        }
+    }
+}
+
+/// Everything a chaos run produced, for tables and the determinism tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosOutcome {
+    /// The plan's name (`"baseline"` when no plan was installed).
+    pub plan: &'static str,
+    /// Whether the plan declared itself inside the tolerable envelope.
+    pub tolerable: bool,
+    /// The machine seed.
+    pub seed: u64,
+    /// The verdict.
+    pub survival: Survival,
+    /// Whether the workload ran to completion (quiescent, sentinel set).
+    pub completed: bool,
+    /// Checker violations observed.
+    pub violations: usize,
+    /// Kernel counters at the end of the run.
+    pub stats: KernelStats,
+    /// Injected-fault counts (`None` when no plan was installed).
+    pub faults: Option<FaultStats>,
+    /// Bus statistics, including the per-transaction-kind split.
+    pub bus: BusStats,
+    /// Final per-processor clocks, for bit-identical comparisons.
+    pub clocks: Vec<Time>,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// The machine frontier when the run ended.
+    pub end: Time,
+    /// The stall report, when the run did not complete.
+    pub report: Option<String>,
+}
+
+/// Word 0 of the counter page: the shared counter the writers increment.
+const COUNTER_WORD: u64 = 0;
+/// Word 1 of the counter page: the driver sets it when its rounds are
+/// done, telling the writers to exit.
+const SENTINEL_WORD: u64 = 1;
+
+/// A writer that survives reprotection: it increments the counter word
+/// through the pmap, alternating between the two test pages, and on a
+/// fault *retries* (unlike the fail-stop writers in the consistency
+/// tests) until the driver raises the sentinel.
+#[derive(Debug)]
+struct RetryToucher {
+    pmap: PmapId,
+    va: Vaddr,
+    vb: Vaddr,
+    sentinel_pfn: Pfn,
+    counter: u64,
+    exit_idle: Option<ExitIdleProcess>,
+    switch: Option<SwitchUserPmapProcess>,
+}
+
+impl Process<KernelState, ()> for RetryToucher {
+    fn step(&mut self, ctx: &mut Ctx<'_, KernelState, ()>) -> Step {
+        if let Some(exit) = self.exit_idle.as_mut() {
+            return match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    self.switch = Some(SwitchUserPmapProcess::new(Some(self.pmap)));
+                    Step::Run(d)
+                }
+            };
+        }
+        if let Some(sw) = self.switch.as_mut() {
+            return match drive(sw, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.switch = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if ctx.shared.mem.read_word(self.sentinel_pfn, SENTINEL_WORD) != 0 {
+            return Step::Done(ctx.costs().local_op);
+        }
+        self.counter += 1;
+        let va = if self.counter.is_multiple_of(2) {
+            self.vb
+        } else {
+            self.va
+        };
+        match try_access(ctx, self.pmap, va, MemOp::Write(self.counter)) {
+            AccessOutcome::Ok { cost, .. } | AccessOutcome::Stall { cost } => Step::Run(cost),
+            // Retry: the page is (correctly) reprotected mid-round; spin
+            // until the driver restores it or raises the sentinel.
+            AccessOutcome::Fault { cost } => Step::Run(cost),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "retry-toucher"
+    }
+}
+
+/// The initiator: waits for the writers to make progress, then reprotects
+/// both test pages read-only and restores them read-write — one shootdown
+/// storm per round — and finally raises the sentinel.
+#[derive(Debug)]
+struct ChaosDriver {
+    pmap: PmapId,
+    vpn_a: Vpn,
+    vpn_b: Vpn,
+    pfn_a: Pfn,
+    pfn_b: Pfn,
+    rounds: u64,
+    done_rounds: u64,
+    threshold: u64,
+    script: Vec<PmapOp>,
+    exit_idle: Option<ExitIdleProcess>,
+    running: Option<PmapOpProcess>,
+}
+
+impl ChaosDriver {
+    fn new(pmap: PmapId, vpn_a: Vpn, vpn_b: Vpn, pfn_a: Pfn, pfn_b: Pfn, rounds: u64) -> Self {
+        ChaosDriver {
+            pmap,
+            vpn_a,
+            vpn_b,
+            pfn_a,
+            pfn_b,
+            rounds,
+            done_rounds: 0,
+            threshold: 3,
+            script: Vec::new(),
+            exit_idle: Some(ExitIdleProcess::new()),
+            running: None,
+        }
+    }
+}
+
+impl Process<KernelState, ()> for ChaosDriver {
+    fn step(&mut self, ctx: &mut Ctx<'_, KernelState, ()>) -> Step {
+        if let Some(exit) = self.exit_idle.as_mut() {
+            return match drive(exit, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        if self.running.is_none() && self.script.is_empty() {
+            if self.done_rounds == self.rounds {
+                ctx.shared.mem.write_word(self.pfn_a, SENTINEL_WORD, 1);
+                return Step::Done(ctx.costs().local_op);
+            }
+            let counter = ctx.shared.mem.read_word(self.pfn_a, COUNTER_WORD);
+            if counter < self.threshold {
+                return Step::Run(ctx.costs().spin_iter);
+            }
+            self.threshold = counter + 3;
+            self.done_rounds += 1;
+            // Popped back to front: protect A, protect B, restore A, B.
+            self.script = vec![
+                PmapOp::Enter {
+                    vpn: self.vpn_b,
+                    pfn: self.pfn_b,
+                    prot: Prot::READ_WRITE,
+                },
+                PmapOp::Enter {
+                    vpn: self.vpn_a,
+                    pfn: self.pfn_a,
+                    prot: Prot::READ_WRITE,
+                },
+                PmapOp::Protect {
+                    range: PageRange::single(self.vpn_b),
+                    prot: Prot::READ,
+                },
+                PmapOp::Protect {
+                    range: PageRange::single(self.vpn_a),
+                    prot: Prot::READ,
+                },
+            ];
+        }
+        if self.running.is_none() {
+            let op = self.script.pop().expect("script refilled above");
+            self.running = Some(PmapOpProcess::new(self.pmap, op));
+        }
+        match drive(self.running.as_mut().expect("set above"), ctx) {
+            Driven::Yield(s) => s,
+            Driven::Finished(d) => {
+                self.running = None;
+                Step::Run(d)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "chaos-driver"
+    }
+}
+
+/// Runs one chaos campaign and classifies the outcome.
+///
+/// The workload: writers on every processor but the first increment a
+/// counter through the pmap (retrying across faults); the first processor
+/// drives `rounds` reprotect/restore rounds — each a pair of shootdowns —
+/// then raises a sentinel that stops the writers. Background device
+/// interrupts run throughout. After the run, every injected fault is
+/// stamped into the xpr stream (and, when tracing, as flight-recorder
+/// marks), so chaos appears alongside the measurements it perturbed.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    let mut kconfig = cfg.kconfig.clone();
+    if let Some(p) = &cfg.plan {
+        kconfig.watchdog.enabled = p.watchdog_enabled;
+        if let Some(cap) = p.queue_capacity {
+            kconfig.action_queue_capacity = cap;
+        }
+    }
+    let mut m = build_kernel_machine(cfg.n_cpus, cfg.seed, CostModel::multimax(), kconfig);
+
+    let vpn_a = Vpn::new(0x40);
+    let vpn_b = Vpn::new(0x48); // non-adjacent: the queue cannot coalesce
+    let last = CpuId::new(cfg.n_cpus as u32 - 1);
+    // The overflow storm leaves the last processor idle (with the pmap in
+    // use) so consistency actions pile up in its undersized queue.
+    let idle_last = cfg.plan.is_some_and(|p| p.queue_capacity.is_some());
+    let (pmap, pfn_a, pfn_b) = {
+        let s = m.shared_mut();
+        let pmap = s.pmaps.create();
+        let pfn_a = s.frames.alloc();
+        let pfn_b = s.frames.alloc();
+        s.seed_mapping(pmap, vpn_a, pfn_a, Prot::READ_WRITE);
+        s.seed_mapping(pmap, vpn_b, pfn_b, Prot::READ_WRITE);
+        if idle_last {
+            s.pmaps.get_mut(pmap).mark_in_use(last);
+        }
+        if let Some(pc) = cfg.plan.and_then(|p| p.poison_cpu) {
+            s.queues[pc.index()].poison();
+            s.action_needed[pc.index()] = true;
+        }
+        (pmap, pfn_a, pfn_b)
+    };
+
+    let writers = if idle_last {
+        cfg.n_cpus - 1
+    } else {
+        cfg.n_cpus
+    };
+    for c in 1..writers {
+        m.spawn_at(
+            CpuId::new(c as u32),
+            Time::ZERO,
+            Box::new(RetryToucher {
+                pmap,
+                va: vpn_a.base(),
+                vb: vpn_b.base(),
+                sentinel_pfn: pfn_a,
+                counter: 0,
+                exit_idle: Some(ExitIdleProcess::new()),
+                switch: None,
+            }),
+        );
+    }
+    m.spawn_at(
+        CpuId::new(0),
+        Time::ZERO,
+        Box::new(ChaosDriver::new(
+            pmap, vpn_a, vpn_b, pfn_a, pfn_b, cfg.rounds,
+        )),
+    );
+    schedule_device_interrupts(&mut m, Dur::millis(2), Time::from_micros(50_000));
+
+    if let Some(p) = &cfg.plan {
+        m.install_fault_plan(p.fault);
+    }
+    let r = m.run_bounded(cfg.limit, cfg.max_steps);
+
+    // Stamp injected faults into the measurement streams.
+    let fault_log: Vec<FaultRecord> = m.fault_events().to_vec();
+    stamp_faults(&mut m, &fault_log);
+
+    let quiescent = r.status == RunStatus::Quiescent;
+    let s = m.shared();
+    let completed = quiescent && s.mem.read_word(pfn_a, SENTINEL_WORD) != 0;
+    let violations = s.checker.violations().len();
+    let stats = s.stats;
+    let queue_degraded = s
+        .queues
+        .iter()
+        .any(|q| q.poisoned() > 0 || q.overflows() > 0);
+    let caught = violations > 0 || stats.watchdog_gaveup > 0 || !completed;
+    let degraded = stats.ipi_retries > 0 || stats.degraded_flushes > 0 || queue_degraded;
+    let survival = if caught {
+        Survival::DetectedFatal
+    } else if degraded {
+        Survival::Degraded
+    } else {
+        Survival::Tolerated
+    };
+    let report = (!completed).then(|| stall_report(&m));
+    ChaosOutcome {
+        plan: cfg.plan.map_or("baseline", |p| p.name),
+        tolerable: cfg.plan.is_none_or(|p| p.tolerable),
+        seed: cfg.seed,
+        survival,
+        completed,
+        violations,
+        stats,
+        faults: m.fault_stats(),
+        bus: m.bus_stats(),
+        clocks: (0..cfg.n_cpus)
+            .map(|c| m.cpu(CpuId::new(c as u32)).clock())
+            .collect(),
+        steps: r.steps,
+        end: r.frontier,
+        report,
+    }
+}
+
+/// Records every injected fault into the xpr stream and, when the flight
+/// recorder is tracing, as `fault` marks (argument = the fault kind's
+/// stable code) under one dedicated span. Post-run stamping is safe for
+/// the trace's per-processor monotonicity: the recorder sorts events by
+/// timestamp before validation.
+fn stamp_faults(m: &mut KernelMachine, log: &[FaultRecord]) {
+    if log.is_empty() {
+        return;
+    }
+    let s = m.shared_mut();
+    for &rec in log {
+        s.xpr.record(ShootdownEvent::Fault(rec));
+    }
+    if s.trace.is_enabled() {
+        let span = s.trace.begin_span();
+        for &rec in log {
+            s.trace.record_arg(
+                rec.cpu,
+                span,
+                TracePhase::Fault,
+                TraceEdge::Mark,
+                rec.at,
+                rec.kind.code(),
+            );
+        }
+    }
+}
+
+/// Runs the whole [`plan_catalog`] across the given seeds.
+pub fn chaos_matrix(n_cpus: usize, seeds: &[u64]) -> Vec<ChaosOutcome> {
+    let mut out = Vec::new();
+    for plan in plan_catalog(n_cpus) {
+        for &seed in seeds {
+            out.push(run_chaos(&ChaosConfig::new(n_cpus, seed, Some(plan))));
+        }
+    }
+    out
+}
+
+/// The two-sided envelope check: returns one message per outcome that
+/// landed on the wrong side — a tolerable plan that was caught fatal, or
+/// a beyond-envelope plan that was *not* caught (the silent-pass failure
+/// mode). Empty means the matrix is green.
+pub fn check_envelope(outcomes: &[ChaosOutcome]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for o in outcomes {
+        if o.tolerable && o.survival == Survival::DetectedFatal {
+            bad.push(format!(
+                "plan {} seed {}: inside the envelope but detected fatal \
+                 ({} violations, completed={})",
+                o.plan, o.seed, o.violations, o.completed
+            ));
+        }
+        if !o.tolerable && o.survival != Survival::DetectedFatal {
+            bad.push(format!(
+                "plan {} seed {}: beyond the envelope but PASSED silently ({})",
+                o.plan,
+                o.seed,
+                o.survival.name()
+            ));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_for(n_cpus: usize, seed: u64, name: &str) -> ChaosOutcome {
+        let plan = plan_catalog(n_cpus)
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("plan exists");
+        run_chaos(&ChaosConfig::new(n_cpus, seed, Some(plan)))
+    }
+
+    #[test]
+    fn fault_free_run_is_tolerated() {
+        let o = run_chaos(&ChaosConfig::new(4, 7, None));
+        assert_eq!(o.survival, Survival::Tolerated, "{o:?}");
+        assert!(o.completed);
+        assert_eq!(o.violations, 0);
+        assert!(o.stats.shootdowns_user >= 3, "one storm per round");
+        assert!(o.faults.is_none());
+    }
+
+    #[test]
+    fn uninstalled_and_none_plan_are_bit_identical() {
+        // The zero-cost claim: installing a plan with every rule off must
+        // not move a single clock edge or counter.
+        let bare = run_chaos(&ChaosConfig::new(4, 11, None));
+        let none = outcome_for(4, 11, "none");
+        assert_eq!(bare.clocks, none.clocks);
+        assert_eq!(bare.stats, none.stats);
+        assert_eq!(bare.bus, none.bus);
+        assert_eq!(bare.steps, none.steps);
+        assert_eq!(bare.end, none.end);
+        assert_eq!(bare.survival, none.survival);
+        assert_eq!(none.faults, Some(FaultStats::default()));
+    }
+
+    #[test]
+    fn same_config_replays_bit_identically() {
+        for name in ["ipi-drop", "stall", "ipi-delay"] {
+            let a = outcome_for(4, 5, name);
+            let b = outcome_for(4, 5, name);
+            assert_eq!(a, b, "chaos must replay exactly ({name})");
+        }
+    }
+
+    #[test]
+    fn dropped_ipis_are_recovered_by_the_watchdog() {
+        let o = outcome_for(4, 3, "ipi-drop");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.stats.ipi_retries >= 1, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert!(o.completed);
+        assert_eq!(o.faults.expect("plan installed").dropped, 2);
+    }
+
+    #[test]
+    fn a_stalled_responder_triggers_retries_but_completes() {
+        let o = outcome_for(4, 3, "stall");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.stats.ipi_retries >= 1, "{o:?}");
+        assert!(o.completed);
+    }
+
+    #[test]
+    fn queue_overflow_storm_degrades_to_full_flush() {
+        let o = outcome_for(4, 3, "storm");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+    }
+
+    #[test]
+    fn poisoned_queue_degrades_and_stays_consistent() {
+        let o = outcome_for(4, 3, "poison");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.stats.degraded_flushes >= 1, "{o:?}");
+        assert_eq!(o.violations, 0);
+    }
+
+    #[test]
+    fn unwatched_total_ipi_loss_is_caught_not_silent() {
+        let o = outcome_for(4, 3, "ipi-drop-all");
+        assert_eq!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(!o.completed, "the initiator must visibly hang");
+        let report = o.report.as_deref().expect("a stall report is attached");
+        assert!(report.contains("stall report"), "{report}");
+    }
+
+    #[test]
+    fn faults_are_stamped_into_the_xpr_stream() {
+        let plan = plan_catalog(4)
+            .into_iter()
+            .find(|p| p.name == "ipi-delay")
+            .expect("plan exists");
+        let mut cfg = ChaosConfig::new(4, 9, Some(plan));
+        cfg.kconfig.trace_shootdowns = true;
+        let o = run_chaos(&cfg);
+        let injected = o.faults.expect("plan installed").total();
+        assert!(injected > 0, "the delay rule must have fired");
+    }
+
+    #[test]
+    fn envelope_check_flags_both_polarities() {
+        let mut good = run_chaos(&ChaosConfig::new(4, 7, None));
+        assert!(check_envelope(std::slice::from_ref(&good)).is_empty());
+        // A tolerable outcome reported fatal must be flagged...
+        good.survival = Survival::DetectedFatal;
+        assert_eq!(check_envelope(std::slice::from_ref(&good)).len(), 1);
+        // ...and a beyond-envelope outcome that passed must be flagged.
+        good.survival = Survival::Tolerated;
+        good.tolerable = false;
+        let msgs = check_envelope(std::slice::from_ref(&good));
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("PASSED silently"), "{}", msgs[0]);
+    }
+}

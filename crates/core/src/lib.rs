@@ -61,7 +61,9 @@
 #![warn(missing_docs)]
 
 mod access;
+mod chaos;
 mod checker;
+mod diagnose;
 mod kernel;
 mod op;
 mod queue;
@@ -70,7 +72,12 @@ mod state;
 mod strategy;
 
 pub use access::{try_access, AccessOutcome, MemOp};
+pub use chaos::{
+    chaos_kconfig, chaos_matrix, check_envelope, plan_catalog, run_chaos, ChaosConfig,
+    ChaosOutcome, ChaosPlan, Survival,
+};
 pub use checker::{Checker, Violation};
+pub use diagnose::stall_report;
 pub use kernel::{
     build_kernel_machine, install_kernel_handlers, schedule_device_interrupts,
     schedule_timer_flushes, DeviceHandler, KernelMachine, NopHandler, SwitchUserPmapProcess,
@@ -81,7 +88,8 @@ pub use queue::{Action, ActionQueue, EnqueueOutcome};
 pub use responder::{enter_idle, ExitIdleProcess, ResponderProcess};
 pub use state::{
     queue_lock_channel, FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats,
-    PendingCommit, PhysMem, PmapRegistry, SpinMode, SYNC_CHANNEL, WORDS_PER_PAGE,
+    PendingCommit, PhysMem, PmapRegistry, SpinMode, WatchdogConfig, WatchdogReport, SYNC_CHANNEL,
+    WORDS_PER_PAGE,
 };
 pub use strategy::{Strategy, StrategyHardwareError};
 

@@ -29,7 +29,9 @@ use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
 use crate::queue::Action;
-use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
+use crate::state::{
+    queue_lock_channel, HasKernel, KernelState, SpinMode, WatchdogReport, SYNC_CHANNEL,
+};
 use crate::strategy::Strategy;
 use crate::SHOOTDOWN_VECTOR;
 
@@ -156,6 +158,11 @@ pub struct PmapOpProcess {
     /// backfilled spin iterations are charged to the right lock even if
     /// the pmap's user set changed while it slept.
     spun_on_queue: Option<CpuId>,
+    /// When the watchdog next fires for the responder currently waited on
+    /// (armed on the first pending check, pushed out by each retry).
+    wait_deadline: Option<Time>,
+    /// IPIs re-sent to the responder currently waited on.
+    wait_retries: u32,
     /// This operation's flight-recorder span (allocated lazily, once the
     /// operation turns out to need consistency actions).
     span: Option<SpanId>,
@@ -182,6 +189,8 @@ impl PmapOpProcess {
             applied: 0,
             outcome: OpOutcome::default(),
             spun_on_queue: None,
+            wait_deadline: None,
+            wait_retries: 0,
             span: None,
             open: None,
         }
@@ -362,6 +371,64 @@ impl PmapOpProcess {
         }
         k.trace.record(me, span, phase, TraceEdge::Begin, now);
         self.open = Some(phase);
+    }
+
+    /// The synchronization wait on `cpu` outlived the armed deadline.
+    /// While retries remain, re-send the shootdown IPI (the original may
+    /// have been lost) and push the deadline out by the backed-off
+    /// timeout; once exhausted, file a [`WatchdogReport`], skip the
+    /// responder, and move on — degrading beats hanging, and the skipped
+    /// responder's stale TLB is the checker's to catch.
+    fn watchdog_expired<S: HasKernel>(
+        &mut self,
+        ctx: &mut Ctx<'_, S, ()>,
+        cpu: CpuId,
+        wd: crate::state::WatchdogConfig,
+    ) -> Step {
+        let me = ctx.cpu_id;
+        let now = ctx.now;
+        if self.wait_retries < wd.max_retries {
+            self.wait_retries += 1;
+            // timeout, then timeout*backoff, then timeout*backoff^2, ...
+            let stretch = u64::from(wd.backoff).saturating_pow(self.wait_retries);
+            self.wait_deadline = Some(now + wd.timeout * stretch);
+            // Re-send regardless of ipi_pending: the flag still set is
+            // exactly the symptom of a lost delivery. Keep it set so
+            // healthy initiators continue to suppress their own sends.
+            ctx.shared.kernel_mut().ipi_pending[cpu.index()] = true;
+            ctx.send_ipi(cpu, SHOOTDOWN_VECTOR);
+            let stats = &mut ctx.shared.kernel_mut().stats;
+            stats.ipis_sent += 1;
+            stats.ipi_retries += 1;
+            if let Some(span) = self.span {
+                ctx.shared.kernel_mut().trace.record_arg(
+                    me,
+                    span,
+                    TracePhase::Retry,
+                    TraceEdge::Mark,
+                    now,
+                    cpu.index() as u32,
+                );
+            }
+            Step::Run(ctx.costs().ipi_send)
+        } else {
+            let retries = self.wait_retries;
+            let k = ctx.shared.kernel_mut();
+            k.stats.watchdog_gaveup += 1;
+            k.watchdog_reports.push(WatchdogReport {
+                at: now,
+                initiator: me,
+                target: cpu,
+                retries,
+            });
+            self.wait_deadline = None;
+            self.wait_retries = 0;
+            let Phase::Wait { idx } = self.phase else {
+                unreachable!("watchdog fires only in Phase::Wait");
+            };
+            self.phase = Phase::Wait { idx: idx + 1 };
+            Step::Run(ctx.costs().local_op)
+        }
     }
 }
 
@@ -599,6 +666,23 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         && ctx.shared.kernel_mut().active.contains(cpu)
                 };
                 if pending {
+                    let wd = ctx.shared.kernel().config.watchdog;
+                    if wd.enabled {
+                        let now = ctx.now;
+                        let deadline = *self.wait_deadline.get_or_insert(now + wd.timeout);
+                        if now >= deadline {
+                            return self.watchdog_expired(ctx, cpu, wd);
+                        }
+                        let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                        return if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                            // Wake for the sync channel as in the plain
+                            // wait, or spuriously at the deadline so the
+                            // expiry check above runs on time.
+                            Step::Block(BlockOn::one(SYNC_CHANNEL, spin).with_deadline(deadline))
+                        } else {
+                            Step::Run(spin)
+                        };
+                    }
                     let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
                     if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
                         // Every write that can clear the condition (leaving
@@ -610,6 +694,8 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         Step::Run(spin)
                     }
                 } else {
+                    self.wait_deadline = None;
+                    self.wait_retries = 0;
                     self.phase = Phase::Wait { idx: idx + 1 };
                     Step::Run(ctx.costs().local_op)
                 }

@@ -96,6 +96,7 @@ pub struct ActionQueue {
     enqueued: u64,
     coalesced: u64,
     overflows_avoided: u64,
+    poisoned: u64,
 }
 
 impl ActionQueue {
@@ -114,7 +115,26 @@ impl ActionQueue {
             enqueued: 0,
             coalesced: 0,
             overflows_avoided: 0,
+            poisoned: 0,
         }
+    }
+
+    /// Corrupts the queue in place (fault injection): the queued actions are
+    /// discarded as untrustworthy and the flush-everything flag is raised, so
+    /// the next drain degrades to a whole-TLB flush instead of applying
+    /// possibly-garbled ranges. This models the hardened recovery path — a
+    /// responder that cannot trust its buffer falls back to flushing
+    /// everything, which is always safe (over-invalidation never breaks
+    /// consistency).
+    pub fn poison(&mut self) {
+        self.slots.clear();
+        self.flush_all = true;
+        self.poisoned += 1;
+    }
+
+    /// Times the queue was poisoned by fault injection.
+    pub fn poisoned(&self) -> u64 {
+        self.poisoned
     }
 
     /// Queues an action. An action touching an already-queued range of the
@@ -364,6 +384,22 @@ mod tests {
         assert!(!q.flush_all(), "merge absorbed what would have overflowed");
         assert_eq!(q.overflows_avoided(), 1);
         assert_eq!(q.overflows(), 0);
+    }
+
+    #[test]
+    fn poisoning_degrades_to_a_full_flush() {
+        let mut q = ActionQueue::new(4);
+        q.enqueue(action(1));
+        q.enqueue(action(4));
+        q.poison();
+        assert!(q.flush_all());
+        assert_eq!(q.poisoned(), 1);
+        let (actions, flush) = q.drain();
+        assert!(actions.is_empty(), "poisoned actions must not be applied");
+        assert!(flush);
+        // The queue is usable again after the degraded drain.
+        q.enqueue(action(9));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -232,7 +232,9 @@ impl DrainQueue {
                 if self.flush_all {
                     self.flush_all = false;
                     self.actions.clear();
-                    ctx.shared.kernel_mut().tlbs[me.index()].flush_all();
+                    let k = ctx.shared.kernel_mut();
+                    k.stats.degraded_flushes += 1;
+                    k.tlbs[me.index()].flush_all();
                     self.phase = DrainPhase::Finish;
                     return DrainStatus::Running(Step::Run(ctx.costs().tlb_flush_all));
                 }

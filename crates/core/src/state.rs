@@ -58,6 +58,54 @@ pub fn queue_lock_channel(cpu: CpuId) -> WaitChannel {
 /// `Phase::Wait` and responder-side drain loops re-check on.
 pub const SYNC_CHANNEL: WaitChannel = WaitChannel::new(0x3_0000_0000);
 
+/// Initiator-side watchdog parameters: how long `Phase::Wait` waits for a
+/// responder to leave the active set before re-sending its IPI, and how
+/// many bounded-exponential-backoff retries it attempts before reporting
+/// the responder lost.
+///
+/// The timeout must sit far above any healthy synchronization wait (the
+/// paper's worst case is ~1 ms under long interrupt-masked windows) so
+/// the watchdog never fires on a fault-free run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Whether the watchdog arms at all. Off, a lost IPI hangs the
+    /// initiator until the run's time limit — the negative polarity the
+    /// chaos suite must *catch*, not survive.
+    pub enabled: bool,
+    /// Wait this long for a responder before the first retry.
+    pub timeout: machtlb_sim::Dur,
+    /// Each retry multiplies the next timeout by this factor.
+    pub backoff: u32,
+    /// Retries before giving up and filing a [`WatchdogReport`].
+    pub max_retries: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            enabled: true,
+            timeout: machtlb_sim::Dur::millis(50),
+            backoff: 2,
+            max_retries: 3,
+        }
+    }
+}
+
+/// A responder that failed to acknowledge a shootdown despite every
+/// watchdog retry: the initiator skipped it and degraded rather than
+/// hanging. One of the chaos suite's "caught, not silent" signals.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// When the watchdog gave up.
+    pub at: machtlb_sim::Time,
+    /// The initiating processor.
+    pub initiator: CpuId,
+    /// The unresponsive responder.
+    pub target: CpuId,
+    /// Retries attempted before giving up.
+    pub retries: u32,
+}
+
 /// Kernel configuration: the algorithm and hardware variant under test.
 ///
 /// # Examples
@@ -104,6 +152,8 @@ pub struct KernelConfig {
     /// How spin sites wait: stepped iteration (the oracle) or event-driven
     /// parking (the default; bit-identical, far faster to simulate).
     pub spin_mode: SpinMode,
+    /// The initiator-side IPI-retry watchdog.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for KernelConfig {
@@ -120,6 +170,7 @@ impl Default for KernelConfig {
             trace_shootdowns: false,
             trace_capacity: 1 << 16,
             spin_mode: SpinMode::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -151,6 +202,15 @@ pub struct KernelStats {
     /// Coalesces that happened with the target queue full — enqueues that
     /// would have overflowed into a whole-TLB flush without merging.
     pub queue_overflows_avoided: u64,
+    /// Shootdown IPIs re-sent by the initiator watchdog (a subset of
+    /// [`KernelStats::ipis_sent`] was healthy traffic; these were retries).
+    pub ipi_retries: u64,
+    /// Responders the watchdog gave up on after exhausting its retries
+    /// (each also files a [`WatchdogReport`]).
+    pub watchdog_gaveup: u64,
+    /// Responder drains that degraded to a whole-TLB flush because the
+    /// queue had overflowed or was poisoned.
+    pub degraded_flushes: u64,
 }
 
 /// Physical memory contents: 64-bit words, allocated per frame on first
@@ -379,6 +439,8 @@ pub struct KernelState {
     /// Changes applied but not yet consistency-committed (timer-delayed
     /// technique only).
     pub pending_commits: Vec<PendingCommit>,
+    /// Responders the initiator watchdog gave up on, in filing order.
+    pub watchdog_reports: Vec<WatchdogReport>,
 }
 
 impl KernelState {
@@ -423,6 +485,7 @@ impl KernelState {
             frames: FrameAllocator::new(),
             tlb_flush_stamp: vec![machtlb_sim::Time::ZERO; n_cpus],
             pending_commits: Vec::new(),
+            watchdog_reports: Vec::new(),
             config,
         }
     }

@@ -29,6 +29,40 @@ pub enum BusOp {
     Interlocked,
 }
 
+impl BusOp {
+    /// Every transaction kind, in [`BusOp::index`] order.
+    pub const ALL: [BusOp; 3] = [BusOp::Read, BusOp::Write, BusOp::Interlocked];
+
+    /// This kind's index into [`BusStats::per_op`].
+    pub const fn index(self) -> usize {
+        match self {
+            BusOp::Read => 0,
+            BusOp::Write => 1,
+            BusOp::Interlocked => 2,
+        }
+    }
+
+    /// A short name for tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BusOp::Read => "read",
+            BusOp::Write => "write",
+            BusOp::Interlocked => "interlocked",
+        }
+    }
+}
+
+/// Per-transaction-kind bus statistics (one row of [`BusStats::per_op`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusOpStats {
+    /// Transactions of this kind issued.
+    pub transactions: u64,
+    /// Time transactions of this kind spent queued behind other holders.
+    pub queued: Dur,
+    /// Time the bus was held by this kind.
+    pub held: Dur,
+}
+
 /// Cumulative bus statistics.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -38,6 +72,19 @@ pub struct BusStats {
     pub queued: Dur,
     /// Total time the bus was held.
     pub held: Dur,
+    /// The same accounting split by transaction kind, indexed by
+    /// [`BusOp::index`] — the memory-traffic side of the IPI-vs-memory
+    /// split the chaos tables report (IPI sends go through the interrupt
+    /// controller, not the bus; their counts live in the kernel's
+    /// `ipis_sent`/`ipi_retries`).
+    pub per_op: [BusOpStats; 3],
+}
+
+impl BusStats {
+    /// The per-kind row for `op`.
+    pub fn of(&self, op: BusOp) -> &BusOpStats {
+        &self.per_op[op.index()]
+    }
 }
 
 /// The shared bus: a single-server FIFO queue over transactions.
@@ -77,13 +124,18 @@ impl Bus {
     ///
     /// Transactions must be issued in non-decreasing `now` order; the
     /// simulator's min-clock scheduling guarantees this.
-    pub fn access(&mut self, now: Time, _op: BusOp, latency: Dur) -> Dur {
+    pub fn access(&mut self, now: Time, op: BusOp, latency: Dur) -> Dur {
         let start = self.busy_until.max(now);
         let end = start + self.occupancy;
         self.busy_until = end;
+        let queued = start.saturating_duration_since(now);
         self.stats.transactions += 1;
-        self.stats.queued += start.saturating_duration_since(now);
+        self.stats.queued += queued;
         self.stats.held += self.occupancy;
+        let row = &mut self.stats.per_op[op.index()];
+        row.transactions += 1;
+        row.queued += queued;
+        row.held += self.occupancy;
         end.duration_since(now) + latency
     }
 
@@ -125,6 +177,28 @@ mod tests {
         assert_eq!(d3, Dur::nanos(1500));
         assert_eq!(bus.stats().transactions, 3);
         assert_eq!(bus.stats().queued, Dur::nanos(1500)); // 0 + 500 + 1000
+    }
+
+    #[test]
+    fn per_op_rows_partition_the_totals() {
+        let mut bus = Bus::new(Dur::nanos(500));
+        let _ = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+        let _ = bus.access(Time::ZERO, BusOp::Write, Dur::ZERO);
+        let _ = bus.access(Time::ZERO, BusOp::Read, Dur::ZERO);
+        let _ = bus.access(Time::ZERO, BusOp::Interlocked, Dur::ZERO);
+        let s = bus.stats();
+        assert_eq!(s.of(BusOp::Write).transactions, 2);
+        assert_eq!(s.of(BusOp::Read).transactions, 1);
+        assert_eq!(s.of(BusOp::Interlocked).transactions, 1);
+        let (mut txns, mut queued, mut held) = (0, Dur::ZERO, Dur::ZERO);
+        for op in BusOp::ALL {
+            txns += s.of(op).transactions;
+            queued += s.of(op).queued;
+            held += s.of(op).held;
+        }
+        assert_eq!(txns, s.transactions);
+        assert_eq!(queued, s.queued);
+        assert_eq!(held, s.held);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::event::BlockOn;
+use crate::event::{BlockOn, WaitChannel};
 use crate::intr::{IntrMask, Vector};
 use crate::process::Process;
 use crate::time::{Dur, Time};
@@ -66,6 +66,29 @@ pub(crate) enum ParkState {
         /// Stack index of the blocked frame (spawn deliveries may push
         /// frames above it while it sleeps).
         frame: usize,
+    },
+}
+
+/// A read-only view of a processor's park state, for diagnostics (the
+/// deadlock/livelock reports need to say *what* a stuck processor waits
+/// on without exposing the scheduler's internal bookkeeping).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParkView {
+    /// Eligible for scheduling.
+    Running,
+    /// Sleeping until an event arrives, or until the deadline if present.
+    Parked {
+        /// The park deadline, if any.
+        until: Option<Time>,
+    },
+    /// Event-blocked in place of a stepped spin loop.
+    Blocked {
+        /// Instant of the last live failed check.
+        anchor: Time,
+        /// The channels the process waits on.
+        chans: [Option<WaitChannel>; 2],
+        /// The earliest wake instant scheduled so far, if any.
+        wake_at: Option<Time>,
     },
 }
 
@@ -179,6 +202,29 @@ impl<S, P> CpuCore<S, P> {
     /// True if an interrupt is latched but not yet dispatched.
     pub fn has_pending(&self, vector: Vector) -> bool {
         self.pending.contains(&vector)
+    }
+
+    /// Every interrupt latched but not yet dispatched, lowest vector first.
+    pub fn pending_vectors(&self) -> Vec<Vector> {
+        self.pending.iter().copied().collect()
+    }
+
+    /// A diagnostic view of the park state (see [`ParkView`]).
+    pub fn park_view(&self) -> ParkView {
+        match self.park {
+            ParkState::Running => ParkView::Running,
+            ParkState::Parked { until } => ParkView::Parked { until },
+            ParkState::Blocked {
+                anchor,
+                on,
+                wake_at,
+                ..
+            } => ParkView::Blocked {
+                anchor,
+                chans: on.chans,
+                wake_at,
+            },
+        }
     }
 
     /// The lowest-numbered pending vector deliverable under the current

@@ -84,6 +84,12 @@ pub struct BlockOn {
     /// (`spin_iter + cache_read` at every kernel spin site). Must be
     /// non-zero.
     pub interval: Dur,
+    /// If set, the process also wakes (spuriously, to re-check) at the
+    /// first check-lattice instant at or after this deadline — the
+    /// event-driven equivalent of a stepped spinner whose loop body tests
+    /// a timeout against its clock. The stepped loop observes the expiry
+    /// at exactly that lattice point, so equivalence is preserved.
+    pub deadline: Option<Time>,
 }
 
 impl BlockOn {
@@ -92,6 +98,7 @@ impl BlockOn {
         BlockOn {
             chans: [Some(chan), None],
             interval,
+            deadline: None,
         }
     }
 
@@ -100,7 +107,14 @@ impl BlockOn {
         BlockOn {
             chans: [Some(a), Some(b)],
             interval,
+            deadline: None,
         }
+    }
+
+    /// Adds a wake deadline (see [`BlockOn::deadline`]).
+    pub fn with_deadline(mut self, deadline: Time) -> BlockOn {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Whether `chan` is one of the awaited channels.

@@ -1,0 +1,503 @@
+//! Deterministic fault injection: a [`FaultPlan`] perturbs IPI delivery
+//! and interrupt dispatch at the machine layer, without touching any
+//! process code.
+//!
+//! Faults are *counter-deterministic*: every rule fires on every `n`-th
+//! matching event, never on a random draw, so the same seed + plan always
+//! produces the same perturbed execution — the repo's replay guarantee
+//! extends to chaos runs. A machine with no plan installed takes a single
+//! `Option` branch per IPI send and dispatch; the simulated timeline is
+//! bit-identical to a build without this module.
+//!
+//! The plan targets one interrupt [`Vector`] (the shootdown vector, in
+//! practice) so background traffic — device interrupts, reschedules —
+//! is never perturbed. Six fault classes cover the paper's fragile spots:
+//!
+//! | fault        | models                                               |
+//! |--------------|------------------------------------------------------|
+//! | delay        | a slow interrupt controller / queued delivery        |
+//! | drop         | a lost IPI (bounded: the tolerable envelope)         |
+//! | duplicate    | a re-latched level-triggered interrupt               |
+//! | reorder      | a held delivery overtaken by later sends             |
+//! | isr stretch  | a long interrupt-masked window (device handler)      |
+//! | stall        | a responder wedged mid-quiesce (dispatch made slow)  |
+
+use crate::cpu::CpuId;
+use crate::intr::{IntrClass, Vector};
+use crate::time::{Dur, Time};
+
+/// Delay every `every_nth` matching IPI delivery by `extra`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IpiDelay {
+    /// Fire on every `every_nth` matching send (1 = all). Must be > 0.
+    pub every_nth: u64,
+    /// Extra delivery latency added to the perturbed send.
+    pub extra: Dur,
+}
+
+/// Drop every `every_nth` matching IPI, up to `max_drops` in total.
+///
+/// A bounded drop is inside the tolerable envelope when the kernel's
+/// watchdog retries at least `max_drops` times; an unbounded drop
+/// (`max_drops == u64::MAX`) with retries disabled is beyond it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IpiDrop {
+    /// Fire on every `every_nth` matching send (1 = all). Must be > 0.
+    pub every_nth: u64,
+    /// Total drops across the run; further matches deliver normally.
+    pub max_drops: u64,
+}
+
+/// Deliver every `every_nth` matching IPI twice, the copy `extra` later.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IpiDuplicate {
+    /// Fire on every `every_nth` matching send (1 = all). Must be > 0.
+    pub every_nth: u64,
+    /// How much later the duplicate copy lands.
+    pub extra: Dur,
+}
+
+/// Hold every `every_nth` matching IPI back by `hold`, so deliveries
+/// issued later overtake it — a deterministic reordering of the delivery
+/// stream (the held IPI is never lost, only passed).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IpiReorder {
+    /// Fire on every `every_nth` matching send (1 = all). Must be > 0.
+    pub every_nth: u64,
+    /// How long the perturbed delivery is held back.
+    pub hold: Dur,
+}
+
+/// Stretch every device-class interrupt dispatch by `extra`: models long
+/// interrupt-masked windows on responders (the paper's worst-case
+/// synchronization delay).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IsrStretch {
+    /// Extra entry cost added to every device-class dispatch.
+    pub extra: Dur,
+}
+
+/// Stall one chosen processor's next `times` dispatches of the targeted
+/// vector by `extra` each: a responder wedged mid-quiesce.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ResponderStall {
+    /// The processor whose dispatches are stalled.
+    pub cpu: CpuId,
+    /// Extra dispatch cost per stalled dispatch.
+    pub extra: Dur,
+    /// How many dispatches to stall before the rule exhausts.
+    pub times: u64,
+}
+
+/// A deterministic fault plan: which perturbations to apply to the
+/// targeted interrupt vector. All rules default to off ([`FaultPlan::none`]).
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::{Dur, FaultPlan, IpiDelay, Vector};
+///
+/// let plan = FaultPlan {
+///     delay: Some(IpiDelay { every_nth: 2, extra: Dur::micros(500) }),
+///     ..FaultPlan::none(Vector::new(1))
+/// };
+/// assert_eq!(plan.vector, Vector::new(1));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The interrupt vector the IPI rules target (other vectors pass
+    /// through untouched).
+    pub vector: Vector,
+    /// Delay rule.
+    pub delay: Option<IpiDelay>,
+    /// Drop rule.
+    pub drop: Option<IpiDrop>,
+    /// Duplicate rule.
+    pub duplicate: Option<IpiDuplicate>,
+    /// Reorder (hold-back) rule.
+    pub reorder: Option<IpiReorder>,
+    /// Interrupt-masked-window stretch rule (device-class dispatches).
+    pub isr_stretch: Option<IsrStretch>,
+    /// Responder stall rule (targeted-vector dispatches on one cpu).
+    pub stall: Option<ResponderStall>,
+}
+
+impl FaultPlan {
+    /// A plan with every rule disabled: installing it must not change the
+    /// simulated timeline at all.
+    pub fn none(vector: Vector) -> FaultPlan {
+        FaultPlan {
+            vector,
+            delay: None,
+            drop: None,
+            duplicate: None,
+            reorder: None,
+            isr_stretch: None,
+            stall: None,
+        }
+    }
+}
+
+/// What a fault rule did to one event, for the log and the trace marks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An IPI delivery was delayed.
+    Delayed,
+    /// An IPI was dropped (never delivered).
+    Dropped,
+    /// An IPI was delivered twice.
+    Duplicated,
+    /// An IPI was held back past later sends.
+    Reordered,
+    /// A device-class dispatch was stretched.
+    IsrStretched,
+    /// A targeted-vector dispatch was stalled.
+    Stalled,
+}
+
+impl FaultKind {
+    /// A stable numeric code (for xpr / trace-mark arguments).
+    pub fn code(self) -> u32 {
+        match self {
+            FaultKind::Delayed => 1,
+            FaultKind::Dropped => 2,
+            FaultKind::Duplicated => 3,
+            FaultKind::Reordered => 4,
+            FaultKind::IsrStretched => 5,
+            FaultKind::Stalled => 6,
+        }
+    }
+
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Delayed => "delayed",
+            FaultKind::Dropped => "dropped",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Reordered => "reordered",
+            FaultKind::IsrStretched => "isr-stretched",
+            FaultKind::Stalled => "stalled",
+        }
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// IPIs delayed.
+    pub delayed: u64,
+    /// IPIs dropped.
+    pub dropped: u64,
+    /// IPIs duplicated.
+    pub duplicated: u64,
+    /// IPIs held back (reordered).
+    pub reordered: u64,
+    /// Device-class dispatches stretched.
+    pub isr_stretched: u64,
+    /// Targeted dispatches stalled.
+    pub stalled: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.delayed
+            + self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.isr_stretched
+            + self.stalled
+    }
+}
+
+/// One injected fault, for the post-run log (stamped into the flight
+/// recorder and xpr by the chaos harness).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The perturbed event's original instant (send or dispatch time).
+    pub at: Time,
+    /// The affected processor (IPI target or dispatching cpu).
+    pub cpu: CpuId,
+    /// What was done to it.
+    pub kind: FaultKind,
+}
+
+/// The runtime state of an installed [`FaultPlan`]: per-rule counters,
+/// statistics, and the fault log.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Matching IPI sends seen so far (1-based after increment).
+    ipi_count: u64,
+    drops_done: u64,
+    stalls_done: u64,
+    stats: FaultStats,
+    log: Vec<FaultRecord>,
+}
+
+impl FaultInjector {
+    /// Wraps a plan with zeroed counters.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            ipi_count: 0,
+            drops_done: 0,
+            stalls_done: 0,
+            stats: FaultStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cumulative injected-fault statistics.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Every injected fault, in injection order.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    fn record(&mut self, at: Time, cpu: CpuId, kind: FaultKind) {
+        match kind {
+            FaultKind::Delayed => self.stats.delayed += 1,
+            FaultKind::Dropped => self.stats.dropped += 1,
+            FaultKind::Duplicated => self.stats.duplicated += 1,
+            FaultKind::Reordered => self.stats.reordered += 1,
+            FaultKind::IsrStretched => self.stats.isr_stretched += 1,
+            FaultKind::Stalled => self.stats.stalled += 1,
+        }
+        self.log.push(FaultRecord { at, cpu, kind });
+    }
+
+    fn matches(count: u64, every_nth: u64) -> bool {
+        debug_assert!(every_nth > 0, "every_nth must be positive");
+        every_nth > 0 && count.is_multiple_of(every_nth)
+    }
+
+    /// Filters one IPI send: returns the deliveries to actually enqueue
+    /// (empty = dropped, two = duplicated, shifted `at` = delayed or held).
+    /// Non-targeted vectors pass through unchanged.
+    pub(crate) fn filter_ipi(
+        &mut self,
+        target: CpuId,
+        vector: Vector,
+        at: Time,
+    ) -> Vec<(CpuId, Time)> {
+        if vector != self.plan.vector {
+            return vec![(target, at)];
+        }
+        self.ipi_count += 1;
+        let n = self.ipi_count;
+        if let Some(rule) = self.plan.drop {
+            if Self::matches(n, rule.every_nth) && self.drops_done < rule.max_drops {
+                self.drops_done += 1;
+                self.record(at, target, FaultKind::Dropped);
+                return Vec::new();
+            }
+        }
+        let mut when = at;
+        if let Some(rule) = self.plan.delay {
+            if Self::matches(n, rule.every_nth) {
+                when += rule.extra;
+                self.record(at, target, FaultKind::Delayed);
+            }
+        }
+        if let Some(rule) = self.plan.reorder {
+            if Self::matches(n, rule.every_nth) {
+                when += rule.hold;
+                self.record(at, target, FaultKind::Reordered);
+            }
+        }
+        if let Some(rule) = self.plan.duplicate {
+            if Self::matches(n, rule.every_nth) {
+                self.record(at, target, FaultKind::Duplicated);
+                return vec![(target, when), (target, when + rule.extra)];
+            }
+        }
+        vec![(target, when)]
+    }
+
+    /// Extra dispatch cost injected when `cpu` vectors `vector` (of the
+    /// given class) at `now`. Zero when no rule matches.
+    pub(crate) fn dispatch_extra(
+        &mut self,
+        cpu: CpuId,
+        vector: Vector,
+        class: IntrClass,
+        now: Time,
+    ) -> Dur {
+        let mut extra = Dur::ZERO;
+        if let Some(rule) = self.plan.isr_stretch {
+            if class == IntrClass::Device {
+                extra += rule.extra;
+                self.record(now, cpu, FaultKind::IsrStretched);
+            }
+        }
+        if let Some(rule) = self.plan.stall {
+            if vector == self.plan.vector && cpu == rule.cpu && self.stalls_done < rule.times {
+                self.stalls_done += 1;
+                extra += rule.extra;
+                self.record(now, cpu, FaultKind::Stalled);
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: Vector = Vector::new(1);
+    const OTHER: Vector = Vector::new(2);
+    const T: Time = Time::from_micros(100);
+    const C0: CpuId = CpuId::new(0);
+    const C1: CpuId = CpuId::new(1);
+
+    #[test]
+    fn none_plan_passes_everything_through() {
+        let mut inj = FaultInjector::new(FaultPlan::none(V));
+        for i in 0..10 {
+            assert_eq!(inj.filter_ipi(C1, V, T), vec![(C1, T)], "send {i}");
+        }
+        assert_eq!(inj.dispatch_extra(C1, V, IntrClass::Ipi, T), Dur::ZERO);
+        assert_eq!(inj.stats(), FaultStats::default());
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn untargeted_vectors_are_never_perturbed() {
+        let plan = FaultPlan {
+            drop: Some(IpiDrop {
+                every_nth: 1,
+                max_drops: u64::MAX,
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.filter_ipi(C1, OTHER, T), vec![(C1, T)]);
+        assert_eq!(inj.stats().dropped, 0);
+    }
+
+    #[test]
+    fn drop_respects_its_budget() {
+        let plan = FaultPlan {
+            drop: Some(IpiDrop {
+                every_nth: 1,
+                max_drops: 2,
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.filter_ipi(C1, V, T).is_empty());
+        assert!(inj.filter_ipi(C1, V, T).is_empty());
+        assert_eq!(inj.filter_ipi(C1, V, T), vec![(C1, T)], "budget exhausted");
+        assert_eq!(inj.stats().dropped, 2);
+        assert_eq!(inj.log().len(), 2);
+        assert_eq!(inj.log()[0].kind, FaultKind::Dropped);
+    }
+
+    #[test]
+    fn delay_fires_every_nth() {
+        let plan = FaultPlan {
+            delay: Some(IpiDelay {
+                every_nth: 2,
+                extra: Dur::micros(50),
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.filter_ipi(C1, V, T), vec![(C1, T)]);
+        assert_eq!(inj.filter_ipi(C1, V, T), vec![(C1, T + Dur::micros(50))]);
+        assert_eq!(inj.filter_ipi(C1, V, T), vec![(C1, T)]);
+        assert_eq!(inj.stats().delayed, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let plan = FaultPlan {
+            duplicate: Some(IpiDuplicate {
+                every_nth: 1,
+                extra: Dur::micros(7),
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.filter_ipi(C1, V, T),
+            vec![(C1, T), (C1, T + Dur::micros(7))]
+        );
+        assert_eq!(inj.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn stall_targets_one_cpu_a_bounded_number_of_times() {
+        let plan = FaultPlan {
+            stall: Some(ResponderStall {
+                cpu: C1,
+                extra: Dur::micros(300),
+                times: 1,
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.dispatch_extra(C0, V, IntrClass::Ipi, T), Dur::ZERO);
+        assert_eq!(
+            inj.dispatch_extra(C1, V, IntrClass::Ipi, T),
+            Dur::micros(300)
+        );
+        assert_eq!(
+            inj.dispatch_extra(C1, V, IntrClass::Ipi, T),
+            Dur::ZERO,
+            "budget of one"
+        );
+        assert_eq!(inj.stats().stalled, 1);
+    }
+
+    #[test]
+    fn isr_stretch_hits_device_class_only() {
+        let plan = FaultPlan {
+            isr_stretch: Some(IsrStretch {
+                extra: Dur::micros(100),
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.dispatch_extra(C0, OTHER, IntrClass::Device, T),
+            Dur::micros(100)
+        );
+        assert_eq!(inj.dispatch_extra(C0, V, IntrClass::Ipi, T), Dur::ZERO);
+        assert_eq!(inj.stats().isr_stretched, 1);
+    }
+
+    #[test]
+    fn injection_is_replayable() {
+        let plan = FaultPlan {
+            delay: Some(IpiDelay {
+                every_nth: 3,
+                extra: Dur::micros(11),
+            }),
+            drop: Some(IpiDrop {
+                every_nth: 5,
+                max_drops: 2,
+            }),
+            ..FaultPlan::none(V)
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let mut out = Vec::new();
+            for i in 0..20u64 {
+                out.push(inj.filter_ipi(C1, V, T + Dur::micros(i)));
+            }
+            (out, inj.stats(), inj.log().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -51,16 +51,21 @@ mod bus;
 mod cost;
 mod cpu;
 mod event;
+mod fault;
 mod intr;
 mod lock;
 mod machine;
 mod process;
 mod time;
 
-pub use bus::{Bus, BusOp, BusStats};
+pub use bus::{Bus, BusOp, BusOpStats, BusStats};
 pub use cost::CostModel;
-pub use cpu::{CpuCore, CpuId, CpuStats};
+pub use cpu::{CpuCore, CpuId, CpuStats, ParkView};
 pub use event::{BlockOn, WaitChannel};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, IpiDelay, IpiDrop, IpiDuplicate,
+    IpiReorder, IsrStretch, ResponderStall,
+};
 pub use intr::{IntrClass, IntrMask, Vector};
 pub use lock::SpinLock;
 pub use machine::{Machine, MachineConfig, RunReport, RunStatus};
@@ -783,6 +788,109 @@ mod tests {
             diag.contains("cpu0") && diag.contains("flag-waiter") && diag.contains("blocked"),
             "diagnostic must name the blocked cpu and frame: {diag}"
         );
+    }
+
+    #[test]
+    fn deadline_wakes_at_the_same_instant_as_a_stepped_timeout() {
+        // A waiter whose loop body also tests a timeout: the event run must
+        // observe the expiry at exactly the stepped loop's first check at
+        // or after it (the deadline is deliberately off-lattice).
+        const DEADLINE: Time = Time::from_micros(50);
+
+        #[derive(Debug)]
+        struct TimeoutWaiter {
+            event: bool,
+        }
+        impl Process<FlagWorld, ()> for TimeoutWaiter {
+            fn step(&mut self, ctx: &mut Ctx<'_, FlagWorld, ()>) -> Step {
+                if ctx.shared.flag || ctx.now >= DEADLINE {
+                    ctx.shared.trace.push((ctx.cpu_id, ctx.now));
+                    Step::Done(Dur::micros(1))
+                } else if self.event {
+                    Step::Block(BlockOn::one(FLAG_CHAN, SPIN_COST).with_deadline(DEADLINE))
+                } else {
+                    Step::Run(SPIN_COST)
+                }
+            }
+            fn label(&self) -> &'static str {
+                "timeout-waiter"
+            }
+        }
+
+        let run = |event: bool| {
+            let mut m = Machine::new(test_config(1), FlagWorld::default(), |_| ());
+            m.spawn_at(CpuId::new(0), Time::ZERO, Box::new(TimeoutWaiter { event }));
+            let r = m.run_bounded(Time::from_micros(100_000), 100_000_000);
+            assert_eq!(r.status, RunStatus::Quiescent);
+            let stats = m.cpu(CpuId::new(0)).stats();
+            (m.into_shared().trace, stats, r.steps)
+        };
+        let spun = run(false);
+        let blocked = run(true);
+        assert_eq!(
+            spun, blocked,
+            "a deadline wake must match the stepped timeout check exactly"
+        );
+        assert_eq!(blocked.0.len(), 1, "the timeout must fire");
+        assert!(blocked.0[0].1 >= DEADLINE);
+    }
+
+    #[test]
+    fn installing_an_empty_fault_plan_is_invisible() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
+            if let Some(p) = plan {
+                m.install_fault_plan(p);
+            }
+            let v = Vector::new(1);
+            m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
+            m.spawn_at(
+                CpuId::new(0),
+                Time::ZERO,
+                Box::new(SendThenIdle {
+                    target: CpuId::new(1),
+                    vector: v,
+                    sent: false,
+                }),
+            );
+            let r = m.run(Time::from_micros(10_000));
+            assert_eq!(r.status, RunStatus::Quiescent);
+            let stats = m.cpu(CpuId::new(1)).stats();
+            (m.into_shared().dispatched, stats, r.steps)
+        };
+        assert_eq!(
+            run(None),
+            run(Some(FaultPlan::none(Vector::new(1)))),
+            "an all-off plan must be bit-identical to no plan at all"
+        );
+    }
+
+    #[test]
+    fn dropped_ipi_never_dispatches() {
+        let v = Vector::new(1);
+        let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
+        m.install_fault_plan(FaultPlan {
+            drop: Some(IpiDrop {
+                every_nth: 1,
+                max_drops: u64::MAX,
+            }),
+            ..FaultPlan::none(v)
+        });
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(SendThenIdle {
+                target: CpuId::new(1),
+                vector: v,
+                sent: false,
+            }),
+        );
+        let r = m.run(Time::from_micros(10_000));
+        assert_eq!(r.status, RunStatus::Quiescent);
+        assert!(m.shared().dispatched.is_empty(), "the IPI was dropped");
+        assert_eq!(m.fault_stats().expect("plan installed").dropped, 1);
+        assert_eq!(m.fault_events().len(), 1);
     }
 
     #[test]

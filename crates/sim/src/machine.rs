@@ -12,6 +12,7 @@ use crate::bus::{Bus, BusOp, BusStats};
 use crate::cost::CostModel;
 use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
 use crate::event::{skipped_iterations, wake_for_delivery, wake_for_notify, WaitChannel};
+use crate::fault::{FaultInjector, FaultPlan, FaultRecord, FaultStats};
 use crate::intr::{IntrClass, IntrMask, Vector};
 use crate::process::{Command, Ctx, Process};
 use crate::time::{Dur, Time};
@@ -147,6 +148,7 @@ pub struct Machine<S, P> {
     rng: SmallRng,
     handlers: BTreeMap<Vector, HandlerEntry<S, P>>,
     deliveries: BinaryHeap<Reverse<QueuedDelivery<S, P>>>,
+    faults: Option<FaultInjector>,
     seq: u64,
     total_steps: u64,
     frontier: Time,
@@ -179,6 +181,7 @@ impl<S, P> Machine<S, P> {
             rng: SmallRng::seed_from_u64(config.seed),
             handlers: BTreeMap::new(),
             deliveries: BinaryHeap::new(),
+            faults: None,
             seq: 0,
             total_steps: 0,
             frontier: Time::ZERO,
@@ -258,6 +261,20 @@ impl<S, P> Machine<S, P> {
             "schedule_interrupt: bad target {target}"
         );
         self.push_delivery(at, target, QueuedKind::Interrupt(vector));
+    }
+
+    /// Enqueues an IPI delivery, routed through the fault injector when one
+    /// is installed (which may drop, delay, or duplicate it).
+    fn inject_ipi(&mut self, target: CpuId, vector: Vector, at: Time) {
+        match self.faults.as_mut() {
+            None => self.push_delivery(at, target, QueuedKind::Interrupt(vector)),
+            Some(inj) => {
+                let sends = inj.filter_ipi(target, vector, at);
+                for (tgt, when) in sends {
+                    self.push_delivery(when, tgt, QueuedKind::Interrupt(vector));
+                }
+            }
+        }
     }
 
     fn push_delivery(&mut self, at: Time, target: CpuId, kind: QueuedKind<S, P>) {
@@ -472,6 +489,7 @@ impl<S, P> Machine<S, P> {
             costs,
             rng,
             handlers,
+            faults,
             ..
         } = self;
         let n_cpus = cpus.len();
@@ -496,6 +514,9 @@ impl<S, P> Machine<S, P> {
             let handler = handlers
                 .get(&v)
                 .expect("deliverable vector lost its handler");
+            if let Some(inj) = faults.as_mut() {
+                cost += inj.dispatch_extra(cpu_id, v, handler.class, cpu.clock);
+            }
             let proc = (handler.factory)(shared, cpu_id, cpu.clock);
             cpu.stack.push(Frame {
                 proc,
@@ -568,7 +589,9 @@ impl<S, P> Machine<S, P> {
                 cpu.park = ParkState::Blocked {
                     anchor: now,
                     on,
-                    wake_at: None,
+                    // A deadline seeds the wake instant up front: the
+                    // stepped loop's first check at or after the expiry.
+                    wake_at: on.deadline.map(|d| wake_for_delivery(now, on.interval, d)),
                     frame: cpu.stack.len() - 1,
                 };
             }
@@ -579,28 +602,14 @@ impl<S, P> Machine<S, P> {
         for cmd in commands {
             match cmd {
                 Command::SendIpi { target, vector, at } => {
-                    let seq = self.seq;
-                    self.seq += 1;
-                    self.deliveries.push(Reverse(QueuedDelivery {
-                        at,
-                        seq,
-                        target,
-                        kind: QueuedKind::Interrupt(vector),
-                    }));
+                    self.inject_ipi(target, vector, at);
                 }
                 Command::BroadcastIpi { vector, at } => {
                     for t in 0..n_cpus {
                         if t == i {
                             continue;
                         }
-                        let seq = self.seq;
-                        self.seq += 1;
-                        self.deliveries.push(Reverse(QueuedDelivery {
-                            at,
-                            seq,
-                            target: CpuId::new(t as u32),
-                            kind: QueuedKind::Interrupt(vector),
-                        }));
+                        self.inject_ipi(CpuId::new(t as u32), vector, at);
                     }
                 }
                 Command::Spawn { target, at, proc } => {
@@ -673,6 +682,42 @@ impl<S, P> Machine<S, P> {
     /// Cumulative bus statistics.
     pub fn bus_stats(&self) -> BusStats {
         self.bus.stats()
+    }
+
+    /// Installs a deterministic fault plan. Subsequent IPI sends of the
+    /// plan's vector and interrupt dispatches are routed through the
+    /// injector; everything else is untouched. Installing
+    /// [`FaultPlan::none`] leaves the simulated timeline bit-identical to
+    /// not installing a plan at all.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Statistics of injected faults, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Every injected fault so far, in injection order (empty when no plan
+    /// is installed).
+    pub fn fault_events(&self) -> &[FaultRecord] {
+        self.faults.as_ref().map_or(&[], FaultInjector::log)
+    }
+
+    /// The interrupts queued for delivery but not yet latched, as
+    /// `(delivery instant, target, vector)` triples sorted by instant —
+    /// the "which IPIs are in flight" line of a stall report.
+    pub fn pending_interrupts(&self) -> Vec<(Time, CpuId, Vector)> {
+        let mut out: Vec<(Time, CpuId, Vector)> = self
+            .deliveries
+            .iter()
+            .filter_map(|Reverse(d)| match d.kind {
+                QueuedKind::Interrupt(v) => Some((d.at, d.target, v)),
+                QueuedKind::Spawn(_) => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(at, cpu, v)| (at, cpu, v));
+        out
     }
 
     /// The machine's deterministic random number generator (for seeding

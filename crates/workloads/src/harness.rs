@@ -2,7 +2,7 @@
 //! measurements from them.
 
 use machtlb_core::{install_kernel_handlers, KernelConfig, KernelStats};
-use machtlb_sim::{CostModel, CpuId, Dur, Machine, MachineConfig, Time};
+use machtlb_sim::{BusStats, CostModel, CpuId, Dur, Machine, MachineConfig, Time};
 use machtlb_vm::{SystemState, VmStats};
 use machtlb_xpr::{InitiatorRecord, PmapKind, ResponderRecord, Summary, TraceEvent};
 
@@ -111,11 +111,14 @@ pub fn run_until_done(
             }
             RunStatus::StepLimit => {
                 // The guard tripped: say who was still running so the
-                // runaway loop is identifiable without a debugger.
+                // runaway loop is identifiable without a debugger, and
+                // attach the kernel-level stall report (decoded wait
+                // channels, lock holders, in-flight IPIs).
                 eprintln!(
-                    "step guard tripped at {:?}:\n{}",
+                    "step guard tripped at {:?}:\n{}\n{}",
                     m.frontier(),
-                    m.frames_diagnostic()
+                    m.frames_diagnostic(),
+                    machtlb_core::stall_report(m)
                 );
                 return r.status;
             }
@@ -160,6 +163,9 @@ pub struct AppReport {
     /// [`KernelConfig::trace_shootdowns`](machtlb_core::KernelConfig) was
     /// set).
     pub trace: Vec<TraceEvent>,
+    /// Bus statistics, including the per-transaction-kind occupancy split
+    /// ([`BusStats::per_op`]).
+    pub bus: BusStats,
 }
 
 impl AppReport {
@@ -210,6 +216,7 @@ impl AppReport {
                 .as_ref()
                 .map_or(k.n_cpus, Vec::len),
             trace: k.trace.events(),
+            bus: m.bus_stats(),
         }
     }
 

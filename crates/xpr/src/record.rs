@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use machtlb_sim::{CpuId, Dur, Time};
+use machtlb_sim::{CpuId, Dur, FaultRecord, Time};
 
 /// Which pmap a shootdown operated on — the first datum of the paper's
 /// initiator record ("a flag indicating whether this shootdown is on the
@@ -63,6 +63,10 @@ pub enum ShootdownEvent {
     Initiator(InitiatorRecord),
     /// A responder completed its service routine.
     Responder(ResponderRecord),
+    /// A fault-injection perturbation landed (chaos runs only; stamped
+    /// into the stream after the run so injected chaos appears alongside
+    /// the measurements it perturbed).
+    Fault(FaultRecord),
 }
 
 impl ShootdownEvent {
@@ -70,7 +74,7 @@ impl ShootdownEvent {
     pub fn as_initiator(&self) -> Option<&InitiatorRecord> {
         match self {
             ShootdownEvent::Initiator(r) => Some(r),
-            ShootdownEvent::Responder(_) => None,
+            _ => None,
         }
     }
 
@@ -78,7 +82,15 @@ impl ShootdownEvent {
     pub fn as_responder(&self) -> Option<&ResponderRecord> {
         match self {
             ShootdownEvent::Responder(r) => Some(r),
-            ShootdownEvent::Initiator(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The fault record, if this is one.
+    pub fn as_fault(&self) -> Option<&FaultRecord> {
+        match self {
+            ShootdownEvent::Fault(r) => Some(r),
+            _ => None,
         }
     }
 }

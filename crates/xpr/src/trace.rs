@@ -83,11 +83,20 @@ pub enum TracePhase {
     FullFlush,
     /// Responder: rejoin the active set (a mark).
     Rejoin,
+    /// Initiator: the watchdog re-sent a shootdown IPI after the
+    /// synchronization wait outlived its deadline (a mark; the arg is
+    /// the target processor index, as for [`TracePhase::IpiSend`]).
+    Retry,
+    /// A fault-injection perturbation landed (a mark; the arg is the
+    /// [`FaultKind` code](machtlb_sim::FaultKind::code)). Recorded on the
+    /// affected processor's track so injected chaos is visible next to
+    /// the phases it perturbs.
+    Fault,
 }
 
 impl TracePhase {
     /// Every phase, in algorithm order.
-    pub const ALL: [TracePhase; 12] = [
+    pub const ALL: [TracePhase; 14] = [
         TracePhase::Initiate,
         TracePhase::QueueActions,
         TracePhase::IpiSend,
@@ -100,6 +109,8 @@ impl TracePhase {
         TracePhase::Drain,
         TracePhase::FullFlush,
         TracePhase::Rejoin,
+        TracePhase::Retry,
+        TracePhase::Fault,
     ];
 
     /// A short stable name (used in trace exports and tables).
@@ -117,6 +128,8 @@ impl TracePhase {
             TracePhase::Drain => "drain",
             TracePhase::FullFlush => "full-flush",
             TracePhase::Rejoin => "rejoin",
+            TracePhase::Retry => "ipi-retry",
+            TracePhase::Fault => "fault",
         }
     }
 
@@ -131,6 +144,7 @@ impl TracePhase {
                 | TracePhase::PmapUpdate
                 | TracePhase::Unlock
                 | TracePhase::RemoteInvalidate
+                | TracePhase::Retry
         )
     }
 }
@@ -466,6 +480,54 @@ pub fn check_monotone_per_cpu(events: &[TraceEvent]) -> Result<(), String> {
     Ok(())
 }
 
+/// Structural validation of an assembled trace, returning the number of
+/// spans checked. Rejects shapes no correct recording can produce:
+///
+/// - a slice that ends before it begins;
+/// - initiator-side slices of one span spread across processors (every
+///   initiator phase runs on the processor that began the span);
+/// - a [`TracePhase::Retry`] mark off the initiator's track;
+/// - a span that completed its [`TracePhase::Unlock`] slice without a
+///   completed [`TracePhase::Initiate`] slice.
+///
+/// Spans cut off mid-flight (a bounded run's tail) have their unpaired
+/// begins dropped by [`assemble_spans`] and are tolerated here; this
+/// checks what *was* recorded, not that every shootdown finished.
+pub fn validate_spans(events: &[TraceEvent]) -> Result<usize, String> {
+    let spans = assemble_spans(events);
+    for span in &spans {
+        for s in &span.slices {
+            if s.end < s.begin {
+                return Err(format!(
+                    "{}: {} slice on {} ends at {} before its begin {}",
+                    span.id, s.phase, s.cpu, s.end, s.begin
+                ));
+            }
+            if s.phase.is_initiator_side() && s.cpu != span.initiator {
+                return Err(format!(
+                    "{}: initiator-side {} slice on {} but the span initiated on {}",
+                    span.id, s.phase, s.cpu, span.initiator
+                ));
+            }
+        }
+        for m in &span.marks {
+            if m.phase == TracePhase::Retry && m.cpu != span.initiator {
+                return Err(format!(
+                    "{}: retry mark on {} but the span initiated on {}",
+                    span.id, m.cpu, span.initiator
+                ));
+            }
+        }
+        if span.slice(TracePhase::Unlock).is_some() && span.slice(TracePhase::Initiate).is_none() {
+            return Err(format!(
+                "{}: unlock slice completed without an initiate slice",
+                span.id
+            ));
+        }
+    }
+    Ok(spans.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,5 +642,52 @@ mod tests {
             ev(400, 0, 0, TracePhase::Initiate, TraceEdge::End),
         ];
         assert!(check_monotone_per_cpu(&events).is_err());
+    }
+
+    #[test]
+    fn validation_accepts_a_well_formed_span() {
+        let events = vec![
+            ev(100, 0, 0, TracePhase::Initiate, TraceEdge::Begin),
+            ev(200, 0, 0, TracePhase::Initiate, TraceEdge::End),
+            ev(200, 0, 0, TracePhase::IpiSend, TraceEdge::Begin),
+            ev(210, 0, 0, TracePhase::Retry, TraceEdge::Mark),
+            ev(250, 1, 0, TracePhase::IpiDelivery, TraceEdge::Mark),
+            ev(300, 0, 0, TracePhase::IpiSend, TraceEdge::End),
+            ev(300, 0, 0, TracePhase::Unlock, TraceEdge::Begin),
+            ev(350, 0, 0, TracePhase::Unlock, TraceEdge::End),
+            // A second span cut off mid-flight: tolerated.
+            ev(360, 1, 1, TracePhase::Initiate, TraceEdge::Begin),
+        ];
+        assert_eq!(validate_spans(&events), Ok(2));
+    }
+
+    #[test]
+    fn validation_rejects_migrating_initiator_slices() {
+        let events = vec![
+            ev(100, 0, 0, TracePhase::Initiate, TraceEdge::Begin),
+            ev(200, 0, 0, TracePhase::Initiate, TraceEdge::End),
+            // SyncWait is initiator-side but lands on another processor.
+            ev(200, 1, 0, TracePhase::SyncWait, TraceEdge::Begin),
+            ev(300, 1, 0, TracePhase::SyncWait, TraceEdge::End),
+        ];
+        assert!(validate_spans(&events).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unlock_without_initiate() {
+        let events = vec![
+            ev(100, 0, 0, TracePhase::Unlock, TraceEdge::Begin),
+            ev(200, 0, 0, TracePhase::Unlock, TraceEdge::End),
+        ];
+        assert!(validate_spans(&events).is_err());
+    }
+
+    #[test]
+    fn retry_and_fault_phases_have_stable_names() {
+        assert_eq!(TracePhase::Retry.name(), "ipi-retry");
+        assert_eq!(TracePhase::Fault.name(), "fault");
+        assert!(TracePhase::Retry.is_initiator_side());
+        assert!(!TracePhase::Fault.is_initiator_side());
+        assert_eq!(TracePhase::ALL.len(), 14);
     }
 }

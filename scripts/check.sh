@@ -10,6 +10,10 @@
 #   6. trace smoke      (machtlb trace end-to-end; the validated Chrome
 #                        trace lands in target/machtlb-trace.json and CI
 #                        uploads it as an artifact)
+#   7. chaos smoke      (machtlb chaos: the two-sided fault-injection
+#                        matrix — tolerable plans survive, beyond-envelope
+#                        plans are caught; the survival table lands in
+#                        target/machtlb-chaos.txt and CI uploads it)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -37,5 +41,9 @@ MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench sec8_scaling
 echo "==> trace smoke"
 cargo run --release --quiet --bin machtlb -- trace \
     --workload tester --cpus 8 --out target/machtlb-trace.json
+
+echo "==> chaos smoke (two-sided envelope)"
+cargo run --release --quiet --bin machtlb -- chaos \
+    --cpus 4 --seeds 2 --out target/machtlb-chaos.txt
 
 echo "==> all checks passed"

@@ -10,8 +10,10 @@
 
 use std::process::ExitCode;
 
-use machtlb::core::{KernelConfig, Strategy};
-use machtlb::sim::{CostModel, Dur, Time};
+use machtlb::core::{
+    check_envelope, plan_catalog, run_chaos, ChaosConfig, KernelConfig, Strategy, Survival,
+};
+use machtlb::sim::{BusOp, CostModel, Dur, Time};
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
 use machtlb::workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
@@ -19,7 +21,7 @@ use machtlb::workloads::{
 };
 use machtlb::xpr::{
     assemble_spans, check_monotone_per_cpu, chrome_trace_json, counters_table, linear_fit,
-    phase_latencies, validate_json_shape, Histogram, Summary, TextTable,
+    phase_latencies, validate_json_shape, validate_spans, Histogram, Summary, TextTable,
 };
 
 const USAGE: &str = "\
@@ -32,6 +34,7 @@ USAGE:
     machtlb scaling [--upto N]
     machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
                     [--strategy S] [--cpus N] [--seed N] [--out FILE]
+    machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
@@ -265,10 +268,30 @@ fn cmd_app(args: &Args) -> Result<(), String> {
             ("TLB flushes (total)", report.tlb_flushes),
             ("TLB flushes as epoch bumps", report.tlb_epoch_flushes),
             ("TLB misses", report.tlb_misses),
+            ("IPIs sent", report.stats.ipis_sent),
+            ("IPI watchdog retries", report.stats.ipi_retries),
         ])
     );
+    println!("{}", bus_table(&report.bus));
     println!("oracle: {}", verdict(&report));
     Ok(())
+}
+
+/// The interconnect split: one row per bus transaction kind (IPIs travel
+/// the interrupt fabric, not the memory bus, so they appear in the kernel
+/// counters above rather than here).
+fn bus_table(bus: &machtlb::sim::BusStats) -> TextTable {
+    let mut t = TextTable::new(vec!["bus op", "transactions", "held (us)", "queued (us)"]);
+    for op in BusOp::ALL {
+        let row = bus.of(op);
+        t.add_row(vec![
+            op.name().into(),
+            row.transactions.to_string(),
+            format!("{:.0}", row.held.as_micros_f64()),
+            format!("{:.0}", row.queued.as_micros_f64()),
+        ]);
+    }
+    t
 }
 
 fn cmd_fig2(args: &Args) -> Result<(), String> {
@@ -382,12 +405,13 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     };
     let events = &report.trace;
     check_monotone_per_cpu(events).map_err(|e| format!("trace not monotone: {e}"))?;
+    let validated = validate_spans(events).map_err(|e| format!("span validation failed: {e}"))?;
     let json = chrome_trace_json(events, report.n_cpus);
     validate_json_shape(&json).map_err(|e| format!("exporter produced bad JSON: {e}"))?;
     std::fs::write(&out_path, &json).map_err(|e| format!("write {out_path}: {e}"))?;
     let spans = assemble_spans(events);
     println!(
-        "{workload} under {strategy}: {} trace events across {} shootdown spans",
+        "{workload} under {strategy}: {} trace events across {} shootdown spans ({validated} validated)",
         events.len(),
         spans.len()
     );
@@ -422,6 +446,86 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Sweeps the chaos catalog across seeds, prints (and optionally writes)
+/// the survival table, and fails — with a nonzero exit — if any outcome
+/// lands on the wrong side of the tolerable envelope: a tolerable plan
+/// caught fatal, or a beyond-envelope plan passing silently.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let cpus = args.num("cpus", 8)? as usize;
+    let n_seeds = args.num("seeds", 3)?;
+    let rounds = args.num("rounds", 3)?;
+    if cpus < 3 {
+        return Err("chaos needs at least 3 processors".into());
+    }
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+    let plans = plan_catalog(cpus);
+    println!(
+        "chaos: {} plans x {} seeds on {cpus} processors, {rounds} shootdown rounds each",
+        plans.len(),
+        seeds.len()
+    );
+    let mut outcomes = Vec::new();
+    for plan in plans {
+        for &seed in &seeds {
+            let mut cfg = ChaosConfig::new(cpus, seed, Some(plan));
+            cfg.rounds = rounds;
+            outcomes.push(run_chaos(&cfg));
+        }
+    }
+    let mut t = TextTable::new(vec![
+        "plan",
+        "envelope",
+        "seed",
+        "survival",
+        "violations",
+        "retries",
+        "degraded",
+        "faults",
+        "end (ms)",
+    ]);
+    for o in &outcomes {
+        t.add_row(vec![
+            o.plan.into(),
+            if o.tolerable { "tolerable" } else { "beyond" }.into(),
+            o.seed.to_string(),
+            o.survival.name().into(),
+            o.violations.to_string(),
+            o.stats.ipi_retries.to_string(),
+            o.stats.degraded_flushes.to_string(),
+            o.faults.map_or(0, |f| f.total()).to_string(),
+            format!("{:.1}", o.end.as_millis_f64()),
+        ]);
+    }
+    let table = t.to_string();
+    println!("{table}");
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &table).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(o) = outcomes.iter().find(|o| !o.completed) {
+        if let Some(r) = &o.report {
+            println!(
+                "diagnosis of the first incomplete run ({} seed {}):",
+                o.plan, o.seed
+            );
+            println!("{r}");
+        }
+    }
+    let bad = check_envelope(&outcomes);
+    if !bad.is_empty() {
+        return Err(format!("chaos envelope violated:\n  {}", bad.join("\n  ")));
+    }
+    let fatal = outcomes
+        .iter()
+        .filter(|o| o.survival == Survival::DetectedFatal)
+        .count();
+    println!(
+        "envelope: two-sided check green — {} runs, {fatal} beyond-envelope runs caught",
+        outcomes.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -436,6 +540,7 @@ fn main() -> ExitCode {
         Some("fig2") => cmd_fig2(&args),
         Some("scaling") => cmd_scaling(&args),
         Some("trace") => cmd_trace(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

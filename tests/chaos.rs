@@ -1,0 +1,82 @@
+//! The chaos suite's end-to-end guarantees: the two-sided envelope holds
+//! across seeds, fault campaigns replay bit for bit, and the naive
+//! strategy is caught on every seed of a wide machine.
+
+use machtlb::core::{
+    chaos_kconfig, chaos_matrix, check_envelope, plan_catalog, run_chaos, ChaosConfig,
+    KernelConfig, Strategy, Survival,
+};
+
+/// The full catalog across several seeds: every tolerable plan survives
+/// (possibly degraded), every beyond-envelope plan is caught. This is the
+/// headline robustness claim — a silent pass on either side fails.
+#[test]
+fn chaos_matrix_is_two_sided_green() {
+    let outcomes = chaos_matrix(4, &[1, 2, 3]);
+    let bad = check_envelope(&outcomes);
+    assert!(bad.is_empty(), "envelope violated:\n{}", bad.join("\n"));
+    // And the matrix genuinely exercised both sides.
+    assert!(outcomes
+        .iter()
+        .any(|o| o.survival == Survival::Degraded && o.tolerable));
+    assert!(outcomes
+        .iter()
+        .any(|o| o.survival == Survival::DetectedFatal && !o.tolerable));
+}
+
+/// Same seed + same fault plan => bit-identical clocks, statistics, bus
+/// traffic, and verdict. Chaos runs keep the repo's replay guarantee.
+#[test]
+fn chaos_campaigns_replay_bit_identically() {
+    for plan in plan_catalog(4) {
+        let a = run_chaos(&ChaosConfig::new(4, 13, Some(plan)));
+        let b = run_chaos(&ChaosConfig::new(4, 13, Some(plan)));
+        assert_eq!(a, b, "plan {} must replay exactly", plan.name);
+    }
+}
+
+/// Injection disabled costs nothing: a machine with no injector installed
+/// and one with an all-rules-off plan agree on every clock edge.
+#[test]
+fn disabled_injection_is_simulated_time_neutral() {
+    let plan = plan_catalog(4)
+        .into_iter()
+        .find(|p| p.name == "none")
+        .expect("catalog has the none plan");
+    for seed in [1, 7, 23] {
+        let bare = run_chaos(&ChaosConfig::new(4, seed, None));
+        let none = run_chaos(&ChaosConfig::new(4, seed, Some(plan)));
+        assert_eq!(bare.clocks, none.clocks, "seed {seed}: clocks moved");
+        assert_eq!(bare.stats, none.stats, "seed {seed}: counters moved");
+        assert_eq!(bare.bus, none.bus, "seed {seed}: bus traffic moved");
+        assert_eq!(bare.steps, none.steps, "seed {seed}: steps moved");
+        assert_eq!(bare.end, none.end, "seed {seed}: end time moved");
+    }
+}
+
+/// The oracle's teeth at scale: on a 32-processor machine the naive
+/// strategy (flush locally, tell no one) must be caught using stale
+/// translations on *every* seed — zero violations on any seed would mean
+/// the checker can be dodged by luck.
+#[test]
+fn naive_strategy_violates_on_every_seed_at_32_cpus() {
+    for seed in [1, 2, 3] {
+        let cfg = ChaosConfig {
+            kconfig: KernelConfig {
+                strategy: Strategy::NaiveFlush,
+                ..chaos_kconfig()
+            },
+            ..ChaosConfig::new(32, seed, None)
+        };
+        let o = run_chaos(&cfg);
+        assert!(
+            o.violations >= 1,
+            "seed {seed}: naive flush went uncaught ({o:?})"
+        );
+        assert_eq!(
+            o.survival,
+            Survival::DetectedFatal,
+            "seed {seed}: violations must classify as caught"
+        );
+    }
+}
