@@ -10,10 +10,12 @@
 //!   hardening machinery engaged;
 //! - [`Survival::Degraded`] — finished consistently, but only because the
 //!   hardening fired (IPI retries, a full-TLB-flush degradation, a
-//!   poisoned or overflowed queue);
+//!   poisoned or overflowed queue, a dead responder evicted, a lock
+//!   stolen from a halted holder, a fenced rejoin);
 //! - [`Survival::DetectedFatal`] — the fault escaped the envelope and was
-//!   *caught*: a checker violation, a watchdog give-up, or a run that
-//!   visibly never completed (and carries a [`stall_report`]).
+//!   *caught*: a checker violation, a watchdog give-up the health monitor
+//!   did not absorb into an eviction, or a run that visibly never
+//!   completed (and carries a [`stall_report`]).
 //!
 //! The suite is two-sided. Plans inside the envelope must never be
 //! `DetectedFatal`; plans beyond it (`tolerable == false`) must be
@@ -30,13 +32,15 @@
 
 use machtlb_pmap::{PageRange, Pfn, PmapId, Prot, Vaddr, Vpn};
 use machtlb_sim::{
-    BusStats, CostModel, CpuId, Ctx, Dur, FaultPlan, FaultRecord, FaultStats, IpiDelay, IpiDrop,
-    IpiDuplicate, IpiReorder, IsrStretch, Process, ResponderStall, RunStatus, Step, Time,
+    BusStats, CostModel, CpuId, Ctx, Dur, FaultPlan, FaultRecord, FaultStats, Halt, IpiDelay,
+    IpiDrop, IpiDuplicate, IpiReorder, IsrStretch, Offline, Process, ResponderStall, RunStatus,
+    Step, Time,
 };
 use machtlb_xpr::{ShootdownEvent, TraceEdge, TracePhase};
 
 use crate::access::{try_access, AccessOutcome, MemOp};
 use crate::diagnose::stall_report;
+use crate::health::FencedRejoinProcess;
 use crate::kernel::{
     build_kernel_machine, schedule_device_interrupts, KernelMachine, SwitchUserPmapProcess,
     SHOOTDOWN_VECTOR,
@@ -53,10 +57,10 @@ pub enum Survival {
     Tolerated,
     /// Finished consistently, but only because the hardening fired
     /// (IPI retries, a degraded full flush, an overflowed or poisoned
-    /// queue).
+    /// queue, an evicted responder, a stolen lock, a fenced rejoin).
     Degraded,
-    /// The fault was caught rather than survived: a checker violation, a
-    /// watchdog give-up, or a run that never completed.
+    /// The fault was caught rather than survived: a checker violation, an
+    /// unrecovered watchdog give-up, or a run that never completed.
     DetectedFatal,
 }
 
@@ -90,6 +94,21 @@ pub struct ChaosPlan {
     /// beyond-envelope plans, to prove a lost IPI without the watchdog is
     /// caught rather than silently survived.
     pub watchdog_enabled: bool,
+    /// Whether a revived processor runs the fenced rejoin protocol.
+    /// Turned off only by the beyond-envelope revival plan, to prove the
+    /// checker catches an unfenced rejoin's stale translations.
+    pub fencing: bool,
+    /// After its rounds, the driver reprotects both test pages read-only
+    /// *before* raising the sentinel. Combined with each writer's final
+    /// translated write, this is the stale-translation probe for revived
+    /// processors: an entry cached before the processor went offline is
+    /// writable, the final commit is read-only, and only a full fence
+    /// stands between them.
+    pub final_ro: bool,
+    /// Replace the last processor's writer with a process that takes the
+    /// test pmap's lock and never releases it — the dead-lock-holder
+    /// scenario once the fault plan halts that processor.
+    pub grab_lock: bool,
     /// Whether the hardened kernel is expected to finish consistently
     /// under this plan (possibly degraded). Beyond-envelope plans must be
     /// [`Survival::DetectedFatal`].
@@ -103,14 +122,26 @@ fn base_plan(name: &'static str, fault: FaultPlan) -> ChaosPlan {
         queue_capacity: None,
         poison_cpu: None,
         watchdog_enabled: true,
+        fencing: true,
+        final_ro: false,
+        grab_lock: false,
         tolerable: true,
     }
 }
 
 /// The standard campaign catalog for an `n_cpus`-processor machine: six
 /// fault shapes inside the tolerable envelope, two queue-sabotage plans
-/// that must degrade gracefully, and one beyond-envelope plan that must
-/// be caught.
+/// that must degrade gracefully, a fail-stop family (responders halted
+/// before and after acknowledging, a halted lock holder, an
+/// offline-and-revive storm), and three beyond-envelope plans that must
+/// be caught (total unwatched IPI loss, a halted initiator, and a
+/// revival with fencing disabled).
+///
+/// The fail-stop timing: the workload's sentinel lands between 5 and
+/// 10 ms, so a halt at 2 ms reliably strikes mid-run; pairing it with an
+/// 8 ms [`ResponderStall`] pins the victim inside a shootdown dispatch —
+/// notified but not yet acknowledged — without racing the microsecond-
+/// scale healthy ack.
 ///
 /// # Panics
 ///
@@ -199,6 +230,123 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
                     drop: Some(IpiDrop {
                         every_nth: 1,
                         max_drops: u64::MAX,
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // The fail-stop family. A responder frozen inside a stretched
+        // shootdown dispatch — notified, never acknowledging: the
+        // watchdog must exhaust its retries, evict it, and complete
+        // against the reduced quorum.
+        base_plan(
+            "halt-resp-preack",
+            FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: last,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt: Some(Halt {
+                    cpu: last,
+                    at: Time::from_micros(2_000),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        // The same responder dies *after* acknowledging its first
+        // shootdown (mid-stall of the second): the kernel already
+        // banked that ack, and only the second wait must degrade.
+        base_plan(
+            "halt-resp-postack",
+            FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: last,
+                    extra: Dur::millis(8),
+                    times: 2,
+                }),
+                halt: Some(Halt {
+                    cpu: last,
+                    at: Time::from_micros(12_000),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        // A processor halts while holding the test pmap's lock: the
+        // initiator's liveness probe must fence-and-steal it instead of
+        // spinning on a corpse.
+        ChaosPlan {
+            grab_lock: true,
+            ..base_plan(
+                "halt-holder",
+                FaultPlan {
+                    halt: Some(Halt {
+                        cpu: last,
+                        at: Time::from_micros(1_000),
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // Offline mid-shootdown, revive long after eviction: the revived
+        // processor must pass the fenced rejoin before its final
+        // translated write, which lands on a page reprotected read-only
+        // while it was dead.
+        ChaosPlan {
+            final_ro: true,
+            ..base_plan(
+                "offline-revive",
+                FaultPlan {
+                    stall: Some(ResponderStall {
+                        cpu: last,
+                        extra: Dur::millis(8),
+                        times: 1,
+                    }),
+                    offline: Some(Offline {
+                        cpu: last,
+                        at: Time::from_micros(2_000),
+                        revive_at: Time::from_micros(120_000),
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // Beyond the envelope: the same revival with the fence disabled.
+        // The revived processor rejoins with its pre-offline TLB intact
+        // and writes through a stale writable entry — the checker must
+        // flag it; a silent pass here is the suite failing.
+        ChaosPlan {
+            final_ro: true,
+            fencing: false,
+            tolerable: false,
+            ..base_plan(
+                "revive-no-fence",
+                FaultPlan {
+                    stall: Some(ResponderStall {
+                        cpu: last,
+                        extra: Dur::millis(8),
+                        times: 1,
+                    }),
+                    offline: Some(Offline {
+                        cpu: last,
+                        at: Time::from_micros(2_000),
+                        revive_at: Time::from_micros(120_000),
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // Beyond the envelope: the *initiator* halts mid-campaign. No
+        // health monitor can finish its rounds for it — the run must
+        // visibly fail to complete, never pass silently.
+        ChaosPlan {
+            tolerable: false,
+            ..base_plan(
+                "halt-initiator",
+                FaultPlan {
+                    halt: Some(Halt {
+                        cpu: CpuId::new(0),
+                        at: Time::from_micros(2_000),
                     }),
                     ..FaultPlan::none(v)
                 },
@@ -306,6 +454,7 @@ struct RetryToucher {
     vb: Vaddr,
     sentinel_pfn: Pfn,
     counter: u64,
+    final_write_done: bool,
     exit_idle: Option<ExitIdleProcess>,
     switch: Option<SwitchUserPmapProcess>,
 }
@@ -332,7 +481,20 @@ impl Process<KernelState, ()> for RetryToucher {
             };
         }
         if ctx.shared.mem.read_word(self.sentinel_pfn, SENTINEL_WORD) != 0 {
-            return Step::Done(ctx.costs().local_op);
+            if self.final_write_done {
+                return Step::Done(ctx.costs().local_op);
+            }
+            // One last *translated* write on the way out — the stale-
+            // translation probe. A fault here is fine (a `final_ro`
+            // driver leaves the page read-only); succeeding through a
+            // pre-revival writable entry is the checker's to flag.
+            self.final_write_done = true;
+            self.counter += 1;
+            return match try_access(ctx, self.pmap, self.vb, MemOp::Write(self.counter)) {
+                AccessOutcome::Ok { cost, .. }
+                | AccessOutcome::Stall { cost }
+                | AccessOutcome::Fault { cost } => Step::Run(cost),
+            };
         }
         self.counter += 1;
         let va = if self.counter.is_multiple_of(2) {
@@ -366,13 +528,25 @@ struct ChaosDriver {
     rounds: u64,
     done_rounds: u64,
     threshold: u64,
+    /// Reprotect both pages read-only after the rounds, before the
+    /// sentinel (the stale-translation probe of [`ChaosPlan::final_ro`]).
+    final_ro: bool,
+    finale_done: bool,
     script: Vec<PmapOp>,
     exit_idle: Option<ExitIdleProcess>,
     running: Option<PmapOpProcess>,
 }
 
 impl ChaosDriver {
-    fn new(pmap: PmapId, vpn_a: Vpn, vpn_b: Vpn, pfn_a: Pfn, pfn_b: Pfn, rounds: u64) -> Self {
+    fn new(
+        pmap: PmapId,
+        vpn_a: Vpn,
+        vpn_b: Vpn,
+        pfn_a: Pfn,
+        pfn_b: Pfn,
+        rounds: u64,
+        final_ro: bool,
+    ) -> Self {
         ChaosDriver {
             pmap,
             vpn_a,
@@ -382,6 +556,8 @@ impl ChaosDriver {
             rounds,
             done_rounds: 0,
             threshold: 3,
+            final_ro,
+            finale_done: false,
             script: Vec::new(),
             exit_idle: Some(ExitIdleProcess::new()),
             running: None,
@@ -402,36 +578,55 @@ impl Process<KernelState, ()> for ChaosDriver {
         }
         if self.running.is_none() && self.script.is_empty() {
             if self.done_rounds == self.rounds {
-                ctx.shared.mem.write_word(self.pfn_a, SENTINEL_WORD, 1);
-                return Step::Done(ctx.costs().local_op);
+                if self.final_ro && !self.finale_done {
+                    // The finale: strip write rights from both pages
+                    // *before* releasing the writers, so every final
+                    // write must either fault or go through a stale
+                    // writable entry the checker will flag.
+                    self.finale_done = true;
+                    self.script = vec![
+                        PmapOp::Protect {
+                            range: PageRange::single(self.vpn_b),
+                            prot: Prot::READ,
+                        },
+                        PmapOp::Protect {
+                            range: PageRange::single(self.vpn_a),
+                            prot: Prot::READ,
+                        },
+                    ];
+                } else {
+                    ctx.shared.mem.write_word(self.pfn_a, SENTINEL_WORD, 1);
+                    return Step::Done(ctx.costs().local_op);
+                }
+            } else {
+                let counter = ctx.shared.mem.read_word(self.pfn_a, COUNTER_WORD);
+                if counter < self.threshold {
+                    return Step::Run(ctx.costs().spin_iter);
+                }
+                self.threshold = counter + 3;
+                self.done_rounds += 1;
+                // Popped back to front: protect A, protect B, restore A, B.
+                self.script = vec![
+                    PmapOp::Enter {
+                        vpn: self.vpn_b,
+                        pfn: self.pfn_b,
+                        prot: Prot::READ_WRITE,
+                    },
+                    PmapOp::Enter {
+                        vpn: self.vpn_a,
+                        pfn: self.pfn_a,
+                        prot: Prot::READ_WRITE,
+                    },
+                    PmapOp::Protect {
+                        range: PageRange::single(self.vpn_b),
+                        prot: Prot::READ,
+                    },
+                    PmapOp::Protect {
+                        range: PageRange::single(self.vpn_a),
+                        prot: Prot::READ,
+                    },
+                ];
             }
-            let counter = ctx.shared.mem.read_word(self.pfn_a, COUNTER_WORD);
-            if counter < self.threshold {
-                return Step::Run(ctx.costs().spin_iter);
-            }
-            self.threshold = counter + 3;
-            self.done_rounds += 1;
-            // Popped back to front: protect A, protect B, restore A, B.
-            self.script = vec![
-                PmapOp::Enter {
-                    vpn: self.vpn_b,
-                    pfn: self.pfn_b,
-                    prot: Prot::READ_WRITE,
-                },
-                PmapOp::Enter {
-                    vpn: self.vpn_a,
-                    pfn: self.pfn_a,
-                    prot: Prot::READ_WRITE,
-                },
-                PmapOp::Protect {
-                    range: PageRange::single(self.vpn_b),
-                    prot: Prot::READ,
-                },
-                PmapOp::Protect {
-                    range: PageRange::single(self.vpn_a),
-                    prot: Prot::READ,
-                },
-            ];
         }
         if self.running.is_none() {
             let op = self.script.pop().expect("script refilled above");
@@ -451,19 +646,53 @@ impl Process<KernelState, ()> for ChaosDriver {
     }
 }
 
+/// Takes the test pmap's lock and never releases it: the critical
+/// section a fail-stop plan freezes mid-flight, leaving a dead lock
+/// holder for the initiator's liveness probe to recover from.
+#[derive(Debug)]
+struct LockGrabber {
+    pmap: PmapId,
+    holding: bool,
+}
+
+impl Process<KernelState, ()> for LockGrabber {
+    fn step(&mut self, ctx: &mut Ctx<'_, KernelState, ()>) -> Step {
+        let me = ctx.cpu_id;
+        if !self.holding {
+            let lock = ctx.shared.pmaps.get_mut(self.pmap).lock_mut();
+            if !lock.try_acquire(me) {
+                return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+            }
+            self.holding = true;
+            return Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked());
+        }
+        // "Work" inside the critical section until the fault plan halts
+        // this processor for good.
+        Step::Run(ctx.costs().local_op * 16)
+    }
+
+    fn label(&self) -> &'static str {
+        "lock-grabber"
+    }
+}
+
 /// Runs one chaos campaign and classifies the outcome.
 ///
 /// The workload: writers on every processor but the first increment a
 /// counter through the pmap (retrying across faults); the first processor
 /// drives `rounds` reprotect/restore rounds — each a pair of shootdowns —
-/// then raises a sentinel that stops the writers. Background device
-/// interrupts run throughout. After the run, every injected fault is
-/// stamped into the xpr stream (and, when tracing, as flight-recorder
-/// marks), so chaos appears alongside the measurements it perturbed.
+/// then raises a sentinel that stops the writers (each signing off with
+/// one final translated write). Background device interrupts run
+/// throughout. Plans with an [`Offline`] fault get a
+/// [`FencedRejoinProcess`] spawned on the victim at its revival instant.
+/// After the run, every injected fault is stamped into the xpr stream
+/// (and, when tracing, as flight-recorder marks), so chaos appears
+/// alongside the measurements it perturbed.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let mut kconfig = cfg.kconfig.clone();
     if let Some(p) = &cfg.plan {
         kconfig.watchdog.enabled = p.watchdog_enabled;
+        kconfig.health.fencing = p.fencing;
         if let Some(cap) = p.queue_capacity {
             kconfig.action_queue_capacity = cap;
         }
@@ -493,7 +722,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         (pmap, pfn_a, pfn_b)
     };
 
-    let writers = if idle_last {
+    let grab_lock = cfg.plan.is_some_and(|p| p.grab_lock);
+    let writers = if idle_last || grab_lock {
         cfg.n_cpus - 1
     } else {
         cfg.n_cpus
@@ -508,8 +738,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                 vb: vpn_b.base(),
                 sentinel_pfn: pfn_a,
                 counter: 0,
+                final_write_done: false,
                 exit_idle: Some(ExitIdleProcess::new()),
                 switch: None,
+            }),
+        );
+    }
+    if grab_lock {
+        // The grabber's single-step acquisition at t=0 wins the lock
+        // before the writers finish their multi-step pmap switches and
+        // long before the driver's first reprotect, so every seed sees
+        // the same shape: writers and initiator alike find the lock held
+        // by a processor that the 1 ms halt then freezes for good.
+        m.spawn_at(
+            last,
+            Time::ZERO,
+            Box::new(LockGrabber {
+                pmap,
+                holding: false,
             }),
         );
     }
@@ -517,9 +763,21 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         CpuId::new(0),
         Time::ZERO,
         Box::new(ChaosDriver::new(
-            pmap, vpn_a, vpn_b, pfn_a, pfn_b, cfg.rounds,
+            pmap,
+            vpn_a,
+            vpn_b,
+            pfn_a,
+            pfn_b,
+            cfg.rounds,
+            cfg.plan.is_some_and(|p| p.final_ro),
         )),
     );
+    // A revived processor runs the rejoin protocol the instant it is
+    // back; the spawned frame lands atop the frozen work, so the fence
+    // (or, beyond the envelope, its absence) precedes everything else.
+    if let Some(off) = cfg.plan.and_then(|p| p.fault.offline) {
+        m.spawn_at(off.cpu, off.revive_at, Box::new(FencedRejoinProcess::new()));
+    }
     schedule_device_interrupts(&mut m, Dur::millis(2), Time::from_micros(50_000));
 
     if let Some(p) = &cfg.plan {
@@ -540,8 +798,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .queues
         .iter()
         .any(|q| q.poisoned() > 0 || q.overflows() > 0);
-    let caught = violations > 0 || stats.watchdog_gaveup > 0 || !completed;
-    let degraded = stats.ipi_retries > 0 || stats.degraded_flushes > 0 || queue_degraded;
+    // A give-up the health monitor answered with an eviction is recovery,
+    // not failure: the run degraded but stayed consistent. Only give-ups
+    // the monitor did *not* absorb (health disabled) remain fatal.
+    let unrecovered = stats.watchdog_gaveup.saturating_sub(stats.evictions);
+    let caught = violations > 0 || unrecovered > 0 || !completed;
+    let degraded = stats.ipi_retries > 0
+        || stats.degraded_flushes > 0
+        || queue_degraded
+        || stats.evictions > 0
+        || stats.fenced_rejoins > 0
+        || stats.locks_stolen > 0;
     let survival = if caught {
         Survival::DetectedFatal
     } else if degraded {
@@ -634,6 +901,65 @@ pub fn check_envelope(outcomes: &[ChaosOutcome]) -> Vec<String> {
     bad
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a chaos matrix as machine-readable JSON for CI gates and
+/// artifact diffing (hand-rolled: the repo vendors no JSON dependency).
+/// Shape: `{"outcomes": [{plan, seed, tolerable, survival, completed,
+/// violations, …counters…, steps, end_ns}], "failures": [env-check
+/// messages], "green": bool}` — `green` mirrors the process exit code
+/// (`false` iff [`check_envelope`] returned failures).
+pub fn survival_json(outcomes: &[ChaosOutcome], failures: &[String]) -> String {
+    let mut s = String::from("{\n  \"outcomes\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"plan\": \"{}\", \"seed\": {}, \"tolerable\": {}, \"survival\": \"{}\", \
+             \"completed\": {}, \"violations\": {}, \"ipi_retries\": {}, \
+             \"watchdog_gaveup\": {}, \"evictions\": {}, \"fenced_rejoins\": {}, \
+             \"locks_stolen\": {}, \"degraded_flushes\": {}, \"steps\": {}, \"end_ns\": {}}}{}\n",
+            json_escape(o.plan),
+            o.seed,
+            o.tolerable,
+            o.survival.name(),
+            o.completed,
+            o.violations,
+            o.stats.ipi_retries,
+            o.stats.watchdog_gaveup,
+            o.stats.evictions,
+            o.stats.fenced_rejoins,
+            o.stats.locks_stolen,
+            o.stats.degraded_flushes,
+            o.steps,
+            o.end.as_nanos(),
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\"{}\n",
+            json_escape(f),
+            if i + 1 == failures.len() { "" } else { "," },
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"green\": {}\n}}\n", failures.is_empty()));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +970,103 @@ mod tests {
             .find(|p| p.name == name)
             .expect("plan exists");
         run_chaos(&ChaosConfig::new(n_cpus, seed, Some(plan)))
+    }
+
+    #[test]
+    fn a_halted_responder_is_evicted_not_wedged() {
+        // The acceptance scenario: where the PR-4 kernel could only file a
+        // stall report, the health monitor now evicts the dead responder
+        // and the campaign completes against the reduced quorum.
+        let o = outcome_for(4, 3, "halt-resp-preack");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert_eq!(o.stats.watchdog_gaveup, 1, "{o:?}");
+        assert_eq!(o.stats.evictions, 1, "{o:?}");
+    }
+
+    #[test]
+    fn a_post_ack_halt_degrades_only_the_later_wait() {
+        let o = outcome_for(4, 3, "halt-resp-postack");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert_eq!(o.stats.evictions, 1, "{o:?}");
+    }
+
+    #[test]
+    fn a_dead_lock_holder_is_fenced_and_stolen() {
+        let o = outcome_for(4, 3, "halt-holder");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert!(o.stats.locks_stolen >= 1, "{o:?}");
+        assert_eq!(o.stats.watchdog_gaveup, 0, "the wait never armed: {o:?}");
+    }
+
+    #[test]
+    fn a_revived_processor_rejoins_through_the_fence() {
+        let o = outcome_for(4, 3, "offline-revive");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0, "the fence blocks every stale use: {o:?}");
+        assert_eq!(o.stats.evictions, 1, "{o:?}");
+        assert_eq!(o.stats.fenced_rejoins, 1, "{o:?}");
+    }
+
+    #[test]
+    fn an_unfenced_revival_is_caught_by_the_checker() {
+        // Fencing off, same fault: the revived processor's final write
+        // goes through a pre-offline writable entry for a page that was
+        // reprotected read-only while it was dead. The checker must flag
+        // it — this plan passing silently is the suite failing.
+        let o = outcome_for(4, 3, "revive-no-fence");
+        assert_eq!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(o.violations >= 1, "{o:?}");
+        assert_eq!(
+            o.stats.fenced_rejoins, 1,
+            "the unfenced shortcut still rejoins"
+        );
+    }
+
+    #[test]
+    fn a_halted_initiator_is_caught_not_silent() {
+        let o = outcome_for(4, 3, "halt-initiator");
+        assert_eq!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(!o.completed, "the campaign must visibly never finish");
+        let report = o.report.as_deref().expect("a stall report is attached");
+        assert!(report.contains("stall report"), "{report}");
+    }
+
+    #[test]
+    fn fail_stop_recovery_replays_bit_identically() {
+        for name in [
+            "halt-resp-preack",
+            "halt-holder",
+            "offline-revive",
+            "revive-no-fence",
+        ] {
+            let a = outcome_for(4, 5, name);
+            let b = outcome_for(4, 5, name);
+            assert_eq!(a, b, "fail-stop chaos must replay exactly ({name})");
+        }
+    }
+
+    #[test]
+    fn survival_json_mirrors_the_envelope_verdict() {
+        let outcomes = vec![
+            outcome_for(4, 3, "none"),
+            outcome_for(4, 3, "halt-resp-preack"),
+        ];
+        let failures = check_envelope(&outcomes);
+        let json = survival_json(&outcomes, &failures);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(json.contains("\"green\": true"), "{json}");
+        assert!(json.contains("\"plan\": \"halt-resp-preack\""), "{json}");
+        assert!(json.contains("\"evictions\": 1"), "{json}");
+        let red = survival_json(&outcomes, &["plan x seed 1: \"bad\"".to_string()]);
+        assert!(red.contains("\"green\": false"), "{red}");
+        assert!(red.contains("\\\"bad\\\""), "quotes are escaped: {red}");
     }
 
     #[test]

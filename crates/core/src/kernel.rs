@@ -277,14 +277,39 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
             }
             SwitchPhase::SpinNewLock => {
                 if let Some(new) = self.new {
-                    let lock = ctx.shared.kernel_mut().pmaps.get(new).lock();
-                    if lock.is_locked() && !lock.is_held_by(me) {
+                    let (contended, holder, chan) = {
+                        let lock = ctx.shared.kernel().pmaps.get(new).lock();
+                        (
+                            lock.is_locked() && !lock.is_held_by(me),
+                            lock.holder(),
+                            lock.channel(),
+                        )
+                    };
+                    if contended {
+                        let health = ctx.shared.kernel().config.health;
+                        if holder.is_some_and(|h| health.enabled && ctx.is_cpu_halted(h)) {
+                            // A fail-stop holder never releases. The switch
+                            // only waits for the in-flight update to settle,
+                            // and a dead updater's half-staged work is redone
+                            // by the next (lock-stealing) operation anyway,
+                            // so proceeding is as sound as the steal itself.
+                            self.phase = SwitchPhase::AttachNew;
+                            return Step::Run(ctx.costs().local_op + ctx.bus_read());
+                        }
                         let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
-                        let chan = ctx.shared.kernel().pmaps.get(new).lock().channel();
                         if let (SpinMode::Event, Some(chan)) =
                             (ctx.shared.kernel().config.spin_mode, chan)
                         {
-                            return Step::Block(BlockOn::one(chan, spin));
+                            let block = BlockOn::one(chan, spin);
+                            if health.enabled {
+                                // A dead holder never notifies the channel:
+                                // wake at the watchdog timeout so the
+                                // liveness probe above eventually runs.
+                                let deadline =
+                                    ctx.now + ctx.shared.kernel().config.watchdog.timeout;
+                                return Step::Block(block.with_deadline(deadline));
+                            }
+                            return Step::Block(block);
                         }
                         return Step::Run(spin);
                     }

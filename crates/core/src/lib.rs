@@ -64,6 +64,7 @@ mod access;
 mod chaos;
 mod checker;
 mod diagnose;
+mod health;
 mod kernel;
 mod op;
 mod queue;
@@ -73,11 +74,12 @@ mod strategy;
 
 pub use access::{try_access, AccessOutcome, MemOp};
 pub use chaos::{
-    chaos_kconfig, chaos_matrix, check_envelope, plan_catalog, run_chaos, ChaosConfig,
-    ChaosOutcome, ChaosPlan, Survival,
+    chaos_kconfig, chaos_matrix, check_envelope, plan_catalog, run_chaos, survival_json,
+    ChaosConfig, ChaosOutcome, ChaosPlan, Survival,
 };
 pub use checker::{Checker, Violation};
 pub use diagnose::stall_report;
+pub use health::{evict, EvictionReport, FencedRejoinProcess, HealthConfig, RecoveryPolicy};
 pub use kernel::{
     build_kernel_machine, install_kernel_handlers, schedule_device_interrupts,
     schedule_timer_flushes, DeviceHandler, KernelMachine, NopHandler, SwitchUserPmapProcess,
@@ -881,6 +883,53 @@ mod proptests {
                 prop_assert!(!s.action_needed[c] || s.idle.contains(CpuId::new(c as u32)),
                     "cpu{c} left with undrained actions while active");
             }
+        }
+
+        /// The watchdog's retry schedule is bounded and monotone: each
+        /// wait is no shorter than the previous one, the total time the
+        /// initiator can spend retrying is a closed form of the config,
+        /// and absurd retry counts saturate instead of overflowing.
+        #[test]
+        fn watchdog_backoff_is_bounded_and_monotone(
+            timeout_us in 1u64..100_000,
+            backoff in 1u32..8,
+            max_retries in 0u32..12,
+        ) {
+            let wd = WatchdogConfig {
+                enabled: true,
+                timeout: machtlb_sim::Dur::micros(timeout_us),
+                backoff,
+                max_retries,
+            };
+            let mut prev = machtlb_sim::Dur::ZERO;
+            let mut total = machtlb_sim::Dur::ZERO;
+            for retry in 0..=max_retries {
+                let t = wd.retry_timeout(retry);
+                prop_assert!(t >= wd.timeout, "never shorter than the base timeout");
+                prop_assert!(t >= prev, "monotone nondecreasing");
+                prop_assert_eq!(
+                    t.as_nanos(),
+                    wd.timeout.as_nanos().saturating_mul(u64::from(backoff).saturating_pow(retry)),
+                    "exact bounded-exponential schedule"
+                );
+                prev = t;
+                total = machtlb_sim::Dur::nanos(
+                    total.as_nanos().saturating_add(t.as_nanos()),
+                );
+            }
+            // The give-up horizon is closed-form computable from the
+            // config alone: sum of timeout * backoff^i for i..=max.
+            let horizon: u64 = (0..=max_retries)
+                .map(|i| {
+                    wd.timeout
+                        .as_nanos()
+                        .saturating_mul(u64::from(backoff).saturating_pow(i))
+                })
+                .fold(0u64, u64::saturating_add);
+            prop_assert_eq!(total.as_nanos(), horizon);
+            // Saturation, not overflow, for out-of-range retry counts.
+            let huge = wd.retry_timeout(u32::MAX);
+            prop_assert!(huge.as_nanos() >= wd.timeout.as_nanos());
         }
     }
 }

@@ -28,6 +28,7 @@ use machtlb_sim::{BlockOn, CpuId, Ctx, Dur, IntrMask, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
+use crate::health::RecoveryPolicy;
 use crate::queue::Action;
 use crate::state::{
     queue_lock_channel, HasKernel, KernelState, SpinMode, WatchdogReport, SYNC_CHANNEL,
@@ -130,6 +131,10 @@ pub struct OpOutcome {
     pub shootdown: bool,
     /// Processors sent a shootdown interrupt.
     pub processors_shot: u32,
+    /// Set when the operation aborted because the pmap lock was held by a
+    /// fail-stop halted processor under [`RecoveryPolicy::FailOp`]: the
+    /// decoded dead-holder error, for the caller to act on.
+    pub dead_lock_holder: Option<CpuId>,
 }
 
 /// The initiator state machine. See the module docs.
@@ -390,8 +395,7 @@ impl PmapOpProcess {
         if self.wait_retries < wd.max_retries {
             self.wait_retries += 1;
             // timeout, then timeout*backoff, then timeout*backoff^2, ...
-            let stretch = u64::from(wd.backoff).saturating_pow(self.wait_retries);
-            self.wait_deadline = Some(now + wd.timeout * stretch);
+            self.wait_deadline = Some(now + wd.retry_timeout(self.wait_retries));
             // Re-send regardless of ipi_pending: the flag still set is
             // exactly the symptom of a lost delivery. Keep it set so
             // healthy initiators continue to suppress their own sends.
@@ -413,6 +417,7 @@ impl PmapOpProcess {
             Step::Run(ctx.costs().ipi_send)
         } else {
             let retries = self.wait_retries;
+            let health = ctx.shared.kernel().config.health;
             let k = ctx.shared.kernel_mut();
             k.stats.watchdog_gaveup += 1;
             k.watchdog_reports.push(WatchdogReport {
@@ -421,13 +426,34 @@ impl PmapOpProcess {
                 target: cpu,
                 retries,
             });
+            let mut cost = ctx.costs().local_op;
+            if health.enabled {
+                // The responder is declared fail-stop dead: evict it from
+                // the active/idle sets and every pmap's in-use set, so
+                // this and every other initiator completes against the
+                // reduced quorum. Leaving those sets can satisfy other
+                // waiters, hence the sync notification.
+                crate::health::evict(ctx.shared.kernel_mut(), me, cpu, now);
+                ctx.notify(SYNC_CHANNEL);
+                cost += ctx.bus_write();
+                if let Some(span) = self.span {
+                    ctx.shared.kernel_mut().trace.record_arg(
+                        me,
+                        span,
+                        TracePhase::Evict,
+                        TraceEdge::Mark,
+                        now,
+                        cpu.index() as u32,
+                    );
+                }
+            }
             self.wait_deadline = None;
             self.wait_retries = 0;
             let Phase::Wait { idx } = self.phase else {
                 unreachable!("watchdog fires only in Phase::Wait");
             };
             self.phase = Phase::Wait { idx: idx + 1 };
-            Step::Run(ctx.costs().local_op)
+            Step::Run(cost)
         }
     }
 }
@@ -454,20 +480,69 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
                 let woken = ctx.woken_spins();
                 let event = ctx.shared.kernel().config.spin_mode == SpinMode::Event;
-                let lock = ctx
-                    .shared
-                    .kernel_mut()
-                    .pmaps
-                    .get_mut(self.pmap_id)
-                    .lock_mut();
-                lock.charge_spins(woken);
-                let chan = lock.channel();
-                if lock.try_acquire(me) {
+                let health = ctx.shared.kernel().config.health;
+                let wd_timeout = ctx.shared.kernel().config.watchdog.timeout;
+                let (acquired, holder, chan) = {
+                    let lock = ctx
+                        .shared
+                        .kernel_mut()
+                        .pmaps
+                        .get_mut(self.pmap_id)
+                        .lock_mut();
+                    lock.charge_spins(woken);
+                    (lock.try_acquire(me), lock.holder(), lock.channel())
+                };
+                if acquired {
                     self.phase = Phase::Check;
                     let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
-                    Step::Run(cost)
-                } else if let (true, Some(chan)) = (event, chan) {
-                    Step::Block(BlockOn::one(chan, spin))
+                    return Step::Run(cost);
+                }
+                // Contended: probe the holder's liveness before waiting. A
+                // fail-stop holder will never release; recover per policy
+                // instead of spinning on a dead processor forever.
+                if let Some(h) = holder.filter(|&h| health.enabled && ctx.is_cpu_halted(h)) {
+                    let probe = ctx.bus_read();
+                    match health.policy {
+                        RecoveryPolicy::FenceAndSteal => {
+                            // Sound for the pmap lock: the dead holder's
+                            // critical section only staged page-table and
+                            // TLB updates this operation recomputes from
+                            // scratch under the stolen lock.
+                            let k = ctx.shared.kernel_mut();
+                            k.pmaps.get_mut(self.pmap_id).lock_mut().steal(h, me);
+                            k.stats.locks_stolen += 1;
+                            self.phase = Phase::Check;
+                            return Step::Run(
+                                ctx.costs().lock_acquire + probe + ctx.bus_interlocked(),
+                            );
+                        }
+                        RecoveryPolicy::FailOp => {
+                            self.outcome.dead_lock_holder = Some(h);
+                            let strategy = self.strategy(ctx.shared.kernel());
+                            let mut cost = ctx.costs().local_op + probe;
+                            if strategy.uses_interrupts() {
+                                // Undo Phase::Begin: rejoin the active set
+                                // before aborting.
+                                ctx.shared.kernel_mut().active.insert(me);
+                                ctx.notify(SYNC_CHANNEL);
+                                cost += ctx.bus_write();
+                            }
+                            if let Some(mask) = self.saved_mask.take() {
+                                ctx.set_mask(mask);
+                            }
+                            return Step::Done(cost);
+                        }
+                    }
+                }
+                if let (true, Some(chan)) = (event, chan) {
+                    let block = BlockOn::one(chan, spin);
+                    if health.enabled {
+                        // A dead holder never notifies the lock channel:
+                        // wake at the watchdog timeout so the liveness
+                        // probe above runs even if no release ever comes.
+                        return Step::Block(block.with_deadline(ctx.now + wd_timeout));
+                    }
+                    Step::Block(block)
                 } else {
                     Step::Run(spin)
                 }

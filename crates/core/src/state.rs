@@ -10,6 +10,7 @@ use machtlb_tlb::{Tlb, TlbConfig};
 use machtlb_xpr::{FlightRecorder, ShootdownEvent, XprBuffer};
 
 use crate::checker::Checker;
+use crate::health::{EvictionReport, HealthConfig};
 use crate::queue::ActionQueue;
 use crate::strategy::Strategy;
 
@@ -78,6 +79,17 @@ pub struct WatchdogConfig {
     pub backoff: u32,
     /// Retries before giving up and filing a [`WatchdogReport`].
     pub max_retries: u32,
+}
+
+impl WatchdogConfig {
+    /// The wait deadline armed for retry number `retry` (zero-based): the
+    /// base timeout stretched by `backoff^retry`, saturating rather than
+    /// overflowing for absurd configurations. Bounded by construction —
+    /// the watchdog never arms more than [`WatchdogConfig::max_retries`]
+    /// of these, so the total wait is a finite geometric sum.
+    pub fn retry_timeout(&self, retry: u32) -> machtlb_sim::Dur {
+        self.timeout * u64::from(self.backoff).saturating_pow(retry)
+    }
 }
 
 impl Default for WatchdogConfig {
@@ -154,6 +166,9 @@ pub struct KernelConfig {
     pub spin_mode: SpinMode,
     /// The initiator-side IPI-retry watchdog.
     pub watchdog: WatchdogConfig,
+    /// The fail-stop health monitor: dead-responder eviction, dead-holder
+    /// lock recovery, and the fenced rejoin protocol.
+    pub health: HealthConfig,
 }
 
 impl Default for KernelConfig {
@@ -171,6 +186,7 @@ impl Default for KernelConfig {
             trace_capacity: 1 << 16,
             spin_mode: SpinMode::default(),
             watchdog: WatchdogConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -211,6 +227,16 @@ pub struct KernelStats {
     /// Responder drains that degraded to a whole-TLB flush because the
     /// queue had overflowed or was poisoned.
     pub degraded_flushes: u64,
+    /// Fail-stop responders the health monitor evicted from the active,
+    /// idle, and pmap in-use sets (each also files an
+    /// [`EvictionReport`](crate::EvictionReport)).
+    pub evictions: u64,
+    /// Revived processors that completed the fenced rejoin protocol and
+    /// re-entered the active set.
+    pub fenced_rejoins: u64,
+    /// Locks forcibly transferred away from fail-stop holders under
+    /// [`RecoveryPolicy::FenceAndSteal`](crate::RecoveryPolicy::FenceAndSteal).
+    pub locks_stolen: u64,
 }
 
 /// Physical memory contents: 64-bit words, allocated per frame on first
@@ -441,6 +467,16 @@ pub struct KernelState {
     pub pending_commits: Vec<PendingCommit>,
     /// Responders the initiator watchdog gave up on, in filing order.
     pub watchdog_reports: Vec<WatchdogReport>,
+    /// Per-processor "evicted by the health monitor and not yet rejoined"
+    /// flags. A set flag means the processor is fail-stop dead as far as
+    /// the kernel is concerned; only a completed fenced rejoin clears it.
+    pub evicted: Vec<bool>,
+    /// Per-processor health generation numbers: bumped by each eviction,
+    /// checked by the fenced rejoin's handshake so a fence superseded by a
+    /// newer eviction restarts instead of rejoining stale.
+    pub health_gen: Vec<u64>,
+    /// Evictions performed by the health monitor, in filing order.
+    pub eviction_reports: Vec<EvictionReport>,
 }
 
 impl KernelState {
@@ -486,6 +522,9 @@ impl KernelState {
             tlb_flush_stamp: vec![machtlb_sim::Time::ZERO; n_cpus],
             pending_commits: Vec::new(),
             watchdog_reports: Vec::new(),
+            evicted: vec![false; n_cpus],
+            health_gen: vec![0; n_cpus],
+            eviction_reports: Vec::new(),
             config,
         }
     }

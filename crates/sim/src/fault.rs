@@ -11,7 +11,8 @@
 //!
 //! The plan targets one interrupt [`Vector`] (the shootdown vector, in
 //! practice) so background traffic — device interrupts, reschedules —
-//! is never perturbed. Six fault classes cover the paper's fragile spots:
+//! is never perturbed. Eight fault classes cover the paper's fragile
+//! spots:
 //!
 //! | fault        | models                                               |
 //! |--------------|------------------------------------------------------|
@@ -21,6 +22,14 @@
 //! | reorder      | a held delivery overtaken by later sends             |
 //! | isr stretch  | a long interrupt-masked window (device handler)      |
 //! | stall        | a responder wedged mid-quiesce (dispatch made slow)  |
+//! | halt         | a fail-stop processor: stops dispatching forever     |
+//! | offline      | a fail-stop processor that later revives             |
+//!
+//! The halt/offline rules are *time-triggered* rather than counted: the
+//! processor stops at an absolute instant chosen by the plan, which —
+//! because the scheduler is deterministic — pins the halt to a precise
+//! point in the protocol (mid-ISR, holding a named lock) for a given
+//! seed. Replay stays bit-identical.
 
 use crate::cpu::CpuId;
 use crate::intr::{IntrClass, Vector};
@@ -89,6 +98,35 @@ pub struct ResponderStall {
     pub times: u64,
 }
 
+/// Halt one processor at an absolute instant: it stops dispatching
+/// forever (fail-stop). Its park state, stacked frames, and latched
+/// interrupts are frozen in place — a halted processor never acknowledges
+/// anything, which is exactly the availability hazard the kernel's health
+/// monitor must survive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Halt {
+    /// The processor to halt.
+    pub cpu: CpuId,
+    /// The simulated instant the processor stops.
+    pub at: Time,
+}
+
+/// Take one processor offline at `at` and revive it at `revive_at`:
+/// a fail-stop fault followed by a restart. Between the two instants the
+/// processor behaves exactly like [`Halt`]; at `revive_at` it resumes
+/// dispatching with its clock advanced to the revival instant (its TLB
+/// and queues keep whatever stale state they held — fencing is the
+/// kernel's job, not the simulator's).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Offline {
+    /// The processor to take offline.
+    pub cpu: CpuId,
+    /// The instant it stops dispatching.
+    pub at: Time,
+    /// The instant it resumes. Must be later than `at`.
+    pub revive_at: Time,
+}
+
 /// A deterministic fault plan: which perturbations to apply to the
 /// targeted interrupt vector. All rules default to off ([`FaultPlan::none`]).
 ///
@@ -120,6 +158,10 @@ pub struct FaultPlan {
     pub isr_stretch: Option<IsrStretch>,
     /// Responder stall rule (targeted-vector dispatches on one cpu).
     pub stall: Option<ResponderStall>,
+    /// Fail-stop halt rule (one processor stops forever).
+    pub halt: Option<Halt>,
+    /// Fail-stop offline/revive rule (one processor stops, then resumes).
+    pub offline: Option<Offline>,
 }
 
 impl FaultPlan {
@@ -134,6 +176,8 @@ impl FaultPlan {
             reorder: None,
             isr_stretch: None,
             stall: None,
+            halt: None,
+            offline: None,
         }
     }
 }
@@ -153,6 +197,10 @@ pub enum FaultKind {
     IsrStretched,
     /// A targeted-vector dispatch was stalled.
     Stalled,
+    /// A processor halted (fail-stop).
+    Halted,
+    /// A processor came back online after an offline window.
+    Revived,
 }
 
 impl FaultKind {
@@ -165,6 +213,8 @@ impl FaultKind {
             FaultKind::Reordered => 4,
             FaultKind::IsrStretched => 5,
             FaultKind::Stalled => 6,
+            FaultKind::Halted => 7,
+            FaultKind::Revived => 8,
         }
     }
 
@@ -177,6 +227,8 @@ impl FaultKind {
             FaultKind::Reordered => "reordered",
             FaultKind::IsrStretched => "isr-stretched",
             FaultKind::Stalled => "stalled",
+            FaultKind::Halted => "halted",
+            FaultKind::Revived => "revived",
         }
     }
 }
@@ -196,6 +248,10 @@ pub struct FaultStats {
     pub isr_stretched: u64,
     /// Targeted dispatches stalled.
     pub stalled: u64,
+    /// Processors halted (fail-stop).
+    pub halted: u64,
+    /// Processors revived after an offline window.
+    pub revived: u64,
 }
 
 impl FaultStats {
@@ -207,6 +263,8 @@ impl FaultStats {
             + self.reordered
             + self.isr_stretched
             + self.stalled
+            + self.halted
+            + self.revived
     }
 }
 
@@ -263,7 +321,10 @@ impl FaultInjector {
         &self.log
     }
 
-    fn record(&mut self, at: Time, cpu: CpuId, kind: FaultKind) {
+    /// Books one injected fault into the statistics and the log. The
+    /// machine calls this for the halt/revive events it executes (they
+    /// fire at the scheduler layer, not inside the injector's filters).
+    pub(crate) fn record(&mut self, at: Time, cpu: CpuId, kind: FaultKind) {
         match kind {
             FaultKind::Delayed => self.stats.delayed += 1,
             FaultKind::Dropped => self.stats.dropped += 1,
@@ -271,6 +332,8 @@ impl FaultInjector {
             FaultKind::Reordered => self.stats.reordered += 1,
             FaultKind::IsrStretched => self.stats.isr_stretched += 1,
             FaultKind::Stalled => self.stats.stalled += 1,
+            FaultKind::Halted => self.stats.halted += 1,
+            FaultKind::Revived => self.stats.revived += 1,
         }
         self.log.push(FaultRecord { at, cpu, kind });
     }
@@ -475,6 +538,22 @@ mod tests {
         );
         assert_eq!(inj.dispatch_extra(C0, V, IntrClass::Ipi, T), Dur::ZERO);
         assert_eq!(inj.stats().isr_stretched, 1);
+    }
+
+    #[test]
+    fn halt_and_revive_book_into_stats_and_log() {
+        let mut inj = FaultInjector::new(FaultPlan::none(V));
+        inj.record(T, C1, FaultKind::Halted);
+        inj.record(T + Dur::micros(500), C1, FaultKind::Revived);
+        assert_eq!(inj.stats().halted, 1);
+        assert_eq!(inj.stats().revived, 1);
+        assert_eq!(inj.stats().total(), 2);
+        assert_eq!(inj.log().len(), 2);
+        assert_eq!(inj.log()[0].kind, FaultKind::Halted);
+        assert_eq!(FaultKind::Halted.code(), 7);
+        assert_eq!(FaultKind::Revived.code(), 8);
+        assert_eq!(FaultKind::Halted.name(), "halted");
+        assert_eq!(FaultKind::Revived.name(), "revived");
     }
 
     #[test]

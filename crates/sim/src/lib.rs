@@ -63,8 +63,8 @@ pub use cost::CostModel;
 pub use cpu::{CpuCore, CpuId, CpuStats, ParkView};
 pub use event::{BlockOn, WaitChannel};
 pub use fault::{
-    FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, IpiDelay, IpiDrop, IpiDuplicate,
-    IpiReorder, IsrStretch, ResponderStall,
+    FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, Halt, IpiDelay, IpiDrop,
+    IpiDuplicate, IpiReorder, IsrStretch, Offline, ResponderStall,
 };
 pub use intr::{IntrClass, IntrMask, Vector};
 pub use lock::SpinLock;
@@ -965,6 +965,113 @@ mod tests {
             s.woken[0] > 0,
             "the woken frame must see the skipped iterations exactly once"
         );
+    }
+
+    #[test]
+    fn halted_cpu_never_dispatches_a_latched_ipi() {
+        let v = Vector::new(1);
+        let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
+        m.install_fault_plan(FaultPlan {
+            halt: Some(Halt {
+                cpu: CpuId::new(1),
+                at: Time::ZERO,
+            }),
+            ..FaultPlan::none(v)
+        });
+        m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
+        m.spawn_at(
+            CpuId::new(0),
+            Time::ZERO,
+            Box::new(SendThenIdle {
+                target: CpuId::new(1),
+                vector: v,
+                sent: false,
+            }),
+        );
+        let r = m.run(Time::from_micros(10_000));
+        assert_eq!(r.status, RunStatus::Quiescent, "{r:?}");
+        assert!(
+            m.shared().dispatched.is_empty(),
+            "a fail-stop processor must not run the handler"
+        );
+        assert!(m.is_halted(CpuId::new(1)));
+        assert!(!m.is_halted(CpuId::new(0)));
+        let stats = m.fault_stats().expect("plan installed");
+        assert_eq!(stats.halted, 1);
+        assert_eq!(stats.revived, 0);
+        assert_eq!(m.fault_events().len(), 1);
+        assert_eq!(m.fault_events()[0].kind, FaultKind::Halted);
+    }
+
+    #[test]
+    fn offline_cpu_freezes_then_finishes_its_work_after_revival() {
+        let mut m = Machine::new(test_config(2), Trace::new(), |_| ());
+        m.install_fault_plan(FaultPlan {
+            offline: Some(Offline {
+                cpu: CpuId::new(1),
+                at: Time::from_micros(15),
+                revive_at: Time::from_micros(500),
+            }),
+            ..FaultPlan::none(Vector::new(1))
+        });
+        for cpu in 0..2 {
+            m.spawn_at(
+                CpuId::new(cpu),
+                Time::ZERO,
+                Box::new(Tracer {
+                    n: 5,
+                    cost: Dur::micros(10),
+                }),
+            );
+        }
+        let r = m.run(Time::from_micros(100_000));
+        assert_eq!(r.status, RunStatus::Quiescent, "{r:?}");
+        assert!(!m.is_halted(CpuId::new(1)), "revived by the end");
+        let stats = m.fault_stats().expect("plan installed");
+        assert_eq!((stats.halted, stats.revived), (1, 1));
+        let one: Vec<Time> = m
+            .shared()
+            .iter()
+            .filter(|(c, _)| *c == CpuId::new(1))
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(one.len(), 5, "the frozen process completes after revival");
+        assert_eq!(one[0], Time::ZERO);
+        assert_eq!(one[1], Time::from_micros(10));
+        assert!(
+            one[2] >= Time::from_micros(500),
+            "no step may run inside the dead window: {one:?}"
+        );
+    }
+
+    #[test]
+    fn halt_and_revive_runs_replay_bit_identically() {
+        let run = || {
+            let mut m = Machine::new(test_config(3), Trace::new(), |_| ());
+            m.install_fault_plan(FaultPlan {
+                offline: Some(Offline {
+                    cpu: CpuId::new(2),
+                    at: Time::from_micros(7),
+                    revive_at: Time::from_micros(220),
+                }),
+                ..FaultPlan::none(Vector::new(1))
+            });
+            for cpu in 0..3 {
+                m.spawn_at(
+                    CpuId::new(cpu),
+                    Time::ZERO,
+                    Box::new(Tracer {
+                        n: 8,
+                        cost: Dur::micros(3),
+                    }),
+                );
+            }
+            let r = m.run(Time::from_micros(100_000));
+            assert_eq!(r.status, RunStatus::Quiescent);
+            let events = m.fault_events().to_vec();
+            (m.into_shared(), events, r.steps)
+        };
+        assert_eq!(run(), run(), "fail-stop faults must replay bit-identically");
     }
 }
 

@@ -31,6 +31,7 @@ pub struct SpinLock {
     holder: Option<CpuId>,
     acquisitions: u64,
     contentions: u64,
+    steals: u64,
     channel: Option<WaitChannel>,
 }
 
@@ -113,6 +114,33 @@ impl SpinLock {
         self.holder = None;
     }
 
+    /// Forcibly transfers the lock from a dead holder to `to` (fence-and-
+    /// steal recovery: the caller has established that `from` is fail-stop
+    /// halted and its critical section can be safely completed or redone by
+    /// the thief). Counted as an acquisition by `to` and a steal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` does not hold the lock, or if `from == to` (a
+    /// processor cannot steal from itself — it would already hold it).
+    pub fn steal(&mut self, from: CpuId, to: CpuId) {
+        assert_eq!(
+            self.holder,
+            Some(from),
+            "steal from {from}: it is not the holder (holder: {:?})",
+            self.holder
+        );
+        assert_ne!(from, to, "{to} stealing a lock from itself");
+        self.holder = Some(to);
+        self.acquisitions += 1;
+        self.steals += 1;
+    }
+
+    /// Forcible transfers from dead holders so far.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
     /// Whether the lock is held.
     pub fn is_locked(&self) -> bool {
         self.holder.is_some()
@@ -171,6 +199,26 @@ mod tests {
         assert!(!l.try_acquire(CpuId::new(1)));
         assert!(!l.try_acquire(CpuId::new(3)));
         assert_eq!(l.contentions(), 2);
+    }
+
+    #[test]
+    fn steal_transfers_a_dead_holders_lock() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(CpuId::new(1)));
+        l.steal(CpuId::new(1), CpuId::new(0));
+        assert!(l.is_held_by(CpuId::new(0)));
+        assert_eq!(l.steals(), 1);
+        assert_eq!(l.acquisitions(), 2);
+        l.release(CpuId::new(0));
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    #[should_panic(expected = "it is not the holder")]
+    fn steal_from_non_holder_panics() {
+        let mut l = SpinLock::new();
+        assert!(l.try_acquire(CpuId::new(1)));
+        l.steal(CpuId::new(2), CpuId::new(0));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::bus::{Bus, BusOp, BusStats};
 use crate::cost::CostModel;
 use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
 use crate::event::{skipped_iterations, wake_for_delivery, wake_for_notify, WaitChannel};
-use crate::fault::{FaultInjector, FaultPlan, FaultRecord, FaultStats};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats};
 use crate::intr::{IntrClass, IntrMask, Vector};
 use crate::process::{Command, Ctx, Process};
 use crate::time::{Dur, Time};
@@ -78,6 +78,10 @@ pub struct RunReport {
 enum QueuedKind<S, P> {
     Interrupt(Vector),
     Spawn(Box<dyn Process<S, P>>),
+    /// A fail-stop halt of the target processor (from the fault plan).
+    Halt,
+    /// Revival of a previously halted processor (from the fault plan).
+    Revive,
 }
 
 struct QueuedDelivery<S, P> {
@@ -149,6 +153,9 @@ pub struct Machine<S, P> {
     handlers: BTreeMap<Vector, HandlerEntry<S, P>>,
     deliveries: BinaryHeap<Reverse<QueuedDelivery<S, P>>>,
     faults: Option<FaultInjector>,
+    /// Per-processor fail-stop flags: a halted processor is never stepped,
+    /// woken, or notified until (and unless) a revive delivery clears it.
+    halted: Vec<bool>,
     seq: u64,
     total_steps: u64,
     frontier: Time,
@@ -182,6 +189,7 @@ impl<S, P> Machine<S, P> {
             handlers: BTreeMap::new(),
             deliveries: BinaryHeap::new(),
             faults: None,
+            halted: vec![false; config.n_cpus],
             seq: 0,
             total_steps: 0,
             frontier: Time::ZERO,
@@ -297,49 +305,49 @@ impl<S, P> Machine<S, P> {
     /// steps, guarding tests against runaway spin loops.
     pub fn run_bounded(&mut self, limit: Time, max_steps: u64) -> RunReport {
         let mut steps = 0u64;
-        let status = loop {
-            if steps >= max_steps {
-                break RunStatus::StepLimit;
-            }
-            let Some(t) = self.next_event_time() else {
-                // An event-blocked processor with nothing left to wake it
-                // is the stepped mode's eternal spinner: time, not work,
-                // is what ran out.
-                if self
-                    .cpus
-                    .iter()
-                    .any(|c| matches!(c.park, ParkState::Blocked { .. }))
-                {
+        let status =
+            loop {
+                if steps >= max_steps {
+                    break RunStatus::StepLimit;
+                }
+                let Some(t) = self.next_event_time() else {
+                    // An event-blocked processor with nothing left to wake it
+                    // is the stepped mode's eternal spinner: time, not work,
+                    // is what ran out. A halted processor contributes nothing:
+                    // the machine is quiescent once everything alive is done.
+                    if self.cpus.iter().enumerate().any(|(i, c)| {
+                        !self.halted[i] && matches!(c.park, ParkState::Blocked { .. })
+                    }) {
+                        break RunStatus::TimeLimit;
+                    }
+                    break RunStatus::Quiescent;
+                };
+                if t > limit {
                     break RunStatus::TimeLimit;
                 }
-                break RunStatus::Quiescent;
+                self.frontier = self.frontier.max(t);
+                self.apply_due_deliveries(t);
+                steps += self.wake_expired_parks(t);
+                let Some(i) = self.min_clock_runnable() else {
+                    // Deliveries were all in the future relative to a parked
+                    // processor that did not wake; recompute.
+                    continue;
+                };
+                // A delivery latched at `t` can set a blocked processor's wake
+                // instant between `t` and the earliest runnable clock. Stepping
+                // the runnable processor first would run the machine out of
+                // global time order — its bus traffic would land ahead of the
+                // woken processor's — so recompute and handle the wake first.
+                if self
+                    .next_event_time()
+                    .is_some_and(|t2| t2 < self.cpus[i].clock)
+                {
+                    continue;
+                }
+                self.step_cpu(i);
+                steps += 1;
+                self.total_steps += 1;
             };
-            if t > limit {
-                break RunStatus::TimeLimit;
-            }
-            self.frontier = self.frontier.max(t);
-            self.apply_due_deliveries(t);
-            steps += self.wake_expired_parks(t);
-            let Some(i) = self.min_clock_runnable() else {
-                // Deliveries were all in the future relative to a parked
-                // processor that did not wake; recompute.
-                continue;
-            };
-            // A delivery latched at `t` can set a blocked processor's wake
-            // instant between `t` and the earliest runnable clock. Stepping
-            // the runnable processor first would run the machine out of
-            // global time order — its bus traffic would land ahead of the
-            // woken processor's — so recompute and handle the wake first.
-            if self
-                .next_event_time()
-                .is_some_and(|t2| t2 < self.cpus[i].clock)
-            {
-                continue;
-            }
-            self.step_cpu(i);
-            steps += 1;
-            self.total_steps += 1;
-        };
         RunReport {
             status,
             steps,
@@ -352,7 +360,12 @@ impl<S, P> Machine<S, P> {
     fn next_event_time(&self) -> Option<Time> {
         let mut next: Option<Time> = None;
         let mut consider = |t: Time| next = Some(next.map_or(t, |n: Time| n.min(t)));
-        for cpu in &self.cpus {
+        for (i, cpu) in self.cpus.iter().enumerate() {
+            // A halted processor has no next event of its own; its revival
+            // (if any) sits in the delivery heap.
+            if self.halted[i] {
+                continue;
+            }
             match cpu.park {
                 ParkState::Running => consider(cpu.clock),
                 ParkState::Parked { until: Some(d) } => consider(d.max(cpu.clock)),
@@ -388,6 +401,33 @@ impl<S, P> Machine<S, P> {
                         wake_skipped: 0,
                     });
                 }
+                QueuedKind::Halt => {
+                    // Fail-stop: freeze the processor exactly as it stands
+                    // (park state, stacked frames, latched interrupts).
+                    self.halted[d.target.index()] = true;
+                    if let Some(inj) = self.faults.as_mut() {
+                        inj.record(d.at, d.target, FaultKind::Halted);
+                    }
+                    continue;
+                }
+                QueuedKind::Revive => {
+                    // Resume dispatching at the revival instant. The wake is
+                    // deliberately spurious — whatever the processor was
+                    // blocked on gets a live re-check, so no notification
+                    // missed during the dead window is ever load-bearing.
+                    self.halted[d.target.index()] = false;
+                    cpu.park = ParkState::Running;
+                    cpu.clock = cpu.clock.max(d.at);
+                    if let Some(inj) = self.faults.as_mut() {
+                        inj.record(d.at, d.target, FaultKind::Revived);
+                    }
+                    continue;
+                }
+            }
+            // A delivery to a halted processor latches (the wire does not
+            // know the target is dead) but wakes nothing.
+            if self.halted[d.target.index()] {
+                continue;
             }
             // Any arrival wakes a parked processor (wakeups may be spurious).
             match &mut cpu.park {
@@ -418,7 +458,10 @@ impl<S, P> Machine<S, P> {
     /// [`RunReport::steps`] / step-budget accounting.
     fn wake_expired_parks(&mut self, t: Time) -> u64 {
         let mut backfilled = 0u64;
-        for cpu in &mut self.cpus {
+        for (i, cpu) in self.cpus.iter_mut().enumerate() {
+            if self.halted[i] {
+                continue;
+            }
             match cpu.park {
                 ParkState::Parked { until: Some(d) } if d.max(cpu.clock) <= t => {
                     cpu.park = ParkState::Running;
@@ -453,6 +496,11 @@ impl<S, P> Machine<S, P> {
     /// instant `now` by processor `writer`.
     fn apply_notify(&mut self, chan: WaitChannel, now: Time, writer: usize) {
         for (idx, cpu) in self.cpus.iter_mut().enumerate() {
+            // A halted listener misses the notification; if it revives, the
+            // revival itself is a spurious wake and live re-check.
+            if self.halted[idx] {
+                continue;
+            }
             let ParkState::Blocked {
                 anchor,
                 on,
@@ -474,7 +522,7 @@ impl<S, P> Machine<S, P> {
         self.cpus
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.park == ParkState::Running)
+            .filter(|(i, c)| !self.halted[*i] && c.park == ParkState::Running)
             .min_by_key(|(i, c)| (c.clock, *i))
             .map(|(i, _)| i)
     }
@@ -490,6 +538,7 @@ impl<S, P> Machine<S, P> {
             rng,
             handlers,
             faults,
+            halted,
             ..
         } = self;
         let n_cpus = cpus.len();
@@ -550,6 +599,7 @@ impl<S, P> Machine<S, P> {
                 rng,
                 commands: &mut commands,
                 n_cpus,
+                halted: &*halted,
                 woken_spins: std::mem::take(&mut frame.wake_skipped),
             };
             frame.proc.step(&mut ctx)
@@ -686,11 +736,43 @@ impl<S, P> Machine<S, P> {
 
     /// Installs a deterministic fault plan. Subsequent IPI sends of the
     /// plan's vector and interrupt dispatches are routed through the
-    /// injector; everything else is untouched. Installing
-    /// [`FaultPlan::none`] leaves the simulated timeline bit-identical to
-    /// not installing a plan at all.
+    /// injector; everything else is untouched. A halt or offline rule
+    /// schedules its fail-stop instants as ordinary deliveries, so they
+    /// replay bit-identically. Installing [`FaultPlan::none`] leaves the
+    /// simulated timeline bit-identical to not installing a plan at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a halt/offline rule names an out-of-range processor or an
+    /// offline rule revives at or before its halt instant.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(h) = plan.halt {
+            assert!(h.cpu.index() < self.cpus.len(), "halt: bad cpu {}", h.cpu);
+            self.push_delivery(h.at, h.cpu, QueuedKind::Halt);
+        }
+        if let Some(o) = plan.offline {
+            assert!(
+                o.cpu.index() < self.cpus.len(),
+                "offline: bad cpu {}",
+                o.cpu
+            );
+            assert!(
+                o.revive_at > o.at,
+                "offline: revive_at must be after the halt instant"
+            );
+            self.push_delivery(o.at, o.cpu, QueuedKind::Halt);
+            self.push_delivery(o.revive_at, o.cpu, QueuedKind::Revive);
+        }
         self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Whether `cpu` is currently halted by a fail-stop fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn is_halted(&self, cpu: CpuId) -> bool {
+        self.halted[cpu.index()]
     }
 
     /// Statistics of injected faults, if a plan is installed.
@@ -713,7 +795,7 @@ impl<S, P> Machine<S, P> {
             .iter()
             .filter_map(|Reverse(d)| match d.kind {
                 QueuedKind::Interrupt(v) => Some((d.at, d.target, v)),
-                QueuedKind::Spawn(_) => None,
+                QueuedKind::Spawn(_) | QueuedKind::Halt | QueuedKind::Revive => None,
             })
             .collect();
         out.sort_unstable_by_key(|&(at, cpu, v)| (at, cpu, v));
@@ -759,14 +841,18 @@ impl<S, P> Machine<S, P> {
     pub fn frames_diagnostic(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for cpu in &self.cpus {
+        for (i, cpu) in self.cpus.iter().enumerate() {
             if cpu.depth() == 0 {
                 continue;
             }
-            let state = match cpu.park {
-                ParkState::Running => "running",
-                ParkState::Parked { .. } => "parked",
-                ParkState::Blocked { .. } => "blocked",
+            let state = if self.halted[i] {
+                "HALTED"
+            } else {
+                match cpu.park {
+                    ParkState::Running => "running",
+                    ParkState::Parked { .. } => "parked",
+                    ParkState::Blocked { .. } => "blocked",
+                }
             };
             let _ = write!(out, "  {} at {} ({state}):", cpu.id(), cpu.clock());
             for label in cpu.stack_labels() {

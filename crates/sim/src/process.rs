@@ -140,6 +140,7 @@ pub struct Ctx<'a, S, P> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<S, P>>,
     pub(crate) n_cpus: usize,
+    pub(crate) halted: &'a [bool],
     pub(crate) woken_spins: u64,
 }
 
@@ -157,6 +158,17 @@ impl<'a, S, P> Ctx<'a, S, P> {
     /// Number of processors in the machine.
     pub fn n_cpus(&self) -> usize {
         self.n_cpus
+    }
+
+    /// Whether `cpu` is halted by a fail-stop fault. This is the holder
+    /// liveness probe behind dead-lock-holder detection: reading another
+    /// processor's run state costs a bus read, which the caller charges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range for this machine.
+    pub fn is_cpu_halted(&self, cpu: CpuId) -> bool {
+        self.halted[cpu.index()]
     }
 
     /// Issues a bus read (cache miss) at the current instant and returns its

@@ -9,6 +9,11 @@
 //! quiesce/spin → pmap update → unlock → responder drain (or full flush)
 //! → rejoin active set.
 //!
+//! Fail-stop recovery adds two off-path phases: an `evict` mark on the
+//! initiator's track when the health monitor declares a responder dead,
+//! and a `fence` slice on a revived processor's track covering its fenced
+//! rejoin (TLB flush, queue discard, generation handshake).
+//!
 //! Every shootdown becomes a **span**, identified by a [`SpanId`] the
 //! initiator allocates. Initiator-side phases are recorded on the
 //! initiator's track; responder-side phases on each responder's track,
@@ -92,11 +97,20 @@ pub enum TracePhase {
     /// affected processor's track so injected chaos is visible next to
     /// the phases it perturbs.
     Fault,
+    /// Initiator: the health monitor declared a responder dead after the
+    /// watchdog exhausted its retries and evicted it from the active set
+    /// and every pmap (a mark; the arg is the evicted processor index).
+    Evict,
+    /// Responder: a revived processor runs the fenced rejoin protocol —
+    /// full TLB flush, action-queue discard, and the generation handshake
+    /// — before touching any pmap again (a slice on the revived
+    /// processor's track, closed by the rejoin).
+    Fence,
 }
 
 impl TracePhase {
     /// Every phase, in algorithm order.
-    pub const ALL: [TracePhase; 14] = [
+    pub const ALL: [TracePhase; 16] = [
         TracePhase::Initiate,
         TracePhase::QueueActions,
         TracePhase::IpiSend,
@@ -111,6 +125,8 @@ impl TracePhase {
         TracePhase::Rejoin,
         TracePhase::Retry,
         TracePhase::Fault,
+        TracePhase::Evict,
+        TracePhase::Fence,
     ];
 
     /// A short stable name (used in trace exports and tables).
@@ -130,6 +146,8 @@ impl TracePhase {
             TracePhase::Rejoin => "rejoin",
             TracePhase::Retry => "ipi-retry",
             TracePhase::Fault => "fault",
+            TracePhase::Evict => "evict",
+            TracePhase::Fence => "fence",
         }
     }
 
@@ -145,6 +163,7 @@ impl TracePhase {
                 | TracePhase::Unlock
                 | TracePhase::RemoteInvalidate
                 | TracePhase::Retry
+                | TracePhase::Evict
         )
     }
 }
@@ -688,6 +707,10 @@ mod tests {
         assert_eq!(TracePhase::Fault.name(), "fault");
         assert!(TracePhase::Retry.is_initiator_side());
         assert!(!TracePhase::Fault.is_initiator_side());
-        assert_eq!(TracePhase::ALL.len(), 14);
+        assert_eq!(TracePhase::Evict.name(), "evict");
+        assert_eq!(TracePhase::Fence.name(), "fence");
+        assert!(TracePhase::Evict.is_initiator_side());
+        assert!(!TracePhase::Fence.is_initiator_side());
+        assert_eq!(TracePhase::ALL.len(), 16);
     }
 }

@@ -11,9 +11,13 @@
 #                        trace lands in target/machtlb-trace.json and CI
 #                        uploads it as an artifact)
 #   7. chaos smoke      (machtlb chaos: the two-sided fault-injection
-#                        matrix — tolerable plans survive, beyond-envelope
-#                        plans are caught; the survival table lands in
-#                        target/machtlb-chaos.txt and CI uploads it)
+#                        matrix, including the fail-stop family — halted
+#                        responders evicted, dead lock holders stolen
+#                        from, revived processors fenced; tolerable plans
+#                        survive, beyond-envelope plans are caught; the
+#                        survival table lands in target/machtlb-chaos.txt
+#                        and the machine-readable outcome matrix in
+#                        target/machtlb-chaos.json, both uploaded by CI)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -42,8 +46,9 @@ echo "==> trace smoke"
 cargo run --release --quiet --bin machtlb -- trace \
     --workload tester --cpus 8 --out target/machtlb-trace.json
 
-echo "==> chaos smoke (two-sided envelope)"
+echo "==> chaos smoke (two-sided envelope, fail-stop recovery)"
 cargo run --release --quiet --bin machtlb -- chaos \
-    --cpus 4 --seeds 2 --out target/machtlb-chaos.txt
+    --cpus 4 --seeds 2 --out target/machtlb-chaos.txt \
+    --json target/machtlb-chaos.json
 
 echo "==> all checks passed"

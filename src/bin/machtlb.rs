@@ -11,7 +11,8 @@
 use std::process::ExitCode;
 
 use machtlb::core::{
-    check_envelope, plan_catalog, run_chaos, ChaosConfig, KernelConfig, Strategy, Survival,
+    check_envelope, plan_catalog, run_chaos, survival_json, ChaosConfig, KernelConfig, Strategy,
+    Survival,
 };
 use machtlb::sim::{BusOp, CostModel, Dur, Time};
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
@@ -35,9 +36,18 @@ USAGE:
     machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
                     [--strategy S] [--cpus N] [--seed N] [--out FILE]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
+                    [--json FILE]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
+
+EXIT CODES:
+    0  the command succeeded; for `chaos`, the two-sided envelope check
+       was green (every tolerable plan survived, every beyond-envelope
+       plan was caught)
+    1  bad arguments, an inconsistency, or — for `chaos` — an envelope
+       violation; `--json FILE` is still written in this case, with
+       \"green\": false and the failure lines, so CI can archive it
 
 Every run prints its consistency verdict: the oracle checks the paper's
 guarantee on every translated access.";
@@ -480,10 +490,12 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         "violations",
         "retries",
         "degraded",
+        "recovered",
         "faults",
         "end (ms)",
     ]);
     for o in &outcomes {
+        let recovered = o.stats.evictions + o.stats.fenced_rejoins + o.stats.locks_stolen;
         t.add_row(vec![
             o.plan.into(),
             if o.tolerable { "tolerable" } else { "beyond" }.into(),
@@ -492,6 +504,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             o.violations.to_string(),
             o.stats.ipi_retries.to_string(),
             o.stats.degraded_flushes.to_string(),
+            recovered.to_string(),
             o.faults.map_or(0, |f| f.total()).to_string(),
             format!("{:.1}", o.end.as_millis_f64()),
         ]);
@@ -512,6 +525,13 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         }
     }
     let bad = check_envelope(&outcomes);
+    // The machine-readable artifact is written in both verdicts, so CI
+    // can archive the red run it is about to fail on.
+    if let Some(path) = args.get("json") {
+        let json = survival_json(&outcomes, &bad);
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
     if !bad.is_empty() {
         return Err(format!("chaos envelope violated:\n  {}", bad.join("\n  ")));
     }

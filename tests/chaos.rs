@@ -7,6 +7,39 @@ use machtlb::core::{
     KernelConfig, Strategy, Survival,
 };
 
+/// A responder halted mid-dispatch, with and without the health monitor:
+/// the monitor's eviction turns an unrecovered watchdog give-up (caught,
+/// but paid for again on every later shootdown) into a single eviction
+/// after which the dead processor is out of every quorum. The same plan,
+/// seed, and bounds separate the two kernels.
+#[test]
+fn eviction_recovers_what_a_dead_responder_costs_forever() {
+    let plan = plan_catalog(4)
+        .into_iter()
+        .find(|p| p.name == "halt-resp-preack")
+        .expect("catalog has the pre-ack halt plan");
+
+    let mut unhealthy = ChaosConfig::new(4, 3, Some(plan));
+    unhealthy.kconfig.health.enabled = false;
+    let bare = run_chaos(&unhealthy);
+    assert_eq!(bare.stats.evictions, 0);
+    assert!(bare.stats.watchdog_gaveup >= 1, "{bare:?}");
+    assert_eq!(
+        bare.survival,
+        Survival::DetectedFatal,
+        "an unabsorbed give-up must be caught, not silently survived: {bare:?}"
+    );
+
+    let hardened = run_chaos(&ChaosConfig::new(4, 3, Some(plan)));
+    assert!(hardened.completed, "{hardened:?}");
+    assert_eq!(hardened.survival, Survival::Degraded, "{hardened:?}");
+    assert_eq!(hardened.violations, 0);
+    assert_eq!(hardened.stats.evictions, 1, "{hardened:?}");
+    // After the eviction the dead processor is no longer consulted, so
+    // the hardened kernel pays the give-up horizon once, not per round.
+    assert_eq!(hardened.stats.watchdog_gaveup, 1, "{hardened:?}");
+}
+
 /// The full catalog across several seeds: every tolerable plan survives
 /// (possibly degraded), every beyond-envelope plan is caught. This is the
 /// headline robustness claim — a silent pass on either side fails.
