@@ -9,12 +9,37 @@
 //! Paper result: 430 µs for the first processor plus 55 µs per additional
 //! processor, with a pronounced departure above 12 processors.
 
-use machtlb_bench::fig2_sweep;
+use machtlb_bench::{fig2_sweep, BenchMetric, BenchReport};
 use machtlb_xpr::{ascii_scatter, TextTable};
 
 fn main() {
     let seeds: Vec<u64> = (0..10).map(|i| 1000 + i).collect();
     let data = fig2_sweep(16, 15, &seeds);
+
+    let mut report = BenchReport::new("fig2_basic_cost");
+    for row in &data.rows {
+        report.push(BenchMetric::new(
+            format!("cost/k{}", row.k),
+            16,
+            "shootdown",
+            1,
+            row.summary.mean,
+        ));
+    }
+    report.push(BenchMetric::new(
+        "fit/intercept",
+        16,
+        "shootdown",
+        1,
+        data.fit.intercept,
+    ));
+    report.push(BenchMetric::new(
+        "fit/slope_per_cpu",
+        16,
+        "shootdown",
+        1,
+        data.fit.slope,
+    ));
 
     println!("Figure 2: basic cost of TLB shootdown (16-processor machine, 10 runs/point)");
     println!();
@@ -61,4 +86,6 @@ fn main() {
         "{}",
         ascii_scatter(&pts, Some((data.fit.intercept, data.fit.slope)), 60, 18)
     );
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

@@ -7,7 +7,7 @@
 //! 64-entry Multimax capacity. Both implementations run the identical
 //! deterministic workload so the medians are directly comparable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 
 use machtlb_pmap::{Access, PageRange, Pfn, PmapId, Prot, Pte, Vpn};
 use machtlb_sim::Time;
@@ -170,4 +170,70 @@ fn bench_queue(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_tlb_hotpaths, bench_queue);
-criterion_main!(benches);
+
+/// Median host time (µs) of `reps` runs of `f`.
+fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut xs: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// The headline sweep for the perf-trajectory file: a full warm-TLB
+/// lookup pass (half hits, half misses) over both implementations.
+macro_rules! timed_sweep {
+    ($new:expr) => {{
+        let mut tlb = $new;
+        for p in 0..PMAPS {
+            for v in 0..VPNS {
+                tlb.insert(
+                    PmapId::new(p),
+                    Vpn::new(v),
+                    Pte::valid(Pfn::new(v), Prot::READ_WRITE),
+                    Time::ZERO,
+                );
+            }
+        }
+        median_us(25, || {
+            let mut hits = 0u32;
+            for p in 0..PMAPS {
+                for v in 0..(2 * VPNS) {
+                    if matches!(
+                        tlb.lookup(PmapId::new(p), Vpn::new(v), Access::Read, Time::ZERO),
+                        machtlb_tlb::Lookup::Hit { .. }
+                    ) {
+                        hits += 1;
+                    }
+                }
+            }
+            std::hint::black_box(hits);
+        })
+    }};
+}
+
+fn main() {
+    benches();
+
+    let mut report = machtlb_bench::BenchReport::new("hotpath");
+    report.push(machtlb_bench::BenchMetric::new(
+        "lookup_sweep/indexed",
+        1,
+        "host",
+        1,
+        timed_sweep!(Tlb::new(TlbConfig::multimax())),
+    ));
+    report.push(machtlb_bench::BenchMetric::new(
+        "lookup_sweep/linear",
+        1,
+        "host",
+        1,
+        timed_sweep!(LinearTlb::new(TlbConfig::multimax())),
+    ));
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
+}

@@ -3,7 +3,7 @@
 //! processor sets, the consistency oracle, and a complete small shootdown
 //! simulation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 
 use machtlb_core::{build_kernel_machine, KernelConfig, PmapOp, PmapOpProcess};
 use machtlb_pmap::{Access, CpuSet, PageRange, PageTable, Pfn, PmapId, Prot, Pte, Vpn};
@@ -143,4 +143,51 @@ criterion_group!(
     bench_cpuset,
     bench_shootdown_sim
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+
+    // The perf-trajectory headline: host cost of one complete simulated
+    // 4-processor shootdown, median of 15 fresh machines.
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let mut m = build_kernel_machine(4, 7, CostModel::multimax(), KernelConfig::default());
+            let (pmap, vpn) = {
+                let s = m.shared_mut();
+                let pmap = s.pmaps.create();
+                let vpn = Vpn::new(0x40);
+                let pfn = s.frames.alloc();
+                s.seed_mapping(pmap, vpn, pfn, Prot::READ_WRITE);
+                for c in 0..4 {
+                    s.force_active(CpuId::new(c));
+                    if c > 0 {
+                        s.pmaps.get_mut(pmap).mark_in_use(CpuId::new(c));
+                    }
+                }
+                (pmap, vpn)
+            };
+            let op = PmapOpProcess::new(
+                pmap,
+                PmapOp::Protect {
+                    range: PageRange::single(vpn),
+                    prot: Prot::READ,
+                },
+            );
+            m.spawn_at(CpuId::new(0), machtlb_sim::Time::ZERO, Box::new(op));
+            let t = std::time::Instant::now();
+            std::hint::black_box(m.run(machtlb_sim::Time::from_micros(100_000)));
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let mut report = machtlb_bench::BenchReport::new("microbench");
+    report.push(machtlb_bench::BenchMetric::new(
+        "simulate_4cpu_shootdown",
+        4,
+        "shootdown",
+        1,
+        samples[samples.len() / 2],
+    ));
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
+}

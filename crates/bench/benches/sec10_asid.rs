@@ -14,6 +14,7 @@
 //! reload misses) at the price of stickier in-use sets (shootdowns reach
 //! processors that merely *recently* ran the task).
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_core::{HasKernel, KernelConfig, MemOp};
 use machtlb_pmap::{Vaddr, Vpn, PAGE_SIZE};
 use machtlb_sim::{CpuId, Ctx, Dur, Process, Step, Time};
@@ -247,4 +248,27 @@ fn main() {
     );
     println!("and the shootdown algorithm still maintains consistency over the");
     println!("coexisting address spaces (the Section 10 extension).");
+
+    let mut report = BenchReport::new("sec10_asid");
+    for (slug, r, sw_misses, sw_flushes) in [
+        ("untagged", &untagged, untagged_misses, untagged_flushes),
+        ("tagged", &tagged, tagged_misses, tagged_flushes),
+    ] {
+        report.push(
+            BenchMetric::new(
+                format!("camelot/{slug}"),
+                16,
+                "shootdown",
+                1,
+                r.runtime.as_micros_f64(),
+            )
+            .counter("tlb_flushes", r.tlb_flushes)
+            .counter("tlb_misses", r.tlb_misses)
+            .counter("user_shootdowns", r.user_initiators.len() as u64)
+            .counter("switch_misses", sw_misses)
+            .counter("switch_flushes", sw_flushes),
+        );
+    }
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

@@ -20,13 +20,21 @@
 //! pays in whole-TLB flushes, reload misses, and a consistency latency
 //! bounded only by the flush period.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_core::{KernelConfig, Strategy};
 use machtlb_sim::{Dur, Time};
 use machtlb_tlb::{TlbConfig, WritebackPolicy};
 use machtlb_workloads::{run_machbuild, MachBuildConfig, RunConfig};
 use machtlb_xpr::TextTable;
 
-fn run(name: &str, strategy: Strategy, flush_ms: u64, t: &mut TextTable) {
+fn run(
+    name: &str,
+    slug: &str,
+    strategy: Strategy,
+    flush_ms: u64,
+    t: &mut TextTable,
+    out: &mut BenchReport,
+) {
     let kconfig = match strategy {
         Strategy::TimerDelayed => KernelConfig {
             strategy,
@@ -50,6 +58,18 @@ fn run(name: &str, strategy: Strategy, flush_ms: u64, t: &mut TextTable) {
     };
     let report = run_machbuild(&config, &MachBuildConfig::default());
     assert!(report.consistent, "{name}: violations");
+    out.push(
+        BenchMetric::new(
+            format!("build/{slug}"),
+            16,
+            format!("{strategy:?}").to_lowercase(),
+            1,
+            report.runtime.as_micros_f64(),
+        )
+        .counter("ipis_sent", report.stats.ipis_sent)
+        .counter("tlb_flushes", report.tlb_flushes)
+        .counter("tlb_misses", report.tlb_misses),
+    );
     t.add_row(vec![
         name.to_string(),
         format!("{:.0}", report.runtime.as_micros_f64() / 1000.0),
@@ -76,13 +96,37 @@ fn main() {
         "TLB misses",
         "consistency latency",
     ]);
-    run("shootdown (technique 1)", Strategy::Shootdown, 5, &mut t);
-    run("delayed flush, 2 ms", Strategy::TimerDelayed, 2, &mut t);
-    run("delayed flush, 10 ms", Strategy::TimerDelayed, 10, &mut t);
+    let mut report = BenchReport::new("sec3_techniques");
+    run(
+        "shootdown (technique 1)",
+        "shootdown",
+        Strategy::Shootdown,
+        5,
+        &mut t,
+        &mut report,
+    );
+    run(
+        "delayed flush, 2 ms",
+        "delayed_2ms",
+        Strategy::TimerDelayed,
+        2,
+        &mut t,
+        &mut report,
+    );
+    run(
+        "delayed flush, 10 ms",
+        "delayed_10ms",
+        Strategy::TimerDelayed,
+        10,
+        &mut t,
+        &mut report,
+    );
     println!("{t}");
     println!("technique 3 (tolerate upgrades) is active in every row: protection");
     println!("increases never trigger consistency actions in the first place.");
     println!();
     println!("the paper's verdict holds: delayed flushing trades bounded-staleness");
     println!("consistency and a flood of whole-TLB flushes for the IPIs it saves.");
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

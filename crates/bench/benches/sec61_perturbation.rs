@@ -11,6 +11,7 @@
 //! instructions per event, so turning instrumentation off shifts timings
 //! slightly; seeds provide the run-to-run noise floor.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{Dur, Time};
 use machtlb_workloads::{run_parthenon, ParthenonConfig, RunConfig};
 use machtlb_xpr::Summary;
@@ -60,4 +61,22 @@ fn main() {
     } else {
         println!("=> WARNING: perturbation exceeds the noise floor");
     }
+
+    let mut report = BenchReport::new("sec61_perturbation");
+    report.push(BenchMetric::new(
+        "runtime/instrumented",
+        16,
+        "shootdown",
+        1,
+        on.mean * 1000.0,
+    ));
+    report.push(BenchMetric::new(
+        "runtime/bare",
+        16,
+        "shootdown",
+        1,
+        off.mean * 1000.0,
+    ));
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

@@ -15,14 +15,15 @@
 //! — matching the paper's observation that machines of this class cannot
 //! be uniform-memory bus designs.
 
-use machtlb_core::HasKernel;
+use machtlb_bench::{concurrent_round_cost, scaled_costs, BenchMetric, BenchReport};
+use machtlb_core::{HasKernel, KernelConfig};
 use machtlb_sim::{CostModel, CpuId, Ctx, Dur, Process, Step, Time};
 use machtlb_vm::HasVm;
 use machtlb_workloads::{
     build_workload_machine, run_tester, run_until_done, AppShared, KernelBufferOp, RunConfig,
     TesterConfig, ThreadShell, WlState,
 };
-use machtlb_xpr::{Summary, TextTable};
+use machtlb_xpr::{linear_fit, Summary, TextTable};
 
 /// A processor kept busy with computation (a pool member doing real work,
 /// and therefore a shootdown target whenever it is in the pmap's in-use
@@ -168,14 +169,10 @@ fn pooled_kernel_activity(pool: bool, seed: u64) -> (f64, f64) {
 }
 
 fn scaled_config(n_cpus: usize, seed: u64) -> RunConfig {
-    let mut costs = CostModel::multimax();
-    if n_cpus > 16 {
-        costs.bus_occupancy = costs.bus_occupancy.mul_f64(16.0 / n_cpus as f64);
-    }
     RunConfig {
         n_cpus,
         seed,
-        costs,
+        costs: scaled_costs(n_cpus),
         kconfig: Default::default(),
         timer_flush_period: machtlb_sim::Dur::millis(5),
         device_period: None, // isolate the algorithmic scaling
@@ -197,10 +194,119 @@ fn basic_cost_us(n_cpus: usize, k: u32, seed: u64) -> f64 {
     shot.elapsed.as_micros_f64()
 }
 
+/// One curve of the large-machine study: a delivery/batching strategy and
+/// how many concurrent initiators it is driven with.
+struct ScalingCurve {
+    name: &'static str,
+    kconfig: KernelConfig,
+    initiators: usize,
+}
+
+/// The 256 -> 1024 processor study this PR is about: median initiator
+/// completion time for a machine-wide user shootdown under (a) unicast
+/// delivery, (b) degree-8 multicast fan-out, and (c) fan-out plus batched
+/// concurrent initiators on a sharded pmap. Returns the fitted growth
+/// exponent per curve (slope of ln(cost) against ln(n)) and records every
+/// point in `report`.
+///
+/// # Panics
+///
+/// Panics when fan-out plus batching fails the sub-linearity acceptance
+/// bar (exponent < 0.5) or stops beating unicast's growth.
+fn scaling_curves(report: &mut BenchReport, smoke: bool) {
+    let sizes: &[usize] = if smoke {
+        &[256, 1024]
+    } else {
+        &[256, 512, 1024]
+    };
+    let curves = [
+        ScalingCurve {
+            name: "unicast",
+            kconfig: KernelConfig::default(),
+            initiators: 1,
+        },
+        ScalingCurve {
+            name: "fanout8",
+            kconfig: KernelConfig {
+                fanout: 8,
+                ..KernelConfig::default()
+            },
+            initiators: 1,
+        },
+        ScalingCurve {
+            name: "fanout8_batch",
+            kconfig: KernelConfig {
+                fanout: 8,
+                batch_initiators: true,
+                pmap_shards: 4,
+                ..KernelConfig::default()
+            },
+            initiators: 4,
+        },
+    ];
+    println!("sub-linear shootdown at scale: median initiator completion time (us)");
+    println!("(machine-wide user shootdown; fanout8_batch runs 4 concurrent initiators)");
+    let mut t = TextTable::new(vec!["processors", "unicast", "fanout8", "fanout8_batch"]);
+    let mut medians: Vec<Vec<f64>> = vec![Vec::new(); curves.len()];
+    for &n in sizes {
+        let mut row = vec![n.to_string()];
+        for (ci, curve) in curves.iter().enumerate() {
+            let rc = concurrent_round_cost(
+                n,
+                curve.initiators,
+                curve.kconfig.clone(),
+                scaled_costs(n),
+                4000 + n as u64,
+            );
+            row.push(format!("{:.0}", rc.median_us));
+            medians[ci].push(rc.median_us);
+            report.push(
+                BenchMetric::new(
+                    format!("curve/{}/n{n}", curve.name),
+                    n as u64,
+                    "shootdown",
+                    curve.kconfig.fanout.max(1) as u64,
+                    rc.median_us,
+                )
+                .counter("multicast_rounds", rc.stats.multicast_rounds)
+                .counter("initiators_batched", rc.stats.initiators_batched),
+            );
+        }
+        t.add_row(row);
+    }
+    println!("{t}");
+    let mut exponents = Vec::new();
+    for (ci, curve) in curves.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = sizes
+            .iter()
+            .zip(&medians[ci])
+            .map(|(&n, &us)| ((n as f64).ln(), us.ln()))
+            .collect();
+        let fit = linear_fit(&pts).expect("at least two machine sizes");
+        println!("  {:<14} growth exponent {:.2}", curve.name, fit.slope);
+        exponents.push(fit.slope);
+    }
+    let (unicast, batched) = (exponents[0], exponents[2]);
+    assert!(
+        batched < 0.5,
+        "fanout+batching must be sub-linear on 256->1024: exponent {batched:.2}"
+    );
+    assert!(
+        batched < unicast,
+        "fanout+batching ({batched:.2}) must grow slower than unicast ({unicast:.2})"
+    );
+    println!(
+        "  => fan-out + batching bends the curve: exponent {batched:.2} < 0.5 \
+         (unicast grows at {unicast:.2})"
+    );
+    println!();
+}
+
 fn main() {
     // MACHTLB_SMOKE: a seconds-scale subset for CI — the small machine
     // sizes only, skipping the 100-processor point and the pool studies.
     let smoke = std::env::var_os("MACHTLB_SMOKE").is_some();
+    let mut report = BenchReport::new("sec8_scaling");
 
     println!("Section 8/11: basic shootdown cost on larger machines");
     println!("(scalable-interconnect assumption above 16 processors; see module docs)");
@@ -221,6 +327,13 @@ fn main() {
     for &n in sizes {
         let k = (n - 1) as u32;
         let measured = basic_cost_us(n, k, 900 + n as u64);
+        report.push(BenchMetric::new(
+            format!("basic_cost/n{n}"),
+            n as u64,
+            "shootdown",
+            1,
+            measured,
+        ));
         t.add_row(vec![
             n.to_string(),
             k.to_string(),
@@ -229,8 +342,16 @@ fn main() {
         ]);
     }
     println!("{t}");
+    println!();
+
+    // The new delivery machinery, in both modes: CI holds the 1024-way
+    // point against the sub-linearity bar on every push.
+    scaling_curves(&mut report, smoke);
+
     if smoke {
         println!("(smoke mode: 100-processor point and pool studies skipped)");
+        let path = report.write().expect("bench report written");
+        println!("wrote {}", path.display());
         return;
     }
     println!("paper's extrapolation at 100 processors: ~6 ms (6000 us)");
@@ -268,4 +389,14 @@ fn main() {
         wide_us / pool_us
     );
     println!("     exactly the restructuring Section 8 proposes for large machines.");
+    report.push(
+        BenchMetric::new("pool/machine_wide", 64, "shootdown", 1, wide_us)
+            .counter("processors_shot", wide_procs.round() as u64),
+    );
+    report.push(
+        BenchMetric::new("pool/pooled", 64, "shootdown", 1, pool_us)
+            .counter("processors_shot", pool_procs.round() as u64),
+    );
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

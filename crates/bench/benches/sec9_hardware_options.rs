@@ -17,6 +17,7 @@
 //!    entirely ... initiator overhead is greatly reduced because it is no
 //!    longer necessary to synchronize with the responders".
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_core::{KernelConfig, Strategy};
 use machtlb_sim::{Dur, Time};
 use machtlb_tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
@@ -25,6 +26,7 @@ use machtlb_xpr::{Summary, TextTable};
 
 struct Option9 {
     name: &'static str,
+    slug: &'static str,
     kconfig: KernelConfig,
 }
 
@@ -33,10 +35,12 @@ fn options() -> Vec<Option9> {
     vec![
         Option9 {
             name: "software shootdown (baseline)",
+            slug: "baseline",
             kconfig: stock.clone(),
         },
         Option9 {
             name: "high-priority software interrupt",
+            slug: "high_prio_ipi",
             kconfig: KernelConfig {
                 high_prio_ipi: true,
                 ..stock.clone()
@@ -44,6 +48,7 @@ fn options() -> Vec<Option9> {
         },
         Option9 {
             name: "broadcast interrupt",
+            slug: "broadcast",
             kconfig: KernelConfig {
                 strategy: Strategy::BroadcastIpi,
                 ..stock.clone()
@@ -51,6 +56,7 @@ fn options() -> Vec<Option9> {
         },
         Option9 {
             name: "software reload, no responder stall",
+            slug: "no_stall_reload",
             kconfig: KernelConfig {
                 strategy: Strategy::NoStallSoftwareReload,
                 tlb: TlbConfig {
@@ -63,6 +69,7 @@ fn options() -> Vec<Option9> {
         },
         Option9 {
             name: "remote TLB invalidation (MC88200)",
+            slug: "remote_invalidate",
             kconfig: KernelConfig {
                 strategy: Strategy::HardwareRemoteInvalidate,
                 tlb: TlbConfig {
@@ -80,6 +87,7 @@ fn main() {
     println!("(heavy device-interrupt load, 2 ms mean period, to expose the masked-section tail)");
     println!();
     let seeds: Vec<u64> = (0..8).map(|i| 800 + i).collect();
+    let mut report = BenchReport::new("sec9_hardware_options");
 
     let mut t = TextTable::new(vec![
         "option",
@@ -123,6 +131,17 @@ fn main() {
             );
         }
         let s = Summary::of(&elapsed).expect("runs");
+        report.push(
+            BenchMetric::new(
+                format!("initiator/{}", opt.slug),
+                16,
+                format!("{:?}", opt.kconfig.strategy).to_lowercase(),
+                1,
+                s.median,
+            )
+            .counter("ipis_sent", ipis)
+            .counter("responder_events", responder_events as u64),
+        );
         t.add_row(vec![
             opt.name.to_string(),
             format!("{:.0}", s.mean),
@@ -137,4 +156,6 @@ fn main() {
     println!("expected shape (paper): the high-priority interrupt trims the tail (p90/max);");
     println!("broadcast trims the per-processor send loop; no-stall returns responders early;");
     println!("remote invalidation uses no interrupts and involves no responders at all.");
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

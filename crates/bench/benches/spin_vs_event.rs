@@ -18,6 +18,7 @@
 
 use std::time::Instant;
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_core::SpinMode;
 use machtlb_sim::{CostModel, Time};
 use machtlb_workloads::{run_tester, RunConfig, TesterConfig, TesterOutcome};
@@ -96,4 +97,21 @@ fn main() {
             "event mode must be at least 5x faster at 256 processors, got {speedup:.1}x"
         );
     }
+
+    // The baseline-checked headline is the simulated shootdown cost (host
+    // speedup is machine-dependent and lives in stdout only).
+    let mut report = BenchReport::new("spin_vs_event");
+    report.push(
+        BenchMetric::new(
+            format!("basic_cost/n{n_cpus}"),
+            n_cpus as u64,
+            "shootdown",
+            1,
+            sh_e.elapsed.as_micros_f64(),
+        )
+        .counter("responders", u64::from(sh_e.processors))
+        .counter("ipis_sent", event.report.stats.ipis_sent),
+    );
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

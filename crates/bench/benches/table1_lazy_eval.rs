@@ -19,6 +19,7 @@
 //! model runs a fraction of a simulated second), so the comparison is of
 //! ratios and shape.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{Dur, Time};
 use machtlb_workloads::{
     run_machbuild, run_parthenon, AppReport, MachBuildConfig, ParthenonConfig, RunConfig,
@@ -107,4 +108,20 @@ fn main() {
          (paper: 70 vs 0)",
         ue_po, ue_py
     );
+
+    let mut report = BenchReport::new("table1_lazy_eval");
+    for (slug, r) in [
+        ("mach_lazy_off", &mach_off),
+        ("mach_lazy_on", &mach_on),
+        ("parthenon_lazy_off", &parth_off),
+        ("parthenon_lazy_on", &parth_on),
+    ] {
+        report.push(
+            BenchMetric::new(format!("overhead/{slug}"), 16, "shootdown", 1, overhead(r))
+                .counter("kernel_events", r.kernel_initiators.len() as u64)
+                .counter("user_events", r.user_initiators.len() as u64),
+        );
+    }
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

@@ -12,6 +12,7 @@
 //! Parthenon 4 @ 1395±1431, Agora 88 @ 1425±1911, Camelot 68 @ 1641±1994.
 //! Event counts scale with runtime; compare shapes and orderings.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{Dur, Time};
 use machtlb_workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, AgoraConfig, AppReport, CamelotConfig,
@@ -152,4 +153,16 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+
+    let mut report = BenchReport::new("table2_kernel_shootdowns");
+    for r in &reports {
+        let slug = r.name.to_lowercase().replace(' ', "_");
+        let median = AppReport::elapsed_summary(&r.kernel_initiators).map_or(0.0, |s| s.median);
+        report.push(
+            BenchMetric::new(format!("kernel_time/{slug}"), 16, "shootdown", 1, median)
+                .counter("events", r.kernel_initiators.len() as u64),
+        );
+    }
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

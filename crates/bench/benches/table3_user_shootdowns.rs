@@ -10,6 +10,7 @@
 //! time 588±591 µs — well below kernel shootdowns at like processor
 //! counts, because only the processors running the task are involved.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{Dur, Time};
 use machtlb_workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, AgoraConfig, AppReport, CamelotConfig,
@@ -78,4 +79,13 @@ fn main() {
          ({} events here)",
         camelot.user_initiators.len()
     );
+
+    let mut report = BenchReport::new("table3_user_shootdowns");
+    let median = AppReport::elapsed_summary(&camelot.user_initiators).map_or(0.0, |s| s.median);
+    report.push(
+        BenchMetric::new("user_time/camelot", 16, "shootdown", 1, median)
+            .counter("events", camelot.user_initiators.len() as u64),
+    );
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

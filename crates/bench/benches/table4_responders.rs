@@ -12,6 +12,7 @@
 //! wait for all responders". The Camelot responder distribution is nearly
 //! symmetric; the others are right-skewed.
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{CpuId, Dur, Time};
 use machtlb_workloads::{
     run_agora, run_camelot, run_machbuild, run_parthenon, AgoraConfig, AppReport, CamelotConfig,
@@ -107,4 +108,16 @@ fn main() {
             );
         }
     }
+
+    let mut report = BenchReport::new("table4_responders");
+    for r in &reports {
+        let slug = r.name.to_lowercase().replace(' ', "_");
+        let median = r.responder_summary().map_or(0.0, |s| s.median);
+        report.push(
+            BenchMetric::new(format!("responder_time/{slug}"), 16, "shootdown", 1, median)
+                .counter("events", r.responders.len() as u64),
+        );
+    }
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

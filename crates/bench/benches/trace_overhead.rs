@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use machtlb_bench::{BenchMetric, BenchReport};
 use machtlb_sim::{CostModel, Time};
 use machtlb_workloads::{run_tester, RunConfig, TesterConfig, TesterOutcome};
 
@@ -106,4 +107,20 @@ fn main() {
          baseline of this harness's sibling benches; the disabled path is \
          one predicted branch per site)"
     );
+
+    // The baseline-checked headline is simulated (host overhead is noisy
+    // and machine-dependent; it stays in stdout).
+    let mut report = BenchReport::new("trace_overhead");
+    report.push(
+        BenchMetric::new(
+            format!("tester_runtime/n{n_cpus}"),
+            n_cpus as u64,
+            "shootdown",
+            1,
+            on.report.runtime.as_micros_f64(),
+        )
+        .counter("trace_events", on.report.trace.len() as u64),
+    );
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
 }

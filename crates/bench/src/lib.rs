@@ -12,6 +12,12 @@ use machtlb_sim::Time;
 use machtlb_workloads::{run_tester, RunConfig, TesterConfig};
 use machtlb_xpr::{linear_fit, LinFit, Summary};
 
+mod lab;
+mod report;
+
+pub use lab::{concurrent_round_cost, scaled_costs, RoundCost};
+pub use report::{compare_reports, parse_report, BenchMetric, BenchReport};
+
 /// One row of the Figure 2 sweep: shootdown cost at `k` responders.
 #[derive(Clone, Debug)]
 pub struct Fig2Row {

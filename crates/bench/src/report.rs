@@ -1,0 +1,414 @@
+//! Machine-readable bench results: every bench target writes a
+//! `BENCH_<name>.json` next to its table output, so the repo accumulates
+//! a perf trajectory that `machtlb bench-check` can hold against a
+//! committed baseline with a noise envelope.
+//!
+//! The format is deliberately flat — one object per metric, scalar
+//! fields only — so the hand-rolled parser below (no serde in the tree)
+//! stays trivial and the files diff well.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One measured point: a headline number plus the configuration that
+/// produced it and any counters worth tracking over time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchMetric {
+    /// Stable metric name within the bench (e.g. `basic_cost/n256`).
+    pub name: String,
+    /// Machine size the point was measured on.
+    pub cpus: u64,
+    /// Strategy label (e.g. `shootdown`).
+    pub strategy: String,
+    /// Multicast fan-out degree (1 = unicast).
+    pub fanout: u64,
+    /// The headline value, in microseconds (a median unless the bench
+    /// says otherwise in the metric name).
+    pub median_us: f64,
+    /// Counters worth a trajectory (ipis sent, rounds, coalesced...).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchMetric {
+    /// A metric with no counters attached.
+    pub fn new(
+        name: impl Into<String>,
+        cpus: u64,
+        strategy: impl Into<String>,
+        fanout: u64,
+        median_us: f64,
+    ) -> BenchMetric {
+        BenchMetric {
+            name: name.into(),
+            cpus,
+            strategy: strategy.into(),
+            fanout,
+            median_us,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches a counter, builder-style.
+    #[must_use]
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> BenchMetric {
+        self.counters.push((name.into(), value));
+        self
+    }
+}
+
+/// A bench target's full result set, serializable to `BENCH_<name>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// The bench target name (the `<name>` of `BENCH_<name>.json`).
+    pub bench: String,
+    /// Every metric the target measured.
+    pub metrics: Vec<BenchMetric>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchReport {
+    /// An empty report for the named bench.
+    pub fn new(bench: impl Into<String>) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric.
+    pub fn push(&mut self, metric: BenchMetric) {
+        self.metrics.push(metric);
+    }
+
+    /// Serializes to the flat JSON format `parse_report` reads back.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"bench\": \"{}\",", json_escape(&self.bench));
+        let _ = writeln!(s, "  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let counters = m
+                .counters
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"cpus\": {}, \"strategy\": \"{}\", \
+                 \"fanout\": {}, \"median_us\": {:.3}, \"counters\": {{{counters}}}}}{}",
+                json_escape(&m.name),
+                m.cpus,
+                json_escape(&m.strategy),
+                m.fanout,
+                m.median_us,
+                if i + 1 == self.metrics.len() { "" } else { "," },
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes `BENCH_<bench>.json` into `$MACHTLB_BENCH_DIR` (or the
+    /// current directory when unset) and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("MACHTLB_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+// --- a minimal parser for exactly the shape to_json writes ---
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of bench json",
+                c as char, self.i
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.i += 4;
+                        }
+                        _ => return Err("bad escape in bench json".into()),
+                    }
+                    self.i += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+        Err("unterminated string in bench json".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start} of bench json"))
+    }
+
+    fn key(&mut self) -> Result<String, String> {
+        let k = self.string()?;
+        self.eat(b':')?;
+        Ok(k)
+    }
+}
+
+/// Parses a `BENCH_<name>.json` produced by [`BenchReport::to_json`].
+/// Field order matters (the writer is the only producer); unknown keys
+/// are rejected so drift is caught loudly.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let mut c = Cursor {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    c.eat(b'{')?;
+    let mut report = BenchReport::new("");
+    loop {
+        match c.key()?.as_str() {
+            "bench" => report.bench = c.string()?,
+            "metrics" => {
+                c.eat(b'[')?;
+                if c.peek() == Some(b']') {
+                    c.eat(b']')?;
+                } else {
+                    loop {
+                        report.metrics.push(parse_metric(&mut c)?);
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        } else {
+                            c.eat(b']')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?} in bench json")),
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        } else {
+            c.eat(b'}')?;
+            break;
+        }
+    }
+    if report.bench.is_empty() {
+        return Err("bench json missing \"bench\"".into());
+    }
+    Ok(report)
+}
+
+fn parse_metric(c: &mut Cursor<'_>) -> Result<BenchMetric, String> {
+    c.eat(b'{')?;
+    let mut m = BenchMetric::new("", 0, "", 0, 0.0);
+    loop {
+        match c.key()?.as_str() {
+            "name" => m.name = c.string()?,
+            "cpus" => m.cpus = c.number()? as u64,
+            "strategy" => m.strategy = c.string()?,
+            "fanout" => m.fanout = c.number()? as u64,
+            "median_us" => m.median_us = c.number()?,
+            "counters" => {
+                c.eat(b'{')?;
+                if c.peek() == Some(b'}') {
+                    c.eat(b'}')?;
+                } else {
+                    loop {
+                        let k = c.key()?;
+                        let v = c.number()? as u64;
+                        m.counters.push((k, v));
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        } else {
+                            c.eat(b'}')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?} in bench metric")),
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        } else {
+            c.eat(b'}')?;
+            break;
+        }
+    }
+    Ok(m)
+}
+
+/// Holds `current` against `baseline` within a relative noise envelope
+/// on every headline number: a metric regresses when its value drifts
+/// more than `tolerance` (e.g. `0.30` = ±30%) from the baseline, or when
+/// a baseline metric vanished. New metrics (in `current` only) pass —
+/// they are the trajectory growing. Returns human-readable failure
+/// lines; empty means green.
+pub fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    if baseline.bench != current.bench {
+        bad.push(format!(
+            "bench name mismatch: baseline {:?} vs current {:?}",
+            baseline.bench, current.bench
+        ));
+        return bad;
+    }
+    for b in &baseline.metrics {
+        let Some(cur) = current.metrics.iter().find(|m| m.name == b.name) else {
+            bad.push(format!("{}/{}: metric disappeared", baseline.bench, b.name));
+            continue;
+        };
+        let floor = 1e-9;
+        let rel = (cur.median_us - b.median_us).abs() / b.median_us.abs().max(floor);
+        if rel > tolerance {
+            bad.push(format!(
+                "{}/{}: {:.1} us vs baseline {:.1} us ({:+.1}% > ±{:.0}% envelope)",
+                baseline.bench,
+                b.name,
+                cur.median_us,
+                b.median_us,
+                (cur.median_us / b.median_us.abs().max(floor) - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("sec8_scaling");
+        r.push(
+            BenchMetric::new("basic_cost/n256", 256, "shootdown", 1, 5012.25)
+                .counter("ipis_sent", 255)
+                .counter("multicast_rounds", 0),
+        );
+        r.push(BenchMetric::new(
+            "basic_cost/n1024",
+            1024,
+            "shootdown",
+            8,
+            961.5,
+        ));
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = parse_report(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn empty_metrics_round_trip() {
+        let r = BenchReport::new("empty");
+        assert_eq!(parse_report(&r.to_json()).expect("round trip"), r);
+    }
+
+    #[test]
+    fn escapes_survive_the_round_trip() {
+        let mut r = BenchReport::new("weird");
+        r.push(BenchMetric::new("a\"b\\c", 1, "s\u{1}", 1, 1.0));
+        assert_eq!(parse_report(&r.to_json()).expect("round trip"), r);
+    }
+
+    #[test]
+    fn envelope_catches_drift_and_vanished_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
+        // 10% drift passes a 25% envelope, 40% drift does not.
+        cur.metrics[0].median_us = base.metrics[0].median_us * 1.10;
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
+        cur.metrics[0].median_us = base.metrics[0].median_us * 1.40;
+        assert_eq!(compare_reports(&base, &cur, 0.25).len(), 1);
+        // A vanished metric always fails; a new one never does.
+        cur.metrics.remove(0);
+        assert_eq!(compare_reports(&base, &cur, 0.25).len(), 1);
+        cur = sample();
+        cur.push(BenchMetric::new("brand_new", 2, "shootdown", 1, 9.0));
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
+    }
+}

@@ -87,13 +87,21 @@ pub struct EvictionReport {
 }
 
 /// Declares `target` dead and removes it from every set a shootdown
-/// consults: the kernel active and idle sets and every pmap's in-use
-/// set. Bumps the target's health generation (the fenced rejoin's
-/// handshake token), marks it evicted, files an [`EvictionReport`], and
-/// counts the eviction. The caller notifies
-/// [`SYNC_CHANNEL`](crate::SYNC_CHANNEL) in the same step — leaving the
-/// active set and the in-use sets can satisfy other initiators' waits.
-pub fn evict(k: &mut KernelState, initiator: CpuId, target: CpuId, now: Time) {
+/// consults: the kernel active and idle sets, every pmap's in-use set,
+/// and every in-flight multicast round's pending and cleanup sets. Bumps
+/// the target's health generation (the fenced rejoin's handshake token),
+/// marks it evicted, files an [`EvictionReport`], and counts the
+/// eviction. The caller notifies [`SYNC_CHANNEL`](crate::SYNC_CHANNEL) in
+/// the same step — leaving the active set and the in-use sets can satisfy
+/// other initiators' waits — and owes a
+/// [`round_channel`](crate::round_channel) notification for each returned
+/// pmap, whose round's acknowledgement count the excusal drove to zero.
+pub fn evict(
+    k: &mut KernelState,
+    initiator: CpuId,
+    target: CpuId,
+    now: Time,
+) -> Vec<machtlb_pmap::PmapId> {
     k.active.remove(target);
     k.idle.remove(target);
     for i in 0..k.pmaps.len() {
@@ -109,6 +117,7 @@ pub fn evict(k: &mut KernelState, initiator: CpuId, target: CpuId, now: Time) {
         target,
     });
     k.stats.evictions += 1;
+    k.excuse_from_rounds(target)
 }
 
 #[derive(Debug)]

@@ -277,17 +277,25 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
             }
             SwitchPhase::SpinNewLock => {
                 if let Some(new) = self.new {
-                    let (contended, holder, chan) = {
-                        let lock = ctx.shared.kernel().pmaps.get(new).lock();
-                        (
-                            lock.is_locked() && !lock.is_held_by(me),
-                            lock.holder(),
-                            lock.channel(),
-                        )
+                    let (contended, live_holder, chan) = {
+                        let pmap = ctx.shared.kernel().pmaps.get(new);
+                        let contended = pmap.locked_by_other(me);
+                        // Every shard shares the umbrella channel, so any
+                        // blocking holder can be waited for on shard 0's.
+                        let chan = pmap.lock().channel();
+                        // A holder that is still alive (or health tracking is
+                        // off, in which case every holder counts as alive).
+                        let health = ctx.shared.kernel().config.health;
+                        let live = pmap.shards().any(|l| {
+                            l.holder().is_some_and(|h| {
+                                h != me && !(health.enabled && ctx.is_cpu_halted(h))
+                            })
+                        });
+                        (contended, live, chan)
                     };
                     if contended {
                         let health = ctx.shared.kernel().config.health;
-                        if holder.is_some_and(|h| health.enabled && ctx.is_cpu_halted(h)) {
+                        if health.enabled && !live_holder {
                             // A fail-stop holder never releases. The switch
                             // only waits for the in-flight update to settle,
                             // and a dead updater's half-staged work is redone

@@ -310,6 +310,229 @@ mod tests {
     }
 
     #[test]
+    fn multicast_shootdown_reprotect_is_consistent() {
+        let kconfig = KernelConfig {
+            fanout: 4,
+            ..KernelConfig::default()
+        };
+        let mut sc = scenario(8, kconfig, |vpn| PmapOp::Protect {
+            range: PageRange::single(vpn),
+            prot: Prot::READ,
+        });
+        let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent, "all threads fault and stop");
+        let s = sc.m.shared();
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert_eq!(s.stats.shootdowns_user, 1);
+        assert_eq!(s.stats.multicast_rounds, 1);
+        assert_eq!(s.pmaps.get(sc.pmap).table().get(sc.vpn).prot, Prot::READ);
+        assert!(s.mem.read_word(sc.pfn, 0) >= 20);
+    }
+
+    /// Builds an n-cpu machine where `n_ops` operators (cpus 0..n_ops)
+    /// each reprotect a distinct page of the same pmap, triggered by the
+    /// same toucher counter so they collide on the pmap lock.
+    fn batched_scenario(n_cpus: usize, n_ops: usize, kconfig: KernelConfig) -> Scenario {
+        let mut m = build_kernel_machine(n_cpus, 7, CostModel::multimax(), kconfig);
+        let vpn = Vpn::new(0x40);
+        let (pmap, pfn) = {
+            let s = m.shared_mut();
+            let pmap = s.pmaps.create();
+            let pfn = s.frames.alloc();
+            s.seed_mapping(pmap, vpn, pfn, Prot::READ_WRITE);
+            for i in 1..n_ops {
+                let extra = s.frames.alloc();
+                s.seed_mapping(pmap, Vpn::new(0x40 + i as u64), extra, Prot::READ_WRITE);
+            }
+            (pmap, pfn)
+        };
+        for c in n_ops..n_cpus {
+            // Touchers write page i%n_ops so every operator's page is hot
+            // in some TLB when the round fires.
+            let page = Vpn::new(0x40 + ((c - n_ops) % n_ops) as u64);
+            m.spawn_at(
+                CpuId::new(c as u32),
+                Time::ZERO,
+                Box::new(Toucher::new(pmap, page.base())),
+            );
+        }
+        for i in 0..n_ops {
+            let op = PmapOp::Protect {
+                range: PageRange::single(Vpn::new(0x40 + i as u64)),
+                prot: Prot::READ,
+            };
+            m.spawn_at(
+                CpuId::new(i as u32),
+                Time::ZERO,
+                Box::new(Operator::new(pmap, op, pfn, 20)),
+            );
+        }
+        Scenario { m, pmap, vpn, pfn }
+    }
+
+    #[test]
+    fn two_concurrent_initiators_batch_into_one_round() {
+        let kconfig = KernelConfig {
+            fanout: 4,
+            batch_initiators: true,
+            ..KernelConfig::default()
+        };
+        let mut sc = batched_scenario(8, 2, kconfig);
+        let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = sc.m.shared();
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert_eq!(s.stats.initiators_batched, 1, "second initiator joined");
+        assert_eq!(s.stats.multicast_rounds, 1, "one IPI round served both");
+        assert_eq!(s.stats.shootdowns_user, 1);
+        // Both operations were applied under the leader's lock.
+        let table = s.pmaps.get(sc.pmap).table();
+        assert_eq!(table.get(Vpn::new(0x40)).prot, Prot::READ);
+        assert_eq!(table.get(Vpn::new(0x41)).prot, Prot::READ);
+    }
+
+    #[test]
+    fn n_concurrent_initiators_batch_into_one_round() {
+        let n_ops = 4;
+        let kconfig = KernelConfig {
+            fanout: 4,
+            batch_initiators: true,
+            ..KernelConfig::default()
+        };
+        let mut sc = batched_scenario(12, n_ops, kconfig);
+        let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = sc.m.shared();
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert_eq!(
+            s.stats.initiators_batched,
+            (n_ops - 1) as u64,
+            "every follower joined the first round"
+        );
+        assert_eq!(s.stats.multicast_rounds, 1);
+        assert_eq!(s.stats.shootdowns_user, 1);
+        let table = s.pmaps.get(sc.pmap).table();
+        for i in 0..n_ops {
+            assert_eq!(
+                table.get(Vpn::new(0x40 + i as u64)).prot,
+                Prot::READ,
+                "joiner {i}'s page was reprotected before it completed"
+            );
+        }
+    }
+
+    /// Chaos variant of the batched-initiator protocol: halt one of the
+    /// two co-initiators at several instants spread across the healthy
+    /// run. Whatever role the victim held — leader mid-round, joiner
+    /// parked on the lock channel, or bystander — the survivor's
+    /// operation must complete and the oracle must stay clean.
+    #[test]
+    fn halted_co_initiator_never_strands_the_survivor() {
+        use machtlb_sim::{FaultPlan, Halt};
+        let kconfig = || KernelConfig {
+            fanout: 4,
+            batch_initiators: true,
+            watchdog: WatchdogConfig {
+                timeout: machtlb_sim::Dur::millis(5),
+                ..WatchdogConfig::default()
+            },
+            ..KernelConfig::default()
+        };
+        // Fault-free run to learn the timeline; halts land at fractions
+        // of it so the sweep stays meaningful if costs change.
+        let mut healthy = batched_scenario(8, 2, kconfig());
+        let r = healthy
+            .m
+            .run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let t_end = r.frontier;
+        let mut batched_runs = 0u64;
+        for num in [1u32, 2, 3] {
+            let halt_at = Time::from_nanos(t_end.as_nanos() * num as u64 / 4);
+            let mut sc = batched_scenario(8, 2, kconfig());
+            sc.m.install_fault_plan(FaultPlan {
+                halt: Some(Halt {
+                    cpu: CpuId::new(0),
+                    at: halt_at,
+                }),
+                ..FaultPlan::none(SHOOTDOWN_VECTOR)
+            });
+            // A halted toucher's page may never fault its writers, so the
+            // machine need not quiesce: bound by time, generously past the
+            // watchdog horizon, and let the assertions carry the claim.
+            let _ = sc.m.run_bounded(Time::from_micros(200_000), 2_000_000);
+            let s = sc.m.shared();
+            assert!(
+                s.checker.is_consistent(),
+                "halt at {halt_at:?}: violations {:?}",
+                s.checker.violations()
+            );
+            // Cpu1's page was reprotected despite its co-initiator dying.
+            assert_eq!(
+                s.pmaps.get(sc.pmap).table().get(Vpn::new(0x41)).prot,
+                Prot::READ,
+                "halt at {halt_at:?}: survivor's op never landed"
+            );
+            batched_runs += s.stats.initiators_batched;
+        }
+        assert!(
+            batched_runs >= 1,
+            "the sweep must exercise the batched path at least once"
+        );
+    }
+
+    #[test]
+    fn batching_disabled_serializes_initiators() {
+        let kconfig = KernelConfig {
+            fanout: 4,
+            batch_initiators: false,
+            ..KernelConfig::default()
+        };
+        let mut sc = batched_scenario(8, 2, kconfig);
+        let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = sc.m.shared();
+        assert!(s.checker.is_consistent());
+        assert_eq!(s.stats.initiators_batched, 0);
+        assert_eq!(s.stats.multicast_rounds, 2, "two serialized rounds");
+    }
+
+    #[test]
+    fn sharded_multicast_shootdown_is_consistent() {
+        let kconfig = KernelConfig {
+            fanout: 2,
+            pmap_shards: 4,
+            ..KernelConfig::default()
+        };
+        let mut sc = scenario(6, kconfig, |vpn| PmapOp::Remove {
+            range: PageRange::single(vpn),
+        });
+        let r = sc.m.run_bounded(Time::from_micros(1_000_000), 5_000_000);
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let s = sc.m.shared();
+        assert!(
+            s.checker.is_consistent(),
+            "violations: {:?}",
+            s.checker.violations()
+        );
+        assert!(!s.pmaps.get(sc.pmap).table().get(sc.vpn).valid);
+        assert_eq!(s.stats.shootdowns_user, 1);
+        assert_eq!(s.stats.multicast_rounds, 1);
+    }
+
+    #[test]
     fn naive_strategy_violates_consistency() {
         let kconfig = KernelConfig {
             strategy: Strategy::NaiveFlush,

@@ -31,7 +31,8 @@ use machtlb_xpr::{InitiatorRecord, PmapKind, ShootdownEvent, SpanId, TraceEdge, 
 use crate::health::RecoveryPolicy;
 use crate::queue::Action;
 use crate::state::{
-    queue_lock_channel, HasKernel, KernelState, SpinMode, WatchdogReport, SYNC_CHANNEL,
+    queue_lock_channel, round_channel, HasKernel, KernelState, ShootdownRound, SpinMode,
+    WatchdogReport, SYNC_CHANNEL,
 };
 use crate::strategy::Strategy;
 use crate::SHOOTDOWN_VECTOR;
@@ -117,6 +118,22 @@ enum Phase {
     // shoot the remote buffers, one processor a step.
     PreInvalidatePt { applied: usize },
     RemoteInvalidate { next: u32 },
+    // Multicast-round mode (Shootdown strategy with fanout >= 2): publish
+    // the round descriptor, post one tree-fanout IPI, and wait on the
+    // acknowledgement counter instead of walking per-responder queues.
+    PublishRound,
+    MulticastSend,
+    RoundWait,
+    // Leader-side application of batched co-initiators' operations, one
+    // joiner a step (round mode, after the leader's own Apply).
+    ApplyJoiners { idx: usize },
+    // Post-sync queue actions for pmap users outside the round's
+    // acknowledgement set: idle processors and concurrent initiators,
+    // exactly the processors the seed queue scan covers without waiting.
+    RoundEnqueue { idx: usize },
+    // This operation merged into another initiator's open round; wait for
+    // the leader to apply it and report back.
+    Joined,
     Apply,
     Unlock,
 }
@@ -135,6 +152,10 @@ pub struct OpOutcome {
     /// fail-stop halted processor under [`RecoveryPolicy::FailOp`]: the
     /// decoded dead-holder error, for the caller to act on.
     pub dead_lock_holder: Option<CpuId>,
+    /// Whether this operation merged into another initiator's multicast
+    /// round (batched initiators): the leader applied it and this process
+    /// only waited for the result.
+    pub joined: bool,
 }
 
 /// The initiator state machine. See the module docs.
@@ -173,6 +194,28 @@ pub struct PmapOpProcess {
     span: Option<SpanId>,
     /// The trace phase currently open on the initiator's track.
     open: Option<TracePhase>,
+    /// The pmap lock shards this operation's range maps to (ascending;
+    /// `[0]` on an unsharded pmap — the seed whole-pmap lock).
+    shards_needed: Vec<usize>,
+    /// How many of `shards_needed` are currently held (a prefix).
+    shards_held: usize,
+    /// The multicast round this operation leads — or, in
+    /// [`Phase::Joined`], the round it merged into.
+    round_id: Option<u64>,
+    /// Round mode: the post-sync queue-action targets (pmap users outside
+    /// the acknowledgement set), computed once entering
+    /// [`Phase::RoundEnqueue`].
+    fallback_list: Vec<CpuId>,
+    fallback_built: bool,
+    /// The ranges those fallback queue actions must cover: the operation's
+    /// own invalidation range plus every rights-reducing joiner's.
+    fallback_ranges: Vec<PageRange>,
+    /// Per-joiner pages-changed counts, published to
+    /// [`KernelState::join_results`] in the unlock step.
+    joiner_pages: Vec<(CpuId, u64)>,
+    /// The leader's own pages-changed count, snapshotted before joiner
+    /// changes are appended to `changes`.
+    own_pages: Option<u64>,
 }
 
 impl PmapOpProcess {
@@ -198,6 +241,14 @@ impl PmapOpProcess {
             wait_retries: 0,
             span: None,
             open: None,
+            shards_needed: Vec::new(),
+            shards_held: 0,
+            round_id: None,
+            fallback_list: Vec::new(),
+            fallback_built: false,
+            fallback_ranges: Vec::new(),
+            joiner_pages: Vec::new(),
+            own_pages: None,
         }
     }
 
@@ -237,14 +288,11 @@ impl PmapOpProcess {
         }
     }
 
-    /// Plans the page-table changes (computed once, under the lock).
-    fn plan_changes(&mut self, shared: &KernelState) {
-        if self.changes_planned {
-            return;
-        }
-        self.changes_planned = true;
-        let table = shared.pmaps.get(self.pmap_id).table();
-        self.changes = match self.op {
+    /// Plans the page-table changes an operation implies against the
+    /// current table (also used by the round leader for batched joiners'
+    /// operations).
+    fn plan_for(op: PmapOp, table: &machtlb_pmap::PageTable) -> Vec<(Vpn, Pte)> {
+        match op {
             PmapOp::Enter { vpn, pfn, prot } => vec![(vpn, Pte::valid(pfn, prot))],
             PmapOp::Remove { range } => table
                 .valid_in(range)
@@ -270,7 +318,17 @@ impl PmapOpProcess {
                     (vpn, pte)
                 })
                 .collect(),
-        };
+        }
+    }
+
+    /// Plans this operation's page-table changes (computed once, under the
+    /// lock).
+    fn plan_changes(&mut self, shared: &KernelState) {
+        if self.changes_planned {
+            return;
+        }
+        self.changes_planned = true;
+        self.changes = Self::plan_for(self.op, shared.pmaps.get(self.pmap_id).table());
     }
 
     /// The range to invalidate from TLBs (the operation's range, or for
@@ -433,8 +491,14 @@ impl PmapOpProcess {
                 // this and every other initiator completes against the
                 // reduced quorum. Leaving those sets can satisfy other
                 // waiters, hence the sync notification.
-                crate::health::evict(ctx.shared.kernel_mut(), me, cpu, now);
+                let completed = crate::health::evict(ctx.shared.kernel_mut(), me, cpu, now);
                 ctx.notify(SYNC_CHANNEL);
+                for pmap in completed {
+                    // The eviction excused the dead processor from rounds;
+                    // any round it completed owes its leader the wake the
+                    // responder would have sent.
+                    ctx.notify(round_channel(pmap));
+                }
                 cost += ctx.bus_write();
                 if let Some(span) = self.span {
                     ctx.shared.kernel_mut().trace.record_arg(
@@ -456,6 +520,94 @@ impl PmapOpProcess {
             Step::Run(cost)
         }
     }
+
+    /// The round's acknowledgement wait outlived the armed deadline with
+    /// live (active, in-use, non-idle) targets still pending. While retries
+    /// remain, re-send a unicast shootdown IPI to each — the multicast
+    /// delivery may have been lost in the relay tree — and push the
+    /// deadline out by the backed-off timeout; once exhausted, file a
+    /// report per straggler and (with health tracking) evict it, so the
+    /// round completes against the reduced quorum.
+    fn round_watchdog_expired<S: HasKernel>(
+        &mut self,
+        ctx: &mut Ctx<'_, S, ()>,
+        live: &machtlb_pmap::CpuSet,
+        wd: crate::state::WatchdogConfig,
+    ) -> Step {
+        let me = ctx.cpu_id;
+        let now = ctx.now;
+        if self.wait_retries < wd.max_retries {
+            self.wait_retries += 1;
+            self.wait_deadline = Some(now + wd.retry_timeout(self.wait_retries));
+            let mut cost = Dur::ZERO;
+            for cpu in live.iter() {
+                // Re-send regardless of ipi_pending, as the seed watchdog
+                // does: the flag still set is the symptom of the loss.
+                ctx.shared.kernel_mut().ipi_pending[cpu.index()] = true;
+                ctx.send_ipi(cpu, SHOOTDOWN_VECTOR);
+                let stats = &mut ctx.shared.kernel_mut().stats;
+                stats.ipis_sent += 1;
+                stats.ipi_retries += 1;
+                if let Some(span) = self.span {
+                    ctx.shared.kernel_mut().trace.record_arg(
+                        me,
+                        span,
+                        TracePhase::Retry,
+                        TraceEdge::Mark,
+                        now,
+                        cpu.index() as u32,
+                    );
+                }
+                cost += ctx.costs().ipi_send;
+            }
+            return Step::Run(cost);
+        }
+        let health = ctx.shared.kernel().config.health;
+        let retries = self.wait_retries;
+        let mut cost = ctx.costs().local_op;
+        for cpu in live.iter() {
+            {
+                let k = ctx.shared.kernel_mut();
+                k.stats.watchdog_gaveup += 1;
+                k.watchdog_reports.push(WatchdogReport {
+                    at: now,
+                    initiator: me,
+                    target: cpu,
+                    retries,
+                });
+            }
+            if health.enabled {
+                let completed = crate::health::evict(ctx.shared.kernel_mut(), me, cpu, now);
+                ctx.notify(SYNC_CHANNEL);
+                for pmap in completed {
+                    ctx.notify(round_channel(pmap));
+                }
+                cost += ctx.bus_write();
+                if let Some(span) = self.span {
+                    ctx.shared.kernel_mut().trace.record_arg(
+                        me,
+                        span,
+                        TracePhase::Evict,
+                        TraceEdge::Mark,
+                        now,
+                        cpu.index() as u32,
+                    );
+                }
+            } else {
+                // Without health tracking, skip the straggler exactly as
+                // the seed wait would: excuse it and let Phase::RoundEnqueue
+                // hand it a fallback queue action.
+                let k = ctx.shared.kernel_mut();
+                if let Some(r) = k.rounds.iter_mut().find(|r| Some(r.id) == self.round_id) {
+                    r.excuse(cpu);
+                    k.stats.round_excused += 1;
+                }
+            }
+        }
+        self.wait_deadline = None;
+        self.wait_retries = 0;
+        Step::Run(cost)
+    }
 }
 
 impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
@@ -466,6 +618,12 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // s = disable_interrupts(); active[mycpu] = FALSE;
                 self.saved_mask = Some(ctx.set_mask(IntrMask::ALL_BLOCKED));
                 self.t_start = Some(ctx.now);
+                self.shards_needed = ctx
+                    .shared
+                    .kernel()
+                    .pmaps
+                    .get(self.pmap_id)
+                    .shards_for(self.op.range());
                 let strategy = self.strategy(ctx.shared.kernel());
                 let mut cost = ctx.costs().local_op;
                 if strategy.uses_interrupts() {
@@ -482,18 +640,25 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 let event = ctx.shared.kernel().config.spin_mode == SpinMode::Event;
                 let health = ctx.shared.kernel().config.health;
                 let wd_timeout = ctx.shared.kernel().config.watchdog.timeout;
+                // Shards are taken in ascending order (a prefix of
+                // `shards_needed`), so concurrent multi-shard operations
+                // cannot deadlock against each other.
+                let shard = self.shards_needed[self.shards_held];
                 let (acquired, holder, chan) = {
                     let lock = ctx
                         .shared
                         .kernel_mut()
                         .pmaps
                         .get_mut(self.pmap_id)
-                        .lock_mut();
+                        .shard_mut(shard);
                     lock.charge_spins(woken);
                     (lock.try_acquire(me), lock.holder(), lock.channel())
                 };
                 if acquired {
-                    self.phase = Phase::Check;
+                    self.shards_held += 1;
+                    if self.shards_held == self.shards_needed.len() {
+                        self.phase = Phase::Check;
+                    }
                     let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
                     return Step::Run(cost);
                 }
@@ -509,9 +674,18 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             // TLB updates this operation recomputes from
                             // scratch under the stolen lock.
                             let k = ctx.shared.kernel_mut();
-                            k.pmaps.get_mut(self.pmap_id).lock_mut().steal(h, me);
+                            k.pmaps.get_mut(self.pmap_id).shard_mut(shard).steal(h, me);
                             k.stats.locks_stolen += 1;
-                            self.phase = Phase::Check;
+                            // A dead leader's published round will never be
+                            // completed or reclaimed: scrub it, so stalled
+                            // responders find nothing and its joiners (woken
+                            // by their watchdog deadline) retry the lock.
+                            k.rounds
+                                .retain(|r| !(r.pmap == self.pmap_id && r.initiator == h));
+                            self.shards_held += 1;
+                            if self.shards_held == self.shards_needed.len() {
+                                self.phase = Phase::Check;
+                            }
                             return Step::Run(
                                 ctx.costs().lock_acquire + probe + ctx.bus_interlocked(),
                             );
@@ -520,6 +694,22 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             self.outcome.dead_lock_holder = Some(h);
                             let strategy = self.strategy(ctx.shared.kernel());
                             let mut cost = ctx.costs().local_op + probe;
+                            // Release any shards already taken before
+                            // aborting (none on an unsharded pmap: the seed
+                            // path).
+                            if self.shards_held > 0 {
+                                let pmap = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id);
+                                for i in 0..self.shards_held {
+                                    let s = self.shards_needed[i];
+                                    pmap.shard_mut(s).release(me);
+                                }
+                                let chan = pmap.lock().channel();
+                                self.shards_held = 0;
+                                if let Some(chan) = chan {
+                                    ctx.notify(chan);
+                                }
+                                cost += ctx.costs().lock_release + ctx.bus_write();
+                            }
                             if strategy.uses_interrupts() {
                                 // Undo Phase::Begin: rejoin the active set
                                 // before aborting.
@@ -533,6 +723,53 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             return Step::Done(cost);
                         }
                     }
+                }
+                // Batched initiators: a second same-pmap operation arriving
+                // while a multicast round is open merges into it instead of
+                // serializing behind the lock — one IPI round serves both.
+                let joinable = {
+                    let k = ctx.shared.kernel();
+                    if k.config.batch_initiators
+                        && k.config.fanout >= 2
+                        && k.config.strategy == Strategy::Shootdown
+                    {
+                        k.rounds.iter().position(|r| {
+                            r.pmap == self.pmap_id
+                                && !r.frozen
+                                && self.shards_needed.iter().all(|s| r.shards.contains(s))
+                        })
+                    } else {
+                        None
+                    }
+                };
+                let joinable = joinable.filter(|&i| {
+                    let leader = ctx.shared.kernel().rounds[i].initiator;
+                    !(health.enabled && ctx.is_cpu_halted(leader))
+                });
+                if let Some(i) = joinable {
+                    debug_assert_eq!(
+                        self.shards_held, 0,
+                        "a joiner holding shards would deadlock its leader"
+                    );
+                    let op = self.op;
+                    let k = ctx.shared.kernel_mut();
+                    k.join_results[me.index()] = None;
+                    let r = &mut k.rounds[i];
+                    r.joiners.push((me, op));
+                    self.round_id = Some(r.id);
+                    k.stats.initiators_batched += 1;
+                    self.phase = Phase::Joined;
+                    // Wait for the leader's unlock, which publishes the
+                    // result and notifies the pmap lock channel.
+                    let jchan = ctx.shared.kernel().pmaps.get(self.pmap_id).lock().channel();
+                    if let (true, Some(jchan)) = (event, jchan) {
+                        let block = BlockOn::one(jchan, spin);
+                        if health.enabled {
+                            return Step::Block(block.with_deadline(ctx.now + wd_timeout));
+                        }
+                        return Step::Block(block);
+                    }
+                    return Step::Run(spin);
                 }
                 if let (true, Some(chan)) = (event, chan) {
                     let block = BlockOn::one(chan, spin);
@@ -839,6 +1076,398 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 };
                 Step::Run(single * n.max(1) + bus)
             }
+            Phase::PublishRound => {
+                self.trace_begin_span(ctx, TracePhase::QueueActions);
+                // The acknowledgement set: every other active, non-idle
+                // user of the pmap — exactly the processors the seed scan
+                // would wait on. Idle users and concurrent initiators get
+                // queue actions after the sync (Phase::RoundEnqueue).
+                let (targets, words) = {
+                    let k = ctx.shared.kernel();
+                    let mut users = k.pmaps.get(self.pmap_id).in_use().clone();
+                    users.remove(me);
+                    let words = users.word_count() as u32;
+                    (users.intersection(&k.active).difference(&k.idle), words)
+                };
+                let range = self.invalidate_range();
+                let shards = self.shards_needed.clone();
+                let n = targets.len() as u64;
+                let k = ctx.shared.kernel_mut();
+                k.next_round_id += 1;
+                let id = k.next_round_id;
+                k.rounds.push(ShootdownRound {
+                    id,
+                    pmap: self.pmap_id,
+                    initiator: me,
+                    ranges: vec![range],
+                    extras: Vec::new(),
+                    pending: targets.clone(),
+                    remaining: n,
+                    cleanup: targets.clone(),
+                    cleanup_remaining: n,
+                    frozen: false,
+                    unlocked: false,
+                    shards,
+                    joiners: Vec::new(),
+                });
+                k.stats.multicast_rounds += 1;
+                self.round_id = Some(id);
+                self.outcome.shootdown = true;
+                let join_chan = if k.config.batch_initiators {
+                    // Wake initiators parked on the pmap lock: the round
+                    // just opened is joinable, and nothing else notifies
+                    // the lock channel before the unlock.
+                    k.pmaps.get(self.pmap_id).lock().channel()
+                } else {
+                    None
+                };
+                if let Some(span) = self.span {
+                    // Link every target's eventual responder work back to
+                    // this shootdown, as the queue scan does per enqueue.
+                    for c in targets.iter() {
+                        k.trace.set_pending(c, span);
+                    }
+                }
+                self.phase = Phase::MulticastSend;
+                if let Some(chan) = join_chan {
+                    ctx.notify(chan);
+                }
+                // Three whole-set reads form the target set; the descriptor
+                // itself is one composite write of queue-action size.
+                let cost = ctx.costs().cache_read * (3 * words as u64)
+                    + ctx.costs().queue_action
+                    + ctx.bus_write();
+                Step::Run(cost)
+            }
+            Phase::MulticastSend => {
+                self.trace_enter(ctx, TracePhase::IpiSend);
+                // Skip targets with a shootdown IPI already in flight: the
+                // pending interrupt's service routine sees the round and
+                // acknowledges it, so a second delivery is redundant.
+                let send: Vec<CpuId> = {
+                    let k = ctx.shared.kernel();
+                    let r = k
+                        .rounds
+                        .iter()
+                        .find(|r| Some(r.id) == self.round_id)
+                        .expect("the leader's round lives until it unlocks");
+                    r.pending
+                        .iter()
+                        .filter(|c| !k.ipi_pending[c.index()])
+                        .collect()
+                };
+                self.phase = Phase::RoundWait;
+                if send.is_empty() {
+                    return Step::Run(ctx.costs().local_op);
+                }
+                for &c in &send {
+                    ctx.shared.kernel_mut().ipi_pending[c.index()] = true;
+                }
+                let degree = ctx.shared.kernel().config.fanout;
+                let n = send.len();
+                ctx.multicast_ipi(send.clone(), SHOOTDOWN_VECTOR, degree);
+                ctx.shared.kernel_mut().stats.ipis_sent += n as u64;
+                self.send_list.extend(send);
+                if let Some(span) = self.span {
+                    let now = ctx.now;
+                    ctx.shared.kernel_mut().trace.record_arg(
+                        me,
+                        span,
+                        TracePhase::IpiSend,
+                        TraceEdge::Mark,
+                        now,
+                        n as u32,
+                    );
+                }
+                // One descriptor post, regardless of the target count: the
+                // relay tree does the rest off this processor.
+                Step::Run(ctx.costs().ipi_send)
+            }
+            Phase::RoundWait => {
+                self.trace_enter(ctx, TracePhase::SyncWait);
+                let now = ctx.now;
+                let (ridx, remaining) = {
+                    let k = ctx.shared.kernel();
+                    let i = k
+                        .rounds
+                        .iter()
+                        .position(|r| Some(r.id) == self.round_id)
+                        .expect("the leader's round lives until it unlocks");
+                    (i, k.rounds[i].remaining)
+                };
+                if remaining == 0 {
+                    ctx.shared.kernel_mut().rounds[ridx].frozen = true;
+                    self.t_sync_done = Some(now);
+                    self.wait_deadline = None;
+                    self.wait_retries = 0;
+                    self.phase = Phase::Apply;
+                    return Step::Run(ctx.costs().local_op);
+                }
+                // Re-read the sets the wait condition depends on: a pending
+                // target that left the active set (a concurrent initiator),
+                // went idle, or stopped using the pmap no longer owes an
+                // acknowledgement — the seed wait skips such processors
+                // dynamically, and so must the round.
+                let (live, words) = {
+                    let k = ctx.shared.kernel();
+                    let r = &k.rounds[ridx];
+                    let words = k.active.word_count() as u32;
+                    let live = r
+                        .pending
+                        .intersection(&k.active)
+                        .difference(&k.idle)
+                        .intersection(k.pmaps.get(self.pmap_id).in_use());
+                    (live, words)
+                };
+                let scan = ctx.costs().cache_read * (4 * words as u64);
+                if live.is_empty() {
+                    let k = ctx.shared.kernel_mut();
+                    let stragglers: Vec<CpuId> = k.rounds[ridx].pending.iter().collect();
+                    for c in stragglers {
+                        k.rounds[ridx].excuse(c);
+                        k.stats.round_excused += 1;
+                    }
+                    // `remaining` is now zero: the next step freezes the
+                    // round and proceeds to Apply. The excused processors
+                    // are handed queue actions in Phase::RoundEnqueue.
+                    return Step::Run(scan + ctx.costs().local_op);
+                }
+                let wd = ctx.shared.kernel().config.watchdog;
+                if wd.enabled {
+                    let deadline = *self.wait_deadline.get_or_insert(now + wd.timeout);
+                    if now >= deadline {
+                        return self.round_watchdog_expired(ctx, &live, wd);
+                    }
+                }
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                    // The round channel fires exactly once, when the last
+                    // acknowledgement lands. The deadline is a poll: it
+                    // bounds how long an excusable straggler (a processor
+                    // that deactivated after the publish, e.g. a concurrent
+                    // initiator whose latched IPI cannot be serviced while
+                    // it masks interrupts) can hold the round open.
+                    let mut deadline = now + ctx.costs().intr_entry + ctx.costs().ipi_latency * 8;
+                    if let Some(wd_dl) = self.wait_deadline {
+                        if wd_dl < deadline {
+                            deadline = wd_dl;
+                        }
+                    }
+                    Step::Block(
+                        BlockOn::one(round_channel(self.pmap_id), spin).with_deadline(deadline),
+                    )
+                } else {
+                    Step::Run(scan + ctx.costs().spin_iter)
+                }
+            }
+            Phase::ApplyJoiners { idx } => {
+                if self.own_pages.is_none() {
+                    self.own_pages = Some(self.changes.len() as u64);
+                }
+                let joiner = {
+                    let k = ctx.shared.kernel();
+                    k.rounds
+                        .iter()
+                        .find(|r| Some(r.id) == self.round_id)
+                        .expect("the leader's round lives until it unlocks")
+                        .joiners
+                        .get(idx)
+                        .copied()
+                };
+                let Some((cpu, jop)) = joiner else {
+                    self.phase = Phase::RoundEnqueue { idx: 0 };
+                    return Step::Run(ctx.costs().local_op);
+                };
+                // Plan against the *current* table: the leader's own
+                // changes are already in, so the joiner observes them.
+                let jchanges =
+                    Self::plan_for(jop, ctx.shared.kernel().pmaps.get(self.pmap_id).table());
+                let n = jchanges.len();
+                let now = ctx.now;
+                let mut cost = ctx.costs().local_op;
+                for &(vpn, pte) in &jchanges {
+                    cost += ctx.costs().pmap_update_per_page + ctx.bus_write();
+                    let kernel = ctx.shared.kernel_mut();
+                    let old = kernel.pmaps.get(self.pmap_id).table().get(vpn);
+                    kernel.pmaps.get_mut(self.pmap_id).table_mut().set(vpn, pte);
+                    let upgrade = pte.valid
+                        && (!old.valid || (old.pfn == pte.pfn && old.prot.is_subset_of(pte.prot)));
+                    if upgrade {
+                        kernel.checker.commit(self.pmap_id, vpn, pte, now);
+                    }
+                }
+                if jop.may_reduce_rights() && n > 0 {
+                    // The joiner's rights reductions ride the round's
+                    // post-unlock cleanup pass (for acknowledged
+                    // responders) and the fallback queue actions (for
+                    // everyone else).
+                    let jrange = jop
+                        .range()
+                        .unwrap_or_else(|| PageRange::new(Vpn::new(0), machtlb_pmap::VPN_SPAN));
+                    let k = ctx.shared.kernel_mut();
+                    k.rounds
+                        .iter_mut()
+                        .find(|r| Some(r.id) == self.round_id)
+                        .expect("the leader's round lives until it unlocks")
+                        .extras
+                        .push(jrange);
+                    self.fallback_ranges.push(jrange);
+                    cost += ctx.bus_write();
+                }
+                {
+                    let k = ctx.shared.kernel_mut();
+                    k.stats.pmap_ops += 1;
+                    let pmap = k.pmaps.get_mut(self.pmap_id);
+                    match jop {
+                        PmapOp::Enter { .. } => pmap.stats_mut().enters += 1,
+                        PmapOp::Remove { .. } => pmap.stats_mut().removes += 1,
+                        PmapOp::Protect { .. } => pmap.stats_mut().protects += 1,
+                        PmapOp::Destroy => pmap.stats_mut().destroys += 1,
+                        PmapOp::ClearRefBits { .. } => pmap.stats_mut().ref_clears += 1,
+                    }
+                }
+                // The joiner's changes commit with the leader's at Unlock.
+                self.changes.extend(jchanges);
+                self.joiner_pages.push((cpu, n as u64));
+                self.phase = Phase::ApplyJoiners { idx: idx + 1 };
+                Step::Run(cost)
+            }
+            Phase::RoundEnqueue { idx } => {
+                self.trace_enter(ctx, TracePhase::QueueActions);
+                if !self.fallback_built {
+                    self.fallback_built = true;
+                    let k = ctx.shared.kernel();
+                    let r = k
+                        .rounds
+                        .iter()
+                        .find(|r| Some(r.id) == self.round_id)
+                        .expect("the leader's round lives until it unlocks");
+                    self.fallback_list = k
+                        .pmaps
+                        .get(self.pmap_id)
+                        .in_use()
+                        .iter()
+                        .filter(|&c| c != me && !r.cleanup.contains(c))
+                        .collect();
+                    self.fallback_ranges.insert(0, self.invalidate_range());
+                }
+                if let Some(spun) = self.spun_on_queue.take() {
+                    let woken = ctx.woken_spins();
+                    ctx.shared.kernel_mut().queue_locks[spun.index()].charge_spins(woken);
+                }
+                let Some(&cpu) = self.fallback_list.get(idx) else {
+                    self.phase = Phase::Unlock;
+                    return Step::Run(ctx.costs().local_op);
+                };
+                // lock_action_structure(cpu), exactly as the seed scan.
+                if !ctx.shared.kernel_mut().queue_locks[cpu.index()].try_acquire(me) {
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    if ctx.shared.kernel().config.spin_mode == SpinMode::Event {
+                        self.spun_on_queue = Some(cpu);
+                        return Step::Block(BlockOn::two(
+                            queue_lock_channel(cpu),
+                            SYNC_CHANNEL,
+                            spin,
+                        ));
+                    }
+                    return Step::Run(spin);
+                }
+                let mut cost = ctx.costs().lock_acquire
+                    + ctx.costs().lock_release
+                    + ctx.bus_interlocked()
+                    + ctx.bus_write()
+                    + ctx.bus_write();
+                for i in 0..self.fallback_ranges.len() {
+                    let range = self.fallback_ranges[i];
+                    let outcome = ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
+                        pmap: self.pmap_id,
+                        range,
+                    });
+                    if let crate::queue::EnqueueOutcome::Coalesced { avoided_overflow } = outcome {
+                        let stats = &mut ctx.shared.kernel_mut().stats;
+                        stats.actions_coalesced += 1;
+                        if avoided_overflow {
+                            stats.queue_overflows_avoided += 1;
+                        }
+                    }
+                    cost += ctx.costs().queue_action;
+                }
+                ctx.shared.kernel_mut().action_needed[cpu.index()] = true;
+                ctx.shared.kernel_mut().queue_locks[cpu.index()].release(me);
+                ctx.notify(queue_lock_channel(cpu));
+                if let Some(span) = self.span {
+                    ctx.shared.kernel_mut().trace.set_pending(cpu, span);
+                }
+                // Idle processors drain at exit-idle; everyone else (a
+                // concurrent initiator with no interrupt latched) must be
+                // poked or the queued action would never be consumed.
+                if !ctx.shared.kernel_mut().idle.contains(cpu)
+                    && !ctx.shared.kernel_mut().ipi_pending[cpu.index()]
+                {
+                    ctx.shared.kernel_mut().ipi_pending[cpu.index()] = true;
+                    ctx.send_ipi(cpu, SHOOTDOWN_VECTOR);
+                    ctx.shared.kernel_mut().stats.ipis_sent += 1;
+                    self.send_list.push(cpu);
+                    cost += ctx.costs().ipi_send;
+                }
+                self.phase = Phase::RoundEnqueue { idx: idx + 1 };
+                Step::Run(cost)
+            }
+            Phase::Joined => {
+                if let Some(pages) = ctx.shared.kernel_mut().join_results[me.index()].take() {
+                    // The leader applied our operation under its locks. Our
+                    // own TLB is covered by the fallback queue action and
+                    // the latched IPI the leader left us: the service
+                    // routine drains it the moment interrupts re-enable.
+                    self.outcome.pages_changed = pages;
+                    self.outcome.shootdown = true;
+                    self.outcome.joined = true;
+                    ctx.shared.kernel_mut().active.insert(me);
+                    ctx.notify(SYNC_CHANNEL);
+                    if let Some(mask) = self.saved_mask.take() {
+                        ctx.set_mask(mask);
+                    }
+                    return Step::Done(ctx.costs().local_op + ctx.bus_write());
+                }
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let health = ctx.shared.kernel().config.health;
+                let leader = {
+                    let k = ctx.shared.kernel();
+                    k.rounds
+                        .iter()
+                        .find(|r| Some(r.id) == self.round_id)
+                        .map(|r| r.initiator)
+                };
+                let Some(leader) = leader else {
+                    // The round vanished (its leader died and the lock was
+                    // stolen): fall back to ordinary lock contention.
+                    self.round_id = None;
+                    self.phase = Phase::Lock;
+                    return Step::Run(spin);
+                };
+                if health.enabled && ctx.is_cpu_halted(leader) {
+                    // Withdraw the staged join and take the normal
+                    // dead-holder recovery in Phase::Lock.
+                    let k = ctx.shared.kernel_mut();
+                    if let Some(r) = k.rounds.iter_mut().find(|r| Some(r.id) == self.round_id) {
+                        r.joiners.retain(|&(c, _)| c != me);
+                    }
+                    self.round_id = None;
+                    self.phase = Phase::Lock;
+                    return Step::Run(spin + ctx.bus_read());
+                }
+                let event = ctx.shared.kernel().config.spin_mode == SpinMode::Event;
+                let chan = ctx.shared.kernel().pmaps.get(self.pmap_id).lock().channel();
+                if let (true, Some(chan)) = (event, chan) {
+                    let block = BlockOn::one(chan, spin);
+                    if health.enabled {
+                        let wd_timeout = ctx.shared.kernel().config.watchdog.timeout;
+                        return Step::Block(block.with_deadline(ctx.now + wd_timeout));
+                    }
+                    return Step::Block(block);
+                }
+                Step::Run(spin)
+            }
             Phase::Apply => {
                 self.trace_enter(ctx, TracePhase::PmapUpdate);
                 self.plan_changes(ctx.shared.kernel());
@@ -847,7 +1476,13 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 }
                 let remaining = self.changes.len() - self.applied;
                 if remaining == 0 {
-                    self.phase = Phase::Unlock;
+                    // A round leader applies its batched joiners' operations
+                    // before unlocking; joiners themselves never get here.
+                    self.phase = if self.round_id.is_some() {
+                        Phase::ApplyJoiners { idx: 0 }
+                    } else {
+                        Phase::Unlock
+                    };
                     return Step::Run(ctx.costs().local_op);
                 }
                 let chunk = remaining.min(APPLY_CHUNK);
@@ -900,11 +1535,33 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             .commit(self.pmap_id, vpn, pte, now);
                     }
                 }
-                self.outcome.pages_changed = self.changes.len() as u64;
+                self.outcome.pages_changed = self.own_pages.unwrap_or(self.changes.len() as u64);
                 self.outcome.processors_shot = self.send_list.len() as u32;
+                if let Some(id) = self.round_id {
+                    // Publish the round's completion *before* the lock
+                    // release below: the notification wakes the stalled
+                    // responders, who must find the extras list final and
+                    // the unlocked flag set — and the joiners, who must
+                    // find their results.
+                    let k = ctx.shared.kernel_mut();
+                    if let Some(i) = k.rounds.iter().position(|r| r.id == id) {
+                        k.rounds[i].unlocked = true;
+                        if k.rounds[i].cleanup_remaining == 0 {
+                            // Every acknowledged responder was excused or
+                            // evicted: nobody is left to reclaim the round.
+                            k.rounds.swap_remove(i);
+                        }
+                    }
+                    for &(cpu, pages) in &self.joiner_pages {
+                        k.join_results[cpu.index()] = Some(pages);
+                    }
+                }
                 let lock_chan = {
                     let pmap = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id);
-                    pmap.lock_mut().release(me);
+                    for i in 0..self.shards_held {
+                        let s = self.shards_needed[i];
+                        pmap.shard_mut(s).release(me);
+                    }
                     match self.op {
                         PmapOp::Enter { .. } => pmap.stats_mut().enters += 1,
                         PmapOp::Remove { .. } => pmap.stats_mut().removes += 1,
@@ -918,7 +1575,11 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     ctx.notify(chan);
                 }
                 let strategy = self.strategy(ctx.shared.kernel());
-                let mut cost = ctx.costs().lock_release + ctx.bus_write();
+                let mut cost = Dur::ZERO;
+                for _ in 0..self.shards_held {
+                    cost += ctx.costs().lock_release + ctx.bus_write();
+                }
+                self.shards_held = 0;
                 if strategy.uses_interrupts() {
                     ctx.shared.kernel_mut().active.insert(me);
                     cost += ctx.bus_write();
@@ -970,6 +1631,15 @@ impl PmapOpProcess {
             Strategy::HardwareRemoteInvalidate => {
                 if others_using {
                     Phase::PreInvalidatePt { applied: 0 }
+                } else {
+                    Phase::Apply
+                }
+            }
+            // Fanout mode: one published round descriptor and a single
+            // multicast post replace the per-responder queue walk.
+            Strategy::Shootdown if shared.config.fanout >= 2 => {
+                if others_using {
+                    Phase::PublishRound
                 } else {
                     Phase::Apply
                 }

@@ -7,7 +7,9 @@ use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{ResponderRecord, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
 use crate::queue::Action;
-use crate::state::{queue_lock_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL};
+use crate::state::{
+    queue_lock_channel, round_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL,
+};
 
 /// Result of stepping an embedded [`DrainQueue`].
 #[derive(Debug)]
@@ -101,19 +103,15 @@ impl DrainQueue {
     }
 
     /// Whether any pmap this processor might hold entries for is being
-    /// updated by *another* processor.
+    /// updated by *another* processor (any shard of either lock suffices:
+    /// the responder cannot know which ranges the updates touch).
     fn must_spin<S: HasKernel>(ctx: &Ctx<'_, S, ()>) -> bool {
         let me = ctx.cpu_id;
-        let kernel_locked = {
-            let lock = ctx.shared.kernel().pmaps.kernel().lock();
-            lock.is_locked() && !lock.is_held_by(me)
-        };
-        if kernel_locked {
+        if ctx.shared.kernel().pmaps.kernel().locked_by_other(me) {
             return true;
         }
         if let Some(user) = ctx.shared.kernel().cur_user_pmap[me.index()] {
-            let lock = ctx.shared.kernel().pmaps.get(user).lock();
-            if lock.is_locked() && !lock.is_held_by(me) {
+            if ctx.shared.kernel().pmaps.get(user).locked_by_other(me) {
                 return true;
             }
         }
@@ -272,6 +270,12 @@ impl DrainQueue {
 enum RPhase {
     Enter,
     Deactivate,
+    // Multicast-round mode: acknowledge each round naming this processor
+    // (invalidate its ranges, decrement its counter), stall until the
+    // leaders unlock, then run the post-unlock cleanup pass.
+    RoundAck,
+    RoundStall,
+    RoundCleanup,
     Draining,
     Reactivate,
     Exit,
@@ -292,6 +296,9 @@ pub struct ResponderProcess {
     /// The span of the drain just completed, carried to the reactivation
     /// step so the rejoin mark lands on the right shootdown.
     span: Option<SpanId>,
+    /// Round ids this responder acknowledged and still owes a post-unlock
+    /// cleanup pass.
+    acked: Vec<u64>,
 }
 
 impl ResponderProcess {
@@ -302,6 +309,7 @@ impl ResponderProcess {
             t_start: None,
             drain: None,
             span: None,
+            acked: Vec::new(),
         }
     }
 }
@@ -321,7 +329,9 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                     self.t_start = Some(ctx.now);
                     ctx.shared.kernel_mut().ipi_pending[me.index()] = false;
                 }
-                if ctx.shared.kernel_mut().action_needed[me.index()] {
+                if ctx.shared.kernel_mut().action_needed[me.index()]
+                    || ctx.shared.kernel().round_pending_for(me)
+                {
                     self.phase = RPhase::Deactivate;
                 } else {
                     self.phase = RPhase::Exit;
@@ -333,8 +343,186 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 ctx.notify(SYNC_CHANNEL);
                 let stall = ctx.shared.kernel_mut().config.strategy.responders_stall();
                 self.drain = Some(DrainQueue::new(stall));
-                self.phase = RPhase::Draining;
+                self.phase = if ctx.shared.kernel().round_pending_for(me) {
+                    RPhase::RoundAck
+                } else {
+                    RPhase::Draining
+                };
                 Step::Run(ctx.costs().local_op + ctx.bus_write())
+            }
+            RPhase::RoundAck => {
+                // Acknowledge the next round naming this processor, one a
+                // step: invalidate its ranges from the local TLB, then
+                // decrement the counter the leader waits on.
+                let found = {
+                    let k = ctx.shared.kernel();
+                    k.rounds
+                        .iter()
+                        .find(|r| r.pending.contains(me))
+                        .map(|r| (r.id, r.pmap, r.ranges.clone()))
+                };
+                let Some((id, pmap, ranges)) = found else {
+                    self.phase = RPhase::RoundStall;
+                    return Step::Run(ctx.costs().local_op);
+                };
+                let tagged = ctx.shared.kernel().config.tlb.asid_tagged;
+                let current = ctx.shared.kernel().cur_user_pmap[me.index()];
+                let single = ctx.costs().tlb_invalidate_single;
+                let flush = ctx.costs().tlb_flush_all;
+                let mut cost = Dur::ZERO;
+                let mut leave_cleanup = false;
+                if tagged && !pmap.is_kernel() && current != Some(pmap) {
+                    // Section 10: flush every entry of an address space this
+                    // processor is not executing in and stop counting the
+                    // pmap as in use. Nothing can be re-cached afterwards,
+                    // so the post-unlock cleanup pass is unnecessary too.
+                    let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(pmap);
+                    ctx.shared
+                        .kernel_mut()
+                        .pmaps
+                        .get_mut(pmap)
+                        .mark_not_in_use(me);
+                    ctx.notify(SYNC_CHANNEL);
+                    cost += single * n.max(1);
+                    leave_cleanup = true;
+                } else {
+                    for range in ranges {
+                        let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
+                        match tlb.plan_invalidation(range) {
+                            InvalidationPlan::Individual(n) => {
+                                tlb.invalidate_range(pmap, range);
+                                cost += single * n;
+                            }
+                            InvalidationPlan::FullFlush => {
+                                tlb.flush_all();
+                                cost += flush;
+                            }
+                        }
+                    }
+                }
+                let completed = {
+                    let k = ctx.shared.kernel_mut();
+                    let r = k
+                        .rounds
+                        .iter_mut()
+                        .find(|r| r.id == id)
+                        .expect("round cannot vanish within a step");
+                    let mut completed = false;
+                    if r.pending.remove(me) {
+                        r.remaining -= 1;
+                        completed = r.remaining == 0;
+                    }
+                    if leave_cleanup && r.cleanup.remove(me) {
+                        r.cleanup_remaining -= 1;
+                    }
+                    completed
+                };
+                if !leave_cleanup {
+                    self.acked.push(id);
+                }
+                if completed {
+                    // The acknowledgement that drives the count to zero
+                    // wakes the leader — the round protocol's only
+                    // notification, however many responders it spans.
+                    ctx.notify(round_channel(pmap));
+                }
+                cost += ctx.bus_interlocked();
+                Step::Run(cost)
+            }
+            RPhase::RoundStall => {
+                // Figure 1's responder stall, held against the rounds'
+                // pmaps: spin until every acknowledged leader unlocks (and
+                // its extras list is final).
+                let (stalled, chans) = {
+                    let k = ctx.shared.kernel();
+                    let mut chans = Vec::new();
+                    let mut stalled = false;
+                    for &id in &self.acked {
+                        if let Some(r) = k.rounds.iter().find(|r| r.id == id) {
+                            if !r.unlocked {
+                                stalled = true;
+                                if let Some(c) = k.pmaps.get(r.pmap).lock().channel() {
+                                    chans.push(c);
+                                }
+                            }
+                        }
+                    }
+                    (stalled, chans)
+                };
+                if !stalled {
+                    self.phase = RPhase::RoundCleanup;
+                    return Step::Run(ctx.costs().local_op);
+                }
+                let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                let kernel = ctx.shared.kernel();
+                if kernel.config.spin_mode == SpinMode::Event && !chans.is_empty() {
+                    let block = match chans.len() {
+                        1 => BlockOn::one(chans[0], spin),
+                        _ => BlockOn::two(chans[0], chans[1], spin),
+                    };
+                    if kernel.config.health.enabled {
+                        // A dead leader never unlocks; wake at the watchdog
+                        // timeout so a stolen (scrubbed) round is noticed.
+                        let deadline = ctx.now + kernel.config.watchdog.timeout;
+                        return Step::Block(block.with_deadline(deadline));
+                    }
+                    return Step::Block(block);
+                }
+                Step::Run(spin)
+            }
+            RPhase::RoundCleanup => {
+                let Some(&id) = self.acked.first() else {
+                    // Every acknowledged round cleaned: continue with the
+                    // ordinary queue drain (unicast-path work may also be
+                    // pending).
+                    self.phase = RPhase::Draining;
+                    return Step::Run(ctx.costs().local_op);
+                };
+                let Some(i) = ctx.shared.kernel().rounds.iter().position(|r| r.id == id) else {
+                    // Scrubbed by a lock stealer; nothing left to clean.
+                    self.acked.remove(0);
+                    return Step::Run(ctx.costs().local_op);
+                };
+                if !ctx.shared.kernel().rounds[i].unlocked {
+                    // Another acknowledged round unlocked first: stall
+                    // until this one does too.
+                    self.phase = RPhase::RoundStall;
+                    return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                }
+                let (pmap, extras) = {
+                    let r = &ctx.shared.kernel().rounds[i];
+                    (r.pmap, r.extras.clone())
+                };
+                let single = ctx.costs().tlb_invalidate_single;
+                let flush = ctx.costs().tlb_flush_all;
+                let mut cost = ctx.costs().local_op;
+                for range in extras {
+                    let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
+                    match tlb.plan_invalidation(range) {
+                        InvalidationPlan::Individual(n) => {
+                            tlb.invalidate_range(pmap, range);
+                            cost += single * n;
+                        }
+                        InvalidationPlan::FullFlush => {
+                            tlb.flush_all();
+                            cost += flush;
+                        }
+                    }
+                }
+                {
+                    let k = ctx.shared.kernel_mut();
+                    let r = &mut k.rounds[i];
+                    if r.cleanup.remove(me) {
+                        r.cleanup_remaining -= 1;
+                        if r.cleanup_remaining == 0 {
+                            // Last responder out reclaims the round.
+                            k.rounds.swap_remove(i);
+                        }
+                    }
+                }
+                self.acked.remove(0);
+                cost += ctx.bus_interlocked();
+                Step::Run(cost)
             }
             RPhase::Draining => {
                 let drain = self.drain.as_mut().expect("drain set in Deactivate");

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use machtlb_pmap::{CpuSet, Pfn, Pmap, PmapId};
+use machtlb_pmap::{CpuSet, PageRange, Pfn, Pmap, PmapId};
 use machtlb_sim::{CpuId, SpinLock, WaitChannel};
 use machtlb_tlb::{Tlb, TlbConfig};
 use machtlb_xpr::{FlightRecorder, ShootdownEvent, XprBuffer};
@@ -58,6 +58,79 @@ pub fn queue_lock_channel(cpu: CpuId) -> WaitChannel {
 /// drops a pmap from its in-use set — the writes the initiator-side
 /// `Phase::Wait` and responder-side drain loops re-check on.
 pub const SYNC_CHANNEL: WaitChannel = WaitChannel::new(0x3_0000_0000);
+
+/// The wait channel a multicast shootdown round on `pmap` completes on
+/// (`0x4` key space): notified exactly once, by the responder whose
+/// acknowledgement drives the round's remaining-count to zero — so the
+/// initiator parked on it wakes O(1) times regardless of the round's size.
+pub fn round_channel(pmap: PmapId) -> WaitChannel {
+    WaitChannel::new(0x4_0000_0000 | u64::from(pmap.raw()))
+}
+
+/// One in-flight multicast shootdown round: the descriptor a fanout-mode
+/// initiator publishes instead of walking every responder's action queue.
+/// Responders named in [`ShootdownRound::pending`] invalidate
+/// [`ShootdownRound::ranges`] from their own TLBs, acknowledge by
+/// decrementing [`ShootdownRound::remaining`], and stall on the pmap lock;
+/// after the leader unlocks they invalidate any [`ShootdownRound::extras`]
+/// merged in by batched co-initiators, and the last one reclaims the round.
+#[derive(Clone, Debug)]
+pub struct ShootdownRound {
+    /// Round identity (monotone across the run; responders re-find the
+    /// round by id after their stall).
+    pub id: u64,
+    /// The pmap under shootdown.
+    pub pmap: PmapId,
+    /// The leading initiator.
+    pub initiator: CpuId,
+    /// Ranges every responder must invalidate before acknowledging.
+    pub ranges: Vec<PageRange>,
+    /// Ranges merged by batched joiners at the freeze point; responders
+    /// invalidate them after the leader unlocks, before resuming.
+    pub extras: Vec<PageRange>,
+    /// Responders whose acknowledgement the leader still awaits.
+    pub pending: CpuSet,
+    /// Unacknowledged responder count (the leader's wait condition).
+    pub remaining: u64,
+    /// Responders that still owe their post-unlock cleanup pass.
+    pub cleanup: CpuSet,
+    /// Outstanding cleanup count; the responder that drives it to zero
+    /// removes the round from the registry.
+    pub cleanup_remaining: u64,
+    /// Once frozen, late same-pmap initiators can no longer join the
+    /// round and fall back to ordinary lock contention.
+    pub frozen: bool,
+    /// Set by the leader in its unlock step, before the lock-channel
+    /// notification wakes the stalled responders: tells them the extras
+    /// list is final and cleanup may proceed.
+    pub unlocked: bool,
+    /// The pmap lock shards the leader holds for the round's duration. A
+    /// joiner may merge only if its own shard set is a subset: the leader
+    /// applies the joiner's update under these locks.
+    pub shards: Vec<usize>,
+    /// Batched co-initiators: who joined, and the operation the leader
+    /// applies on their behalf.
+    pub joiners: Vec<(CpuId, crate::op::PmapOp)>,
+}
+
+impl ShootdownRound {
+    /// Excuses `cpu` from the round: clears its pending and cleanup
+    /// memberships and adjusts the counters. Returns whether the
+    /// acknowledgement count reached zero *by this excusal* (the caller
+    /// then owes the round-channel notification the responder would have
+    /// sent).
+    pub fn excuse(&mut self, cpu: CpuId) -> bool {
+        let mut completed = false;
+        if self.pending.remove(cpu) {
+            self.remaining -= 1;
+            completed = self.remaining == 0;
+        }
+        if self.cleanup.remove(cpu) {
+            self.cleanup_remaining -= 1;
+        }
+        completed
+    }
+}
 
 /// Initiator-side watchdog parameters: how long `Phase::Wait` waits for a
 /// responder to leave the active set before re-sending its IPI, and how
@@ -169,6 +242,23 @@ pub struct KernelConfig {
     /// The fail-stop health monitor: dead-responder eviction, dead-holder
     /// lock recovery, and the fenced rejoin protocol.
     pub health: HealthConfig,
+    /// Shootdown IPI fan-out degree. `1` (the default) is the seed unicast
+    /// loop, bit-identical to the pre-fanout kernel; `k >= 2` posts one
+    /// multicast descriptor whose `k`-ary relay tree delivers in
+    /// O(k·log_k n) hops, and switches the initiator to the published
+    /// round protocol (descriptor + counter acknowledgement) so its own
+    /// work stays sub-linear too. Only [`Strategy::Shootdown`] uses it.
+    pub fanout: usize,
+    /// Whether a second initiator arriving on an already-shooting pmap
+    /// merges its operation into the open round (leader applies it and
+    /// reports back through the pmap lock channel) instead of queueing
+    /// behind the lock. Requires `fanout >= 2` to have any effect.
+    pub batch_initiators: bool,
+    /// Number of range shards each pmap lock is split into. `1` (the
+    /// default) is the seed whole-pmap lock; more shards let operations on
+    /// disjoint ranges of one pmap update concurrently, each shard with
+    /// its own steal generation for per-shard fence-and-steal recovery.
+    pub pmap_shards: usize,
 }
 
 impl Default for KernelConfig {
@@ -187,6 +277,9 @@ impl Default for KernelConfig {
             spin_mode: SpinMode::default(),
             watchdog: WatchdogConfig::default(),
             health: HealthConfig::default(),
+            fanout: 1,
+            batch_initiators: false,
+            pmap_shards: 1,
         }
     }
 }
@@ -237,6 +330,15 @@ pub struct KernelStats {
     /// Locks forcibly transferred away from fail-stop holders under
     /// [`RecoveryPolicy::FenceAndSteal`](crate::RecoveryPolicy::FenceAndSteal).
     pub locks_stolen: u64,
+    /// Multicast shootdown rounds published (fanout mode only).
+    pub multicast_rounds: u64,
+    /// Initiators whose operation merged into another initiator's open
+    /// round instead of serializing behind the pmap lock.
+    pub initiators_batched: u64,
+    /// Round targets excused mid-wait because they had left the active set
+    /// (concurrent initiators, processors going idle); each was handed a
+    /// fallback queue action instead.
+    pub round_excused: u64,
 }
 
 /// Physical memory contents: 64-bit words, allocated per frame on first
@@ -324,11 +426,12 @@ impl Default for FrameAllocator {
 pub struct PmapRegistry {
     pmaps: Vec<Pmap>,
     n_cpus: usize,
+    n_shards: usize,
 }
 
 impl PmapRegistry {
-    fn new(n_cpus: usize) -> PmapRegistry {
-        let mut kernel = Pmap::new(PmapId::KERNEL, n_cpus);
+    fn new(n_cpus: usize, n_shards: usize) -> PmapRegistry {
+        let mut kernel = Pmap::with_shards(PmapId::KERNEL, n_cpus, n_shards);
         // The kernel is "a multi-threaded task that is potentially
         // executing on all processors" (Section 2): its pmap is always in
         // use everywhere.
@@ -338,13 +441,15 @@ impl PmapRegistry {
         PmapRegistry {
             pmaps: vec![kernel],
             n_cpus,
+            n_shards,
         }
     }
 
     /// Creates a new user pmap and returns its id.
     pub fn create(&mut self) -> PmapId {
         let id = PmapId::new(self.pmaps.len() as u32);
-        self.pmaps.push(Pmap::new(id, self.n_cpus));
+        self.pmaps
+            .push(Pmap::with_shards(id, self.n_cpus, self.n_shards));
         id
     }
 
@@ -477,6 +582,16 @@ pub struct KernelState {
     pub health_gen: Vec<u64>,
     /// Evictions performed by the health monitor, in filing order.
     pub eviction_reports: Vec<EvictionReport>,
+    /// In-flight multicast shootdown rounds (fanout mode). Small by
+    /// construction: at most one open round per contended pmap, reclaimed
+    /// by the last responder's cleanup pass.
+    pub rounds: Vec<ShootdownRound>,
+    /// Round id allocator.
+    pub next_round_id: u64,
+    /// Per-processor batched-join results: the leader stores the joiner's
+    /// pages-changed count here before notifying the pmap lock channel;
+    /// the joiner takes it as its completion signal.
+    pub join_results: Vec<Option<u64>>,
 }
 
 impl KernelState {
@@ -494,9 +609,11 @@ impl KernelState {
         if let Err(e) = config.strategy.check_hardware(&config.tlb) {
             panic!("invalid kernel configuration: {e}");
         }
+        assert!(config.fanout >= 1, "fanout degree must be at least 1");
+        assert!(config.pmap_shards >= 1, "pmap_shards must be at least 1");
         KernelState {
             n_cpus,
-            pmaps: PmapRegistry::new(n_cpus),
+            pmaps: PmapRegistry::new(n_cpus, config.pmap_shards),
             tlbs: (0..n_cpus).map(|_| Tlb::new(config.tlb)).collect(),
             active: CpuSet::new(n_cpus),
             idle: CpuSet::full(n_cpus),
@@ -525,8 +642,40 @@ impl KernelState {
             evicted: vec![false; n_cpus],
             health_gen: vec![0; n_cpus],
             eviction_reports: Vec::new(),
+            rounds: Vec::new(),
+            next_round_id: 0,
+            join_results: vec![None; n_cpus],
             config,
         }
+    }
+
+    /// Whether any in-flight multicast round still awaits `cpu`'s
+    /// acknowledgement (the responder's "work for me?" test alongside the
+    /// action-needed flag).
+    pub fn round_pending_for(&self, cpu: CpuId) -> bool {
+        self.rounds.iter().any(|r| r.pending.contains(cpu))
+    }
+
+    /// Excuses `cpu` from every in-flight round (eviction, or a target
+    /// that left the active set). Returns the pmaps of rounds whose
+    /// acknowledgement count this drove to zero — the caller owes each a
+    /// [`round_channel`] notification — and reclaims rounds whose cleanup
+    /// count emptied.
+    pub fn excuse_from_rounds(&mut self, cpu: CpuId) -> Vec<PmapId> {
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < self.rounds.len() {
+            let r = &mut self.rounds[i];
+            if r.excuse(cpu) {
+                completed.push(r.pmap);
+            }
+            if r.unlocked && r.cleanup_remaining == 0 {
+                self.rounds.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        completed
     }
 
     /// Commits every pending change all processors have flushed past

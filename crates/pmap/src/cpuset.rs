@@ -128,6 +128,48 @@ impl CpuSet {
     pub fn any_other_than(&self, cpu: CpuId) -> bool {
         self.iter().any(|c| c != cpu)
     }
+
+    /// Number of 64-bit words backing the set: the unit multicast-round
+    /// publishers charge for whole-set scans.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The members present in both sets (word-parallel and).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersection(&self, other: &CpuSet) -> CpuSet {
+        assert_eq!(self.capacity, other.capacity, "CpuSet capacity mismatch");
+        CpuSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// The members of `self` absent from `other` (word-parallel and-not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn difference(&self, other: &CpuSet) -> CpuSet {
+        assert_eq!(self.capacity, other.capacity, "CpuSet capacity mismatch");
+        CpuSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
 }
 
 impl fmt::Debug for CpuSet {
@@ -202,6 +244,23 @@ mod tests {
         assert!(!s.any_other_than(CpuId::new(2)));
         s.insert(CpuId::new(3));
         assert!(s.any_other_than(CpuId::new(2)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = CpuSet::new(128);
+        let mut b = CpuSet::new(128);
+        for i in [0u32, 1, 2, 64] {
+            a.insert(CpuId::new(i));
+        }
+        for i in [1u32, 64, 100] {
+            b.insert(CpuId::new(i));
+        }
+        let both = a.intersection(&b);
+        assert_eq!(both.iter().map(|c| c.index()).collect::<Vec<_>>(), [1, 64]);
+        let only_a = a.difference(&b);
+        assert_eq!(only_a.iter().map(|c| c.index()).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(a.word_count(), 2);
     }
 
     #[test]

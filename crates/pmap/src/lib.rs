@@ -38,7 +38,7 @@ mod table;
 
 pub use addr::{Paddr, PageRange, Pfn, Vaddr, Vpn, PAGE_SHIFT, PAGE_SIZE, VPN_BITS, VPN_SPAN};
 pub use cpuset::CpuSet;
-pub use pmap::{Pmap, PmapId, PmapStats};
+pub use pmap::{Pmap, PmapId, PmapStats, SHARD_GRANULE};
 pub use prot::{Access, Prot};
 pub use pte::Pte;
 pub use table::{PageTable, ValidIn, LEAF_ENTRIES, ROOT_ENTRIES};

@@ -11,8 +11,16 @@ use std::fmt;
 
 use machtlb_sim::{CpuId, SpinLock, WaitChannel};
 
+use crate::addr::PageRange;
 use crate::cpuset::CpuSet;
 use crate::table::PageTable;
+
+/// Pages per lock shard: a shard covers every `SHARD_GRANULE`-page block
+/// whose index is congruent to the shard number modulo the shard count.
+/// Coarse enough that a typical operation's range lands in one shard, fine
+/// enough that independent regions of a large address space hash to
+/// different shards.
+pub const SHARD_GRANULE: u64 = 64;
 
 /// A pmap identifier. Id 0 is the kernel pmap, which is "potentially
 /// executing on all processors of a multiprocessor" (Section 2).
@@ -80,18 +88,35 @@ pub struct PmapStats {
 pub struct Pmap {
     id: PmapId,
     table: PageTable,
-    lock: SpinLock,
+    /// The pmap lock, split into `n_shards` independent range shards.
+    /// Shard 0 doubles as "the pmap lock" for single-shard configurations
+    /// (the seed behavior); every shard notifies the same umbrella wait
+    /// channel, so waiters re-check on any shard's release.
+    shards: Vec<SpinLock>,
     in_use: CpuSet,
     stats: PmapStats,
 }
 
 impl Pmap {
-    /// Creates an empty pmap for a machine with `n_cpus` processors.
+    /// Creates an empty pmap with a single lock shard (the seed layout).
     pub fn new(id: PmapId, n_cpus: usize) -> Pmap {
+        Pmap::with_shards(id, n_cpus, 1)
+    }
+
+    /// Creates an empty pmap whose lock is split into `n_shards` range
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn with_shards(id: PmapId, n_cpus: usize, n_shards: usize) -> Pmap {
+        assert!(n_shards >= 1, "a pmap needs at least one lock shard");
         Pmap {
             id,
             table: PageTable::new(),
-            lock: SpinLock::new().on_channel(Pmap::lock_channel(id)),
+            shards: (0..n_shards)
+                .map(|_| SpinLock::new().on_channel(Pmap::lock_channel(id)))
+                .collect(),
             in_use: CpuSet::new(n_cpus),
             stats: PmapStats::default(),
         }
@@ -120,14 +145,79 @@ impl Pmap {
         &mut self.table
     }
 
-    /// The exclusive pmap lock.
+    /// The exclusive pmap lock — shard 0, which for single-shard pmaps
+    /// (the default) is the whole lock. Callers that respect ranges should
+    /// use [`Pmap::shard`] with [`Pmap::shards_for`] instead.
     pub fn lock(&self) -> &SpinLock {
-        &self.lock
+        &self.shards[0]
     }
 
-    /// Mutable access to the lock (to acquire/release it).
+    /// Mutable access to shard 0 (to acquire/release it).
     pub fn lock_mut(&mut self) -> &mut SpinLock {
-        &mut self.lock
+        &mut self.shards[0]
+    }
+
+    /// Number of lock shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lock shard with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &SpinLock {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to a lock shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_mut(&mut self, shard: usize) -> &mut SpinLock {
+        &mut self.shards[shard]
+    }
+
+    /// Iterates over every lock shard.
+    pub fn shards(&self) -> impl Iterator<Item = &SpinLock> {
+        self.shards.iter()
+    }
+
+    /// The ascending list of shard indices an operation on `range` must
+    /// hold. `None` (a whole-pmap operation, e.g. destroy) and any range
+    /// wide enough to touch every shard return all of them. Single-shard
+    /// pmaps always return `[0]`.
+    pub fn shards_for(&self, range: Option<PageRange>) -> Vec<usize> {
+        let n = self.shards.len();
+        if n == 1 {
+            return vec![0];
+        }
+        let Some(range) = range else {
+            return (0..n).collect();
+        };
+        if range.is_empty() {
+            return vec![0];
+        }
+        let first = range.start().raw() / SHARD_GRANULE;
+        let last = (range.end().raw() - 1) / SHARD_GRANULE;
+        if last - first + 1 >= n as u64 {
+            return (0..n).collect();
+        }
+        let mut hit = vec![false; n];
+        for block in first..=last {
+            hit[(block % n as u64) as usize] = true;
+        }
+        (0..n).filter(|&s| hit[s]).collect()
+    }
+
+    /// Whether any shard of the pmap lock is held by a processor other than
+    /// `me` — the responder's "pmap is being updated elsewhere" stall test.
+    pub fn locked_by_other(&self, me: CpuId) -> bool {
+        self.shards
+            .iter()
+            .any(|l| l.is_locked() && !l.is_held_by(me))
     }
 
     /// The set of processors currently using this pmap.
@@ -174,7 +264,7 @@ impl fmt::Debug for Pmap {
         f.debug_struct("Pmap")
             .field("id", &self.id)
             .field("valid_count", &self.table.valid_count())
-            .field("lock", &self.lock)
+            .field("shards", &self.shards)
             .field("in_use", &self.in_use)
             .field("stats", &self.stats)
             .finish()
@@ -204,6 +294,58 @@ mod tests {
         assert_eq!(p.in_use().len(), 2);
         p.mark_not_in_use(CpuId::new(1));
         assert!(!p.in_use().contains(CpuId::new(1)));
+    }
+
+    #[test]
+    fn single_shard_pmap_is_the_seed_layout() {
+        let p = Pmap::new(PmapId::new(1), 4);
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.shards_for(None), vec![0]);
+        assert_eq!(
+            p.shards_for(Some(PageRange::new(Vpn::new(0), 1 << 18))),
+            vec![0]
+        );
+        assert_eq!(p.lock().channel(), Some(Pmap::lock_channel(PmapId::new(1))));
+    }
+
+    #[test]
+    fn shards_for_partitions_by_granule() {
+        let p = Pmap::with_shards(PmapId::new(1), 4, 4);
+        // One granule-sized block maps to exactly one shard.
+        let r0 = PageRange::new(Vpn::new(0), SHARD_GRANULE);
+        assert_eq!(p.shards_for(Some(r0)), vec![0]);
+        let r1 = PageRange::new(Vpn::new(SHARD_GRANULE), 1);
+        assert_eq!(p.shards_for(Some(r1)), vec![1]);
+        // A range straddling two blocks needs both shards, ascending.
+        let straddle = PageRange::new(Vpn::new(SHARD_GRANULE - 1), 2);
+        assert_eq!(p.shards_for(Some(straddle)), vec![0, 1]);
+        // Whole-pmap operations and huge ranges take every shard.
+        assert_eq!(p.shards_for(None), vec![0, 1, 2, 3]);
+        let huge = PageRange::new(Vpn::new(0), SHARD_GRANULE * 9);
+        assert_eq!(p.shards_for(Some(huge)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shards_share_the_umbrella_channel_but_steal_independently() {
+        let mut p = Pmap::with_shards(PmapId::new(2), 4, 2);
+        let chan = Pmap::lock_channel(PmapId::new(2));
+        assert!(p.shards().all(|l| l.channel() == Some(chan)));
+        assert!(p.shard_mut(0).try_acquire(CpuId::new(1)));
+        assert!(p.shard_mut(1).try_acquire(CpuId::new(2)));
+        assert!(p.locked_by_other(CpuId::new(3)));
+        // Stealing shard 1 bumps only shard 1's generation.
+        p.shard_mut(1).steal(CpuId::new(2), CpuId::new(3));
+        assert_eq!(p.shard(0).steal_gen(), 0);
+        assert_eq!(p.shard(1).steal_gen(), 1);
+        p.shard_mut(0).release(CpuId::new(1));
+        p.shard_mut(1).release(CpuId::new(3));
+        assert!(!p.locked_by_other(CpuId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lock shard")]
+    fn zero_shards_rejected() {
+        let _ = Pmap::with_shards(PmapId::new(1), 2, 0);
     }
 
     #[test]

@@ -114,6 +114,104 @@ impl fmt::Display for IntrMask {
     }
 }
 
+/// The forwarding topology of a tree-fanout multicast IPI (Section 9's
+/// multicast hardware option).
+///
+/// A multicast descriptor names a flattened target list; the poster's
+/// interrupt controller sends to the first `degree` slots, and each
+/// recipient's controller forwards to its `degree` children in the implicit
+/// k-ary heap laid over the list (children of slot `i` are slots
+/// `(i+1)*degree .. (i+1)*degree + degree`). Delivery latency is therefore
+/// O(degree · log_degree n) controller transactions instead of the n
+/// serialized sends of the unicast loop.
+///
+/// A halted relay latches its own interrupt but forwards nothing, so its
+/// whole subtree is lost until software (the watchdog) repairs it — the
+/// fabric itself makes no reliability promise beyond what a single wire
+/// does.
+///
+/// # Examples
+///
+/// ```
+/// use machtlb_sim::FanoutTree;
+///
+/// let t = FanoutTree::new(2, 7);
+/// assert_eq!(t.root_children().collect::<Vec<_>>(), vec![0, 1]);
+/// assert_eq!(t.children(0).collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(t.children(2).collect::<Vec<_>>(), vec![6]);
+/// assert_eq!(t.depth(), 3);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FanoutTree {
+    degree: usize,
+    len: usize,
+}
+
+impl FanoutTree {
+    /// Lays a `degree`-ary forwarding tree over `len` flattened targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize, len: usize) -> FanoutTree {
+        assert!(degree >= 1, "fanout degree must be at least 1");
+        FanoutTree { degree, len }
+    }
+
+    /// The fanout degree `k`.
+    pub fn degree(self) -> usize {
+        self.degree
+    }
+
+    /// Number of targets in the flattened list.
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// Whether the target list is empty.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The slots the poster's controller sends to directly.
+    pub fn root_children(self) -> std::ops::Range<usize> {
+        0..self.degree.min(self.len)
+    }
+
+    /// The slots the relay at `slot` forwards to.
+    pub fn children(self, slot: usize) -> std::ops::Range<usize> {
+        let first = (slot + 1).saturating_mul(self.degree);
+        first.min(self.len)..first.saturating_add(self.degree).min(self.len)
+    }
+
+    /// The relay that forwards to `slot`, or `None` for the poster's own
+    /// sends (slots below `degree`).
+    pub fn parent(self, slot: usize) -> Option<usize> {
+        (slot >= self.degree).then(|| slot / self.degree - 1)
+    }
+
+    /// Number of forwarding hops from the poster to `slot`, counting the
+    /// poster's own send as one.
+    pub fn hops(self, slot: usize) -> usize {
+        let mut hops = 1;
+        let mut s = slot;
+        while let Some(p) = self.parent(s) {
+            hops += 1;
+            s = p;
+        }
+        hops
+    }
+
+    /// The maximum hop count over all slots: the tree's delivery depth.
+    pub fn depth(self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.hops(self.len - 1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +236,48 @@ mod tests {
         assert!(Vector::new(1) < Vector::new(7));
         assert_eq!(Vector::new(3).number(), 3);
         assert_eq!(Vector::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn fanout_tree_partitions_slots_exactly_once() {
+        for degree in 1..=5 {
+            for len in 0..40 {
+                let t = FanoutTree::new(degree, len);
+                let mut seen = vec![0u32; len];
+                for s in t.root_children() {
+                    seen[s] += 1;
+                }
+                for relay in 0..len {
+                    for s in t.children(relay) {
+                        assert_eq!(t.parent(s), Some(relay));
+                        seen[s] += 1;
+                    }
+                }
+                // Every slot is reached by exactly one sender (poster or relay).
+                assert!(seen.iter().all(|&c| c == 1), "degree {degree} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_depth_is_logarithmic() {
+        let t = FanoutTree::new(4, 1024);
+        assert_eq!(t.depth(), 5); // 4 + 16 + 64 + 256 + 1024 covers 1024 slots
+        assert_eq!(FanoutTree::new(2, 1).depth(), 1);
+        assert_eq!(FanoutTree::new(2, 0).depth(), 0);
+        // Degree >= len degenerates to one flat hop from the poster.
+        assert_eq!(FanoutTree::new(16, 7).depth(), 1);
+    }
+
+    #[test]
+    fn fanout_hops_grow_with_slot() {
+        let t = FanoutTree::new(2, 15);
+        assert_eq!(t.hops(0), 1);
+        assert_eq!(t.hops(1), 1);
+        assert_eq!(t.hops(2), 2);
+        assert_eq!(t.hops(5), 2);
+        assert_eq!(t.hops(6), 3);
+        assert_eq!(t.hops(13), 3);
+        assert_eq!(t.hops(14), 4);
     }
 }

@@ -66,9 +66,9 @@ pub use fault::{
     FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, Halt, IpiDelay, IpiDrop,
     IpiDuplicate, IpiReorder, IsrStretch, Offline, ResponderStall,
 };
-pub use intr::{IntrClass, IntrMask, Vector};
+pub use intr::{FanoutTree, IntrClass, IntrMask, Vector};
 pub use lock::SpinLock;
-pub use machine::{Machine, MachineConfig, RunReport, RunStatus};
+pub use machine::{Machine, MachineConfig, MulticastStats, RunReport, RunStatus};
 pub use process::{Ctx, Process, Step};
 pub use time::{Dur, Time};
 
@@ -1072,6 +1072,232 @@ mod tests {
             (m.into_shared(), events, r.steps)
         };
         assert_eq!(run(), run(), "fail-stop faults must replay bit-identically");
+    }
+
+    /// Posts one multicast descriptor for `targets` with the given fanout
+    /// degree, then finishes.
+    #[derive(Debug)]
+    struct MulticastThenIdle {
+        targets: Vec<CpuId>,
+        vector: Vector,
+        degree: usize,
+        sent: bool,
+    }
+    impl Process<Trace, ()> for MulticastThenIdle {
+        fn step(&mut self, ctx: &mut Ctx<'_, Trace, ()>) -> Step {
+            if !self.sent {
+                self.sent = true;
+                let v = self.vector;
+                let d = self.degree;
+                ctx.multicast_ipi(self.targets.clone(), v, d);
+                Step::Run(ctx.costs().ipi_send)
+            } else {
+                Step::Done(Dur::micros(1))
+            }
+        }
+        fn label(&self) -> &'static str {
+            "multicaster"
+        }
+    }
+
+    /// Unicasts to each target in order, one send per step (the seed
+    /// initiator's send loop), then finishes.
+    #[derive(Debug)]
+    struct UnicastLoop {
+        targets: Vec<CpuId>,
+        vector: Vector,
+        next: usize,
+    }
+    impl Process<Trace, ()> for UnicastLoop {
+        fn step(&mut self, ctx: &mut Ctx<'_, Trace, ()>) -> Step {
+            if self.next < self.targets.len() {
+                let t = self.targets[self.next];
+                self.next += 1;
+                let v = self.vector;
+                ctx.send_ipi(t, v);
+                Step::Run(ctx.costs().ipi_send)
+            } else {
+                Step::Done(Dur::micros(1))
+            }
+        }
+        fn label(&self) -> &'static str {
+            "unicaster"
+        }
+    }
+
+    /// Runs a machine where the handler factory logs the vectoring instant
+    /// (≈ delivery instant on an idle target) into the shared trace.
+    fn run_delivery_log(
+        n_cpus: usize,
+        plan: Option<FaultPlan>,
+        sender: Box<dyn Process<Trace, ()>>,
+    ) -> (Trace, MulticastStats) {
+        let v = Vector::new(1);
+        let mut m = Machine::new(test_config(n_cpus), Trace::new(), |_| ());
+        if let Some(p) = plan {
+            m.install_fault_plan(p);
+        }
+        #[derive(Debug)]
+        struct Quiet;
+        impl Process<Trace, ()> for Quiet {
+            fn step(&mut self, _ctx: &mut Ctx<'_, Trace, ()>) -> Step {
+                Step::Done(Dur::micros(1))
+            }
+            fn label(&self) -> &'static str {
+                "quiet"
+            }
+        }
+        m.register_handler(v, IntrClass::Ipi, |log, cpu, at| {
+            log.push((cpu, at));
+            Box::new(Quiet)
+        });
+        m.spawn_at(CpuId::new(0), Time::ZERO, sender);
+        let r = m.run(Time::from_micros(1_000_000));
+        assert_eq!(r.status, RunStatus::Quiescent);
+        let stats = m.multicast_stats();
+        (m.into_shared(), stats)
+    }
+
+    #[test]
+    fn multicast_dispatches_every_target_exactly_once() {
+        for degree in [1usize, 2, 3, 7, 16] {
+            let targets: Vec<CpuId> = (1..16).map(CpuId::new).collect();
+            let (log, stats) = run_delivery_log(
+                16,
+                None,
+                Box::new(MulticastThenIdle {
+                    targets: targets.clone(),
+                    vector: Vector::new(1),
+                    degree,
+                    sent: false,
+                }),
+            );
+            let mut seen: Vec<CpuId> = log.iter().map(|(c, _)| *c).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, targets, "degree {degree}: each target once");
+            assert_eq!(stats.posts, 1);
+            assert_eq!(stats.forwards, targets.len() as u64);
+            assert_eq!(stats.pruned, 0);
+        }
+    }
+
+    #[test]
+    fn multicast_delivery_times_follow_the_fanout_tree() {
+        let costs = CostModel::uniform_test();
+        let targets: Vec<CpuId> = (1..8).map(CpuId::new).collect();
+        let degree = 2;
+        let (log, _) = run_delivery_log(
+            8,
+            None,
+            Box::new(MulticastThenIdle {
+                targets: targets.clone(),
+                vector: Vector::new(1),
+                degree,
+                sent: false,
+            }),
+        );
+        // Reconstruct the expected per-slot delivery instants: the j-th
+        // forward of any hop leaves (j+1)·ipi_send after its parent's
+        // delivery (or the post at t=0) and flies ipi_latency.
+        let tree = FanoutTree::new(degree, targets.len());
+        let mut expect = vec![Time::ZERO; targets.len()];
+        for (j, s) in tree.root_children().enumerate() {
+            expect[s] = Time::ZERO + costs.ipi_send * (j as u64 + 1) + costs.ipi_latency;
+        }
+        for relay in 0..targets.len() {
+            for (j, s) in tree.children(relay).enumerate() {
+                expect[s] = expect[relay] + costs.ipi_send * (j as u64 + 1) + costs.ipi_latency;
+            }
+        }
+        let mut got: Vec<(CpuId, Time)> = log.clone();
+        got.sort_unstable_by_key(|&(c, _)| c);
+        let want: Vec<(CpuId, Time)> = targets
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| (c, expect[s]))
+            .collect();
+        assert_eq!(got, want);
+        // Depth-bounded: the last delivery beats a serialized unicast loop.
+        let deepest = expect.iter().max().copied().unwrap();
+        let unicast_last = Time::ZERO + costs.ipi_send * (targets.len() as u64) + costs.ipi_latency;
+        assert!(
+            deepest < unicast_last || targets.len() < 4,
+            "tree delivery ({deepest}) should beat serialized sends ({unicast_last})"
+        );
+    }
+
+    #[test]
+    fn multicast_and_unicast_reach_the_same_set() {
+        let targets: Vec<CpuId> = [1u32, 3, 4, 6, 9, 10, 11].map(CpuId::new).to_vec();
+        let (uni_log, uni_stats) = run_delivery_log(
+            12,
+            None,
+            Box::new(UnicastLoop {
+                targets: targets.clone(),
+                vector: Vector::new(1),
+                next: 0,
+            }),
+        );
+        assert_eq!(uni_stats, MulticastStats::default());
+        let mut uni: Vec<CpuId> = uni_log.iter().map(|(c, _)| *c).collect();
+        uni.sort_unstable();
+        for degree in 1..=8 {
+            let (mc_log, _) = run_delivery_log(
+                12,
+                None,
+                Box::new(MulticastThenIdle {
+                    targets: targets.clone(),
+                    vector: Vector::new(1),
+                    degree,
+                    sent: false,
+                }),
+            );
+            let mut mc: Vec<CpuId> = mc_log.iter().map(|(c, _)| *c).collect();
+            mc.sort_unstable();
+            assert_eq!(mc, uni, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn halted_relay_latches_but_prunes_its_subtree() {
+        // Degree 2 over targets 1..8: slot 0 (cpu 1) relays to slots 2,3
+        // (cpus 3,4), which relay to slots 6 (cpu 7) and beyond. Halting
+        // cpu 1 before the post must lose exactly its subtree.
+        let targets: Vec<CpuId> = (1..8).map(CpuId::new).collect();
+        let tree = FanoutTree::new(2, targets.len());
+        let mut lost = vec![false; targets.len()];
+        lost[0] = true;
+        for s in 0..targets.len() {
+            if let Some(p) = tree.parent(s) {
+                lost[s] = lost[p];
+            }
+        }
+        let (log, stats) = run_delivery_log(
+            8,
+            Some(FaultPlan {
+                halt: Some(Halt {
+                    cpu: CpuId::new(1),
+                    at: Time::ZERO,
+                }),
+                ..FaultPlan::none(Vector::new(1))
+            }),
+            Box::new(MulticastThenIdle {
+                targets: targets.clone(),
+                vector: Vector::new(1),
+                degree: 2,
+                sent: false,
+            }),
+        );
+        let mut got: Vec<CpuId> = log.iter().map(|(c, _)| *c).collect();
+        got.sort_unstable();
+        let want: Vec<CpuId> = targets
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| !lost[s])
+            .map(|(_, &c)| c)
+            .collect();
+        assert_eq!(got, want, "exactly the halted relay's subtree is lost");
+        assert_eq!(stats.pruned, 1, "one hop landed on the halted relay");
     }
 }
 

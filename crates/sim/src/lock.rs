@@ -32,6 +32,7 @@ pub struct SpinLock {
     acquisitions: u64,
     contentions: u64,
     steals: u64,
+    steal_gen: u64,
     channel: Option<WaitChannel>,
 }
 
@@ -134,11 +135,22 @@ impl SpinLock {
         self.holder = Some(to);
         self.acquisitions += 1;
         self.steals += 1;
+        self.steal_gen += 1;
     }
 
     /// Forcible transfers from dead holders so far.
     pub fn steals(&self) -> u64 {
         self.steals
+    }
+
+    /// This lock's steal generation: bumped on every [`SpinLock::steal`].
+    /// A process that sampled the generation before a critical section can
+    /// detect that *this particular lock* was fenced away in the interim
+    /// and restart, independently of every other lock in the system — the
+    /// per-shard granularity sharded pmap locks need for fence-and-steal
+    /// recovery.
+    pub fn steal_gen(&self) -> u64 {
+        self.steal_gen
     }
 
     /// Whether the lock is held.
@@ -211,6 +223,20 @@ mod tests {
         assert_eq!(l.acquisitions(), 2);
         l.release(CpuId::new(0));
         assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn steal_generation_bumps_only_on_steal() {
+        let mut l = SpinLock::new();
+        assert_eq!(l.steal_gen(), 0);
+        assert!(l.try_acquire(CpuId::new(1)));
+        l.release(CpuId::new(1));
+        assert!(l.try_acquire(CpuId::new(1)));
+        assert_eq!(l.steal_gen(), 0); // ordinary traffic leaves it alone
+        l.steal(CpuId::new(1), CpuId::new(0));
+        assert_eq!(l.steal_gen(), 1);
+        l.release(CpuId::new(0));
+        assert_eq!(l.steal_gen(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
+use std::rc::Rc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -13,7 +14,7 @@ use crate::cost::CostModel;
 use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
 use crate::event::{skipped_iterations, wake_for_delivery, wake_for_notify, WaitChannel};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats};
-use crate::intr::{IntrClass, IntrMask, Vector};
+use crate::intr::{FanoutTree, IntrClass, IntrMask, Vector};
 use crate::process::{Command, Ctx, Process};
 use crate::time::{Dur, Time};
 
@@ -77,11 +78,38 @@ pub struct RunReport {
 
 enum QueuedKind<S, P> {
     Interrupt(Vector),
+    /// One hop of a tree-fanout multicast: latches like an interrupt at the
+    /// target, and (unless the target is halted) forwards the descriptor to
+    /// the target's children in the [`FanoutTree`] laid over the group.
+    Multicast {
+        vector: Vector,
+        group: Rc<MulticastGroup>,
+        slot: usize,
+    },
     Spawn(Box<dyn Process<S, P>>),
     /// A fail-stop halt of the target processor (from the fault plan).
     Halt,
     /// Revival of a previously halted processor (from the fault plan).
     Revive,
+}
+
+/// The immutable payload of a posted multicast descriptor, shared by every
+/// in-flight hop of the same round.
+struct MulticastGroup {
+    targets: Vec<CpuId>,
+    degree: usize,
+}
+
+/// Counters for the tree-fanout multicast fabric.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MulticastStats {
+    /// Multicast descriptors posted by processors.
+    pub posts: u64,
+    /// Controller-to-controller hop sends scheduled (the poster's root
+    /// sends plus every relay forward).
+    pub forwards: u64,
+    /// Hops that landed on a halted relay, pruning its whole subtree.
+    pub pruned: u64,
 }
 
 struct QueuedDelivery<S, P> {
@@ -156,6 +184,7 @@ pub struct Machine<S, P> {
     /// Per-processor fail-stop flags: a halted processor is never stepped,
     /// woken, or notified until (and unless) a revive delivery clears it.
     halted: Vec<bool>,
+    multicast_stats: MulticastStats,
     seq: u64,
     total_steps: u64,
     frontier: Time,
@@ -190,6 +219,7 @@ impl<S, P> Machine<S, P> {
             deliveries: BinaryHeap::new(),
             faults: None,
             halted: vec![false; config.n_cpus],
+            multicast_stats: MulticastStats::default(),
             seq: 0,
             total_steps: 0,
             frontier: Time::ZERO,
@@ -389,11 +419,28 @@ impl<S, P> Machine<S, P> {
                 break;
             }
             let Reverse(d) = self.deliveries.pop().expect("peeked delivery vanished");
-            let cpu = &mut self.cpus[d.target.index()];
-            match d.kind {
+            let QueuedDelivery {
+                at, target, kind, ..
+            } = d;
+            // A multicast hop forwards to its children before latching; a
+            // halted relay forwards nothing, pruning its subtree.
+            let kind = match kind {
+                QueuedKind::Multicast {
+                    vector,
+                    group,
+                    slot,
+                } => {
+                    self.forward_multicast(&group, slot, vector, at, target);
+                    QueuedKind::Interrupt(vector)
+                }
+                k => k,
+            };
+            let cpu = &mut self.cpus[target.index()];
+            match kind {
                 QueuedKind::Interrupt(v) => {
                     cpu.pending.insert(v);
                 }
+                QueuedKind::Multicast { .. } => unreachable!("multicast hop latches as interrupt"),
                 QueuedKind::Spawn(proc) => {
                     cpu.stack.push(Frame {
                         proc,
@@ -404,9 +451,9 @@ impl<S, P> Machine<S, P> {
                 QueuedKind::Halt => {
                     // Fail-stop: freeze the processor exactly as it stands
                     // (park state, stacked frames, latched interrupts).
-                    self.halted[d.target.index()] = true;
+                    self.halted[target.index()] = true;
                     if let Some(inj) = self.faults.as_mut() {
-                        inj.record(d.at, d.target, FaultKind::Halted);
+                        inj.record(at, target, FaultKind::Halted);
                     }
                     continue;
                 }
@@ -415,25 +462,25 @@ impl<S, P> Machine<S, P> {
                     // deliberately spurious — whatever the processor was
                     // blocked on gets a live re-check, so no notification
                     // missed during the dead window is ever load-bearing.
-                    self.halted[d.target.index()] = false;
+                    self.halted[target.index()] = false;
                     cpu.park = ParkState::Running;
-                    cpu.clock = cpu.clock.max(d.at);
+                    cpu.clock = cpu.clock.max(at);
                     if let Some(inj) = self.faults.as_mut() {
-                        inj.record(d.at, d.target, FaultKind::Revived);
+                        inj.record(at, target, FaultKind::Revived);
                     }
                     continue;
                 }
             }
             // A delivery to a halted processor latches (the wire does not
             // know the target is dead) but wakes nothing.
-            if self.halted[d.target.index()] {
+            if self.halted[target.index()] {
                 continue;
             }
             // Any arrival wakes a parked processor (wakeups may be spurious).
             match &mut cpu.park {
                 ParkState::Parked { .. } => {
                     cpu.park = ParkState::Running;
-                    cpu.clock = cpu.clock.max(d.at);
+                    cpu.clock = cpu.clock.max(at);
                 }
                 // A blocked spinner is preempted at its first check at or
                 // after the latch — exactly where the stepped loop's next
@@ -445,10 +492,73 @@ impl<S, P> Machine<S, P> {
                     wake_at,
                     ..
                 } => {
-                    let cand = wake_for_delivery(*anchor, on.interval, d.at);
+                    let cand = wake_for_delivery(*anchor, on.interval, at);
                     *wake_at = Some(wake_at.map_or(cand, |w| w.min(cand)));
                 }
                 ParkState::Running => {}
+            }
+        }
+    }
+
+    /// Schedules the child hops of the multicast hop that just landed on
+    /// `relay` at `at`. The j-th forward leaves the relay's controller after
+    /// `(j+1) · ipi_send` and lands `ipi_latency` later; each hop is routed
+    /// through the fault injector like any other IPI. A halted relay still
+    /// latches its own interrupt (the wire does not know) but forwards
+    /// nothing — the subtree below it is lost until software repairs it.
+    fn forward_multicast(
+        &mut self,
+        group: &Rc<MulticastGroup>,
+        slot: usize,
+        vector: Vector,
+        at: Time,
+        relay: CpuId,
+    ) {
+        if self.halted[relay.index()] {
+            self.multicast_stats.pruned += 1;
+            return;
+        }
+        let tree = FanoutTree::new(group.degree, group.targets.len());
+        for (j, child) in tree.children(slot).enumerate() {
+            let when = at + self.costs.ipi_send * (j as u64 + 1) + self.costs.ipi_latency;
+            self.multicast_stats.forwards += 1;
+            self.send_multicast_hop(group.clone(), child, vector, when);
+        }
+    }
+
+    /// Enqueues one multicast hop delivery, routed through the fault
+    /// injector when one is installed.
+    fn send_multicast_hop(
+        &mut self,
+        group: Rc<MulticastGroup>,
+        slot: usize,
+        vector: Vector,
+        at: Time,
+    ) {
+        let target = group.targets[slot];
+        match self.faults.as_mut() {
+            None => self.push_delivery(
+                at,
+                target,
+                QueuedKind::Multicast {
+                    vector,
+                    group,
+                    slot,
+                },
+            ),
+            Some(inj) => {
+                let sends = inj.filter_ipi(target, vector, at);
+                for (tgt, when) in sends {
+                    self.push_delivery(
+                        when,
+                        tgt,
+                        QueuedKind::Multicast {
+                            vector,
+                            group: group.clone(),
+                            slot,
+                        },
+                    );
+                }
             }
         }
     }
@@ -662,6 +772,22 @@ impl<S, P> Machine<S, P> {
                         self.inject_ipi(CpuId::new(t as u32), vector, at);
                     }
                 }
+                Command::MulticastIpi {
+                    targets,
+                    vector,
+                    degree,
+                    at,
+                } => {
+                    self.multicast_stats.posts += 1;
+                    let tree = FanoutTree::new(degree, targets.len());
+                    let group = Rc::new(MulticastGroup { targets, degree });
+                    for (j, slot) in tree.root_children().enumerate() {
+                        let when =
+                            at + self.costs.ipi_send * (j as u64 + 1) + self.costs.ipi_latency;
+                        self.multicast_stats.forwards += 1;
+                        self.send_multicast_hop(group.clone(), slot, vector, when);
+                    }
+                }
                 Command::Spawn { target, at, proc } => {
                     let seq = self.seq;
                     self.seq += 1;
@@ -734,6 +860,12 @@ impl<S, P> Machine<S, P> {
         self.bus.stats()
     }
 
+    /// Counters of the tree-fanout multicast fabric (all zero when nothing
+    /// ever posted a multicast).
+    pub fn multicast_stats(&self) -> MulticastStats {
+        self.multicast_stats
+    }
+
     /// Installs a deterministic fault plan. Subsequent IPI sends of the
     /// plan's vector and interrupt dispatches are routed through the
     /// injector; everything else is untouched. A halt or offline rule
@@ -795,6 +927,7 @@ impl<S, P> Machine<S, P> {
             .iter()
             .filter_map(|Reverse(d)| match d.kind {
                 QueuedKind::Interrupt(v) => Some((d.at, d.target, v)),
+                QueuedKind::Multicast { vector, .. } => Some((d.at, d.target, vector)),
                 QueuedKind::Spawn(_) | QueuedKind::Halt | QueuedKind::Revive => None,
             })
             .collect();

@@ -82,6 +82,12 @@ pub(crate) enum Command<S, P> {
         vector: Vector,
         at: Time,
     },
+    MulticastIpi {
+        targets: Vec<CpuId>,
+        vector: Vector,
+        degree: usize,
+        at: Time,
+    },
     Spawn {
         target: CpuId,
         at: Time,
@@ -107,6 +113,18 @@ impl<S, P> fmt::Debug for Command<S, P> {
             Command::BroadcastIpi { vector, at } => f
                 .debug_struct("BroadcastIpi")
                 .field("vector", vector)
+                .field("at", at)
+                .finish(),
+            Command::MulticastIpi {
+                targets,
+                vector,
+                degree,
+                at,
+            } => f
+                .debug_struct("MulticastIpi")
+                .field("targets", &targets.len())
+                .field("vector", vector)
+                .field("degree", degree)
                 .field("at", at)
                 .finish(),
             Command::Spawn { target, at, proc } => f
@@ -239,6 +257,38 @@ impl<'a, S, P> Ctx<'a, S, P> {
         self.commands.push(Command::BroadcastIpi {
             vector,
             at: self.now + self.costs.ipi_latency,
+        });
+    }
+
+    /// Posts one tree-fanout multicast descriptor for `vector` to `targets`
+    /// (the Section 9 multicast hardware option). The poster's controller
+    /// sends to the first `degree` targets; each recipient's controller
+    /// forwards to its `degree` children in the [`FanoutTree`]
+    /// (crate::FanoutTree) laid over the list — the j-th forward of any hop
+    /// leaves its controller after `(j+1) ·` [`CostModel::ipi_send`] and
+    /// lands [`CostModel::ipi_latency`] later. A halted relay latches its
+    /// interrupt but forwards nothing, losing its whole subtree; recovering
+    /// that is software's job (the shootdown watchdog). The *poster* should
+    /// charge [`CostModel::ipi_send`] once — the descriptor write — not once
+    /// per target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero or any target is out of range.
+    pub fn multicast_ipi(&mut self, targets: Vec<CpuId>, vector: Vector, degree: usize) {
+        assert!(degree >= 1, "multicast_ipi: fanout degree must be >= 1");
+        for t in &targets {
+            assert!(
+                t.index() < self.n_cpus,
+                "multicast_ipi: target {t} out of range ({} cpus)",
+                self.n_cpus
+            );
+        }
+        self.commands.push(Command::MulticastIpi {
+            targets,
+            vector,
+            degree,
+            at: self.now,
         });
     }
 

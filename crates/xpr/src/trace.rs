@@ -479,6 +479,71 @@ pub fn phase_latencies(events: &[TraceEvent]) -> Vec<(TracePhase, Vec<f64>)> {
         .collect()
 }
 
+/// Recovery-path latencies (µs) the slice-based [`phase_latencies`]
+/// table cannot see, because they live in marks rather than begin/end
+/// pairs:
+///
+/// - `evict-detect`: from a span's first recorded instant to each
+///   [`TracePhase::Evict`] mark — how long the watchdog plus health
+///   monitor took to declare a responder dead;
+/// - `rejoin`: from a responder's [`TracePhase::IpiDelivery`] mark to
+///   its [`TracePhase::Rejoin`] mark in the same span — the responder's
+///   whole service turnaround;
+/// - `fence`: [`TracePhase::Fence`] slice durations — what a revived
+///   processor pays before touching any pmap again.
+///
+/// Rows with no samples are omitted, like the slice table's.
+pub fn recovery_latencies(events: &[TraceEvent]) -> Vec<(&'static str, Vec<f64>)> {
+    let spans = assemble_spans(events);
+    let mut evicts = Vec::new();
+    let mut rejoins = Vec::new();
+    let mut fences = Vec::new();
+    for span in &spans {
+        let begin = span
+            .slices
+            .iter()
+            .map(|s| s.begin)
+            .chain(span.marks.iter().map(|m| m.at))
+            .min();
+        for m in &span.marks {
+            match m.phase {
+                TracePhase::Evict => {
+                    if let Some(b) = begin {
+                        evicts.push(m.at.duration_since(b).as_micros_f64());
+                    }
+                }
+                TracePhase::Rejoin => {
+                    let delivered = span
+                        .marks
+                        .iter()
+                        .find(|d| d.phase == TracePhase::IpiDelivery && d.cpu == m.cpu)
+                        .map(|d| d.at);
+                    if let Some(d) = delivered.filter(|&d| d <= m.at) {
+                        rejoins.push(m.at.duration_since(d).as_micros_f64());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for s in &span.slices {
+            if s.phase == TracePhase::Fence {
+                fences.push(s.end.duration_since(s.begin).as_micros_f64());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if !evicts.is_empty() {
+        out.push(("evict-detect", evicts));
+    }
+    if !fences.is_empty() {
+        out.push(("fence", fences));
+    }
+    if !rejoins.is_empty() {
+        out.push(("rejoin", rejoins));
+    }
+    out
+}
+
 /// Checks that, per processor, event timestamps never go backwards in
 /// record order (grouping a [`FlightRecorder::events`] list by `cpu`
 /// preserves record order). Returns the offending pair on failure.
@@ -560,6 +625,35 @@ mod tests {
             edge,
             arg: 0,
         }
+    }
+
+    #[test]
+    fn recovery_latencies_cover_marks_and_fence_slices() {
+        let events = vec![
+            ev(1_000, 0, 1, TracePhase::Initiate, TraceEdge::Begin),
+            ev(2_000, 0, 1, TracePhase::Initiate, TraceEdge::End),
+            ev(3_000, 1, 1, TracePhase::IpiDelivery, TraceEdge::Mark),
+            ev(9_000, 1, 1, TracePhase::Rejoin, TraceEdge::Mark),
+            ev(21_000, 0, 1, TracePhase::Evict, TraceEdge::Mark),
+            ev(30_000, 2, 1, TracePhase::Fence, TraceEdge::Begin),
+            ev(34_000, 2, 1, TracePhase::Fence, TraceEdge::End),
+        ];
+        let rows = recovery_latencies(&events);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(
+            get("evict-detect"),
+            vec![20.0],
+            "evict at 21us, span at 1us"
+        );
+        assert_eq!(get("rejoin"), vec![6.0], "delivery 3us -> rejoin 9us");
+        assert_eq!(get("fence"), vec![4.0]);
+        // An event list with no recovery activity yields no rows at all.
+        assert!(recovery_latencies(&events[..2]).is_empty());
     }
 
     #[test]

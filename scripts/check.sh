@@ -5,8 +5,15 @@
 #   3. tier-1 tests     (release build + the root package's test suite)
 #   4. doc-tests        (workspace-wide)
 #   5. smoke benches    (the spin-vs-event, trace-overhead, and Section 8
-#                        harnesses in MACHTLB_SMOKE mode — seconds, not
-#                        minutes)
+#                        harnesses in MACHTLB_SMOKE mode; the Section 8
+#                        harness drives the 1024-processor scaling point
+#                        and asserts the fanout+batching curve stays
+#                        sub-linear. Each writes BENCH_<name>.json into
+#                        target/bench-json, and `machtlb bench-check`
+#                        holds the headline numbers against the committed
+#                        baselines in crates/bench/baselines within a
+#                        ±30% noise envelope — the simulation is
+#                        deterministic, so drift means a real change)
 #   6. trace smoke      (machtlb trace end-to-end; the validated Chrome
 #                        trace lands in target/machtlb-trace.json and CI
 #                        uploads it as an artifact)
@@ -37,10 +44,16 @@ cargo test --quiet
 echo "==> doc-tests"
 cargo test --doc --workspace --quiet
 
-echo "==> smoke benches"
-MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench spin_vs_event
-MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench trace_overhead
-MACHTLB_SMOKE=1 cargo bench -p machtlb-bench --bench sec8_scaling
+echo "==> smoke benches (writing BENCH_*.json to target/bench-json)"
+BENCH_DIR="$(pwd)/target/bench-json"
+mkdir -p "$BENCH_DIR"
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench spin_vs_event
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench trace_overhead
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_scaling
+
+echo "==> bench noise envelope vs committed baselines"
+cargo run --release --quiet --bin machtlb -- bench-check \
+    --baseline crates/bench/baselines --current "$BENCH_DIR" --tolerance 30
 
 echo "==> trace smoke"
 cargo run --release --quiet --bin machtlb -- trace \

@@ -10,6 +10,7 @@
 
 use std::process::ExitCode;
 
+use machtlb::bench::{compare_reports, parse_report};
 use machtlb::core::{
     check_envelope, plan_catalog, run_chaos, survival_json, ChaosConfig, KernelConfig, Strategy,
     Survival,
@@ -22,7 +23,8 @@ use machtlb::workloads::{
 };
 use machtlb::xpr::{
     assemble_spans, check_monotone_per_cpu, chrome_trace_json, counters_table, linear_fit,
-    phase_latencies, validate_json_shape, validate_spans, Histogram, Summary, TextTable,
+    phase_latencies, recovery_latencies, validate_json_shape, validate_spans, Histogram, Summary,
+    TextTable,
 };
 
 const USAGE: &str = "\
@@ -30,16 +32,29 @@ machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
 
 USAGE:
     machtlb tester  [--children N] [--cpus N] [--seed N] [--strategy S]
+                    [--fanout N] [--shards N] [--batch on|off]
     machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N] [--lazy on|off]
     machtlb fig2    [--cpus N] [--max-k N] [--runs N]
-    machtlb scaling [--upto N]
+    machtlb scaling [--upto N] [--fanout N] [--shards N] [--batch on|off]
     machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
                     [--strategy S] [--cpus N] [--seed N] [--out FILE]
+                    [--fanout N] [--shards N] [--batch on|off]
+    machtlb bench-check --baseline DIR [--current DIR] [--tolerance PCT]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
                     [--json FILE]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
+
+DELIVERY FLAGS (shootdown strategy):
+    --fanout N      multicast IPI tree degree (default 1 = the paper's
+                    unicast send loop; degree 1 is bit-identical to it)
+    --shards N      pmap lock shard count (default 1 = one lock per pmap)
+    --batch on|off  merge concurrent same-pmap initiators into one round
+
+`bench-check` holds every BENCH_<name>.json under --current (default .)
+against the committed file of the same name under --baseline, failing if
+a headline number drifts more than --tolerance percent (default 30).
 
 EXIT CODES:
     0  the command succeeded; for `chaos`, the two-sided envelope check
@@ -131,6 +146,44 @@ fn strategy_config(name: &str) -> Result<KernelConfig, String> {
     })
 }
 
+/// Applies the `--fanout`, `--shards`, and `--batch` delivery flags to a
+/// kernel configuration.
+fn apply_delivery_flags(args: &Args, mut kconfig: KernelConfig) -> Result<KernelConfig, String> {
+    let fanout = args.num("fanout", kconfig.fanout as u64)? as usize;
+    if fanout == 0 {
+        return Err("--fanout: degree must be at least 1".into());
+    }
+    kconfig.fanout = fanout;
+    let shards = args.num("shards", kconfig.pmap_shards as u64)? as usize;
+    if shards == 0 {
+        return Err("--shards: need at least 1 shard".into());
+    }
+    kconfig.pmap_shards = shards;
+    kconfig.batch_initiators = match args.get("batch") {
+        None => kconfig.batch_initiators,
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--batch: on or off, not {other}")),
+    };
+    Ok(kconfig)
+}
+
+/// One line describing the delivery configuration, printed whenever the
+/// flags are live so runs are self-describing.
+fn delivery_line(kconfig: &KernelConfig) -> String {
+    format!(
+        "delivery: fanout {}, {} pmap lock shard{}, initiator batching {}",
+        kconfig.fanout,
+        kconfig.pmap_shards,
+        if kconfig.pmap_shards == 1 { "" } else { "s" },
+        if kconfig.batch_initiators {
+            "on"
+        } else {
+            "off"
+        },
+    )
+}
+
 fn base_config(cpus: usize, seed: u64, kconfig: KernelConfig) -> RunConfig {
     RunConfig {
         n_cpus: cpus,
@@ -158,7 +211,8 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
                 .into(),
         );
     }
-    let config = base_config(cpus, seed, strategy_config(strategy)?);
+    let kconfig = apply_delivery_flags(args, strategy_config(strategy)?)?;
+    let config = base_config(cpus, seed, kconfig);
     let out = run_tester(
         &config,
         &TesterConfig {
@@ -167,6 +221,13 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
         },
     );
     println!("consistency tester: {children} children, {cpus} processors, strategy {strategy}");
+    println!("  {}", delivery_line(&config.kconfig));
+    if out.report.stats.multicast_rounds > 0 || out.report.stats.initiators_batched > 0 {
+        println!(
+            "  multicast rounds: {}, initiators batched: {}",
+            out.report.stats.multicast_rounds, out.report.stats.initiators_batched
+        );
+    }
     match out.shootdown {
         Some(shot) => println!(
             "  consistency action: {} processors, {:.1} us ({} pages)",
@@ -343,8 +404,10 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
 
 fn cmd_scaling(args: &Args) -> Result<(), String> {
     let upto = args.num("upto", 128)? as usize;
+    let kconfig = apply_delivery_flags(args, KernelConfig::default())?;
     let mut n = 16usize;
     println!("machine-wide shootdown cost vs machine size (scalable interconnect):");
+    println!("  {}", delivery_line(&kconfig));
     while n <= upto {
         let mut costs = CostModel::multimax();
         if n > 16 {
@@ -354,7 +417,7 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
             n_cpus: n,
             seed: 7,
             costs,
-            kconfig: KernelConfig::default(),
+            kconfig: kconfig.clone(),
             device_period: None,
             timer_flush_period: Dur::millis(5),
             limit: Time::from_micros(120_000_000),
@@ -389,10 +452,13 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let cpus = args.num("cpus", 16)? as usize;
     let seed = args.num("seed", 1)?;
     let out_path = args.get("out").unwrap_or("machtlb-trace.json").to_string();
-    let kconfig = KernelConfig {
-        trace_shootdowns: true,
-        ..strategy_config(strategy)?
-    };
+    let kconfig = apply_delivery_flags(
+        args,
+        KernelConfig {
+            trace_shootdowns: true,
+            ..strategy_config(strategy)?
+        },
+    )?;
     let mut config = base_config(cpus, seed, kconfig);
     config.device_period = Some(Dur::millis(5));
     let report = match workload {
@@ -425,6 +491,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         events.len(),
         spans.len()
     );
+    println!("{}", delivery_line(&config.kconfig));
     println!("wrote {out_path} — open it at https://ui.perfetto.dev or chrome://tracing");
     let mut t = TextTable::new(vec!["phase", "slices", "p10 (us)", "median", "p90", "mean"]);
     for (phase, samples) in phase_latencies(events) {
@@ -439,6 +506,23 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         ]);
     }
     println!("{t}");
+    // The fail-stop recovery path, when the run exercised it: how long
+    // eviction detection, the rejoin fence, and the rejoin itself took.
+    let recovery = recovery_latencies(events);
+    if !recovery.is_empty() {
+        let mut rt = TextTable::new(vec!["recovery", "events", "p10 (us)", "median", "p90"]);
+        for (name, samples) in recovery {
+            let s = Summary::of(&samples).expect("recovery_latencies omits empty rows");
+            rt.add_row(vec![
+                name.into(),
+                samples.len().to_string(),
+                format!("{:.1}", s.p10),
+                format!("{:.1}", s.median),
+                format!("{:.1}", s.p90),
+            ]);
+        }
+        println!("{rt}");
+    }
     let totals: Vec<machtlb::sim::Dur> = spans
         .iter()
         .filter_map(|sp| {
@@ -453,6 +537,63 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         print!("{}", h.render(40));
     }
     println!("oracle: {}", verdict(&report));
+    Ok(())
+}
+
+/// Holds every `BENCH_<name>.json` under `--current` against the file of
+/// the same name under `--baseline`, inside a relative noise envelope on
+/// each headline number. Baseline files with no current counterpart are
+/// reported (the bench stopped emitting); current files with no baseline
+/// pass (the trajectory growing).
+fn cmd_bench_check(args: &Args) -> Result<(), String> {
+    let baseline_dir = args
+        .get("baseline")
+        .ok_or("bench-check needs --baseline DIR")?;
+    let current_dir = args.get("current").unwrap_or(".");
+    let tolerance = args.num("tolerance", 30)? as f64 / 100.0;
+    let mut names: Vec<String> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("read {baseline_dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json baselines under {baseline_dir}"));
+    }
+    let mut bad = Vec::new();
+    let mut checked = 0usize;
+    for name in &names {
+        let base_text = std::fs::read_to_string(format!("{baseline_dir}/{name}"))
+            .map_err(|e| format!("read {baseline_dir}/{name}: {e}"))?;
+        let baseline = parse_report(&base_text).map_err(|e| format!("{name} (baseline): {e}"))?;
+        let cur_path = format!("{current_dir}/{name}");
+        let Ok(cur_text) = std::fs::read_to_string(&cur_path) else {
+            bad.push(format!("{name}: no current result at {cur_path}"));
+            continue;
+        };
+        let current = parse_report(&cur_text).map_err(|e| format!("{name} (current): {e}"))?;
+        let failures = compare_reports(&baseline, &current, tolerance);
+        println!(
+            "  {name}: {} metrics vs baseline, {} outside the envelope",
+            baseline.metrics.len(),
+            failures.len()
+        );
+        checked += baseline.metrics.len();
+        bad.extend(failures);
+    }
+    if !bad.is_empty() {
+        return Err(format!(
+            "bench envelope (±{:.0}%) violated:\n  {}",
+            tolerance * 100.0,
+            bad.join("\n  ")
+        ));
+    }
+    println!(
+        "bench envelope green: {checked} metrics across {} benches within ±{:.0}%",
+        names.len(),
+        tolerance * 100.0
+    );
     Ok(())
 }
 
@@ -560,6 +701,7 @@ fn main() -> ExitCode {
         Some("fig2") => cmd_fig2(&args),
         Some("scaling") => cmd_scaling(&args),
         Some("trace") => cmd_trace(&args),
+        Some("bench-check") => cmd_bench_check(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("help") | None => {
             println!("{USAGE}");

@@ -18,6 +18,7 @@
 //! | [`core`] | `machtlb-core` | **the shootdown algorithm**: initiator, responder, idle protocol, strategies, consistency oracle |
 //! | [`vm`] | `machtlb-vm` | tasks, address maps, copy-on-write objects, the fault path |
 //! | [`workloads`] | `machtlb-workloads` | the consistency tester and the four evaluation applications |
+//! | [`bench`] | `machtlb-bench` | table/figure harness machinery and the `BENCH_*.json` perf-trajectory format |
 //!
 //! # Examples
 //!
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use machtlb_bench as bench;
 pub use machtlb_core as core;
 pub use machtlb_pmap as pmap;
 pub use machtlb_sim as sim;
