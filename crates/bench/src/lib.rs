@@ -16,7 +16,9 @@ mod lab;
 mod report;
 
 pub use lab::{concurrent_round_cost, scaled_costs, RoundCost};
-pub use report::{compare_reports, parse_report, BenchMetric, BenchReport};
+pub use report::{
+    compare_reports, diff_reports, parse_report, BenchMetric, BenchReport, MetricDiff,
+};
 
 /// One row of the Figure 2 sweep: shootdown cost at `k` responders.
 #[derive(Clone, Debug)]

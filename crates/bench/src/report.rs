@@ -312,45 +312,95 @@ fn parse_metric(c: &mut Cursor<'_>) -> Result<BenchMetric, String> {
     Ok(m)
 }
 
+/// One baseline metric held against the current run: the structured row
+/// behind `machtlb bench-check`'s failure table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDiff {
+    /// The metric name within the bench.
+    pub name: String,
+    /// The committed baseline value (µs).
+    pub baseline_us: f64,
+    /// The current run's value, or `None` when the metric disappeared.
+    pub current_us: Option<f64>,
+    /// Whether the metric stayed inside the noise envelope.
+    pub within: bool,
+}
+
+impl MetricDiff {
+    /// Current over baseline; `None` when the metric disappeared or the
+    /// baseline is zero.
+    pub fn ratio(&self) -> Option<f64> {
+        let cur = self.current_us?;
+        (self.baseline_us.abs() > 1e-9).then(|| cur / self.baseline_us)
+    }
+}
+
+/// Diffs every baseline metric against `current` inside a relative noise
+/// envelope of `tolerance` (e.g. `0.30` = ±30%): one [`MetricDiff`] per
+/// baseline metric, in baseline order. A vanished metric is never
+/// `within`; new metrics (in `current` only) produce no row — they are
+/// the trajectory growing.
+pub fn diff_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Vec<MetricDiff> {
+    baseline
+        .metrics
+        .iter()
+        .map(|b| {
+            let cur = current
+                .metrics
+                .iter()
+                .find(|m| m.name == b.name)
+                .map(|m| m.median_us);
+            let within = cur.is_some_and(|c| {
+                (c - b.median_us).abs() / b.median_us.abs().max(1e-9) <= tolerance
+            });
+            MetricDiff {
+                name: b.name.clone(),
+                baseline_us: b.median_us,
+                current_us: cur,
+                within,
+            }
+        })
+        .collect()
+}
+
 /// Holds `current` against `baseline` within a relative noise envelope
 /// on every headline number: a metric regresses when its value drifts
 /// more than `tolerance` (e.g. `0.30` = ±30%) from the baseline, or when
 /// a baseline metric vanished. New metrics (in `current` only) pass —
 /// they are the trajectory growing. Returns human-readable failure
-/// lines; empty means green.
+/// lines; empty means green. See [`diff_reports`] for the structured
+/// per-metric form these lines are rendered from.
 pub fn compare_reports(
     baseline: &BenchReport,
     current: &BenchReport,
     tolerance: f64,
 ) -> Vec<String> {
-    let mut bad = Vec::new();
     if baseline.bench != current.bench {
-        bad.push(format!(
+        return vec![format!(
             "bench name mismatch: baseline {:?} vs current {:?}",
             baseline.bench, current.bench
-        ));
-        return bad;
+        )];
     }
-    for b in &baseline.metrics {
-        let Some(cur) = current.metrics.iter().find(|m| m.name == b.name) else {
-            bad.push(format!("{}/{}: metric disappeared", baseline.bench, b.name));
-            continue;
-        };
-        let floor = 1e-9;
-        let rel = (cur.median_us - b.median_us).abs() / b.median_us.abs().max(floor);
-        if rel > tolerance {
-            bad.push(format!(
+    diff_reports(baseline, current, tolerance)
+        .iter()
+        .filter(|d| !d.within)
+        .map(|d| match d.current_us {
+            None => format!("{}/{}: metric disappeared", baseline.bench, d.name),
+            Some(cur) => format!(
                 "{}/{}: {:.1} us vs baseline {:.1} us ({:+.1}% > ±{:.0}% envelope)",
                 baseline.bench,
-                b.name,
-                cur.median_us,
-                b.median_us,
-                (cur.median_us / b.median_us.abs().max(floor) - 1.0) * 100.0,
+                d.name,
+                cur,
+                d.baseline_us,
+                (cur / d.baseline_us.abs().max(1e-9) - 1.0) * 100.0,
                 tolerance * 100.0,
-            ));
-        }
-    }
-    bad
+            ),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -410,5 +460,27 @@ mod tests {
         cur = sample();
         cur.push(BenchMetric::new("brand_new", 2, "shootdown", 1, 9.0));
         assert!(compare_reports(&base, &cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn structured_diff_carries_values_and_ratios() {
+        let base = sample();
+        let mut cur = sample();
+        cur.metrics[0].median_us = base.metrics[0].median_us * 1.40;
+        cur.metrics.pop(); // second metric disappears
+        let diffs = diff_reports(&base, &cur, 0.25);
+        assert_eq!(diffs.len(), base.metrics.len());
+        assert!(!diffs[0].within);
+        assert!((diffs[0].ratio().expect("present") - 1.40).abs() < 1e-9);
+        assert_eq!(diffs[0].baseline_us, base.metrics[0].median_us);
+        assert!(!diffs[1].within);
+        assert_eq!(diffs[1].current_us, None);
+        assert_eq!(diffs[1].ratio(), None);
+        // Inside the envelope: within, ratio near 1.
+        let diffs = diff_reports(&base, &sample(), 0.25);
+        assert!(diffs.iter().all(|d| d.within));
+        assert!(diffs
+            .iter()
+            .all(|d| (d.ratio().expect("present") - 1.0).abs() < 1e-9));
     }
 }

@@ -43,6 +43,7 @@ pub fn build_kernel_machine(
         n_cpus,
         seed,
         costs,
+        topology: state.topology,
     };
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, high_prio);

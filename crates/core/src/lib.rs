@@ -90,8 +90,8 @@ pub use queue::{Action, ActionQueue, EnqueueOutcome};
 pub use responder::{enter_idle, ExitIdleProcess, ResponderProcess};
 pub use state::{
     queue_lock_channel, FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats,
-    PendingCommit, PhysMem, PmapRegistry, SpinMode, WatchdogConfig, WatchdogReport, SYNC_CHANNEL,
-    WORDS_PER_PAGE,
+    NodeCounters, PendingCommit, PhysMem, PmapRegistry, SpinMode, WatchdogConfig, WatchdogReport,
+    SYNC_CHANNEL, WORDS_PER_PAGE,
 };
 pub use strategy::{Strategy, StrategyHardwareError};
 

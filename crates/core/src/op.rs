@@ -42,6 +42,33 @@ use crate::SHOOTDOWN_VECTOR;
 /// times proportional to operation size).
 const APPLY_CHUNK: usize = 16;
 
+/// Counts a lock-word reference against the node whose memory holds the
+/// word (`home`), and as remote traffic if the toucher sits elsewhere. On a
+/// flat topology everything is node 0 and the remote branch never runs.
+pub(crate) fn note_lock_ref<S: HasKernel>(ctx: &mut Ctx<'_, S, ()>, home: usize) {
+    let node = ctx.node();
+    let k = ctx.shared.kernel_mut();
+    let home = home.min(k.node_stats.len() - 1);
+    k.node_stats[home].lock_refs += 1;
+    if node != home {
+        k.stats.remote_lock_refs += 1;
+        k.node_stats[node].remote_lock_refs += 1;
+    }
+}
+
+/// Counts a shootdown IPI in the sender's per-node counters, and as remote
+/// if the target lives on another node.
+pub(crate) fn note_ipi<S: HasKernel>(ctx: &mut Ctx<'_, S, ()>, to: CpuId) {
+    let from = ctx.node();
+    let to = ctx.node_of(to);
+    let k = ctx.shared.kernel_mut();
+    k.node_stats[from].ipis_sent += 1;
+    if from != to {
+        k.stats.ipis_remote += 1;
+        k.node_stats[from].ipis_remote += 1;
+    }
+}
+
 /// A machine-dependent physical-map operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum PmapOp {
@@ -462,6 +489,7 @@ impl PmapOpProcess {
             let stats = &mut ctx.shared.kernel_mut().stats;
             stats.ipis_sent += 1;
             stats.ipi_retries += 1;
+            note_ipi(ctx, cpu);
             if let Some(span) = self.span {
                 ctx.shared.kernel_mut().trace.record_arg(
                     me,
@@ -548,6 +576,7 @@ impl PmapOpProcess {
                 let stats = &mut ctx.shared.kernel_mut().stats;
                 stats.ipis_sent += 1;
                 stats.ipi_retries += 1;
+                note_ipi(ctx, cpu);
                 if let Some(span) = self.span {
                     ctx.shared.kernel_mut().trace.record_arg(
                         me,
@@ -659,7 +688,12 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     if self.shards_held == self.shards_needed.len() {
                         self.phase = Phase::Check;
                     }
-                    let cost = ctx.costs().lock_acquire + ctx.bus_interlocked();
+                    // The lock word lives in the pmap's home-node memory:
+                    // the interlocked access pays the interconnect when the
+                    // toucher sits on another node.
+                    let home = ctx.shared.kernel().pmaps.get(self.pmap_id).home();
+                    let cost = ctx.costs().lock_acquire + ctx.bus_interlocked_at(home);
+                    note_lock_ref(ctx, home);
                     return Step::Run(cost);
                 }
                 // Contended: probe the holder's liveness before waiting. A
@@ -686,9 +720,11 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             if self.shards_held == self.shards_needed.len() {
                                 self.phase = Phase::Check;
                             }
-                            return Step::Run(
-                                ctx.costs().lock_acquire + probe + ctx.bus_interlocked(),
-                            );
+                            let home = ctx.shared.kernel().pmaps.get(self.pmap_id).home();
+                            let cost =
+                                ctx.costs().lock_acquire + probe + ctx.bus_interlocked_at(home);
+                            note_lock_ref(ctx, home);
+                            return Step::Run(cost);
                         }
                         RecoveryPolicy::FailOp => {
                             self.outcome.dead_lock_holder = Some(h);
@@ -704,11 +740,12 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                                     pmap.shard_mut(s).release(me);
                                 }
                                 let chan = pmap.lock().channel();
+                                let home = pmap.home();
                                 self.shards_held = 0;
                                 if let Some(chan) = chan {
                                     ctx.notify(chan);
                                 }
-                                cost += ctx.costs().lock_release + ctx.bus_write();
+                                cost += ctx.costs().lock_release + ctx.bus_write_at(home);
                             }
                             if strategy.uses_interrupts() {
                                 // Undo Phase::Begin: rejoin the active set
@@ -894,12 +931,15 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 self.phase = Phase::QueueScan {
                     next: cpu.index() as u32 + 1,
                 };
+                // The queue and its lock live in the target's node memory.
+                let qhome = ctx.node_of(cpu);
                 let cost = ctx.costs().lock_acquire
                     + ctx.costs().queue_action
                     + ctx.costs().lock_release
-                    + ctx.bus_interlocked()
-                    + ctx.bus_write()
-                    + ctx.bus_write();
+                    + ctx.bus_interlocked_at(qhome)
+                    + ctx.bus_write_at(qhome)
+                    + ctx.bus_write_at(qhome);
+                note_lock_ref(ctx, qhome);
                 Step::Run(cost)
             }
             Phase::SendIpis { idx } => {
@@ -913,6 +953,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     for c in 0..ctx.shared.kernel_mut().n_cpus {
                         if c != me.index() {
                             ctx.shared.kernel_mut().ipi_pending[c] = true;
+                            note_ipi(ctx, CpuId::new(c as u32));
                             if let Some(span) = self.span {
                                 ctx.shared.kernel_mut().trace.record_arg(
                                     me,
@@ -934,6 +975,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 };
                 ctx.send_ipi(target, SHOOTDOWN_VECTOR);
                 ctx.shared.kernel_mut().stats.ipis_sent += 1;
+                note_ipi(ctx, target);
                 if let Some(span) = self.span {
                     let now = ctx.now;
                     ctx.shared.kernel_mut().trace.record_arg(
@@ -1144,7 +1186,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // Skip targets with a shootdown IPI already in flight: the
                 // pending interrupt's service routine sees the round and
                 // acknowledges it, so a second delivery is redundant.
-                let send: Vec<CpuId> = {
+                let mut send: Vec<CpuId> = {
                     let k = ctx.shared.kernel();
                     let r = k
                         .rounds
@@ -1160,8 +1202,14 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 if send.is_empty() {
                     return Step::Run(ctx.costs().local_op);
                 }
+                // Same-node targets go first in the fanout tree, so relays
+                // prefer same-node children and cross-node hops cluster at
+                // the tree's fringe. On a flat topology this is the plain
+                // ascending order the pre-topology kernel used.
+                ctx.topology().order_node_first(me, &mut send);
                 for &c in &send {
                     ctx.shared.kernel_mut().ipi_pending[c.index()] = true;
+                    note_ipi(ctx, c);
                 }
                 let degree = ctx.shared.kernel().config.fanout;
                 let n = send.len();
@@ -1372,11 +1420,13 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     }
                     return Step::Run(spin);
                 }
+                let qhome = ctx.node_of(cpu);
                 let mut cost = ctx.costs().lock_acquire
                     + ctx.costs().lock_release
-                    + ctx.bus_interlocked()
-                    + ctx.bus_write()
-                    + ctx.bus_write();
+                    + ctx.bus_interlocked_at(qhome)
+                    + ctx.bus_write_at(qhome)
+                    + ctx.bus_write_at(qhome);
+                note_lock_ref(ctx, qhome);
                 for i in 0..self.fallback_ranges.len() {
                     let range = self.fallback_ranges[i];
                     let outcome = ctx.shared.kernel_mut().queues[cpu.index()].enqueue(Action {
@@ -1407,6 +1457,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     ctx.shared.kernel_mut().ipi_pending[cpu.index()] = true;
                     ctx.send_ipi(cpu, SHOOTDOWN_VECTOR);
                     ctx.shared.kernel_mut().stats.ipis_sent += 1;
+                    note_ipi(ctx, cpu);
                     self.send_list.push(cpu);
                     cost += ctx.costs().ipi_send;
                 }
@@ -1556,7 +1607,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         k.join_results[cpu.index()] = Some(pages);
                     }
                 }
-                let lock_chan = {
+                let (lock_chan, home) = {
                     let pmap = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap_id);
                     for i in 0..self.shards_held {
                         let s = self.shards_needed[i];
@@ -1569,7 +1620,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         PmapOp::Destroy => pmap.stats_mut().destroys += 1,
                         PmapOp::ClearRefBits { .. } => pmap.stats_mut().ref_clears += 1,
                     }
-                    pmap.lock().channel()
+                    (pmap.lock().channel(), pmap.home())
                 };
                 if let Some(chan) = lock_chan {
                     ctx.notify(chan);
@@ -1577,7 +1628,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 let strategy = self.strategy(ctx.shared.kernel());
                 let mut cost = Dur::ZERO;
                 for _ in 0..self.shards_held {
-                    cost += ctx.costs().lock_release + ctx.bus_write();
+                    cost += ctx.costs().lock_release + ctx.bus_write_at(home);
                 }
                 self.shards_held = 0;
                 if strategy.uses_interrupts() {

@@ -426,7 +426,11 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                     // notification, however many responders it spans.
                     ctx.notify(round_channel(pmap));
                 }
-                cost += ctx.bus_interlocked();
+                // The round descriptor's counter lives in the pmap's
+                // home-node memory.
+                let home = ctx.shared.kernel().pmaps.get(pmap).home();
+                cost += ctx.bus_interlocked_at(home);
+                crate::op::note_lock_ref(ctx, home);
                 Step::Run(cost)
             }
             RPhase::RoundStall => {
@@ -521,7 +525,9 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                     }
                 }
                 self.acked.remove(0);
-                cost += ctx.bus_interlocked();
+                let home = ctx.shared.kernel().pmaps.get(pmap).home();
+                cost += ctx.bus_interlocked_at(home);
+                crate::op::note_lock_ref(ctx, home);
                 Step::Run(cost)
             }
             RPhase::Draining => {

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use machtlb_pmap::{CpuSet, PageRange, Pfn, Pmap, PmapId};
-use machtlb_sim::{CpuId, SpinLock, WaitChannel};
+use machtlb_sim::{CpuId, SpinLock, Topology, WaitChannel};
 use machtlb_tlb::{Tlb, TlbConfig};
 use machtlb_xpr::{FlightRecorder, ShootdownEvent, XprBuffer};
 
@@ -259,6 +259,12 @@ pub struct KernelConfig {
     /// disjoint ranges of one pmap update concurrently, each shard with
     /// its own steal generation for per-shard fence-and-steal recovery.
     pub pmap_shards: usize,
+    /// The machine's processor/memory topology. `None` (the default) means
+    /// flat: one bus shared by every processor, bit-identical to the
+    /// pre-topology kernel. `Some` splits processors into nodes with
+    /// per-node buses and an inter-node interconnect; pmaps acquire a home
+    /// node and remote references pay the crossing.
+    pub topology: Option<Topology>,
 }
 
 impl Default for KernelConfig {
@@ -280,6 +286,7 @@ impl Default for KernelConfig {
             fanout: 1,
             batch_initiators: false,
             pmap_shards: 1,
+            topology: None,
         }
     }
 }
@@ -339,6 +346,35 @@ pub struct KernelStats {
     /// (concurrent initiators, processors going idle); each was handed a
     /// fallback queue action instead.
     pub round_excused: u64,
+    /// Shootdown IPIs whose target sat on a different node than the sender
+    /// (a subset of [`KernelStats::ipis_sent`]; zero on a flat topology).
+    pub ipis_remote: u64,
+    /// Pmap-lock and queue-lock references that crossed the interconnect
+    /// because the lock word's home node differed from the toucher's node.
+    pub remote_lock_refs: u64,
+    /// Pages rehomed between nodes by the migration workloads (the
+    /// balancing daemon and the storm generator both count here).
+    pub page_migrations: u64,
+}
+
+/// Per-node kernel counters, kept alongside the aggregate
+/// [`KernelStats`] when the machine has a multi-node
+/// [`Topology`]. Index `n` of [`KernelState::node_stats`] describes node
+/// `n`. All zeros on a flat machine until traffic occurs on node 0.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Shootdown IPIs sent *by* processors on this node.
+    pub ipis_sent: u64,
+    /// Shootdown IPIs sent from this node to a different node.
+    pub ipis_remote: u64,
+    /// Pmap-lock acquisitions charged against this node's memory (the
+    /// pmap's home node, not the toucher's).
+    pub lock_refs: u64,
+    /// Lock references this node's processors made to *other* nodes'
+    /// memory.
+    pub remote_lock_refs: u64,
+    /// Pages migrated *into* this node.
+    pub page_migrations_in: u64,
 }
 
 /// Physical memory contents: 64-bit words, allocated per frame on first
@@ -453,6 +489,16 @@ impl PmapRegistry {
         id
     }
 
+    /// Creates a new user pmap homed on `node`: its page tables and lock
+    /// words live in that node's memory, so processors elsewhere pay the
+    /// interconnect to touch them. On a flat topology this is
+    /// [`PmapRegistry::create`] (everything is home).
+    pub fn create_on(&mut self, node: usize) -> PmapId {
+        let id = self.create();
+        self.get_mut(id).set_home(node);
+        id
+    }
+
     /// The pmap with the given id.
     ///
     /// # Panics
@@ -531,6 +577,10 @@ pub struct KernelState {
     pub n_cpus: usize,
     /// The configuration under test.
     pub config: KernelConfig,
+    /// The resolved topology ([`KernelConfig::topology`] or flat).
+    pub topology: Topology,
+    /// Per-node counters (always at least one node).
+    pub node_stats: Vec<NodeCounters>,
     /// All pmaps.
     pub pmaps: PmapRegistry,
     /// Per-processor TLBs (hardware state, held centrally so the checker
@@ -611,8 +661,11 @@ impl KernelState {
         }
         assert!(config.fanout >= 1, "fanout degree must be at least 1");
         assert!(config.pmap_shards >= 1, "pmap_shards must be at least 1");
+        let topology = config.topology.unwrap_or_else(|| Topology::flat(n_cpus));
         KernelState {
             n_cpus,
+            topology,
+            node_stats: vec![NodeCounters::default(); topology.nodes()],
             pmaps: PmapRegistry::new(n_cpus, config.pmap_shards),
             tlbs: (0..n_cpus).map(|_| Tlb::new(config.tlb)).collect(),
             active: CpuSet::new(n_cpus),
@@ -647,6 +700,11 @@ impl KernelState {
             join_results: vec![None; n_cpus],
             config,
         }
+    }
+
+    /// The node processor `cpu` lives on.
+    pub fn node_of(&self, cpu: CpuId) -> usize {
+        self.topology.node_of(cpu)
     }
 
     /// Whether any in-flight multicast round still awaits `cpu`'s

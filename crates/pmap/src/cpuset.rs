@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use machtlb_sim::CpuId;
+use machtlb_sim::{CpuId, Topology};
 
 /// A set of processors, implemented as a bit vector.
 ///
@@ -153,6 +153,40 @@ impl CpuSet {
         }
     }
 
+    /// Iterates over the members that live on `node` of `topology`, in
+    /// ascending id order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use machtlb_pmap::CpuSet;
+    /// use machtlb_sim::{CpuId, Dur, Topology};
+    ///
+    /// let topo = Topology::numa(2, 4, Dur::micros(2));
+    /// let set = CpuSet::full(8);
+    /// let on_node_1: Vec<usize> = set.node_members(topo, 1).map(|c| c.index()).collect();
+    /// assert_eq!(on_node_1, vec![4, 5, 6, 7]);
+    /// ```
+    pub fn node_members(
+        &self,
+        topology: Topology,
+        node: usize,
+    ) -> impl Iterator<Item = CpuId> + '_ {
+        self.iter().filter(move |&c| topology.node_of(c) == node)
+    }
+
+    /// Splits the set into one subset per node of `topology`: element `n` of
+    /// the result holds exactly the members living on node `n`. Every member
+    /// appears in exactly one partition, so the partitions are disjoint and
+    /// their union is `self`.
+    pub fn partition_by_node(&self, topology: Topology) -> Vec<CpuSet> {
+        let mut parts = vec![CpuSet::new(self.capacity); topology.nodes()];
+        for c in self.iter() {
+            parts[topology.node_of(c)].insert(c);
+        }
+        parts
+    }
+
     /// The members of `self` absent from `other` (word-parallel and-not).
     ///
     /// # Panics
@@ -268,5 +302,88 @@ mod tests {
     fn out_of_range_panics() {
         let s = CpuSet::new(8);
         let _ = s.contains(CpuId::new(8));
+    }
+
+    #[test]
+    fn node_members_respects_surplus_fold() {
+        use machtlb_sim::Dur;
+        // 10 cpus on a 2x4 topology: cpus 8 and 9 fold onto the last node.
+        let topo = Topology::numa(2, 4, Dur::micros(1));
+        let s = CpuSet::full(10);
+        let n0: Vec<usize> = s.node_members(topo, 0).map(|c| c.index()).collect();
+        let n1: Vec<usize> = s.node_members(topo, 1).map(|c| c.index()).collect();
+        assert_eq!(n0, vec![0, 1, 2, 3]);
+        assert_eq!(n1, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partition_on_flat_is_the_whole_set() {
+        let s: CpuSet = [3u32, 9, 77].into_iter().map(CpuId::new).collect();
+        let parts = s.partition_by_node(Topology::flat(s.capacity()));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], s);
+    }
+
+    mod properties {
+        use super::*;
+        use machtlb_sim::Dur;
+        use proptest::prelude::*;
+
+        /// Topologies and member sets that exercise >64 cpus so multi-word
+        /// bit-vector handling is covered. Ids range well past the topology's
+        /// nominal span; surplus cpus fold onto the last node by design.
+        fn topo_and_members() -> impl Strategy<Value = (Topology, Vec<u32>)> {
+            (
+                1usize..=8,
+                1usize..=40,
+                proptest::collection::vec(0u32..320, 0..96),
+            )
+                .prop_map(|(nodes, node_cpus, ids)| {
+                    (Topology::numa(nodes, node_cpus, Dur::micros(2)), ids)
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn partitions_are_disjoint_and_cover_the_set((topo, ids) in topo_and_members()) {
+                let cap = ids.iter().map(|&i| i as usize + 1).max().unwrap_or(0).max(65);
+                let mut s = CpuSet::new(cap);
+                for &i in &ids {
+                    s.insert(CpuId::new(i));
+                }
+                let parts = s.partition_by_node(topo);
+                prop_assert_eq!(parts.len(), topo.nodes());
+                // Disjoint: total membership equals the set's size.
+                let total: usize = parts.iter().map(CpuSet::len).sum();
+                prop_assert_eq!(total, s.len());
+                // Cover: every member lands in the partition of its node,
+                // and no partition holds a foreign cpu.
+                for (n, part) in parts.iter().enumerate() {
+                    for c in part.iter() {
+                        prop_assert!(s.contains(c));
+                        prop_assert_eq!(topo.node_of(c), n);
+                    }
+                }
+                for c in s.iter() {
+                    prop_assert!(parts[topo.node_of(c)].contains(c));
+                }
+            }
+
+            #[test]
+            fn node_members_matches_partition((topo, ids) in topo_and_members()) {
+                let cap = ids.iter().map(|&i| i as usize + 1).max().unwrap_or(0).max(65);
+                let mut s = CpuSet::new(cap);
+                for &i in &ids {
+                    s.insert(CpuId::new(i));
+                }
+                let parts = s.partition_by_node(topo);
+                prop_assert_eq!(parts.len(), topo.nodes());
+                for (n, part) in parts.iter().enumerate() {
+                    let via_iter: Vec<CpuId> = s.node_members(topo, n).collect();
+                    let via_parts: Vec<CpuId> = part.iter().collect();
+                    prop_assert_eq!(via_iter, via_parts, "node {}", n);
+                }
+            }
+        }
     }
 }

@@ -95,6 +95,10 @@ pub struct Pmap {
     shards: Vec<SpinLock>,
     in_use: CpuSet,
     stats: PmapStats,
+    /// The node whose memory holds this pmap's page tables and lock words
+    /// (0 on a flat machine). Transactions against the pmap from other
+    /// nodes cross the interconnect.
+    home: usize,
 }
 
 impl Pmap {
@@ -119,7 +123,19 @@ impl Pmap {
                 .collect(),
             in_use: CpuSet::new(n_cpus),
             stats: PmapStats::default(),
+            home: 0,
         }
+    }
+
+    /// The node whose memory homes this pmap's structures.
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Places the pmap's structures on `node` (NUMA placement; 0 is the
+    /// flat machine's only node).
+    pub fn set_home(&mut self, node: usize) {
+        self.home = node;
     }
 
     /// The wait channel a pmap's lock releases notify (`0x1` key space;

@@ -38,8 +38,13 @@ pub struct CostModel {
     pub bus_write_latency: Dur,
     /// How long one transaction occupies the shared bus. Queueing behind
     /// other processors' transactions is what produces the contention knee
-    /// above 12 processors in Figure 2.
+    /// above 12 processors in Figure 2. On a multi-node
+    /// [`Topology`](crate::Topology) this is the per-node bus hold time.
     pub bus_occupancy: Dur,
+    /// How long one cross-node transaction occupies the inter-node
+    /// interconnect (unused on a flat topology; the crossing's latency
+    /// beyond the hold comes from the topology's remote latency).
+    pub interconnect_occupancy: Dur,
     /// Interrupt entry: vectoring, pipeline drain, and the dispatch code up
     /// to the handler body (state save is charged separately per word).
     pub intr_entry: Dur,
@@ -94,6 +99,7 @@ impl CostModel {
             bus_read_latency: Dur::nanos(900),
             bus_write_latency: Dur::nanos(700),
             bus_occupancy: Dur::nanos(600),
+            interconnect_occupancy: Dur::nanos(400),
             intr_entry: Dur::micros(352),
             intr_exit: Dur::micros(25),
             state_save_words: 16,
@@ -126,6 +132,7 @@ impl CostModel {
             bus_read_latency: us,
             bus_write_latency: us,
             bus_occupancy: Dur::nanos(100),
+            interconnect_occupancy: Dur::nanos(100),
             intr_entry: us,
             intr_exit: us,
             state_save_words: 1,

@@ -57,6 +57,7 @@ mod lock;
 mod machine;
 mod process;
 mod time;
+mod topology;
 
 pub use bus::{Bus, BusOp, BusOpStats, BusStats};
 pub use cost::CostModel;
@@ -71,6 +72,7 @@ pub use lock::SpinLock;
 pub use machine::{Machine, MachineConfig, MulticastStats, RunReport, RunStatus};
 pub use process::{Ctx, Process, Step};
 pub use time::{Dur, Time};
+pub use topology::{BusFabric, FabricStats, Topology};
 
 #[cfg(test)]
 mod tests {
@@ -106,6 +108,7 @@ mod tests {
             n_cpus,
             seed: 1,
             costs: CostModel::uniform_test(),
+            topology: Topology::flat(n_cpus),
         }
     }
 
@@ -518,6 +521,7 @@ mod tests {
                 n_cpus: 0,
                 seed: 0,
                 costs: CostModel::uniform_test(),
+                topology: Topology::flat(1),
             },
             Trace::new(),
             |_| (),
@@ -1386,7 +1390,12 @@ mod proptests {
         ) {
             let run = |scripts: &[Vec<Act>]| {
                 let mut m = Machine::new(
-                    MachineConfig { n_cpus: 4, seed, costs: CostModel::uniform_test() },
+                    MachineConfig {
+                        n_cpus: 4,
+                        seed,
+                        costs: CostModel::uniform_test(),
+                        topology: Topology::flat(4),
+                    },
                     Trace::new(),
                     |_| (),
                 );

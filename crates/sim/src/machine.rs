@@ -9,7 +9,7 @@ use std::rc::Rc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::bus::{Bus, BusOp, BusStats};
+use crate::bus::{BusOp, BusStats};
 use crate::cost::CostModel;
 use crate::cpu::{CpuCore, CpuId, Frame, ParkState};
 use crate::event::{skipped_iterations, wake_for_delivery, wake_for_notify, WaitChannel};
@@ -17,6 +17,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats}
 use crate::intr::{FanoutTree, IntrClass, IntrMask, Vector};
 use crate::process::{Command, Ctx, Process};
 use crate::time::{Dur, Time};
+use crate::topology::{BusFabric, FabricStats, Topology};
 
 /// Static configuration of a simulated machine.
 #[derive(Clone, Debug)]
@@ -29,6 +30,10 @@ pub struct MachineConfig {
     pub seed: u64,
     /// The cost model charged for primitive actions.
     pub costs: CostModel,
+    /// The node layout. [`Topology::flat`] reproduces the paper's single
+    /// shared bus bit-identically; a multi-node topology gives every node
+    /// its own bus and routes cross-node traffic over the interconnect.
+    pub topology: Topology,
 }
 
 impl MachineConfig {
@@ -38,6 +43,7 @@ impl MachineConfig {
             n_cpus: 16,
             seed,
             costs: CostModel::multimax(),
+            topology: Topology::flat(16),
         }
     }
 }
@@ -175,7 +181,7 @@ struct HandlerEntry<S, P> {
 pub struct Machine<S, P> {
     cpus: Vec<CpuCore<S, P>>,
     shared: S,
-    bus: Bus,
+    fabric: BusFabric,
     costs: CostModel,
     rng: SmallRng,
     handlers: BTreeMap<Vector, HandlerEntry<S, P>>,
@@ -212,7 +218,11 @@ impl<S, P> Machine<S, P> {
         Machine {
             cpus,
             shared,
-            bus: Bus::new(config.costs.bus_occupancy),
+            fabric: BusFabric::new(
+                config.topology,
+                config.costs.bus_occupancy,
+                config.costs.interconnect_occupancy,
+            ),
             costs: config.costs,
             rng: SmallRng::seed_from_u64(config.seed),
             handlers: BTreeMap::new(),
@@ -519,8 +529,14 @@ impl<S, P> Machine<S, P> {
             return;
         }
         let tree = FanoutTree::new(group.degree, group.targets.len());
+        let topology = self.fabric.topology();
         for (j, child) in tree.children(slot).enumerate() {
-            let when = at + self.costs.ipi_send * (j as u64 + 1) + self.costs.ipi_latency;
+            // A cross-node forward pays the interconnect's delivery latency
+            // on top of the controller hop (zero on a flat topology).
+            let when = at
+                + self.costs.ipi_send * (j as u64 + 1)
+                + self.costs.ipi_latency
+                + topology.ipi_extra(relay, group.targets[child]);
             self.multicast_stats.forwards += 1;
             self.send_multicast_hop(group.clone(), child, vector, when);
         }
@@ -643,7 +659,7 @@ impl<S, P> Machine<S, P> {
         let Machine {
             cpus,
             shared,
-            bus,
+            fabric,
             costs,
             rng,
             handlers,
@@ -654,6 +670,7 @@ impl<S, P> Machine<S, P> {
         let n_cpus = cpus.len();
         let cpu = &mut cpus[i];
         let cpu_id = cpu.id();
+        let node = fabric.topology().node_of(cpu_id);
 
         // Interrupt dispatch takes priority over the current frame.
         if let Some(v) = cpu.deliverable(|v| handlers.get(&v).map(|h| h.class)) {
@@ -668,7 +685,8 @@ impl<S, P> Machine<S, P> {
             // interrupted at once these writes queue — the Figure 2 knee.
             let mut cost = costs.intr_entry;
             for _ in 0..costs.state_save_words {
-                cost += bus.access(cpu.clock, BusOp::Write, costs.bus_write_latency);
+                // State saves go to the dispatching processor's own node.
+                cost += fabric.access_local(cpu.clock, node, BusOp::Write, costs.bus_write_latency);
             }
             let handler = handlers
                 .get(&v)
@@ -704,7 +722,8 @@ impl<S, P> Machine<S, P> {
                 payload: &mut cpu.payload,
                 mask: &mut cpu.mask,
                 pending: &cpu.pending,
-                bus,
+                fabric,
+                node,
                 costs,
                 rng,
                 commands: &mut commands,
@@ -759,17 +778,22 @@ impl<S, P> Machine<S, P> {
 
         // Apply staged commands. Traps push onto this processor's stack so
         // they run before the trapping process resumes.
+        let topology = self.fabric.topology();
+        let sender = CpuId::new(i as u32);
         for cmd in commands {
             match cmd {
                 Command::SendIpi { target, vector, at } => {
-                    self.inject_ipi(target, vector, at);
+                    let when = at + topology.ipi_extra(sender, target);
+                    self.inject_ipi(target, vector, when);
                 }
                 Command::BroadcastIpi { vector, at } => {
                     for t in 0..n_cpus {
                         if t == i {
                             continue;
                         }
-                        self.inject_ipi(CpuId::new(t as u32), vector, at);
+                        let target = CpuId::new(t as u32);
+                        let when = at + topology.ipi_extra(sender, target);
+                        self.inject_ipi(target, vector, when);
                     }
                 }
                 Command::MulticastIpi {
@@ -782,8 +806,10 @@ impl<S, P> Machine<S, P> {
                     let tree = FanoutTree::new(degree, targets.len());
                     let group = Rc::new(MulticastGroup { targets, degree });
                     for (j, slot) in tree.root_children().enumerate() {
-                        let when =
-                            at + self.costs.ipi_send * (j as u64 + 1) + self.costs.ipi_latency;
+                        let when = at
+                            + self.costs.ipi_send * (j as u64 + 1)
+                            + self.costs.ipi_latency
+                            + topology.ipi_extra(sender, group.targets[slot]);
                         self.multicast_stats.forwards += 1;
                         self.send_multicast_hop(group.clone(), slot, vector, when);
                     }
@@ -855,9 +881,22 @@ impl<S, P> Machine<S, P> {
         self.cpus.len()
     }
 
-    /// Cumulative bus statistics.
+    /// Cumulative bus statistics, aggregated over every node bus and the
+    /// interconnect (on a flat topology this is exactly the single bus's
+    /// statistics). Use [`Machine::fabric_stats`] for the per-node split.
     pub fn bus_stats(&self) -> BusStats {
-        self.bus.stats()
+        self.fabric.stats().total
+    }
+
+    /// Cumulative fabric statistics: the aggregate plus the per-node and
+    /// interconnect splits.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// The machine's node layout.
+    pub fn topology(&self) -> Topology {
+        self.fabric.topology()
     }
 
     /// Counters of the tree-fanout multicast fabric (all zero when nothing

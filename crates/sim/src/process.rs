@@ -17,12 +17,13 @@ use std::fmt;
 
 use rand::rngs::SmallRng;
 
-use crate::bus::{Bus, BusOp};
+use crate::bus::BusOp;
 use crate::cost::CostModel;
 use crate::cpu::CpuId;
 use crate::event::{BlockOn, WaitChannel};
 use crate::intr::{IntrMask, Vector};
 use crate::time::{Dur, Time};
+use crate::topology::{BusFabric, Topology};
 
 /// The outcome of one [`Process::step`].
 #[derive(Debug)]
@@ -153,7 +154,9 @@ pub struct Ctx<'a, S, P> {
     pub payload: &'a mut P,
     pub(crate) mask: &'a mut IntrMask,
     pub(crate) pending: &'a BTreeSet<Vector>,
-    pub(crate) bus: &'a mut Bus,
+    pub(crate) fabric: &'a mut BusFabric,
+    /// The node this processor lives on (precomputed by the scheduler).
+    pub(crate) node: usize,
     pub(crate) costs: &'a CostModel,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<S, P>>,
@@ -189,24 +192,88 @@ impl<'a, S, P> Ctx<'a, S, P> {
         self.halted[cpu.index()]
     }
 
-    /// Issues a bus read (cache miss) at the current instant and returns its
-    /// total delay including queueing. Add the result to the step's cost.
+    /// The machine's node layout.
+    pub fn topology(&self) -> Topology {
+        self.fabric.topology()
+    }
+
+    /// The node this processor lives on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The node `cpu` lives on.
+    pub fn node_of(&self, cpu: CpuId) -> usize {
+        self.fabric.topology().node_of(cpu)
+    }
+
+    /// Issues a bus read (cache miss) against this processor's own node at
+    /// the current instant and returns its total delay including queueing.
+    /// Add the result to the step's cost.
     pub fn bus_read(&mut self) -> Dur {
-        self.bus
-            .access(self.now, BusOp::Read, self.costs.bus_read_latency)
-    }
-
-    /// Issues a bus write (write-through) and returns its total delay.
-    pub fn bus_write(&mut self) -> Dur {
-        self.bus
-            .access(self.now, BusOp::Write, self.costs.bus_write_latency)
-    }
-
-    /// Issues an interlocked read-modify-write bus transaction and returns
-    /// its total delay.
-    pub fn bus_interlocked(&mut self) -> Dur {
-        self.bus.access(
+        self.fabric.access_local(
             self.now,
+            self.node,
+            BusOp::Read,
+            self.costs.bus_read_latency,
+        )
+    }
+
+    /// Issues a bus write (write-through) against this processor's own node
+    /// and returns its total delay.
+    pub fn bus_write(&mut self) -> Dur {
+        self.fabric.access_local(
+            self.now,
+            self.node,
+            BusOp::Write,
+            self.costs.bus_write_latency,
+        )
+    }
+
+    /// Issues an interlocked read-modify-write bus transaction against this
+    /// processor's own node and returns its total delay.
+    pub fn bus_interlocked(&mut self) -> Dur {
+        self.fabric.access_local(
+            self.now,
+            self.node,
+            BusOp::Interlocked,
+            self.costs.bus_read_latency + self.costs.bus_write_latency,
+        )
+    }
+
+    /// Issues a bus read against memory homed on `home` node, crossing the
+    /// interconnect when that is not this processor's node. Identical to
+    /// [`Ctx::bus_read`] on a flat topology.
+    pub fn bus_read_at(&mut self, home: usize) -> Dur {
+        self.fabric.access(
+            self.now,
+            self.node,
+            home,
+            BusOp::Read,
+            self.costs.bus_read_latency,
+        )
+    }
+
+    /// Issues a bus write against memory homed on `home` node. Identical to
+    /// [`Ctx::bus_write`] on a flat topology.
+    pub fn bus_write_at(&mut self, home: usize) -> Dur {
+        self.fabric.access(
+            self.now,
+            self.node,
+            home,
+            BusOp::Write,
+            self.costs.bus_write_latency,
+        )
+    }
+
+    /// Issues an interlocked read-modify-write against memory homed on
+    /// `home` node. Identical to [`Ctx::bus_interlocked`] on a flat
+    /// topology.
+    pub fn bus_interlocked_at(&mut self, home: usize) -> Dur {
+        self.fabric.access(
+            self.now,
+            self.node,
+            home,
             BusOp::Interlocked,
             self.costs.bus_read_latency + self.costs.bus_write_latency,
         )

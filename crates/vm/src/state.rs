@@ -50,6 +50,15 @@ impl VmState {
         id
     }
 
+    /// Creates a task whose pmap is homed on `node` of the machine's
+    /// topology: page tables and lock words live in that node's memory.
+    pub fn create_task_on(&mut self, kernel: &mut KernelState, node: usize) -> TaskId {
+        let pmap = kernel.pmaps.create_on(node);
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, pmap));
+        id
+    }
+
     /// The task with the given id.
     ///
     /// # Panics
@@ -169,6 +178,7 @@ pub fn build_system_machine(
         n_cpus,
         seed,
         costs,
+        topology: state.kernel.topology,
     };
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, high_prio);

@@ -1,8 +1,8 @@
 //! Building and running workload machines, and extracting the paper's
 //! measurements from them.
 
-use machtlb_core::{install_kernel_handlers, KernelConfig, KernelStats};
-use machtlb_sim::{BusStats, CostModel, CpuId, Dur, Machine, MachineConfig, Time};
+use machtlb_core::{install_kernel_handlers, KernelConfig, KernelStats, NodeCounters};
+use machtlb_sim::{BusStats, CostModel, CpuId, Dur, FabricStats, Machine, MachineConfig, Time};
 use machtlb_vm::{SystemState, VmStats};
 use machtlb_xpr::{InitiatorRecord, PmapKind, ResponderRecord, Summary, TraceEvent};
 
@@ -58,6 +58,7 @@ pub fn build_workload_machine(config: &RunConfig, app: AppShared) -> WlMachine {
         n_cpus: config.n_cpus,
         seed: config.seed,
         costs: config.costs.clone(),
+        topology: state.sys.kernel.topology,
     };
     let mut m = Machine::new(mconfig, state, |_| ());
     install_kernel_handlers(&mut m, config.kconfig.high_prio_ipi);
@@ -166,6 +167,12 @@ pub struct AppReport {
     /// Bus statistics, including the per-transaction-kind occupancy split
     /// ([`BusStats::per_op`]).
     pub bus: BusStats,
+    /// The topology-split bus statistics: per-node buses and the
+    /// interconnect ([`FabricStats::total`] equals [`AppReport::bus`]).
+    pub fabric: FabricStats,
+    /// Per-node kernel counters (one entry per node; a single entry on a
+    /// flat machine).
+    pub node_stats: Vec<NodeCounters>,
 }
 
 impl AppReport {
@@ -217,6 +224,8 @@ impl AppReport {
                 .map_or(k.n_cpus, Vec::len),
             trace: k.trace.events(),
             bus: m.bus_stats(),
+            fabric: m.fabric_stats(),
+            node_stats: k.node_stats.clone(),
         }
     }
 

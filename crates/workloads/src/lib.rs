@@ -26,6 +26,7 @@ pub mod camelot;
 mod harness;
 mod kernelops;
 pub mod machbuild;
+pub mod migrate;
 pub mod pageout;
 pub mod parthenon;
 mod state;
@@ -37,6 +38,10 @@ pub use camelot::{install_camelot, run_camelot, CamelotConfig, CamelotShared};
 pub use harness::{build_workload_machine, run_until_done, AppReport, RunConfig, WlMachine};
 pub use kernelops::KernelBufferOp;
 pub use machbuild::{install_machbuild, run_machbuild, MachBuildConfig, MachBuildShared};
+pub use migrate::{
+    install_autonuma, install_migration_storm, run_migration_storm, AutoNumaConfig, AutoNumaDaemon,
+    MigrationOutcome, MigrationStormConfig, MigrationWorker,
+};
 pub use pageout::{install_pageout, PageoutConfig, PageoutDaemon};
 pub use parthenon::{install_parthenon, run_parthenon, ParthenonConfig, ParthenonShared};
 pub use state::{AppShared, ThreadBox, WlState};

@@ -11,6 +11,7 @@ use machtlb_vm::{HasVm, SystemState, VmState};
 use crate::agora::AgoraShared;
 use crate::camelot::CamelotShared;
 use crate::machbuild::MachBuildShared;
+use crate::migrate::MigrateShared;
 use crate::parthenon::ParthenonShared;
 use crate::tester::TesterShared;
 
@@ -33,6 +34,8 @@ pub enum AppShared {
     Agora(AgoraShared),
     /// The Camelot transaction system.
     Camelot(CamelotShared),
+    /// The page-migration storm.
+    Migrate(MigrateShared),
 }
 
 macro_rules! app_accessors {
@@ -122,6 +125,7 @@ impl WlState {
     app_accessors!(parthenon, parthenon_mut, Parthenon, ParthenonShared);
     app_accessors!(agora, agora_mut, Agora, AgoraShared);
     app_accessors!(camelot, camelot_mut, Camelot, CamelotShared);
+    app_accessors!(migrate, migrate_mut, Migrate, MigrateShared);
 }
 
 impl HasKernel for WlState {

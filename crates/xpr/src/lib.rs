@@ -42,8 +42,9 @@ pub use record::{InitiatorRecord, PmapKind, ResponderRecord, ShootdownEvent};
 pub use stats::{linear_fit, percentile_nearest_rank, percentile_sorted, LinFit, Summary};
 pub use table::{counters_table, TextTable};
 pub use trace::{
-    assemble_spans, check_monotone_per_cpu, phase_latencies, recovery_latencies, validate_spans,
-    FlightRecorder, PhaseSlice, Span, SpanId, SpanMark, TraceEdge, TraceEvent, TracePhase,
+    assemble_spans, check_monotone_per_cpu, phase_latencies, phase_latencies_by_node,
+    recovery_latencies, validate_spans, FlightRecorder, PhaseSlice, Span, SpanId, SpanMark,
+    TraceEdge, TraceEvent, TracePhase,
 };
 
 #[cfg(test)]

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use machtlb_sim::{CpuId, Time};
+use machtlb_sim::{CpuId, Time, Topology};
 
 use crate::buffer::XprBuffer;
 
@@ -479,6 +479,40 @@ pub fn phase_latencies(events: &[TraceEvent]) -> Vec<(TracePhase, Vec<f64>)> {
         .collect()
 }
 
+/// The [`phase_latencies`] samples split by the node each slice ran on,
+/// so a NUMA run's table can carry a node column and attribute shootdown
+/// time to nodes. Rows come back phase-major (in [`TracePhase::ALL`]
+/// order), node-minor; `(phase, node)` pairs with no completed slices
+/// are omitted. On a flat topology this is [`phase_latencies`] with a
+/// constant node 0 column.
+pub fn phase_latencies_by_node(
+    events: &[TraceEvent],
+    topology: Topology,
+) -> Vec<(TracePhase, usize, Vec<f64>)> {
+    let spans = assemble_spans(events);
+    let mut by_key: HashMap<(TracePhase, usize), Vec<f64>> = HashMap::new();
+    for span in &spans {
+        for s in &span.slices {
+            by_key
+                .entry((s.phase, topology.node_of(s.cpu)))
+                .or_default()
+                .push(s.end.duration_since(s.begin).as_micros_f64());
+        }
+    }
+    let mut out: Vec<(TracePhase, usize, Vec<f64>)> =
+        by_key.into_iter().map(|((p, n), v)| (p, n, v)).collect();
+    out.sort_by_key(|&(p, n, _)| {
+        (
+            TracePhase::ALL
+                .iter()
+                .position(|q| *q == p)
+                .unwrap_or(usize::MAX),
+            n,
+        )
+    });
+    out
+}
+
 /// Recovery-path latencies (µs) the slice-based [`phase_latencies`]
 /// table cannot see, because they live in marks rather than begin/end
 /// pairs:
@@ -624,6 +658,38 @@ mod tests {
             phase,
             edge,
             arg: 0,
+        }
+    }
+
+    #[test]
+    fn phase_latencies_split_by_node() {
+        // Two responders on different nodes of a 2x2 machine service the
+        // same span: the per-node split separates them, the flat split
+        // folds them onto node 0.
+        let events = vec![
+            ev(1_000, 0, 1, TracePhase::Initiate, TraceEdge::Begin),
+            ev(2_000, 0, 1, TracePhase::Initiate, TraceEdge::End),
+            ev(3_000, 1, 1, TracePhase::Quiesce, TraceEdge::Begin),
+            ev(5_000, 1, 1, TracePhase::Quiesce, TraceEdge::End),
+            ev(3_000, 2, 1, TracePhase::Quiesce, TraceEdge::Begin),
+            ev(8_000, 2, 1, TracePhase::Quiesce, TraceEdge::End),
+        ];
+        let topo = Topology::numa(2, 2, machtlb_sim::Dur::micros(1));
+        let rows = phase_latencies_by_node(&events, topo);
+        assert_eq!(rows.len(), 3, "initiate@0, quiesce@0, quiesce@1");
+        assert_eq!((rows[0].0, rows[0].1), (TracePhase::Initiate, 0));
+        assert_eq!((rows[1].0, rows[1].1), (TracePhase::Quiesce, 0));
+        assert_eq!(rows[1].2, vec![2.0], "cpu 1 lives on node 0");
+        assert_eq!((rows[2].0, rows[2].1), (TracePhase::Quiesce, 1));
+        assert_eq!(rows[2].2, vec![5.0], "cpu 2 lives on node 1");
+        // Flat: same samples as phase_latencies, all on node 0.
+        let flat = phase_latencies_by_node(&events, Topology::flat(4));
+        assert!(flat.iter().all(|&(_, n, _)| n == 0));
+        let plain = phase_latencies(&events);
+        assert_eq!(flat.len(), plain.len());
+        for ((fp, _, fv), (pp, pv)) in flat.iter().zip(&plain) {
+            assert_eq!(fp, pp);
+            assert_eq!(fv, pv);
         }
     }
 

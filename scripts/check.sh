@@ -6,9 +6,13 @@
 #   4. doc-tests        (workspace-wide)
 #   5. smoke benches    (the spin-vs-event, trace-overhead, and Section 8
 #                        harnesses in MACHTLB_SMOKE mode; the Section 8
-#                        harness drives the 1024-processor scaling point
+#                        scaling harness drives the 1024-processor point
 #                        and asserts the fanout+batching curve stays
-#                        sub-linear. Each writes BENCH_<name>.json into
+#                        sub-linear, and the Section 8 NUMA harness drives
+#                        the migration storm on a 4-node x 16-processor
+#                        machine, asserting node-local traffic stays flat
+#                        and cross-node placement pays the interconnect.
+#                        Each writes BENCH_<name>.json into
 #                        target/bench-json, and `machtlb bench-check`
 #                        holds the headline numbers against the committed
 #                        baselines in crates/bench/baselines within a
@@ -50,6 +54,7 @@ mkdir -p "$BENCH_DIR"
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench spin_vs_event
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench trace_overhead
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_scaling
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_numa
 
 echo "==> bench noise envelope vs committed baselines"
 cargo run --release --quiet --bin machtlb -- bench-check \

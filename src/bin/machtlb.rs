@@ -10,21 +10,22 @@
 
 use std::process::ExitCode;
 
-use machtlb::bench::{compare_reports, parse_report};
+use machtlb::bench::{compare_reports, diff_reports, parse_report};
 use machtlb::core::{
     check_envelope, plan_catalog, run_chaos, survival_json, ChaosConfig, KernelConfig, Strategy,
     Survival,
 };
-use machtlb::sim::{BusOp, CostModel, Dur, Time};
+use machtlb::sim::{BusOp, CostModel, Dur, Time, Topology};
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
 use machtlb::workloads::{
-    run_agora, run_camelot, run_machbuild, run_parthenon, run_tester, AgoraConfig, AppReport,
-    CamelotConfig, MachBuildConfig, ParthenonConfig, RunConfig, TesterConfig,
+    run_agora, run_camelot, run_machbuild, run_migration_storm, run_parthenon, run_tester,
+    AgoraConfig, AppReport, CamelotConfig, MachBuildConfig, MigrationStormConfig, ParthenonConfig,
+    RunConfig, TesterConfig,
 };
 use machtlb::xpr::{
     assemble_spans, check_monotone_per_cpu, chrome_trace_json, counters_table, linear_fit,
-    phase_latencies, recovery_latencies, validate_json_shape, validate_spans, Histogram, Summary,
-    TextTable,
+    phase_latencies, phase_latencies_by_node, recovery_latencies, validate_json_shape,
+    validate_spans, Histogram, Summary, TextTable,
 };
 
 const USAGE: &str = "\
@@ -32,16 +33,19 @@ machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
 
 USAGE:
     machtlb tester  [--children N] [--cpus N] [--seed N] [--strategy S]
-                    [--fanout N] [--shards N] [--batch on|off]
+                    [--fanout N] [--shards N] [--batch on|off] [TOPOLOGY]
     machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N] [--lazy on|off]
     machtlb fig2    [--cpus N] [--max-k N] [--runs N]
     machtlb scaling [--upto N] [--fanout N] [--shards N] [--batch on|off]
+                    [TOPOLOGY]
     machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
                     [--strategy S] [--cpus N] [--seed N] [--out FILE]
-                    [--fanout N] [--shards N] [--batch on|off]
+                    [--fanout N] [--shards N] [--batch on|off] [TOPOLOGY]
+    machtlb storm   [--cpus N] [--seed N] [--workers N] [--pages N]
+                    [--migrations N] [--cross on|off] [TOPOLOGY]
     machtlb bench-check --baseline DIR [--current DIR] [--tolerance PCT]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
-                    [--json FILE]
+                    [--json FILE] [TOPOLOGY]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
@@ -51,6 +55,19 @@ DELIVERY FLAGS (shootdown strategy):
                     unicast send loop; degree 1 is bit-identical to it)
     --shards N      pmap lock shard count (default 1 = one lock per pmap)
     --batch on|off  merge concurrent same-pmap initiators into one round
+
+TOPOLOGY FLAGS (omit them all for the paper's flat single-bus machine):
+    --nodes N            NUMA nodes (default 1 = flat, bit-identical to
+                         the pre-topology simulator)
+    --node-cpus N        processors per node (default cpus / nodes; the
+                         last node absorbs any surplus)
+    --remote-latency US  microseconds added to every interconnect
+                         crossing (default 4)
+
+`storm` runs the page-migration workload: workers on every node
+repeatedly unmap a page and re-enter it on a fresh frame, hammering the
+shootdown path; `--cross on` targets the next node's pmap so every lock
+word and page table is remote.
 
 `bench-check` holds every BENCH_<name>.json under --current (default .)
 against the committed file of the same name under --baseline, failing if
@@ -168,6 +185,55 @@ fn apply_delivery_flags(args: &Args, mut kconfig: KernelConfig) -> Result<Kernel
     Ok(kconfig)
 }
 
+/// Applies the `--nodes`, `--node-cpus`, and `--remote-latency` topology
+/// flags. With none of them present the configuration stays flat
+/// (`topology: None`), which is bit-identical to the pre-topology
+/// single-bus simulator.
+fn apply_topology_flags(
+    args: &Args,
+    cpus: usize,
+    mut kconfig: KernelConfig,
+) -> Result<KernelConfig, String> {
+    if args.get("nodes").is_none()
+        && args.get("node-cpus").is_none()
+        && args.get("remote-latency").is_none()
+    {
+        return Ok(kconfig);
+    }
+    let nodes = args.num("nodes", 1)? as usize;
+    if nodes == 0 {
+        return Err("--nodes: need at least 1 node".into());
+    }
+    let node_cpus = args.num("node-cpus", cpus.div_ceil(nodes).max(1) as u64)? as usize;
+    if node_cpus == 0 {
+        return Err("--node-cpus: need at least 1 processor per node".into());
+    }
+    if nodes > 1 && node_cpus * (nodes - 1) >= cpus {
+        return Err(format!(
+            "--nodes {nodes} x --node-cpus {node_cpus} leaves no processor \
+             for the last node on a {cpus}-cpu machine"
+        ));
+    }
+    let remote = Dur::micros(args.num("remote-latency", 4)?);
+    kconfig.topology = Some(Topology::numa(nodes, node_cpus, remote));
+    Ok(kconfig)
+}
+
+/// One line describing the machine topology, printed when a run is NUMA
+/// so output is self-describing (flat runs stay silent: nothing changed).
+fn topology_line(kconfig: &KernelConfig) -> Option<String> {
+    let t = kconfig.topology?;
+    if t.is_flat() {
+        return None;
+    }
+    Some(format!(
+        "topology: {} nodes x {} processors, {:.1} us interconnect crossing",
+        t.nodes(),
+        t.node_cpus(),
+        t.remote_latency().as_micros_f64(),
+    ))
+}
+
 /// One line describing the delivery configuration, printed whenever the
 /// flags are live so runs are self-describing.
 fn delivery_line(kconfig: &KernelConfig) -> String {
@@ -211,7 +277,11 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
                 .into(),
         );
     }
-    let kconfig = apply_delivery_flags(args, strategy_config(strategy)?)?;
+    let kconfig = apply_topology_flags(
+        args,
+        cpus,
+        apply_delivery_flags(args, strategy_config(strategy)?)?,
+    )?;
     let config = base_config(cpus, seed, kconfig);
     let out = run_tester(
         &config,
@@ -222,6 +292,15 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
     );
     println!("consistency tester: {children} children, {cpus} processors, strategy {strategy}");
     println!("  {}", delivery_line(&config.kconfig));
+    if let Some(line) = topology_line(&config.kconfig) {
+        println!("  {line}");
+        println!(
+            "  remote traffic: {} of {} IPIs crossed nodes, {} remote lock references",
+            out.report.stats.ipis_remote,
+            out.report.stats.ipis_sent,
+            out.report.stats.remote_lock_refs
+        );
+    }
     if out.report.stats.multicast_rounds > 0 || out.report.stats.initiators_batched > 0 {
         println!(
             "  multicast rounds: {}, initiators batched: {}",
@@ -404,11 +483,19 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
 
 fn cmd_scaling(args: &Args) -> Result<(), String> {
     let upto = args.num("upto", 128)? as usize;
-    let kconfig = apply_delivery_flags(args, KernelConfig::default())?;
+    let base_kconfig = apply_delivery_flags(args, KernelConfig::default())?;
     let mut n = 16usize;
     println!("machine-wide shootdown cost vs machine size (scalable interconnect):");
-    println!("  {}", delivery_line(&kconfig));
+    println!("  {}", delivery_line(&base_kconfig));
     while n <= upto {
+        // Topology defaults derive from the machine size, so resolve the
+        // flags at each point on the curve (--node-cpus tracks n/nodes).
+        let kconfig = apply_topology_flags(args, n, base_kconfig.clone())?;
+        if n == 16 {
+            if let Some(line) = topology_line(&kconfig) {
+                println!("  {line} (resolved per machine size)");
+            }
+        }
         let mut costs = CostModel::multimax();
         if n > 16 {
             costs.bus_occupancy = costs.bus_occupancy.mul_f64(16.0 / n as f64);
@@ -452,12 +539,16 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let cpus = args.num("cpus", 16)? as usize;
     let seed = args.num("seed", 1)?;
     let out_path = args.get("out").unwrap_or("machtlb-trace.json").to_string();
-    let kconfig = apply_delivery_flags(
+    let kconfig = apply_topology_flags(
         args,
-        KernelConfig {
-            trace_shootdowns: true,
-            ..strategy_config(strategy)?
-        },
+        cpus,
+        apply_delivery_flags(
+            args,
+            KernelConfig {
+                trace_shootdowns: true,
+                ..strategy_config(strategy)?
+            },
+        )?,
     )?;
     let mut config = base_config(cpus, seed, kconfig);
     config.device_period = Some(Dur::millis(5));
@@ -492,20 +583,48 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         spans.len()
     );
     println!("{}", delivery_line(&config.kconfig));
-    println!("wrote {out_path} — open it at https://ui.perfetto.dev or chrome://tracing");
-    let mut t = TextTable::new(vec!["phase", "slices", "p10 (us)", "median", "p90", "mean"]);
-    for (phase, samples) in phase_latencies(events) {
-        let s = Summary::of(&samples).expect("phase_latencies omits empty phases");
-        t.add_row(vec![
-            phase.name().into(),
-            samples.len().to_string(),
-            format!("{:.1}", s.p10),
-            format!("{:.1}", s.median),
-            format!("{:.1}", s.p90),
-            format!("{:.1}", s.mean),
-        ]);
+    if let Some(line) = topology_line(&config.kconfig) {
+        println!("{line}");
     }
-    println!("{t}");
+    println!("wrote {out_path} — open it at https://ui.perfetto.dev or chrome://tracing");
+    // On a NUMA machine the table carries a node column, attributing
+    // each slice to the node it ran on; flat runs keep the plain table.
+    match config.kconfig.topology.filter(|t| !t.is_flat()) {
+        Some(topo) => {
+            let mut t = TextTable::new(vec![
+                "phase", "node", "slices", "p10 (us)", "median", "p90", "mean",
+            ]);
+            for (phase, node, samples) in phase_latencies_by_node(events, topo) {
+                let s = Summary::of(&samples).expect("empty rows are omitted");
+                t.add_row(vec![
+                    phase.name().into(),
+                    node.to_string(),
+                    samples.len().to_string(),
+                    format!("{:.1}", s.p10),
+                    format!("{:.1}", s.median),
+                    format!("{:.1}", s.p90),
+                    format!("{:.1}", s.mean),
+                ]);
+            }
+            println!("{t}");
+        }
+        None => {
+            let mut t =
+                TextTable::new(vec!["phase", "slices", "p10 (us)", "median", "p90", "mean"]);
+            for (phase, samples) in phase_latencies(events) {
+                let s = Summary::of(&samples).expect("phase_latencies omits empty phases");
+                t.add_row(vec![
+                    phase.name().into(),
+                    samples.len().to_string(),
+                    format!("{:.1}", s.p10),
+                    format!("{:.1}", s.median),
+                    format!("{:.1}", s.p90),
+                    format!("{:.1}", s.mean),
+                ]);
+            }
+            println!("{t}");
+        }
+    }
     // The fail-stop recovery path, when the run exercised it: how long
     // eviction detection, the rejoin fence, and the rejoin itself took.
     let recovery = recovery_latencies(events);
@@ -537,6 +656,75 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         print!("{}", h.render(40));
     }
     println!("oracle: {}", verdict(&report));
+    Ok(())
+}
+
+/// Runs the page-migration storm, printing the per-node traffic split —
+/// the workload that makes topology placement visible.
+fn cmd_storm(args: &Args) -> Result<(), String> {
+    let cpus = args.num("cpus", 16)? as usize;
+    let seed = args.num("seed", 1)?;
+    let cross = match args.get("cross").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--cross: on or off, not {other}")),
+    };
+    let storm = MigrationStormConfig {
+        workers_per_node: args.num("workers", 2)? as usize,
+        pages_per_worker: args.num("pages", 4)?,
+        migrations_per_worker: args.num("migrations", 8)?,
+        cross_node: cross,
+    };
+    let kconfig = apply_topology_flags(args, cpus, KernelConfig::default())?;
+    let mut config = base_config(cpus, seed, kconfig);
+    config.device_period = None;
+    let out = run_migration_storm(&config, &storm);
+    let r = &out.report;
+    println!(
+        "migration storm: {} workers/node x {} migrations, {} traffic, {cpus} processors",
+        storm.workers_per_node,
+        storm.migrations_per_worker,
+        if cross { "cross-node" } else { "node-local" },
+    );
+    if let Some(line) = topology_line(&config.kconfig) {
+        println!("{line}");
+    }
+    println!(
+        "{:.1} ms simulated, {} pages migrated by {} workers",
+        r.runtime.as_micros_f64() / 1000.0,
+        out.migrations,
+        out.workers_done
+    );
+    println!(
+        "{}",
+        counters_table(&[
+            ("IPIs sent", r.stats.ipis_sent),
+            ("IPIs crossing nodes", r.stats.ipis_remote),
+            ("pmap lock refs crossing nodes", r.stats.remote_lock_refs),
+            ("user-pmap shootdowns", r.stats.shootdowns_user),
+            ("TLB flushes", r.tlb_flushes),
+        ])
+    );
+    let mut t = TextTable::new(vec![
+        "node",
+        "IPIs out",
+        "remote IPIs",
+        "lock refs",
+        "remote refs",
+        "pages in",
+    ]);
+    for (node, c) in r.node_stats.iter().enumerate() {
+        t.add_row(vec![
+            node.to_string(),
+            c.ipis_sent.to_string(),
+            c.ipis_remote.to_string(),
+            c.lock_refs.to_string(),
+            c.remote_lock_refs.to_string(),
+            c.page_migrations_in.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("oracle: {}", verdict(r));
     Ok(())
 }
 
@@ -579,6 +767,27 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
             baseline.metrics.len(),
             failures.len()
         );
+        if !failures.is_empty() {
+            // The per-metric diff, so a red run says exactly which
+            // numbers moved and by how much without rerunning anything.
+            let mut t = TextTable::new(vec![
+                "metric",
+                "baseline (us)",
+                "current (us)",
+                "ratio",
+                "verdict",
+            ]);
+            for d in diff_reports(&baseline, &current, tolerance) {
+                t.add_row(vec![
+                    d.name.clone(),
+                    format!("{:.1}", d.baseline_us),
+                    d.current_us.map_or("gone".into(), |c| format!("{c:.1}")),
+                    d.ratio().map_or("-".into(), |r| format!("{r:.3}")),
+                    if d.within { "ok" } else { "OUTSIDE" }.into(),
+                ]);
+            }
+            println!("{t}");
+        }
         checked += baseline.metrics.len();
         bad.extend(failures);
     }
@@ -615,11 +824,15 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         plans.len(),
         seeds.len()
     );
+    if let Some(line) = topology_line(&apply_topology_flags(args, cpus, KernelConfig::default())?) {
+        println!("{line}");
+    }
     let mut outcomes = Vec::new();
     for plan in plans {
         for &seed in &seeds {
             let mut cfg = ChaosConfig::new(cpus, seed, Some(plan));
             cfg.rounds = rounds;
+            cfg.kconfig = apply_topology_flags(args, cpus, cfg.kconfig.clone())?;
             outcomes.push(run_chaos(&cfg));
         }
     }
@@ -701,6 +914,7 @@ fn main() -> ExitCode {
         Some("fig2") => cmd_fig2(&args),
         Some("scaling") => cmd_scaling(&args),
         Some("trace") => cmd_trace(&args),
+        Some("storm") => cmd_storm(&args),
         Some("bench-check") => cmd_bench_check(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("help") | None => {

@@ -1,0 +1,159 @@
+//! Relay ordering of the multicast fan-out tree under a NUMA topology.
+//!
+//! The shootdown initiator orders the flattened target list with
+//! [`Topology::order_node_first`] before laying the [`FanoutTree`] over
+//! it, so relays forward to same-node children and cross-node hops
+//! cluster at the group boundaries. These tests pin that ordering down:
+//! it is deterministic (independent of the input permutation), it groups
+//! the origin's node first, and at degree 1 the tree degenerates to the
+//! sequential chain that visits targets in exactly the unicast send
+//! order.
+
+use machtlb::sim::{CpuId, Dur, FanoutTree, Topology};
+
+fn cpus(ids: &[u32]) -> Vec<CpuId> {
+    ids.iter().map(|&i| CpuId::new(i)).collect()
+}
+
+fn indices(targets: &[CpuId]) -> Vec<u32> {
+    targets.iter().map(|c| c.index() as u32).collect()
+}
+
+#[test]
+fn same_node_targets_occupy_the_leading_slots() {
+    // 4 nodes x 4 cpus; the origin lives on node 2, so its node's
+    // targets come first, then node 3, wrapping around to 0 and 1 —
+    // ascending within each node.
+    let topo = Topology::numa(4, 4, Dur::micros(5));
+    let origin = CpuId::new(9); // node 2
+    let mut targets: Vec<CpuId> = (0..16u32).filter(|&c| c != 9).map(CpuId::new).collect();
+    topo.order_node_first(origin, &mut targets);
+    assert_eq!(
+        indices(&targets),
+        vec![8, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7]
+    );
+}
+
+#[test]
+fn relay_order_is_deterministic_across_input_permutations() {
+    let topo = Topology::numa(3, 4, Dur::micros(5));
+    let origin = CpuId::new(5);
+    let canonical = {
+        let mut t = cpus(&[0, 1, 2, 3, 4, 6, 7, 8, 9, 10, 11]);
+        topo.order_node_first(origin, &mut t);
+        t
+    };
+    // Any permutation of the same target set sorts to the same list:
+    // the relay layout is a function of the set, not its history.
+    for perm in [
+        vec![11u32, 0, 9, 4, 7, 2, 10, 1, 8, 3, 6],
+        vec![6u32, 7, 8, 9, 10, 11, 0, 1, 2, 3, 4],
+        vec![4u32, 3, 2, 1, 0, 11, 10, 9, 8, 7, 6],
+    ] {
+        let mut t = cpus(&perm);
+        topo.order_node_first(origin, &mut t);
+        assert_eq!(t, canonical, "input order {perm:?} changed the layout");
+    }
+}
+
+#[test]
+fn same_node_targets_sit_at_the_shallowest_tree_slots() {
+    // The k-ary heap is a breadth-first layout: hop count is monotone
+    // in slot index. Putting the origin's node first therefore gives
+    // its targets the shallowest slots — they are interrupted after the
+    // fewest forwarding hops, and the poster's own direct sends (the
+    // root's children) stay on-node while same-node targets remain.
+    let topo = Topology::numa(4, 4, Dur::micros(5));
+    let origin = CpuId::new(0);
+    let mut targets: Vec<CpuId> = (1..16u32).map(CpuId::new).collect();
+    topo.order_node_first(origin, &mut targets);
+
+    for degree in [2usize, 3, 4] {
+        let tree = FanoutTree::new(degree, targets.len());
+        for slot in 1..targets.len() {
+            assert!(
+                tree.hops(slot - 1) <= tree.hops(slot),
+                "degree {degree}: heap layout must be breadth-first"
+            );
+        }
+        let worst_same = (0..targets.len())
+            .filter(|&s| topo.same_node(targets[s], origin))
+            .map(|s| tree.hops(s))
+            .max()
+            .expect("origin's node has other cpus");
+        let best_cross = (0..targets.len())
+            .filter(|&s| !topo.same_node(targets[s], origin))
+            .map(|s| tree.hops(s))
+            .min()
+            .expect("cross-node targets exist");
+        assert!(
+            worst_same <= best_cross,
+            "degree {degree}: a cross-node target ({best_cross} hops) must not be \
+             delivered shallower than an origin-node one ({worst_same} hops)"
+        );
+        let on_node = targets
+            .iter()
+            .filter(|&&t| topo.same_node(t, origin))
+            .count();
+        for slot in tree.root_children().filter(|&s| s < on_node) {
+            assert_eq!(
+                topo.node_of(targets[slot]),
+                topo.node_of(origin),
+                "root slot {slot} left the origin's node while same-node targets remained"
+            );
+        }
+    }
+}
+
+#[test]
+fn degree_one_tree_is_the_sequential_unicast_chain() {
+    // A degree-1 tree over n targets is a chain: the poster sends slot
+    // 0, every relay forwards to exactly the next slot, and the visit
+    // order is the flattened list itself — the unicast send loop's
+    // order, target for target.
+    for n in 1..20usize {
+        let t = FanoutTree::new(1, n);
+        assert_eq!(t.root_children().collect::<Vec<_>>(), vec![0]);
+        for slot in 0..n {
+            let children: Vec<usize> = t.children(slot).collect();
+            if slot + 1 < n {
+                assert_eq!(children, vec![slot + 1], "slot {slot} of {n}");
+            } else {
+                assert!(children.is_empty(), "the last slot forwards nothing");
+            }
+            assert_eq!(t.hops(slot), slot + 1, "chain depth grows one per slot");
+        }
+        assert_eq!(t.depth(), n);
+    }
+}
+
+#[test]
+fn degree_one_chain_visits_targets_in_unicast_order_on_numa() {
+    // Compose the two: order a NUMA target list, lay a degree-1 tree
+    // over it, and walk the chain — the delivery sequence must equal
+    // the ordered list, which on a flat machine is the ascending
+    // (pre-topology unicast) order.
+    for (topo, origin) in [
+        (Topology::numa(4, 4, Dur::micros(5)), CpuId::new(6)),
+        (Topology::flat(16), CpuId::new(6)),
+    ] {
+        let mut targets: Vec<CpuId> = (0..16u32).filter(|&c| c != 6).map(CpuId::new).collect();
+        topo.order_node_first(origin, &mut targets);
+        let tree = FanoutTree::new(1, targets.len());
+        let mut visit = Vec::new();
+        let mut slot = Some(0usize);
+        while let Some(s) = slot {
+            visit.push(targets[s]);
+            slot = tree.children(s).next();
+        }
+        assert_eq!(visit, targets, "the chain is the list, in order");
+        if topo.is_flat() {
+            let ascending: Vec<u32> = (0..16).filter(|&c| c != 6).collect();
+            assert_eq!(
+                indices(&targets),
+                ascending,
+                "flat order is pre-topology unicast"
+            );
+        }
+    }
+}

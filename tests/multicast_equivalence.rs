@@ -9,7 +9,7 @@ use machtlb::core::{
     MemOp, PmapOp, PmapOpProcess, Strategy, SwitchUserPmapProcess,
 };
 use machtlb::pmap::{PageRange, Pfn, PmapId, Prot, Vaddr, Vpn};
-use machtlb::sim::{CostModel, CpuId, Ctx, Process, RunStatus, Step, Time};
+use machtlb::sim::{CostModel, CpuId, Ctx, Dur, Process, RunStatus, Step, Time, Topology};
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
 use machtlb::workloads::{run_tester, RunConfig, TesterConfig};
 use proptest::prelude::*;
@@ -108,6 +108,60 @@ fn shootdown_multicast_keeps_the_tester_consistent_at_every_degree() {
             "{label}: shootdown count"
         );
     }
+}
+
+/// A NUMA topology reorders the relay tree (same-node targets first) and
+/// reprices every cross-node hop, but the degree must stay a pure
+/// delivery knob there too: fanout-blind strategies are bit-identical at
+/// any setting, and at degree 1 the shootdown takes the unicast seed
+/// path — no multicast round is ever published.
+#[test]
+fn fanout_degree_stays_inert_under_a_numa_topology() {
+    let tcfg = TesterConfig {
+        children: 5,
+        warmup_increments: 30,
+    };
+    let numa = |fanout: usize| {
+        let mut c = config(Strategy::BroadcastIpi, fanout, 31);
+        c.kconfig.topology = Some(Topology::numa(2, 4, Dur::micros(6)));
+        c
+    };
+    let unicast = run_tester(&numa(1), &tcfg);
+    let fanned = run_tester(&numa(8), &tcfg);
+    assert_eq!(unicast.report.runtime, fanned.report.runtime, "runtime");
+    assert_eq!(unicast.report.stats, fanned.report.stats, "kernel stats");
+    assert_eq!(
+        unicast.report.responders, fanned.report.responders,
+        "responder records"
+    );
+    assert_eq!(
+        unicast.report.user_initiators, fanned.report.user_initiators,
+        "initiator records"
+    );
+}
+
+#[test]
+fn degree_one_on_numa_takes_the_unicast_path() {
+    let tcfg = TesterConfig {
+        children: 5,
+        warmup_increments: 30,
+    };
+    let mut cfg = config(Strategy::Shootdown, 1, 31);
+    cfg.kconfig.topology = Some(Topology::numa(2, 4, Dur::micros(6)));
+    let out = run_tester(&cfg, &tcfg);
+    assert!(!out.mismatch);
+    assert!(out.report.consistent);
+    assert!(out.report.stats.shootdowns_user > 0, "rounds happened");
+    assert_eq!(
+        out.report.stats.multicast_rounds, 0,
+        "degree 1 must never publish a multicast descriptor"
+    );
+    // And the cross-node traffic the topology implies is still there —
+    // the unicast loop pays the interconnect, it doesn't dodge it.
+    assert!(
+        out.report.stats.ipis_remote > 0,
+        "half the machine is a node away; some IPIs must cross"
+    );
 }
 
 // --- proptest: responder-set equivalence on a direct kernel machine ---
@@ -214,10 +268,17 @@ impl Process<machtlb::core::KernelState, ()> for Operator {
 }
 
 /// Runs one shootdown against the given in-use subset at the given
-/// degree; returns (responder cpu set, consistent, page prot).
-fn quiesce_set(n_cpus: usize, users: &[usize], fanout: usize) -> (BTreeSet<u32>, bool, Prot) {
+/// degree (optionally on a NUMA topology); returns (responder cpu set,
+/// consistent, page prot).
+fn quiesce_set(
+    n_cpus: usize,
+    users: &[usize],
+    fanout: usize,
+    topology: Option<Topology>,
+) -> (BTreeSet<u32>, bool, Prot) {
     let kconfig = KernelConfig {
         fanout,
+        topology,
         ..KernelConfig::default()
     };
     let mut m = build_kernel_machine(n_cpus, 7, CostModel::multimax(), kconfig);
@@ -282,8 +343,32 @@ proptest! {
             // The mask missed every slot; keep the round non-trivial.
             users.push(1);
         }
-        let (uni, uni_ok, uni_prot) = quiesce_set(n_cpus, &users, 1);
-        let (multi, multi_ok, multi_prot) = quiesce_set(n_cpus, &users, degree);
+        let (uni, uni_ok, uni_prot) = quiesce_set(n_cpus, &users, 1, None);
+        let (multi, multi_ok, multi_prot) = quiesce_set(n_cpus, &users, degree, None);
+        prop_assert!(uni_ok);
+        prop_assert!(multi_ok);
+        prop_assert_eq!(uni_prot, Prot::READ);
+        prop_assert_eq!(multi_prot, Prot::READ);
+        prop_assert_eq!(&uni, &multi,
+            "degree {} must quiesce the same responders as unicast", degree);
+    }
+
+    /// Same equivalence on a NUMA machine: the node-first relay order and
+    /// interconnect pricing reshape the timeline, never the responder set.
+    #[test]
+    fn numa_multicast_quiesces_the_same_responder_set(
+        degree in 2usize..8,
+        mask in 1u32..2048,
+    ) {
+        let n_cpus = 12;
+        let topo = Topology::numa(3, 4, Dur::micros(6));
+        let mut users: Vec<usize> =
+            (1..n_cpus).filter(|c| mask & (1 << (c - 1)) != 0).collect();
+        if users.is_empty() {
+            users.push(1);
+        }
+        let (uni, uni_ok, uni_prot) = quiesce_set(n_cpus, &users, 1, Some(topo));
+        let (multi, multi_ok, multi_prot) = quiesce_set(n_cpus, &users, degree, Some(topo));
         prop_assert!(uni_ok);
         prop_assert!(multi_ok);
         prop_assert_eq!(uni_prot, Prot::READ);
