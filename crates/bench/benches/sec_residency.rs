@@ -1,0 +1,175 @@
+//! Precise shootdown targeting: what does the residency filter buy?
+//!
+//! The paper's initiator IPIs every processor in the pmap's in-use set
+//! (Section 4). The in-use set only ever grows between full flushes, so
+//! on large machines most of those IPIs go to processors whose TLB
+//! evicted the translation long ago. With `KernelConfig::residency` on,
+//! the initiator consults the per-processor possibly-cached sets after
+//! pre-invalidating the page-table entries and skips targets that cannot
+//! hold the stale translation.
+//!
+//! This harness runs the same workload with the filter off (the paper's
+//! exact protocol) and on, and reports the IPI-reduction curve: total
+//! IPIs sent, IPIs filtered, ASID-generation recycles, and the
+//! shootdown latency seen by initiators. The runs must stay consistent
+//! both ways — the filter is only allowed to drop processors that
+//! provably cannot hold a stale entry.
+//!
+//! `MACHTLB_SMOKE` runs the CI subset: Mach build at 16 processors.
+//! The full run adds Camelot on a 64-processor machine (scalable
+//! interconnect), where the acceptance bar is a >=20% IPI reduction.
+
+use machtlb_bench::{BenchMetric, BenchReport};
+use machtlb_core::KernelConfig;
+use machtlb_sim::{CostModel, Time};
+use machtlb_tlb::TlbConfig;
+use machtlb_workloads::{
+    run_camelot, run_machbuild, AppReport, CamelotConfig, MachBuildConfig, RunConfig,
+};
+use machtlb_xpr::TextTable;
+
+/// A named workload point on the curve: (label, cpus, runner).
+type Workload = (&'static str, u64, fn(bool) -> AppReport);
+
+fn camelot64(residency: bool) -> AppReport {
+    let n_cpus = 64usize;
+    let mut costs = CostModel::multimax();
+    costs.bus_occupancy = costs.bus_occupancy.mul_f64(16.0 / n_cpus as f64);
+    let config = RunConfig {
+        n_cpus,
+        seed: 35,
+        costs,
+        kconfig: KernelConfig {
+            residency,
+            tlb: TlbConfig::multimax(),
+            ..KernelConfig::default()
+        },
+        device_period: None,
+        limit: Time::from_micros(120_000_000),
+        ..RunConfig::multimax16(35)
+    };
+    let cfg = CamelotConfig {
+        clients: 12,
+        server_threads: 6,
+        transactions_per_client: 4,
+        db_pages: 96,
+        ..CamelotConfig::default()
+    };
+    run_camelot(&config, &cfg)
+}
+
+fn machbuild16(residency: bool) -> AppReport {
+    let mut config = RunConfig::multimax16(36);
+    config.kconfig.residency = residency;
+    config.device_period = None;
+    config.limit = Time::from_micros(120_000_000);
+    let cfg = MachBuildConfig {
+        jobs: 10,
+        ..MachBuildConfig::default()
+    };
+    run_machbuild(&config, &cfg)
+}
+
+/// The mean initiator-side shootdown latency, user and kernel pmaps
+/// pooled (either family may dominate depending on the workload).
+fn shootdown_mean_us(r: &AppReport) -> f64 {
+    let mut all = r.user_initiators.clone();
+    all.extend(r.kernel_initiators.iter().cloned());
+    AppReport::elapsed_summary(&all).map_or(0.0, |s| s.mean)
+}
+
+fn main() {
+    let smoke = std::env::var_os("MACHTLB_SMOKE").is_some();
+    let mut report = BenchReport::new("sec_residency");
+
+    println!("precise shootdown targeting: residency filter off vs on");
+    println!();
+
+    let mut t = TextTable::new(vec![
+        "workload",
+        "filter",
+        "IPIs sent",
+        "IPIs filtered",
+        "ASID recycles",
+        "shootdown mean (us)",
+        "runtime (ms)",
+    ]);
+
+    let workloads: &[Workload] = if smoke {
+        &[("machbuild16", 16, machbuild16)]
+    } else {
+        &[
+            ("machbuild16", 16, machbuild16),
+            ("camelot64", 64, camelot64),
+        ]
+    };
+
+    for &(name, cpus, run) in workloads {
+        let off = run(false);
+        let on = run(true);
+        assert!(off.consistent, "{name}: baseline inconsistent");
+        assert!(
+            on.consistent,
+            "{name}: residency filtering dropped a processor holding a \
+             stale entry ({} violations)",
+            on.violations
+        );
+        assert_eq!(off.stats.ipis_filtered, 0, "{name}: filter fired while off");
+        assert!(on.stats.ipis_filtered > 0, "{name}: filter never fired");
+        assert!(
+            on.stats.ipis_sent <= off.stats.ipis_sent,
+            "{name}: filtering must not increase IPI traffic ({} -> {})",
+            off.stats.ipis_sent,
+            on.stats.ipis_sent
+        );
+        for (mode, r) in [("off", &off), ("on", &on)] {
+            let shot_us = shootdown_mean_us(r);
+            t.add_row(vec![
+                name.into(),
+                mode.into(),
+                r.stats.ipis_sent.to_string(),
+                r.stats.ipis_filtered.to_string(),
+                r.stats.asid_recycles.to_string(),
+                format!("{shot_us:.1}"),
+                format!("{:.2}", r.runtime.as_micros_f64() / 1000.0),
+            ]);
+            report.push(
+                BenchMetric::new(
+                    format!("{name}/{mode}"),
+                    cpus,
+                    "shootdown",
+                    1,
+                    r.runtime.as_micros_f64(),
+                )
+                .counter("ipis_sent", r.stats.ipis_sent)
+                .counter("ipis_filtered", r.stats.ipis_filtered)
+                .counter("asid_recycles", r.stats.asid_recycles),
+            );
+        }
+        let reduction = 1.0 - on.stats.ipis_sent as f64 / off.stats.ipis_sent.max(1) as f64;
+        println!(
+            "  {name}: ipis_sent {} -> {} ({:.1}% reduction), {} filtered",
+            off.stats.ipis_sent,
+            on.stats.ipis_sent,
+            reduction * 100.0,
+            on.stats.ipis_filtered
+        );
+        if name == "camelot64" {
+            // The acceptance bar from the issue: a fifth of the IPI
+            // traffic gone on the big machine.
+            assert!(
+                reduction >= 0.20,
+                "camelot at 64 processors: expected >=20% IPI reduction, \
+                 got {:.1}%",
+                reduction * 100.0
+            );
+        }
+    }
+    println!();
+    println!("{t}");
+    println!("(runtime is simulated time: fewer IPIs means fewer stalled");
+    println!(" responders, so the 'on' runtimes drop with the IPI count)");
+
+    let path = report.write().expect("bench report written");
+    println!("wrote {}", path.display());
+}

@@ -388,15 +388,24 @@ pub fn compare_reports(
     diff_reports(baseline, current, tolerance)
         .iter()
         .filter(|d| !d.within)
-        .map(|d| match d.current_us {
-            None => format!("{}/{}: metric disappeared", baseline.bench, d.name),
-            Some(cur) => format!(
+        .map(|d| match (d.current_us, d.ratio()) {
+            (None, _) => format!("{}/{}: metric disappeared", baseline.bench, d.name),
+            // A zero baseline admits no relative drift: the percentage
+            // would be nonsense, so report the raw values instead.
+            (Some(cur), None) => format!(
+                "{}/{}: {:.1} us vs zero baseline (no ratio; ±{:.0}% envelope)",
+                baseline.bench,
+                d.name,
+                cur,
+                tolerance * 100.0,
+            ),
+            (Some(cur), Some(ratio)) => format!(
                 "{}/{}: {:.1} us vs baseline {:.1} us ({:+.1}% > ±{:.0}% envelope)",
                 baseline.bench,
                 d.name,
                 cur,
                 d.baseline_us,
-                (cur / d.baseline_us.abs().max(1e-9) - 1.0) * 100.0,
+                (ratio - 1.0) * 100.0,
                 tolerance * 100.0,
             ),
         })
@@ -460,6 +469,40 @@ mod tests {
         cur = sample();
         cur.push(BenchMetric::new("brand_new", 2, "shootdown", 1, 9.0));
         assert!(compare_reports(&base, &cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_has_no_ratio_but_still_judges() {
+        // A committed baseline can legitimately hold a zero (e.g. an IPI
+        // count a new strategy eliminated). The diff must not divide by
+        // it: the ratio is `None`, a matching zero passes, and a nonzero
+        // current fails with the raw values rather than an absurd
+        // percentage.
+        let mut base = BenchReport::new("zeroes");
+        base.push(BenchMetric::new("filtered/ipis", 16, "shootdown", 1, 0.0));
+        let mut cur = BenchReport::new("zeroes");
+        cur.push(BenchMetric::new("filtered/ipis", 16, "shootdown", 1, 0.0));
+        let diffs = diff_reports(&base, &cur, 0.25);
+        assert!(diffs[0].within, "zero against zero is inside any envelope");
+        assert_eq!(diffs[0].ratio(), None);
+        assert!(compare_reports(&base, &cur, 0.25).is_empty());
+
+        cur.metrics[0].median_us = 42.0;
+        let diffs = diff_reports(&base, &cur, 0.25);
+        assert!(!diffs[0].within, "regrowth from zero must fail the check");
+        assert_eq!(diffs[0].ratio(), None);
+        let failures = compare_reports(&base, &cur, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("zero baseline"),
+            "failure line must explain the zero baseline, got: {}",
+            failures[0]
+        );
+        assert!(
+            !failures[0].contains('%') || failures[0].contains("envelope"),
+            "no runaway percentage: {}",
+            failures[0]
+        );
     }
 
     #[test]

@@ -140,9 +140,13 @@ enum Phase {
     QueueScan { next: u32 },
     SendIpis { idx: usize },
     Wait { idx: usize },
-    // HardwareRemoteInvalidate only: invalidate the page-table entries
-    // first (so hardware reload cannot re-cache the old mapping), then
-    // shoot the remote buffers, one processor a step.
+    // Invalidate the page-table entries first, so a hardware reload
+    // cannot re-cache the old mapping. HardwareRemoteInvalidate then
+    // shoots the remote buffers directly; the residency-filtered
+    // shootdown path uses the same barrier before consulting the
+    // per-cpu possibly-cached sets (a fill racing the filter decision
+    // either precedes this write and is visible in residency, or
+    // follows it and loads an invalid entry).
     PreInvalidatePt { applied: usize },
     RemoteInvalidate { next: u32 },
     // Multicast-round mode (Shootdown strategy with fanout >= 2): publish
@@ -243,6 +247,10 @@ pub struct PmapOpProcess {
     /// The leader's own pages-changed count, snapshotted before joiner
     /// changes are appended to `changes`.
     own_pages: Option<u64>,
+    /// Set once [`Phase::PreInvalidatePt`] has written the planned
+    /// entries invalid on the residency-filtered shootdown path: the
+    /// license to consult the possibly-cached sets and skip targets.
+    pre_invalidated: bool,
 }
 
 impl PmapOpProcess {
@@ -276,6 +284,7 @@ impl PmapOpProcess {
             fallback_ranges: Vec::new(),
             joiner_pages: Vec::new(),
             own_pages: None,
+            pre_invalidated: false,
         }
     }
 
@@ -882,6 +891,35 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     };
                     return Step::Run(ctx.costs().local_op);
                 };
+                // Residency filter: the page-table entries are already
+                // invalid (Phase::PreInvalidatePt), so a target whose
+                // possibly-cached set excludes the whole range holds no
+                // stale translation and cannot acquire one — skip its
+                // queue action, IPI, and synchronization entirely.
+                if self.pre_invalidated
+                    && !ctx.shared.kernel().tlbs[cpu.index()]
+                        .possibly_caches(self.pmap_id, &[self.invalidate_range()])
+                {
+                    let k = ctx.shared.kernel_mut();
+                    if !k.idle.contains(cpu) && !k.ipi_pending[cpu.index()] {
+                        k.stats.ipis_filtered += 1;
+                    }
+                    if let Some(span) = self.span {
+                        let now = ctx.now;
+                        ctx.shared.kernel_mut().trace.record_arg(
+                            me,
+                            span,
+                            TracePhase::Filter,
+                            TraceEdge::Mark,
+                            now,
+                            cpu.index() as u32,
+                        );
+                    }
+                    self.phase = Phase::QueueScan {
+                        next: cpu.index() as u32 + 1,
+                    };
+                    return Step::Run(ctx.costs().cache_read);
+                }
                 // lock_action_structure(cpu)
                 if !ctx.shared.kernel_mut().queue_locks[cpu.index()].try_acquire(me) {
                     let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
@@ -1063,7 +1101,24 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 self.plan_changes(ctx.shared.kernel());
                 let remaining = self.changes.len() - applied;
                 if remaining == 0 {
-                    self.phase = Phase::RemoteInvalidate { next: 0 };
+                    self.phase = match self.strategy(ctx.shared.kernel()) {
+                        Strategy::HardwareRemoteInvalidate => Phase::RemoteInvalidate { next: 0 },
+                        _ => {
+                            // Residency-filtered shootdown: the barrier is
+                            // in place, so the scan (or round) below may
+                            // skip any target whose possibly-cached set
+                            // excludes the whole invalidation range. The
+                            // protocol ran even if every target filters
+                            // out, so this counts as a shootdown.
+                            self.pre_invalidated = true;
+                            self.outcome.shootdown = true;
+                            if ctx.shared.kernel().config.fanout >= 2 {
+                                Phase::PublishRound
+                            } else {
+                                Phase::QueueScan { next: 0 }
+                            }
+                        }
+                    };
                     return Step::Run(ctx.costs().local_op);
                 }
                 let chunk = remaining.min(APPLY_CHUNK);
@@ -1124,7 +1179,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // user of the pmap — exactly the processors the seed scan
                 // would wait on. Idle users and concurrent initiators get
                 // queue actions after the sync (Phase::RoundEnqueue).
-                let (targets, words) = {
+                let (mut targets, words) = {
                     let k = ctx.shared.kernel();
                     let mut users = k.pmaps.get(self.pmap_id).in_use().clone();
                     users.remove(me);
@@ -1132,6 +1187,40 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     (users.intersection(&k.active).difference(&k.idle), words)
                 };
                 let range = self.invalidate_range();
+                // Residency filter (see Phase::QueueScan): drop targets
+                // that cannot hold the translation from the round's
+                // acknowledgement set before it is published. A dropped
+                // target also leaves the cleanup set, so Phase::RoundEnqueue
+                // re-checks it against the final fallback ranges.
+                let mut filter_cost = Dur::ZERO;
+                if self.pre_invalidated {
+                    let dropped: Vec<CpuId> = {
+                        let k = ctx.shared.kernel();
+                        targets
+                            .iter()
+                            .filter(|c| !k.tlbs[c.index()].possibly_caches(self.pmap_id, &[range]))
+                            .collect()
+                    };
+                    filter_cost = ctx.costs().cache_read * targets.len() as u64;
+                    let now = ctx.now;
+                    for c in dropped {
+                        targets.remove(c);
+                        let k = ctx.shared.kernel_mut();
+                        if !k.ipi_pending[c.index()] {
+                            k.stats.ipis_filtered += 1;
+                        }
+                        if let Some(span) = self.span {
+                            ctx.shared.kernel_mut().trace.record_arg(
+                                me,
+                                span,
+                                TracePhase::Filter,
+                                TraceEdge::Mark,
+                                now,
+                                c.index() as u32,
+                            );
+                        }
+                    }
+                }
                 let shards = self.shards_needed.clone();
                 let n = targets.len() as u64;
                 let k = ctx.shared.kernel_mut();
@@ -1175,10 +1264,12 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     ctx.notify(chan);
                 }
                 // Three whole-set reads form the target set; the descriptor
-                // itself is one composite write of queue-action size.
+                // itself is one composite write of queue-action size; the
+                // residency consults cost one read per candidate target.
                 let cost = ctx.costs().cache_read * (3 * words as u64)
                     + ctx.costs().queue_action
-                    + ctx.bus_write();
+                    + ctx.bus_write()
+                    + filter_cost;
                 Step::Run(cost)
             }
             Phase::MulticastSend => {
@@ -1407,6 +1498,35 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     self.phase = Phase::Unlock;
                     return Step::Run(ctx.costs().local_op);
                 };
+                // Residency filter: by this point the leader's own changes
+                // and every joiner's final entries are in the page table
+                // (Apply and ApplyJoiners both precede this phase), so a
+                // fallback target whose possibly-cached set excludes every
+                // fallback range holds no stale translation and any later
+                // reload reads the final values — skip its queue action
+                // and poke.
+                if self.pre_invalidated
+                    && !ctx.shared.kernel().tlbs[cpu.index()]
+                        .possibly_caches(self.pmap_id, &self.fallback_ranges)
+                {
+                    let k = ctx.shared.kernel_mut();
+                    if !k.idle.contains(cpu) && !k.ipi_pending[cpu.index()] {
+                        k.stats.ipis_filtered += 1;
+                    }
+                    if let Some(span) = self.span {
+                        let now = ctx.now;
+                        ctx.shared.kernel_mut().trace.record_arg(
+                            me,
+                            span,
+                            TracePhase::Filter,
+                            TraceEdge::Mark,
+                            now,
+                            cpu.index() as u32,
+                        );
+                    }
+                    self.phase = Phase::RoundEnqueue { idx: idx + 1 };
+                    return Step::Run(ctx.costs().cache_read);
+                }
                 // lock_action_structure(cpu), exactly as the seed scan.
                 if !ctx.shared.kernel_mut().queue_locks[cpu.index()].try_acquire(me) {
                     let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
@@ -1689,17 +1809,23 @@ impl PmapOpProcess {
             // Fanout mode: one published round descriptor and a single
             // multicast post replace the per-responder queue walk.
             Strategy::Shootdown if shared.config.fanout >= 2 => {
-                if others_using {
-                    Phase::PublishRound
-                } else {
+                if !others_using {
                     Phase::Apply
+                } else if shared.config.residency {
+                    // Residency filtering needs the invalid-first barrier
+                    // before the possibly-cached sets may be trusted.
+                    Phase::PreInvalidatePt { applied: 0 }
+                } else {
+                    Phase::PublishRound
                 }
             }
             Strategy::Shootdown | Strategy::BroadcastIpi | Strategy::NoStallSoftwareReload => {
-                if others_using {
-                    Phase::QueueScan { next: 0 }
-                } else {
+                if !others_using {
                     Phase::Apply
+                } else if shared.config.residency && shared.config.strategy == Strategy::Shootdown {
+                    Phase::PreInvalidatePt { applied: 0 }
+                } else {
+                    Phase::QueueScan { next: 0 }
                 }
             }
         }

@@ -131,7 +131,18 @@ impl DrainQueue {
         // one this processor is executing in, and stop counting the pmap
         // as in use here.
         if tagged && !action.pmap.is_kernel() && current != Some(action.pmap) {
-            let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(action.pmap);
+            let cost = if ctx.shared.kernel().config.residency {
+                // ASID-generation recycling: retire the whole address
+                // space in one generation bump instead of walking its
+                // entries — the per-entry invalidations become lazy.
+                let k = ctx.shared.kernel_mut();
+                k.tlbs[me.index()].recycle_pmap(action.pmap);
+                k.stats.asid_recycles += 1;
+                single
+            } else {
+                let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(action.pmap);
+                single * n.max(1)
+            };
             ctx.shared
                 .kernel_mut()
                 .pmaps
@@ -139,7 +150,7 @@ impl DrainQueue {
                 .mark_not_in_use(me);
             // Dropping out of the user set can satisfy an initiator's wait.
             ctx.notify(SYNC_CHANNEL);
-            return single * n.max(1);
+            return cost;
         }
         let tlb = &mut ctx.shared.kernel_mut().tlbs[me.index()];
         match tlb.plan_invalidation(action.range) {
@@ -376,14 +387,23 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                     // processor is not executing in and stop counting the
                     // pmap as in use. Nothing can be re-cached afterwards,
                     // so the post-unlock cleanup pass is unnecessary too.
-                    let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(pmap);
+                    if ctx.shared.kernel().config.residency {
+                        // ASID-generation recycling, as in the queue-drain
+                        // path: one bump retires the address space.
+                        let k = ctx.shared.kernel_mut();
+                        k.tlbs[me.index()].recycle_pmap(pmap);
+                        k.stats.asid_recycles += 1;
+                        cost += single;
+                    } else {
+                        let n = ctx.shared.kernel_mut().tlbs[me.index()].flush_pmap(pmap);
+                        cost += single * n.max(1);
+                    }
                     ctx.shared
                         .kernel_mut()
                         .pmaps
                         .get_mut(pmap)
                         .mark_not_in_use(me);
                     ctx.notify(SYNC_CHANNEL);
-                    cost += single * n.max(1);
                     leave_cleanup = true;
                 } else {
                     for range in ranges {

@@ -265,6 +265,16 @@ pub struct KernelConfig {
     /// per-node buses and an inter-node interconnect; pmaps acquire a home
     /// node and remote references pay the crossing.
     pub topology: Option<Topology>,
+    /// Whether shootdown initiators consult the per-cpu TLB residency
+    /// tracker to filter the IPI target set below the in-use set, and
+    /// responders satisfy full pmap flushes by ASID-generation recycling.
+    /// Off by default: the kernel then replays bit-identically to the
+    /// pre-residency tree (the golden-fingerprint proof), because the
+    /// tracker is pure bookkeeping until this flag reads it. On, the
+    /// filter extends lazy evaluation from "never entered the pmap" to
+    /// "entered but since evicted" — it may keep a processor that holds
+    /// nothing, but never drops one that could hold a stale translation.
+    pub residency: bool,
 }
 
 impl Default for KernelConfig {
@@ -287,6 +297,7 @@ impl Default for KernelConfig {
             batch_initiators: false,
             pmap_shards: 1,
             topology: None,
+            residency: false,
         }
     }
 }
@@ -355,6 +366,14 @@ pub struct KernelStats {
     /// Pages rehomed between nodes by the migration workloads (the
     /// balancing daemon and the storm generator both count here).
     pub page_migrations: u64,
+    /// In-use processors the residency filter excluded from a shootdown's
+    /// IPI target set because their TLB could not hold a stale entry for
+    /// the affected range (each is an IPI the pre-filter kernel would have
+    /// sent; zero unless [`KernelConfig::residency`] is on).
+    pub ipis_filtered: u64,
+    /// Full pmap flushes satisfied by an ASID-generation bump instead of
+    /// a per-entry walk (zero unless [`KernelConfig::residency`] is on).
+    pub asid_recycles: u64,
 }
 
 /// Per-node kernel counters, kept alongside the aggregate

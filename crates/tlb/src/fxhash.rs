@@ -7,7 +7,7 @@
 //! come from the simulation itself, not an adversary, so a word-at-a-time
 //! multiplicative hash (the Firefox/rustc family) is the right trade.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplier: 2^64 / phi, the usual Fibonacci-hashing constant.
@@ -60,6 +60,9 @@ impl Hasher for FxHasher {
 
 /// A `HashMap` using [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,7 @@ use machtlb_pmap::{Access, PageRange, PmapId, Pte, Vpn};
 use machtlb_sim::Time;
 
 use crate::config::{TlbConfig, WritebackPolicy};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 
 /// One cached translation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -95,6 +95,28 @@ pub struct TlbStats {
 /// Sentinel for "no slot" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
 
+/// One pmap's approximate "possibly-cached" page set.
+///
+/// The set is valid only while both stamps are current: `epoch` must match
+/// the buffer's flush generation (so a [`flush_all`](Tlb::flush_all) kills
+/// every set in O(1), exactly like the slots themselves) and `gen` must
+/// match the pmap's ASID generation (so
+/// [`recycle_pmap`](Tlb::recycle_pmap) kills one pmap's set without
+/// walking it). A stale set means "nothing possibly cached" and is
+/// restamped wholesale on the next insert.
+///
+/// The invariant is conservative over-approximation: every page with a
+/// live cached translation for the pmap is in a current-stamped set. Pages
+/// dropped by plain invalidation are *not* pruned — they linger as an
+/// over-approximation — but LRU eviction prunes its victim, which is what
+/// lets a long-running cpu's set shrink back below the in-use horizon.
+#[derive(Clone, Debug, Default)]
+struct ResidencySet {
+    epoch: u64,
+    gen: u64,
+    pages: FxHashSet<Vpn>,
+}
+
 /// One slot of the indexed TLB. `entry` may outlive its logical lifetime:
 /// after an epoch flush the slot keeps its stale entry (and its index
 /// mapping) until the slot is reallocated, which is what makes `flush_all`
@@ -162,6 +184,14 @@ pub struct Tlb {
     free: BinaryHeap<Reverse<usize>>,
     /// Slots at or above this index have not been allocated this epoch.
     cursor: usize,
+    /// Per-pmap approximate residency: which pages *might* still be
+    /// cached. Maintained on every insert/eviction; consulted by the
+    /// initiator's IPI-target filter. Pure bookkeeping — no lookup or
+    /// replacement decision ever reads it.
+    residency: FxHashMap<PmapId, ResidencySet>,
+    /// Per-pmap ASID generation, bumped by [`recycle_pmap`](Tlb::recycle_pmap).
+    /// Absent means generation 0.
+    asid_gens: FxHashMap<PmapId, u64>,
     stats: TlbStats,
 }
 
@@ -190,6 +220,8 @@ impl Tlb {
             lru_tail: NIL,
             free: BinaryHeap::new(),
             cursor: 0,
+            residency: FxHashMap::default(),
+            asid_gens: FxHashMap::default(),
             config,
             stats: TlbStats::default(),
         }
@@ -360,6 +392,7 @@ impl Tlb {
     /// place (hardware reload refreshes the cached copy).
     pub fn insert(&mut self, pmap: PmapId, vpn: Vpn, pte: Pte, now: Time) -> Option<TlbEntry> {
         self.stats.insertions += 1;
+        self.note_insert(pmap, vpn);
         let entry = TlbEntry {
             pmap,
             vpn,
@@ -384,6 +417,9 @@ impl Tlb {
         let old = self.slots[victim].entry.replace(entry);
         self.by_pmap.entry(pmap).or_default().insert(vpn, victim);
         self.lru_touch(victim);
+        if let Some(gone) = &old {
+            self.note_evict(gone.pmap, gone.vpn);
+        }
         old
     }
 
@@ -467,6 +503,93 @@ impl Tlb {
         }
         self.stats.invalidated += n;
         n
+    }
+
+    /// The current stamps a live [`ResidencySet`] of `pmap` must carry.
+    fn residency_stamp(&self, pmap: PmapId) -> (u64, u64) {
+        (self.epoch, self.asid_generation(pmap))
+    }
+
+    /// Records that `(pmap, vpn)` just became cached. A stale-stamped set
+    /// is cleared and restamped wholesale: a stale stamp proves the pmap
+    /// has no live entries (an epoch mismatch means a full flush emptied
+    /// the buffer; a generation mismatch means [`recycle_pmap`](Tlb::recycle_pmap)
+    /// emptied the pmap's slots), so the fresh set starts from truth.
+    fn note_insert(&mut self, pmap: PmapId, vpn: Vpn) {
+        let stamp = self.residency_stamp(pmap);
+        let set = self.residency.entry(pmap).or_default();
+        if (set.epoch, set.gen) != stamp {
+            set.pages.clear();
+            (set.epoch, set.gen) = stamp;
+        }
+        set.pages.insert(vpn);
+    }
+
+    /// Prunes an LRU-evicted victim out of its pmap's residency set. Exact
+    /// pruning is sound here — the index holds at most one slot per
+    /// `(pmap, vpn)`, so an evicted victim is definitely not cached.
+    fn note_evict(&mut self, pmap: PmapId, vpn: Vpn) {
+        let stamp = self.residency_stamp(pmap);
+        if let Some(set) = self.residency.get_mut(&pmap) {
+            if (set.epoch, set.gen) == stamp {
+                set.pages.remove(&vpn);
+            }
+        }
+    }
+
+    /// Whether any page of `ranges` is *possibly* cached for `pmap`.
+    ///
+    /// This is the initiator's IPI-target filter: `false` guarantees no
+    /// live translation of `pmap` within `ranges` exists in this buffer
+    /// (the safe direction), while `true` only means one might. The probe
+    /// iterates the cheaper side — the ranges when they are short, the
+    /// residency set when it is.
+    pub fn possibly_caches(&self, pmap: PmapId, ranges: &[PageRange]) -> bool {
+        let Some(set) = self.residency.get(&pmap) else {
+            return false;
+        };
+        if (set.epoch, set.gen) != self.residency_stamp(pmap) {
+            return false;
+        }
+        ranges.iter().any(|range| {
+            if range.count() <= set.pages.len() as u64 {
+                range.iter().any(|vpn| set.pages.contains(&vpn))
+            } else {
+                set.pages.iter().any(|vpn| range.contains(*vpn))
+            }
+        })
+    }
+
+    /// The pmap's current ASID generation (0 until first recycled).
+    pub fn asid_generation(&self, pmap: PmapId) -> u64 {
+        self.asid_gens.get(&pmap).copied().unwrap_or(0)
+    }
+
+    /// Satisfies a full flush of one pmap by retiring its ASID generation
+    /// instead of walking the buffer: the generation bump invalidates the
+    /// pmap's residency set in O(1), and the pmap's live slots are
+    /// reclaimed. Returns the new generation.
+    ///
+    /// The *simulated* cost is the caller's to charge — one tag write, not
+    /// a per-entry walk — which is the whole point: a revived or
+    /// context-switching cpu pays O(1) where [`flush_pmap`](Tlb::flush_pmap)
+    /// pays per entry. Recycling needs no stop-the-world sweep because
+    /// stale generations die lazily: any set or comparison stamped with an
+    /// old generation simply never matches again.
+    pub fn recycle_pmap(&mut self, pmap: PmapId) -> u64 {
+        self.flush_pmap(pmap);
+        let gen = self.asid_gens.entry(pmap).or_insert(0);
+        *gen += 1;
+        *gen
+    }
+
+    /// How many pages `pmap`'s residency set currently holds (0 when the
+    /// set is stale-stamped). For tests and diagnostics.
+    pub fn residency_len(&self, pmap: PmapId) -> usize {
+        self.residency
+            .get(&pmap)
+            .filter(|set| (set.epoch, set.gen) == self.residency_stamp(pmap))
+            .map_or(0, |set| set.pages.len())
     }
 
     /// Whether invalidating `range` should use individual invalidates or a
@@ -782,5 +905,88 @@ mod tests {
         t.insert(P1, Vpn::new(11), pte(11, Prot::READ), Time::ZERO);
         let order: Vec<u64> = t.entries().map(|e| e.vpn.raw()).collect();
         assert_eq!(order, vec![10, 1, 11, 3]);
+    }
+
+    #[test]
+    fn residency_tracks_inserts_and_overapproximates_invalidates() {
+        let mut t = tlb();
+        let r = |v: u64| PageRange::single(Vpn::new(v));
+        assert!(
+            !t.possibly_caches(P1, &[r(1)]),
+            "empty buffer caches nothing"
+        );
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        t.insert(P1, Vpn::new(2), pte(2, Prot::READ), Time::ZERO);
+        assert!(t.possibly_caches(P1, &[r(1)]));
+        assert!(t.possibly_caches(P1, &[r(0), r(2)]));
+        assert!(!t.possibly_caches(P1, &[r(3)]));
+        assert!(!t.possibly_caches(P2, &[r(1)]), "pmap-scoped");
+        // A wide range probe walks the residency set instead of the range.
+        assert!(t.possibly_caches(P1, &[PageRange::new(Vpn::new(0), 4096)]));
+        // Plain invalidation does NOT prune: the set over-approximates.
+        t.invalidate(P1, Vpn::new(1));
+        assert!(
+            t.possibly_caches(P1, &[r(1)]),
+            "conservative after invalidate"
+        );
+        assert_eq!(t.residency_len(P1), 2);
+    }
+
+    #[test]
+    fn residency_prunes_lru_victims_exactly() {
+        let mut t = Tlb::new(TlbConfig {
+            capacity: 2,
+            ..TlbConfig::multimax()
+        });
+        let r = |v: u64| PageRange::single(Vpn::new(v));
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        t.insert(P1, Vpn::new(2), pte(2, Prot::READ), Time::ZERO);
+        // Capacity eviction of vpn 1 (the LRU) prunes it from the set.
+        let evicted = t.insert(P1, Vpn::new(3), pte(3, Prot::READ), Time::ZERO);
+        assert_eq!(evicted.expect("full").vpn, Vpn::new(1));
+        assert!(!t.possibly_caches(P1, &[r(1)]), "evicted page pruned");
+        assert!(t.possibly_caches(P1, &[r(2)]));
+        assert!(t.possibly_caches(P1, &[r(3)]));
+        assert_eq!(t.residency_len(P1), 2);
+    }
+
+    #[test]
+    fn flush_all_kills_residency_by_epoch_stamp() {
+        let mut t = tlb();
+        let r = |v: u64| PageRange::single(Vpn::new(v));
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        t.insert(P2, Vpn::new(2), pte(2, Prot::READ), Time::ZERO);
+        t.flush_all();
+        assert!(!t.possibly_caches(P1, &[r(1)]));
+        assert!(!t.possibly_caches(P2, &[r(2)]));
+        assert_eq!(t.residency_len(P1), 0);
+        // Reinsertion restamps from scratch: only the fresh page shows.
+        t.insert(P1, Vpn::new(9), pte(9, Prot::READ), Time::ZERO);
+        assert!(t.possibly_caches(P1, &[r(9)]));
+        assert!(!t.possibly_caches(P1, &[r(1)]), "pre-flush page stays dead");
+    }
+
+    #[test]
+    fn recycle_bumps_the_generation_and_empties_the_pmap() {
+        let mut t = tlb();
+        let r = |v: u64| PageRange::single(Vpn::new(v));
+        t.insert(P1, Vpn::new(1), pte(1, Prot::READ), Time::ZERO);
+        t.insert(P2, Vpn::new(2), pte(2, Prot::READ), Time::ZERO);
+        assert_eq!(t.asid_generation(P1), 0);
+        assert_eq!(t.recycle_pmap(P1), 1);
+        assert_eq!(t.asid_generation(P1), 1);
+        assert_eq!(t.len(), 1, "P1's slots reclaimed, P2 untouched");
+        assert!(t.peek(P1, Vpn::new(1)).is_none());
+        assert!(!t.possibly_caches(P1, &[r(1)]), "generation mismatch");
+        assert!(
+            t.possibly_caches(P2, &[r(2)]),
+            "other pmaps keep their sets"
+        );
+        // The recycled generation is reusable immediately: the next insert
+        // restamps the set under generation 1.
+        t.insert(P1, Vpn::new(5), pte(5, Prot::READ), Time::ZERO);
+        assert!(t.possibly_caches(P1, &[r(5)]));
+        assert!(!t.possibly_caches(P1, &[r(1)]));
+        assert_eq!(t.recycle_pmap(P1), 2, "generations are monotone per pmap");
     }
 }

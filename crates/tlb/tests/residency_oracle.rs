@@ -1,0 +1,171 @@
+//! The residency tracker's conservative over-approximation invariant.
+//!
+//! The filter in the initiator may *keep* a processor that holds no
+//! stale entry (a wasted IPI, harmless) but must never *drop* one that
+//! could hold a stale translation. The exact oracle is the TLB's own
+//! live-entry set: after any interleaving of inserts, lookups,
+//! invalidations, pmap flushes, full flushes, context switches, and
+//! ASID-generation recycles, every entry still resident in the buffer
+//! must be covered by `possibly_caches` — for its exact page, and for
+//! any range containing it.
+
+use proptest::prelude::*;
+
+use machtlb_pmap::{Access, PageRange, Pfn, PmapId, Prot, Pte, Vpn};
+use machtlb_sim::Time;
+use machtlb_tlb::{Tlb, TlbConfig};
+
+const PMAPS: u32 = 4;
+const VPNS: u64 = 48;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64, u64, bool),
+    Lookup(u32, u64, bool),
+    Invalidate(u32, u64),
+    InvalidateRange(u32, u64, u64),
+    FlushPmap(u32),
+    FlushAll,
+    ContextSwitch(u32),
+    Recycle(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let pmap = 0u32..PMAPS;
+    let vpn = 0u64..VPNS;
+    prop_oneof![
+        (pmap.clone(), vpn.clone(), 1u64..100, any::<bool>())
+            .prop_map(|(p, v, f, w)| Op::Insert(p, v, f, w)),
+        (pmap.clone(), vpn.clone(), any::<bool>()).prop_map(|(p, v, w)| Op::Lookup(p, v, w)),
+        (pmap.clone(), vpn.clone()).prop_map(|(p, v)| Op::Invalidate(p, v)),
+        (pmap.clone(), vpn.clone(), 1u64..20).prop_map(|(p, v, c)| Op::InvalidateRange(p, v, c)),
+        pmap.clone().prop_map(Op::FlushPmap),
+        Just(Op::FlushAll),
+        pmap.clone().prop_map(Op::ContextSwitch),
+        pmap.prop_map(Op::Recycle),
+    ]
+}
+
+/// Every live entry must be possibly-cached: per exact page, and per a
+/// few ranges that contain the page (the filter consults ranges, not
+/// single pages).
+fn assert_overapproximates(
+    tlb: &Tlb,
+    step: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for p in 0..PMAPS {
+        let pmap = PmapId::new(p);
+        for v in 0..VPNS {
+            if tlb.peek(pmap, Vpn::new(v)).is_none() {
+                continue;
+            }
+            prop_assert!(
+                tlb.possibly_caches(pmap, &[PageRange::single(Vpn::new(v))]),
+                "step {}: live entry ({}, {}) not possibly-cached — the \
+                 filter would drop a processor holding a stale entry",
+                step,
+                p,
+                v
+            );
+            // A containing range must also report possibly-cached.
+            let wide = PageRange::new(Vpn::new(v.saturating_sub(3)), 7);
+            prop_assert!(
+                tlb.possibly_caches(pmap, &[wide]),
+                "step {}: live entry ({}, {}) escaped a containing range",
+                step,
+                p,
+                v
+            );
+        }
+        // Sanity in the other direction (precision, not soundness): a
+        // pmap with no live entries and no stale-stamp set reports a
+        // residency length of zero or more — nothing to assert — but a
+        // recycled/never-entered pmap must never claim more pages than
+        // the buffer holds in total.
+        prop_assert!(tlb.residency_len(pmap) <= tlb.config().capacity * 2);
+    }
+    Ok(())
+}
+
+fn apply(tlb: &mut Tlb, op: &Op) {
+    match *op {
+        Op::Insert(p, v, f, rw) => {
+            let prot = if rw { Prot::READ_WRITE } else { Prot::READ };
+            let pte = Pte::valid(Pfn::new(f), prot);
+            tlb.insert(PmapId::new(p), Vpn::new(v), pte, Time::ZERO);
+        }
+        Op::Lookup(p, v, w) => {
+            let access = if w { Access::Write } else { Access::Read };
+            tlb.lookup(PmapId::new(p), Vpn::new(v), access, Time::ZERO);
+        }
+        Op::Invalidate(p, v) => {
+            tlb.invalidate(PmapId::new(p), Vpn::new(v));
+        }
+        Op::InvalidateRange(p, v, c) => {
+            tlb.invalidate_range(PmapId::new(p), PageRange::new(Vpn::new(v), c));
+        }
+        Op::FlushPmap(p) => {
+            tlb.flush_pmap(PmapId::new(p));
+        }
+        Op::FlushAll => {
+            tlb.flush_all();
+        }
+        Op::ContextSwitch(p) => {
+            tlb.on_context_switch(PmapId::new(p));
+        }
+        Op::Recycle(p) => {
+            tlb.recycle_pmap(PmapId::new(p));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn residency_never_underapproximates_multimax(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig::multimax());
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut tlb, op);
+            assert_overapproximates(&tlb, step)?;
+        }
+    }
+
+    #[test]
+    fn residency_never_underapproximates_tiny(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        // A 4-entry buffer forces constant LRU eviction, stressing the
+        // prune-on-evict path far harder than the 64-entry Multimax
+        // geometry.
+        let config = TlbConfig {
+            capacity: 4,
+            ..TlbConfig::multimax()
+        };
+        let mut tlb = Tlb::new(config);
+        for (step, op) in ops.iter().enumerate() {
+            apply(&mut tlb, op);
+            assert_overapproximates(&tlb, step)?;
+        }
+    }
+
+    #[test]
+    fn recycle_empties_the_pmap(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        p in 0u32..PMAPS,
+    ) {
+        let mut tlb = Tlb::new(TlbConfig::multimax());
+        for op in &ops {
+            apply(&mut tlb, op);
+        }
+        let pmap = PmapId::new(p);
+        let g0 = tlb.asid_generation(pmap);
+        tlb.recycle_pmap(pmap);
+        prop_assert_eq!(tlb.asid_generation(pmap), g0 + 1);
+        for v in 0..VPNS {
+            prop_assert!(tlb.peek(pmap, Vpn::new(v)).is_none());
+        }
+        prop_assert!(!tlb.possibly_caches(
+            pmap,
+            &[PageRange::new(Vpn::new(0), VPNS)]
+        ));
+    }
+}

@@ -111,7 +111,7 @@ impl UserAccess {
                                 self.phase = APhase::Try;
                                 UserAccessStep::Yield(Step::Run(d))
                             }
-                            FaultResult::Unrecoverable => {
+                            FaultResult::Unrecoverable | FaultResult::Aborted => {
                                 UserAccessStep::Finished(UserAccessResult::Killed, d)
                             }
                         }

@@ -25,6 +25,12 @@ pub enum FaultResult {
     /// (the write fault on a read-only page the consistency tester relies
     /// on, Section 5.1).
     Unrecoverable,
+    /// The pmap enter aborted without entering the translation: the pmap
+    /// lock is held by a fail-stop halted processor under
+    /// [`RecoveryPolicy::FailOp`](machtlb_core::RecoveryPolicy::FailOp).
+    /// Retrying would fault again forever; the thread fails the access
+    /// instead.
+    Aborted,
 }
 
 #[derive(Debug)]
@@ -218,9 +224,25 @@ impl<S: HasVm> Process<S, ()> for FaultProcess {
                 match drive(enter, ctx) {
                     Driven::Yield(s) => s,
                     Driven::Finished(d) => {
+                        // Under RecoveryPolicy::FailOp the enter completes
+                        // without touching the pmap when its lock is held
+                        // by a dead processor — reporting that as Resolved
+                        // would retry the access into the same dead lock
+                        // until the livelock assertion fires.
+                        let aborted = self
+                            .enter
+                            .as_ref()
+                            .expect("planned in Resolve")
+                            .outcome()
+                            .dead_lock_holder
+                            .is_some();
                         self.enter = None;
-                        self.result = Some(FaultResult::Resolved);
-                        ctx.shared.vm_mut().stats.faults_resolved += 1;
+                        if aborted {
+                            self.result = Some(FaultResult::Aborted);
+                        } else {
+                            self.result = Some(FaultResult::Resolved);
+                            ctx.shared.vm_mut().stats.faults_resolved += 1;
+                        }
                         self.phase = FPhase::Unlock;
                         Step::Run(d)
                     }

@@ -220,12 +220,22 @@ impl<S: HasVm> Process<S, ()> for RemoteCopyProcess {
                         // path's bookkeeping, not ours.
                         continue;
                     }
+                    let single = ctx.costs().tlb_invalidate_single;
                     let kernel = ctx.shared.kernel_mut();
-                    let n = kernel.tlbs[me.index()].flush_pmap(pmap);
+                    if kernel.config.residency {
+                        // ASID-generation recycling: one bump retires our
+                        // cached view of the remote address space.
+                        kernel.tlbs[me.index()].recycle_pmap(pmap);
+                        kernel.stats.asid_recycles += 1;
+                        cost += single;
+                    } else {
+                        let n = kernel.tlbs[me.index()].flush_pmap(pmap);
+                        cost += single * n.max(1);
+                    }
                     kernel.pmaps.get_mut(pmap).mark_not_in_use(me);
                     // Leaving the user set can satisfy an initiator's wait.
                     ctx.notify(SYNC_CHANNEL);
-                    cost += ctx.costs().tlb_invalidate_single * n.max(1) + ctx.bus_write();
+                    cost += ctx.bus_write();
                 }
                 Step::Done(cost)
             }

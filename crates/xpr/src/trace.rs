@@ -106,11 +106,16 @@ pub enum TracePhase {
     /// — before touching any pmap again (a slice on the revived
     /// processor's track, closed by the rejoin).
     Fence,
+    /// Initiator: the residency filter excluded an in-use processor from
+    /// the IPI target set because its TLB cannot hold a stale entry for
+    /// the affected range (a mark; the arg is the filtered processor
+    /// index, as for [`TracePhase::IpiSend`]).
+    Filter,
 }
 
 impl TracePhase {
     /// Every phase, in algorithm order.
-    pub const ALL: [TracePhase; 16] = [
+    pub const ALL: [TracePhase; 17] = [
         TracePhase::Initiate,
         TracePhase::QueueActions,
         TracePhase::IpiSend,
@@ -127,6 +132,7 @@ impl TracePhase {
         TracePhase::Fault,
         TracePhase::Evict,
         TracePhase::Fence,
+        TracePhase::Filter,
     ];
 
     /// A short stable name (used in trace exports and tables).
@@ -148,6 +154,7 @@ impl TracePhase {
             TracePhase::Fault => "fault",
             TracePhase::Evict => "evict",
             TracePhase::Fence => "fence",
+            TracePhase::Filter => "filter",
         }
     }
 
@@ -164,6 +171,7 @@ impl TracePhase {
                 | TracePhase::RemoteInvalidate
                 | TracePhase::Retry
                 | TracePhase::Evict
+                | TracePhase::Filter
         )
     }
 }
@@ -871,6 +879,8 @@ mod tests {
         assert_eq!(TracePhase::Fence.name(), "fence");
         assert!(TracePhase::Evict.is_initiator_side());
         assert!(!TracePhase::Fence.is_initiator_side());
-        assert_eq!(TracePhase::ALL.len(), 16);
+        assert_eq!(TracePhase::Filter.name(), "filter");
+        assert!(TracePhase::Filter.is_initiator_side());
+        assert_eq!(TracePhase::ALL.len(), 17);
     }
 }

@@ -4,14 +4,19 @@
 #   2. lints            (clippy, warnings are errors, all targets)
 #   3. tier-1 tests     (release build + the root package's test suite)
 #   4. doc-tests        (workspace-wide)
-#   5. smoke benches    (the spin-vs-event, trace-overhead, and Section 8
-#                        harnesses in MACHTLB_SMOKE mode; the Section 8
-#                        scaling harness drives the 1024-processor point
-#                        and asserts the fanout+batching curve stays
-#                        sub-linear, and the Section 8 NUMA harness drives
-#                        the migration storm on a 4-node x 16-processor
-#                        machine, asserting node-local traffic stays flat
-#                        and cross-node placement pays the interconnect.
+#   5. smoke benches    (the spin-vs-event, trace-overhead, Section 8,
+#                        and residency harnesses in MACHTLB_SMOKE mode;
+#                        the Section 8 scaling harness drives the
+#                        1024-processor point and asserts the
+#                        fanout+batching curve stays sub-linear, the
+#                        Section 8 NUMA harness drives the migration
+#                        storm on a 4-node x 16-processor machine,
+#                        asserting node-local traffic stays flat and
+#                        cross-node placement pays the interconnect, and
+#                        the residency harness runs the Mach build with
+#                        the shootdown-target filter off and on,
+#                        asserting the filtered run stays consistent and
+#                        sends no more IPIs.
 #                        Each writes BENCH_<name>.json into
 #                        target/bench-json, and `machtlb bench-check`
 #                        holds the headline numbers against the committed
@@ -55,6 +60,7 @@ MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --be
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench trace_overhead
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_scaling
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_numa
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec_residency
 
 echo "==> bench noise envelope vs committed baselines"
 cargo run --release --quiet --bin machtlb -- bench-check \

@@ -33,16 +33,20 @@ machtlb — the Mach TLB shootdown reproduction (Black et al., ASPLOS 1989)
 
 USAGE:
     machtlb tester  [--children N] [--cpus N] [--seed N] [--strategy S]
-                    [--fanout N] [--shards N] [--batch on|off] [TOPOLOGY]
-    machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N] [--lazy on|off]
+                    [--fanout N] [--shards N] [--batch on|off]
+                    [--residency on|off] [TOPOLOGY]
+    machtlb app     <mach|parthenon|agora|camelot> [--cpus N] [--seed N]
+                    [--lazy on|off] [--residency on|off]
     machtlb fig2    [--cpus N] [--max-k N] [--runs N]
     machtlb scaling [--upto N] [--fanout N] [--shards N] [--batch on|off]
-                    [TOPOLOGY]
+                    [--residency on|off] [TOPOLOGY]
     machtlb trace   [--workload machbuild|parthenon|agora|camelot|tester]
                     [--strategy S] [--cpus N] [--seed N] [--out FILE]
-                    [--fanout N] [--shards N] [--batch on|off] [TOPOLOGY]
+                    [--fanout N] [--shards N] [--batch on|off]
+                    [--residency on|off] [TOPOLOGY]
     machtlb storm   [--cpus N] [--seed N] [--workers N] [--pages N]
-                    [--migrations N] [--cross on|off] [TOPOLOGY]
+                    [--migrations N] [--cross on|off]
+                    [--residency on|off] [TOPOLOGY]
     machtlb bench-check --baseline DIR [--current DIR] [--tolerance PCT]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
                     [--json FILE] [TOPOLOGY]
@@ -55,6 +59,13 @@ DELIVERY FLAGS (shootdown strategy):
                     unicast send loop; degree 1 is bit-identical to it)
     --shards N      pmap lock shard count (default 1 = one lock per pmap)
     --batch on|off  merge concurrent same-pmap initiators into one round
+
+PRECISE TARGETING (shootdown strategy):
+    --residency on|off  consult the per-processor possibly-cached sets to
+                        skip IPI targets that cannot hold the stale
+                        translation, and recycle ASID generations on
+                        tagged-TLB pmap retirement (default off = the
+                        paper's exact protocol, bit-identical traces)
 
 TOPOLOGY FLAGS (omit them all for the paper's flat single-bus machine):
     --nodes N            NUMA nodes (default 1 = flat, bit-identical to
@@ -185,6 +196,21 @@ fn apply_delivery_flags(args: &Args, mut kconfig: KernelConfig) -> Result<Kernel
     Ok(kconfig)
 }
 
+/// Applies the `--residency on|off` flag (default off = the paper's
+/// exact protocol). On, the initiator consults the per-processor
+/// possibly-cached sets to skip shootdown targets that cannot hold the
+/// stale translation, and tagged-TLB pmap retirement recycles the ASID
+/// generation instead of walking entries.
+fn apply_residency_flag(args: &Args, mut kconfig: KernelConfig) -> Result<KernelConfig, String> {
+    kconfig.residency = match args.get("residency") {
+        None => kconfig.residency,
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--residency: on or off, not {other}")),
+    };
+    Ok(kconfig)
+}
+
 /// Applies the `--nodes`, `--node-cpus`, and `--remote-latency` topology
 /// flags. With none of them present the configuration stays flat
 /// (`topology: None`), which is bit-identical to the pre-topology
@@ -280,7 +306,10 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
     let kconfig = apply_topology_flags(
         args,
         cpus,
-        apply_delivery_flags(args, strategy_config(strategy)?)?,
+        apply_residency_flag(
+            args,
+            apply_delivery_flags(args, strategy_config(strategy)?)?,
+        )?,
     )?;
     let config = base_config(cpus, seed, kconfig);
     let out = run_tester(
@@ -307,6 +336,9 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
             out.report.stats.multicast_rounds, out.report.stats.initiators_batched
         );
     }
+    if let Some(line) = residency_line(&config.kconfig, &out.report.stats) {
+        println!("  {line}");
+    }
     match out.shootdown {
         Some(shot) => println!(
             "  consistency action: {} processors, {:.1} us ({} pages)",
@@ -321,6 +353,16 @@ fn cmd_tester(args: &Args) -> Result<(), String> {
     println!("  {}", hot_paths(&out.report));
     println!("  oracle: {}", verdict(&out.report));
     Ok(())
+}
+
+/// One line on the residency filter's work, printed only when it is live.
+fn residency_line(kconfig: &KernelConfig, stats: &machtlb::core::KernelStats) -> Option<String> {
+    kconfig.residency.then(|| {
+        format!(
+            "residency filter: {} IPIs filtered, {} ASID generations recycled",
+            stats.ipis_filtered, stats.asid_recycles
+        )
+    })
 }
 
 fn verdict(report: &AppReport) -> String {
@@ -360,10 +402,13 @@ fn cmd_app(args: &Args) -> Result<(), String> {
     let mut config = base_config(
         cpus,
         seed,
-        KernelConfig {
-            lazy_eval: lazy,
-            ..Default::default()
-        },
+        apply_residency_flag(
+            args,
+            KernelConfig {
+                lazy_eval: lazy,
+                ..Default::default()
+            },
+        )?,
     );
     config.device_period = Some(Dur::millis(5));
     let report = match name {
@@ -422,6 +467,9 @@ fn cmd_app(args: &Args) -> Result<(), String> {
             ("IPI watchdog retries", report.stats.ipi_retries),
         ])
     );
+    if let Some(line) = residency_line(&config.kconfig, &report.stats) {
+        println!("{line}");
+    }
     println!("{}", bus_table(&report.bus));
     println!("oracle: {}", verdict(&report));
     Ok(())
@@ -483,7 +531,8 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
 
 fn cmd_scaling(args: &Args) -> Result<(), String> {
     let upto = args.num("upto", 128)? as usize;
-    let base_kconfig = apply_delivery_flags(args, KernelConfig::default())?;
+    let base_kconfig =
+        apply_residency_flag(args, apply_delivery_flags(args, KernelConfig::default())?)?;
     let mut n = 16usize;
     println!("machine-wide shootdown cost vs machine size (scalable interconnect):");
     println!("  {}", delivery_line(&base_kconfig));
@@ -542,12 +591,15 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let kconfig = apply_topology_flags(
         args,
         cpus,
-        apply_delivery_flags(
+        apply_residency_flag(
             args,
-            KernelConfig {
-                trace_shootdowns: true,
-                ..strategy_config(strategy)?
-            },
+            apply_delivery_flags(
+                args,
+                KernelConfig {
+                    trace_shootdowns: true,
+                    ..strategy_config(strategy)?
+                },
+            )?,
         )?,
     )?;
     let mut config = base_config(cpus, seed, kconfig);
@@ -675,7 +727,22 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
         migrations_per_worker: args.num("migrations", 8)?,
         cross_node: cross,
     };
-    let kconfig = apply_topology_flags(args, cpus, KernelConfig::default())?;
+    let kconfig = apply_topology_flags(
+        args,
+        cpus,
+        apply_residency_flag(args, KernelConfig::default())?,
+    )?;
+    // `--cross on` targets `(node + 1) % nodes`, which on a single-node
+    // (or flat) machine silently wraps back to the same node and measures
+    // node-local traffic while claiming cross-node. Refuse instead.
+    let nodes = kconfig.topology.map_or(1, |t| t.nodes());
+    if cross && nodes <= 1 {
+        return Err(format!(
+            "--cross on needs at least 2 nodes (got {nodes}): cross-node \
+             migration would wrap back to the same node; pass --nodes 2 \
+             or more"
+        ));
+    }
     let mut config = base_config(cpus, seed, kconfig);
     config.device_period = None;
     let out = run_migration_storm(&config, &storm);
@@ -705,6 +772,9 @@ fn cmd_storm(args: &Args) -> Result<(), String> {
             ("TLB flushes", r.tlb_flushes),
         ])
     );
+    if let Some(line) = residency_line(&config.kconfig, &r.stats) {
+        println!("{line}");
+    }
     let mut t = TextTable::new(vec![
         "node",
         "IPIs out",
@@ -782,7 +852,7 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
                     d.name.clone(),
                     format!("{:.1}", d.baseline_us),
                     d.current_us.map_or("gone".into(), |c| format!("{c:.1}")),
-                    d.ratio().map_or("-".into(), |r| format!("{r:.3}")),
+                    d.ratio().map_or("n/a".into(), |r| format!("{r:.3}")),
                     if d.within { "ok" } else { "OUTSIDE" }.into(),
                 ]);
             }

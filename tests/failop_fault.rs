@@ -1,0 +1,179 @@
+//! Regression for the `FailOp` outcome path through the page-fault
+//! handler (ISSUE 8 satellite).
+//!
+//! Under [`RecoveryPolicy::FailOp`] a pmap operation that finds its lock
+//! held by a fail-stop halted processor aborts with
+//! `dead_lock_holder` set instead of stealing the lock. The fault
+//! handler used to ignore that outcome and report the fault *resolved*;
+//! the access then retried into the same dead lock forever until the
+//! 100-fault livelock assertion brought the simulation down. The fix
+//! reports [`FaultResult::Aborted`], which the access maps to
+//! [`UserAccessResult::Killed`] — the thread observes the failed
+//! operation, and the processor leaves the pmap's bookkeeping clean
+//! (no stale in-use bit for the residency filter to trust).
+
+use machtlb::core::{
+    drive, Driven, ExitIdleProcess, HasKernel, HealthConfig, KernelConfig, MemOp, RecoveryPolicy,
+    SHOOTDOWN_VECTOR,
+};
+use machtlb::pmap::{PmapId, Vaddr, Vpn, PAGE_SIZE};
+use machtlb::sim::{CostModel, CpuId, Ctx, Dur, FaultPlan, Halt, Process, RunStatus, Step, Time};
+use machtlb::vm::{
+    build_system_machine, HasVm, SystemState, TaskId, UserAccess, UserAccessResult, UserAccessStep,
+    VmOp, VmOpProcess, USER_SPAN_START,
+};
+
+const VPN: u64 = USER_SPAN_START + 0x20;
+
+/// Takes the task pmap's lock and never releases it; the fault plan
+/// halts this processor mid-hold.
+#[derive(Debug)]
+struct DoomedHolder {
+    pmap: PmapId,
+    holding: bool,
+}
+
+impl Process<SystemState, ()> for DoomedHolder {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        let me = ctx.cpu_id;
+        if !self.holding {
+            let lock = ctx.shared.kernel_mut().pmaps.get_mut(self.pmap).lock_mut();
+            if !lock.try_acquire(me) {
+                return Step::Run(ctx.costs().spin_iter);
+            }
+            self.holding = true;
+            return Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked());
+        }
+        Step::Run(ctx.costs().local_op * 16)
+    }
+
+    fn label(&self) -> &'static str {
+        "doomed-holder"
+    }
+}
+
+/// Allocates a page, then touches it: the lazy pmap fill's enter runs
+/// into the dead holder and must kill the access rather than livelock.
+#[derive(Debug)]
+struct Victim {
+    task: TaskId,
+    stage: u32,
+    exit_idle: Option<ExitIdleProcess>,
+    op: Option<VmOpProcess>,
+    access: Option<UserAccess>,
+}
+
+impl Process<SystemState, ()> for Victim {
+    fn step(&mut self, ctx: &mut Ctx<'_, SystemState, ()>) -> Step {
+        if let Some(e) = self.exit_idle.as_mut() {
+            return match drive(e, ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.exit_idle = None;
+                    Step::Run(d)
+                }
+            };
+        }
+        match self.stage {
+            0 => {
+                let task = self.task;
+                let op = self.op.get_or_insert_with(|| {
+                    VmOpProcess::new(VmOp::Allocate {
+                        task,
+                        pages: 1,
+                        at: Some(Vpn::new(VPN)),
+                    })
+                });
+                match drive(op, ctx) {
+                    Driven::Yield(s) => s,
+                    Driven::Finished(d) => {
+                        self.op = None;
+                        self.stage = 1;
+                        // Give the holder time to take the lock and halt.
+                        Step::Run(d + Dur::micros(2_000))
+                    }
+                }
+            }
+            1 => {
+                let task = self.task;
+                let acc = self.access.get_or_insert_with(|| {
+                    UserAccess::new(task, Vaddr::new(VPN * PAGE_SIZE), MemOp::Write(7))
+                });
+                match acc.step(ctx) {
+                    UserAccessStep::Yield(s) => s,
+                    UserAccessStep::Finished(UserAccessResult::Killed, d) => Step::Done(d),
+                    UserAccessStep::Finished(UserAccessResult::Ok(_), _) => {
+                        panic!("the enter cannot succeed against a dead lock holder")
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "failop-victim"
+    }
+}
+
+#[test]
+fn failop_dead_holder_kills_the_faulting_access_instead_of_livelocking() {
+    let kconfig = KernelConfig {
+        health: HealthConfig {
+            enabled: true,
+            fencing: true,
+            policy: RecoveryPolicy::FailOp,
+        },
+        ..KernelConfig::default()
+    };
+    let mut m = build_system_machine(2, 21, CostModel::multimax(), kconfig);
+    let (task, pmap) = {
+        let s = m.shared_mut();
+        let SystemState { kernel, vm } = s;
+        let task = vm.create_task(kernel);
+        let pmap = vm.pmap_of(task);
+        (task, pmap)
+    };
+    m.install_fault_plan(FaultPlan {
+        halt: Some(Halt {
+            cpu: CpuId::new(1),
+            at: Time::from_micros(1_000),
+        }),
+        ..FaultPlan::none(SHOOTDOWN_VECTOR)
+    });
+    m.spawn_at(
+        CpuId::new(1),
+        Time::ZERO,
+        Box::new(DoomedHolder {
+            pmap,
+            holding: false,
+        }),
+    );
+    m.spawn_at(
+        CpuId::new(0),
+        Time::ZERO,
+        Box::new(Victim {
+            task,
+            stage: 0,
+            exit_idle: Some(ExitIdleProcess::new()),
+            op: None,
+            access: None,
+        }),
+    );
+    // Without the fix this run panics: "access ... livelocked through
+    // 100 faults".
+    let r = m.run_bounded(Time::from_micros(10_000_000), 10_000_000);
+    assert_eq!(r.status, RunStatus::Quiescent);
+    // The access observed the dead holder and was killed; it was not
+    // falsely reported resolved.
+    let s = m.shared();
+    assert_eq!(
+        s.vm().stats.faults_resolved,
+        0,
+        "abort must not count as resolved"
+    );
+    assert!(
+        !s.kernel().pmaps.get(pmap).in_use().contains(CpuId::new(0)),
+        "the failed enter must not leave a stale in-use bit"
+    );
+}
