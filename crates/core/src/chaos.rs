@@ -40,12 +40,12 @@ use machtlb_xpr::{ShootdownEvent, TraceEdge, TracePhase};
 
 use crate::access::{try_access, AccessOutcome, MemOp};
 use crate::diagnose::stall_report;
-use crate::health::FencedRejoinProcess;
+use crate::health::{FencedRejoinProcess, RecoveryPolicy};
 use crate::kernel::{
     build_kernel_machine, schedule_device_interrupts, KernelMachine, SwitchUserPmapProcess,
     SHOOTDOWN_VECTOR,
 };
-use crate::op::{PmapOp, PmapOpProcess};
+use crate::op::{FailOpDriver, PmapOp, PmapOpProcess};
 use crate::responder::ExitIdleProcess;
 use crate::state::{KernelConfig, KernelState, KernelStats, WatchdogConfig};
 use crate::{drive, Driven};
@@ -109,6 +109,18 @@ pub struct ChaosPlan {
     /// test pmap's lock and never releases it — the dead-lock-holder
     /// scenario once the fault plan halts that processor.
     pub grab_lock: bool,
+    /// The dead-lock-holder recovery policy this plan runs under. The
+    /// catalog default is [`RecoveryPolicy::FenceAndSteal`]; the FailOp
+    /// plans switch to [`RecoveryPolicy::FailOp`] and drive every
+    /// operation through a [`FailOpDriver`](crate::FailOpDriver).
+    pub policy: RecoveryPolicy,
+    /// The [`FailOpDriver`](crate::FailOpDriver) restart budget (only
+    /// meaningful under [`RecoveryPolicy::FailOp`]).
+    pub failop_retries: u32,
+    /// Run a second, co-initiating driver on processor 1. It shares the
+    /// rounds and raises the sentinel, so the campaign completes even if
+    /// the primary initiator on processor 0 is halted mid-run.
+    pub co_initiator: bool,
     /// Whether the hardened kernel is expected to finish consistently
     /// under this plan (possibly degraded). Beyond-envelope plans must be
     /// [`Survival::DetectedFatal`].
@@ -125,6 +137,9 @@ fn base_plan(name: &'static str, fault: FaultPlan) -> ChaosPlan {
         fencing: true,
         final_ro: false,
         grab_lock: false,
+        policy: RecoveryPolicy::FenceAndSteal,
+        failop_retries: 3,
+        co_initiator: false,
         tolerable: true,
     }
 }
@@ -137,6 +152,14 @@ fn base_plan(name: &'static str, fault: FaultPlan) -> ChaosPlan {
 /// be caught (total unwatched IPI loss, a halted initiator, and a
 /// revival with fencing disabled).
 ///
+/// Appended after those sixteen (the topology-equivalence goldens pin
+/// the prefix) comes the compound-fault family: two halted responders,
+/// a halted initiator with a live co-initiator, the wrongful eviction of
+/// a slow-but-alive responder (with and without fencing), and a halted
+/// lock holder recovered end to end under [`RecoveryPolicy::FailOp`]
+/// (`RecoveryPolicy` is re-exported at the crate root) through a
+/// [`FailOpDriver`](crate::FailOpDriver).
+///
 /// The fail-stop timing: the workload's sentinel lands between 5 and
 /// 10 ms, so a halt at 2 ms reliably strikes mid-run; pairing it with an
 /// 8 ms [`ResponderStall`] pins the victim inside a shootdown dispatch —
@@ -145,12 +168,28 @@ fn base_plan(name: &'static str, fault: FaultPlan) -> ChaosPlan {
 ///
 /// # Panics
 ///
-/// Panics if `n_cpus < 3` (the workload needs an initiator, a responder,
-/// and a distinct fault target).
+/// Panics if `n_cpus < 4` (the workload needs an initiator, a surviving
+/// responder, and two distinct fault targets for the compound plans).
 pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
-    assert!(n_cpus >= 3, "chaos workload needs at least 3 processors");
+    assert!(n_cpus >= 4, "chaos workload needs at least 4 processors");
     let v = SHOOTDOWN_VECTOR;
     let last = CpuId::new(n_cpus as u32 - 1);
+    // The revival instant of the offline plans. 120ms was tuned so the
+    // revival lands after the finale's reprotect on small machines; bus
+    // serialization stretches campaign time roughly linearly with the
+    // processor count, so the revival must stretch with it — otherwise
+    // the final round starts after the rejoin, legitimately shoots the
+    // revived processor's stale entry down, and the beyond-envelope
+    // `revive-no-fence` plan passes silently. The max keeps every
+    // machine up to 28 processors (including the golden-pinned
+    // 4-processor catalog) bit-identical to the original constant.
+    let revive_at = Time::from_micros(120_000u64.max(50_000 + 2_500 * n_cpus as u64));
+    // Likewise the offline instant: the victim must have won the
+    // serialized bus and cached its writable test-page entry before it
+    // can go offline holding a translation to go stale. At 2ms a
+    // 128-processor machine's last writer is still queued behind the
+    // other 126.
+    let offline_at = Time::from_micros(2_000u64.max(100 * n_cpus as u64));
     vec![
         base_plan("none", FaultPlan::none(v)),
         base_plan(
@@ -304,8 +343,8 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
                     }),
                     offline: Some(Offline {
                         cpu: last,
-                        at: Time::from_micros(2_000),
-                        revive_at: Time::from_micros(120_000),
+                        at: offline_at,
+                        revive_at,
                     }),
                     ..FaultPlan::none(v)
                 },
@@ -329,8 +368,8 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
                     }),
                     offline: Some(Offline {
                         cpu: last,
-                        at: Time::from_micros(2_000),
-                        revive_at: Time::from_micros(120_000),
+                        at: offline_at,
+                        revive_at,
                     }),
                     ..FaultPlan::none(v)
                 },
@@ -347,6 +386,115 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
                     halt: Some(Halt {
                         cpu: CpuId::new(0),
                         at: Time::from_micros(2_000),
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // The compound-fault family (appended after the seed sixteen: the
+        // topology-equivalence goldens pin the original prefix).
+        //
+        // Two responders frozen inside stretched dispatches and then
+        // halted: the watchdog must evict both — two independent
+        // stall/halt rule pairs firing in one campaign.
+        base_plan(
+            "two-halt-responders",
+            FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: last,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt: Some(Halt {
+                    cpu: last,
+                    at: Time::from_micros(2_000),
+                }),
+                stall2: Some(ResponderStall {
+                    cpu: CpuId::new(n_cpus as u32 - 2),
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt2: Some(Halt {
+                    cpu: CpuId::new(n_cpus as u32 - 2),
+                    at: Time::from_micros(2_500),
+                }),
+                ..FaultPlan::none(v)
+            },
+        ),
+        // The halted initiator again — but with a live co-initiator on
+        // processor 1 that shares the rounds and raises the sentinel.
+        // What was beyond the envelope alone is inside it with a
+        // redundant initiator: the survivor steals the corpse's lock (or
+        // simply outruns it) and the campaign completes.
+        ChaosPlan {
+            co_initiator: true,
+            ..base_plan(
+                "halt-initiator-coinit",
+                FaultPlan {
+                    halt: Some(Halt {
+                        cpu: CpuId::new(0),
+                        at: Time::from_micros(2_000),
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // The wrongful eviction: a responder that is slow but *alive*. A
+        // 100 ms dispatch stretch overshoots the watchdog's ~75 ms
+        // give-up horizon, so the monitor evicts a processor that will
+        // resume. The late ack must be rejected by the generation
+        // handshake, and the resumed processor must detect its own
+        // eviction and self-fence before its final translated write —
+        // which lands on a page reprotected read-only while it was
+        // presumed dead (the `final_ro` oracle).
+        ChaosPlan {
+            final_ro: true,
+            ..base_plan(
+                "wrongful-evict",
+                FaultPlan {
+                    stall: Some(ResponderStall {
+                        cpu: last,
+                        extra: Dur::millis(100),
+                        times: 1,
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // Beyond the envelope: the same wrongful eviction with fencing
+        // disabled. The evicted-but-alive processor resumes with its
+        // pre-eviction TLB intact and writes through a stale writable
+        // entry — the checker must flag it; a silent pass here means a
+        // wrongly evicted processor could corrupt translations for real.
+        ChaosPlan {
+            final_ro: true,
+            fencing: false,
+            tolerable: false,
+            ..base_plan(
+                "wrongful-evict-no-fence",
+                FaultPlan {
+                    stall: Some(ResponderStall {
+                        cpu: last,
+                        extra: Dur::millis(100),
+                        times: 1,
+                    }),
+                    ..FaultPlan::none(v)
+                },
+            )
+        },
+        // The FailOp loop closed end to end: a halted lock holder under
+        // RecoveryPolicy::FailOp. The bare policy aborts the operation
+        // with a dead-holder outcome; the FailOpDriver above it must
+        // evict the corpse, reclaim its locks, and retry to completion.
+        ChaosPlan {
+            grab_lock: true,
+            policy: RecoveryPolicy::FailOp,
+            ..base_plan(
+                "failop-dead-holder",
+                FaultPlan {
+                    halt: Some(Halt {
+                        cpu: last,
+                        at: Time::from_micros(1_000),
                     }),
                     ..FaultPlan::none(v)
                 },
@@ -413,6 +561,11 @@ pub struct ChaosOutcome {
     pub plan: &'static str,
     /// Whether the plan declared itself inside the tolerable envelope.
     pub tolerable: bool,
+    /// Processors in the machine.
+    pub n_cpus: usize,
+    /// The plan's armed fault rules and sabotage flags (see
+    /// [`fault_rules`]; empty for a bare run).
+    pub fault_rules: String,
     /// The machine seed.
     pub seed: u64,
     /// The verdict.
@@ -532,21 +685,24 @@ struct ChaosDriver {
     /// sentinel (the stale-translation probe of [`ChaosPlan::final_ro`]).
     final_ro: bool,
     finale_done: bool,
+    /// `Some(budget)`: run every operation through a [`FailOpDriver`]
+    /// with this restart budget (the [`RecoveryPolicy::FailOp`] plans).
+    failop: Option<u32>,
     script: Vec<PmapOp>,
     exit_idle: Option<ExitIdleProcess>,
     running: Option<PmapOpProcess>,
+    running_failop: Option<FailOpDriver>,
 }
 
 impl ChaosDriver {
     fn new(
         pmap: PmapId,
-        vpn_a: Vpn,
-        vpn_b: Vpn,
-        pfn_a: Pfn,
-        pfn_b: Pfn,
+        pages: [(Vpn, Pfn); 2],
         rounds: u64,
         final_ro: bool,
+        failop: Option<u32>,
     ) -> Self {
+        let [(vpn_a, pfn_a), (vpn_b, pfn_b)] = pages;
         ChaosDriver {
             pmap,
             vpn_a,
@@ -558,9 +714,11 @@ impl ChaosDriver {
             threshold: 3,
             final_ro,
             finale_done: false,
+            failop,
             script: Vec::new(),
             exit_idle: Some(ExitIdleProcess::new()),
             running: None,
+            running_failop: None,
         }
     }
 }
@@ -576,7 +734,7 @@ impl Process<KernelState, ()> for ChaosDriver {
                 }
             };
         }
-        if self.running.is_none() && self.script.is_empty() {
+        if self.running.is_none() && self.running_failop.is_none() && self.script.is_empty() {
             if self.done_rounds == self.rounds {
                 if self.final_ro && !self.finale_done {
                     // The finale: strip write rights from both pages
@@ -627,6 +785,21 @@ impl Process<KernelState, ()> for ChaosDriver {
                     },
                 ];
             }
+        }
+        if let Some(budget) = self.failop {
+            // FailOp plans: the operation rides the retry driver, which
+            // turns dead-holder aborts into evict + reclaim + restart.
+            if self.running_failop.is_none() {
+                let op = self.script.pop().expect("script refilled above");
+                self.running_failop = Some(FailOpDriver::new(self.pmap, op, budget));
+            }
+            return match drive(self.running_failop.as_mut().expect("set above"), ctx) {
+                Driven::Yield(s) => s,
+                Driven::Finished(d) => {
+                    self.running_failop = None;
+                    Step::Run(d)
+                }
+            };
         }
         if self.running.is_none() {
             let op = self.script.pop().expect("script refilled above");
@@ -693,6 +866,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     if let Some(p) = &cfg.plan {
         kconfig.watchdog.enabled = p.watchdog_enabled;
         kconfig.health.fencing = p.fencing;
+        kconfig.health.policy = p.policy;
         if let Some(cap) = p.queue_capacity {
             kconfig.action_queue_capacity = cap;
         }
@@ -723,12 +897,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     };
 
     let grab_lock = cfg.plan.is_some_and(|p| p.grab_lock);
+    let co_initiator = cfg.plan.is_some_and(|p| p.co_initiator);
+    let failop = cfg
+        .plan
+        .filter(|p| p.policy == RecoveryPolicy::FailOp)
+        .map(|p| p.failop_retries);
     let writers = if idle_last || grab_lock {
         cfg.n_cpus - 1
     } else {
         cfg.n_cpus
     };
-    for c in 1..writers {
+    // With a co-initiator, processor 1 drives instead of writing.
+    let first_writer = if co_initiator { 2 } else { 1 };
+    for c in first_writer..writers {
         m.spawn_at(
             CpuId::new(c as u32),
             Time::ZERO,
@@ -764,14 +945,27 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         Time::ZERO,
         Box::new(ChaosDriver::new(
             pmap,
-            vpn_a,
-            vpn_b,
-            pfn_a,
-            pfn_b,
+            [(vpn_a, pfn_a), (vpn_b, pfn_b)],
             cfg.rounds,
             cfg.plan.is_some_and(|p| p.final_ro),
+            failop,
         )),
     );
+    if co_initiator {
+        // The redundant initiator: same rounds against the shared
+        // counter, so whichever driver survives raises the sentinel.
+        m.spawn_at(
+            CpuId::new(1),
+            Time::ZERO,
+            Box::new(ChaosDriver::new(
+                pmap,
+                [(vpn_a, pfn_a), (vpn_b, pfn_b)],
+                cfg.rounds,
+                cfg.plan.is_some_and(|p| p.final_ro),
+                failop,
+            )),
+        );
+    }
     // A revived processor runs the rejoin protocol the instant it is
     // back; the spawned frame lands atop the frozen work, so the fence
     // (or, beyond the envelope, its absence) precedes everything else.
@@ -802,13 +996,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // not failure: the run degraded but stayed consistent. Only give-ups
     // the monitor did *not* absorb (health disabled) remain fatal.
     let unrecovered = stats.watchdog_gaveup.saturating_sub(stats.evictions);
-    let caught = violations > 0 || unrecovered > 0 || !completed;
+    // An exhausted FailOp driver abandoned an operation: the workload may
+    // still raise its sentinel, but the campaign did not do its work —
+    // that is a caught failure, never a pass.
+    let caught = violations > 0 || unrecovered > 0 || stats.retries_exhausted > 0 || !completed;
     let degraded = stats.ipi_retries > 0
         || stats.degraded_flushes > 0
         || queue_degraded
         || stats.evictions > 0
         || stats.fenced_rejoins > 0
-        || stats.locks_stolen > 0;
+        || stats.locks_stolen > 0
+        || stats.self_fences > 0
+        || stats.ops_retried > 0;
     let survival = if caught {
         Survival::DetectedFatal
     } else if degraded {
@@ -820,6 +1019,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     ChaosOutcome {
         plan: cfg.plan.map_or("baseline", |p| p.name),
         tolerable: cfg.plan.is_none_or(|p| p.tolerable),
+        n_cpus: cfg.n_cpus,
+        fault_rules: cfg.plan.as_ref().map_or(String::new(), fault_rules),
         seed: cfg.seed,
         survival,
         completed,
@@ -862,6 +1063,66 @@ fn stamp_faults(m: &mut KernelMachine, log: &[FaultRecord]) {
             );
         }
     }
+}
+
+/// A compact, comma-separated description of a plan's armed fault rules
+/// and kernel-side sabotage — the provenance column of the survival JSON,
+/// so an artifact is interpretable without the catalog source at hand.
+pub fn fault_rules(plan: &ChaosPlan) -> String {
+    let f = &plan.fault;
+    let mut r: Vec<String> = Vec::new();
+    if f.delay.is_some() {
+        r.push("ipi-delay".into());
+    }
+    if f.drop.is_some() {
+        r.push("ipi-drop".into());
+    }
+    if f.duplicate.is_some() {
+        r.push("ipi-dup".into());
+    }
+    if f.reorder.is_some() {
+        r.push("ipi-reorder".into());
+    }
+    if f.isr_stretch.is_some() {
+        r.push("isr-stretch".into());
+    }
+    if let Some(s) = f.stall {
+        r.push(format!("stall(cpu{})", s.cpu.index()));
+    }
+    if let Some(s) = f.stall2 {
+        r.push(format!("stall2(cpu{})", s.cpu.index()));
+    }
+    if let Some(h) = f.halt {
+        r.push(format!("halt(cpu{})", h.cpu.index()));
+    }
+    if let Some(h) = f.halt2 {
+        r.push(format!("halt2(cpu{})", h.cpu.index()));
+    }
+    if let Some(o) = f.offline {
+        r.push(format!("offline(cpu{})", o.cpu.index()));
+    }
+    if plan.queue_capacity.is_some() {
+        r.push("tiny-queue".into());
+    }
+    if plan.poison_cpu.is_some() {
+        r.push("poisoned-queue".into());
+    }
+    if !plan.watchdog_enabled {
+        r.push("no-watchdog".into());
+    }
+    if !plan.fencing {
+        r.push("no-fence".into());
+    }
+    if plan.grab_lock {
+        r.push("grab-lock".into());
+    }
+    if plan.policy == RecoveryPolicy::FailOp {
+        r.push("failop".into());
+    }
+    if plan.co_initiator {
+        r.push("co-initiator".into());
+    }
+    r.join(",")
 }
 
 /// Runs the whole [`plan_catalog`] across the given seeds.
@@ -919,19 +1180,25 @@ fn json_escape(s: &str) -> String {
 
 /// Renders a chaos matrix as machine-readable JSON for CI gates and
 /// artifact diffing (hand-rolled: the repo vendors no JSON dependency).
-/// Shape: `{"outcomes": [{plan, seed, tolerable, survival, completed,
-/// violations, …counters…, steps, end_ns}], "failures": [env-check
-/// messages], "green": bool}` — `green` mirrors the process exit code
-/// (`false` iff [`check_envelope`] returned failures).
+/// Shape: `{"outcomes": [{plan, cpus, fault_rules, seed, tolerable,
+/// survival, completed, violations, …counters…, steps, end_ns}],
+/// "failures": [env-check messages], "green": bool}` — `green` mirrors
+/// the process exit code (`false` iff [`check_envelope`] returned
+/// failures).
 pub fn survival_json(outcomes: &[ChaosOutcome], failures: &[String]) -> String {
     let mut s = String::from("{\n  \"outcomes\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"plan\": \"{}\", \"seed\": {}, \"tolerable\": {}, \"survival\": \"{}\", \
+            "    {{\"plan\": \"{}\", \"cpus\": {}, \"fault_rules\": \"{}\", \"seed\": {}, \
+             \"tolerable\": {}, \"survival\": \"{}\", \
              \"completed\": {}, \"violations\": {}, \"ipi_retries\": {}, \
              \"watchdog_gaveup\": {}, \"evictions\": {}, \"fenced_rejoins\": {}, \
-             \"locks_stolen\": {}, \"degraded_flushes\": {}, \"steps\": {}, \"end_ns\": {}}}{}\n",
+             \"locks_stolen\": {}, \"degraded_flushes\": {}, \"late_acks_rejected\": {}, \
+             \"self_fences\": {}, \"ops_retried\": {}, \"retries_exhausted\": {}, \
+             \"steps\": {}, \"end_ns\": {}}}{}\n",
             json_escape(o.plan),
+            o.n_cpus,
+            json_escape(&o.fault_rules),
             o.seed,
             o.tolerable,
             o.survival.name(),
@@ -943,6 +1210,10 @@ pub fn survival_json(outcomes: &[ChaosOutcome], failures: &[String]) -> String {
             o.stats.fenced_rejoins,
             o.stats.locks_stolen,
             o.stats.degraded_flushes,
+            o.stats.late_acks_rejected,
+            o.stats.self_fences,
+            o.stats.ops_retried,
+            o.stats.retries_exhausted,
             o.steps,
             o.end.as_nanos(),
             if i + 1 == outcomes.len() { "" } else { "," },
@@ -1050,6 +1321,116 @@ mod tests {
             let b = outcome_for(4, 5, name);
             assert_eq!(a, b, "fail-stop chaos must replay exactly ({name})");
         }
+    }
+
+    #[test]
+    fn two_halted_responders_are_both_evicted() {
+        // Compound fail-stop: two responders frozen mid-dispatch and
+        // halted. The watchdog must evict both and the campaign must
+        // still finish against the doubly reduced quorum.
+        let o = outcome_for(4, 3, "two-halt-responders");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert_eq!(o.stats.evictions, 2, "{o:?}");
+        assert_eq!(o.stats.watchdog_gaveup, o.stats.evictions, "{o:?}");
+    }
+
+    #[test]
+    fn a_live_co_initiator_finishes_for_a_halted_one() {
+        // The halted-initiator fault that is fatal alone is inside the
+        // envelope with a redundant initiator: the survivor raises the
+        // sentinel and the campaign completes consistently.
+        let o = outcome_for(4, 3, "halt-initiator-coinit");
+        assert_ne!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+    }
+
+    #[test]
+    fn a_wrongful_eviction_is_survived_through_the_self_fence() {
+        // A slow-but-alive responder overshoots the watchdog horizon and
+        // is wrongly evicted. On resuming it must detect its own eviction
+        // and self-fence; the final-reprotect oracle (stale writable
+        // entry vs read-only page table) proves the fence ran.
+        let o = outcome_for(4, 3, "wrongful-evict");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0, "the self-fence blocks stale use: {o:?}");
+        assert_eq!(o.stats.evictions, 1, "{o:?}");
+        assert!(o.stats.self_fences >= 1, "{o:?}");
+        assert!(o.stats.fenced_rejoins >= 1, "{o:?}");
+        assert_eq!(
+            o.stats.watchdog_gaveup, o.stats.evictions,
+            "every give-up was absorbed: {o:?}"
+        );
+    }
+
+    #[test]
+    fn an_unfenced_wrongful_eviction_is_caught_by_the_checker() {
+        // Fencing off, same wrongful eviction: the evicted-but-alive
+        // processor resumes with its stale writable entry and the final
+        // write must be flagged — this is the oracle that proves the
+        // tolerable variant's fence is load-bearing.
+        let o = outcome_for(4, 3, "wrongful-evict-no-fence");
+        assert_eq!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(o.violations >= 1, "{o:?}");
+    }
+
+    #[test]
+    fn failop_driver_retries_past_a_dead_lock_holder() {
+        // FailOp end to end: the policy alone aborts against the halted
+        // holder; the retry driver must evict the corpse, reclaim its
+        // lock, and rerun the operation to completion.
+        let o = outcome_for(4, 3, "failop-dead-holder");
+        assert_eq!(o.survival, Survival::Degraded, "{o:?}");
+        assert!(o.completed, "{o:?}");
+        assert_eq!(o.violations, 0);
+        assert!(o.stats.ops_retried >= 1, "{o:?}");
+        assert_eq!(o.stats.retries_exhausted, 0, "{o:?}");
+        assert!(o.stats.locks_stolen >= 1, "{o:?}");
+    }
+
+    #[test]
+    fn an_exhausted_failop_budget_is_caught_not_silent() {
+        // With a zero restart budget the driver abandons the operation.
+        // The sentinel may still rise, but the campaign must classify as
+        // caught — the CI red-exit gate rides on this.
+        let mut plan = plan_catalog(4)
+            .into_iter()
+            .find(|p| p.name == "failop-dead-holder")
+            .expect("plan exists");
+        plan.failop_retries = 0;
+        let o = run_chaos(&ChaosConfig::new(4, 3, Some(plan)));
+        assert_eq!(o.survival, Survival::DetectedFatal, "{o:?}");
+        assert!(o.stats.retries_exhausted >= 1, "{o:?}");
+    }
+
+    #[test]
+    fn compound_plans_replay_bit_identically() {
+        for name in [
+            "two-halt-responders",
+            "halt-initiator-coinit",
+            "wrongful-evict",
+            "wrongful-evict-no-fence",
+            "failop-dead-holder",
+        ] {
+            let a = outcome_for(4, 5, name);
+            let b = outcome_for(4, 5, name);
+            assert_eq!(a, b, "compound chaos must replay exactly ({name})");
+        }
+    }
+
+    #[test]
+    fn survival_json_carries_cpu_count_and_fault_rules() {
+        let outcomes = vec![outcome_for(4, 3, "wrongful-evict")];
+        let json = survival_json(&outcomes, &[]);
+        assert!(json.contains("\"cpus\": 4"), "{json}");
+        assert!(json.contains("\"fault_rules\": \"stall(cpu3)\""), "{json}");
+        assert!(json.contains("\"late_acks_rejected\":"), "{json}");
+        assert!(json.contains("\"self_fences\":"), "{json}");
+        assert!(json.contains("\"ops_retried\":"), "{json}");
+        assert!(json.contains("\"retries_exhausted\":"), "{json}");
     }
 
     #[test]

@@ -222,13 +222,18 @@ pub fn stall_report<S: HasKernel>(m: &Machine<S, ()>) -> String {
     let _ = writeln!(
         out,
         "hardening: ipi_retries={} watchdog_gaveup={} degraded_flushes={} \
-         evictions={} fenced_rejoins={} locks_stolen={}",
+         evictions={} fenced_rejoins={} locks_stolen={} \
+         late_acks_rejected={} self_fences={} ops_retried={} retries_exhausted={}",
         k.stats.ipi_retries,
         k.stats.watchdog_gaveup,
         k.stats.degraded_flushes,
         k.stats.evictions,
         k.stats.fenced_rejoins,
-        k.stats.locks_stolen
+        k.stats.locks_stolen,
+        k.stats.late_acks_rejected,
+        k.stats.self_fences,
+        k.stats.ops_retried,
+        k.stats.retries_exhausted
     );
     out
 }
@@ -327,7 +332,7 @@ mod tests {
             "{report}"
         );
         assert!(
-            report.contains("evictions=1 fenced_rejoins=0 locks_stolen=1"),
+            report.contains("evictions=1 fenced_rejoins=0 locks_stolen=1 "),
             "{report}"
         );
     }
@@ -349,7 +354,8 @@ mod tests {
                 "locks: none held",
                 "in-flight interrupts: none",
                 "hardening: ipi_retries=0 watchdog_gaveup=0 degraded_flushes=0 \
-                 evictions=0 fenced_rejoins=0 locks_stolen=0",
+                 evictions=0 fenced_rejoins=0 locks_stolen=0 \
+                 late_acks_rejected=0 self_fences=0 ops_retried=0 retries_exhausted=0",
             ],
             "{report}"
         );

@@ -120,6 +120,58 @@ pub fn evict(
     k.excuse_from_rounds(target)
 }
 
+/// Forcibly releases every lock a fail-stop processor still holds — its
+/// pmap lock shards and any per-processor queue locks — and scrubs the
+/// rounds it led. Sound for the same reason fence-and-steal is: a dead
+/// holder's critical section only staged page-table and TLB updates that
+/// the next acquirer recomputes from scratch under a fresh acquisition,
+/// and the steal-generation bump tells any process that sampled the lock
+/// mid-section to restart. The FailOp retry driver calls this after
+/// evicting the dead holder, so the re-dispatched operation finds the
+/// lock free instead of aborting on the same corpse forever. Each freed
+/// lock counts into [`KernelStats::locks_stolen`](crate::KernelStats::locks_stolen).
+/// Returns the wait channels the caller must notify in the same step (a
+/// release can satisfy event-blocked waiters).
+///
+/// # Panics
+///
+/// Panics if `rescuer == dead` (a processor cannot reclaim from itself).
+pub fn reclaim_dead_locks(
+    k: &mut KernelState,
+    rescuer: CpuId,
+    dead: CpuId,
+) -> Vec<machtlb_sim::WaitChannel> {
+    assert_ne!(rescuer, dead, "a processor cannot reclaim its own locks");
+    let mut chans = Vec::new();
+    for i in 0..k.pmaps.len() {
+        let id = machtlb_pmap::PmapId::new(i as u32);
+        let shards = k.pmaps.get(id).shards().count();
+        for s in 0..shards {
+            let lock = k.pmaps.get_mut(id).shard_mut(s);
+            if lock.is_held_by(dead) {
+                lock.steal(dead, rescuer);
+                lock.release(rescuer);
+                k.stats.locks_stolen += 1;
+                if let Some(c) = k.pmaps.get(id).lock().channel() {
+                    chans.push(c);
+                }
+            }
+        }
+    }
+    for (i, lock) in k.queue_locks.iter_mut().enumerate() {
+        if lock.is_held_by(dead) {
+            lock.steal(dead, rescuer);
+            lock.release(rescuer);
+            k.stats.locks_stolen += 1;
+            chans.push(queue_lock_channel(CpuId::new(i as u32)));
+        }
+    }
+    // A dead leader's published rounds will never complete or be
+    // reclaimed; scrub them so stalled responders find nothing.
+    k.rounds.retain(|r| r.initiator != dead);
+    chans
+}
+
 #[derive(Debug)]
 enum FencePhase {
     FlushTlb,
@@ -237,6 +289,53 @@ impl<S: HasKernel> Process<S, ()> for FencedRejoinProcess {
                 Step::Run(ctx.costs().local_op + ctx.bus_read())
             }
             FencePhase::Rejoin => {
+                // The attach rule (see SwitchUserPmapProcess): a processor
+                // must not re-enter a pmap's in-use set while an update on
+                // it is in flight, because the initiator already decided
+                // whom to synchronize with when it scanned the set — a
+                // mid-scan rejoin would re-cache entries the updater never
+                // shoots down. Spin until no live holder is mid-update on
+                // the pmaps being re-attached (a fail-stop holder never
+                // releases; its half-staged work is redone under a fresh
+                // acquisition, so proceeding past a corpse is sound).
+                let (contended, chan) = {
+                    let k = ctx.shared.kernel();
+                    let health = k.config.health;
+                    let user = k.cur_user_pmap[me.index()];
+                    let mut contended = false;
+                    let mut chan = None;
+                    for id in [Some(machtlb_pmap::PmapId::KERNEL), user]
+                        .into_iter()
+                        .flatten()
+                    {
+                        let pmap = k.pmaps.get(id);
+                        let live = pmap.shards().any(|l| {
+                            l.holder().is_some_and(|h| {
+                                h != me && !(health.enabled && ctx.is_cpu_halted(h))
+                            })
+                        });
+                        if live {
+                            contended = true;
+                            if chan.is_none() {
+                                chan = pmap.lock().channel();
+                            }
+                        }
+                    }
+                    (contended, chan)
+                };
+                if contended {
+                    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+                    if let (SpinMode::Event, Some(chan)) =
+                        (ctx.shared.kernel().config.spin_mode, chan)
+                    {
+                        // A holder that halts mid-update never notifies:
+                        // wake at the watchdog timeout so the liveness
+                        // probe above runs even without a release.
+                        let deadline = ctx.now + ctx.shared.kernel().config.watchdog.timeout;
+                        return Step::Block(BlockOn::one(chan, spin).with_deadline(deadline));
+                    }
+                    return Step::Run(spin);
+                }
                 let now = ctx.now;
                 let k = ctx.shared.kernel_mut();
                 // Re-enter the sets eviction removed this processor from:

@@ -69,6 +69,7 @@ mod kernel;
 mod op;
 mod queue;
 mod responder;
+mod soak;
 mod state;
 mod strategy;
 
@@ -79,19 +80,22 @@ pub use chaos::{
 };
 pub use checker::{Checker, Violation};
 pub use diagnose::stall_report;
-pub use health::{evict, EvictionReport, FencedRejoinProcess, HealthConfig, RecoveryPolicy};
+pub use health::{
+    evict, reclaim_dead_locks, EvictionReport, FencedRejoinProcess, HealthConfig, RecoveryPolicy,
+};
 pub use kernel::{
     build_kernel_machine, install_kernel_handlers, schedule_device_interrupts,
     schedule_timer_flushes, DeviceHandler, KernelMachine, NopHandler, SwitchUserPmapProcess,
     TimerFlushHandler, DEVICE_VECTOR, RESCHED_VECTOR, SHOOTDOWN_VECTOR, TIMER_FLUSH_VECTOR,
 };
-pub use op::{OpOutcome, PmapOp, PmapOpProcess};
+pub use op::{FailOpDriver, OpOutcome, PmapOp, PmapOpProcess};
 pub use queue::{Action, ActionQueue, EnqueueOutcome};
 pub use responder::{enter_idle, ExitIdleProcess, ResponderProcess};
+pub use soak::{run_soak, soak_json, SoakConfig, SoakCycle, SoakOutcome};
 pub use state::{
     queue_lock_channel, FrameAllocator, HasKernel, KernelConfig, KernelState, KernelStats,
-    NodeCounters, PendingCommit, PhysMem, PmapRegistry, SpinMode, WatchdogConfig, WatchdogReport,
-    SYNC_CHANNEL, WORDS_PER_PAGE,
+    NodeCounters, PendingCommit, PhysMem, PmapRegistry, ShootdownRound, SpinMode, WatchdogConfig,
+    WatchdogReport, SYNC_CHANNEL, WORDS_PER_PAGE,
 };
 pub use strategy::{Strategy, StrategyHardwareError};
 

@@ -1831,3 +1831,123 @@ impl PmapOpProcess {
         }
     }
 }
+
+/// The `FailOp` policy closed end to end: a retry driver above
+/// [`PmapOpProcess`].
+///
+/// Under [`RecoveryPolicy::FailOp`] an operation that finds its lock held
+/// by a fail-stop processor *aborts* with
+/// [`OpOutcome::dead_lock_holder`] set — the policy's contract is that
+/// the layer above decides what to do with the corpse. This driver is
+/// that layer: it evicts the dead holder (if the health monitor has not
+/// already), forcibly reclaims every lock the corpse still holds, and
+/// re-dispatches the operation after an exponential backoff on the
+/// watchdog's retry schedule. Each re-dispatch counts into
+/// [`KernelStats::ops_retried`](crate::KernelStats::ops_retried); a
+/// driver that exhausts its budget gives up with the dead-holder outcome
+/// intact and counts into
+/// [`KernelStats::retries_exhausted`](crate::KernelStats::retries_exhausted) —
+/// an abandoned operation is a caught failure, never a silent pass.
+#[derive(Debug)]
+pub struct FailOpDriver {
+    pmap_id: PmapId,
+    op: PmapOp,
+    inner: PmapOpProcess,
+    retries: u32,
+    max_retries: u32,
+    backing_off: bool,
+    outcome: OpOutcome,
+}
+
+impl FailOpDriver {
+    /// Creates a driver that will re-dispatch `op` against `pmap_id` at
+    /// most `max_retries` times past dead lock holders.
+    pub fn new(pmap_id: PmapId, op: PmapOp, max_retries: u32) -> FailOpDriver {
+        FailOpDriver {
+            pmap_id,
+            op,
+            inner: PmapOpProcess::new(pmap_id, op),
+            retries: 0,
+            max_retries,
+            backing_off: false,
+            outcome: OpOutcome::default(),
+        }
+    }
+
+    /// The operation being driven.
+    pub fn op(&self) -> PmapOp {
+        self.op
+    }
+
+    /// The final outcome (meaningful once the driver has finished). A
+    /// set [`OpOutcome::dead_lock_holder`] here means the retry budget
+    /// ran out.
+    pub fn outcome(&self) -> OpOutcome {
+        self.outcome
+    }
+
+    /// Re-dispatches performed so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+}
+
+impl<S: HasKernel> Process<S, ()> for FailOpDriver {
+    fn step(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
+        let me = ctx.cpu_id;
+        if self.backing_off {
+            // The backoff elapsed: re-dispatch against a fresh process so
+            // the retried operation re-acquires from scratch.
+            self.backing_off = false;
+            self.inner = PmapOpProcess::new(self.pmap_id, self.op);
+            return Step::Run(ctx.costs().local_op);
+        }
+        match crate::drive(&mut self.inner, ctx) {
+            crate::Driven::Yield(s) => s,
+            crate::Driven::Finished(d) => {
+                let outcome = self.inner.outcome();
+                let Some(dead) = outcome.dead_lock_holder else {
+                    self.outcome = outcome;
+                    return Step::Done(d);
+                };
+                if self.retries >= self.max_retries {
+                    ctx.shared.kernel_mut().stats.retries_exhausted += 1;
+                    self.outcome = outcome;
+                    return Step::Done(d);
+                }
+                self.retries += 1;
+                let now = ctx.now;
+                let mut cost = d + ctx.costs().local_op;
+                // Declare the corpse dead if the watchdog has not already:
+                // retrying against a holder that never releases would only
+                // reproduce the abort.
+                let k = ctx.shared.kernel();
+                if k.config.health.enabled && !k.evicted[dead.index()] {
+                    let completed = crate::health::evict(ctx.shared.kernel_mut(), me, dead, now);
+                    ctx.notify(SYNC_CHANNEL);
+                    for pmap in completed {
+                        ctx.notify(round_channel(pmap));
+                    }
+                    cost += ctx.bus_write();
+                }
+                // Reclaim every lock the corpse still holds, so the
+                // re-dispatched operation finds them free.
+                let chans = crate::health::reclaim_dead_locks(ctx.shared.kernel_mut(), me, dead);
+                for c in chans {
+                    ctx.notify(c);
+                }
+                ctx.shared.kernel_mut().stats.ops_retried += 1;
+                // Exponential backoff on the watchdog's retry schedule —
+                // deterministic, and scaled to the machine's notion of
+                // "how long a slow responder may take".
+                let wd = ctx.shared.kernel().config.watchdog;
+                self.backing_off = true;
+                Step::Run(cost + wd.retry_timeout(self.retries))
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "failop-driver"
+    }
+}

@@ -6,6 +6,7 @@ use machtlb_sim::{BlockOn, Ctx, Dur, Process, Step, Time};
 use machtlb_tlb::InvalidationPlan;
 use machtlb_xpr::{ResponderRecord, ShootdownEvent, SpanId, TraceEdge, TracePhase};
 
+use crate::health::FencedRejoinProcess;
 use crate::queue::Action;
 use crate::state::{
     queue_lock_channel, round_channel, HasKernel, KernelState, SpinMode, SYNC_CHANNEL,
@@ -289,6 +290,11 @@ enum RPhase {
     RoundCleanup,
     Draining,
     Reactivate,
+    // Wrongful-eviction recovery: this processor discovered it was
+    // declared dead while servicing the interrupt. Its acknowledgements
+    // are stale-generation (rejected above); it must flush, discard its
+    // queue, and handshake back in before touching another translation.
+    SelfFence,
     Exit,
 }
 
@@ -310,6 +316,13 @@ pub struct ResponderProcess {
     /// Round ids this responder acknowledged and still owes a post-unlock
     /// cleanup pass.
     acked: Vec<u64>,
+    /// The health generation sampled at entry — the token every
+    /// acknowledgement below is validated against. A mismatch at an
+    /// acknowledgement point means the watchdog evicted this processor
+    /// mid-service (a wrongful eviction: it is slow, not dead).
+    entry_gen: Option<u64>,
+    /// The embedded rejoin protocol, driven by [`RPhase::SelfFence`].
+    fence: Option<FencedRejoinProcess>,
 }
 
 impl ResponderProcess {
@@ -321,7 +334,28 @@ impl ResponderProcess {
             drain: None,
             span: None,
             acked: Vec::new(),
+            entry_gen: None,
+            fence: None,
         }
+    }
+
+    /// Whether this processor was evicted since it entered the routine:
+    /// either the evicted flag is up, or the watchdog evicted and revived
+    /// it (or advanced its generation) since `entry_gen` was sampled, and
+    /// the fence has not run yet.
+    fn must_self_fence(&self, shared: &KernelState, me: machtlb_sim::CpuId) -> bool {
+        let health = shared.config.health;
+        if !(health.enabled && health.fencing) {
+            return false;
+        }
+        shared.evicted[me.index()] || self.entry_gen != Some(shared.health_gen[me.index()])
+    }
+
+    /// Switches into [`RPhase::SelfFence`], booking the detection.
+    fn begin_self_fence(&mut self, shared: &mut KernelState) {
+        shared.stats.self_fences += 1;
+        self.fence = Some(FencedRejoinProcess::new());
+        self.phase = RPhase::SelfFence;
     }
 }
 
@@ -339,6 +373,16 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 if self.t_start.is_none() {
                     self.t_start = Some(ctx.now);
                     ctx.shared.kernel_mut().ipi_pending[me.index()] = false;
+                }
+                // Every loop pass is a fresh entry: sample the health
+                // generation the acknowledgements below are validated
+                // against, then check for an eviction that already
+                // happened — a wrongly evicted (slow-but-alive) processor
+                // detects its own eviction here, on its next interrupt.
+                self.entry_gen = Some(ctx.shared.kernel().health_gen[me.index()]);
+                if self.must_self_fence(ctx.shared.kernel(), me) {
+                    self.begin_self_fence(ctx.shared.kernel_mut());
+                    return Step::Run(ctx.costs().local_op + ctx.costs().cache_read);
                 }
                 if ctx.shared.kernel_mut().action_needed[me.index()]
                     || ctx.shared.kernel().round_pending_for(me)
@@ -362,6 +406,17 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 Step::Run(ctx.costs().local_op + ctx.bus_write())
             }
             RPhase::RoundAck => {
+                // The generation handshake: an acknowledgement is valid
+                // only under the generation sampled at entry. A mismatch
+                // means the watchdog evicted this processor mid-service —
+                // the excusal already completed the round, and this late
+                // ack must be rejected rather than touch any round state.
+                if self.must_self_fence(ctx.shared.kernel(), me) {
+                    let k = ctx.shared.kernel_mut();
+                    k.stats.late_acks_rejected += 1;
+                    self.begin_self_fence(k);
+                    return Step::Run(ctx.costs().local_op + ctx.costs().cache_read);
+                }
                 // Acknowledge the next round naming this processor, one a
                 // step: invalidate its ranges from the local TLB, then
                 // decrement the counter the leader waits on.
@@ -563,6 +618,13 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 }
             }
             RPhase::Reactivate => {
+                // A processor evicted mid-drain must not rejoin the active
+                // set by the ordinary path: the fence's handshake is the
+                // only sanctioned re-entry.
+                if self.must_self_fence(ctx.shared.kernel(), me) {
+                    self.begin_self_fence(ctx.shared.kernel_mut());
+                    return Step::Run(ctx.costs().local_op);
+                }
                 ctx.shared.kernel_mut().active.insert(me);
                 if let Some(span) = self.span.take() {
                     let now = ctx.now;
@@ -577,6 +639,20 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                 // Loop: a concurrent shootdown may have queued more work.
                 self.phase = RPhase::Enter;
                 Step::Run(ctx.costs().local_op + ctx.bus_write())
+            }
+            RPhase::SelfFence => {
+                let fence = self.fence.as_mut().expect("fence set at detection");
+                match crate::drive(fence, ctx) {
+                    crate::Driven::Yield(s) => s,
+                    crate::Driven::Finished(d) => {
+                        self.fence = None;
+                        // Loop: re-enter with a fresh generation sample so
+                        // work queued behind the rejoin is serviced before
+                        // the interrupt returns.
+                        self.phase = RPhase::Enter;
+                        Step::Run(d)
+                    }
+                }
             }
             RPhase::Exit => {
                 let mut cost = ctx.costs().local_op;

@@ -1,0 +1,405 @@
+//! The multi-fault soak harness: halt, offline/revive, wrongful
+//! eviction, compound halts, and FailOp dead-holder recovery cycled back
+//! to back for hundreds of cycles (thousands of pmap operations) at
+//! 32–128 processors, with the checker on throughout.
+//!
+//! Each cycle is one [`run_chaos`] campaign under a rotating fault shape
+//! and a rotating victim processor, so membership churn sweeps the whole
+//! machine rather than hammering one processor. [`run_soak`] aggregates
+//! the cycles into a [`SoakOutcome`]; [`soak_json`] renders it for CI
+//! artifacts. The harness *survives* iff every cycle completed with zero
+//! checker violations, zero unrecovered watchdog give-ups, and zero
+//! exhausted FailOp retries — the "chaos at scale" acceptance gate.
+//!
+//! Everything inherits the chaos harness's determinism: the same
+//! [`SoakConfig`] always produces a bit-identical [`SoakOutcome`].
+
+use machtlb_sim::{CpuId, Dur, FaultPlan, Halt, Offline, ResponderStall, Time};
+
+use crate::chaos::{plan_catalog, run_chaos, ChaosConfig, ChaosOutcome, ChaosPlan, Survival};
+use crate::health::RecoveryPolicy;
+use crate::kernel::SHOOTDOWN_VECTOR;
+
+/// One soak run's inputs.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Processors in the machine (>= 4; the acceptance gate runs 32–128).
+    pub n_cpus: usize,
+    /// Fault cycles to run. The shape rotates through the five-entry
+    /// family each cycle; `cycles` that is a multiple of five sweeps the
+    /// whole family evenly.
+    pub cycles: u64,
+    /// Base machine seed; each cycle derives its own seed from it.
+    pub seed: u64,
+    /// Reprotect/restore rounds per cycle (4 pmap operations each, plus
+    /// the finale's reprotects where the shape arms one).
+    pub rounds: u64,
+    /// Append one beyond-envelope cycle that runs the FailOp shape with a
+    /// zero restart budget, forcing `retries_exhausted` — the CI gate's
+    /// injected failure, proving a red soak actually exits red.
+    pub inject_exhaustion: bool,
+}
+
+impl SoakConfig {
+    /// A standard soak: `cycles` cycles at `n_cpus` processors, 3 rounds
+    /// a cycle, no injected failure.
+    pub fn new(n_cpus: usize, cycles: u64, seed: u64) -> SoakConfig {
+        SoakConfig {
+            n_cpus,
+            cycles,
+            seed,
+            rounds: 3,
+            inject_exhaustion: false,
+        }
+    }
+}
+
+/// One cycle's result, kept compact for the JSON artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoakCycle {
+    /// Cycle index.
+    pub cycle: u64,
+    /// The fault shape's plan name.
+    pub plan: &'static str,
+    /// The derived machine seed.
+    pub seed: u64,
+    /// The cycle's verdict.
+    pub survival: Survival,
+    /// Whether the cycle's campaign ran to completion.
+    pub completed: bool,
+    /// Checker violations in this cycle.
+    pub violations: usize,
+    /// Watchdog give-ups the health monitor did not absorb.
+    pub unrecovered: u64,
+    /// The campaign's simulated end time.
+    pub end: Time,
+}
+
+/// Everything a soak produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoakOutcome {
+    /// Processors in the machine.
+    pub n_cpus: usize,
+    /// Cycles run (including the injected-exhaustion cycle, if armed).
+    pub cycles: u64,
+    /// The base seed.
+    pub seed: u64,
+    /// Pmap operations driven across all cycles.
+    pub ops: u64,
+    /// Cycles whose campaign ran to completion.
+    pub completed_cycles: u64,
+    /// Checker violations across all cycles.
+    pub violations: u64,
+    /// Watchdog give-ups not absorbed into evictions, across all cycles.
+    pub unrecovered: u64,
+    /// Processors evicted across all cycles.
+    pub evictions: u64,
+    /// Fenced rejoins across all cycles.
+    pub fenced_rejoins: u64,
+    /// Self-detected evictions (wrongful-eviction recoveries).
+    pub self_fences: u64,
+    /// Stale-generation acknowledgements rejected.
+    pub late_acks_rejected: u64,
+    /// FailOp operations restarted after dead-holder aborts.
+    pub ops_retried: u64,
+    /// FailOp drivers that exhausted their restart budget.
+    pub retries_exhausted: u64,
+    /// Locks stolen from dead holders.
+    pub locks_stolen: u64,
+    /// The acceptance verdict: every cycle completed, zero violations,
+    /// zero unrecovered give-ups, zero exhausted retries.
+    pub survived: bool,
+    /// Per-cycle results, in order.
+    pub log: Vec<SoakCycle>,
+}
+
+/// The rotating fault-shape family, by cycle index. Victims rotate
+/// through the writer processors so churn sweeps the machine.
+fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
+    let v = SHOOTDOWN_VECTOR;
+    let n = cfg.n_cpus as u32;
+    let last = CpuId::new(n - 1);
+    // Writers run on processors 1..n; rotate the victim among them but
+    // keep clear of the driver on 0 (and of `last` only where a shape
+    // pins its own process there).
+    let victim = CpuId::new(1 + (cycle % u64::from(n - 2)) as u32);
+    let victim2 = CpuId::new(1 + ((cycle + 1) % u64::from(n - 2)) as u32);
+    let mut base = plan_catalog(cfg.n_cpus)
+        .into_iter()
+        .find(|p| p.name == "none")
+        .expect("catalog has the none plan");
+    match cycle % 5 {
+        // Fail-stop halt: a responder frozen mid-dispatch, then dead.
+        0 => {
+            base.name = "soak-halt";
+            base.fault = FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: victim,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt: Some(Halt {
+                    cpu: victim,
+                    at: Time::from_micros(2_000),
+                }),
+                ..FaultPlan::none(v)
+            };
+        }
+        // Offline mid-shootdown, revive through the fence.
+        1 => {
+            base.name = "soak-offline-revive";
+            base.final_ro = true;
+            base.fault = FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: victim,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                offline: Some(Offline {
+                    cpu: victim,
+                    at: Time::from_micros(2_000),
+                    revive_at: Time::from_micros(120_000),
+                }),
+                ..FaultPlan::none(v)
+            };
+        }
+        // Wrongful eviction: slow-but-alive, self-fenced on resume.
+        2 => {
+            base.name = "soak-wrongful-evict";
+            base.final_ro = true;
+            base.fault = FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: victim,
+                    extra: Dur::millis(100),
+                    times: 1,
+                }),
+                ..FaultPlan::none(v)
+            };
+        }
+        // Two responders dead in one campaign.
+        3 => {
+            base.name = "soak-two-halt";
+            base.fault = FaultPlan {
+                stall: Some(ResponderStall {
+                    cpu: victim,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt: Some(Halt {
+                    cpu: victim,
+                    at: Time::from_micros(2_000),
+                }),
+                stall2: Some(ResponderStall {
+                    cpu: victim2,
+                    extra: Dur::millis(8),
+                    times: 1,
+                }),
+                halt2: Some(Halt {
+                    cpu: victim2,
+                    at: Time::from_micros(2_500),
+                }),
+                ..FaultPlan::none(v)
+            };
+        }
+        // FailOp end to end: a dead lock holder retried past.
+        _ => {
+            base.name = "soak-failop";
+            base.grab_lock = true;
+            base.policy = RecoveryPolicy::FailOp;
+            base.fault = FaultPlan {
+                halt: Some(Halt {
+                    cpu: last,
+                    at: Time::from_micros(1_000),
+                }),
+                ..FaultPlan::none(v)
+            };
+        }
+    }
+    base
+}
+
+/// The beyond-envelope injected-failure cycle: the FailOp shape with a
+/// zero restart budget, guaranteed to book `retries_exhausted`.
+fn exhaustion_plan(cfg: &SoakConfig) -> ChaosPlan {
+    let mut p = cycle_plan(cfg, 4); // the FailOp shape
+    p.name = "soak-failop-exhausted";
+    p.failop_retries = 0;
+    p.tolerable = false;
+    p
+}
+
+/// Runs one soak cycle and returns its full campaign outcome.
+fn run_cycle(cfg: &SoakConfig, cycle: u64, plan: ChaosPlan) -> ChaosOutcome {
+    // Derive a per-cycle seed; the multiplier just decorrelates the
+    // device-interrupt jitter between consecutive cycles.
+    let seed = cfg.seed.wrapping_add(cycle.wrapping_mul(7919));
+    let mut ccfg = ChaosConfig::new(cfg.n_cpus, seed, Some(plan));
+    ccfg.rounds = cfg.rounds;
+    // Big machines run many more writer events per simulated second than
+    // the 4-processor chaos default budgeted for, and bus serialization
+    // stretches the campaign's simulated time roughly linearly in the
+    // processor count (a 128-cpu halt cycle quiesces around 270ms).
+    ccfg.max_steps = 5_000_000 + (cfg.n_cpus as u64) * 500_000;
+    ccfg.limit = Time::from_micros(200_000 + (cfg.n_cpus as u64) * 4_000);
+    run_chaos(&ccfg)
+}
+
+/// Runs the whole soak: `cycles` rotating-fault campaigns (plus the
+/// injected-exhaustion cycle when armed), aggregated into one verdict.
+///
+/// # Panics
+///
+/// Panics if `n_cpus < 4` (inherited from [`plan_catalog`]).
+pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
+    let mut out = SoakOutcome {
+        n_cpus: cfg.n_cpus,
+        cycles: 0,
+        seed: cfg.seed,
+        ops: 0,
+        completed_cycles: 0,
+        violations: 0,
+        unrecovered: 0,
+        evictions: 0,
+        fenced_rejoins: 0,
+        self_fences: 0,
+        late_acks_rejected: 0,
+        ops_retried: 0,
+        retries_exhausted: 0,
+        locks_stolen: 0,
+        survived: true,
+        log: Vec::new(),
+    };
+    let mut plans: Vec<(u64, ChaosPlan)> =
+        (0..cfg.cycles).map(|c| (c, cycle_plan(cfg, c))).collect();
+    if cfg.inject_exhaustion {
+        plans.push((cfg.cycles, exhaustion_plan(cfg)));
+    }
+    for (cycle, plan) in plans {
+        let ops = cfg.rounds * 4 + if plan.final_ro { 2 } else { 0 };
+        let o = run_cycle(cfg, cycle, plan);
+        let unrecovered = o.stats.watchdog_gaveup.saturating_sub(o.stats.evictions);
+        out.cycles += 1;
+        out.ops += ops;
+        out.completed_cycles += u64::from(o.completed);
+        out.violations += o.violations as u64;
+        out.unrecovered += unrecovered;
+        out.evictions += o.stats.evictions;
+        out.fenced_rejoins += o.stats.fenced_rejoins;
+        out.self_fences += o.stats.self_fences;
+        out.late_acks_rejected += o.stats.late_acks_rejected;
+        out.ops_retried += o.stats.ops_retried;
+        out.retries_exhausted += o.stats.retries_exhausted;
+        out.locks_stolen += o.stats.locks_stolen;
+        out.log.push(SoakCycle {
+            cycle,
+            plan: o.plan,
+            seed: o.seed,
+            survival: o.survival,
+            completed: o.completed,
+            violations: o.violations,
+            unrecovered,
+            end: o.end,
+        });
+    }
+    out.survived = out.completed_cycles == out.cycles
+        && out.violations == 0
+        && out.unrecovered == 0
+        && out.retries_exhausted == 0;
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a soak outcome as machine-readable JSON for CI artifacts.
+/// `survived` mirrors the process exit code of `machtlb soak`.
+pub fn soak_json(o: &SoakOutcome) -> String {
+    let mut s = format!(
+        "{{\n  \"cpus\": {}, \"cycles\": {}, \"seed\": {}, \"ops\": {},\n  \
+         \"completed_cycles\": {}, \"violations\": {}, \"unrecovered\": {},\n  \
+         \"evictions\": {}, \"fenced_rejoins\": {}, \"self_fences\": {}, \
+         \"late_acks_rejected\": {},\n  \"ops_retried\": {}, \
+         \"retries_exhausted\": {}, \"locks_stolen\": {},\n  \"cycle_log\": [\n",
+        o.n_cpus,
+        o.cycles,
+        o.seed,
+        o.ops,
+        o.completed_cycles,
+        o.violations,
+        o.unrecovered,
+        o.evictions,
+        o.fenced_rejoins,
+        o.self_fences,
+        o.late_acks_rejected,
+        o.ops_retried,
+        o.retries_exhausted,
+        o.locks_stolen,
+    );
+    for (i, c) in o.log.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"cycle\": {}, \"plan\": \"{}\", \"seed\": {}, \"survival\": \"{}\", \
+             \"completed\": {}, \"violations\": {}, \"unrecovered\": {}, \
+             \"end_ms\": {:.1}}}{}\n",
+            c.cycle,
+            json_escape(c.plan),
+            c.seed,
+            c.survival.name(),
+            c.completed,
+            c.violations,
+            c.unrecovered,
+            c.end.as_millis_f64(),
+            if i + 1 == o.log.len() { "" } else { "," },
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"survived\": {}\n}}\n", o.survived));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_soak_survives_every_shape() {
+        // One full rotation of the five shapes at the smallest machine.
+        let o = run_soak(&SoakConfig::new(4, 5, 3));
+        assert!(o.survived, "{o:?}");
+        assert_eq!(o.completed_cycles, 5, "{o:?}");
+        assert_eq!(o.violations, 0, "{o:?}");
+        assert_eq!(o.unrecovered, 0, "{o:?}");
+        assert!(o.evictions >= 4, "every halt shape evicts: {o:?}");
+        assert!(o.self_fences >= 1, "the wrongful cycle self-fences: {o:?}");
+        assert!(o.ops_retried >= 1, "the failop cycle retries: {o:?}");
+        assert!(o.ops >= 5 * 12, "{o:?}");
+    }
+
+    #[test]
+    fn soak_replays_bit_identically() {
+        let a = run_soak(&SoakConfig::new(4, 5, 9));
+        let b = run_soak(&SoakConfig::new(4, 5, 9));
+        assert_eq!(a, b, "a soak must replay exactly");
+    }
+
+    #[test]
+    fn injected_exhaustion_turns_the_soak_red() {
+        let mut cfg = SoakConfig::new(4, 1, 3);
+        cfg.inject_exhaustion = true;
+        let o = run_soak(&cfg);
+        assert!(!o.survived, "{o:?}");
+        assert!(o.retries_exhausted >= 1, "{o:?}");
+        let json = soak_json(&o);
+        assert!(json.contains("\"survived\": false"), "{json}");
+        assert!(json.contains("soak-failop-exhausted"), "{json}");
+    }
+
+    #[test]
+    fn soak_json_round_trips_the_verdict() {
+        let o = run_soak(&SoakConfig::new(4, 2, 3));
+        let json = soak_json(&o);
+        assert!(json.contains("\"cpus\": 4"), "{json}");
+        assert!(json.contains("\"survived\": true"), "{json}");
+        assert!(json.contains("\"plan\": \"soak-halt\""), "{json}");
+        assert!(json.contains("\"plan\": \"soak-offline-revive\""), "{json}");
+    }
+}

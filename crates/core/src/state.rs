@@ -345,6 +345,24 @@ pub struct KernelStats {
     /// Revived processors that completed the fenced rejoin protocol and
     /// re-entered the active set.
     pub fenced_rejoins: u64,
+    /// Acknowledgements a responder abandoned because its health
+    /// generation advanced since the interrupt entered — a wrongly
+    /// evicted (slow-but-alive) processor's late ack, rejected by the
+    /// generation handshake instead of completing a quiescence round it
+    /// was already excused from.
+    pub late_acks_rejected: u64,
+    /// Evictions a live processor *detected on its own* (generation
+    /// mismatch on its next interrupt or acknowledgement) and answered by
+    /// running the fenced rejoin before touching another translation.
+    /// Each also counts a [`KernelStats::fenced_rejoins`] when the fence
+    /// completes.
+    pub self_fences: u64,
+    /// Operations the FailOp retry driver re-dispatched after an abort on
+    /// a dead lock holder ([`OpOutcome::dead_lock_holder`](crate::OpOutcome::dead_lock_holder)).
+    pub ops_retried: u64,
+    /// Operations the FailOp retry driver gave up on after exhausting its
+    /// bounded retries — the red flag a soak run must never raise.
+    pub retries_exhausted: u64,
     /// Locks forcibly transferred away from fail-stop holders under
     /// [`RecoveryPolicy::FenceAndSteal`](crate::RecoveryPolicy::FenceAndSteal).
     pub locks_stolen: u64,

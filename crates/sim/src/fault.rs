@@ -158,8 +158,15 @@ pub struct FaultPlan {
     pub isr_stretch: Option<IsrStretch>,
     /// Responder stall rule (targeted-vector dispatches on one cpu).
     pub stall: Option<ResponderStall>,
+    /// A second, independent stall rule, so compound plans can wedge two
+    /// responders at once (its budget is counted separately from
+    /// [`FaultPlan::stall`]).
+    pub stall2: Option<ResponderStall>,
     /// Fail-stop halt rule (one processor stops forever).
     pub halt: Option<Halt>,
+    /// A second, independent halt rule: two processors fail-stop in one
+    /// campaign (e.g. two responders of the same shootdown round).
+    pub halt2: Option<Halt>,
     /// Fail-stop offline/revive rule (one processor stops, then resumes).
     pub offline: Option<Offline>,
 }
@@ -176,7 +183,9 @@ impl FaultPlan {
             reorder: None,
             isr_stretch: None,
             stall: None,
+            stall2: None,
             halt: None,
+            halt2: None,
             offline: None,
         }
     }
@@ -289,6 +298,7 @@ pub struct FaultInjector {
     ipi_count: u64,
     drops_done: u64,
     stalls_done: u64,
+    stalls2_done: u64,
     stats: FaultStats,
     log: Vec<FaultRecord>,
 }
@@ -301,6 +311,7 @@ impl FaultInjector {
             ipi_count: 0,
             drops_done: 0,
             stalls_done: 0,
+            stalls2_done: 0,
             stats: FaultStats::default(),
             log: Vec::new(),
         }
@@ -405,6 +416,13 @@ impl FaultInjector {
         if let Some(rule) = self.plan.stall {
             if vector == self.plan.vector && cpu == rule.cpu && self.stalls_done < rule.times {
                 self.stalls_done += 1;
+                extra += rule.extra;
+                self.record(now, cpu, FaultKind::Stalled);
+            }
+        }
+        if let Some(rule) = self.plan.stall2 {
+            if vector == self.plan.vector && cpu == rule.cpu && self.stalls2_done < rule.times {
+                self.stalls2_done += 1;
                 extra += rule.extra;
                 self.record(now, cpu, FaultKind::Stalled);
             }
@@ -521,6 +539,40 @@ mod tests {
             "budget of one"
         );
         assert_eq!(inj.stats().stalled, 1);
+    }
+
+    #[test]
+    fn two_stall_rules_arm_independently() {
+        let plan = FaultPlan {
+            stall: Some(ResponderStall {
+                cpu: C0,
+                extra: Dur::micros(100),
+                times: 1,
+            }),
+            stall2: Some(ResponderStall {
+                cpu: C1,
+                extra: Dur::micros(200),
+                times: 2,
+            }),
+            ..FaultPlan::none(V)
+        };
+        let mut inj = FaultInjector::new(plan);
+        // Each rule has its own budget and its own target.
+        assert_eq!(
+            inj.dispatch_extra(C0, V, IntrClass::Ipi, T),
+            Dur::micros(100)
+        );
+        assert_eq!(
+            inj.dispatch_extra(C1, V, IntrClass::Ipi, T),
+            Dur::micros(200)
+        );
+        assert_eq!(inj.dispatch_extra(C0, V, IntrClass::Ipi, T), Dur::ZERO);
+        assert_eq!(
+            inj.dispatch_extra(C1, V, IntrClass::Ipi, T),
+            Dur::micros(200)
+        );
+        assert_eq!(inj.dispatch_extra(C1, V, IntrClass::Ipi, T), Dur::ZERO);
+        assert_eq!(inj.stats().stalled, 3);
     }
 
     #[test]

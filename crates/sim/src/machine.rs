@@ -917,7 +917,7 @@ impl<S, P> Machine<S, P> {
     /// Panics if a halt/offline rule names an out-of-range processor or an
     /// offline rule revives at or before its halt instant.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
-        if let Some(h) = plan.halt {
+        for h in [plan.halt, plan.halt2].into_iter().flatten() {
             assert!(h.cpu.index() < self.cpus.len(), "halt: bad cpu {}", h.cpu);
             self.push_delivery(h.at, h.cpu, QueuedKind::Halt);
         }

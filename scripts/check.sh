@@ -34,6 +34,15 @@
 #                        survival table lands in target/machtlb-chaos.txt
 #                        and the machine-readable outcome matrix in
 #                        target/machtlb-chaos.json, both uploaded by CI)
+#   8. soak smoke       (machtlb soak --smoke: one full rotation of the
+#                        five compound-fault shapes — halt,
+#                        offline/revive, wrongful eviction, two-halt,
+#                        FailOp — through the membership fence with the
+#                        checker on; the survival table and JSON land in
+#                        target/machtlb-soak.{txt,json}, uploaded by CI.
+#                        A second run with --inject-exhaustion on must
+#                        exit nonzero, proving a red soak actually fails
+#                        the gate rather than passing silently)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -61,6 +70,7 @@ MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --be
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_scaling
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_numa
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec_residency
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench soak_scale
 
 echo "==> bench noise envelope vs committed baselines"
 cargo run --release --quiet --bin machtlb -- bench-check \
@@ -74,5 +84,16 @@ echo "==> chaos smoke (two-sided envelope, fail-stop recovery)"
 cargo run --release --quiet --bin machtlb -- chaos \
     --cpus 4 --seeds 2 --out target/machtlb-chaos.txt \
     --json target/machtlb-chaos.json
+
+echo "==> soak smoke (compound-fault rotation through the membership fence)"
+cargo run --release --quiet --bin machtlb -- soak --smoke on \
+    --out target/machtlb-soak.txt --json target/machtlb-soak.json
+
+echo "==> soak red-exit assertion (injected exhaustion must fail the gate)"
+if cargo run --release --quiet --bin machtlb -- soak --smoke on \
+    --inject-exhaustion on >/dev/null 2>&1; then
+    echo "error: an injected retries_exhausted soak exited 0" >&2
+    exit 1
+fi
 
 echo "==> all checks passed"

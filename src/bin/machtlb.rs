@@ -12,8 +12,8 @@ use std::process::ExitCode;
 
 use machtlb::bench::{compare_reports, diff_reports, parse_report};
 use machtlb::core::{
-    check_envelope, plan_catalog, run_chaos, survival_json, ChaosConfig, KernelConfig, Strategy,
-    Survival,
+    check_envelope, plan_catalog, run_chaos, run_soak, soak_json, survival_json, ChaosConfig,
+    KernelConfig, SoakConfig, Strategy, Survival,
 };
 use machtlb::sim::{BusOp, CostModel, Dur, Time, Topology};
 use machtlb::tlb::{ReloadPolicy, TlbConfig, WritebackPolicy};
@@ -50,6 +50,9 @@ USAGE:
     machtlb bench-check --baseline DIR [--current DIR] [--tolerance PCT]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
                     [--json FILE] [TOPOLOGY]
+    machtlb soak    [--cpus N] [--cycles N] [--seed N] [--rounds N]
+                    [--smoke on|off] [--inject-exhaustion on|off]
+                    [--out FILE] [--json FILE]
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
@@ -84,13 +87,20 @@ word and page table is remote.
 against the committed file of the same name under --baseline, failing if
 a headline number drifts more than --tolerance percent (default 30).
 
+`soak` cycles halt, offline/revive, wrongful-eviction, compound-halt,
+and FailOp dead-holder shapes through the membership fence with the
+consistency checker on throughout; `--smoke on` clamps the run to a CI
+time budget, and `--inject-exhaustion on` appends a beyond-envelope
+cycle with a zero FailOp restart budget, which must turn the exit red.
+
 EXIT CODES:
     0  the command succeeded; for `chaos`, the two-sided envelope check
        was green (every tolerable plan survived, every beyond-envelope
-       plan was caught)
-    1  bad arguments, an inconsistency, or — for `chaos` — an envelope
-       violation; `--json FILE` is still written in this case, with
-       \"green\": false and the failure lines, so CI can archive it
+       plan was caught); for `soak`, every cycle completed with zero
+       violations, unrecovered give-ups, and exhausted retries
+    1  bad arguments, an inconsistency, or — for `chaos`/`soak` — a
+       failed verdict; `--json FILE` is still written in this case, so
+       CI can archive the red run it is about to fail on
 
 Every run prints its consistency verdict: the oracle checks the paper's
 guarantee on every translated access.";
@@ -902,6 +912,11 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         for &seed in &seeds {
             let mut cfg = ChaosConfig::new(cpus, seed, Some(plan));
             cfg.rounds = rounds;
+            // Bus serialization stretches campaign time roughly linearly
+            // in the processor count; scale both bounds so the 32–128
+            // processor matrices actually finish (mirrors `run_soak`).
+            cfg.max_steps = 5_000_000 + (cpus as u64) * 500_000;
+            cfg.limit = Time::from_micros(200_000 + (cpus as u64) * 4_000);
             cfg.kconfig = apply_topology_flags(args, cpus, cfg.kconfig.clone())?;
             outcomes.push(run_chaos(&cfg));
         }
@@ -909,6 +924,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let mut t = TextTable::new(vec![
         "plan",
         "envelope",
+        "cpus",
         "seed",
         "survival",
         "violations",
@@ -923,6 +939,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         t.add_row(vec![
             o.plan.into(),
             if o.tolerable { "tolerable" } else { "beyond" }.into(),
+            o.n_cpus.to_string(),
             o.seed.to_string(),
             o.survival.name().into(),
             o.violations.to_string(),
@@ -970,6 +987,97 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the multi-fault soak harness: rotating fault shapes cycled
+/// through the membership fence with the consistency checker on, failing
+/// — with a nonzero exit — unless every cycle completed with zero
+/// violations, zero unrecovered give-ups, and zero exhausted retries.
+fn cmd_soak(args: &Args) -> Result<(), String> {
+    let smoke = matches!(args.get("smoke"), Some("on"));
+    let mut cpus = args.num("cpus", 32)? as usize;
+    let mut cycles = args.num("cycles", 5)?;
+    let seed = args.num("seed", 7)?;
+    let mut rounds = args.num("rounds", 3)?;
+    if smoke {
+        // The CI-budget preset: one full shape rotation on the smallest
+        // machine in the 32–128 acceptance band, two rounds a cycle.
+        cpus = cpus.min(32);
+        cycles = cycles.min(5);
+        rounds = rounds.min(2);
+    }
+    if cpus < 4 {
+        return Err("soak needs at least 4 processors".into());
+    }
+    let mut cfg = SoakConfig::new(cpus, cycles, seed);
+    cfg.rounds = rounds;
+    cfg.inject_exhaustion = matches!(args.get("inject-exhaustion"), Some("on"));
+    println!(
+        "soak: {cycles} fault cycles on {cpus} processors, {rounds} rounds each{}",
+        if cfg.inject_exhaustion {
+            " + one injected-exhaustion cycle"
+        } else {
+            ""
+        }
+    );
+    let o = run_soak(&cfg);
+    let mut t = TextTable::new(vec![
+        "cycle",
+        "plan",
+        "seed",
+        "survival",
+        "completed",
+        "violations",
+        "unrecovered",
+    ]);
+    for c in &o.log {
+        t.add_row(vec![
+            c.cycle.to_string(),
+            c.plan.into(),
+            c.seed.to_string(),
+            c.survival.name().into(),
+            c.completed.to_string(),
+            c.violations.to_string(),
+            c.unrecovered.to_string(),
+        ]);
+    }
+    let table = t.to_string();
+    println!("{table}");
+    println!(
+        "recovery: evictions={} fenced_rejoins={} self_fences={} late_acks_rejected={} \
+         ops_retried={} retries_exhausted={} locks_stolen={}",
+        o.evictions,
+        o.fenced_rejoins,
+        o.self_fences,
+        o.late_acks_rejected,
+        o.ops_retried,
+        o.retries_exhausted,
+        o.locks_stolen
+    );
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &table).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    // The machine-readable artifact is written in both verdicts, so CI
+    // can archive the red run it is about to fail on.
+    if let Some(path) = args.get("json") {
+        let json = soak_json(&o);
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if !o.survived {
+        return Err(format!(
+            "soak failed: {}/{} cycles completed, {} violations, {} unrecovered \
+             give-ups, {} exhausted retries",
+            o.completed_cycles, o.cycles, o.violations, o.unrecovered, o.retries_exhausted
+        ));
+    }
+    println!(
+        "soak survived: {} cycles, {} pmap operations, zero violations, \
+         zero unrecovered give-ups",
+        o.completed_cycles, o.ops
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -987,6 +1095,7 @@ fn main() -> ExitCode {
         Some("storm") => cmd_storm(&args),
         Some("bench-check") => cmd_bench_check(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("soak") => cmd_soak(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -144,11 +144,16 @@ fn tester_fingerprint(strategy: Strategy, seed: u64, topology: Option<Topology>)
     h
 }
 
-/// The whole fault-injection catalog on a 4-processor machine, reduced to
+/// The fault-injection catalog on a 4-processor machine, reduced to
 /// one fingerprint over final per-cpu clocks, counters, and bus stats.
+///
+/// Pinned to the first sixteen plans: the goldens below were captured
+/// over that catalog, and later PRs append new plans without disturbing
+/// the prefix. Recapturing instead would erase what the goldens prove
+/// (that the topology layer did not move the pre-existing timelines).
 fn chaos_fingerprint(seed: u64, topology: Option<Topology>) -> u64 {
     let mut h = FNV_OFFSET;
-    for plan in plan_catalog(4) {
+    for plan in plan_catalog(4).into_iter().take(16) {
         let mut cfg = ChaosConfig::new(4, seed, Some(plan));
         cfg.kconfig.topology = topology;
         let o = run_chaos(&cfg);
