@@ -77,7 +77,7 @@ impl Survival {
 
 /// One chaos campaign: machine-layer faults plus kernel-side sabotage,
 /// with its declared envelope.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaosPlan {
     /// Short name for tables and test output.
     pub name: &'static str,
@@ -234,11 +234,11 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
         base_plan(
             "stall",
             FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: last,
                     extra: Dur::millis(8),
                     times: 2,
-                }),
+                }],
                 ..FaultPlan::none(v)
             },
         ),
@@ -281,15 +281,15 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
         base_plan(
             "halt-resp-preack",
             FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: last,
                     extra: Dur::millis(8),
                     times: 1,
-                }),
-                halt: Some(Halt {
+                }],
+                halts: vec![Halt {
                     cpu: last,
                     at: Time::from_micros(2_000),
-                }),
+                }],
                 ..FaultPlan::none(v)
             },
         ),
@@ -299,15 +299,15 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
         base_plan(
             "halt-resp-postack",
             FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: last,
                     extra: Dur::millis(8),
                     times: 2,
-                }),
-                halt: Some(Halt {
+                }],
+                halts: vec![Halt {
                     cpu: last,
                     at: Time::from_micros(12_000),
-                }),
+                }],
                 ..FaultPlan::none(v)
             },
         ),
@@ -319,10 +319,10 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "halt-holder",
                 FaultPlan {
-                    halt: Some(Halt {
+                    halts: vec![Halt {
                         cpu: last,
                         at: Time::from_micros(1_000),
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -336,16 +336,16 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "offline-revive",
                 FaultPlan {
-                    stall: Some(ResponderStall {
+                    stalls: vec![ResponderStall {
                         cpu: last,
                         extra: Dur::millis(8),
                         times: 1,
-                    }),
-                    offline: Some(Offline {
+                    }],
+                    offlines: vec![Offline {
                         cpu: last,
                         at: offline_at,
                         revive_at,
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -361,16 +361,16 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "revive-no-fence",
                 FaultPlan {
-                    stall: Some(ResponderStall {
+                    stalls: vec![ResponderStall {
                         cpu: last,
                         extra: Dur::millis(8),
                         times: 1,
-                    }),
-                    offline: Some(Offline {
+                    }],
+                    offlines: vec![Offline {
                         cpu: last,
                         at: offline_at,
                         revive_at,
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -383,10 +383,10 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "halt-initiator",
                 FaultPlan {
-                    halt: Some(Halt {
+                    halts: vec![Halt {
                         cpu: CpuId::new(0),
                         at: Time::from_micros(2_000),
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -400,24 +400,28 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
         base_plan(
             "two-halt-responders",
             FaultPlan {
-                stall: Some(ResponderStall {
-                    cpu: last,
-                    extra: Dur::millis(8),
-                    times: 1,
-                }),
-                halt: Some(Halt {
-                    cpu: last,
-                    at: Time::from_micros(2_000),
-                }),
-                stall2: Some(ResponderStall {
-                    cpu: CpuId::new(n_cpus as u32 - 2),
-                    extra: Dur::millis(8),
-                    times: 1,
-                }),
-                halt2: Some(Halt {
-                    cpu: CpuId::new(n_cpus as u32 - 2),
-                    at: Time::from_micros(2_500),
-                }),
+                stalls: vec![
+                    ResponderStall {
+                        cpu: last,
+                        extra: Dur::millis(8),
+                        times: 1,
+                    },
+                    ResponderStall {
+                        cpu: CpuId::new(n_cpus as u32 - 2),
+                        extra: Dur::millis(8),
+                        times: 1,
+                    },
+                ],
+                halts: vec![
+                    Halt {
+                        cpu: last,
+                        at: Time::from_micros(2_000),
+                    },
+                    Halt {
+                        cpu: CpuId::new(n_cpus as u32 - 2),
+                        at: Time::from_micros(2_500),
+                    },
+                ],
                 ..FaultPlan::none(v)
             },
         ),
@@ -431,10 +435,10 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "halt-initiator-coinit",
                 FaultPlan {
-                    halt: Some(Halt {
+                    halts: vec![Halt {
                         cpu: CpuId::new(0),
                         at: Time::from_micros(2_000),
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -452,11 +456,11 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "wrongful-evict",
                 FaultPlan {
-                    stall: Some(ResponderStall {
+                    stalls: vec![ResponderStall {
                         cpu: last,
                         extra: Dur::millis(100),
                         times: 1,
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -473,11 +477,11 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "wrongful-evict-no-fence",
                 FaultPlan {
-                    stall: Some(ResponderStall {
+                    stalls: vec![ResponderStall {
                         cpu: last,
                         extra: Dur::millis(100),
                         times: 1,
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -492,10 +496,10 @@ pub fn plan_catalog(n_cpus: usize) -> Vec<ChaosPlan> {
             ..base_plan(
                 "failop-dead-holder",
                 FaultPlan {
-                    halt: Some(Halt {
+                    halts: vec![Halt {
                         cpu: last,
                         at: Time::from_micros(1_000),
-                    }),
+                    }],
                     ..FaultPlan::none(v)
                 },
             )
@@ -759,6 +763,14 @@ impl Process<KernelState, ()> for ChaosDriver {
             } else {
                 let counter = ctx.shared.mem.read_word(self.pfn_a, COUNTER_WORD);
                 if counter < self.threshold {
+                    // The redundant-initiator exit: if the other driver
+                    // already raised the sentinel, the writers are gone
+                    // and the counter will never advance again — a driver
+                    // that kept pacing against it (because recovery from
+                    // a fault plan starved it early) would spin forever.
+                    if ctx.shared.mem.read_word(self.pfn_a, SENTINEL_WORD) != 0 {
+                        return Step::Done(ctx.costs().local_op);
+                    }
                     return Step::Run(ctx.costs().spin_iter);
                 }
                 self.threshold = counter + 3;
@@ -878,7 +890,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let last = CpuId::new(cfg.n_cpus as u32 - 1);
     // The overflow storm leaves the last processor idle (with the pmap in
     // use) so consistency actions pile up in its undersized queue.
-    let idle_last = cfg.plan.is_some_and(|p| p.queue_capacity.is_some());
+    let idle_last = cfg
+        .plan
+        .as_ref()
+        .is_some_and(|p| p.queue_capacity.is_some());
     let (pmap, pfn_a, pfn_b) = {
         let s = m.shared_mut();
         let pmap = s.pmaps.create();
@@ -889,17 +904,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         if idle_last {
             s.pmaps.get_mut(pmap).mark_in_use(last);
         }
-        if let Some(pc) = cfg.plan.and_then(|p| p.poison_cpu) {
+        if let Some(pc) = cfg.plan.as_ref().and_then(|p| p.poison_cpu) {
             s.queues[pc.index()].poison();
             s.action_needed[pc.index()] = true;
         }
         (pmap, pfn_a, pfn_b)
     };
 
-    let grab_lock = cfg.plan.is_some_and(|p| p.grab_lock);
-    let co_initiator = cfg.plan.is_some_and(|p| p.co_initiator);
+    let grab_lock = cfg.plan.as_ref().is_some_and(|p| p.grab_lock);
+    let co_initiator = cfg.plan.as_ref().is_some_and(|p| p.co_initiator);
     let failop = cfg
         .plan
+        .as_ref()
         .filter(|p| p.policy == RecoveryPolicy::FailOp)
         .map(|p| p.failop_retries);
     let writers = if idle_last || grab_lock {
@@ -947,7 +963,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             pmap,
             [(vpn_a, pfn_a), (vpn_b, pfn_b)],
             cfg.rounds,
-            cfg.plan.is_some_and(|p| p.final_ro),
+            cfg.plan.as_ref().is_some_and(|p| p.final_ro),
             failop,
         )),
     );
@@ -961,7 +977,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
                 pmap,
                 [(vpn_a, pfn_a), (vpn_b, pfn_b)],
                 cfg.rounds,
-                cfg.plan.is_some_and(|p| p.final_ro),
+                cfg.plan.as_ref().is_some_and(|p| p.final_ro),
                 failop,
             )),
         );
@@ -969,13 +985,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     // A revived processor runs the rejoin protocol the instant it is
     // back; the spawned frame lands atop the frozen work, so the fence
     // (or, beyond the envelope, its absence) precedes everything else.
-    if let Some(off) = cfg.plan.and_then(|p| p.fault.offline) {
+    for off in cfg.plan.iter().flat_map(|p| p.fault.offlines.iter()) {
         m.spawn_at(off.cpu, off.revive_at, Box::new(FencedRejoinProcess::new()));
     }
     schedule_device_interrupts(&mut m, Dur::millis(2), Time::from_micros(50_000));
 
     if let Some(p) = &cfg.plan {
-        m.install_fault_plan(p.fault);
+        m.install_fault_plan(p.fault.clone());
     }
     let r = m.run_bounded(cfg.limit, cfg.max_steps);
 
@@ -1017,8 +1033,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     };
     let report = (!completed).then(|| stall_report(&m));
     ChaosOutcome {
-        plan: cfg.plan.map_or("baseline", |p| p.name),
-        tolerable: cfg.plan.is_none_or(|p| p.tolerable),
+        plan: cfg.plan.as_ref().map_or("baseline", |p| p.name),
+        tolerable: cfg.plan.as_ref().is_none_or(|p| p.tolerable),
         n_cpus: cfg.n_cpus,
         fault_rules: cfg.plan.as_ref().map_or(String::new(), fault_rules),
         seed: cfg.seed,
@@ -1086,20 +1102,21 @@ pub fn fault_rules(plan: &ChaosPlan) -> String {
     if f.isr_stretch.is_some() {
         r.push("isr-stretch".into());
     }
-    if let Some(s) = f.stall {
-        r.push(format!("stall(cpu{})", s.cpu.index()));
+    let numbered = |n: usize| {
+        if n == 0 {
+            String::new()
+        } else {
+            (n + 1).to_string()
+        }
+    };
+    for (i, s) in f.stalls.iter().enumerate() {
+        r.push(format!("stall{}(cpu{})", numbered(i), s.cpu.index()));
     }
-    if let Some(s) = f.stall2 {
-        r.push(format!("stall2(cpu{})", s.cpu.index()));
+    for (i, h) in f.halts.iter().enumerate() {
+        r.push(format!("halt{}(cpu{})", numbered(i), h.cpu.index()));
     }
-    if let Some(h) = f.halt {
-        r.push(format!("halt(cpu{})", h.cpu.index()));
-    }
-    if let Some(h) = f.halt2 {
-        r.push(format!("halt2(cpu{})", h.cpu.index()));
-    }
-    if let Some(o) = f.offline {
-        r.push(format!("offline(cpu{})", o.cpu.index()));
+    for (i, o) in f.offlines.iter().enumerate() {
+        r.push(format!("offline{}(cpu{})", numbered(i), o.cpu.index()));
     }
     if plan.queue_capacity.is_some() {
         r.push("tiny-queue".into());
@@ -1130,7 +1147,11 @@ pub fn chaos_matrix(n_cpus: usize, seeds: &[u64]) -> Vec<ChaosOutcome> {
     let mut out = Vec::new();
     for plan in plan_catalog(n_cpus) {
         for &seed in seeds {
-            out.push(run_chaos(&ChaosConfig::new(n_cpus, seed, Some(plan))));
+            out.push(run_chaos(&ChaosConfig::new(
+                n_cpus,
+                seed,
+                Some(plan.clone()),
+            )));
         }
     }
     out

@@ -222,7 +222,7 @@ pub fn stall_report<S: HasKernel>(m: &Machine<S, ()>) -> String {
     let _ = writeln!(
         out,
         "hardening: ipi_retries={} watchdog_gaveup={} degraded_flushes={} \
-         evictions={} fenced_rejoins={} locks_stolen={} \
+         evictions={} fenced_rejoins={} locks_stolen={} robbed_restarts={} \
          late_acks_rejected={} self_fences={} ops_retried={} retries_exhausted={}",
         k.stats.ipi_retries,
         k.stats.watchdog_gaveup,
@@ -230,6 +230,7 @@ pub fn stall_report<S: HasKernel>(m: &Machine<S, ()>) -> String {
         k.stats.evictions,
         k.stats.fenced_rejoins,
         k.stats.locks_stolen,
+        k.stats.robbed_restarts,
         k.stats.late_acks_rejected,
         k.stats.self_fences,
         k.stats.ops_retried,
@@ -288,10 +289,10 @@ mod tests {
             s.pmaps.get_mut(pmap).lock_mut().try_acquire(CpuId::new(1));
         }
         m.install_fault_plan(FaultPlan {
-            halt: Some(Halt {
+            halts: vec![Halt {
                 cpu: CpuId::new(1),
                 at: Time::from_micros(1),
-            }),
+            }],
             ..FaultPlan::none(crate::SHOOTDOWN_VECTOR)
         });
         m.run(Time::from_micros(10));
@@ -332,7 +333,7 @@ mod tests {
             "{report}"
         );
         assert!(
-            report.contains("evictions=1 fenced_rejoins=0 locks_stolen=1 "),
+            report.contains("evictions=1 fenced_rejoins=0 locks_stolen=1 robbed_restarts=0 "),
             "{report}"
         );
     }
@@ -354,7 +355,7 @@ mod tests {
                 "locks: none held",
                 "in-flight interrupts: none",
                 "hardening: ipi_retries=0 watchdog_gaveup=0 degraded_flushes=0 \
-                 evictions=0 fenced_rejoins=0 locks_stolen=0 \
+                 evictions=0 fenced_rejoins=0 locks_stolen=0 robbed_restarts=0 \
                  late_acks_rejected=0 self_fences=0 ops_retried=0 retries_exhausted=0",
             ],
             "{report}"

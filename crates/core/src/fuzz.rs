@@ -1,0 +1,1679 @@
+//! Adversarial fault-schedule fuzzing: randomized compound-fault
+//! schedules, replayable serialization, and a delta-debugging shrinker.
+//!
+//! The soak harness cycles five hand-written fault shapes — it explores
+//! the schedules we already thought of. This module samples schedules the
+//! catalog never wrote: a [`FaultSchedule`] composes an arbitrary number
+//! of timed fault events (halts, offline/revive windows, dispatch
+//! stalls including the 100 ms wrongful-eviction trigger, and the IPI
+//! perturbation rules) against victim sets of three or more processors
+//! spanning NUMA nodes and fanout-relay positions.
+//!
+//! Three properties make the fuzzer usable rather than merely noisy:
+//!
+//! - **Determinism.** A schedule compiles to a [`ChaosConfig`] whose
+//!   faults are counter- or time-triggered, never randomly drawn at run
+//!   time, so the same schedule always replays bit-identically. The
+//!   generator itself is a [`SplitMix64`] stream: the same generator seed
+//!   always produces the same schedule sequence.
+//! - **Serialization.** Every schedule round-trips through JSON
+//!   ([`schedule_json`] / [`parse_schedule`]) losslessly — all instants
+//!   are integral microseconds — so a failing schedule is a committable,
+//!   replayable artifact: `machtlb replay --schedule repro.json`.
+//! - **Shrinking.** On a red run, [`shrink`] removes events, normalizes
+//!   sabotage flags toward their defaults, retimes what remains onto
+//!   canonical instants, and shrinks the machine to the victims actually
+//!   needed, until the failure is minimal. The shrinker is deterministic
+//!   and counts its replays, so minimality claims are testable.
+//!
+//! Red classification matches the chaos harness: a run is red iff it
+//! classifies [`Survival::DetectedFatal`] — a checker violation, an
+//! unrecovered watchdog give-up, an exhausted FailOp budget, or a
+//! campaign that never completed.
+
+use machtlb_sim::{
+    CpuId, Dur, FaultPlan, Halt, IpiDelay, IpiDrop, IpiDuplicate, IpiReorder, IsrStretch, Offline,
+    ResponderStall, Time, Topology,
+};
+
+use crate::chaos::{run_chaos, ChaosConfig, ChaosOutcome, ChaosPlan, Survival};
+use crate::health::RecoveryPolicy;
+use crate::kernel::SHOOTDOWN_VECTOR;
+
+/// A dispatch stretch at or beyond this length overshoots the chaos
+/// watchdog's give-up horizon: the stalled-but-alive victim is wrongly
+/// evicted and must self-fence on resume — the wrongful-eviction trigger.
+pub const WRONGFUL_STALL_US: u64 = 100_000;
+
+// ---------------------------------------------------------------------
+// The RNG
+// ---------------------------------------------------------------------
+
+/// The generator's random stream: SplitMix64, written out in full so
+/// schedule generation never depends on an external crate's internals
+/// staying stable. Same seed, same stream, forever.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A draw in `0..n` (n > 0). The modulo bias is irrelevant for
+    /// schedule sampling.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `pct`/100.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+// ---------------------------------------------------------------------
+// The schedule
+// ---------------------------------------------------------------------
+
+/// One timed fault event inside a [`FaultSchedule`]. All instants and
+/// durations are integral microseconds, so serialization is lossless.
+///
+/// The five IPI/dispatch perturbation rules (`Delay` … `IsrStretch`) are
+/// *singletons*: the machine layer holds at most one of each, and
+/// [`FaultSchedule::validate`] rejects duplicates. The processor-targeted
+/// rules (`Stall`, `Halt`, `Offline`) are event lists — a schedule arms
+/// as many as it likes, against as many victims as it likes, with at
+/// most one fail-stop (`Halt` or `Offline`) per victim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleEvent {
+    /// Delay every `every_nth` shootdown IPI by `extra_us`.
+    Delay {
+        /// Fire on every `every_nth` matching send (1 = all).
+        every_nth: u64,
+        /// Extra delivery latency, microseconds.
+        extra_us: u64,
+    },
+    /// Drop every `every_nth` shootdown IPI, `max_drops` in total.
+    Drop {
+        /// Fire on every `every_nth` matching send (1 = all).
+        every_nth: u64,
+        /// Total drops across the run.
+        max_drops: u64,
+    },
+    /// Deliver every `every_nth` shootdown IPI twice.
+    Duplicate {
+        /// Fire on every `every_nth` matching send (1 = all).
+        every_nth: u64,
+        /// How much later the duplicate copy lands, microseconds.
+        extra_us: u64,
+    },
+    /// Hold every `every_nth` shootdown IPI back so later sends pass it.
+    Reorder {
+        /// Fire on every `every_nth` matching send (1 = all).
+        every_nth: u64,
+        /// How long the held delivery waits, microseconds.
+        hold_us: u64,
+    },
+    /// Stretch every device-class dispatch (long interrupt-masked
+    /// windows on responders).
+    IsrStretch {
+        /// Extra entry cost per dispatch, microseconds.
+        extra_us: u64,
+    },
+    /// Stall `cpu`'s next `times` shootdown dispatches by `extra_us`
+    /// each. At [`WRONGFUL_STALL_US`] and beyond this is the
+    /// wrongful-eviction trigger.
+    Stall {
+        /// The stalled processor.
+        cpu: u32,
+        /// Extra dispatch cost per stalled dispatch, microseconds.
+        extra_us: u64,
+        /// Dispatches stalled before the rule exhausts.
+        times: u64,
+    },
+    /// Fail-stop `cpu` forever at `at_us`.
+    Halt {
+        /// The halted processor.
+        cpu: u32,
+        /// The halt instant, microseconds.
+        at_us: u64,
+    },
+    /// Take `cpu` offline at `at_us` and revive it (through the fenced
+    /// rejoin) at `revive_at_us`.
+    Offline {
+        /// The processor taken offline.
+        cpu: u32,
+        /// The offline instant, microseconds.
+        at_us: u64,
+        /// The revival instant, microseconds (must be later).
+        revive_at_us: u64,
+    },
+}
+
+impl ScheduleEvent {
+    /// The event's kind name, as serialized in the JSON `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScheduleEvent::Delay { .. } => "delay",
+            ScheduleEvent::Drop { .. } => "drop",
+            ScheduleEvent::Duplicate { .. } => "duplicate",
+            ScheduleEvent::Reorder { .. } => "reorder",
+            ScheduleEvent::IsrStretch { .. } => "isr-stretch",
+            ScheduleEvent::Stall { .. } => "stall",
+            ScheduleEvent::Halt { .. } => "halt",
+            ScheduleEvent::Offline { .. } => "offline",
+        }
+    }
+
+    /// The targeted processor, for the cpu-targeted kinds.
+    pub fn cpu(&self) -> Option<u32> {
+        match *self {
+            ScheduleEvent::Stall { cpu, .. }
+            | ScheduleEvent::Halt { cpu, .. }
+            | ScheduleEvent::Offline { cpu, .. } => Some(cpu),
+            _ => None,
+        }
+    }
+
+    fn is_fail_stop(&self) -> bool {
+        matches!(
+            self,
+            ScheduleEvent::Halt { .. } | ScheduleEvent::Offline { .. }
+        )
+    }
+
+    fn is_singleton(&self) -> bool {
+        self.cpu().is_none()
+    }
+}
+
+/// A complete, self-contained fuzz schedule: machine shape, kernel
+/// sabotage flags, and the fault-event list. Compiles to a
+/// [`ChaosConfig`] via [`FaultSchedule::compile`]; serializes via
+/// [`schedule_json`]; replays bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The machine seed (device-interrupt jitter).
+    pub seed: u64,
+    /// Processors in the machine (>= 4).
+    pub n_cpus: usize,
+    /// Reprotect/restore rounds the driver performs.
+    pub rounds: u64,
+    /// NUMA nodes (1 = the flat single-bus machine).
+    pub nodes: usize,
+    /// Multicast IPI fanout degree (1 = the paper's unicast loop).
+    pub fanout: usize,
+    /// Whether eviction/rejoin fencing is enabled. `false` is the
+    /// beyond-envelope sabotage used by known-bad schedules.
+    pub fencing: bool,
+    /// Arm the final read-only reprotect before the sentinel — the
+    /// stale-translation probe for revived and self-fencing victims.
+    pub final_ro: bool,
+    /// Park a never-releasing lock holder on the last processor (which
+    /// the schedule must then fail-stop).
+    pub grab_lock: bool,
+    /// Run a redundant co-initiating driver on processor 1.
+    pub co_initiator: bool,
+    /// Recover dead lock holders through [`RecoveryPolicy::FailOp`]
+    /// (retry driver) instead of the default fence-and-steal.
+    pub failop: bool,
+    /// Whether the schedule is declared inside the tolerable envelope: a
+    /// red run on a tolerable schedule is a finding, a green run on an
+    /// intolerable one is a silent pass.
+    pub tolerable: bool,
+    /// The fault events.
+    pub events: Vec<ScheduleEvent>,
+}
+
+/// The revival instant the generator uses, scaled with machine size like
+/// the chaos catalog: the revival must land after the finale's reprotect
+/// or the stale-translation probe never probes anything.
+pub fn revive_floor_us(n_cpus: usize) -> u64 {
+    120_000u64.max(50_000 + 2_500 * n_cpus as u64)
+}
+
+/// The offline/halt instant floor: the victim must have won the
+/// serialized bus and cached its stale entry before it can die holding
+/// one.
+pub fn offline_floor_us(n_cpus: usize) -> u64 {
+    2_000u64.max(100 * n_cpus as u64)
+}
+
+impl FaultSchedule {
+    /// The distinct processors targeted by cpu-targeted events, sorted.
+    pub fn victims(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.events.iter().filter_map(|e| e.cpu()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Structural validity: every event names a live non-initiator
+    /// processor, budgets and instants are sane, singleton rules are not
+    /// duplicated, no victim is fail-stopped twice, and the sabotage
+    /// flags are self-consistent (a parked lock holder must actually be
+    /// fail-stopped or the drivers spin on a live holder forever).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cpus < 4 {
+            return Err(format!("n_cpus {} < 4", self.n_cpus));
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        if self.nodes == 0 || self.fanout == 0 {
+            return Err("nodes and fanout must be at least 1".into());
+        }
+        if self.nodes > 1 {
+            let node_cpus = self.n_cpus.div_ceil(self.nodes);
+            if node_cpus * (self.nodes - 1) >= self.n_cpus {
+                return Err(format!(
+                    "{} nodes leave no processor for the last node on {} cpus",
+                    self.nodes, self.n_cpus
+                ));
+            }
+        }
+        let last = self.n_cpus as u32 - 1;
+        let mut seen_singleton: Vec<&'static str> = Vec::new();
+        let mut fail_stopped: Vec<u32> = Vec::new();
+        for e in &self.events {
+            if e.is_singleton() {
+                if seen_singleton.contains(&e.kind()) {
+                    return Err(format!("duplicate singleton rule: {}", e.kind()));
+                }
+                seen_singleton.push(e.kind());
+            }
+            if let Some(cpu) = e.cpu() {
+                if cpu == 0 {
+                    return Err(format!("{} targets cpu0, the primary driver", e.kind()));
+                }
+                if cpu as usize >= self.n_cpus {
+                    return Err(format!("{} targets cpu{cpu} out of range", e.kind()));
+                }
+                if e.is_fail_stop() {
+                    if fail_stopped.contains(&cpu) {
+                        return Err(format!("cpu{cpu} fail-stopped twice"));
+                    }
+                    fail_stopped.push(cpu);
+                }
+            }
+            match *e {
+                ScheduleEvent::Delay { every_nth: 0, .. }
+                | ScheduleEvent::Drop { every_nth: 0, .. }
+                | ScheduleEvent::Duplicate { every_nth: 0, .. }
+                | ScheduleEvent::Reorder { every_nth: 0, .. } => {
+                    return Err(format!("{}: every_nth must be > 0", e.kind()));
+                }
+                ScheduleEvent::Stall { times: 0, .. } => {
+                    return Err("stall: times must be > 0".into());
+                }
+                ScheduleEvent::Offline {
+                    at_us,
+                    revive_at_us,
+                    ..
+                } if revive_at_us <= at_us => {
+                    return Err("offline: revive_at_us must be after at_us".into());
+                }
+                _ => {}
+            }
+        }
+        if self.grab_lock
+            && !self
+                .events
+                .iter()
+                .any(|e| e.is_fail_stop() && e.cpu() == Some(last))
+        {
+            return Err(format!(
+                "grab_lock parks a never-releasing holder on cpu{last}, which \
+                 must be fail-stopped or every driver spins on it forever"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compiles the schedule into a runnable [`ChaosConfig`]. Bounds are
+    /// scaled with the processor count like the soak harness (with extra
+    /// headroom: fuzz schedules stack wrongful stalls and late revives
+    /// that the catalog never combines).
+    pub fn compile(&self) -> ChaosConfig {
+        let v = SHOOTDOWN_VECTOR;
+        let mut fault = FaultPlan::none(v);
+        for e in &self.events {
+            match *e {
+                ScheduleEvent::Delay {
+                    every_nth,
+                    extra_us,
+                } => {
+                    fault.delay = Some(IpiDelay {
+                        every_nth,
+                        extra: Dur::micros(extra_us),
+                    });
+                }
+                ScheduleEvent::Drop {
+                    every_nth,
+                    max_drops,
+                } => {
+                    fault.drop = Some(IpiDrop {
+                        every_nth,
+                        max_drops,
+                    });
+                }
+                ScheduleEvent::Duplicate {
+                    every_nth,
+                    extra_us,
+                } => {
+                    fault.duplicate = Some(IpiDuplicate {
+                        every_nth,
+                        extra: Dur::micros(extra_us),
+                    });
+                }
+                ScheduleEvent::Reorder { every_nth, hold_us } => {
+                    fault.reorder = Some(IpiReorder {
+                        every_nth,
+                        hold: Dur::micros(hold_us),
+                    });
+                }
+                ScheduleEvent::IsrStretch { extra_us } => {
+                    fault.isr_stretch = Some(IsrStretch {
+                        extra: Dur::micros(extra_us),
+                    });
+                }
+                ScheduleEvent::Stall {
+                    cpu,
+                    extra_us,
+                    times,
+                } => {
+                    fault.stalls.push(ResponderStall {
+                        cpu: CpuId::new(cpu),
+                        extra: Dur::micros(extra_us),
+                        times,
+                    });
+                }
+                ScheduleEvent::Halt { cpu, at_us } => {
+                    fault.halts.push(Halt {
+                        cpu: CpuId::new(cpu),
+                        at: Time::from_micros(at_us),
+                    });
+                }
+                ScheduleEvent::Offline {
+                    cpu,
+                    at_us,
+                    revive_at_us,
+                } => {
+                    fault.offlines.push(Offline {
+                        cpu: CpuId::new(cpu),
+                        at: Time::from_micros(at_us),
+                        revive_at: Time::from_micros(revive_at_us),
+                    });
+                }
+            }
+        }
+        let plan = ChaosPlan {
+            name: "fuzz",
+            fault,
+            queue_capacity: None,
+            poison_cpu: None,
+            watchdog_enabled: true,
+            fencing: self.fencing,
+            final_ro: self.final_ro,
+            grab_lock: self.grab_lock,
+            policy: if self.failop {
+                RecoveryPolicy::FailOp
+            } else {
+                RecoveryPolicy::FenceAndSteal
+            },
+            failop_retries: 3,
+            co_initiator: self.co_initiator,
+            tolerable: self.tolerable,
+        };
+        let mut cfg = ChaosConfig::new(self.n_cpus, self.seed, Some(plan));
+        cfg.rounds = self.rounds;
+        // Dead victims are given up on sequentially, ~75 ms of watchdog
+        // horizon each, and every wrongful stall adds its own stretch
+        // before the victim self-fences — so the wall-clock budget must
+        // scale with the fail-stop count, not just the machine size.
+        let fail_stops = self.events.iter().filter(|e| e.is_fail_stop()).count() as u64;
+        let wrongful = self
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, ScheduleEvent::Stall { extra_us, .. } if *extra_us >= WRONGFUL_STALL_US)
+            })
+            .count() as u64;
+        cfg.max_steps = 8_000_000 + self.n_cpus as u64 * 750_000;
+        cfg.limit = Time::from_micros(
+            300_000 + self.n_cpus as u64 * 6_000 + 90_000 * fail_stops + 150_000 * wrongful,
+        );
+        if self.nodes > 1 {
+            cfg.kconfig.topology = Some(Topology::numa(
+                self.nodes,
+                self.n_cpus.div_ceil(self.nodes),
+                Dur::micros(4),
+            ));
+        }
+        cfg.kconfig.fanout = self.fanout;
+        cfg
+    }
+}
+
+/// Runs one schedule to its [`ChaosOutcome`].
+pub fn run_schedule(s: &FaultSchedule) -> ChaosOutcome {
+    run_chaos(&s.compile())
+}
+
+/// The red predicate: a run that was caught rather than survived.
+pub fn is_red(outcome: &ChaosOutcome) -> bool {
+    outcome.survival == Survival::DetectedFatal
+}
+
+// ---------------------------------------------------------------------
+// The generator
+// ---------------------------------------------------------------------
+
+/// Samples one schedule from the stream, with coverage-biased victim
+/// selection: beyond the uniform pool, victims are preferentially drawn
+/// from the roles the protocol's recovery machinery exists for —
+/// fanout-relay positions (node-leader processors), the co-initiator,
+/// the parked lock holder, and offline victims become rejoiners. Every
+/// sampled schedule validates, stays inside the tolerable envelope
+/// (fencing on, watchdog on, bounded drops), and arms at least three
+/// victims with at most one fail-stop each.
+pub fn generate_schedule(rng: &mut SplitMix64, n_cpus: usize, rounds: u64) -> FaultSchedule {
+    assert!(n_cpus >= 6, "the generator needs room for 3+ victims");
+    let n = n_cpus as u32;
+    let last = n - 1;
+
+    // Machine shape: NUMA nodes only where they divide the machine, so
+    // node-leader arithmetic stays exact.
+    let nodes = *pick(rng, &[1usize, 2, 4])
+        .iter()
+        .find(|&&k| k == 1 || (n_cpus.is_multiple_of(k) && n_cpus / k >= 2))
+        .unwrap_or(&1);
+    let fanout = pick(rng, &[1usize, 1, 4, 8])[0];
+
+    let grab_lock = rng.chance(20);
+    let co_initiator = rng.chance(25);
+    let failop = grab_lock && rng.chance(50);
+
+    // The victim pool: never cpu0 (the primary driver); the last
+    // processor is reserved for the parked holder when grab_lock is
+    // armed; cpu1 is in the pool only through the initiator role below.
+    // The draw is clamped to the eligible pool so small machines (where
+    // the reservations eat most of it) still terminate: at the 6-cpu
+    // floor the pool bottoms out at exactly the 3-victim minimum.
+    let mut victims: Vec<u32> = Vec::new();
+    let pool = (n_cpus - 1) as u64 - u64::from(grab_lock) - u64::from(!co_initiator);
+    let n_victims = (3 + rng.below(3)).min(pool); // 3..=5
+    let node_cpus = (n_cpus / nodes) as u32;
+
+    // Coverage-biased roles, tried first with 50% weight each draw.
+    let mut roles: Vec<u32> = Vec::new();
+    if nodes > 1 || fanout > 1 {
+        // Node leaders / relay positions.
+        for k in 1..nodes as u32 {
+            roles.push(k * node_cpus);
+        }
+    }
+    if co_initiator {
+        roles.push(1); // the redundant initiator itself
+    }
+    if !grab_lock {
+        roles.push(last); // the classic holder/victim position
+    }
+    while (victims.len() as u64) < n_victims {
+        let pick_role = !roles.is_empty() && rng.chance(50);
+        let c = if pick_role {
+            roles[rng.below(roles.len() as u64) as usize]
+        } else {
+            1 + rng.below(u64::from(n - 1)) as u32
+        };
+        let reserved = c == 0 || (grab_lock && c == last) || (!co_initiator && c == 1);
+        if !reserved && !victims.contains(&c) {
+            victims.push(c);
+        }
+    }
+
+    // Event bundles, one per victim, at most one fail-stop each. The
+    // wrongful-eviction trigger is rationed: every armed 100 ms stall
+    // extends the campaign's tail, and the compile bounds budget two.
+    let mut events: Vec<ScheduleEvent> = Vec::new();
+    let mut wrongful_budget = 2u64;
+    let mut final_ro = false;
+    for &cpu in &victims {
+        let roll = rng.below(100);
+        if roll < 30 {
+            // Frozen mid-dispatch, then fail-stopped.
+            events.push(ScheduleEvent::Stall {
+                cpu,
+                extra_us: 8_000,
+                times: 1,
+            });
+            events.push(ScheduleEvent::Halt {
+                cpu,
+                at_us: 1_000 + 500 * rng.below(23),
+            });
+        } else if roll < 55 {
+            // Offline mid-run, revived through the fence: a rejoiner.
+            events.push(ScheduleEvent::Stall {
+                cpu,
+                extra_us: 8_000,
+                times: 1,
+            });
+            events.push(ScheduleEvent::Offline {
+                cpu,
+                at_us: offline_floor_us(n_cpus) + 500 * rng.below(4),
+                revive_at_us: revive_floor_us(n_cpus) + 500 * rng.below(8),
+            });
+            final_ro = true;
+        } else if roll < 75 && wrongful_budget > 0 {
+            // Slow but alive: the wrongful-eviction trigger.
+            wrongful_budget -= 1;
+            events.push(ScheduleEvent::Stall {
+                cpu,
+                extra_us: WRONGFUL_STALL_US,
+                times: 1,
+            });
+            final_ro = true;
+        } else {
+            // A benign (sub-horizon) stall.
+            events.push(ScheduleEvent::Stall {
+                cpu,
+                extra_us: 8_000,
+                times: 1 + rng.below(2),
+            });
+        }
+    }
+
+    // Global IPI/dispatch perturbations, layered over the victims.
+    if rng.chance(35) {
+        events.push(ScheduleEvent::Delay {
+            every_nth: 1 + rng.below(3),
+            extra_us: 100 + 100 * rng.below(10),
+        });
+    }
+    if rng.chance(25) {
+        events.push(ScheduleEvent::Duplicate {
+            every_nth: 1 + rng.below(3),
+            extra_us: 100 + 100 * rng.below(5),
+        });
+    }
+    if rng.chance(25) {
+        events.push(ScheduleEvent::Reorder {
+            every_nth: 1 + rng.below(3),
+            hold_us: 100 + 100 * rng.below(5),
+        });
+    }
+    if rng.chance(25) {
+        events.push(ScheduleEvent::IsrStretch {
+            extra_us: 200 + 100 * rng.below(9),
+        });
+    }
+    if rng.chance(20) {
+        // Bounded: the watchdog's retry budget absorbs up to a couple of
+        // lost IPIs; unbounded loss is beyond the envelope by design.
+        events.push(ScheduleEvent::Drop {
+            every_nth: 1 + rng.below(2),
+            max_drops: 1 + rng.below(2),
+        });
+    }
+    if grab_lock {
+        // The mandated fail-stop of the parked holder.
+        events.push(ScheduleEvent::Halt {
+            cpu: last,
+            at_us: 1_000,
+        });
+    }
+    if !final_ro {
+        final_ro = rng.chance(40);
+    }
+
+    let s = FaultSchedule {
+        seed: rng.below(1_000_000),
+        n_cpus,
+        rounds,
+        nodes,
+        fanout,
+        fencing: true,
+        final_ro,
+        grab_lock,
+        co_initiator,
+        failop,
+        tolerable: true,
+        events,
+    };
+    debug_assert!(s.validate().is_ok(), "{:?}", s.validate());
+    s
+}
+
+fn pick<'a, T>(rng: &mut SplitMix64, options: &'a [T]) -> &'a [T] {
+    let i = rng.below(options.len() as u64) as usize;
+    &options[i..]
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn push_event_json(s: &mut String, e: &ScheduleEvent) {
+    match *e {
+        ScheduleEvent::Delay {
+            every_nth,
+            extra_us,
+        } => s.push_str(&format!(
+            "{{\"kind\": \"delay\", \"every_nth\": {every_nth}, \"extra_us\": {extra_us}}}"
+        )),
+        ScheduleEvent::Drop {
+            every_nth,
+            max_drops,
+        } => s.push_str(&format!(
+            "{{\"kind\": \"drop\", \"every_nth\": {every_nth}, \"max_drops\": {max_drops}}}"
+        )),
+        ScheduleEvent::Duplicate {
+            every_nth,
+            extra_us,
+        } => s.push_str(&format!(
+            "{{\"kind\": \"duplicate\", \"every_nth\": {every_nth}, \"extra_us\": {extra_us}}}"
+        )),
+        ScheduleEvent::Reorder { every_nth, hold_us } => s.push_str(&format!(
+            "{{\"kind\": \"reorder\", \"every_nth\": {every_nth}, \"hold_us\": {hold_us}}}"
+        )),
+        ScheduleEvent::IsrStretch { extra_us } => s.push_str(&format!(
+            "{{\"kind\": \"isr-stretch\", \"extra_us\": {extra_us}}}"
+        )),
+        ScheduleEvent::Stall {
+            cpu,
+            extra_us,
+            times,
+        } => s.push_str(&format!(
+            "{{\"kind\": \"stall\", \"cpu\": {cpu}, \"extra_us\": {extra_us}, \"times\": {times}}}"
+        )),
+        ScheduleEvent::Halt { cpu, at_us } => s.push_str(&format!(
+            "{{\"kind\": \"halt\", \"cpu\": {cpu}, \"at_us\": {at_us}}}"
+        )),
+        ScheduleEvent::Offline {
+            cpu,
+            at_us,
+            revive_at_us,
+        } => s.push_str(&format!(
+            "{{\"kind\": \"offline\", \"cpu\": {cpu}, \"at_us\": {at_us}, \
+             \"revive_at_us\": {revive_at_us}}}"
+        )),
+    }
+}
+
+/// Renders a schedule as JSON (the `repro.json` format; see DESIGN.md
+/// §17 for the schema). Integral microseconds throughout: the round trip
+/// through [`parse_schedule`] is lossless and the replay bit-identical.
+pub fn schedule_json(s: &FaultSchedule) -> String {
+    let mut out = format!(
+        "{{\n  \"version\": 1,\n  \"seed\": {},\n  \"cpus\": {},\n  \"rounds\": {},\n  \
+         \"nodes\": {},\n  \"fanout\": {},\n  \"fencing\": {},\n  \"final_ro\": {},\n  \
+         \"grab_lock\": {},\n  \"co_initiator\": {},\n  \"failop\": {},\n  \
+         \"tolerable\": {},\n  \"events\": [\n",
+        s.seed,
+        s.n_cpus,
+        s.rounds,
+        s.nodes,
+        s.fanout,
+        s.fencing,
+        s.final_ro,
+        s.grab_lock,
+        s.co_initiator,
+        s.failop,
+        s.tolerable,
+    );
+    for (i, e) in s.events.iter().enumerate() {
+        out.push_str("    ");
+        push_event_json(&mut out, e);
+        out.push_str(if i + 1 == s.events.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A minimal JSON value, just enough for the schedule schema (the repo
+/// vendors no JSON dependency). Numbers are unsigned integers — the
+/// schema has no floats by construction.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            b: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.pos)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "schedule json: expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "schedule json: unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("schedule json: bad keyword at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.b.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("schedule json: bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.pos).copied() {
+                None => return Err("schedule json: unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .b
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("schedule json: bad escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!(
+                                "schedule json: unsupported escape \\{}",
+                                other as char
+                            ))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 is copied through verbatim.
+                    let ch_len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + ch_len).min(self.b.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.b[self.pos..end])
+                            .map_err(|_| "schedule json: bad utf-8")?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("schedule json: bad object at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("schedule json: bad array at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("schedule json: missing field \"{name}\"")),
+            _ => Err(format!(
+                "schedule json: \"{name}\" looked up on a non-object"
+            )),
+        }
+    }
+
+    fn num(&self, name: &str) -> Result<u64, String> {
+        match self.field(name)? {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!(
+                "schedule json: \"{name}\" is not a number: {other:?}"
+            )),
+        }
+    }
+
+    fn bool(&self, name: &str) -> Result<bool, String> {
+        match self.field(name)? {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!(
+                "schedule json: \"{name}\" is not a bool: {other:?}"
+            )),
+        }
+    }
+
+    fn str(&self, name: &str) -> Result<&str, String> {
+        match self.field(name)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!(
+                "schedule json: \"{name}\" is not a string: {other:?}"
+            )),
+        }
+    }
+}
+
+fn parse_event(v: &Json) -> Result<ScheduleEvent, String> {
+    Ok(match v.str("kind")? {
+        "delay" => ScheduleEvent::Delay {
+            every_nth: v.num("every_nth")?,
+            extra_us: v.num("extra_us")?,
+        },
+        "drop" => ScheduleEvent::Drop {
+            every_nth: v.num("every_nth")?,
+            max_drops: v.num("max_drops")?,
+        },
+        "duplicate" => ScheduleEvent::Duplicate {
+            every_nth: v.num("every_nth")?,
+            extra_us: v.num("extra_us")?,
+        },
+        "reorder" => ScheduleEvent::Reorder {
+            every_nth: v.num("every_nth")?,
+            hold_us: v.num("hold_us")?,
+        },
+        "isr-stretch" => ScheduleEvent::IsrStretch {
+            extra_us: v.num("extra_us")?,
+        },
+        "stall" => ScheduleEvent::Stall {
+            cpu: v.num("cpu")? as u32,
+            extra_us: v.num("extra_us")?,
+            times: v.num("times")?,
+        },
+        "halt" => ScheduleEvent::Halt {
+            cpu: v.num("cpu")? as u32,
+            at_us: v.num("at_us")?,
+        },
+        "offline" => ScheduleEvent::Offline {
+            cpu: v.num("cpu")? as u32,
+            at_us: v.num("at_us")?,
+            revive_at_us: v.num("revive_at_us")?,
+        },
+        other => return Err(format!("schedule json: unknown event kind \"{other}\"")),
+    })
+}
+
+/// Parses a schedule produced by [`schedule_json`] (or hand-edited — the
+/// result is validated). The inverse of the serializer: parse ∘ render
+/// is the identity.
+pub fn parse_schedule(text: &str) -> Result<FaultSchedule, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(format!("schedule json: trailing garbage at byte {}", p.pos));
+    }
+    let version = root.num("version")?;
+    if version != 1 {
+        return Err(format!("schedule json: unsupported version {version}"));
+    }
+    let events = match root.field("events")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(parse_event)
+            .collect::<Result<Vec<_>, _>>()?,
+        other => {
+            return Err(format!(
+                "schedule json: \"events\" is not an array: {other:?}"
+            ))
+        }
+    };
+    let s = FaultSchedule {
+        seed: root.num("seed")?,
+        n_cpus: root.num("cpus")? as usize,
+        rounds: root.num("rounds")?,
+        nodes: root.num("nodes")? as usize,
+        fanout: root.num("fanout")? as usize,
+        fencing: root.bool("fencing")?,
+        final_ro: root.bool("final_ro")?,
+        grab_lock: root.bool("grab_lock")?,
+        co_initiator: root.bool("co_initiator")?,
+        failop: root.bool("failop")?,
+        tolerable: root.bool("tolerable")?,
+        events,
+    };
+    s.validate()?;
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------
+// The campaign
+// ---------------------------------------------------------------------
+
+/// A fuzz campaign's inputs.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// The generator seed: the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Schedules to run.
+    pub budget: u64,
+    /// Machine size; 0 rotates through the 32/48/64 acceptance band.
+    pub n_cpus: usize,
+    /// Reprotect/restore rounds per schedule.
+    pub rounds: u64,
+}
+
+impl FuzzConfig {
+    /// A standard campaign at the acceptance band's sizes.
+    pub fn new(seed: u64, budget: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            budget,
+            n_cpus: 0,
+            rounds: 3,
+        }
+    }
+}
+
+/// One campaign run's summary (the full schedule is regenerable from the
+/// campaign seed and the run index; red runs also carry it verbatim).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzRun {
+    /// Index within the campaign.
+    pub index: u64,
+    /// Processors in the machine.
+    pub n_cpus: usize,
+    /// The schedule's machine seed.
+    pub machine_seed: u64,
+    /// Events in the schedule.
+    pub events: usize,
+    /// Distinct victim processors.
+    pub victims: usize,
+    /// The verdict.
+    pub survival: Survival,
+    /// Whether the run was red (caught) — a finding on a tolerable
+    /// schedule.
+    pub red: bool,
+    /// Simulated end of the run, integral microseconds (deterministic —
+    /// the bench headline that baselines can hold).
+    pub sim_us: u64,
+}
+
+/// What the campaign exercised, for the coverage artifact: a fuzzer that
+/// silently stops generating a fault class looks green for the wrong
+/// reason, so the counts are part of the contract.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Coverage {
+    /// Schedules run.
+    pub schedules: u64,
+    /// Total events across all schedules.
+    pub events: u64,
+    /// Events by kind, in [`Coverage::KIND_NAMES`] order.
+    pub by_kind: [u64; 8],
+    /// Stalls at or beyond the wrongful-eviction horizon.
+    pub wrongful_stalls: u64,
+    /// Victims in relay (node-leader) positions.
+    pub relay_victims: u64,
+    /// Victims that were the parked lock holder.
+    pub holder_victims: u64,
+    /// Victims that were the co-initiator.
+    pub initiator_victims: u64,
+    /// Victims with an offline/revive window (rejoiners).
+    pub rejoiner_victims: u64,
+    /// Schedules on a multi-node machine.
+    pub numa_schedules: u64,
+    /// Schedules with multicast fanout > 1.
+    pub fanout_schedules: u64,
+    /// Schedules with a parked lock holder.
+    pub grab_lock_schedules: u64,
+    /// Schedules with a redundant co-initiator.
+    pub co_initiator_schedules: u64,
+    /// Schedules recovering under [`RecoveryPolicy::FailOp`].
+    pub failop_schedules: u64,
+    /// Schedules arming the final read-only probe.
+    pub final_ro_schedules: u64,
+    /// Outcomes by survival: tolerated, degraded, detected-fatal.
+    pub survivals: [u64; 3],
+}
+
+impl Coverage {
+    /// The `by_kind` axis labels.
+    pub const KIND_NAMES: [&'static str; 8] = [
+        "delay",
+        "drop",
+        "duplicate",
+        "reorder",
+        "isr-stretch",
+        "stall",
+        "halt",
+        "offline",
+    ];
+
+    fn kind_index(e: &ScheduleEvent) -> usize {
+        match e {
+            ScheduleEvent::Delay { .. } => 0,
+            ScheduleEvent::Drop { .. } => 1,
+            ScheduleEvent::Duplicate { .. } => 2,
+            ScheduleEvent::Reorder { .. } => 3,
+            ScheduleEvent::IsrStretch { .. } => 4,
+            ScheduleEvent::Stall { .. } => 5,
+            ScheduleEvent::Halt { .. } => 6,
+            ScheduleEvent::Offline { .. } => 7,
+        }
+    }
+
+    fn absorb(&mut self, s: &FaultSchedule, survival: Survival) {
+        self.schedules += 1;
+        self.events += s.events.len() as u64;
+        let node_cpus = (s.n_cpus / s.nodes) as u32;
+        for e in &s.events {
+            self.by_kind[Coverage::kind_index(e)] += 1;
+            if let ScheduleEvent::Stall { extra_us, .. } = e {
+                if *extra_us >= WRONGFUL_STALL_US {
+                    self.wrongful_stalls += 1;
+                }
+            }
+        }
+        for cpu in s.victims() {
+            if s.nodes > 1 && cpu % node_cpus == 0 {
+                self.relay_victims += 1;
+            }
+            if s.grab_lock && cpu == s.n_cpus as u32 - 1 {
+                self.holder_victims += 1;
+            }
+            if s.co_initiator && cpu == 1 {
+                self.initiator_victims += 1;
+            }
+            if s.events
+                .iter()
+                .any(|e| matches!(e, ScheduleEvent::Offline { cpu: c, .. } if *c == cpu))
+            {
+                self.rejoiner_victims += 1;
+            }
+        }
+        self.numa_schedules += u64::from(s.nodes > 1);
+        self.fanout_schedules += u64::from(s.fanout > 1);
+        self.grab_lock_schedules += u64::from(s.grab_lock);
+        self.co_initiator_schedules += u64::from(s.co_initiator);
+        self.failop_schedules += u64::from(s.failop);
+        self.final_ro_schedules += u64::from(s.final_ro);
+        self.survivals[survival as usize] += 1;
+    }
+}
+
+/// A whole campaign's result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzReport {
+    /// The generator seed.
+    pub seed: u64,
+    /// Schedules run.
+    pub budget: u64,
+    /// Per-run summaries, in order.
+    pub runs: Vec<FuzzRun>,
+    /// Red runs (findings on tolerable schedules).
+    pub reds: u64,
+    /// What the campaign exercised.
+    pub coverage: Coverage,
+    /// The first red schedule, verbatim, ready for [`shrink`].
+    pub first_red: Option<FaultSchedule>,
+}
+
+/// Runs a seeded fuzz campaign: `budget` generated schedules, each run
+/// under the chaos harness with recovery enabled. Deterministic: the
+/// same config always produces the same report.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let sizes: &[usize] = &[32, 48, 64];
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        budget: cfg.budget,
+        runs: Vec::new(),
+        reds: 0,
+        coverage: Coverage::default(),
+        first_red: None,
+    };
+    for i in 0..cfg.budget {
+        let n_cpus = if cfg.n_cpus == 0 {
+            sizes[(i % sizes.len() as u64) as usize]
+        } else {
+            cfg.n_cpus
+        };
+        let s = generate_schedule(&mut rng, n_cpus, cfg.rounds);
+        let o = run_schedule(&s);
+        let red = is_red(&o) && s.tolerable;
+        report.coverage.absorb(&s, o.survival);
+        report.runs.push(FuzzRun {
+            index: i,
+            n_cpus,
+            machine_seed: s.seed,
+            events: s.events.len(),
+            victims: s.victims().len(),
+            survival: o.survival,
+            red,
+            sim_us: o.end.as_micros_f64() as u64,
+        });
+        if red {
+            report.reds += 1;
+            if report.first_red.is_none() {
+                report.first_red = Some(s);
+            }
+        }
+    }
+    report
+}
+
+/// Renders a campaign report as the coverage JSON artifact. `green`
+/// mirrors the `machtlb fuzz` exit code: `false` iff any tolerable
+/// schedule was caught.
+pub fn fuzz_json(r: &FuzzReport) -> String {
+    let mut s = format!(
+        "{{\n  \"seed\": {}, \"budget\": {}, \"reds\": {},\n  \"coverage\": {{\n    \
+         \"schedules\": {}, \"events\": {}, \"wrongful_stalls\": {},\n    \"by_kind\": {{",
+        r.seed,
+        r.budget,
+        r.reds,
+        r.coverage.schedules,
+        r.coverage.events,
+        r.coverage.wrongful_stalls,
+    );
+    for (i, name) in Coverage::KIND_NAMES.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{name}\": {}{}",
+            r.coverage.by_kind[i],
+            if i + 1 == Coverage::KIND_NAMES.len() {
+                ""
+            } else {
+                ", "
+            }
+        ));
+    }
+    s.push_str(&format!(
+        "}},\n    \"victim_roles\": {{\"relay\": {}, \"holder\": {}, \"initiator\": {}, \
+         \"rejoiner\": {}}},\n    \"schedule_flags\": {{\"numa\": {}, \"fanout\": {}, \
+         \"grab_lock\": {}, \"co_initiator\": {}, \"failop\": {}, \"final_ro\": {}}},\n    \
+         \"survivals\": {{\"tolerated\": {}, \"degraded\": {}, \"detected_fatal\": {}}}\n  \
+         }},\n  \"runs\": [\n",
+        r.coverage.relay_victims,
+        r.coverage.holder_victims,
+        r.coverage.initiator_victims,
+        r.coverage.rejoiner_victims,
+        r.coverage.numa_schedules,
+        r.coverage.fanout_schedules,
+        r.coverage.grab_lock_schedules,
+        r.coverage.co_initiator_schedules,
+        r.coverage.failop_schedules,
+        r.coverage.final_ro_schedules,
+        r.coverage.survivals[0],
+        r.coverage.survivals[1],
+        r.coverage.survivals[2],
+    ));
+    for (i, run) in r.runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"index\": {}, \"cpus\": {}, \"machine_seed\": {}, \"events\": {}, \
+             \"victims\": {}, \"survival\": \"{}\", \"red\": {}, \"sim_us\": {}}}{}\n",
+            run.index,
+            run.n_cpus,
+            run.machine_seed,
+            run.events,
+            run.victims,
+            run.survival.name(),
+            run.red,
+            run.sim_us,
+            if i + 1 == r.runs.len() { "" } else { "," },
+        ));
+    }
+    s.push_str(&format!("  ],\n  \"green\": {}\n}}\n", r.reds == 0));
+    s
+}
+
+// ---------------------------------------------------------------------
+// The shrinker
+// ---------------------------------------------------------------------
+
+/// What the shrinker did, with the minimized schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShrinkReport {
+    /// Replays spent (every candidate costs one).
+    pub replays: u64,
+    /// Events in the input schedule.
+    pub original_events: usize,
+    /// Events surviving minimization.
+    pub minimal_events: usize,
+    /// A human-readable log of the accepted reductions.
+    pub steps: Vec<String>,
+    /// The minimized, still-red schedule.
+    pub schedule: FaultSchedule,
+}
+
+struct Shrinker {
+    replays: u64,
+    max_replays: u64,
+    steps: Vec<String>,
+}
+
+impl Shrinker {
+    /// True iff the candidate validates, the replay budget allows, and
+    /// the candidate still replays red.
+    fn still_red(&mut self, candidate: &FaultSchedule) -> bool {
+        if candidate.validate().is_err() || self.replays >= self.max_replays {
+            return false;
+        }
+        self.replays += 1;
+        is_red(&run_schedule(candidate))
+    }
+
+    fn try_adopt(
+        &mut self,
+        cur: &mut FaultSchedule,
+        candidate: FaultSchedule,
+        step: String,
+    ) -> bool {
+        if self.still_red(&candidate) {
+            *cur = candidate;
+            self.steps.push(step);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Delta-debugs a red schedule to a minimal reproduction: greedy event
+/// removal to a fixpoint, sabotage flags normalized toward their
+/// defaults (a failure that survives `fencing: true` is a deeper finding
+/// than one that needs the sabotage), canonical retiming of what
+/// remains, and a machine shrunk to the victims actually used. Fully
+/// deterministic; every candidate costs one counted replay, bounded by
+/// `max_replays`.
+///
+/// Returns `Err` if the input schedule does not replay red in the first
+/// place (nothing to shrink).
+pub fn shrink(input: &FaultSchedule, max_replays: u64) -> Result<ShrinkReport, String> {
+    let mut sh = Shrinker {
+        replays: 1, // the confirmation replay below
+        max_replays: max_replays.max(1),
+        steps: Vec::new(),
+    };
+    if !is_red(&run_schedule(input)) {
+        return Err("shrink: the input schedule replays green".into());
+    }
+    let mut cur = input.clone();
+    loop {
+        let mut changed = false;
+
+        // Pass 1: greedy event removal, last to first so indices stay
+        // stable across accepted removals.
+        let mut i = cur.events.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = cur.clone();
+            let removed = candidate.events.remove(i);
+            if sh.try_adopt(&mut cur, candidate, format!("removed {}", removed.kind())) {
+                changed = true;
+            }
+        }
+
+        // Pass 2: normalize sabotage flags toward their defaults.
+        type FlagStep = (&'static str, fn(&mut FaultSchedule) -> bool);
+        let flags: [FlagStep; 7] = [
+            ("fencing -> true", |s| {
+                !s.fencing && {
+                    s.fencing = true;
+                    true
+                }
+            }),
+            ("final_ro -> false", |s| {
+                s.final_ro && {
+                    s.final_ro = false;
+                    true
+                }
+            }),
+            ("grab_lock -> false", |s| {
+                s.grab_lock && {
+                    s.grab_lock = false;
+                    true
+                }
+            }),
+            ("co_initiator -> false", |s| {
+                s.co_initiator && {
+                    s.co_initiator = false;
+                    true
+                }
+            }),
+            ("failop -> false", |s| {
+                s.failop && {
+                    s.failop = false;
+                    true
+                }
+            }),
+            ("nodes -> 1", |s| {
+                s.nodes > 1 && {
+                    s.nodes = 1;
+                    true
+                }
+            }),
+            ("fanout -> 1", |s| {
+                s.fanout > 1 && {
+                    s.fanout = 1;
+                    true
+                }
+            }),
+        ];
+        for (name, apply) in flags {
+            let mut candidate = cur.clone();
+            if apply(&mut candidate)
+                && sh.try_adopt(&mut cur, candidate, format!("normalized {name}"))
+            {
+                changed = true;
+            }
+        }
+
+        // Pass 3: retime surviving events onto canonical instants.
+        for i in 0..cur.events.len() {
+            let retimed = match cur.events[i] {
+                ScheduleEvent::Halt { cpu, at_us } if at_us != 2_000 => {
+                    Some(ScheduleEvent::Halt { cpu, at_us: 2_000 })
+                }
+                ScheduleEvent::Offline {
+                    cpu,
+                    at_us,
+                    revive_at_us,
+                } if at_us != offline_floor_us(cur.n_cpus)
+                    || revive_at_us != revive_floor_us(cur.n_cpus) =>
+                {
+                    Some(ScheduleEvent::Offline {
+                        cpu,
+                        at_us: offline_floor_us(cur.n_cpus),
+                        revive_at_us: revive_floor_us(cur.n_cpus),
+                    })
+                }
+                ScheduleEvent::Stall {
+                    cpu,
+                    extra_us,
+                    times,
+                } if times > 1 => Some(ScheduleEvent::Stall {
+                    cpu,
+                    extra_us,
+                    times: 1,
+                }),
+                _ => None,
+            };
+            if let Some(e) = retimed {
+                let mut candidate = cur.clone();
+                let step = format!("retimed {}", e.kind());
+                candidate.events[i] = e;
+                if sh.try_adopt(&mut cur, candidate, step) {
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 4: shrink the machine to the victims actually used.
+        let needed = 1 + cur.events.iter().filter_map(|e| e.cpu()).max().unwrap_or(0) as usize;
+        let target = needed.max(4);
+        if target < cur.n_cpus {
+            let mut candidate = cur.clone();
+            candidate.n_cpus = target;
+            if candidate.nodes > 1 && !target.is_multiple_of(candidate.nodes) {
+                candidate.nodes = 1;
+            }
+            if sh.try_adopt(
+                &mut cur,
+                candidate,
+                format!("shrank machine to {target} cpus"),
+            ) {
+                changed = true;
+            }
+        }
+
+        if !changed || sh.replays >= sh.max_replays {
+            break;
+        }
+    }
+    Ok(ShrinkReport {
+        replays: sh.replays,
+        original_events: input.events.len(),
+        minimal_events: cur.events.len(),
+        steps: sh.steps,
+        schedule: cur,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrongful_no_fence(n_cpus: usize) -> FaultSchedule {
+        FaultSchedule {
+            seed: 3,
+            n_cpus,
+            rounds: 3,
+            nodes: 1,
+            fanout: 1,
+            fencing: false,
+            final_ro: true,
+            grab_lock: false,
+            co_initiator: false,
+            failop: false,
+            tolerable: false,
+            events: vec![ScheduleEvent::Stall {
+                cpu: n_cpus as u32 - 1,
+                extra_us: WRONGFUL_STALL_US,
+                times: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        // The canonical SplitMix64 test vector for seed 0.
+        assert_eq!(SplitMix64::new(0).next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn generated_schedules_validate_and_replay_deterministically() {
+        let mut rng = SplitMix64::new(7);
+        let s = generate_schedule(&mut rng, 8, 2);
+        s.validate().expect("generated schedule validates");
+        assert!(s.victims().len() >= 3, "{s:?}");
+        let a = run_schedule(&s);
+        let b = run_schedule(&s);
+        assert_eq!(a, b, "a schedule must replay bit-identically");
+    }
+
+    #[test]
+    fn schedule_json_round_trips() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10 {
+            let s = generate_schedule(&mut rng, 12, 2);
+            let text = schedule_json(&s);
+            let back = parse_schedule(&text).expect("round trip parses");
+            assert_eq!(back, s, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_invalid_schedules() {
+        assert!(parse_schedule("{").is_err());
+        assert!(parse_schedule("[]").is_err());
+        let s = wrongful_no_fence(8);
+        let good = schedule_json(&s);
+        assert!(parse_schedule(&good).is_ok());
+        // A structurally valid document with a bogus victim must be
+        // rejected by validation, not silently accepted.
+        let bad = good.replace("\"cpu\": 7", "\"cpu\": 99");
+        assert!(parse_schedule(&bad).is_err(), "{bad}");
+        let dup = good.replace(
+            "\"events\": [\n",
+            "\"events\": [\n    {\"kind\": \"delay\", \"every_nth\": 1, \"extra_us\": 5},\n    \
+             {\"kind\": \"delay\", \"every_nth\": 2, \"extra_us\": 9},\n",
+        );
+        assert!(parse_schedule(&dup).is_err(), "duplicate singleton: {dup}");
+    }
+
+    #[test]
+    fn known_bad_schedule_replays_red_and_tolerable_twin_green() {
+        let bad = wrongful_no_fence(8);
+        let o = run_schedule(&bad);
+        assert!(is_red(&o), "{o:?}");
+        assert!(o.violations >= 1, "{o:?}");
+        let mut fenced = bad;
+        fenced.fencing = true;
+        fenced.tolerable = true;
+        let o = run_schedule(&fenced);
+        assert!(!is_red(&o), "the fence is load-bearing: {o:?}");
+    }
+
+    #[test]
+    fn a_small_campaign_is_green_and_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 5,
+            budget: 4,
+            n_cpus: 8,
+            rounds: 2,
+        };
+        let a = run_fuzz(&cfg);
+        assert_eq!(a.reds, 0, "{:?}", a.first_red);
+        assert_eq!(a.runs.len(), 4);
+        assert!(a.coverage.events > 0);
+        let b = run_fuzz(&cfg);
+        assert_eq!(a, b, "a campaign must replay bit-identically");
+    }
+
+    #[test]
+    fn fuzz_json_carries_coverage_and_verdict() {
+        let r = run_fuzz(&FuzzConfig {
+            seed: 5,
+            budget: 2,
+            n_cpus: 8,
+            rounds: 2,
+        });
+        let json = fuzz_json(&r);
+        assert!(json.contains("\"by_kind\""), "{json}");
+        assert!(json.contains("\"victim_roles\""), "{json}");
+        assert!(json.contains("\"green\": true"), "{json}");
+        assert!(json.contains("\"survival\": "), "{json}");
+    }
+
+    #[test]
+    fn shrink_rejects_a_green_schedule() {
+        let mut green = wrongful_no_fence(8);
+        green.fencing = true;
+        assert!(shrink(&green, 10).is_err());
+    }
+}

@@ -198,6 +198,13 @@ pub struct FencedRejoinProcess {
     observed_gen: Option<u64>,
     /// The fence's flight-recorder span, when tracing.
     span: Option<SpanId>,
+    /// The queue lock's steal generation, sampled when
+    /// [`FencePhase::LockQueue`] acquires it. [`FencePhase::Discard`]
+    /// rechecks it: a mismatch means the processor was fail-stopped
+    /// *again* mid-fence and the FailOp reclaimer freed the lock, so the
+    /// fence restarts from the flush instead of releasing a lock it no
+    /// longer holds.
+    lock_gen: u64,
 }
 
 impl FencedRejoinProcess {
@@ -207,6 +214,7 @@ impl FencedRejoinProcess {
             phase: FencePhase::FlushTlb,
             observed_gen: None,
             span: None,
+            lock_gen: 0,
         }
     }
 }
@@ -255,10 +263,21 @@ impl<S: HasKernel> Process<S, ()> for FencedRejoinProcess {
                     }
                     return Step::Run(spin);
                 }
+                self.lock_gen = lock.steal_gen();
                 self.phase = FencePhase::Discard;
                 Step::Run(ctx.costs().lock_acquire + ctx.bus_interlocked())
             }
             FencePhase::Discard => {
+                // Steal-generation check: fail-stopped again between the
+                // acquisition and this step, lock reclaimed. The claim is
+                // gone; restart the fence from the flush (the handshake's
+                // generation test alone cannot save us — it runs after
+                // the release below would have panicked).
+                if ctx.shared.kernel().queue_locks[me.index()].steal_gen() != self.lock_gen {
+                    ctx.shared.kernel_mut().stats.robbed_restarts += 1;
+                    self.phase = FencePhase::FlushTlb;
+                    return Step::Run(ctx.costs().local_op + ctx.bus_read());
+                }
                 // Drain and *discard*: every queued action predates the
                 // full flush, so its invalidations are already done — and
                 // its generation is stale by definition.

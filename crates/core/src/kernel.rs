@@ -329,6 +329,27 @@ impl<S: HasKernel> Process<S, ()> for SwitchUserPmapProcess {
             SwitchPhase::AttachNew => {
                 let mut cost = ctx.costs().context_switch;
                 if let Some(new) = self.new {
+                    // Recheck the lock in the SAME atomic step as the
+                    // attach. An interrupt can delay this step long enough
+                    // for an initiator to lock the pmap and scan the user
+                    // set without us; attaching anyway would let this
+                    // processor demand-load soon-to-be-stale translations
+                    // that no shootdown will ever flush. A fail-stop holder
+                    // is excused exactly as in SpinNewLock.
+                    let health = ctx.shared.kernel().config.health;
+                    let relocked = {
+                        let pmap = ctx.shared.kernel().pmaps.get(new);
+                        pmap.locked_by_other(me)
+                            && (!health.enabled
+                                || pmap.shards().any(|l| {
+                                    l.holder().is_some_and(|h| h != me && !ctx.is_cpu_halted(h))
+                                }))
+                    };
+                    if relocked {
+                        ctx.shared.kernel_mut().stats.attach_rechecks += 1;
+                        self.phase = SwitchPhase::SpinNewLock;
+                        return Step::Run(ctx.costs().spin_iter + ctx.costs().cache_read);
+                    }
                     ctx.shared.kernel_mut().pmaps.get_mut(new).mark_in_use(me);
                     ctx.shared.kernel_mut().cur_user_pmap[me.index()] = Some(new);
                     // Joining the user set can redirect a blocked

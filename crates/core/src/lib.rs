@@ -64,6 +64,7 @@ mod access;
 mod chaos;
 mod checker;
 mod diagnose;
+mod fuzz;
 mod health;
 mod kernel;
 mod op;
@@ -80,6 +81,11 @@ pub use chaos::{
 };
 pub use checker::{Checker, Violation};
 pub use diagnose::stall_report;
+pub use fuzz::{
+    fuzz_json, generate_schedule, is_red, offline_floor_us, parse_schedule, revive_floor_us,
+    run_fuzz, run_schedule, schedule_json, shrink, Coverage, FaultSchedule, FuzzConfig, FuzzReport,
+    FuzzRun, ScheduleEvent, ShrinkReport, SplitMix64, WRONGFUL_STALL_US,
+};
 pub use health::{
     evict, reclaim_dead_locks, EvictionReport, FencedRejoinProcess, HealthConfig, RecoveryPolicy,
 };
@@ -467,10 +473,10 @@ mod tests {
             let halt_at = Time::from_nanos(t_end.as_nanos() * num as u64 / 4);
             let mut sc = batched_scenario(8, 2, kconfig());
             sc.m.install_fault_plan(FaultPlan {
-                halt: Some(Halt {
+                halts: vec![Halt {
                     cpu: CpuId::new(0),
                     at: halt_at,
-                }),
+                }],
                 ..FaultPlan::none(SHOOTDOWN_VECTOR)
             });
             // A halted toucher's page may never fault its writers, so the

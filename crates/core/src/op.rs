@@ -230,6 +230,14 @@ pub struct PmapOpProcess {
     shards_needed: Vec<usize>,
     /// How many of `shards_needed` are currently held (a prefix).
     shards_held: usize,
+    /// Each held shard's steal generation, sampled at acquisition
+    /// (parallel to the held prefix of `shards_needed`). Steals only
+    /// target fail-stop holders, so a later mismatch means this processor
+    /// was halted mid-section, fence-and-steal reclaimed the shard, and
+    /// it has since revived: its claim is gone and the operation must
+    /// restart instead of touching state it no longer owns — or releasing
+    /// a lock the thief now holds.
+    shard_gens: Vec<u64>,
     /// The multicast round this operation leads — or, in
     /// [`Phase::Joined`], the round it merged into.
     round_id: Option<u64>,
@@ -278,6 +286,7 @@ impl PmapOpProcess {
             open: None,
             shards_needed: Vec::new(),
             shards_held: 0,
+            shard_gens: Vec::new(),
             round_id: None,
             fallback_list: Vec::new(),
             fallback_built: false,
@@ -651,6 +660,14 @@ impl PmapOpProcess {
 impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
     fn step(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
         let me = ctx.cpu_id;
+        // Steal-generation check, before anything else: if a shard this
+        // processor believes it holds was fenced away while it was
+        // fail-stopped (offline, then revived), every staged decision is
+        // stale and the locks belong to someone else — restart the
+        // operation instead of continuing the critical section.
+        if self.shards_held > 0 && self.robbed(ctx.shared.kernel()) {
+            return self.restart_robbed(ctx);
+        }
         match self.phase {
             Phase::Begin => {
                 // s = disable_interrupts(); active[mycpu] = FALSE;
@@ -682,7 +699,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                 // `shards_needed`), so concurrent multi-shard operations
                 // cannot deadlock against each other.
                 let shard = self.shards_needed[self.shards_held];
-                let (acquired, holder, chan) = {
+                let (acquired, holder, chan, gen) = {
                     let lock = ctx
                         .shared
                         .kernel_mut()
@@ -690,9 +707,15 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                         .get_mut(self.pmap_id)
                         .shard_mut(shard);
                     lock.charge_spins(woken);
-                    (lock.try_acquire(me), lock.holder(), lock.channel())
+                    (
+                        lock.try_acquire(me),
+                        lock.holder(),
+                        lock.channel(),
+                        lock.steal_gen(),
+                    )
                 };
                 if acquired {
+                    self.shard_gens.push(gen);
                     self.shards_held += 1;
                     if self.shards_held == self.shards_needed.len() {
                         self.phase = Phase::Check;
@@ -717,7 +740,11 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             // TLB updates this operation recomputes from
                             // scratch under the stolen lock.
                             let k = ctx.shared.kernel_mut();
-                            k.pmaps.get_mut(self.pmap_id).shard_mut(shard).steal(h, me);
+                            let lock = k.pmaps.get_mut(self.pmap_id).shard_mut(shard);
+                            lock.steal(h, me);
+                            // Sample *after* our own steal so our own bump
+                            // does not read back as a robbery.
+                            let gen = lock.steal_gen();
                             k.stats.locks_stolen += 1;
                             // A dead leader's published round will never be
                             // completed or reclaimed: scrub it, so stalled
@@ -725,6 +752,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                             // by their watchdog deadline) retry the lock.
                             k.rounds
                                 .retain(|r| !(r.pmap == self.pmap_id && r.initiator == h));
+                            self.shard_gens.push(gen);
                             self.shards_held += 1;
                             if self.shards_held == self.shards_needed.len() {
                                 self.phase = Phase::Check;
@@ -751,6 +779,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                                 let chan = pmap.lock().channel();
                                 let home = pmap.home();
                                 self.shards_held = 0;
+                                self.shard_gens.clear();
                                 if let Some(chan) = chan {
                                     ctx.notify(chan);
                                 }
@@ -1751,6 +1780,7 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
                     cost += ctx.costs().lock_release + ctx.bus_write_at(home);
                 }
                 self.shards_held = 0;
+                self.shard_gens.clear();
                 if strategy.uses_interrupts() {
                     ctx.shared.kernel_mut().active.insert(me);
                     cost += ctx.bus_write();
@@ -1793,6 +1823,73 @@ impl<S: HasKernel> Process<S, ()> for PmapOpProcess {
 }
 
 impl PmapOpProcess {
+    /// Whether any shard this processor believes it holds was forcibly
+    /// transferred away since it was acquired. Steals only target
+    /// fail-stop holders, so — because the holder of a lock is the only
+    /// processor a steal can rob — a generation mismatch on a held shard
+    /// means exactly one thing: this processor was halted mid-section,
+    /// fence-and-steal (or the FailOp reclaimer) took the shard, and it
+    /// has since revived.
+    fn robbed(&self, shared: &KernelState) -> bool {
+        let pmap = shared.pmaps.get(self.pmap_id);
+        (0..self.shards_held)
+            .any(|i| pmap.shard(self.shards_needed[i]).steal_gen() != self.shard_gens[i])
+    }
+
+    /// Abandons a critical section whose locks were fenced away while
+    /// this processor was fail-stopped. The thief recomputed the staged
+    /// page-table and TLB work under a fresh acquisition and scrubbed
+    /// this initiator's round, so every in-flight decision here is stale:
+    /// drop the claim *without releasing* (the locks belong to the thief
+    /// now), discard the staged state, restore the interrupt mask, and
+    /// redo the operation from [`Phase::Begin`].
+    fn restart_robbed<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>) -> Step {
+        let me = ctx.cpu_id;
+        let now = ctx.now;
+        {
+            let k = ctx.shared.kernel_mut();
+            k.stats.robbed_restarts += 1;
+            // Both steal paths scrub the robbed initiator's round; scrub
+            // again here so the restart never races a future steal site
+            // that forgets to.
+            if let Some(id) = self.round_id.take() {
+                k.rounds.retain(|r| r.id != id);
+            }
+        }
+        if let Some(span) = self.span {
+            let k = ctx.shared.kernel_mut();
+            if let Some(open) = self.open.take() {
+                k.trace.record(me, span, open, TraceEdge::End, now);
+            }
+        }
+        self.shards_held = 0;
+        self.shard_gens.clear();
+        self.wait_list.clear();
+        self.send_list.clear();
+        self.needed = false;
+        self.changes.clear();
+        self.deferred.clear();
+        self.changes_planned = false;
+        self.applied = 0;
+        self.outcome = OpOutcome::default();
+        self.spun_on_queue = None;
+        self.wait_deadline = None;
+        self.wait_retries = 0;
+        self.fallback_list.clear();
+        self.fallback_built = false;
+        self.fallback_ranges.clear();
+        self.joiner_pages.clear();
+        self.own_pages = None;
+        self.pre_invalidated = false;
+        // Begin re-saves the mask; restore the pre-op one first so the
+        // original is not lost to the re-save.
+        if let Some(mask) = self.saved_mask.take() {
+            ctx.set_mask(mask);
+        }
+        self.phase = Phase::Begin;
+        Step::Run(ctx.costs().local_op + ctx.bus_read())
+    }
+
     /// The phase that follows the consistency check / local invalidate,
     /// by strategy.
     fn after_local_phase(&self, shared: &KernelState, me: CpuId) -> Phase {

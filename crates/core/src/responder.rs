@@ -50,6 +50,12 @@ pub(crate) struct DrainQueue {
     looked: bool,
     /// The trace phase currently open on this responder's track.
     open: Option<TracePhase>,
+    /// The queue lock's steal generation, sampled when
+    /// [`DrainPhase::LockQueue`] acquires it. A mismatch in a later phase
+    /// means the FailOp reclaimer freed the lock while this processor was
+    /// fail-stopped mid-drain: its claim (and its drained actions) are
+    /// stale, and it must not release a lock it no longer holds.
+    lock_gen: u64,
 }
 
 impl DrainQueue {
@@ -68,6 +74,7 @@ impl DrainQueue {
             span: None,
             looked: false,
             open: None,
+            lock_gen: 0,
         }
     }
 
@@ -169,6 +176,25 @@ impl DrainQueue {
     pub(crate) fn step<S: HasKernel>(&mut self, ctx: &mut Ctx<'_, S, ()>) -> DrainStatus {
         self.trace_link(ctx);
         let me = ctx.cpu_id;
+        // Steal-generation check: if the queue lock was reclaimed while
+        // this processor was fail-stopped mid-drain, the drained actions
+        // are stale (the processor was evicted, and the fenced rejoin's
+        // full flush supersedes every one of them) and the lock belongs
+        // to someone else — abandon the drain without releasing.
+        if matches!(self.phase, DrainPhase::Drain | DrainPhase::Finish)
+            && ctx.shared.kernel().queue_locks[me.index()].steal_gen() != self.lock_gen
+        {
+            self.actions.clear();
+            self.flush_all = false;
+            let now = ctx.now;
+            let k = ctx.shared.kernel_mut();
+            k.stats.robbed_restarts += 1;
+            if let (Some(span), Some(open)) = (self.span, self.open.take()) {
+                k.trace.record(me, span, open, TraceEdge::End, now);
+                k.trace.clear_pending(me);
+            }
+            return DrainStatus::Finished(ctx.costs().local_op + ctx.bus_read());
+        }
         match self.phase {
             DrainPhase::SpinPmaps => {
                 if Self::must_spin(ctx) {
@@ -216,6 +242,7 @@ impl DrainQueue {
                     }
                     return DrainStatus::Running(Step::Run(spin));
                 }
+                self.lock_gen = lock.steal_gen();
                 let (actions, flush_all) = ctx.shared.kernel_mut().queues[me.index()].drain();
                 self.actions = actions;
                 self.flush_all = flush_all;
@@ -323,6 +350,9 @@ pub struct ResponderProcess {
     entry_gen: Option<u64>,
     /// The embedded rejoin protocol, driven by [`RPhase::SelfFence`].
     fence: Option<FencedRejoinProcess>,
+    /// Whether the reactivation gate is currently holding this processor
+    /// (counts one [`KernelStats::activation_stalls`] per episode).
+    gated: bool,
 }
 
 impl ResponderProcess {
@@ -336,6 +366,7 @@ impl ResponderProcess {
             acked: Vec::new(),
             entry_gen: None,
             fence: None,
+            gated: false,
         }
     }
 
@@ -625,6 +656,20 @@ impl<S: HasKernel> Process<S, ()> for ResponderProcess {
                     self.begin_self_fence(ctx.shared.kernel_mut());
                     return Step::Run(ctx.costs().local_op);
                 }
+                // A round published while this processor was deactivated
+                // names it neither pending nor cleanup; its only coverage
+                // is the fallback queue action the leader enqueues before
+                // unlocking. Hold the reactivation until every such round
+                // unlocks — the Enter loop then finds the queued action
+                // and drains it before user code resumes.
+                if ctx.shared.kernel().activation_blocked_by_round(me) {
+                    if !self.gated {
+                        self.gated = true;
+                        ctx.shared.kernel_mut().stats.activation_stalls += 1;
+                    }
+                    return stall_activation(ctx, me);
+                }
+                self.gated = false;
                 ctx.shared.kernel_mut().active.insert(me);
                 if let Some(span) = self.span.take() {
                     let now = ctx.now;
@@ -689,6 +734,45 @@ pub fn enter_idle(shared: &mut KernelState, cpu: machtlb_sim::CpuId) {
     shared.active.remove(cpu);
 }
 
+/// One stall step of the activation gate (see
+/// [`KernelState::activation_blocked_by_round`]): spin or block on the
+/// lock channels of the pmaps whose open rounds hold `me` back. The
+/// caller re-runs its activation step on wake and re-checks the
+/// predicate; under health monitoring a deadline bounds the wait so a
+/// scrubbed round (dead leader, lock stolen) is noticed.
+fn stall_activation<S: HasKernel>(ctx: &mut Ctx<'_, S, ()>, me: machtlb_sim::CpuId) -> Step {
+    let chans = {
+        let k = ctx.shared.kernel();
+        let mut chans = Vec::new();
+        for r in &k.rounds {
+            if !r.unlocked
+                && r.initiator != me
+                && !r.pending.contains(me)
+                && k.pmaps.get(r.pmap).in_use().contains(me)
+            {
+                if let Some(c) = k.pmaps.get(r.pmap).lock().channel() {
+                    chans.push(c);
+                }
+            }
+        }
+        chans
+    };
+    let spin = ctx.costs().spin_iter + ctx.costs().cache_read;
+    let kernel = ctx.shared.kernel();
+    if kernel.config.spin_mode == SpinMode::Event && !chans.is_empty() {
+        let block = match chans.len() {
+            1 => BlockOn::one(chans[0], spin),
+            _ => BlockOn::two(chans[0], chans[1], spin),
+        };
+        if kernel.config.health.enabled {
+            let deadline = ctx.now + kernel.config.watchdog.timeout;
+            return Step::Block(block.with_deadline(deadline));
+        }
+        return Step::Block(block);
+    }
+    Step::Run(spin)
+}
+
 #[derive(Debug)]
 enum ExitPhase {
     MarkNotIdle,
@@ -709,6 +793,9 @@ pub struct ExitIdleProcess {
     drain: Option<DrainQueue>,
     /// As in [`ResponderProcess`]: the drained span, for the rejoin mark.
     span: Option<SpanId>,
+    /// Whether the activation gate is currently holding this processor
+    /// (counts one [`KernelStats::activation_stalls`] per episode).
+    gated: bool,
 }
 
 impl ExitIdleProcess {
@@ -719,6 +806,7 @@ impl ExitIdleProcess {
             phase: ExitPhase::MarkNotIdle,
             drain: None,
             span: None,
+            gated: false,
         }
     }
 }
@@ -760,6 +848,27 @@ impl<S: HasKernel> Process<S, ()> for ExitIdleProcess {
                 }
             }
             ExitPhase::Activate => {
+                // Same gate as the responder's reactivation: an idle
+                // processor is excluded from round target sets, and its
+                // fallback queue action lands only after the leader's
+                // apply. Exiting idle under an open round would let user
+                // code run through entries the round invalidates, so hold
+                // here until every such round unlocks.
+                if ctx.shared.kernel().activation_blocked_by_round(me) {
+                    if !self.gated {
+                        self.gated = true;
+                        ctx.shared.kernel_mut().stats.activation_stalls += 1;
+                    }
+                    return stall_activation(ctx, me);
+                }
+                self.gated = false;
+                // The gate may have held across the leader's enqueue pass:
+                // loop back and drain the action before activating, in the
+                // same step as this check so no new round sneaks between.
+                if ctx.shared.kernel_mut().action_needed[me.index()] {
+                    self.phase = ExitPhase::CheckActions;
+                    return Step::Run(ctx.costs().cache_read);
+                }
                 ctx.shared.kernel_mut().active.insert(me);
                 if let Some(span) = self.span.take() {
                     let now = ctx.now;

@@ -38,6 +38,12 @@ pub struct SoakConfig {
     /// zero restart budget, forcing `retries_exhausted` — the CI gate's
     /// injected failure, proving a red soak actually exits red.
     pub inject_exhaustion: bool,
+    /// Run cycles until this much wall-clock time has elapsed instead of
+    /// counting to [`SoakConfig::cycles`] (at least one cycle always
+    /// runs). Each cycle stays seed-deterministic; only *how many* run
+    /// depends on the host's speed, so duration-bounded outcomes are not
+    /// bit-reproducible across machines — use `cycles` for goldens.
+    pub duration: Option<std::time::Duration>,
 }
 
 impl SoakConfig {
@@ -50,6 +56,7 @@ impl SoakConfig {
             seed,
             rounds: 3,
             inject_exhaustion: false,
+            duration: None,
         }
     }
 }
@@ -133,15 +140,15 @@ fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
         0 => {
             base.name = "soak-halt";
             base.fault = FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: victim,
                     extra: Dur::millis(8),
                     times: 1,
-                }),
-                halt: Some(Halt {
+                }],
+                halts: vec![Halt {
                     cpu: victim,
                     at: Time::from_micros(2_000),
-                }),
+                }],
                 ..FaultPlan::none(v)
             };
         }
@@ -150,16 +157,16 @@ fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
             base.name = "soak-offline-revive";
             base.final_ro = true;
             base.fault = FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: victim,
                     extra: Dur::millis(8),
                     times: 1,
-                }),
-                offline: Some(Offline {
+                }],
+                offlines: vec![Offline {
                     cpu: victim,
                     at: Time::from_micros(2_000),
                     revive_at: Time::from_micros(120_000),
-                }),
+                }],
                 ..FaultPlan::none(v)
             };
         }
@@ -168,11 +175,11 @@ fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
             base.name = "soak-wrongful-evict";
             base.final_ro = true;
             base.fault = FaultPlan {
-                stall: Some(ResponderStall {
+                stalls: vec![ResponderStall {
                     cpu: victim,
                     extra: Dur::millis(100),
                     times: 1,
-                }),
+                }],
                 ..FaultPlan::none(v)
             };
         }
@@ -180,24 +187,28 @@ fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
         3 => {
             base.name = "soak-two-halt";
             base.fault = FaultPlan {
-                stall: Some(ResponderStall {
-                    cpu: victim,
-                    extra: Dur::millis(8),
-                    times: 1,
-                }),
-                halt: Some(Halt {
-                    cpu: victim,
-                    at: Time::from_micros(2_000),
-                }),
-                stall2: Some(ResponderStall {
-                    cpu: victim2,
-                    extra: Dur::millis(8),
-                    times: 1,
-                }),
-                halt2: Some(Halt {
-                    cpu: victim2,
-                    at: Time::from_micros(2_500),
-                }),
+                stalls: vec![
+                    ResponderStall {
+                        cpu: victim,
+                        extra: Dur::millis(8),
+                        times: 1,
+                    },
+                    ResponderStall {
+                        cpu: victim2,
+                        extra: Dur::millis(8),
+                        times: 1,
+                    },
+                ],
+                halts: vec![
+                    Halt {
+                        cpu: victim,
+                        at: Time::from_micros(2_000),
+                    },
+                    Halt {
+                        cpu: victim2,
+                        at: Time::from_micros(2_500),
+                    },
+                ],
                 ..FaultPlan::none(v)
             };
         }
@@ -207,10 +218,10 @@ fn cycle_plan(cfg: &SoakConfig, cycle: u64) -> ChaosPlan {
             base.grab_lock = true;
             base.policy = RecoveryPolicy::FailOp;
             base.fault = FaultPlan {
-                halt: Some(Halt {
+                halts: vec![Halt {
                     cpu: last,
                     at: Time::from_micros(1_000),
-                }),
+                }],
                 ..FaultPlan::none(v)
             };
         }
@@ -269,12 +280,25 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
         survived: true,
         log: Vec::new(),
     };
-    let mut plans: Vec<(u64, ChaosPlan)> =
-        (0..cfg.cycles).map(|c| (c, cycle_plan(cfg, c))).collect();
-    if cfg.inject_exhaustion {
-        plans.push((cfg.cycles, exhaustion_plan(cfg)));
-    }
-    for (cycle, plan) in plans {
+    // Plans are generated lazily: a duration-bounded soak does not know
+    // its cycle count up front, it keeps rotating the shape family until
+    // the wall-clock budget is spent (at least one cycle always runs).
+    let started = std::time::Instant::now();
+    let mut cycle = 0u64;
+    let mut exhaustion_done = false;
+    loop {
+        let more = match cfg.duration {
+            Some(budget) => cycle == 0 || started.elapsed() < budget,
+            None => cycle < cfg.cycles,
+        };
+        let plan = if more {
+            cycle_plan(cfg, cycle)
+        } else if cfg.inject_exhaustion && !exhaustion_done {
+            exhaustion_done = true;
+            exhaustion_plan(cfg)
+        } else {
+            break;
+        };
         let ops = cfg.rounds * 4 + if plan.final_ro { 2 } else { 0 };
         let o = run_cycle(cfg, cycle, plan);
         let unrecovered = o.stats.watchdog_gaveup.saturating_sub(o.stats.evictions);
@@ -300,6 +324,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakOutcome {
             unrecovered,
             end: o.end,
         });
+        cycle += 1;
     }
     out.survived = out.completed_cycles == out.cycles
         && out.violations == 0

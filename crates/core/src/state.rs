@@ -392,6 +392,21 @@ pub struct KernelStats {
     /// Full pmap flushes satisfied by an ASID-generation bump instead of
     /// a per-entry walk (zero unless [`KernelConfig::residency`] is on).
     pub asid_recycles: u64,
+    /// Inactive→active transitions (responder reactivation, idle exit)
+    /// held back because a multicast round the processor was not party to
+    /// was still locked on a pmap it uses (see
+    /// [`KernelState::activation_blocked_by_round`]).
+    pub activation_stalls: u64,
+    /// Pmap attaches that found the lock re-taken between the spin check
+    /// and the attach step (interrupt-delay TOCTOU) and went back to
+    /// spinning instead of joining the user set mid-shootdown.
+    pub attach_rechecks: u64,
+    /// Critical sections abandoned because a steal-generation check found
+    /// the lock had been fenced away while the holder was fail-stopped: a
+    /// revived processor detected that fence-and-steal (or the FailOp
+    /// reclaimer) took its lock mid-section, so it dropped its stale claim
+    /// and restarted instead of releasing a lock the thief now holds.
+    pub robbed_restarts: u64,
 }
 
 /// Per-node kernel counters, kept alongside the aggregate
@@ -749,6 +764,29 @@ impl KernelState {
     /// action-needed flag).
     pub fn round_pending_for(&self, cpu: CpuId) -> bool {
         self.rounds.iter().any(|r| r.pending.contains(cpu))
+    }
+
+    /// Whether `cpu` may not (re)enter the active set yet: some multicast
+    /// round on a pmap `cpu` uses is still locked, and `cpu` is neither
+    /// the round's initiator nor among its pending responders.
+    ///
+    /// A round's target set is computed from the active set in the same
+    /// atomic step that publishes the descriptor, and the fallback queue
+    /// actions for everyone else land only after the leader's apply.
+    /// A processor that was inactive at publish time (deactivated for a
+    /// previous round's service, or idle) is therefore covered by nothing
+    /// until the post-apply enqueue — if it activated before the unlock
+    /// it could run user code through the very entries the round
+    /// invalidates. The caller must stall the activation until every such
+    /// round unlocks: by then the fallback action sits in its queue and
+    /// the ordinary drain flushes it before the first translation.
+    pub fn activation_blocked_by_round(&self, cpu: CpuId) -> bool {
+        self.rounds.iter().any(|r| {
+            !r.unlocked
+                && r.initiator != cpu
+                && !r.pending.contains(cpu)
+                && self.pmaps.get(r.pmap).in_use().contains(cpu)
+        })
     }
 
     /// Excuses `cpu` from every in-flight round (eviction, or a target

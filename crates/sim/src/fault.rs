@@ -130,6 +130,13 @@ pub struct Offline {
 /// A deterministic fault plan: which perturbations to apply to the
 /// targeted interrupt vector. All rules default to off ([`FaultPlan::none`]).
 ///
+/// The stall, halt, and offline rules are *event lists*: a plan composes
+/// an arbitrary number of them (the fuzzer's schedules routinely arm a
+/// dozen against five victims). Each list entry keeps its own budget
+/// counter, and entries are evaluated in list order, so a plan that used
+/// the historical `stall`/`stall2` pair replays bit-identically when the
+/// two rules occupy `stalls[0]` and `stalls[1]`.
+///
 /// # Examples
 ///
 /// ```
@@ -141,7 +148,7 @@ pub struct Offline {
 /// };
 /// assert_eq!(plan.vector, Vector::new(1));
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The interrupt vector the IPI rules target (other vectors pass
     /// through untouched).
@@ -156,19 +163,17 @@ pub struct FaultPlan {
     pub reorder: Option<IpiReorder>,
     /// Interrupt-masked-window stretch rule (device-class dispatches).
     pub isr_stretch: Option<IsrStretch>,
-    /// Responder stall rule (targeted-vector dispatches on one cpu).
-    pub stall: Option<ResponderStall>,
-    /// A second, independent stall rule, so compound plans can wedge two
-    /// responders at once (its budget is counted separately from
-    /// [`FaultPlan::stall`]).
-    pub stall2: Option<ResponderStall>,
-    /// Fail-stop halt rule (one processor stops forever).
-    pub halt: Option<Halt>,
-    /// A second, independent halt rule: two processors fail-stop in one
-    /// campaign (e.g. two responders of the same shootdown round).
-    pub halt2: Option<Halt>,
-    /// Fail-stop offline/revive rule (one processor stops, then resumes).
-    pub offline: Option<Offline>,
+    /// Responder stall rules (targeted-vector dispatches on one cpu
+    /// each). Every entry carries its own independent budget; entries
+    /// naming the same processor stack their extras in list order.
+    pub stalls: Vec<ResponderStall>,
+    /// Fail-stop halt rules: each named processor stops forever at its
+    /// instant. Multiple entries fail-stop multiple processors in one
+    /// campaign.
+    pub halts: Vec<Halt>,
+    /// Fail-stop offline/revive rules (each processor stops, then
+    /// resumes).
+    pub offlines: Vec<Offline>,
 }
 
 impl FaultPlan {
@@ -182,11 +187,9 @@ impl FaultPlan {
             duplicate: None,
             reorder: None,
             isr_stretch: None,
-            stall: None,
-            stall2: None,
-            halt: None,
-            halt2: None,
-            offline: None,
+            stalls: Vec::new(),
+            halts: Vec::new(),
+            offlines: Vec::new(),
         }
     }
 }
@@ -297,8 +300,9 @@ pub struct FaultInjector {
     /// Matching IPI sends seen so far (1-based after increment).
     ipi_count: u64,
     drops_done: u64,
-    stalls_done: u64,
-    stalls2_done: u64,
+    /// Dispatches stalled so far, one budget counter per `plan.stalls`
+    /// entry (same order).
+    stalls_done: Vec<u64>,
     stats: FaultStats,
     log: Vec<FaultRecord>,
 }
@@ -306,12 +310,12 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Wraps a plan with zeroed counters.
     pub fn new(plan: FaultPlan) -> FaultInjector {
+        let stalls_done = vec![0; plan.stalls.len()];
         FaultInjector {
             plan,
             ipi_count: 0,
             drops_done: 0,
-            stalls_done: 0,
-            stalls2_done: 0,
+            stalls_done,
             stats: FaultStats::default(),
             log: Vec::new(),
         }
@@ -413,16 +417,10 @@ impl FaultInjector {
                 self.record(now, cpu, FaultKind::IsrStretched);
             }
         }
-        if let Some(rule) = self.plan.stall {
-            if vector == self.plan.vector && cpu == rule.cpu && self.stalls_done < rule.times {
-                self.stalls_done += 1;
-                extra += rule.extra;
-                self.record(now, cpu, FaultKind::Stalled);
-            }
-        }
-        if let Some(rule) = self.plan.stall2 {
-            if vector == self.plan.vector && cpu == rule.cpu && self.stalls2_done < rule.times {
-                self.stalls2_done += 1;
+        for i in 0..self.plan.stalls.len() {
+            let rule = self.plan.stalls[i];
+            if vector == self.plan.vector && cpu == rule.cpu && self.stalls_done[i] < rule.times {
+                self.stalls_done[i] += 1;
                 extra += rule.extra;
                 self.record(now, cpu, FaultKind::Stalled);
             }
@@ -520,11 +518,11 @@ mod tests {
     #[test]
     fn stall_targets_one_cpu_a_bounded_number_of_times() {
         let plan = FaultPlan {
-            stall: Some(ResponderStall {
+            stalls: vec![ResponderStall {
                 cpu: C1,
                 extra: Dur::micros(300),
                 times: 1,
-            }),
+            }],
             ..FaultPlan::none(V)
         };
         let mut inj = FaultInjector::new(plan);
@@ -544,16 +542,18 @@ mod tests {
     #[test]
     fn two_stall_rules_arm_independently() {
         let plan = FaultPlan {
-            stall: Some(ResponderStall {
-                cpu: C0,
-                extra: Dur::micros(100),
-                times: 1,
-            }),
-            stall2: Some(ResponderStall {
-                cpu: C1,
-                extra: Dur::micros(200),
-                times: 2,
-            }),
+            stalls: vec![
+                ResponderStall {
+                    cpu: C0,
+                    extra: Dur::micros(100),
+                    times: 1,
+                },
+                ResponderStall {
+                    cpu: C1,
+                    extra: Dur::micros(200),
+                    times: 2,
+                },
+            ],
             ..FaultPlan::none(V)
         };
         let mut inj = FaultInjector::new(plan);
@@ -622,7 +622,7 @@ mod tests {
             ..FaultPlan::none(V)
         };
         let run = || {
-            let mut inj = FaultInjector::new(plan);
+            let mut inj = FaultInjector::new(plan.clone());
             let mut out = Vec::new();
             for i in 0..20u64 {
                 out.push(inj.filter_ipi(C1, V, T + Dur::micros(i)));

@@ -976,10 +976,10 @@ mod tests {
         let v = Vector::new(1);
         let mut m = Machine::new(test_config(2), IntrLog::default(), |_| ());
         m.install_fault_plan(FaultPlan {
-            halt: Some(Halt {
+            halts: vec![Halt {
                 cpu: CpuId::new(1),
                 at: Time::ZERO,
-            }),
+            }],
             ..FaultPlan::none(v)
         });
         m.register_handler(v, IntrClass::Ipi, |_, _, _| Box::new(NoteMask));
@@ -1011,11 +1011,11 @@ mod tests {
     fn offline_cpu_freezes_then_finishes_its_work_after_revival() {
         let mut m = Machine::new(test_config(2), Trace::new(), |_| ());
         m.install_fault_plan(FaultPlan {
-            offline: Some(Offline {
+            offlines: vec![Offline {
                 cpu: CpuId::new(1),
                 at: Time::from_micros(15),
                 revive_at: Time::from_micros(500),
-            }),
+            }],
             ..FaultPlan::none(Vector::new(1))
         });
         for cpu in 0..2 {
@@ -1053,11 +1053,11 @@ mod tests {
         let run = || {
             let mut m = Machine::new(test_config(3), Trace::new(), |_| ());
             m.install_fault_plan(FaultPlan {
-                offline: Some(Offline {
+                offlines: vec![Offline {
                     cpu: CpuId::new(2),
                     at: Time::from_micros(7),
                     revive_at: Time::from_micros(220),
-                }),
+                }],
                 ..FaultPlan::none(Vector::new(1))
             });
             for cpu in 0..3 {
@@ -1279,10 +1279,10 @@ mod tests {
         let (log, stats) = run_delivery_log(
             8,
             Some(FaultPlan {
-                halt: Some(Halt {
+                halts: vec![Halt {
                     cpu: CpuId::new(1),
                     at: Time::ZERO,
-                }),
+                }],
                 ..FaultPlan::none(Vector::new(1))
             }),
             Box::new(MulticastThenIdle {

@@ -917,11 +917,11 @@ impl<S, P> Machine<S, P> {
     /// Panics if a halt/offline rule names an out-of-range processor or an
     /// offline rule revives at or before its halt instant.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
-        for h in [plan.halt, plan.halt2].into_iter().flatten() {
+        for h in &plan.halts {
             assert!(h.cpu.index() < self.cpus.len(), "halt: bad cpu {}", h.cpu);
             self.push_delivery(h.at, h.cpu, QueuedKind::Halt);
         }
-        if let Some(o) = plan.offline {
+        for o in &plan.offlines {
             assert!(
                 o.cpu.index() < self.cpus.len(),
                 "offline: bad cpu {}",

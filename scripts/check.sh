@@ -43,6 +43,15 @@
 #                        A second run with --inject-exhaustion on must
 #                        exit nonzero, proving a red soak actually fails
 #                        the gate rather than passing silently)
+#   9. fuzz smoke       (machtlb fuzz --smoke: a seeded adversarial
+#                        fault-schedule campaign inside the tolerable
+#                        envelope, which must stay green; the coverage
+#                        JSON lands in target/machtlb-fuzz.json and CI
+#                        uploads it. Then the committed known-bad
+#                        schedule — wrongful eviction with the rejoin
+#                        fence sabotaged off — is replayed and must exit
+#                        nonzero, proving the checker and the replay
+#                        red path still have teeth)
 #
 # Usage: scripts/check.sh
 set -eu
@@ -71,6 +80,7 @@ MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --be
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec8_numa
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench sec_residency
 MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench soak_scale
+MACHTLB_SMOKE=1 MACHTLB_BENCH_DIR="$BENCH_DIR" cargo bench -p machtlb-bench --bench fuzz_throughput
 
 echo "==> bench noise envelope vs committed baselines"
 cargo run --release --quiet --bin machtlb -- bench-check \
@@ -93,6 +103,17 @@ echo "==> soak red-exit assertion (injected exhaustion must fail the gate)"
 if cargo run --release --quiet --bin machtlb -- soak --smoke on \
     --inject-exhaustion on >/dev/null 2>&1; then
     echo "error: an injected retries_exhausted soak exited 0" >&2
+    exit 1
+fi
+
+echo "==> fuzz smoke (seeded adversarial schedule campaign, coverage artifact)"
+cargo run --release --quiet --bin machtlb -- fuzz --smoke on \
+    --json target/machtlb-fuzz.json
+
+echo "==> replay red-exit assertion (the known-bad schedule must be caught)"
+if cargo run --release --quiet --bin machtlb -- replay \
+    --schedule tests/data/known_bad_schedule.json >/dev/null 2>&1; then
+    echo "error: the known-bad schedule replayed green" >&2
     exit 1
 fi
 

@@ -12,7 +12,8 @@ use std::process::ExitCode;
 
 use machtlb::bench::{compare_reports, diff_reports, parse_report};
 use machtlb::core::{
-    check_envelope, plan_catalog, run_chaos, run_soak, soak_json, survival_json, ChaosConfig,
+    check_envelope, fuzz_json, parse_schedule, plan_catalog, run_chaos, run_fuzz, run_schedule,
+    run_soak, schedule_json, shrink, soak_json, survival_json, ChaosConfig, FuzzConfig,
     KernelConfig, SoakConfig, Strategy, Survival,
 };
 use machtlb::sim::{BusOp, CostModel, Dur, Time, Topology};
@@ -50,9 +51,13 @@ USAGE:
     machtlb bench-check --baseline DIR [--current DIR] [--tolerance PCT]
     machtlb chaos   [--cpus N] [--seeds N] [--rounds N] [--out FILE]
                     [--json FILE] [TOPOLOGY]
-    machtlb soak    [--cpus N] [--cycles N] [--seed N] [--rounds N]
-                    [--smoke on|off] [--inject-exhaustion on|off]
-                    [--out FILE] [--json FILE]
+    machtlb soak    [--cpus N] [--cycles N] [--duration DUR] [--seed N]
+                    [--rounds N] [--smoke on|off]
+                    [--inject-exhaustion on|off] [--out FILE] [--json FILE]
+    machtlb fuzz    [--seed N] [--budget N] [--cpus N] [--rounds N]
+                    [--shrink on|off] [--max-replays N] [--smoke on|off]
+                    [--json FILE] [--repro FILE]
+    machtlb replay  --schedule FILE
 
 STRATEGIES:
     shootdown (default), broadcast, no-stall, hw-remote, timer-delayed, naive
@@ -92,15 +97,31 @@ and FailOp dead-holder shapes through the membership fence with the
 consistency checker on throughout; `--smoke on` clamps the run to a CI
 time budget, and `--inject-exhaustion on` appends a beyond-envelope
 cycle with a zero FailOp restart budget, which must turn the exit red.
+`--duration DUR` (500ms, 30s, 5m, 1h) keeps rotating cycles until the
+wall-clock budget is spent instead of counting to `--cycles`.
+
+`fuzz` runs a seeded campaign of generated fault schedules (timed
+halts, offline/revive, responder stalls, IPI delay/drop/duplicate/
+reorder, ISR stretch) against the hardened kernel with recovery on;
+the whole campaign is a pure function of `--seed`. `--cpus 0` (the
+default) rotates machines through 32/48/64 processors. On a red run
+the first caught schedule is minimized by delta debugging
+(`--shrink on`, the default, bounded by `--max-replays`) and written
+to `--repro` (default repro.json) ready for `machtlb replay
+--schedule FILE`, which re-runs one serialized schedule bit-identically
+and exits 1 if it is caught. `--json FILE` archives the campaign's
+coverage artifact either way; `--smoke on` is the CI preset (a small
+budget on a small machine).
 
 EXIT CODES:
     0  the command succeeded; for `chaos`, the two-sided envelope check
        was green (every tolerable plan survived, every beyond-envelope
        plan was caught); for `soak`, every cycle completed with zero
        violations, unrecovered give-ups, and exhausted retries
-    1  bad arguments, an inconsistency, or — for `chaos`/`soak` — a
-       failed verdict; `--json FILE` is still written in this case, so
-       CI can archive the red run it is about to fail on
+    1  bad arguments, an inconsistency, or — for `chaos`/`soak`/`fuzz`/
+       `replay` — a failed verdict; `--json FILE` (and `fuzz`'s
+       `--repro FILE`) are still written in this case, so CI can
+       archive the red run it is about to fail on
 
 Every run prints its consistency verdict: the oracle checks the paper's
 guarantee on every translated access.";
@@ -910,7 +931,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let mut outcomes = Vec::new();
     for plan in plans {
         for &seed in &seeds {
-            let mut cfg = ChaosConfig::new(cpus, seed, Some(plan));
+            let mut cfg = ChaosConfig::new(cpus, seed, Some(plan.clone()));
             cfg.rounds = rounds;
             // Bus serialization stretches campaign time roughly linearly
             // in the processor count; scale both bounds so the 32–128
@@ -991,12 +1012,33 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 /// through the membership fence with the consistency checker on, failing
 /// — with a nonzero exit — unless every cycle completed with zero
 /// violations, zero unrecovered give-ups, and zero exhausted retries.
+/// Parses a wall-clock duration flag: a bare number is seconds, and the
+/// suffixes `ms`, `s`, `m`, `h` select the unit (`500ms`, `30s`, `5m`,
+/// `1h`).
+fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
+    let bad = || format!("bad duration {v} (want e.g. 500ms, 30s, 5m, 1h)");
+    let (digits, unit) = match v.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => v.split_at(i),
+        None => (v, "s"),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    let millis = match unit {
+        "ms" => n,
+        "s" => n * 1_000,
+        "m" => n * 60_000,
+        "h" => n * 3_600_000,
+        _ => return Err(bad()),
+    };
+    Ok(std::time::Duration::from_millis(millis))
+}
+
 fn cmd_soak(args: &Args) -> Result<(), String> {
     let smoke = matches!(args.get("smoke"), Some("on"));
     let mut cpus = args.num("cpus", 32)? as usize;
     let mut cycles = args.num("cycles", 5)?;
     let seed = args.num("seed", 7)?;
     let mut rounds = args.num("rounds", 3)?;
+    let duration = args.get("duration").map(parse_duration).transpose()?;
     if smoke {
         // The CI-budget preset: one full shape rotation on the smallest
         // machine in the 32–128 acceptance band, two rounds a cycle.
@@ -1010,8 +1052,13 @@ fn cmd_soak(args: &Args) -> Result<(), String> {
     let mut cfg = SoakConfig::new(cpus, cycles, seed);
     cfg.rounds = rounds;
     cfg.inject_exhaustion = matches!(args.get("inject-exhaustion"), Some("on"));
+    cfg.duration = duration;
+    let span = match duration {
+        Some(d) => format!("{d:?} of fault cycles"),
+        None => format!("{cycles} fault cycles"),
+    };
     println!(
-        "soak: {cycles} fault cycles on {cpus} processors, {rounds} rounds each{}",
+        "soak: {span} on {cpus} processors, {rounds} rounds each{}",
         if cfg.inject_exhaustion {
             " + one injected-exhaustion cycle"
         } else {
@@ -1078,6 +1125,154 @@ fn cmd_soak(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let smoke = matches!(args.get("smoke"), Some("on"));
+    let seed = args.num("seed", 1)?;
+    let mut budget = args.num("budget", 200)?;
+    let mut cpus = args.num("cpus", 0)? as usize;
+    let mut rounds = args.num("rounds", 3)?;
+    let do_shrink = !matches!(args.get("shrink"), Some("off"));
+    let max_replays = args.num("max-replays", 500)?;
+    if smoke {
+        // The CI-budget preset: a handful of schedules on a small
+        // machine, still seed-deterministic.
+        budget = budget.min(8);
+        if cpus == 0 {
+            cpus = 8;
+        }
+        rounds = rounds.min(2);
+    }
+    if budget == 0 {
+        return Err("--budget: need at least one schedule".into());
+    }
+    if cpus != 0 && cpus < 6 {
+        return Err("fuzz needs at least 6 processors (or --cpus 0 to rotate)".into());
+    }
+    let mut cfg = FuzzConfig::new(seed, budget);
+    cfg.n_cpus = cpus;
+    cfg.rounds = rounds;
+    println!(
+        "fuzz: {budget} schedules from seed {seed} on {} processors, {rounds} rounds each",
+        if cpus == 0 {
+            "32/48/64".to_string()
+        } else {
+            cpus.to_string()
+        }
+    );
+    let r = run_fuzz(&cfg);
+    let mut t = TextTable::new(vec![
+        "run", "cpus", "seed", "events", "victims", "survival", "red",
+    ]);
+    for run in &r.runs {
+        // The full table would drown a 200-schedule campaign: keep every
+        // red and a sample of the greens.
+        if !run.red && r.runs.len() > 24 && run.index % 25 != 0 {
+            continue;
+        }
+        t.add_row(vec![
+            run.index.to_string(),
+            run.n_cpus.to_string(),
+            run.machine_seed.to_string(),
+            run.events.to_string(),
+            run.victims.to_string(),
+            run.survival.name().into(),
+            run.red.to_string(),
+        ]);
+    }
+    println!("{t}");
+    let c = &r.coverage;
+    println!(
+        "coverage: {} schedules, {} events ({} wrongful stalls); victims \
+         relay={} holder={} initiator={} rejoiner={}; survivals \
+         tolerated={} degraded={} detected-fatal={}",
+        c.schedules,
+        c.events,
+        c.wrongful_stalls,
+        c.relay_victims,
+        c.holder_victims,
+        c.initiator_victims,
+        c.rejoiner_victims,
+        c.survivals[0],
+        c.survivals[1],
+        c.survivals[2],
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, fuzz_json(&r)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if r.reds == 0 {
+        println!("fuzz green: {budget} schedules survived with recovery enabled");
+        return Ok(());
+    }
+    // A finding: minimize the first caught schedule and leave a repro
+    // behind before failing the exit code.
+    let first = r.first_red.as_ref().expect("reds > 0 implies a first red");
+    let repro_path = args.get("repro").unwrap_or("repro.json");
+    let repro = if do_shrink {
+        let sr = shrink(first, max_replays)?;
+        println!(
+            "shrink: {} events -> {} in {} replays",
+            sr.original_events, sr.minimal_events, sr.replays
+        );
+        for step in &sr.steps {
+            println!("  - {step}");
+        }
+        sr.schedule
+    } else {
+        first.clone()
+    };
+    std::fs::write(repro_path, schedule_json(&repro))
+        .map_err(|e| format!("write {repro_path}: {e}"))?;
+    println!("wrote {repro_path}");
+    println!("replay with: machtlb replay --schedule {repro_path}");
+    Err(format!(
+        "fuzz found {} caught schedule(s) out of {budget}; first minimized to {} event(s)",
+        r.reds,
+        repro.events.len()
+    ))
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.get("schedule").ok_or("replay needs --schedule FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let s = parse_schedule(&text)?;
+    println!(
+        "replay: {} on {} processors ({} node(s), fanout {}), {} event(s), machine seed {}",
+        path,
+        s.n_cpus,
+        s.nodes,
+        s.fanout,
+        s.events.len(),
+        s.seed
+    );
+    let o = run_schedule(&s);
+    println!(
+        "survival={} completed={} violations={} evictions={} fenced_rejoins={} \
+         activation_stalls={} steps={} end={:?}",
+        o.survival.name(),
+        o.completed,
+        o.violations,
+        o.stats.evictions,
+        o.stats.fenced_rejoins,
+        o.stats.activation_stalls,
+        o.steps,
+        o.end
+    );
+    if let Some(rep) = &o.report {
+        println!("{rep}");
+    }
+    if machtlb::core::is_red(&o) {
+        return Err(format!(
+            "replay caught: {} ({} violations, completed={})",
+            o.survival.name(),
+            o.violations,
+            o.completed
+        ));
+    }
+    println!("replay survived (schedule is green under recovery)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -1096,6 +1291,8 @@ fn main() -> ExitCode {
         Some("bench-check") => cmd_bench_check(&args),
         Some("chaos") => cmd_chaos(&args),
         Some("soak") => cmd_soak(&args),
+        Some("fuzz") => cmd_fuzz(&args),
+        Some("replay") => cmd_replay(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())

@@ -19,7 +19,7 @@ fn eviction_recovers_what_a_dead_responder_costs_forever() {
         .find(|p| p.name == "halt-resp-preack")
         .expect("catalog has the pre-ack halt plan");
 
-    let mut unhealthy = ChaosConfig::new(4, 3, Some(plan));
+    let mut unhealthy = ChaosConfig::new(4, 3, Some(plan.clone()));
     unhealthy.kconfig.health.enabled = false;
     let bare = run_chaos(&unhealthy);
     assert_eq!(bare.stats.evictions, 0);
@@ -30,7 +30,7 @@ fn eviction_recovers_what_a_dead_responder_costs_forever() {
         "an unabsorbed give-up must be caught, not silently survived: {bare:?}"
     );
 
-    let hardened = run_chaos(&ChaosConfig::new(4, 3, Some(plan)));
+    let hardened = run_chaos(&ChaosConfig::new(4, 3, Some(plan.clone())));
     assert!(hardened.completed, "{hardened:?}");
     assert_eq!(hardened.survival, Survival::Degraded, "{hardened:?}");
     assert_eq!(hardened.violations, 0);
@@ -62,8 +62,8 @@ fn chaos_matrix_is_two_sided_green() {
 #[test]
 fn chaos_campaigns_replay_bit_identically() {
     for plan in plan_catalog(4) {
-        let a = run_chaos(&ChaosConfig::new(4, 13, Some(plan)));
-        let b = run_chaos(&ChaosConfig::new(4, 13, Some(plan)));
+        let a = run_chaos(&ChaosConfig::new(4, 13, Some(plan.clone())));
+        let b = run_chaos(&ChaosConfig::new(4, 13, Some(plan.clone())));
         assert_eq!(a, b, "plan {} must replay exactly", plan.name);
     }
 }
@@ -78,7 +78,7 @@ fn disabled_injection_is_simulated_time_neutral() {
         .expect("catalog has the none plan");
     for seed in [1, 7, 23] {
         let bare = run_chaos(&ChaosConfig::new(4, seed, None));
-        let none = run_chaos(&ChaosConfig::new(4, seed, Some(plan)));
+        let none = run_chaos(&ChaosConfig::new(4, seed, Some(plan.clone())));
         assert_eq!(bare.clocks, none.clocks, "seed {seed}: clocks moved");
         assert_eq!(bare.stats, none.stats, "seed {seed}: counters moved");
         assert_eq!(bare.bus, none.bus, "seed {seed}: bus traffic moved");

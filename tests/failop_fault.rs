@@ -135,10 +135,10 @@ fn failop_dead_holder_kills_the_faulting_access_instead_of_livelocking() {
         (task, pmap)
     };
     m.install_fault_plan(FaultPlan {
-        halt: Some(Halt {
+        halts: vec![Halt {
             cpu: CpuId::new(1),
             at: Time::from_micros(1_000),
-        }),
+        }],
         ..FaultPlan::none(SHOOTDOWN_VECTOR)
     });
     m.spawn_at(

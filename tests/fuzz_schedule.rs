@@ -1,0 +1,205 @@
+//! Property tests for the fuzz schedule layer: serialization is
+//! lossless, generation is a pure function of the seed, and a schedule
+//! that has been through the JSON round trip replays bit-identically.
+
+use machtlb::core::{
+    generate_schedule, offline_floor_us, parse_schedule, revive_floor_us, run_fuzz, run_schedule,
+    schedule_json, FaultSchedule, FuzzConfig, ScheduleEvent, SplitMix64,
+};
+use proptest::collection::vec as vec_of;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use proptest::test_runner::TestCaseError;
+
+/// The faults one victim processor can carry, before a concrete cpu is
+/// assigned: at most one fail-stop, instants as offsets from the floors
+/// so the assembled schedule is valid by construction.
+#[derive(Clone, Debug)]
+enum Bundle {
+    Nothing,
+    Stall { extra_us: u64, times: u64 },
+    Halt { at_us: u64 },
+    Offline { at_off: u64, rev_off: u64 },
+    StallThenHalt { extra_us: u64, at_us: u64 },
+}
+
+fn bundle_strategy() -> impl Strategy<Value = Bundle> {
+    prop_oneof![
+        Just(Bundle::Nothing),
+        (1u64..150_000, 1u64..3).prop_map(|(extra_us, times)| Bundle::Stall { extra_us, times }),
+        (500u64..20_000).prop_map(|at_us| Bundle::Halt { at_us }),
+        (0u64..2_000, 1u64..4_000)
+            .prop_map(|(at_off, rev_off)| Bundle::Offline { at_off, rev_off }),
+        (1u64..10_000, 500u64..20_000)
+            .prop_map(|(extra_us, at_us)| Bundle::StallThenHalt { extra_us, at_us }),
+    ]
+}
+
+fn maybe(s: BoxedStrategy<ScheduleEvent>) -> BoxedStrategy<Option<ScheduleEvent>> {
+    prop_oneof![Just(None::<ScheduleEvent>), s.prop_map(Some)].boxed()
+}
+
+/// The five singleton IPI/dispatch perturbation rules, each present at
+/// most once (duplicates fail validation by design).
+fn singletons_strategy() -> impl Strategy<Value = Vec<ScheduleEvent>> {
+    let delay = (1u64..4, 50u64..2_000)
+        .prop_map(|(every_nth, extra_us)| ScheduleEvent::Delay {
+            every_nth,
+            extra_us,
+        })
+        .boxed();
+    let dup = (1u64..4, 50u64..1_000)
+        .prop_map(|(every_nth, extra_us)| ScheduleEvent::Duplicate {
+            every_nth,
+            extra_us,
+        })
+        .boxed();
+    let reorder = (1u64..4, 50u64..1_000)
+        .prop_map(|(every_nth, hold_us)| ScheduleEvent::Reorder { every_nth, hold_us })
+        .boxed();
+    let stretch = (100u64..1_000)
+        .prop_map(|extra_us| ScheduleEvent::IsrStretch { extra_us })
+        .boxed();
+    let drop = (1u64..3, 1u64..3)
+        .prop_map(|(every_nth, max_drops)| ScheduleEvent::Drop {
+            every_nth,
+            max_drops,
+        })
+        .boxed();
+    (
+        maybe(delay),
+        maybe(dup),
+        maybe(reorder),
+        maybe(stretch),
+        maybe(drop),
+    )
+        .prop_map(|(a, b, c, d, e)| [a, b, c, d, e].into_iter().flatten().collect())
+}
+
+/// An arbitrary valid schedule, assembled rather than filtered: one
+/// bundle per victim slot (cpus 1..n-2), plus the singleton rules.
+fn schedule_strategy() -> impl Strategy<Value = FaultSchedule> {
+    (
+        (4usize..=12, 1u64..4, any::<u64>()),
+        vec_of(bundle_strategy(), 0..=10),
+        singletons_strategy(),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((n_cpus, rounds, seed), bundles, singletons, (fencing, final_ro, co_initiator))| {
+                let off = offline_floor_us(n_cpus);
+                let rev = revive_floor_us(n_cpus);
+                let mut events: Vec<ScheduleEvent> = Vec::new();
+                for (i, b) in bundles.iter().enumerate() {
+                    let cpu = 1 + i as u32;
+                    if cpu >= n_cpus as u32 - 1 {
+                        break; // one bundle per victim slot, last cpu spare
+                    }
+                    match *b {
+                        Bundle::Nothing => {}
+                        Bundle::Stall { extra_us, times } => events.push(ScheduleEvent::Stall {
+                            cpu,
+                            extra_us,
+                            times,
+                        }),
+                        Bundle::Halt { at_us } => events.push(ScheduleEvent::Halt { cpu, at_us }),
+                        Bundle::Offline { at_off, rev_off } => {
+                            events.push(ScheduleEvent::Offline {
+                                cpu,
+                                at_us: off + at_off,
+                                revive_at_us: rev + rev_off,
+                            })
+                        }
+                        Bundle::StallThenHalt { extra_us, at_us } => {
+                            events.push(ScheduleEvent::Stall {
+                                cpu,
+                                extra_us,
+                                times: 1,
+                            });
+                            events.push(ScheduleEvent::Halt { cpu, at_us });
+                        }
+                    }
+                }
+                events.extend(singletons);
+                FaultSchedule {
+                    seed,
+                    n_cpus,
+                    rounds,
+                    nodes: 1,
+                    fanout: if n_cpus % 2 == 0 { 4 } else { 1 },
+                    fencing,
+                    final_ro,
+                    grab_lock: false,
+                    co_initiator,
+                    failop: false,
+                    tolerable: fencing,
+                    events,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// parse ∘ render is the identity on every valid schedule — all
+    /// instants are integral microseconds, so nothing is rounded away.
+    #[test]
+    fn schedule_json_round_trips_losslessly(s in schedule_strategy()) {
+        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        let text = schedule_json(&s);
+        let back = parse_schedule(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, s, "{}", text);
+    }
+
+    /// The generator is a pure function of its stream: the same seed
+    /// yields the same schedule, and what it emits survives the round
+    /// trip too (generated instants are also integral).
+    #[test]
+    fn generator_is_deterministic_and_round_trips(
+        seed in any::<u64>(),
+        n_cpus in 6usize..16,
+        rounds in 1u64..4,
+    ) {
+        let a = generate_schedule(&mut SplitMix64::new(seed), n_cpus, rounds);
+        let b = generate_schedule(&mut SplitMix64::new(seed), n_cpus, rounds);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.validate().is_ok(), "{:?}", a.validate());
+        let back = parse_schedule(&schedule_json(&a)).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, a);
+    }
+}
+
+proptest! {
+    // Replays cost real wall clock (each is a full chaos campaign), so
+    // this property runs few cases on a small machine — the claim is
+    // structural, not statistical.
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// A schedule that has been serialized and parsed back drives the
+    /// simulator to the bit-identical outcome: replay artifacts lose
+    /// nothing that affects execution.
+    #[test]
+    fn round_tripped_schedules_replay_bit_identically(seed in any::<u64>()) {
+        let s = generate_schedule(&mut SplitMix64::new(seed), 6, 1);
+        let back = parse_schedule(&schedule_json(&s)).map_err(TestCaseError::fail)?;
+        let a = run_schedule(&s);
+        let b = run_schedule(&back);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A small seeded campaign inside the tolerable envelope stays green —
+/// the integration-level smoke twin of the `machtlb fuzz --smoke` CI
+/// step, kept independent of the CLI.
+#[test]
+fn small_campaign_is_green() {
+    let r = run_fuzz(&FuzzConfig {
+        seed: 9,
+        budget: 5,
+        n_cpus: 8,
+        rounds: 2,
+    });
+    assert_eq!(r.reds, 0, "{:?}", r.first_red);
+    assert_eq!(r.runs.len(), 5);
+    assert!(r.coverage.events > 0);
+    assert_eq!(r.coverage.survivals.iter().sum::<u64>(), 5);
+}

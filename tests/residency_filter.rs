@@ -165,7 +165,7 @@ fn camelot_fanout_rounds_filter_and_stay_consistent() {
 fn chaos_catalog_survives_with_residency_on() {
     let mut outcomes = Vec::new();
     for plan in plan_catalog(8) {
-        let mut cfg = ChaosConfig::new(8, 1, Some(plan));
+        let mut cfg = ChaosConfig::new(8, 1, Some(plan.clone()));
         cfg.kconfig.residency = true;
         let out = run_chaos(&cfg);
         if plan.tolerable {
